@@ -1,0 +1,147 @@
+//! Energy accounting: the four-component stack of Fig. 13 (core, buffer,
+//! DRAM, static).
+//!
+//! Constants are 28 nm-class per-operation energies (documented rationale
+//! in DESIGN.md): a 4-bit MAC including local accumulation ≈ 0.55 pJ, SRAM
+//! access ≈ 0.65 pJ/B for the 144 KB banks (CACTI-class), DRAM ≈ 15 pJ/bit,
+//! and a static power floor from the Tbl. 5 breakdown.
+
+use crate::arch::AcceleratorConfig;
+use crate::timing::GemmCost;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants (28 nm class).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Joules per 4-bit MAC (including pipeline registers).
+    pub mac_4bit_j: f64,
+    /// Joules per SRAM byte accessed.
+    pub sram_byte_j: f64,
+    /// Joules per DRAM byte transferred.
+    pub dram_byte_j: f64,
+    /// Static (leakage + clock-tree) watts.
+    pub static_w: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            mac_4bit_j: 0.55e-12,
+            sram_byte_j: 0.65e-12,
+            dram_byte_j: 15e-12 * 8.0,
+            static_w: 0.025,
+        }
+    }
+}
+
+/// Energy breakdown of one run (Joules).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// PE-array dynamic energy.
+    pub core_j: f64,
+    /// On-chip buffer access energy.
+    pub buffer_j: f64,
+    /// DRAM transfer energy.
+    pub dram_j: f64,
+    /// Static energy over the run's wall clock.
+    pub static_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total Joules.
+    pub fn total(&self) -> f64 {
+        self.core_j + self.buffer_j + self.dram_j + self.static_j
+    }
+}
+
+/// Computes the energy of a (already timed) cost under a config.
+pub fn energy_of(cost: &GemmCost, cfg: &AcceleratorConfig, model: &EnergyModel) -> EnergyBreakdown {
+    let core_j = cost.macs
+        * cfg.compute_passes()
+        * cfg.core_energy_overhead
+        * model.mac_4bit_j;
+    let buffer_j = cost.sram_bytes * model.sram_byte_j;
+    let dram_j = cost.dram_bytes * model.dram_byte_j;
+    let static_j = model.static_w * cost.seconds;
+    EnergyBreakdown {
+        core_j,
+        buffer_j,
+        dram_j,
+        static_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::AcceleratorKind;
+    use crate::timing::run_model;
+    use m2x_nn::profile::ModelProfile;
+
+    #[test]
+    fn m2xfp_saves_energy_vs_all_baselines() {
+        let p = ModelProfile::llama2_7b();
+        let em = EnergyModel::default();
+        let e = |kind| {
+            let cfg = AcceleratorConfig::of(kind);
+            let run = run_model(&p, &cfg, 4096);
+            energy_of(&run.total, &cfg, &em).total()
+        };
+        let m2 = e(AcceleratorKind::M2xfp);
+        for kind in [
+            AcceleratorKind::MxOlive,
+            AcceleratorKind::MxAnt,
+            AcceleratorKind::MxMant,
+            AcceleratorKind::MicroScopiQ,
+        ] {
+            assert!(e(kind) > m2, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn energy_savings_vs_microscopiq_in_paper_band() {
+        // §6.3: 1.75× average energy reduction vs MicroScopiQ.
+        let p = ModelProfile::llama3_8b();
+        let em = EnergyModel::default();
+        let e = |kind| {
+            let cfg = AcceleratorConfig::of(kind);
+            let run = run_model(&p, &cfg, 4096);
+            energy_of(&run.total, &cfg, &em).total()
+        };
+        let ratio = e(AcceleratorKind::MicroScopiQ) / e(AcceleratorKind::M2xfp);
+        assert!((1.3..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn all_components_positive_and_core_dominant_when_compute_bound() {
+        let p = ModelProfile::llama2_7b();
+        let cfg = AcceleratorConfig::of(AcceleratorKind::M2xfp);
+        let run = run_model(&p, &cfg, 4096);
+        let e = energy_of(&run.total, &cfg, &EnergyModel::default());
+        assert!(e.core_j > 0.0 && e.buffer_j > 0.0 && e.dram_j > 0.0 && e.static_j > 0.0);
+        assert!((e.total() - (e.core_j + e.buffer_j + e.dram_j + e.static_j)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let cfg = AcceleratorConfig::of(AcceleratorKind::M2xfp);
+        let em = EnergyModel::default();
+        let small = GemmCost {
+            macs: 1e6,
+            compute_cycles: 1e3,
+            dram_bytes: 1e4,
+            sram_bytes: 1e5,
+            seconds: 1e-6,
+        };
+        let big = GemmCost {
+            macs: 2e6,
+            compute_cycles: 2e3,
+            dram_bytes: 2e4,
+            sram_bytes: 2e5,
+            seconds: 2e-6,
+        };
+        let es = energy_of(&small, &cfg, &em).total();
+        let eb = energy_of(&big, &cfg, &em).total();
+        assert!((eb / es - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,30 @@
+//! # m2x-accel
+//!
+//! Cycle-level model of the M2XFP accelerator (paper §5) and the baseline
+//! MX accelerators of Fig. 13, replacing the paper's DNNWeaver + Synopsys
+//! DC + CACTI stack with a self-contained analytic model (substitutions
+//! documented in DESIGN.md §1):
+//!
+//! * [`arch`] — machine configuration (32×32 systolic array @500 MHz,
+//!   144+144+36 KB buffers, DRAM bandwidth) and the per-accelerator format
+//!   parameters (bit widths, 8-bit fallback fractions, overhead factors).
+//! * [`units`] — bit-exact functional models of the Top-1 Decode Unit
+//!   (Fig. 10), the augmented PE tile (Fig. 11) and the two-stage
+//!   Quantization Engine (Fig. 12), verified against `m2xfp`.
+//! * [`timing`] — tiled weight-stationary GEMM cycle model with
+//!   compute/memory overlap; per-model latency from the `m2x-nn` layer
+//!   inventory.
+//! * [`energy`] — core/buffer/DRAM/static energy accounting (the Fig. 13
+//!   stack).
+//! * [`area`] — gate-count area/power model calibrated to the paper's
+//!   MXFP4 PE reference point; regenerates Tbl. 5 and the §6.3 PE-tile
+//!   comparison.
+
+pub mod arch;
+pub mod area;
+pub mod energy;
+pub mod timing;
+pub mod units;
+
+pub use arch::{AcceleratorConfig, AcceleratorKind};
+pub use timing::ModelRun;

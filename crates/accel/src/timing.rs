@@ -1,0 +1,240 @@
+//! Tiled weight-stationary GEMM cycle model with compute/memory overlap.
+//!
+//! The array holds a 32×32 weight tile; activations stream through, one
+//! column of partial sums retiring per cycle after pipeline fill. Output
+//! tiles accumulate over the reduction dimension inside the array/output
+//! buffer (no partial-sum spills). Each operand is fetched from DRAM once
+//! per *pass* over it; when a full operand does not fit on chip it is
+//! re-streamed once per resident tile stripe of the other operand.
+//! Compute and memory overlap perfectly (double buffering), so GEMM time
+//! is `max(compute, dram)` — the standard roofline treatment.
+
+use crate::arch::AcceleratorConfig;
+use m2x_nn::layers::{linear_gemms, GemmShape};
+use m2x_nn::profile::ModelProfile;
+use serde::{Deserialize, Serialize};
+
+/// Cost of one GEMM on one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GemmCost {
+    /// Multiply–accumulates (before fallback passes).
+    pub macs: f64,
+    /// Compute cycles (incl. passes, tiling fill and overhead).
+    pub compute_cycles: f64,
+    /// Bytes moved to/from DRAM.
+    pub dram_bytes: f64,
+    /// Bytes read/written at the SRAM buffers.
+    pub sram_bytes: f64,
+    /// Wall-clock seconds (max of compute and memory streams).
+    pub seconds: f64,
+}
+
+impl GemmCost {
+    fn add(&mut self, o: &GemmCost) {
+        self.macs += o.macs;
+        self.compute_cycles += o.compute_cycles;
+        self.dram_bytes += o.dram_bytes;
+        self.sram_bytes += o.sram_bytes;
+        self.seconds += o.seconds;
+    }
+
+    /// Zero cost.
+    pub fn zero() -> GemmCost {
+        GemmCost {
+            macs: 0.0,
+            compute_cycles: 0.0,
+            dram_bytes: 0.0,
+            sram_bytes: 0.0,
+            seconds: 0.0,
+        }
+    }
+}
+
+/// Computes the cost of one GEMM `[m×k]·[k×n]`.
+pub fn gemm_cost(shape: &GemmShape, cfg: &AcceleratorConfig) -> GemmCost {
+    let mach = &cfg.machine;
+    let (m, k, n) = (shape.m as f64, shape.k as f64, shape.n as f64);
+    let macs = m * k * n;
+
+    // ── Compute ──
+    // Weight tiles are double-buffered in the PE registers, so successive
+    // k-tiles stream back-to-back; the pipeline fill is paid once per
+    // column stripe.
+    let tiles_k = (shape.k as f64 / mach.array_rows as f64).ceil();
+    let tiles_n = (shape.n as f64 / mach.array_cols as f64).ceil();
+    let fill = (mach.array_rows + mach.array_cols) as f64;
+    let compute_cycles = (tiles_k * tiles_n * m + tiles_n * fill)
+        * cfg.compute_passes()
+        * cfg.compute_overhead;
+
+    // ── DRAM traffic ──
+    let w_bytes = k * n * cfg.weight_bytes_per_elem();
+    let a_bytes = m * k * cfg.act_bytes_per_elem();
+    let o_bytes = m * n * 2.0; // FP16 outputs
+    // Re-streaming: whichever full operand fits on chip is read once; if
+    // neither fits, the activations are re-read once per weight stripe
+    // resident in the weight buffer.
+    let w_resident_stripes = (w_bytes / mach.weight_buffer as f64).ceil().max(1.0);
+    let a_fits = a_bytes <= mach.act_buffer as f64;
+    let a_reads = if a_fits { 1.0 } else { w_resident_stripes };
+    let dram_bytes = w_bytes + a_bytes * a_reads + o_bytes;
+
+    // ── SRAM traffic ──
+    // Activations are read from the buffer once per weight column tile;
+    // weights once per activation row tile group (weight-stationary:
+    // loaded once per tile); outputs written once and partial sums kept
+    // in the output buffer across k-tiles (1 read + 1 write per k step
+    // beyond the first).
+    let a_sram = m * k * cfg.act_bytes_per_elem() * tiles_n;
+    let w_sram = w_bytes;
+    let psum_sram = m * n * 4.0 * (2.0 * (tiles_k - 1.0)).max(0.0);
+    let sram_bytes = a_sram + w_sram + psum_sram + o_bytes;
+
+    let t_compute = compute_cycles / mach.freq_hz;
+    let t_dram = dram_bytes / mach.dram_bw;
+    GemmCost {
+        macs,
+        compute_cycles,
+        dram_bytes,
+        sram_bytes,
+        seconds: t_compute.max(t_dram),
+    }
+}
+
+/// The aggregated cost of a full model forward pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRun {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Model name.
+    pub model: String,
+    /// Sequence length used.
+    pub seq: usize,
+    /// Aggregate cost over all layers.
+    pub total: GemmCost,
+}
+
+/// Runs the linear stack of a model (all layers) at sequence length `seq`.
+pub fn run_model(profile: &ModelProfile, cfg: &AcceleratorConfig, seq: usize) -> ModelRun {
+    let mut total = GemmCost::zero();
+    for shape in linear_gemms(profile, seq) {
+        let c = gemm_cost(&shape, cfg);
+        // One identical GEMM set per transformer layer.
+        let layers = profile.layers as f64;
+        total.add(&GemmCost {
+            macs: c.macs * layers,
+            compute_cycles: c.compute_cycles * layers,
+            dram_bytes: c.dram_bytes * layers,
+            sram_bytes: c.sram_bytes * layers,
+            seconds: c.seconds * layers,
+        });
+    }
+    ModelRun {
+        accelerator: cfg.kind.name().to_string(),
+        model: profile.name.to_string(),
+        seq,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::AcceleratorKind;
+
+    fn shape(m: usize, k: usize, n: usize) -> GemmShape {
+        GemmShape { name: "t".into(), m, k, n }
+    }
+
+    #[test]
+    fn compute_bound_large_gemm() {
+        let cfg = AcceleratorConfig::of(AcceleratorKind::M2xfp);
+        let c = gemm_cost(&shape(4096, 4096, 4096), &cfg);
+        let t_dram = c.dram_bytes / cfg.machine.dram_bw;
+        assert!(
+            c.seconds > t_dram,
+            "large square GEMM should be compute-bound"
+        );
+        // Utilization sanity: cycles within 2x of macs/PEs.
+        let ideal = c.macs / cfg.machine.pes() as f64;
+        assert!(c.compute_cycles < ideal * 2.0 && c.compute_cycles >= ideal);
+    }
+
+    #[test]
+    fn memory_bound_skinny_gemm() {
+        // Single-token decode (m = 1) is weight-bandwidth-bound.
+        let cfg = AcceleratorConfig::of(AcceleratorKind::M2xfp);
+        let c = gemm_cost(&shape(1, 4096, 4096), &cfg);
+        let t_dram = c.dram_bytes / cfg.machine.dram_bw;
+        assert_eq!(c.seconds, t_dram);
+    }
+
+    #[test]
+    fn m2xfp_faster_than_all_baselines() {
+        let p = ModelProfile::llama2_7b();
+        let m2 = run_model(&p, &AcceleratorConfig::of(AcceleratorKind::M2xfp), 4096);
+        for kind in [
+            AcceleratorKind::MxOlive,
+            AcceleratorKind::MxAnt,
+            AcceleratorKind::MxMant,
+            AcceleratorKind::MicroScopiQ,
+        ] {
+            let other = run_model(&p, &AcceleratorConfig::of(kind), 4096);
+            assert!(
+                m2.total.seconds < other.total.seconds,
+                "{} not slower",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_over_microscopiq_in_paper_band() {
+        // §6.3: on average 1.91× over MicroScopiQ (compute-bound regime).
+        let p = ModelProfile::llama3_8b();
+        let m2 = run_model(&p, &AcceleratorConfig::of(AcceleratorKind::M2xfp), 4096);
+        let ms = run_model(&p, &AcceleratorConfig::of(AcceleratorKind::MicroScopiQ), 4096);
+        let speedup = ms.total.seconds / m2.total.seconds;
+        assert!((1.5..2.4).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn olive_slowest() {
+        let p = ModelProfile::opt_6_7b();
+        let runs: Vec<f64> = AcceleratorKind::ALL
+            .iter()
+            .map(|&k| run_model(&p, &AcceleratorConfig::of(k), 4096).total.seconds)
+            .collect();
+        let olive = runs[0];
+        assert!(runs.iter().all(|&t| t <= olive));
+    }
+
+    #[test]
+    fn tiny_reduction_dim_still_counts_one_tile() {
+        let cfg = AcceleratorConfig::of(AcceleratorKind::M2xfp);
+        let c = gemm_cost(&shape(64, 16, 16), &cfg);
+        assert!(c.compute_cycles >= 64.0);
+        assert!(c.dram_bytes > 0.0 && c.seconds > 0.0);
+    }
+
+    #[test]
+    fn fallback_inflates_bytes_and_cycles() {
+        let m2 = AcceleratorConfig::of(AcceleratorKind::M2xfp);
+        let olive = AcceleratorConfig::of(AcceleratorKind::MxOlive);
+        let s = shape(256, 1024, 1024);
+        let c_m2 = gemm_cost(&s, &m2);
+        let c_ol = gemm_cost(&s, &olive);
+        assert!(c_ol.compute_cycles > 2.0 * c_m2.compute_cycles);
+        assert!(c_ol.dram_bytes > c_m2.dram_bytes);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_layers() {
+        let mut p = ModelProfile::llama2_7b();
+        let c32 = run_model(&p, &AcceleratorConfig::of(AcceleratorKind::M2xfp), 256);
+        p.layers = 16;
+        let c16 = run_model(&p, &AcceleratorConfig::of(AcceleratorKind::M2xfp), 256);
+        let ratio = c32.total.seconds / c16.total.seconds;
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+}

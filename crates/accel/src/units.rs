@@ -1,0 +1,250 @@
+//! Bit-exact functional models of the three M2XFP hardware units, mirrored
+//! gate-for-gate from Figs. 10–12 and verified against the algorithmic
+//! reference in `m2xfp`.
+
+use m2x_formats::tables::FP4_ABS_KEY;
+use m2x_formats::{fp4, fp6_e2m3};
+use m2xfp::activation::ActGroup;
+use m2xfp::{GroupConfig, ScaleRule};
+
+/// The Top-1 Decode Unit (Fig. 10): FP4→UINT lookup, a three-level
+/// comparator tree over eight inputs, and index/metadata packing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopOneDecodeUnit;
+
+impl TopOneDecodeUnit {
+    /// Runs the comparator tree over up to eight FP4 codes, returning
+    /// `(index, code)` of the top-1 by absolute value (lowest index wins
+    /// ties — the '<' on the index path in Fig. 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `codes` is empty or longer than 8 (one unit handles
+    /// eight 4-bit inputs, §6.3).
+    pub fn top1(&self, codes: &[u8]) -> (usize, u8) {
+        assert!(!codes.is_empty() && codes.len() <= 8, "unit width is 8");
+        // Level 0: map through the LUT, pair with indices.
+        let mut nodes: Vec<(u8, usize)> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (FP4_ABS_KEY[(c & 0xF) as usize], i))
+            .collect();
+        // Three comparator levels (fewer for shorter inputs).
+        while nodes.len() > 1 {
+            let mut next = Vec::with_capacity(nodes.len().div_ceil(2));
+            for pair in nodes.chunks(2) {
+                if pair.len() == 1 {
+                    next.push(pair[0]);
+                    continue;
+                }
+                let (a, b) = (pair[0], pair[1]);
+                // val >= on the left input keeps the lower index on ties.
+                next.push(if a.0 >= b.0 { a } else { b });
+            }
+            nodes = next;
+        }
+        let idx = nodes[0].1;
+        (idx, codes[idx])
+    }
+}
+
+/// The augmented PE tile (Fig. 11): FP4×FP4 MAC pipeline + extra-mantissa
+/// correction MAC + shift-add subgroup scale refinement, accumulating in
+/// fixed point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeTile;
+
+impl PeTile {
+    /// One subgroup MAC: weights and activations as FP4 codes, the
+    /// activation top-1 index and 2-bit metadata, the weight Sg-EM code.
+    /// Returns the partial sum in units of 1/64.
+    pub fn subgroup_mac(
+        &self,
+        w_codes: &[u8],
+        x_codes: &[u8],
+        top1_idx: usize,
+        x_meta: u8,
+        sg_em: u8,
+    ) -> i64 {
+        assert_eq!(w_codes.len(), x_codes.len());
+        let f4 = fp4();
+        // Baseline FP4×FP4 products in units of 1/16 (w×2 · x×8).
+        let mut psum: i64 = 0;
+        for (&wc, &xc) in w_codes.iter().zip(x_codes) {
+            let w2 = (f4.decode(wc) * 2.0) as i64;
+            let x8 = (f4.decode(xc) * 8.0) as i64;
+            psum += w2 * x8;
+        }
+        // Extra-mantissa correction: ΔX = refined − base at the top-1 slot
+        // (the auxiliary MAC of Fig. 11, hidden bit zero).
+        let xc = x_codes[top1_idx];
+        let sign: i64 = if xc & 0x8 != 0 { -1 } else { 1 };
+        let base8 = (f4.decode(xc) * 8.0) as i64;
+        let fp6_bits = ((xc & 0x7) as i32) << 2 | x_meta as i32;
+        let refined8 = if fp6_bits == 0 {
+            0
+        } else {
+            sign * (fp6_e2m3().decode_magnitude((fp6_bits - 1) as u8) * 8.0) as i64
+        };
+        let w2_top = (f4.decode(w_codes[top1_idx]) * 2.0) as i64;
+        psum += (refined8 - base8) * w2_top;
+        // Subgroup scale refinement ×(1 + sg_em/4) via shift-add:
+        // P + (bit1 ? P>>1) + (bit0 ? P>>2), exact in 1/64 units.
+        let p4 = psum * 4;
+        let p_half = if sg_em & 0b10 != 0 { psum * 2 } else { 0 };
+        let p_quarter = if sg_em & 0b01 != 0 { psum } else { 0 };
+        p4 + p_half + p_quarter
+    }
+
+    /// Dequantize-and-accumulate across subgroups: exponent alignment only
+    /// (E8M0 scales), as in the Fig. 11 output stage.
+    pub fn dequantize(&self, acc64: i64, x_exp: i32, w_exp: i32) -> f64 {
+        acc64 as f64 * ((x_exp + w_exp - 6) as f64).exp2()
+    }
+}
+
+/// The two-stage Quantization Engine (Fig. 12): scaling & normalize unit
+/// (max → scale → normalize → round) feeding the encode unit (top-1 select,
+/// +1 bias, clamp, pack).
+#[derive(Debug, Clone, Copy)]
+pub struct QuantizationEngine {
+    cfg: GroupConfig,
+    rule: ScaleRule,
+}
+
+impl QuantizationEngine {
+    /// Engine at the paper's production geometry.
+    pub fn new(cfg: GroupConfig, rule: ScaleRule) -> Self {
+        QuantizationEngine { cfg, rule }
+    }
+
+    /// Stage 1 + Stage 2 over one activation group; produces exactly the
+    /// packed representation of Algorithm 1.
+    pub fn quantize(&self, x: &[f32]) -> ActGroup {
+        let f4 = fp4();
+        let f6 = fp6_e2m3();
+        // ── Stage 1: Scaling & Normalize Unit ──
+        let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = self.rule.shared_scale(amax, f4);
+        let s = scale.value();
+        let codes: Vec<u8> = x.iter().map(|&v| f4.encode(v / s)).collect();
+        let fp6_mags: Vec<u8> = x.iter().map(|&v| f6.encode_magnitude(v.abs() / s)).collect();
+        // ── Stage 2: Encode Unit ──
+        let decode = TopOneDecodeUnit;
+        let mut meta = Vec::with_capacity(self.cfg.subgroup_count(x.len()));
+        for (sg_idx, sg_codes) in codes.chunks(self.cfg.subgroup_size()).enumerate() {
+            let (local, top_code) = decode.top1(sg_codes);
+            let idx = sg_idx * self.cfg.subgroup_size() + local;
+            let fp4_mag = top_code & 0x7;
+            let encoded = fp6_mags[idx] + 1;
+            let lo = fp4_mag << 2;
+            meta.push(encoded.clamp(lo, lo | 0b11) & 0b11);
+        }
+        ActGroup { codes, scale, meta }
+    }
+}
+
+impl Default for QuantizationEngine {
+    fn default() -> Self {
+        QuantizationEngine::new(GroupConfig::m2xfp_default(), ScaleRule::Floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::Xoshiro;
+    use m2xfp::activation;
+
+    fn random_group(seed: u64, n: usize) -> Vec<f32> {
+        let mut r = Xoshiro::seed(seed);
+        r.vec_of(n, |r| r.laplace(1.3))
+    }
+
+    #[test]
+    fn comparator_tree_matches_reference_top1() {
+        let unit = TopOneDecodeUnit;
+        let mut r = Xoshiro::seed(5);
+        for _ in 0..500 {
+            let codes: Vec<u8> = (0..8).map(|_| (r.below(16)) as u8).collect();
+            let (idx, code) = unit.top1(&codes);
+            assert_eq!(idx, m2x_formats::tables::top1_index(&codes));
+            assert_eq!(code, codes[idx]);
+        }
+    }
+
+    #[test]
+    fn comparator_tree_handles_short_subgroups() {
+        let unit = TopOneDecodeUnit;
+        for n in 1..=8usize {
+            let codes: Vec<u8> = (0..n).map(|i| (i * 3 % 16) as u8).collect();
+            let (idx, _) = unit.top1(&codes);
+            assert_eq!(idx, m2x_formats::tables::top1_index(&codes));
+        }
+    }
+
+    #[test]
+    fn quantization_engine_matches_algorithm1() {
+        let qe = QuantizationEngine::default();
+        let gc = GroupConfig::m2xfp_default();
+        for seed in 0..50 {
+            let x = random_group(seed, 32);
+            let hw = qe.quantize(&x);
+            let sw = activation::quantize_group(&x, gc, ScaleRule::Floor);
+            assert_eq!(hw, sw, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pe_tile_matches_reference_gemm() {
+        // One full group through the PE pipeline equals the bit-exact GEMM
+        // reference on a 1×32 × 32×1 problem.
+        use m2xfp::format::{ActTensor, WeightTensor};
+        use m2xfp::M2xfpConfig;
+        let cfg = M2xfpConfig::default();
+        let pe = PeTile;
+        for seed in 0..30 {
+            let xv = random_group(seed * 2 + 1, 32);
+            let wv = random_group(seed * 2 + 2, 32);
+            let x = ActTensor::quantize(
+                &m2x_tensor::Matrix::from_vec(1, 32, xv.clone()),
+                cfg,
+            );
+            let w = WeightTensor::quantize(
+                &m2x_tensor::Matrix::from_vec(1, 32, wv.clone()),
+                cfg,
+            );
+            let want = m2xfp::gemm::qgemm(&x, &w)[(0, 0)];
+
+            let xg = &x.groups()[0];
+            let wg = &w.groups()[0];
+            let mut acc64 = 0i64;
+            for (s, (xs, ws)) in xg
+                .codes
+                .chunks(8)
+                .zip(wg.codes.chunks(8))
+                .enumerate()
+            {
+                let (local, _) = TopOneDecodeUnit.top1(xs);
+                acc64 += pe.subgroup_mac(ws, xs, local, xg.meta[s], wg.sg_em[s]);
+            }
+            let got = pe.dequantize(acc64, xg.scale.exponent(), wg.scale.exponent()) as f32;
+            assert_eq!(got.to_bits(), want.to_bits(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shift_add_multipliers_are_exact() {
+        let pe = PeTile;
+        // With ΔX = 0 and a single product, check ×{1.0,1.25,1.5,1.75}.
+        let f4 = m2x_formats::fp4();
+        let w = [f4.encode(2.0)];
+        let x = [f4.encode(3.0)];
+        // product = 6.0 -> w2·x8 = 4·24 = 96 (1/16 units).
+        for (code, want64) in [(0u8, 384i64), (1, 480), (2, 576), (3, 672)] {
+            // meta 01 decodes to the FP4 value itself (no correction).
+            let got = pe.subgroup_mac(&w, &x, 0, 0b01, code);
+            assert_eq!(got, want64, "sg_em {code}");
+        }
+    }
+}

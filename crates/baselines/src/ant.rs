@@ -1,0 +1,207 @@
+//! MX-ANT — the ANT accelerator's adaptive numerical types (MICRO '22),
+//! adapted to group-wise MX quantization as in the paper's Tbl. 3.
+//!
+//! ANT picks, per tensor/channel (here per group), the best-fitting 4-bit
+//! type among **int4** (uniform), **flint4** (float-int hybrid: dense
+//! mid-range, extended top range) and **PoT4** (powers of two), selected by
+//! squared error. Both weights and activations use the adaptive types for
+//! the accuracy evaluation (matching the Tbl. 3 perplexity gains); the
+//! *cost* of the online activation search shows up in the accelerator
+//! model instead (paper §6.2: "extending to activations is limited by
+//! costly online search").
+
+use m2x_formats::Codebook;
+use m2x_tensor::Matrix;
+use m2xfp::quantizer::fake_quant_rowwise;
+use m2xfp::TensorQuantizer;
+
+/// Builds the ANT type library (4-bit grids, sign-symmetric magnitudes).
+pub fn ant_codebooks() -> Vec<Codebook> {
+    vec![
+        Codebook::new("int4", (0..=7).map(|i| i as f32).collect()).expect("valid"),
+        // Flint: int-like near the middle, float-like (wider) at the top.
+        Codebook::new("flint4", vec![0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0]).expect("valid"),
+        Codebook::new("pot4", vec![0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]).expect("valid"),
+        Codebook::new("fp4", m2x_formats::fp4().values()).expect("valid"),
+    ]
+}
+
+/// Per-group E8M0 scale for a codebook: smallest power of two whose scaled
+/// grid covers `amax`.
+pub fn e8m0_scale_for(book: &Codebook, amax: f32) -> f32 {
+    if amax <= 0.0 {
+        return (m2x_formats::e8m0::MIN_EXP as f32).exp2();
+    }
+    let m = book.max_value();
+    let mut e = (amax / m).log2().ceil() as i32;
+    while (e as f32).exp2() * m < amax {
+        e += 1;
+    }
+    while e > m2x_formats::e8m0::MIN_EXP && ((e - 1) as f32).exp2() * m >= amax {
+        e -= 1;
+    }
+    m2x_formats::E8M0::from_exponent(e).value()
+}
+
+/// Quantizes one group with the best codebook from `books` (min SSE; ties
+/// keep the earlier book). For each book both the covering exponent and the
+/// one below (which may clip the max but refines the body — the floor-rule
+/// trade-off) are searched, so the space supersets MXFP4. Returns
+/// `(book_index, fake-quantized group)`.
+pub fn best_book_quantize(books: &[Codebook], g: &[f32]) -> (usize, Vec<f32>) {
+    let amax = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let mut best: Option<(f64, usize, Vec<f32>)> = None;
+    for (bi, book) in books.iter().enumerate() {
+        let s_cover = e8m0_scale_for(book, amax);
+        for s in [s_cover, s_cover * 0.5] {
+            let q: Vec<f32> = g.iter().map(|&v| book.quantize_scaled(v, s)).collect();
+            let sse: f64 = g
+                .iter()
+                .zip(&q)
+                .map(|(&a, &b)| {
+                    let d = (a - b) as f64;
+                    d * d
+                })
+                .sum();
+            if best.as_ref().is_none_or(|(t, _, _)| sse < *t) {
+                best = Some((sse, bi, q));
+            }
+        }
+    }
+    let (_, bi, q) = best.expect("non-empty library");
+    (bi, q)
+}
+
+/// MX-ANT: type-adaptive weights and activations.
+#[derive(Debug, Clone)]
+pub struct MxAnt {
+    group: usize,
+    books: Vec<Codebook>,
+}
+
+impl MxAnt {
+    /// Group-32 configuration used in Tbl. 3.
+    pub fn new() -> Self {
+        MxAnt {
+            group: 32,
+            books: ant_codebooks(),
+        }
+    }
+
+    /// The type library.
+    pub fn books(&self) -> &[Codebook] {
+        &self.books
+    }
+}
+
+impl Default for MxAnt {
+    fn default() -> Self {
+        MxAnt::new()
+    }
+}
+
+impl TensorQuantizer for MxAnt {
+    fn name(&self) -> String {
+        "MX-ANT".to_string()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        // 4-bit elements + 8-bit scale + 2-bit type index per group.
+        4.0 + (8.0 + 2.0) / self.group as f64
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.weight_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        fake_quant_rowwise(w, self.group, |g| best_book_quantize(&self.books, g).1)
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        fake_quant_rowwise(x, self.group, |g| best_book_quantize(&self.books, g).1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::nmse;
+    use m2x_tensor::Xoshiro;
+
+    fn sample(seed: u64) -> Matrix {
+        let mut r = Xoshiro::seed(seed);
+        Matrix::from_fn(8, 128, |_, _| r.laplace(1.0))
+    }
+
+    #[test]
+    fn adaptive_weights_beat_mxfp4() {
+        let w = sample(5);
+        let ant = nmse(w.as_slice(), MxAnt::default().quantize_weights(&w).as_slice());
+        let mx = nmse(
+            w.as_slice(),
+            crate::mx::MxQuantizer::mxfp4().quantize_weights(&w).as_slice(),
+        );
+        // The ANT search space (fp4 book × two exponents) supersets MXFP4's
+        // floor rule, so per-group SSE can only improve.
+        assert!(ant <= mx + 1e-12, "ant {ant} vs mxfp4 {mx}");
+    }
+
+    #[test]
+    fn type_selection_tracks_distribution() {
+        let books = ant_codebooks();
+        // Uniform data favors int4.
+        let uniform: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) / 2.3).collect();
+        let (bi_u, _) = best_book_quantize(&books, &uniform);
+        assert_eq!(books[bi_u].name(), "int4");
+        // A mid-range body under a huge outlier favors a wide-range type
+        // (PoT represents both 0.5 and 16 exactly; int4 must pick a side).
+        let mut spiky = vec![0.5f32; 32];
+        spiky[7] = 16.0;
+        let (bi_s, _) = best_book_quantize(&books, &spiky);
+        assert_ne!(books[bi_s].name(), "int4", "picked {}", books[bi_s].name());
+    }
+
+    #[test]
+    fn scale_covers_amax() {
+        let books = ant_codebooks();
+        for book in &books {
+            for amax in [0.001f32, 0.9, 1.0, 5.0, 117.0] {
+                let s = e8m0_scale_for(book, amax);
+                assert!(
+                    book.max_value() * s >= amax * 0.9999,
+                    "{} clips {amax}",
+                    book.name()
+                );
+                // E8M0: power of two.
+                assert_eq!(s.log2().fract(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn activations_also_adapt() {
+        let x = sample(6);
+        let ant = nmse(x.as_slice(), MxAnt::default().quantize_activations(&x).as_slice());
+        let mx = nmse(
+            x.as_slice(),
+            crate::mx::MxQuantizer::mxfp4().quantize_activations(&x).as_slice(),
+        );
+        assert!(ant <= mx + 1e-12, "ant {ant} vs mxfp4 {mx}");
+    }
+
+    #[test]
+    fn zero_group_stable() {
+        let books = ant_codebooks();
+        let (_, q) = best_book_quantize(&books, &[0.0f32; 32]);
+        assert!(q.iter().all(|&v| v == 0.0));
+        assert!(e8m0_scale_for(&books[0], 0.0) > 0.0);
+    }
+
+    #[test]
+    fn ebw_includes_type_index() {
+        let q = MxAnt::default();
+        assert!((q.weight_ebw() - 4.3125).abs() < 1e-12);
+        assert!((q.activation_ebw() - 4.3125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,123 @@
+//! BBAL (DAC '25) — bidirectional block floating point: INT3 elements with
+//! a per-element 1-bit flag that shifts the element between two scales
+//! (Tbl. 1: group 32, E5M0 scale, INT3 data, 1-bit element flag).
+
+use m2x_formats::int::IntCodec;
+use m2x_tensor::Matrix;
+use m2xfp::quantizer::fake_quant_rowwise;
+use m2xfp::TensorQuantizer;
+
+/// BBAL: INT3 + per-element scale-select flag.
+#[derive(Debug, Clone, Copy)]
+pub struct Bbal {
+    group: usize,
+    elem: IntCodec,
+    /// Binades between the coarse and fine scales.
+    shift: i32,
+}
+
+impl Bbal {
+    /// The Tbl. 1 configuration (group 32, INT3, flag shifting 2 binades).
+    pub fn new() -> Self {
+        Bbal {
+            group: 32,
+            elem: IntCodec::new(3),
+            shift: 2,
+        }
+    }
+
+    fn fake_quant_group(&self, g: &[f32]) -> Vec<f32> {
+        let amax = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if amax == 0.0 {
+            return vec![0.0; g.len()];
+        }
+        let maxc = self.elem.max_code() as f32;
+        let mut e = (amax / maxc).log2().ceil() as i32;
+        while (e as f32).exp2() * maxc < amax {
+            e += 1;
+        }
+        let s_hi = (e as f32).exp2();
+        let s_lo = ((e - self.shift) as f32).exp2();
+        g.iter()
+            .map(|&v| {
+                // Per-element 1-bit choice: the nearer of the two grids.
+                let q_hi = self.elem.quantize(v, s_hi);
+                let q_lo = self.elem.quantize(v, s_lo);
+                if (q_lo - v).abs() <= (q_hi - v).abs() {
+                    q_lo
+                } else {
+                    q_hi
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for Bbal {
+    fn default() -> Self {
+        Bbal::new()
+    }
+}
+
+impl TensorQuantizer for Bbal {
+    fn name(&self) -> String {
+        "BBAL".to_string()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        // 3-bit element + 1-bit flag + 8-bit scale per group.
+        3.0 + 1.0 + 8.0 / self.group as f64
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.weight_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        fake_quant_rowwise(w, self.group, |g| self.fake_quant_group(g))
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        fake_quant_rowwise(x, self.group, |g| self.fake_quant_group(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::nmse;
+    use m2x_tensor::Xoshiro;
+
+    #[test]
+    fn small_elements_use_fine_scale() {
+        let mut g = vec![0.05f32; 32];
+        g[0] = 3.0; // pins s_hi = 1, s_lo = 0.25
+        let q = Bbal::default().fake_quant_group(&g);
+        // 0.05 at s_lo=0.25 -> 0; at s_hi=1 -> 0. Both zero... use a value
+        // that distinguishes: 0.3 at fine scale -> 0.25, at coarse -> 0.
+        let mut g2 = vec![0.3f32; 32];
+        g2[0] = 3.0;
+        let q2 = Bbal::default().fake_quant_group(&g2);
+        assert!((q2[1] - 0.25).abs() < 1e-6, "got {}", q2[1]);
+        assert_eq!(q[0], 3.0);
+    }
+
+    #[test]
+    fn beats_plain_int3_bfp() {
+        let mut r = Xoshiro::seed(4);
+        let x = Matrix::from_fn(8, 128, |_, _| r.laplace(1.0));
+        let bbal = nmse(x.as_slice(), Bbal::default().quantize_activations(&x).as_slice());
+        // SMX4 is INT3 with only pair-level shifting; BBAL's per-element
+        // flag must do at least as well.
+        let smx = nmse(
+            x.as_slice(),
+            crate::smx::Smx::smx4().quantize_activations(&x).as_slice(),
+        );
+        assert!(bbal < smx, "bbal {bbal} vs smx {smx}");
+    }
+
+    #[test]
+    fn ebw_is_4_25() {
+        assert!((Bbal::default().weight_ebw() - 4.25).abs() < 1e-12);
+    }
+}

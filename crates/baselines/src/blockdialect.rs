@@ -1,0 +1,157 @@
+//! BlockDialect (Jang & Tambe, 2025) — block-wise fine-grained mixed-format
+//! quantization: each group selects one of 16 "dialects" (4-bit value
+//! grids) via a 4-bit index, with a power-of-two shared scale (Tbl. 1:
+//! E5M0 scale, group 32, 4-bit index).
+//!
+//! The dialect book spans four exponent/mantissa splits (uniform E0M3
+//! through power-of-two E3M0), each at four max-alignment factors, so the
+//! grid can track both the shape and the exact magnitude of each block —
+//! BlockDialect's efficient real-time decision applies to activations too.
+
+use crate::ant::e8m0_scale_for;
+use m2x_formats::Codebook;
+use m2x_tensor::Matrix;
+use m2xfp::quantizer::fake_quant_rowwise;
+use m2xfp::TensorQuantizer;
+
+/// Builds the 16-entry dialect book.
+pub fn dialect_book() -> Vec<Codebook> {
+    let bases: [(&str, Vec<f32>); 4] = [
+        // E0M3: uniform 3-bit magnitudes.
+        ("e0m3", (0..8).map(|i| i as f32).collect()),
+        // E1M2: gentle curvature.
+        ("e1m2", vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0]),
+        // E2M1: the FP4 grid.
+        ("e2m1", m2x_formats::fp4().values()),
+        // E3M0: powers of two.
+        ("e3m0", vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
+    ];
+    let mut book = Vec::with_capacity(16);
+    for (name, grid) in bases {
+        for (ai, align) in [1.0f32, 1.25, 1.5, 1.75].into_iter().enumerate() {
+            let scaled: Vec<f32> = grid.iter().map(|v| v * align).collect();
+            book.push(
+                Codebook::new(format!("{name}-a{ai}"), scaled).expect("valid dialect"),
+            );
+        }
+    }
+    book
+}
+
+/// BlockDialect: per-group dialect selection for weights *and* activations.
+#[derive(Debug, Clone)]
+pub struct BlockDialect {
+    group: usize,
+    book: Vec<Codebook>,
+}
+
+impl BlockDialect {
+    /// The Tbl. 3 configuration (group 32).
+    pub fn new() -> Self {
+        BlockDialect {
+            group: 32,
+            book: dialect_book(),
+        }
+    }
+
+    /// The dialect book (16 entries).
+    pub fn book(&self) -> &[Codebook] {
+        &self.book
+    }
+
+    fn quantize_group(&self, g: &[f32]) -> Vec<f32> {
+        let amax = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let mut best: Option<(f64, Vec<f32>)> = None;
+        for dialect in &self.book {
+            let s = e8m0_scale_for(dialect, amax);
+            let q: Vec<f32> = g.iter().map(|&v| dialect.quantize_scaled(v, s)).collect();
+            let sse: f64 = g
+                .iter()
+                .zip(&q)
+                .map(|(&a, &b)| {
+                    let d = (a - b) as f64;
+                    d * d
+                })
+                .sum();
+            if best.as_ref().is_none_or(|(t, _)| sse < *t) {
+                best = Some((sse, q));
+            }
+        }
+        best.expect("non-empty book").1
+    }
+}
+
+impl Default for BlockDialect {
+    fn default() -> Self {
+        BlockDialect::new()
+    }
+}
+
+impl TensorQuantizer for BlockDialect {
+    fn name(&self) -> String {
+        "BlockDialect".to_string()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        // 4-bit elements + 8-bit scale + 4-bit dialect index per group.
+        4.0 + (8.0 + 4.0) / self.group as f64
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.weight_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        fake_quant_rowwise(w, self.group, |g| self.quantize_group(g))
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        fake_quant_rowwise(x, self.group, |g| self.quantize_group(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::nmse;
+    use m2x_tensor::Xoshiro;
+
+    fn sample(seed: u64) -> Matrix {
+        let mut r = Xoshiro::seed(seed);
+        Matrix::from_fn(8, 128, |_, _| r.laplace(1.0))
+    }
+
+    #[test]
+    fn book_has_16_dialects() {
+        assert_eq!(dialect_book().len(), 16);
+    }
+
+    #[test]
+    fn beats_mxfp4_on_both_tensors() {
+        // Tbl. 3: BlockDialect clearly improves over MXFP4.
+        let x = sample(9);
+        let bd = BlockDialect::default();
+        let mx = crate::mx::MxQuantizer::mxfp4();
+        let bd_w = nmse(x.as_slice(), bd.quantize_weights(&x).as_slice());
+        let mx_w = nmse(x.as_slice(), mx.quantize_weights(&x).as_slice());
+        assert!(bd_w < mx_w, "weights: {bd_w} vs {mx_w}");
+        let bd_a = nmse(x.as_slice(), bd.quantize_activations(&x).as_slice());
+        let mx_a = nmse(x.as_slice(), mx.quantize_activations(&x).as_slice());
+        assert!(bd_a < mx_a, "activations: {bd_a} vs {mx_a}");
+    }
+
+    #[test]
+    fn alignment_factors_track_block_max() {
+        // A block max of 5·2^k is captured exactly by the 1.25-aligned FP4
+        // dialect (6·1.25 = 7.5 covers; 4·1.25 = 5 hits the max).
+        let mut g = vec![0.4f32; 32];
+        g[0] = 5.0;
+        let q = BlockDialect::default().quantize_group(&g);
+        assert!((q[0] - 5.0).abs() < 0.26, "block max {} vs 5.0", q[0]);
+    }
+
+    #[test]
+    fn ebw() {
+        assert!((BlockDialect::default().weight_ebw() - 4.375).abs() < 1e-12);
+    }
+}

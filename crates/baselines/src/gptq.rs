@@ -1,0 +1,282 @@
+//! MR-GPTQ — GPTQ-style Hessian-compensated rounding onto microscaling
+//! grids (Egiazarian et al., 2025), the algorithm-scheme baseline of
+//! Tbl. 7, plus its combination with the M2XFP weight grid.
+//!
+//! GPTQ quantizes weight columns in order; after rounding column `j`, the
+//! rounding error is propagated into the not-yet-quantized columns through
+//! the inverse Hessian `H⁻¹ = (Xᵀ X + λI)⁻¹` of the calibration
+//! activations, greedily minimizing `‖X·W − X·Q(W)‖²`. "MR" (microscaling
+//! rounding) means the grid is an MX format with scales frozen from the
+//! original weights.
+
+use m2x_formats::fp4;
+use m2x_tensor::linalg::{cholesky_upper, gram_with_damping, inverse_spd};
+use m2x_tensor::Matrix;
+use m2xfp::{M2xfpConfig, ScaleRule};
+
+/// Which frozen weight grid GPTQ rounds onto.
+#[derive(Debug, Clone, Copy)]
+pub enum GptqGrid {
+    /// Plain MXFP4: per-group E8M0 scale (group 32).
+    Mxfp4(ScaleRule),
+    /// The M2XFP weight format: Sg-EM-2bit subgroup scales with adaptive
+    /// bias (the Tbl. 7 "MR-GPTQ-M2XFP" combination).
+    M2xfp(M2xfpConfig),
+}
+
+/// MR-GPTQ configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GptqConfig {
+    /// Group size along the reduction dimension.
+    pub group: usize,
+    /// Relative diagonal damping (GPTQ's `percdamp`).
+    pub damp: f64,
+    /// Grid to round onto.
+    pub grid: GptqGrid,
+    /// Process columns in descending Hessian-diagonal order (GPTQ's
+    /// `act_order`) — essential when activation channels have very unequal
+    /// energy (LLM outlier channels), otherwise error compensation pushes
+    /// error into the heavy columns.
+    pub act_order: bool,
+}
+
+impl Default for GptqConfig {
+    fn default() -> Self {
+        GptqConfig {
+            group: 32,
+            damp: 0.01,
+            grid: GptqGrid::Mxfp4(ScaleRule::Floor),
+            act_order: true,
+        }
+    }
+}
+
+/// Per-element effective scales, frozen from the original row.
+fn frozen_scales(row: &[f32], cfg: &GptqConfig) -> Vec<f32> {
+    let f4 = fp4();
+    let mut scales = Vec::with_capacity(row.len());
+    match cfg.grid {
+        GptqGrid::Mxfp4(rule) => {
+            for g in row.chunks(cfg.group) {
+                let amax = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let s = rule.shared_scale(amax, f4).value();
+                scales.extend(std::iter::repeat_n(s, g.len()));
+            }
+        }
+        GptqGrid::M2xfp(mcfg) => {
+            let gc = mcfg.group_config();
+            for g in row.chunks(mcfg.group_size) {
+                let wg = m2xfp::weight::quantize_group(
+                    g,
+                    gc,
+                    mcfg.scale_rule,
+                    mcfg.adaptive_weight_scale,
+                );
+                for (sg_idx, sg) in g.chunks(mcfg.subgroup_size).enumerate() {
+                    let eff = wg.subgroup_scale(sg_idx);
+                    scales.extend(std::iter::repeat_n(eff, sg.len()));
+                }
+            }
+        }
+    }
+    scales
+}
+
+/// Quantizes a transposed weight matrix `W^T [N, K]` with MR-GPTQ against
+/// calibration activations `X [M, K]`. Returns the fake-quantized weights.
+///
+/// # Errors
+///
+/// Returns an error string when the damped Hessian is not positive
+/// definite (degenerate calibration data).
+pub fn mr_gptq_quantize(
+    w_t: &Matrix,
+    x_calib: &Matrix,
+    cfg: &GptqConfig,
+) -> Result<Matrix, String> {
+    let k = w_t.cols();
+    assert_eq!(
+        x_calib.cols(),
+        k,
+        "calibration width must match the reduction dimension"
+    );
+    let f4 = fp4();
+
+    let h = gram_with_damping(x_calib, cfg.damp);
+
+    // act_order: visit columns by descending Hessian diagonal so the heavy
+    // (outlier-channel) columns are quantized before error accumulates.
+    let perm: Vec<usize> = if cfg.act_order {
+        let mut p: Vec<usize> = (0..k).collect();
+        p.sort_by(|&a, &b| {
+            h[b * k + b]
+                .partial_cmp(&h[a * k + a])
+                .expect("finite Hessian")
+        });
+        p
+    } else {
+        (0..k).collect()
+    };
+    // Permute the Hessian into processing order.
+    let mut hp = vec![0.0f64; k * k];
+    for (i, &pi) in perm.iter().enumerate() {
+        for (j, &pj) in perm.iter().enumerate() {
+            hp[i * k + j] = h[pi * k + pj];
+        }
+    }
+
+    let hinv = inverse_spd(&hp, k).map_err(|e| e.to_string())?;
+    let u = cholesky_upper(&hinv, k).map_err(|e| e.to_string())?;
+
+    let mut out = Matrix::zeros(w_t.rows(), k);
+    for r in 0..w_t.rows() {
+        let orig = w_t.row(r);
+        // Scales frozen in the ORIGINAL grouping, then carried through the
+        // permutation with their columns.
+        let scales = frozen_scales(orig, cfg);
+        let mut w: Vec<f64> = perm.iter().map(|&p| orig[p] as f64).collect();
+        let orow = out.row_mut(r);
+        for j in 0..k {
+            let s = scales[perm[j]];
+            let q = (f4.quantize(w[j] as f32 / s) * s) as f64;
+            orow[perm[j]] = q as f32;
+            let d = u[j * k + j];
+            if d.abs() < 1e-30 {
+                continue;
+            }
+            let err = (w[j] - q) / d;
+            for l in j + 1..k {
+                w[l] -= err * u[j * k + l];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Round-to-nearest onto the same frozen grid (the non-compensated
+/// reference GPTQ must beat).
+pub fn rtn_quantize(w_t: &Matrix, cfg: &GptqConfig) -> Matrix {
+    let f4 = fp4();
+    let mut out = Matrix::zeros(w_t.rows(), w_t.cols());
+    for r in 0..w_t.rows() {
+        let orig = w_t.row(r);
+        let scales = frozen_scales(orig, cfg);
+        let orow = out.row_mut(r);
+        for (j, (&v, &s)) in orig.iter().zip(&scales).enumerate() {
+            orow[j] = f4.quantize(v / s) * s;
+        }
+    }
+    out
+}
+
+/// Proxy-loss helper: `‖X·Wᵀ − X·Qᵀ‖²/‖X·Wᵀ‖²`, the quantity GPTQ
+/// minimizes.
+pub fn gemm_nmse(x: &Matrix, w_t: &Matrix, q_t: &Matrix) -> f64 {
+    let y_ref = x.matmul(&w_t.transpose());
+    let y_q = x.matmul(&q_t.transpose());
+    m2x_tensor::stats::nmse(y_ref.as_slice(), y_q.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::Xoshiro;
+
+    fn calib(m: usize, k: usize, seed: u64) -> Matrix {
+        let mut r = Xoshiro::seed(seed);
+        Matrix::from_fn(m, k, |_, c| {
+            // Mildly correlated channels with one outlier channel.
+            let v = r.gaussian();
+            if c % 17 == 0 {
+                v * 4.0
+            } else {
+                v
+            }
+        })
+    }
+
+    fn weights(n: usize, k: usize, seed: u64) -> Matrix {
+        let mut r = Xoshiro::seed(seed);
+        Matrix::from_fn(n, k, |_, _| r.laplace(0.7))
+    }
+
+    #[test]
+    fn gptq_beats_rtn_on_proxy_loss() {
+        let k = 64;
+        let x = calib(96, k, 1);
+        let wt = weights(8, k, 2);
+        let cfg = GptqConfig::default();
+        let q_gptq = mr_gptq_quantize(&wt, &x, &cfg).unwrap();
+        let q_rtn = rtn_quantize(&wt, &cfg);
+        let e_gptq = gemm_nmse(&x, &wt, &q_gptq);
+        let e_rtn = gemm_nmse(&x, &wt, &q_rtn);
+        assert!(
+            e_gptq < e_rtn,
+            "gptq {e_gptq} must beat rtn {e_rtn} on its own objective"
+        );
+    }
+
+    #[test]
+    fn outputs_live_on_the_frozen_grid() {
+        let k = 64;
+        let x = calib(80, k, 3);
+        let wt = weights(4, k, 4);
+        let cfg = GptqConfig::default();
+        let q = mr_gptq_quantize(&wt, &x, &cfg).unwrap();
+        let f4 = m2x_formats::fp4();
+        for r in 0..q.rows() {
+            let scales = super::frozen_scales(wt.row(r), &cfg);
+            for (j, &v) in q.row(r).iter().enumerate() {
+                let snapped = f4.quantize(v / scales[j]) * scales[j];
+                assert!(
+                    (snapped - v).abs() < 1e-6,
+                    "({r},{j}): {v} not on grid (scale {})",
+                    scales[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn m2xfp_grid_composition_no_worse() {
+        // Tbl. 7: MR-GPTQ-M2XFP ≤ MR-GPTQ (incremental gain).
+        let k = 64;
+        let x = calib(96, k, 5);
+        let wt = weights(8, k, 6);
+        let base = GptqConfig::default();
+        let m2 = GptqConfig {
+            grid: GptqGrid::M2xfp(M2xfpConfig::default()),
+            ..base
+        };
+        let e_base = gemm_nmse(&x, &wt, &mr_gptq_quantize(&wt, &x, &base).unwrap());
+        let e_m2 = gemm_nmse(&x, &wt, &mr_gptq_quantize(&wt, &x, &m2).unwrap());
+        assert!(
+            e_m2 < e_base * 1.05,
+            "m2xfp grid {e_m2} should not regress vs mxfp4 grid {e_base}"
+        );
+    }
+
+    #[test]
+    fn identity_hessian_reduces_to_rtn() {
+        // With uncorrelated, equal-power calibration the compensation terms
+        // are tiny; GPTQ stays close to RTN error (sanity bound, not
+        // exact equality because sampling noise correlates mildly).
+        let k = 32;
+        let x = calib(4096, k, 7); // large M -> H ≈ diagonal
+        let wt = weights(4, k, 8);
+        let cfg = GptqConfig::default();
+        let e_gptq = gemm_nmse(&x, &wt, &mr_gptq_quantize(&wt, &x, &cfg).unwrap());
+        let e_rtn = gemm_nmse(&x, &wt, &rtn_quantize(&wt, &cfg));
+        assert!(e_gptq <= e_rtn * 1.02);
+    }
+
+    #[test]
+    fn rejects_mismatched_calibration() {
+        let x = calib(10, 32, 9);
+        let wt = weights(2, 64, 10);
+        let result = std::panic::catch_unwind(|| {
+            let _ = mr_gptq_quantize(&wt, &x, &GptqConfig::default());
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Fast Walsh–Hadamard transforms and the rotation wrapper behind
+//! QuaRot/DuQuant-style computational-invariance schemes.
+//!
+//! For an orthonormal rotation `R` (applied along the GEMM reduction
+//! dimension K), `Y = X·W = (X R)(Rᵀ W)`, so quantizing in the rotated
+//! space and measuring error in the original space is exact end-to-end
+//! modeling. Rotations here are block-diagonal randomized Hadamards:
+//! `v → (v H) ⊙ d` per block, with `d` a seeded ±1 diagonal.
+
+use m2x_tensor::{Matrix, Xoshiro};
+use m2xfp::TensorQuantizer;
+
+/// In-place fast Walsh–Hadamard transform, orthonormal (scaled by 1/√n).
+///
+/// # Panics
+///
+/// Panics unless `v.len()` is a power of two.
+pub fn fwht_normalized(v: &mut [f32]) {
+    let n = v.len();
+    assert!(n.is_power_of_two(), "FWHT length must be a power of two");
+    let mut h = 1;
+    while h < n {
+        for i in (0..n).step_by(h * 2) {
+            for j in i..i + h {
+                let x = v[j];
+                let y = v[j + h];
+                v[j] = x + y;
+                v[j + h] = x - y;
+            }
+        }
+        h *= 2;
+    }
+    let norm = 1.0 / (n as f32).sqrt();
+    for x in v.iter_mut() {
+        *x *= norm;
+    }
+}
+
+/// One stage of a block rotation: optional permutation, then per-block
+/// randomized Hadamard (H then ±1 signs).
+#[derive(Debug, Clone)]
+pub struct RotationStage {
+    block: usize,
+    signs: Vec<f32>,
+    perm: Option<Vec<usize>>,
+}
+
+impl RotationStage {
+    /// Creates a stage with `block`-sized Hadamards (block must be a power
+    /// of two), seeded sign flips, and an optional pre-permutation over the
+    /// whole width `dim`.
+    pub fn new(dim: usize, block: usize, seed: u64, permute: bool) -> Self {
+        assert!(block.is_power_of_two(), "block must be a power of two");
+        assert_eq!(dim % block, 0, "block must divide the dimension");
+        let mut r = Xoshiro::seed(seed);
+        let signs: Vec<f32> = (0..dim)
+            .map(|_| if r.chance(0.5) { -1.0 } else { 1.0 })
+            .collect();
+        let perm = permute.then(|| r.permutation(dim));
+        RotationStage { block, signs, perm }
+    }
+
+    /// Applies the stage to a row vector.
+    pub fn apply(&self, v: &mut Vec<f32>) {
+        if let Some(p) = &self.perm {
+            let old = v.clone();
+            for (i, &src) in p.iter().enumerate() {
+                v[i] = old[src];
+            }
+        }
+        for chunk in v.chunks_mut(self.block) {
+            fwht_normalized(chunk);
+        }
+        for (x, s) in v.iter_mut().zip(&self.signs) {
+            *x *= s;
+        }
+    }
+
+    /// Applies the inverse (signs, inverse Hadamard = Hadamard, inverse
+    /// permutation).
+    pub fn apply_inverse(&self, v: &mut Vec<f32>) {
+        for (x, s) in v.iter_mut().zip(&self.signs) {
+            *x *= s;
+        }
+        for chunk in v.chunks_mut(self.block) {
+            fwht_normalized(chunk);
+        }
+        if let Some(p) = &self.perm {
+            let old = v.clone();
+            for (i, &src) in p.iter().enumerate() {
+                v[src] = old[i];
+            }
+        }
+    }
+}
+
+/// A composition of rotation stages applied along matrix rows.
+#[derive(Debug, Clone)]
+pub struct Rotation {
+    stages: Vec<RotationStage>,
+}
+
+impl Rotation {
+    /// Builds a rotation from stages (applied in order).
+    pub fn new(stages: Vec<RotationStage>) -> Self {
+        Rotation { stages }
+    }
+
+    /// QuaRot-style: one full-width randomized Hadamard (block = largest
+    /// power of two dividing `dim`).
+    pub fn quarot(dim: usize, seed: u64) -> Self {
+        let block = largest_pow2_divisor(dim);
+        Rotation::new(vec![RotationStage::new(dim, block, seed, false)])
+    }
+
+    /// DuQuant-style: zigzag permutation + block-16 Hadamard, twice.
+    pub fn duquant(dim: usize, seed: u64) -> Self {
+        let block = largest_pow2_divisor(dim).min(16);
+        Rotation::new(vec![
+            RotationStage::new(dim, block, seed, true),
+            RotationStage::new(dim, block, seed ^ 0xD0D0_D0D0, true),
+        ])
+    }
+
+    /// Rotates every row of a matrix.
+    pub fn apply_rows(&self, m: &Matrix) -> Matrix {
+        let mut out = m.clone();
+        for r in 0..out.rows() {
+            let mut row = out.row(r).to_vec();
+            for s in &self.stages {
+                s.apply(&mut row);
+            }
+            out.row_mut(r).copy_from_slice(&row);
+        }
+        out
+    }
+
+    /// Inverse-rotates every row.
+    pub fn apply_rows_inverse(&self, m: &Matrix) -> Matrix {
+        let mut out = m.clone();
+        for r in 0..out.rows() {
+            let mut row = out.row(r).to_vec();
+            for s in self.stages.iter().rev() {
+                s.apply_inverse(&mut row);
+            }
+            out.row_mut(r).copy_from_slice(&row);
+        }
+        out
+    }
+}
+
+fn largest_pow2_divisor(n: usize) -> usize {
+    assert!(n > 0);
+    1 << n.trailing_zeros()
+}
+
+/// Wraps any [`TensorQuantizer`] in a rotation: quantize in rotated space,
+/// report fake-quantized tensors in the original space, so downstream GEMM
+/// error measurement models the rotated pipeline exactly.
+pub struct RotatedQuantizer<Q> {
+    name: String,
+    inner: Q,
+    seed: u64,
+    kind: RotationKind,
+}
+
+/// Which rotation construction to use (dimension-dependent, so built
+/// lazily per tensor width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotationKind {
+    /// Full-width randomized Hadamard (QuaRot).
+    Quarot,
+    /// Dual permuted block rotation (DuQuant).
+    Duquant,
+}
+
+impl<Q: TensorQuantizer> RotatedQuantizer<Q> {
+    /// Creates a rotated wrapper.
+    pub fn new(name: impl Into<String>, inner: Q, kind: RotationKind, seed: u64) -> Self {
+        RotatedQuantizer {
+            name: name.into(),
+            inner,
+            seed,
+            kind,
+        }
+    }
+
+    fn rotation(&self, dim: usize) -> Rotation {
+        match self.kind {
+            RotationKind::Quarot => Rotation::quarot(dim, self.seed),
+            RotationKind::Duquant => Rotation::duquant(dim, self.seed),
+        }
+    }
+}
+
+impl<Q: TensorQuantizer> TensorQuantizer for RotatedQuantizer<Q> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        self.inner.weight_ebw()
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.inner.activation_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        let rot = self.rotation(w.cols());
+        let rotated = rot.apply_rows(w);
+        let q = self.inner.quantize_weights(&rotated);
+        rot.apply_rows_inverse(&q)
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        let rot = self.rotation(x.cols());
+        let rotated = rot.apply_rows(x);
+        let q = self.inner.quantize_activations(&rotated);
+        rot.apply_rows_inverse(&q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::max_abs_err;
+
+    #[test]
+    fn fwht_self_inverse() {
+        let orig: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut v = orig.clone();
+        fwht_normalized(&mut v);
+        fwht_normalized(&mut v);
+        assert!(max_abs_err(&orig, &v) < 1e-5);
+    }
+
+    #[test]
+    fn fwht_preserves_norm() {
+        let mut v: Vec<f32> = (0..128).map(|i| (i as f32 * 0.73).cos()).collect();
+        let n0: f32 = v.iter().map(|x| x * x).sum();
+        fwht_normalized(&mut v);
+        let n1: f32 = v.iter().map(|x| x * x).sum();
+        assert!((n0 - n1).abs() / n0 < 1e-5);
+    }
+
+    #[test]
+    fn stage_roundtrip_with_permutation() {
+        let s = RotationStage::new(64, 16, 7, true);
+        let orig: Vec<f32> = (0..64).map(|i| (i as f32 * 1.1).sin()).collect();
+        let mut v = orig.clone();
+        s.apply(&mut v);
+        s.apply_inverse(&mut v);
+        assert!(max_abs_err(&orig, &v) < 1e-5);
+    }
+
+    #[test]
+    fn rotation_preserves_gemm() {
+        // (X R)(Rᵀ Wᵀᵀ)… end-to-end: rotating both operands along K leaves
+        // X·Wᵀ unchanged.
+        let x = Matrix::from_fn(4, 64, |r, c| ((r * 64 + c) as f32 * 0.13).sin());
+        let wt = Matrix::from_fn(5, 64, |r, c| ((r * 64 + c) as f32 * 0.29).cos());
+        let rot = Rotation::quarot(64, 3);
+        let y0 = x.matmul(&wt.transpose());
+        let y1 = rot.apply_rows(&x).matmul(&rot.apply_rows(&wt).transpose());
+        assert!(max_abs_err(y0.as_slice(), y1.as_slice()) < 1e-3);
+    }
+
+    #[test]
+    fn rotation_flattens_outliers() {
+        // The whole point of QuaRot: a spiky row becomes dense and
+        // near-Gaussian, shrinking the max/std ratio.
+        let mut row = vec![0.01f32; 128];
+        row[5] = 10.0;
+        let x = Matrix::from_vec(1, 128, row);
+        let rot = Rotation::quarot(128, 1);
+        let xr = rot.apply_rows(&x);
+        assert!(xr.max_abs() < 2.0, "rotated max {}", xr.max_abs());
+    }
+
+    #[test]
+    fn duquant_dimension_handling() {
+        let rot = Rotation::duquant(96, 2); // 96 = 32·3: block 16 fits? 96 % 16 == 0 ✓
+        let x = Matrix::from_fn(2, 96, |r, c| ((r + c) as f32 * 0.21).sin());
+        let back = rot.apply_rows_inverse(&rot.apply_rows(&x));
+        assert!(max_abs_err(x.as_slice(), back.as_slice()) < 1e-5);
+    }
+}

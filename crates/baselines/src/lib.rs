@@ -1,0 +1,73 @@
+//! # m2x-baselines
+//!
+//! Every quantization format and algorithm scheme the M2XFP paper compares
+//! against, implemented from scratch behind the shared
+//! [`m2xfp::TensorQuantizer`] trait:
+//!
+//! **MX family (Fig. 1, Tbl. 2–3):**
+//! * [`mx`] — generic block quantizer: MXFP4/MXFP6/MXFP8, MXINT8/MXINT4,
+//!   FP4-with-FP16-scale, and the Fig. 3 max-preservation variant.
+//! * [`nvfp`] — NVFP4 (FP8-E4M3 group scales + tensor scale) and M2-NVFP4
+//!   (NVFP4 augmented with M2XFP metadata, Tbl. 6).
+//! * [`smx`] — Shared Microexponents (SMX4/6/9, two-level scaling).
+//! * [`msfp`] — Microsoft Floating Point (MSFP-12/16 block floating point).
+//!
+//! **Accelerator formats adapted to group-wise MX (Tbl. 1, Tbl. 3, Fig. 13):**
+//! * [`ant`] — MX-ANT: per-group adaptive type (int4 / flint4 / pot4 / fp4).
+//! * [`mant`] — MX-M-ANT: 16 mathematically-adaptive types + coefficient.
+//! * [`olive`] — MX-OliVe: outlier–victim pair encoding.
+//! * [`microscopiq`] — MicroScopiQ: outlier-aware inlier/outlier blocks.
+//! * [`blockdialect`] — BlockDialect: 16-entry dialect book per group.
+//! * [`bbal`] — BBAL: per-element 1-bit bidirectional exponent flag.
+//! * [`mxplus`] — MX+: block-max sidecar refinement.
+//!
+//! **Algorithm schemes (Tbl. 7):**
+//! * [`hadamard`] — fast Walsh–Hadamard transforms and rotation wrappers.
+//! * [`quarot`] — QuaRot: randomized-Hadamard-rotated INT4.
+//! * [`duquant`] — DuQuant: dual block rotation + zigzag permutation, INT4.
+//! * [`gptq`] — MR-GPTQ: Hessian-based error-compensated rounding onto MX
+//!   grids, plus the MR-GPTQ-M2XFP combination.
+
+pub mod ant;
+pub mod bbal;
+pub mod blockdialect;
+pub mod duquant;
+pub mod gptq;
+pub mod hadamard;
+pub mod mant;
+pub mod microscopiq;
+pub mod msfp;
+pub mod mx;
+pub mod mxplus;
+pub mod nvfp;
+pub mod olive;
+pub mod quarot;
+pub mod smx;
+
+pub use mx::MxQuantizer;
+pub use nvfp::{M2Nvfp4, Nvfp4};
+
+use m2xfp::TensorQuantizer;
+
+/// The hardware-format lineup of Tbl. 2 (FP16 and M2XFP themselves live in
+/// `m2xfp`): SMX4, MXFP4, NVFP4.
+pub fn table2_formats() -> Vec<Box<dyn TensorQuantizer>> {
+    vec![
+        Box::new(smx::Smx::smx4()),
+        Box::new(mx::MxQuantizer::mxfp4()),
+        Box::new(nvfp::Nvfp4::default()),
+    ]
+}
+
+/// The accelerator lineup of Tbl. 3: MXFP4, MX-ANT, MX-M-ANT, MX-OliVe,
+/// MicroScopiQ, BlockDialect.
+pub fn table3_formats() -> Vec<Box<dyn TensorQuantizer>> {
+    vec![
+        Box::new(mx::MxQuantizer::mxfp4()),
+        Box::new(ant::MxAnt::default()),
+        Box::new(mant::MxMant::default()),
+        Box::new(olive::MxOlive::default()),
+        Box::new(microscopiq::MicroScopiQ::default()),
+        Box::new(blockdialect::BlockDialect::default()),
+    ]
+}

@@ -1,0 +1,173 @@
+//! MX-M-ANT — M-ANT's "mathematically adaptive numerical types"
+//! (HPCA '25), adapted to group-wise MX as in Tbl. 3.
+//!
+//! M-ANT generalizes ANT with a family of 16 data types per group plus a
+//! scaling coefficient. We realize the family as power-law-warped 4-bit
+//! grids `(i/7)^γ · 7` spanning uniform (γ=1) through strongly
+//! outlier-weighted (γ≈2.8), alongside the four ANT base types, and search
+//! a small coefficient set per group — matching the paper's description of
+//! an 8-bit per-group coefficient at acceptable offline cost. Both
+//! tensors adapt for the accuracy evaluation; the online activation
+//! search cost is charged in the accelerator model (§6.2).
+
+use crate::ant::e8m0_scale_for;
+#[cfg(test)]
+use crate::ant::best_book_quantize;
+use m2x_formats::Codebook;
+use m2x_tensor::Matrix;
+use m2xfp::quantizer::fake_quant_rowwise;
+use m2xfp::TensorQuantizer;
+
+/// Builds the 16-type M-ANT library.
+pub fn mant_codebooks() -> Vec<Codebook> {
+    let mut books = crate::ant::ant_codebooks();
+    // 12 warped grids between uniform and strongly convex.
+    for i in 0..12 {
+        let gamma = 1.15 + 0.15 * i as f32;
+        let grid: Vec<f32> = (0..8).map(|j| (j as f32 / 7.0).powf(gamma) * 7.0).collect();
+        books.push(Codebook::new(format!("warp{gamma:.2}"), grid).expect("valid grid"));
+    }
+    books
+}
+
+/// The per-group scaling coefficients searched on top of the covering E8M0
+/// scale (the 8-bit coefficient of Tbl. 1, coarsened to 8 candidates —
+/// a superset of ANT's two-exponent search).
+pub const MANT_COEFFS: [f32; 8] = [0.5, 0.625, 0.75, 0.875, 1.0, 1.25, 1.5, 1.75];
+
+/// MX-M-ANT: 16-type adaptive quantization with coefficient search for
+/// both tensors.
+#[derive(Debug, Clone)]
+pub struct MxMant {
+    group: usize,
+    books: Vec<Codebook>,
+}
+
+impl MxMant {
+    /// Group-32 configuration used in Tbl. 3.
+    pub fn new() -> Self {
+        MxMant {
+            group: 32,
+            books: mant_codebooks(),
+        }
+    }
+
+    /// The type library (16 entries).
+    pub fn books(&self) -> &[Codebook] {
+        &self.books
+    }
+
+    fn quantize_group(&self, g: &[f32]) -> Vec<f32> {
+        let amax = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let mut best: Option<(f64, Vec<f32>)> = None;
+        for book in &self.books {
+            let base = e8m0_scale_for(book, amax);
+            for &c in &MANT_COEFFS {
+                let s = base * c;
+                let q: Vec<f32> = g.iter().map(|&v| book.quantize_scaled(v, s)).collect();
+                let sse: f64 = g
+                    .iter()
+                    .zip(&q)
+                    .map(|(&a, &b)| {
+                        let d = (a - b) as f64;
+                        d * d
+                    })
+                    .sum();
+                if best.as_ref().is_none_or(|(t, _)| sse < *t) {
+                    best = Some((sse, q));
+                }
+            }
+        }
+        best.expect("non-empty library").1
+    }
+}
+
+impl Default for MxMant {
+    fn default() -> Self {
+        MxMant::new()
+    }
+}
+
+impl TensorQuantizer for MxMant {
+    fn name(&self) -> String {
+        "MX-M-ANT".to_string()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        // 4-bit elements + 8-bit scale + 4-bit type + 8-bit coefficient.
+        4.0 + (8.0 + 4.0 + 8.0) / self.group as f64
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.weight_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        fake_quant_rowwise(w, self.group, |g| self.quantize_group(g))
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        fake_quant_rowwise(x, self.group, |g| self.quantize_group(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::nmse;
+    use m2x_tensor::Xoshiro;
+
+    fn sample(seed: u64) -> Matrix {
+        let mut r = Xoshiro::seed(seed);
+        Matrix::from_fn(8, 128, |_, _| r.laplace(1.0))
+    }
+
+    #[test]
+    fn sixteen_types() {
+        assert_eq!(mant_codebooks().len(), 16);
+    }
+
+    #[test]
+    fn mant_weights_beat_ant_weights() {
+        // Tbl. 3: MX-M-ANT < MX-ANT perplexity; more types + coefficient
+        // search fit groups at least as well.
+        let w = sample(8);
+        let mant = nmse(w.as_slice(), MxMant::default().quantize_weights(&w).as_slice());
+        let ant = nmse(
+            w.as_slice(),
+            crate::ant::MxAnt::default().quantize_weights(&w).as_slice(),
+        );
+        assert!(mant <= ant + 1e-12, "mant {mant} vs ant {ant}");
+    }
+
+    #[test]
+    fn superset_of_ant_search_space() {
+        // With coefficient 1.0 and the 4 base books present, every group's
+        // error is <= the best-ANT-book error.
+        let q = MxMant::default();
+        let mut r = Xoshiro::seed(11);
+        for _ in 0..20 {
+            let g = r.vec_of(32, |r| r.laplace(1.0));
+            let mq = q.quantize_group(&g);
+            let (_, aq) = best_book_quantize(&crate::ant::ant_codebooks(), &g);
+            let me: f64 = g.iter().zip(&mq).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum();
+            let ae: f64 = g.iter().zip(&aq).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum();
+            assert!(me <= ae + 1e-9);
+        }
+    }
+
+    #[test]
+    fn warped_grids_are_monotone() {
+        for book in mant_codebooks() {
+            let m = book.magnitudes();
+            for w in m.windows(2) {
+                assert!(w[0] < w[1], "{} not strictly ascending", book.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ebw_accounts_for_coefficient() {
+        assert!((MxMant::default().weight_ebw() - 4.625).abs() < 1e-12);
+    }
+}

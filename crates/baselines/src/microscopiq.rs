@@ -1,0 +1,212 @@
+//! MicroScopiQ (ISCA '25) — outlier-aware microscaling with inlier/outlier
+//! block separation, the paper's primary accelerator baseline.
+//!
+//! Weights: per group, outliers (heavy tail beyond a σ-threshold) are kept
+//! at 8-bit FP precision; to make room, the *least significant* element of
+//! the outlier's µblock is pruned (MicroScopiQ's prune-and-shift), and the
+//! inlier scale is derived from the inlier maximum. Structural metadata
+//! (permutation list, identifiers, µblock scale) costs ~48 bits per
+//! 128-element block (Tbl. 1: "24-bit permutation list, 16-bit identifier,
+//! 8-bit MXScale").
+//!
+//! Activations: MXINT — the naive integer activation path the paper calls
+//! out as MicroScopiQ's weakness (§6.2). Matching the accelerator model
+//! (85 % of activation tensors at 8 bits to hold accuracy), the accuracy
+//! path uses MXINT8.
+
+use m2x_formats::{fp4, fp8_e4m3};
+use m2x_tensor::Matrix;
+use m2xfp::quantizer::fake_quant_rowwise;
+use m2xfp::{ScaleRule, TensorQuantizer};
+
+/// MicroScopiQ with group 32 weights (µblock 8) and MXINT4 activations.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroScopiQ {
+    group: usize,
+    ublock: usize,
+    /// Outlier threshold in group standard deviations.
+    sigma: f32,
+    /// Cap on outliers per group.
+    max_outliers: usize,
+}
+
+impl MicroScopiQ {
+    /// The Tbl. 3 configuration.
+    pub fn new() -> Self {
+        MicroScopiQ {
+            group: 32,
+            ublock: 8,
+            sigma: 4.0,
+            max_outliers: 2,
+        }
+    }
+
+    /// Outlier indices: elements beyond `sigma` standard deviations,
+    /// largest first, capped.
+    pub fn outlier_indices(&self, g: &[f32]) -> Vec<usize> {
+        let n = g.len() as f64;
+        let mean: f64 = g.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var: f64 = g
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        let thr = (self.sigma as f64) * var.sqrt();
+        let mut idx: Vec<usize> = (0..g.len())
+            .filter(|&i| (g[i] as f64 - mean).abs() > thr && g[i] != 0.0)
+            .collect();
+        idx.sort_by(|&a, &b| g[b].abs().partial_cmp(&g[a].abs()).expect("finite"));
+        idx.truncate(self.max_outliers);
+        idx
+    }
+
+    fn fake_quant_weights_group(&self, g: &[f32]) -> Vec<f32> {
+        let f4 = fp4();
+        let f8 = fp8_e4m3();
+        let outliers = self.outlier_indices(g);
+        let is_outlier = |i: usize| outliers.contains(&i);
+
+        let inlier_max = g
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !is_outlier(*i))
+            .fold(0.0f32, |m, (_, v)| m.max(v.abs()));
+        let s = ScaleRule::Floor.shared_scale(inlier_max, f4).value();
+
+        let mut out: Vec<f32> = g.iter().map(|&v| f4.quantize(v / s) * s).collect();
+        for &o in &outliers {
+            out[o] = f8.quantize(g[o] / s) * s;
+            // Prune the least-significant inlier of the outlier's µblock to
+            // make room (prune-and-shift).
+            let ub = o / self.ublock;
+            let lo = ub * self.ublock;
+            let hi = (lo + self.ublock).min(g.len());
+            let prune = (lo..hi)
+                .filter(|&i| !is_outlier(i) && i != o)
+                .min_by(|&a, &b| g[a].abs().partial_cmp(&g[b].abs()).expect("finite"));
+            if let Some(p) = prune {
+                out[p] = 0.0;
+            }
+        }
+        out
+    }
+}
+
+impl Default for MicroScopiQ {
+    fn default() -> Self {
+        MicroScopiQ::new()
+    }
+}
+
+impl TensorQuantizer for MicroScopiQ {
+    fn name(&self) -> String {
+        "MicroScopiQ".to_string()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        // 4-bit elements + 8-bit scale per 32 + 48-bit structural metadata
+        // per 128 elements (Tbl. 1).
+        4.0 + 8.0 / self.group as f64 + 48.0 / 128.0
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        8.0 + 8.0 / self.group as f64
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        fake_quant_rowwise(w, self.group, |g| self.fake_quant_weights_group(g))
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        // 85 % of activation tensors at MXINT8, 15 % at MXINT4 (the same
+        // split the accelerator model charges for); realized here as a
+        // deterministic row mix with the same proportions.
+        let int8 = crate::mx::MxQuantizer::mxint8().quantize_activations(x);
+        let int4 = crate::mx::MxQuantizer::mxint4().quantize_activations(x);
+        let mut out = int8;
+        for r in 0..x.rows() {
+            if r % 20 < 3 {
+                out.row_mut(r).copy_from_slice(int4.row(r));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::nmse;
+    use m2x_tensor::Xoshiro;
+
+    fn heavy(seed: u64) -> Matrix {
+        let mut r = Xoshiro::seed(seed);
+        Matrix::from_fn(8, 128, |_, _| {
+            if r.chance(0.01) {
+                r.laplace(1.0) * 8.0
+            } else {
+                r.laplace(0.5)
+            }
+        })
+    }
+
+    #[test]
+    fn finds_sigma_outliers() {
+        let mut g = vec![0.3f32; 32];
+        g[5] = -9.0;
+        let o = MicroScopiQ::default().outlier_indices(&g);
+        assert_eq!(o, vec![5]);
+    }
+
+    #[test]
+    fn weights_beat_mxfp4_on_outlier_heavy_data() {
+        let w = heavy(3);
+        let ms = nmse(
+            w.as_slice(),
+            MicroScopiQ::default().quantize_weights(&w).as_slice(),
+        );
+        let mx = nmse(
+            w.as_slice(),
+            crate::mx::MxQuantizer::mxfp4().quantize_weights(&w).as_slice(),
+        );
+        assert!(ms < mx, "microscopiq {ms} vs mxfp4 {mx}");
+    }
+
+    #[test]
+    fn pruning_zeroes_smallest_in_ublock() {
+        let mut g = vec![0.5f32; 32];
+        g[3] = 20.0; // outlier in µblock 0
+        g[6] = 0.01; // smallest in µblock 0 -> pruned
+        let q = MicroScopiQ::default().fake_quant_weights_group(&g);
+        assert_eq!(q[6], 0.0);
+        assert!((q[3] - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn weight_ebw_reflects_structural_metadata() {
+        let e = MicroScopiQ::default().weight_ebw();
+        assert!((e - 4.625).abs() < 1e-12, "{e}");
+    }
+
+    #[test]
+    fn activations_are_mostly_mxint8() {
+        let mut r = Xoshiro::seed(4);
+        let x = Matrix::from_fn(40, 128, |_, _| r.laplace(0.8));
+        let a = MicroScopiQ::default().quantize_activations(&x);
+        let int8 = crate::mx::MxQuantizer::mxint8().quantize_activations(&x);
+        let int4 = crate::mx::MxQuantizer::mxint4().quantize_activations(&x);
+        let mut n8 = 0;
+        for r in 0..x.rows() {
+            if a.row(r) == int8.row(r) {
+                n8 += 1;
+            } else {
+                assert_eq!(a.row(r), int4.row(r), "row {r} is neither INT8 nor INT4");
+            }
+        }
+        // 85/15 split over the deterministic row mix.
+        assert!(n8 * 100 >= x.rows() * 80, "{n8}/{} rows at INT8", x.rows());
+    }
+}

@@ -1,0 +1,134 @@
+//! Microsoft Floating Point (MSFP) — classic block floating point from the
+//! Brainwave project (paper Fig. 1): a group shares an 8-bit exponent and
+//! each element stores sign + mantissa.
+//!
+//! MSFP-12 = 4-bit elements (sign + 3 mantissa) + 8-bit shared exponent;
+//! MSFP-16 = 8-bit elements (sign + 7 mantissa) + 8-bit shared exponent.
+//! The names count element bits plus scale bits.
+
+use m2x_tensor::Matrix;
+use m2xfp::quantizer::fake_quant_rowwise;
+use m2xfp::TensorQuantizer;
+
+/// An MSFP (block floating point) format.
+#[derive(Debug, Clone, Copy)]
+pub struct Msfp {
+    name: &'static str,
+    man_bits: u32,
+    group: usize,
+}
+
+impl Msfp {
+    /// MSFP-12: sign + 3 mantissa bits, bounding-box (group) of 8.
+    pub fn msfp12() -> Self {
+        Msfp {
+            name: "MSFP-12",
+            man_bits: 3,
+            group: 8,
+        }
+    }
+
+    /// MSFP-16: sign + 7 mantissa bits, group of 8.
+    pub fn msfp16() -> Self {
+        Msfp {
+            name: "MSFP-16",
+            man_bits: 7,
+            group: 8,
+        }
+    }
+
+    fn fake_quant_group(&self, g: &[f32]) -> Vec<f32> {
+        let amax = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if amax == 0.0 {
+            return vec![0.0; g.len()];
+        }
+        // Shared exponent = exponent of the block max; mantissas are
+        // fixed-point fractions of 2^(E+1) so the max is representable.
+        let e = m2xfp::scale::floor_log2(amax);
+        let max_code = (1u32 << self.man_bits) - 1;
+        let step = ((e + 1 - self.man_bits as i32) as f32).exp2();
+        g.iter()
+            .map(|&v| {
+                let c = (v / step).round_ties_even();
+                let c = c.clamp(-(max_code as f32), max_code as f32);
+                c * step
+            })
+            .collect()
+    }
+}
+
+impl TensorQuantizer for Msfp {
+    fn name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        1.0 + self.man_bits as f64 + 8.0 / self.group as f64
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.weight_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        fake_quant_rowwise(w, self.group, |g| self.fake_quant_group(g))
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        fake_quant_rowwise(x, self.group, |g| self.fake_quant_group(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::nmse;
+    use m2x_tensor::Xoshiro;
+
+    fn sample(seed: u64) -> Matrix {
+        let mut r = Xoshiro::seed(seed);
+        Matrix::from_fn(8, 64, |_, _| r.laplace(1.0))
+    }
+
+    #[test]
+    fn names_count_bits() {
+        assert!((Msfp::msfp12().weight_ebw() - 5.0).abs() < 1e-12); // 4 + 8/8
+        assert!((Msfp::msfp16().weight_ebw() - 9.0).abs() < 1e-12); // 8 + 8/8
+    }
+
+    #[test]
+    fn block_max_representable() {
+        let g = [5.3f32, 0.2, -1.0, 0.0, 0.7, 2.2, -0.4, 1.1];
+        for f in [Msfp::msfp12(), Msfp::msfp16()] {
+            let q = f.fake_quant_group(&g);
+            let rel = (q[0] - 5.3f32).abs() / 5.3;
+            assert!(rel < 0.1, "{}: {} vs 5.3", f.name, q[0]);
+        }
+    }
+
+    #[test]
+    fn msfp16_beats_msfp12() {
+        let x = sample(3);
+        let e12 = nmse(x.as_slice(), Msfp::msfp12().quantize_activations(&x).as_slice());
+        let e16 = nmse(x.as_slice(), Msfp::msfp16().quantize_activations(&x).as_slice());
+        assert!(e16 < e12 / 4.0, "e12={e12} e16={e16}");
+    }
+
+    #[test]
+    fn uniform_grid_within_group() {
+        // BFP has a uniform grid: quantized values are multiples of the step.
+        let g = [1.0f32, 0.33, 0.77, -0.5, 0.9, 0.11, -0.2, 0.6];
+        let q = Msfp::msfp12().fake_quant_group(&g);
+        let step = 2f32.powi(0 + 1 - 3);
+        for v in q {
+            let m = v / step;
+            assert!((m - m.round()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_group() {
+        let q = Msfp::msfp12().fake_quant_group(&[0.0; 8]);
+        assert_eq!(q, vec![0.0; 8]);
+    }
+}

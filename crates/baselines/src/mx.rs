@@ -1,0 +1,421 @@
+//! Generic block ("microscaling") quantizer covering the OCP MX family and
+//! its close relatives: an element codec (minifloat or integer) plus a
+//! shared per-group scale (E8M0 power of two, or FP16 as in classic
+//! group-wise quantization).
+//!
+//! This single struct instantiates MXFP4, MXFP6 (both element types), MXFP8
+//! (both element types), MXINT8/MXINT4, the "FP4" reference of Figs. 2–3
+//! (FP4 elements with an FP16 group scale), and the Fig. 3 max-preservation
+//! variant that keeps each group's maximum in FP16.
+
+use m2x_formats::half::quantize_f16;
+use m2x_formats::int::IntCodec;
+use m2x_formats::{fp4, fp6_e2m3, fp6_e3m2, fp8_e4m3, fp8_e5m2, Minifloat};
+use m2x_tensor::Matrix;
+use m2xfp::quantizer::fake_quant_rowwise;
+use m2xfp::{ScaleRule, TensorQuantizer};
+
+/// Element codec of an MX-style format.
+#[derive(Debug, Clone)]
+pub enum ElementCodec {
+    /// A minifloat grid (FP4/FP6/FP8).
+    Mini(Minifloat),
+    /// A symmetric integer grid (MXINT).
+    Int(IntCodec),
+}
+
+impl ElementCodec {
+    /// Quantizes a scale-normalized value onto the element grid.
+    pub fn quantize(&self, v: f32) -> f32 {
+        match self {
+            ElementCodec::Mini(m) => m.quantize(v),
+            ElementCodec::Int(i) => i.quantize_code(v) as f32,
+        }
+    }
+
+    /// Largest representable magnitude.
+    pub fn max_value(&self) -> f32 {
+        match self {
+            ElementCodec::Mini(m) => m.max_value(),
+            ElementCodec::Int(i) => i.max_code() as f32,
+        }
+    }
+
+    /// Storage bits per element.
+    pub fn bits(&self) -> u32 {
+        match self {
+            ElementCodec::Mini(m) => m.total_bits(),
+            ElementCodec::Int(i) => i.bits(),
+        }
+    }
+}
+
+/// Shared-scale flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleKind {
+    /// Power-of-two E8M0 scale derived with a [`ScaleRule`] (the MX way).
+    E8m0(ScaleRule),
+    /// FP16 scale `amax / elem_max` (classic group-wise quantization; the
+    /// paper's "FP4" reference point).
+    Fp16,
+}
+
+/// A generic MX-style block quantizer.
+#[derive(Debug, Clone)]
+pub struct MxQuantizer {
+    name: String,
+    group: usize,
+    elem: ElementCodec,
+    scale: ScaleKind,
+    preserve_max_fp16: bool,
+}
+
+impl MxQuantizer {
+    /// Creates a custom MX-style format.
+    pub fn new(
+        name: impl Into<String>,
+        group: usize,
+        elem: ElementCodec,
+        scale: ScaleKind,
+    ) -> Self {
+        assert!(group > 0);
+        MxQuantizer {
+            name: name.into(),
+            group,
+            elem,
+            scale,
+            preserve_max_fp16: false,
+        }
+    }
+
+    /// OCP MXFP4: FP4 (E2M1) elements, E8M0 floor scale, group 32.
+    pub fn mxfp4() -> Self {
+        MxQuantizer::new(
+            "MXFP4",
+            32,
+            ElementCodec::Mini(fp4().clone()),
+            ScaleKind::E8m0(ScaleRule::Floor),
+        )
+    }
+
+    /// MXFP4 with a non-default scale rule (Table 8).
+    pub fn mxfp4_with_rule(rule: ScaleRule) -> Self {
+        MxQuantizer::new(
+            format!("MXFP4-{}", rule.name()),
+            32,
+            ElementCodec::Mini(fp4().clone()),
+            ScaleKind::E8m0(rule),
+        )
+    }
+
+    /// OCP MXFP6 with E2M3 elements.
+    pub fn mxfp6_e2m3() -> Self {
+        MxQuantizer::new(
+            "MXFP6(E2M3)",
+            32,
+            ElementCodec::Mini(fp6_e2m3().clone()),
+            ScaleKind::E8m0(ScaleRule::Floor),
+        )
+    }
+
+    /// OCP MXFP6 with E3M2 elements.
+    pub fn mxfp6_e3m2() -> Self {
+        MxQuantizer::new(
+            "MXFP6(E3M2)",
+            32,
+            ElementCodec::Mini(fp6_e3m2().clone()),
+            ScaleKind::E8m0(ScaleRule::Floor),
+        )
+    }
+
+    /// OCP MXFP8 with E4M3 elements.
+    pub fn mxfp8_e4m3() -> Self {
+        MxQuantizer::new(
+            "MXFP8(E4M3)",
+            32,
+            ElementCodec::Mini(fp8_e4m3().clone()),
+            ScaleKind::E8m0(ScaleRule::Floor),
+        )
+    }
+
+    /// OCP MXFP8 with E5M2 elements.
+    pub fn mxfp8_e5m2() -> Self {
+        MxQuantizer::new(
+            "MXFP8(E5M2)",
+            32,
+            ElementCodec::Mini(fp8_e5m2().clone()),
+            ScaleKind::E8m0(ScaleRule::Floor),
+        )
+    }
+
+    /// OCP MXINT8.
+    pub fn mxint8() -> Self {
+        MxQuantizer::new(
+            "MXINT8",
+            32,
+            ElementCodec::Int(IntCodec::new(8)),
+            ScaleKind::E8m0(ScaleRule::Ceil),
+        )
+    }
+
+    /// MXINT4 (MicroScopiQ's activation path).
+    pub fn mxint4() -> Self {
+        MxQuantizer::new(
+            "MXINT4",
+            32,
+            ElementCodec::Int(IntCodec::new(4)),
+            ScaleKind::E8m0(ScaleRule::Ceil),
+        )
+    }
+
+    /// "FP4": FP4 elements with an FP16 group scale (Figs. 2–3).
+    pub fn fp4_fp16_scale() -> Self {
+        MxQuantizer::new(
+            "FP4",
+            32,
+            ElementCodec::Mini(fp4().clone()),
+            ScaleKind::Fp16,
+        )
+    }
+
+    /// Group size override (e.g. the Fig. 4 granularity sweep). The name
+    /// gains a `-g<N>` suffix so result caches never conflate variants.
+    #[must_use]
+    pub fn with_group(mut self, group: usize) -> Self {
+        assert!(group > 0);
+        self.group = group;
+        self.name = format!("{}-g{}", self.name, group);
+        self
+    }
+
+    /// Enables the Fig. 3 variant: each group's maximum element is retained
+    /// in FP16 precision.
+    #[must_use]
+    pub fn with_max_preservation(mut self) -> Self {
+        self.preserve_max_fp16 = true;
+        self.name = format!("{}+maxFP16", self.name);
+        self
+    }
+
+    /// Group size.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// Fake-quantizes one group.
+    pub fn fake_quantize_group(&self, g: &[f32]) -> Vec<f32> {
+        let amax = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let s = self.scale_for(amax);
+        let mut out: Vec<f32> = g.iter().map(|&v| self.elem.quantize(v / s) * s).collect();
+        if self.preserve_max_fp16 && amax > 0.0 {
+            // First index attaining the maximum (ties -> lowest index,
+            // matching the decode units elsewhere in this reproduction).
+            let mut idx = 0;
+            for (i, v) in g.iter().enumerate() {
+                if v.abs() > g[idx].abs() {
+                    idx = i;
+                }
+            }
+            out[idx] = quantize_f16(g[idx]);
+        }
+        out
+    }
+
+    fn scale_for(&self, amax: f32) -> f32 {
+        match self.scale {
+            ScaleKind::E8m0(rule) => match &self.elem {
+                ElementCodec::Mini(m) => rule.shared_scale(amax, m).value(),
+                ElementCodec::Int(i) => {
+                    // Smallest power of two with max_code·s >= amax.
+                    if amax <= 0.0 {
+                        return (m2x_formats::e8m0::MIN_EXP as f32).exp2();
+                    }
+                    let mut e = (amax / i.max_code() as f32).log2().ceil() as i32;
+                    while (e as f32).exp2() * (i.max_code() as f32) < amax {
+                        e += 1;
+                    }
+                    while e > m2x_formats::e8m0::MIN_EXP
+                        && ((e - 1) as f32).exp2() * (i.max_code() as f32) >= amax
+                    {
+                        e -= 1;
+                    }
+                    m2x_formats::E8M0::from_exponent(e).value()
+                }
+            },
+            ScaleKind::Fp16 => {
+                if amax <= 0.0 {
+                    return 1.0;
+                }
+                let s = quantize_f16(amax / self.elem.max_value());
+                if s > 0.0 {
+                    s
+                } else {
+                    f32::MIN_POSITIVE
+                }
+            }
+        }
+    }
+
+    fn scale_bits(&self) -> f64 {
+        match self.scale {
+            ScaleKind::E8m0(_) => 8.0,
+            ScaleKind::Fp16 => 16.0,
+        }
+    }
+}
+
+impl TensorQuantizer for MxQuantizer {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        let max_bits = if self.preserve_max_fp16 { 16.0 } else { 0.0 };
+        self.elem.bits() as f64 + (self.scale_bits() + max_bits) / self.group as f64
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.weight_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        fake_quant_rowwise(w, self.group, |g| self.fake_quantize_group(g))
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        fake_quant_rowwise(x, self.group, |g| self.fake_quantize_group(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::{mse, nmse};
+    use m2x_tensor::Xoshiro;
+
+    fn sample(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut r = Xoshiro::seed(seed);
+        Matrix::from_fn(rows, cols, |_, _| r.laplace(1.0))
+    }
+
+    #[test]
+    fn mxfp4_ebw() {
+        assert!((MxQuantizer::mxfp4().weight_ebw() - 4.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_elements_reduce_error() {
+        let x = sample(8, 128, 1);
+        let e4 = nmse(
+            x.as_slice(),
+            MxQuantizer::mxfp4().quantize_activations(&x).as_slice(),
+        );
+        let e6 = nmse(
+            x.as_slice(),
+            MxQuantizer::mxfp6_e2m3().quantize_activations(&x).as_slice(),
+        );
+        let e8 = nmse(
+            x.as_slice(),
+            MxQuantizer::mxfp8_e4m3().quantize_activations(&x).as_slice(),
+        );
+        assert!(e6 < e4 && e8 < e6, "e4={e4} e6={e6} e8={e8}");
+    }
+
+    #[test]
+    fn fp16_scale_beats_e8m0_scale() {
+        // Fig. 2's point: FP16 scaling aligns the block max tightly.
+        let x = sample(16, 128, 2);
+        let mx = nmse(
+            x.as_slice(),
+            MxQuantizer::mxfp4().quantize_activations(&x).as_slice(),
+        );
+        let fp = nmse(
+            x.as_slice(),
+            MxQuantizer::fp4_fp16_scale().quantize_activations(&x).as_slice(),
+        );
+        assert!(fp < mx, "fp4+fp16 {fp} should beat mxfp4 {mx}");
+    }
+
+    #[test]
+    fn max_preservation_helps_mxfp4() {
+        // Fig. 3's point: retaining the group max in FP16 recovers most of
+        // MXFP4's loss.
+        let x = sample(16, 128, 3);
+        let plain = nmse(
+            x.as_slice(),
+            MxQuantizer::mxfp4().quantize_activations(&x).as_slice(),
+        );
+        let kept = nmse(
+            x.as_slice(),
+            MxQuantizer::mxfp4()
+                .with_max_preservation()
+                .quantize_activations(&x)
+                .as_slice(),
+        );
+        assert!(kept < plain * 0.8, "kept {kept} vs plain {plain}");
+    }
+
+    #[test]
+    fn mxint8_rounds_to_int_grid() {
+        let q = MxQuantizer::mxint8();
+        let x = Matrix::from_vec(1, 4, vec![127.0, -64.0, 1.0, 0.6]);
+        let y = q.quantize_activations(&x);
+        // amax=127 -> scale 1 (ceil: 127·2^0 >= 127).
+        assert_eq!(y.as_slice(), &[127.0, -64.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn group_override_changes_granularity() {
+        let x = sample(4, 256, 4);
+        let g32 = nmse(
+            x.as_slice(),
+            MxQuantizer::mxfp4().quantize_activations(&x).as_slice(),
+        );
+        let g256 = nmse(
+            x.as_slice(),
+            MxQuantizer::mxfp4()
+                .with_group(256)
+                .quantize_activations(&x)
+                .as_slice(),
+        );
+        assert!(g32 < g256, "finer groups must reduce error");
+    }
+
+    #[test]
+    fn int_scale_never_clips() {
+        let q = MxQuantizer::mxint4();
+        for amax in [0.3f32, 1.0, 7.0, 8.0, 100.0, 1e-10] {
+            let x = Matrix::from_vec(1, 2, vec![amax, -amax / 3.0]);
+            let y = q.quantize_activations(&x);
+            // RNE may round up by half a step, but never clips: the max
+            // stays within half an INT4 step (scale covers amax, so a step
+            // is at most amax/max_code·2 = ~2/7 of amax; half of that).
+            let rel = (y[(0, 0)] - amax).abs() / amax.max(1e-20);
+            assert!(rel <= 0.101, "amax {amax} -> {}", y[(0, 0)]);
+        }
+    }
+
+    #[test]
+    fn zero_group_is_stable() {
+        let x = Matrix::zeros(1, 32);
+        for q in [
+            MxQuantizer::mxfp4(),
+            MxQuantizer::mxint8(),
+            MxQuantizer::fp4_fp16_scale(),
+            MxQuantizer::mxfp4().with_max_preservation(),
+        ] {
+            let y = q.quantize_activations(&x);
+            assert!(y.as_slice().iter().all(|&v| v == 0.0), "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn mse_matches_direct_group_computation() {
+        let x = sample(1, 32, 7);
+        let q = MxQuantizer::mxfp4();
+        let y = q.quantize_activations(&x);
+        let direct = q.fake_quantize_group(x.as_slice());
+        assert_eq!(y.as_slice(), &direct[..]);
+        assert!(mse(x.as_slice(), y.as_slice()) > 0.0);
+    }
+}

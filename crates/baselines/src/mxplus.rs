@@ -1,0 +1,110 @@
+//! MX+ (MICRO '25) — MXFP4 with a block-max sidecar: the group's maximum
+//! element is additionally refined with extra mantissa bits stored in a
+//! per-group metadata field (Tbl. 1: 5-bit index + 3-bit reserved per
+//! group of 32).
+
+use m2x_formats::{fp4, Minifloat, SpecialValues};
+use m2x_tensor::Matrix;
+use m2xfp::quantizer::fake_quant_rowwise;
+use m2xfp::{ScaleRule, TensorQuantizer};
+
+/// MX+: MXFP4 plus an E2M4 refinement of each group's maximum.
+#[derive(Debug, Clone)]
+pub struct MxPlus {
+    group: usize,
+    refined: Minifloat,
+}
+
+impl MxPlus {
+    /// The group-32 configuration of Tbl. 1.
+    pub fn new() -> Self {
+        MxPlus {
+            group: 32,
+            // FP4's exponent range with 3 extra mantissa bits (the 3-bit
+            // reserved field) -> E2M4.
+            refined: Minifloat::new(2, 4, SpecialValues::None).expect("valid"),
+        }
+    }
+
+    fn fake_quant_group(&self, g: &[f32]) -> Vec<f32> {
+        let f4 = fp4();
+        let amax = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let s = ScaleRule::Floor.shared_scale(amax, f4).value();
+        let mut out: Vec<f32> = g.iter().map(|&v| f4.quantize(v / s) * s).collect();
+        if amax > 0.0 {
+            let mut idx = 0;
+            for (i, v) in g.iter().enumerate() {
+                if v.abs() > g[idx].abs() {
+                    idx = i;
+                }
+            }
+            out[idx] = self.refined.quantize(g[idx] / s) * s;
+        }
+        out
+    }
+}
+
+impl Default for MxPlus {
+    fn default() -> Self {
+        MxPlus::new()
+    }
+}
+
+impl TensorQuantizer for MxPlus {
+    fn name(&self) -> String {
+        "MX+".to_string()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        // 4-bit elements + 8-bit scale + 8-bit sidecar (5-bit index + 3-bit
+        // extra mantissa) per group.
+        4.0 + (8.0 + 8.0) / self.group as f64
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.weight_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        fake_quant_rowwise(w, self.group, |g| self.fake_quant_group(g))
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        fake_quant_rowwise(x, self.group, |g| self.fake_quant_group(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::nmse;
+    use m2x_tensor::Xoshiro;
+
+    #[test]
+    fn refines_only_the_block_max() {
+        let mut g = vec![1.0f32; 32];
+        g[17] = 5.3;
+        let q = MxPlus::default().fake_quant_group(&g);
+        // Block max refined beyond FP4 resolution (FP4 would give 6.0;
+        // E2M4 gives 5.25).
+        assert!((q[17] - 5.3).abs() < 0.2, "max {}", q[17]);
+        assert_eq!(q[0], 1.0);
+    }
+
+    #[test]
+    fn between_mxfp4_and_m2xfp() {
+        let mut r = Xoshiro::seed(12);
+        let x = Matrix::from_fn(8, 128, |_, _| r.laplace(1.0));
+        let mx = nmse(
+            x.as_slice(),
+            crate::mx::MxQuantizer::mxfp4().quantize_activations(&x).as_slice(),
+        );
+        let plus = nmse(x.as_slice(), MxPlus::default().quantize_activations(&x).as_slice());
+        assert!(plus < mx, "mx+ {plus} vs mxfp4 {mx}");
+    }
+
+    #[test]
+    fn ebw_is_4_5() {
+        assert!((MxPlus::default().weight_ebw() - 4.5).abs() < 1e-12);
+    }
+}

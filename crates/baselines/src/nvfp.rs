@@ -1,0 +1,257 @@
+//! NVFP4 — NVIDIA's microscaling variant with FP8 (E4M3) group scales and a
+//! tensor-level rescale (paper §2.2) — and M2-NVFP4, the Tbl. 6 extension
+//! that grafts M2XFP's metadata onto the NVFP4 base.
+
+use m2x_formats::{fp4, fp6_e2m3, fp8_e4m3};
+use m2x_tensor::Matrix;
+use m2xfp::quantizer::fake_quant_rowwise;
+use m2xfp::TensorQuantizer;
+
+/// NVFP4: group 16, FP4 (E2M1) elements, FP8 (E4M3) per-group scale, FP32
+/// tensor-level scale chosen so group scales stay within E4M3 range.
+#[derive(Debug, Clone, Copy)]
+pub struct Nvfp4 {
+    group: usize,
+}
+
+impl Nvfp4 {
+    /// The standard configuration (group 16).
+    pub fn new() -> Self {
+        Nvfp4 { group: 16 }
+    }
+
+    /// Group size.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// The NVIDIA recipe's tensor scale: maps the largest group scale onto
+    /// the top of the E4M3 range.
+    pub fn tensor_scale(global_amax: f32) -> f32 {
+        if global_amax <= 0.0 {
+            return 1.0;
+        }
+        let elem_max = fp4().max_value(); // 6
+        let scale_max = fp8_e4m3().max_value(); // 448
+        global_amax / (elem_max * scale_max)
+    }
+
+    /// Effective per-group scale (FP8-quantized group scale × tensor scale).
+    pub fn group_scale(amax: f32, tensor_scale: f32) -> f32 {
+        if amax <= 0.0 {
+            return tensor_scale;
+        }
+        let elem_max = fp4().max_value();
+        let s8 = fp8_e4m3().quantize(amax / (elem_max * tensor_scale));
+        let s8 = if s8 > 0.0 {
+            s8
+        } else {
+            fp8_e4m3().min_subnormal()
+        };
+        s8 * tensor_scale
+    }
+
+    fn fake_quant(&self, m: &Matrix) -> Matrix {
+        let ts = Self::tensor_scale(m.max_abs());
+        let f4 = fp4();
+        fake_quant_rowwise(m, self.group, |g| {
+            let amax = g.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+            let s = Self::group_scale(amax, ts);
+            g.iter().map(|&v| f4.quantize(v / s) * s).collect()
+        })
+    }
+}
+
+impl Default for Nvfp4 {
+    fn default() -> Self {
+        Nvfp4::new()
+    }
+}
+
+impl TensorQuantizer for Nvfp4 {
+    fn name(&self) -> String {
+        "NVFP4".to_string()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        // 4 + 8/16; the tensor-level FP32 scale amortizes to ~0.
+        4.0 + 8.0 / self.group as f64
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.weight_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        self.fake_quant(w)
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        self.fake_quant(x)
+    }
+}
+
+/// M2-NVFP4 (Tbl. 6): NVFP4 augmented with M2XFP metadata — Sg-EM-2bit on
+/// subgroups of 4 for weights, Elem-EM-top1 for activations. With group 16
+/// the metadata raises the effective bit width from 4.5 to 5 bits, as the
+/// paper notes.
+#[derive(Debug, Clone, Copy)]
+pub struct M2Nvfp4 {
+    group: usize,
+    subgroup: usize,
+}
+
+impl M2Nvfp4 {
+    /// The Tbl. 6 configuration: group 16, subgroup 4.
+    pub fn new() -> Self {
+        M2Nvfp4 {
+            group: 16,
+            subgroup: 4,
+        }
+    }
+}
+
+impl Default for M2Nvfp4 {
+    fn default() -> Self {
+        M2Nvfp4::new()
+    }
+}
+
+impl TensorQuantizer for M2Nvfp4 {
+    fn name(&self) -> String {
+        "M2-NVFP4".to_string()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        let n_sub = (self.group / self.subgroup) as f64;
+        4.0 + (8.0 + 2.0 * n_sub) / self.group as f64
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.weight_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        let ts = Nvfp4::tensor_scale(w.max_abs());
+        let f4 = fp4();
+        fake_quant_rowwise(w, self.group, |g| {
+            let amax = g.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+            let s = Nvfp4::group_scale(amax, ts);
+            // Sg-EM: per-subgroup multiplier search (Eq. 3 on the FP8 base).
+            let mut out = Vec::with_capacity(g.len());
+            for sg in g.chunks(self.subgroup) {
+                let mut best: Option<(f64, Vec<f32>)> = None;
+                for mult in m2xfp::weight::SG_MULTIPLIERS {
+                    let eff = mult * s;
+                    let q: Vec<f32> =
+                        sg.iter().map(|&v| f4.quantize(v / eff) * eff).collect();
+                    let sse: f64 = sg
+                        .iter()
+                        .zip(&q)
+                        .map(|(&a, &b)| {
+                            let d = (a - b) as f64;
+                            d * d
+                        })
+                        .sum();
+                    if best.as_ref().is_none_or(|(t, _)| sse < *t) {
+                        best = Some((sse, q));
+                    }
+                }
+                out.extend(best.expect("candidates").1);
+            }
+            out
+        })
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        let ts = Nvfp4::tensor_scale(x.max_abs());
+        let f4 = fp4();
+        let f6 = fp6_e2m3();
+        fake_quant_rowwise(x, self.group, |g| {
+            let amax = g.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+            let s = Nvfp4::group_scale(amax, ts);
+            let codes: Vec<u8> = g.iter().map(|&v| f4.encode(v / s)).collect();
+            let mut out: Vec<f32> = codes.iter().map(|&c| f4.decode(c) * s).collect();
+            for (sg_idx, sg_codes) in codes.chunks(self.subgroup).enumerate() {
+                let local = m2x_formats::tables::top1_index(sg_codes);
+                let idx = sg_idx * self.subgroup + local;
+                out[idx] = f6.quantize(g[idx] / s) * s;
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::nmse;
+    use m2x_tensor::Xoshiro;
+    use m2xfp::quantizer::TensorQuantizer;
+
+    fn sample(seed: u64) -> Matrix {
+        let mut r = Xoshiro::seed(seed);
+        Matrix::from_fn(16, 128, |_, _| r.laplace(1.0))
+    }
+
+    #[test]
+    fn ebw_values() {
+        assert!((Nvfp4::default().weight_ebw() - 4.5).abs() < 1e-12);
+        // Paper §6.4: metadata raises NVFP4 from 4.5 to 5 bits.
+        assert!((M2Nvfp4::default().weight_ebw() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvfp4_beats_mxfp4() {
+        // The precise FP8 scale narrows the block-max misalignment.
+        let x = sample(1);
+        let nv = nmse(x.as_slice(), Nvfp4::default().quantize_activations(&x).as_slice());
+        let mx = nmse(
+            x.as_slice(),
+            crate::mx::MxQuantizer::mxfp4()
+                .quantize_activations(&x)
+                .as_slice(),
+        );
+        assert!(nv < mx, "nvfp4 {nv} vs mxfp4 {mx}");
+    }
+
+    #[test]
+    fn m2_nvfp4_beats_nvfp4() {
+        // Tbl. 6's finding, on both tensors of a W4A4 pair.
+        let x = sample(2);
+        let base = nmse(x.as_slice(), Nvfp4::default().quantize_activations(&x).as_slice());
+        let act = nmse(x.as_slice(), M2Nvfp4::default().quantize_activations(&x).as_slice());
+        let wt = nmse(x.as_slice(), M2Nvfp4::default().quantize_weights(&x).as_slice());
+        assert!(act < base, "elem-em act {act} vs {base}");
+        assert!(wt < base, "sg-em weights {wt} vs {base}");
+    }
+
+    #[test]
+    fn tensor_scale_keeps_group_scales_in_fp8_range() {
+        for global in [1e-6f32, 1.0, 100.0, 3e38] {
+            let ts = Nvfp4::tensor_scale(global);
+            let needed = global / (6.0 * ts);
+            assert!(
+                needed <= 448.0 * 1.0001,
+                "global {global}: needed scale {needed} exceeds E4M3 max"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_tensor_stable() {
+        let z = Matrix::zeros(2, 32);
+        let y = Nvfp4::default().quantize_activations(&z);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+        let y = M2Nvfp4::default().quantize_weights(&z);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn small_groups_with_tiny_values() {
+        // Group scales below E4M3's subnormal floor must not collapse to 0.
+        let x = Matrix::from_fn(1, 16, |_, c| (c as f32 + 1.0) * 1e-9);
+        let y = Nvfp4::default().quantize_activations(&x);
+        assert!(y.as_slice().iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,215 @@
+//! MX-OliVe — OliVe's outlier–victim pair encoding (ISCA '23), adapted to
+//! group-wise MX as in Tbl. 3.
+//!
+//! OliVe stores an outlier at high precision by *sacrificing its neighbor*
+//! (the "victim"): the victim's code slot is repurposed for the outlier's
+//! extra bits and the victim itself becomes zero. Effective tensor-wise,
+//! the scheme degrades group-wise (the paper's observation): victims cost
+//! real signal inside small groups, and outliers are frequent enough in
+//! LLM tensors that MX-OliVe can fall below plain MXFP4.
+
+use m2x_formats::{fp4, fp8_e5m2};
+use m2x_tensor::Matrix;
+use m2xfp::quantizer::fake_quant_rowwise;
+use m2xfp::{ScaleRule, TensorQuantizer};
+
+/// MX-OliVe: outlier–victim pairs inside MX groups (both tensors).
+#[derive(Debug, Clone, Copy)]
+pub struct MxOlive {
+    group: usize,
+    /// Outlier threshold in group standard deviations.
+    sigma: f32,
+    /// Cap on outliers per group (each costs one victim).
+    max_outliers: usize,
+}
+
+impl MxOlive {
+    /// Group-32 configuration used in Tbl. 3.
+    pub fn new() -> Self {
+        MxOlive {
+            group: 32,
+            sigma: 3.0,
+            max_outliers: 4,
+        }
+    }
+
+    /// Identifies outlier indices: elements beyond `sigma` group standard
+    /// deviations, largest first, capped at `max_outliers`.
+    pub fn outlier_indices(&self, g: &[f32]) -> Vec<usize> {
+        let n = g.len() as f64;
+        let var: f64 = g.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / n;
+        let thr = self.sigma as f64 * var.sqrt();
+        let mut idx: Vec<usize> = (0..g.len())
+            .filter(|&i| (g[i] as f64).abs() > thr && g[i] != 0.0)
+            .collect();
+        idx.sort_by(|&a, &b| g[b].abs().partial_cmp(&g[a].abs()).expect("finite"));
+        idx.truncate(self.max_outliers);
+        idx
+    }
+
+    fn fake_quant_group(&self, g: &[f32]) -> Vec<f32> {
+        let f4 = fp4();
+        let f8 = fp8_e5m2();
+        let outliers = self.outlier_indices(g);
+        let is_outlier = |i: usize| outliers.contains(&i);
+
+        // Victims: OliVe's memory alignment pairs element 2i with 2i+1, and
+        // the outlier's *pair partner* is sacrificed unconditionally — even
+        // if it is itself large. This is exactly the group-wise failure the
+        // paper describes ("sacrifices neighbors"): adjacent outliers,
+        // frequent in LLMs, destroy each other.
+        let mut victims: Vec<usize> = Vec::new();
+        for &o in &outliers {
+            let partner = o ^ 1;
+            if partner < g.len() && !victims.contains(&partner) && !outliers.contains(&partner) {
+                victims.push(partner);
+            } else if partner < g.len() && outliers.contains(&partner) {
+                // Two outliers in one pair: the larger survives, the other
+                // is victimized.
+                let loser = if g[o].abs() >= g[partner].abs() { partner } else { o };
+                if !victims.contains(&loser) {
+                    victims.push(loser);
+                }
+            }
+        }
+
+        // Group-wise MX adaptation keeps the standard E8M0 scale from the
+        // *full* block maximum (the MX datapath is unchanged; OliVe only
+        // re-encodes outliers). Outliers gain FP8 mantissa precision at the
+        // same scale; inliers see no benefit — which is why victims make
+        // the scheme a net loss group-wise (§6.2).
+        let amax = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let _ = is_outlier;
+        let s = ScaleRule::Floor.shared_scale(amax, f4).value();
+
+        let mut out: Vec<f32> = g.iter().map(|&v| f4.quantize(v / s) * s).collect();
+        for &o in &outliers {
+            // 8-bit range-oriented "abfloat" encoding at the inlier scale
+            // (E5M2: wide exponent range, as OliVe's adaptive-bias float).
+            out[o] = f8.quantize(g[o] / s) * s;
+        }
+        for &v in &victims {
+            out[v] = 0.0;
+        }
+        out
+    }
+
+    /// Victim indices for a group (exposed for tests/analysis).
+    pub fn victim_indices(&self, g: &[f32]) -> Vec<usize> {
+        let outliers = self.outlier_indices(g);
+        let mut victims = Vec::new();
+        for &o in &outliers {
+            let partner = o ^ 1;
+            if partner < g.len() && !victims.contains(&partner) && !outliers.contains(&partner) {
+                victims.push(partner);
+            } else if partner < g.len() && outliers.contains(&partner) {
+                let loser = if g[o].abs() >= g[partner].abs() { partner } else { o };
+                if !victims.contains(&loser) {
+                    victims.push(loser);
+                }
+            }
+        }
+        victims
+    }
+}
+
+impl Default for MxOlive {
+    fn default() -> Self {
+        MxOlive::new()
+    }
+}
+
+impl TensorQuantizer for MxOlive {
+    fn name(&self) -> String {
+        "MX-OliVe".to_string()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        // Outliers reuse victim slots: still 4 bits/element + scale.
+        4.0 + 8.0 / self.group as f64
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.weight_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        fake_quant_rowwise(w, self.group, |g| self.fake_quant_group(g))
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        fake_quant_rowwise(x, self.group, |g| self.fake_quant_group(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_single_outlier() {
+        let mut g = vec![0.5f32; 32];
+        g[9] = 8.0;
+        let o = MxOlive::default().outlier_indices(&g);
+        assert_eq!(o, vec![9]);
+    }
+
+    #[test]
+    fn no_outlier_in_uniform_group() {
+        let g: Vec<f32> = (0..32).map(|i| (i as f32 + 1.0) / 8.0).collect();
+        assert!(MxOlive::default().outlier_indices(&g).is_empty());
+    }
+
+    #[test]
+    fn victim_is_zeroed_and_outlier_precise() {
+        let mut g = vec![0.5f32; 32];
+        g[9] = 8.0;
+        let q = MxOlive::default().fake_quant_group(&g);
+        // Outlier gets FP8 mantissa precision at the group scale.
+        assert!((q[9] - 8.0).abs() < 0.5, "outlier {}", q[9]);
+        // Its pair partner became the victim.
+        assert_eq!(q[8], 0.0);
+        // The MX scale is unchanged (full block max), so inliers stay as
+        // coarse as plain MXFP4 — OliVe's group-wise weakness.
+        let mx = crate::mx::MxQuantizer::mxfp4().fake_quantize_group(&g);
+        assert_eq!(q[0], mx[0]);
+    }
+
+    #[test]
+    fn outlier_cap_respected() {
+        let mut g = vec![0.01f32; 32];
+        for (k, i) in [0usize, 5, 12, 20, 27, 30].iter().enumerate() {
+            g[*i] = 100.0 * 4f32.powi(k as i32);
+        }
+        let o = MxOlive::default().outlier_indices(&g);
+        assert!(o.len() <= 4);
+    }
+
+    #[test]
+    fn victims_hurt_dense_groups() {
+        // When the "outlier" carries real neighbors, zeroing them costs
+        // accuracy relative to MXFP4 — the group-wise failure mode.
+        let mut g: Vec<f32> = (0..32).map(|i| ((i as f32) * 0.73).sin()).collect();
+        g[9] = 40.0;
+        let olive = MxOlive::default().fake_quant_group(&g);
+        // The outlier's pair partner (8, since 9^1 = 8) is sacrificed even
+        // though it carried real signal.
+        assert_eq!(olive[8], 0.0);
+        assert_ne!(g[8], 0.0);
+    }
+
+    #[test]
+    fn adjacent_outliers_destroy_each_other() {
+        // The group-wise catastrophe: two outliers in one aligned pair —
+        // only the larger survives.
+        let mut g = vec![0.2f32; 32];
+        g[6] = 30.0;
+        g[7] = -28.0;
+        let olive = MxOlive::default();
+        let victims = olive.victim_indices(&g);
+        assert!(victims.contains(&7), "victims {victims:?}");
+        let q = olive.fake_quant_group(&g);
+        assert_eq!(q[7], 0.0, "the smaller adjacent outlier must be zeroed");
+        assert!((q[6] - 30.0).abs() < 3.0, "outlier kept at {}", q[6]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Shared Microexponents (SMX) — the two-level shared-scale family of
+//! Rouhani et al. (ISCA '23), called SMX in the paper.
+//!
+//! A group of `k1 = 16` elements shares an 8-bit power-of-two scale; within
+//! it, pairs (`k2 = 2`) share one extra exponent bit that can drop the
+//! pair's scale by one binade. Elements are symmetric integers (INT3 for
+//! SMX4). The paper shows SMX4 collapsing at W4A4 (Tbl. 2) because the
+//! pair-shared exponent amplifies error when pair magnitudes differ.
+
+use m2x_formats::int::IntCodec;
+use m2x_tensor::Matrix;
+use m2xfp::quantizer::fake_quant_rowwise;
+use m2xfp::TensorQuantizer;
+
+/// An SMX format (SMX4/SMX6/SMX9).
+#[derive(Debug, Clone, Copy)]
+pub struct Smx {
+    name: &'static str,
+    elem: IntCodec,
+    group: usize,
+    pair: usize,
+}
+
+impl Smx {
+    /// SMX4: INT3 elements, group 16, pair 2 (the evaluated variant).
+    pub fn smx4() -> Self {
+        Smx {
+            name: "SMX4",
+            elem: IntCodec::new(3),
+            group: 16,
+            pair: 2,
+        }
+    }
+
+    /// SMX6: INT5 elements.
+    pub fn smx6() -> Self {
+        Smx {
+            name: "SMX6",
+            elem: IntCodec::new(5),
+            group: 16,
+            pair: 2,
+        }
+    }
+
+    /// SMX9: INT8 elements.
+    pub fn smx9() -> Self {
+        Smx {
+            name: "SMX9",
+            elem: IntCodec::new(8),
+            group: 16,
+            pair: 2,
+        }
+    }
+
+    fn fake_quant_group(&self, g: &[f32]) -> Vec<f32> {
+        let amax = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if amax == 0.0 {
+            return vec![0.0; g.len()];
+        }
+        let maxc = self.elem.max_code() as f32;
+        // Group scale: smallest power of two with maxc·s >= amax.
+        let mut e = (amax / maxc).log2().ceil() as i32;
+        while (e as f32).exp2() * maxc < amax {
+            e += 1;
+        }
+        let s_hi = (e as f32).exp2();
+        let s_lo = ((e - 1) as f32).exp2();
+        let mut out = Vec::with_capacity(g.len());
+        for pair in g.chunks(self.pair) {
+            let pmax = pair.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            // The 1-bit microexponent: drop one binade when the whole pair
+            // fits at the finer scale.
+            let s = if pmax <= maxc * s_lo { s_lo } else { s_hi };
+            for &v in pair {
+                out.push(self.elem.quantize(v, s));
+            }
+        }
+        out
+    }
+}
+
+impl TensorQuantizer for Smx {
+    fn name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        // element bits + 1 shared bit per pair + 8-bit group scale.
+        self.elem.bits() as f64
+            + (self.group / self.pair) as f64 / self.group as f64
+            + 8.0 / self.group as f64
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        self.weight_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        fake_quant_rowwise(w, self.group, |g| self.fake_quant_group(g))
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        fake_quant_rowwise(x, self.group, |g| self.fake_quant_group(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::nmse;
+    use m2x_tensor::Xoshiro;
+
+    fn sample(seed: u64) -> Matrix {
+        let mut r = Xoshiro::seed(seed);
+        Matrix::from_fn(8, 128, |_, _| r.laplace(1.0))
+    }
+
+    #[test]
+    fn smx4_ebw_is_4_5() {
+        // 3 + 8/16 + 1/2 = 4.0: sign+mantissa 3, pair bit 0.5, scale 0.5.
+        assert!((Smx::smx4().weight_ebw() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_exponent_helps_small_pairs() {
+        // A pair much smaller than the group max uses the finer scale.
+        let mut g = vec![0.1f32; 16];
+        g[0] = 3.0; // group max -> s_hi = 1
+        let q = Smx::smx4().fake_quant_group(&g);
+        // Pair (2,3) holds 0.1s; at s_lo = 0.5 they quantize to 0, at finer
+        // granularity the error is at most 0.25.
+        assert!((q[2] - 0.1).abs() <= 0.25);
+    }
+
+    #[test]
+    fn smx4_much_worse_than_mxfp4() {
+        // The Tbl. 2 collapse: SMX4's INT3 + pair sharing loses badly.
+        let x = sample(1);
+        let smx = nmse(x.as_slice(), Smx::smx4().quantize_activations(&x).as_slice());
+        let mx = nmse(
+            x.as_slice(),
+            crate::mx::MxQuantizer::mxfp4()
+                .quantize_activations(&x)
+                .as_slice(),
+        );
+        assert!(smx > 2.0 * mx, "smx {smx} vs mxfp4 {mx}");
+    }
+
+    #[test]
+    fn wider_smx_variants_improve() {
+        let x = sample(2);
+        let e4 = nmse(x.as_slice(), Smx::smx4().quantize_activations(&x).as_slice());
+        let e6 = nmse(x.as_slice(), Smx::smx6().quantize_activations(&x).as_slice());
+        let e9 = nmse(x.as_slice(), Smx::smx9().quantize_activations(&x).as_slice());
+        assert!(e6 < e4 && e9 < e6);
+    }
+
+    #[test]
+    fn never_clips_group_max() {
+        let g: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.77).collect();
+        let q = Smx::smx4().fake_quant_group(&g);
+        let amax_in = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let amax_out = q.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        // The INT3 grid is coarse (step up to 2·amax/3 from the ceil
+        // scale), so RNE can overshoot by up to a third — but never clips
+        // below, and never runs away.
+        assert!(amax_out <= amax_in * 4.0 / 3.0 + 1e-6, "{amax_out} vs {amax_in}");
+        assert!(amax_out >= amax_in * 2.0 / 3.0 - 1e-6, "{amax_out} vs {amax_in}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the algorithm-scheme baselines: the fast
+//! Walsh–Hadamard transform, rotated quantization, and the MR-GPTQ solver
+//! (Cholesky + column-wise compensation).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use m2x_baselines::gptq::{mr_gptq_quantize, GptqConfig};
+use m2x_baselines::hadamard::{fwht_normalized, Rotation};
+use m2x_baselines::quarot::QuaRot;
+use m2x_tensor::{Matrix, Xoshiro};
+use m2xfp::TensorQuantizer;
+use std::hint::black_box;
+
+fn algorithms(c: &mut Criterion) {
+    let mut rng = Xoshiro::seed(9);
+
+    let mut g = c.benchmark_group("hadamard");
+    let v: Vec<f32> = rng.vec_of(4096, |r| r.gaussian());
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("fwht_4096", |b| {
+        b.iter(|| {
+            let mut w = v.clone();
+            fwht_normalized(black_box(&mut w));
+            black_box(w)
+        });
+    });
+    let x = Matrix::from_fn(64, 1024, |_, _| rng.laplace(1.0));
+    let rot = Rotation::quarot(1024, 3);
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("rotate_rows_64x1024", |b| {
+        b.iter(|| black_box(rot.apply_rows(black_box(&x))));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("quarot");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("quantize_activations_64x1024", |b| {
+        let q = QuaRot::default();
+        b.iter(|| black_box(q.quantize_activations(black_box(&x))));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("mr_gptq");
+    g.sample_size(10);
+    let k = 256;
+    let calib = Matrix::from_fn(192, k, |_, _| rng.gaussian());
+    let wt = Matrix::from_fn(32, k, |_, _| rng.laplace(0.5));
+    g.bench_function("solve_32x256", |b| {
+        b.iter(|| {
+            black_box(
+                mr_gptq_quantize(black_box(&wt), black_box(&calib), &GptqConfig::default())
+                    .unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, algorithms);
+criterion_main!(benches);

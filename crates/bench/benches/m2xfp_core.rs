@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the M2XFP core primitives: the Algorithm-1
+//! encoder (the unit the streaming Quantization Engine implements), the
+//! Sg-EM weight search, pack/unpack, and the bit-exact quantized GEMM.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use m2x_tensor::{Matrix, Xoshiro};
+use m2xfp::format::{ActTensor, WeightTensor};
+use m2xfp::{activation, weight, GroupConfig, M2xfpConfig, ScaleRule};
+use std::hint::black_box;
+
+fn core_primitives(c: &mut Criterion) {
+    let cfg = M2xfpConfig::default();
+    let gc = GroupConfig::m2xfp_default();
+    let mut rng = Xoshiro::seed(1);
+    let group: Vec<f32> = rng.vec_of(32, |r| r.laplace(1.0));
+
+    let mut g = c.benchmark_group("group_primitives");
+    g.throughput(Throughput::Elements(32));
+    g.bench_function("algorithm1_encode", |b| {
+        b.iter(|| black_box(activation::quantize_group(black_box(&group), gc, ScaleRule::Floor)));
+    });
+    let encoded = activation::quantize_group(&group, gc, ScaleRule::Floor);
+    g.bench_function("algorithm1_decode", |b| {
+        b.iter(|| black_box(activation::dequantize_group(black_box(&encoded), gc)));
+    });
+    g.bench_function("sgem_weight_search_adaptive", |b| {
+        b.iter(|| black_box(weight::quantize_group(black_box(&group), gc, ScaleRule::Floor, true)));
+    });
+    g.finish();
+
+    let x = Matrix::from_fn(32, 512, |_, _| rng.laplace(1.0));
+    let xt = ActTensor::quantize(&x, cfg);
+    let mut g = c.benchmark_group("tensor_ops");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("pack", |b| {
+        b.iter(|| black_box(xt.pack().unwrap()));
+    });
+    let bytes = xt.pack().unwrap();
+    g.bench_function("unpack", |b| {
+        b.iter(|| black_box(ActTensor::unpack(black_box(&bytes), 32, 512, cfg).unwrap()));
+    });
+    g.finish();
+
+    let wt = WeightTensor::quantize(&Matrix::from_fn(64, 512, |_, _| rng.laplace(0.5)), cfg);
+    let mut g = c.benchmark_group("qgemm_32x512x64");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(32 * 512 * 64));
+    g.bench_function("fixed_point_pe_pipeline", |b| {
+        b.iter(|| black_box(m2xfp::gemm::qgemm(black_box(&xt), black_box(&wt))));
+    });
+    g.bench_function("f64_reference", |b| {
+        b.iter(|| black_box(m2xfp::gemm::qgemm_reference(black_box(&xt), black_box(&wt))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, core_primitives);
+criterion_main!(benches);

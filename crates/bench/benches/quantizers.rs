@@ -1,0 +1,50 @@
+//! Criterion throughput benchmarks: fake-quantization cost of every format
+//! on an LLM-shaped activation tensor. The interesting comparison is the
+//! online-capable encoders (MXFP4, M2XFP activations) against the
+//! search-based formats (M-ANT, BlockDialect), which motivates the paper's
+//! latency argument for element-level metadata.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use m2x_baselines::{MxQuantizer, Nvfp4};
+use m2x_nn::profile::ModelProfile;
+use m2x_nn::synth::activation_matrix;
+use m2xfp::quantizer::{M2xfpQuantizer, TensorQuantizer};
+use std::hint::black_box;
+
+fn quantizer_throughput(c: &mut Criterion) {
+    let model = ModelProfile::llama2_7b();
+    let x = activation_matrix(&model, 0, 64, 2048);
+    let elems = x.len() as u64;
+
+    let formats: Vec<(&str, Box<dyn TensorQuantizer>)> = vec![
+        ("mxfp4", Box::new(MxQuantizer::mxfp4())),
+        ("nvfp4", Box::new(Nvfp4::default())),
+        ("m2xfp", Box::new(M2xfpQuantizer::default())),
+        ("smx4", Box::new(m2x_baselines::smx::Smx::smx4())),
+        ("mx-ant", Box::new(m2x_baselines::ant::MxAnt::default())),
+        ("blockdialect", Box::new(m2x_baselines::blockdialect::BlockDialect::default())),
+    ];
+
+    let mut g = c.benchmark_group("quantize_activations_64x2048");
+    g.throughput(Throughput::Elements(elems));
+    g.sample_size(10);
+    for (name, q) in &formats {
+        g.bench_with_input(BenchmarkId::from_parameter(name), q, |b, q| {
+            b.iter(|| black_box(q.quantize_activations(black_box(&x))));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("quantize_weights_64x2048");
+    g.throughput(Throughput::Elements(elems));
+    g.sample_size(10);
+    for (name, q) in formats.iter().filter(|(n, _)| *n != "blockdialect") {
+        g.bench_with_input(BenchmarkId::from_parameter(name), q, |b, q| {
+            b.iter(|| black_box(q.quantize_weights(black_box(&x))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, quantizer_throughput);
+criterion_main!(benches);

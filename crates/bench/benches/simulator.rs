@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the accelerator model itself: full-model cost
+//! evaluation speed (Fig. 13 sweeps run 30 of these) and the functional
+//! hardware units.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m2x_accel::arch::{AcceleratorConfig, AcceleratorKind};
+use m2x_accel::timing::run_model;
+use m2x_accel::units::{QuantizationEngine, TopOneDecodeUnit};
+use m2x_nn::profile::ModelProfile;
+use m2x_tensor::Xoshiro;
+use std::hint::black_box;
+
+fn simulator(c: &mut Criterion) {
+    let model = ModelProfile::llama3_70b();
+    let cfg = AcceleratorConfig::of(AcceleratorKind::M2xfp);
+    c.bench_function("run_model_llama3_70b_seq4096", |b| {
+        b.iter(|| black_box(run_model(black_box(&model), black_box(&cfg), 4096)));
+    });
+
+    let mut rng = Xoshiro::seed(3);
+    let codes: Vec<u8> = (0..8).map(|_| rng.below(16) as u8).collect();
+    c.bench_function("top1_decode_unit", |b| {
+        b.iter(|| black_box(TopOneDecodeUnit.top1(black_box(&codes))));
+    });
+
+    let group: Vec<f32> = rng.vec_of(32, |r| r.laplace(1.0));
+    let qe = QuantizationEngine::default();
+    c.bench_function("quantization_engine_group32", |b| {
+        b.iter(|| black_box(qe.quantize(black_box(&group))));
+    });
+}
+
+criterion_group!(benches, simulator);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the §4.2.3 adaptive-scale ablation of the paper. Run with `--release`.
+fn main() {
+    let ev = m2x_bench::eval::Evaluator::new();
+    let _ = m2x_bench::experiments::ablate_adaptive(&ev);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the subgroup-size ablation (DESIGN.md §5.3).
+fn main() {
+    let ev = m2x_bench::eval::Evaluator::new();
+    let _ = m2x_bench::extensions::ablate_subgroup(&ev);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §6.4 attention/KV-cache extension study.
+fn main() {
+    let _ = m2x_bench::extensions::extension_kv_cache();
+}

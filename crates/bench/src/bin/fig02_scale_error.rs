@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2 of the paper. Run with `--release`.
+fn main() {
+    let _ = m2x_bench::experiments::fig02_scale_error();
+}

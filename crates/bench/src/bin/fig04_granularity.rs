@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4 of the paper. Run with `--release`.
+fn main() {
+    let ev = m2x_bench::eval::Evaluator::new();
+    let _ = m2x_bench::experiments::fig04_granularity(&ev);
+}

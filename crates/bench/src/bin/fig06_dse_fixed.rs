@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 of the paper. Run with `--release`.
+fn main() {
+    let _ = m2x_bench::experiments::fig06_dse_fixed();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7 of the paper. Run with `--release`.
+fn main() {
+    let _ = m2x_bench::experiments::fig07_dse_adaptive();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the headline claims of the paper. Run with `--release`.
+fn main() {
+    let ev = m2x_bench::eval::Evaluator::new();
+    let _ = m2x_bench::experiments::headline_claims(&ev);
+}

@@ -1,0 +1,26 @@
+//! Regenerates every table and figure of the paper into `results/`.
+//! Run with `--release`; takes a few minutes.
+use m2x_bench::experiments as e;
+
+fn main() {
+    let ev = m2x_bench::eval::Evaluator::new();
+    let _ = e::fig02_scale_error();
+    let _ = e::fig03_max_preservation(&ev);
+    let _ = e::fig04_granularity(&ev);
+    let _ = e::fig06_dse_fixed();
+    let _ = e::fig07_dse_adaptive();
+    let _ = e::table2_zero_shot(&ev);
+    let _ = e::table3_perplexity(&ev);
+    let _ = e::table4_reasoning(&ev);
+    let _ = e::table5_area_power();
+    let _ = e::table6_m2nvfp4(&ev);
+    let _ = e::table7_algorithms(&ev);
+    let _ = e::table8_scale_rules(&ev);
+    let _ = e::fig13_perf_energy();
+    let _ = e::headline_claims(&ev);
+    let _ = e::ablate_clamp(&ev);
+    let _ = e::ablate_adaptive(&ev);
+    let _ = m2x_bench::extensions::extension_kv_cache();
+    let _ = m2x_bench::extensions::ablate_subgroup(&ev);
+    println!("\nAll experiment reports written to results/.");
+}

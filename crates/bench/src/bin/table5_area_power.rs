@@ -1,0 +1,4 @@
+//! Regenerates Tbl. 5 of the paper. Run with `--release`.
+fn main() {
+    let _ = m2x_bench::experiments::table5_area_power();
+}

@@ -1,0 +1,185 @@
+//! Plain-text table rendering and result persistence.
+//!
+//! Every experiment binary prints its tables to stdout and mirrors them to
+//! `results/<experiment>.txt` so `run_all` leaves a complete record.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(line, "{:<w$}", c, w = widths[i]);
+                } else {
+                    let _ = write!(line, "  {:>w$}", c, w = widths[i]);
+                }
+            }
+            line
+        };
+        let header_line = fmt_row(&self.header, &widths);
+        out.push_str(&header_line);
+        out.push('\n');
+        out.push_str(&"-".repeat(header_line.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 4 significant-ish decimals.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// A report being assembled by an experiment binary.
+#[derive(Debug, Default)]
+pub struct Report {
+    name: String,
+    body: String,
+}
+
+impl Report {
+    /// Starts a report for `name` (the experiment id).
+    pub fn new(name: &str, title: &str) -> Self {
+        let mut r = Report {
+            name: name.to_string(),
+            body: String::new(),
+        };
+        r.line(&format!("== {title} =="));
+        r.line("");
+        r
+    }
+
+    /// Appends a text line.
+    pub fn line(&mut self, s: &str) {
+        self.body.push_str(s);
+        self.body.push('\n');
+    }
+
+    /// Appends a titled table.
+    pub fn table(&mut self, title: &str, t: &Table) {
+        self.line(title);
+        self.body.push_str(&t.render());
+        self.line("");
+    }
+
+    /// Prints to stdout and writes `results/<name>.txt`. Returns the path.
+    pub fn emit(&self) -> PathBuf {
+        print!("{}", self.body);
+        let dir = results_dir();
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.txt", self.name));
+        if let Err(e) = fs::write(&path, &self.body) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        path
+    }
+
+    /// The accumulated body (for tests).
+    pub fn body(&self) -> &str {
+        &self.body
+    }
+}
+
+/// `results/` at the workspace root (falls back to CWD).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench -> ../../results
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .map(|p| p.join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    base.join("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["Method", "LLaMA2", "LLaMA3"]);
+        t.row(vec!["FP16", "5.47", "6.14"]);
+        t.row(vec!["M2XFP", "5.77", "6.84"]);
+        let s = t.render();
+        assert!(s.contains("Method"));
+        assert!(s.lines().count() == 4);
+        // All data lines equal length.
+        let lens: Vec<usize> = s.lines().map(|l| l.len()).collect();
+        assert_eq!(lens[0], lens[2]);
+        assert_eq!(lens[2], lens[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = Report::new("test", "Test");
+        r.line("hello");
+        assert!(r.body().contains("== Test =="));
+        assert!(r.body().contains("hello"));
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f3(3.14159), "3.142");
+        assert_eq!(f4(2.0), "2.0000");
+    }
+}

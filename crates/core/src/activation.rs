@@ -1,0 +1,261 @@
+//! Online activation quantization with Elem-EM-top1 metadata — Algorithm 1
+//! of the paper, bit for bit.
+//!
+//! Per group: ❶ compute the shared E8M0 scale from the block maximum, ❷
+//! quantize every element to FP4 (E2M1), then per subgroup: ❸❹ identify the
+//! top-1 element *in the FP4 domain* (ties → lowest index, so the decoder
+//! can re-identify it without stored indices), ❺ re-quantize that element's
+//! original value to FP6 (E2M3), ❻❼ bias-clamp encode the FP6 value into 2
+//! metadata bits whose decode is `fp6_bits = (fp4_bits << 2 | meta) - 1`,
+//! ❽ pack.
+
+use crate::group::GroupConfig;
+use crate::scale::ScaleRule;
+use m2x_formats::tables::{decode_extra_mantissa, top1_index};
+use m2x_formats::{fp4, fp6_e2m3, E8M0};
+use serde::{Deserialize, Serialize};
+
+/// One quantized activation group: FP4 codes, E8M0 shared scale and one
+/// 2-bit extra-mantissa metadata field per subgroup.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActGroup {
+    /// FP4 codes (sign in bit 3, magnitude in bits 2..0), one per element.
+    pub codes: Vec<u8>,
+    /// Shared power-of-two scale.
+    pub scale: E8M0,
+    /// 2-bit metadata per subgroup (bias-clamp encoded FP6 low bits).
+    pub meta: Vec<u8>,
+}
+
+impl ActGroup {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the group holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+}
+
+/// Quantizes one group of high-precision activations (Algorithm 1).
+///
+/// `x.len()` may be shorter than `cfg.group_size()` for a trailing group.
+pub fn quantize_group(x: &[f32], cfg: GroupConfig, rule: ScaleRule) -> ActGroup {
+    assert!(!x.is_empty(), "group must be non-empty");
+    assert!(x.len() <= cfg.group_size(), "group longer than configured size");
+    let f4 = fp4();
+    let f6 = fp6_e2m3();
+
+    // Step 1: shared scale from the block maximum.
+    let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let scale = rule.shared_scale(amax, f4);
+    let s = scale.value();
+
+    // Step 2: quantize everything to FP4 (E2M1).
+    let codes: Vec<u8> = x.iter().map(|&v| f4.encode(v / s)).collect();
+
+    // Steps 3-7 per subgroup.
+    let mut meta = Vec::with_capacity(cfg.subgroup_count(x.len()));
+    for (sg_idx, sg_codes) in codes.chunks(cfg.subgroup_size()).enumerate() {
+        // Steps 3 & 4: top-1 in the FP4 domain, lowest index on ties.
+        let local = top1_index(sg_codes);
+        let idx = sg_idx * cfg.subgroup_size() + local;
+
+        // Step 5: re-quantize the original value to FP6 (E2M3), same scale.
+        let fp6_mag = f6.encode_magnitude(x[idx].abs() / s);
+
+        // Steps 6 & 7: add bias, clamp to keep the FP6 high bits equal to
+        // the FP4 bits, keep the low 2 bits as metadata.
+        let fp4_mag = sg_codes[local] & 0x7;
+        let encoded = fp6_mag + 1;
+        let range_min = fp4_mag << 2;
+        let range_max = range_min | 0b11;
+        let clamped = encoded.clamp(range_min, range_max);
+        meta.push(clamped & 0b11);
+    }
+
+    ActGroup { codes, scale, meta }
+}
+
+/// Dequantizes a group: every element decodes from FP4 except each
+/// subgroup's top-1, which is refined by the 2-bit metadata
+/// (`fp6 = (fp4 << 2 | meta) - 1`).
+pub fn dequantize_group(g: &ActGroup, cfg: GroupConfig) -> Vec<f32> {
+    let f4 = fp4();
+    let s = g.scale.value();
+    let mut out: Vec<f32> = g.codes.iter().map(|&c| f4.decode(c) * s).collect();
+
+    for (sg_idx, sg_codes) in g.codes.chunks(cfg.subgroup_size()).enumerate() {
+        let local = top1_index(sg_codes);
+        let idx = sg_idx * cfg.subgroup_size() + local;
+        let fp4_mag = sg_codes[local] & 0x7;
+        let refined = decode_extra_mantissa(fp4_mag, g.meta[sg_idx]);
+        let sign = if sg_codes[local] & 0x8 != 0 { -1.0 } else { 1.0 };
+        out[idx] = sign * refined * s;
+    }
+    out
+}
+
+/// Fake-quantization (quantize + dequantize) of one group.
+pub fn fake_quantize_group(x: &[f32], cfg: GroupConfig, rule: ScaleRule) -> Vec<f32> {
+    dequantize_group(&quantize_group(x, cfg, rule), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GroupConfig {
+        GroupConfig::new(32, 8)
+    }
+
+    fn small_cfg() -> GroupConfig {
+        GroupConfig::new(8, 4)
+    }
+
+    #[test]
+    fn paper_fig8_example() {
+        // Fig. 8 walks a group of 8 (subgroup 4) with these FP16 values.
+        let x = [9.25, 1.264, 5.36, 10.72, 6.41, 10.78, 10.26, -0.27];
+        let g = quantize_group(&x, small_cfg(), ScaleRule::Floor);
+        // amax = 10.78, 10.78/4 in [2,4) -> E = 1, S = 2.
+        assert_eq!(g.scale.exponent(), 1);
+        // FP4 of x/S = [4.625, 0.632, 2.68, 5.36, 3.205, 5.39, 5.13, -0.135]
+        //            -> [4, 0.5, 3, 6, 3, 6, 6, -0.0] (paper row 3, scaled by 2:
+        //               [8?, ...] — the figure lists quantized*scale as
+        //               [1.0? ...]; we check the decoded FP4 values directly).
+        let f4 = m2x_formats::fp4();
+        let decoded: Vec<f32> = g.codes.iter().map(|&c| f4.decode(c) * 2.0).collect();
+        assert_eq!(decoded[0], 8.0); // 4.625 -> 4 (between 4 and 6, closer to 4? 4.625-4=0.625, 6-4.625=1.375) -> 4*2
+        assert_eq!(decoded[1], 1.0);
+        assert_eq!(decoded[3], 12.0); // 5.36 -> 6
+        assert_eq!(decoded[7], -0.0);
+        // Subgroup 0: FP4 mags = [4, 0.5, 3, 6] -> top-1 is index 3.
+        // Subgroup 1: [3, 6, 6, 0] -> tie between idx 1 and 2 -> lowest (1),
+        // i.e. global index 5 (value 10.78).
+        let dq = dequantize_group(&g, small_cfg());
+        // Refined top-1 of subgroup 0: 10.72/2 = 5.36 -> FP6 RNE: 5.5
+        // (5.36 between 5.0 and 5.5; 5.36-5.0=0.36 > 5.5-5.36=0.14).
+        assert_eq!(dq[3], 11.0);
+        // Refined top-1 of subgroup 1: 10.78/2 = 5.39 -> FP6 5.5 -> 11.0.
+        assert_eq!(dq[5], 11.0);
+        // Non-top elements keep their FP4 value.
+        assert_eq!(dq[0], 8.0);
+        assert_eq!(dq[1], 1.0);
+    }
+
+    #[test]
+    fn paper_bad_case_rounding() {
+        // §4.4.1: value 3.578 (at scale 1) quantizes to FP4 4.0; plain FP6
+        // would give 3.5 (error 0.078) but the bias-clamp encoding yields
+        // 3.75 (error 0.172). The first subgroup pins the scale to 2^0.
+        let c = GroupConfig::new(8, 4);
+        let x = [4.5, 0.1, 0.1, 0.1, 3.578, 0.2, 0.1, 0.1];
+        let g = quantize_group(&x, c, ScaleRule::Floor);
+        assert_eq!(g.scale.exponent(), 0);
+        let dq = dequantize_group(&g, c);
+        assert!((dq[4] - 3.75).abs() < 1e-6, "got {}", dq[4]);
+    }
+
+    #[test]
+    fn top1_refinement_reduces_group_error() {
+        let mut r = 0u64;
+        let mut next = || {
+            // Tiny deterministic LCG to avoid a dev-dependency here.
+            r = r.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((r >> 33) as f32 / (1u64 << 31) as f32) * 8.0 - 4.0
+        };
+        let mut worse = 0;
+        for _ in 0..200 {
+            let x: Vec<f32> = (0..32).map(|_| next()).collect();
+            let with_meta = fake_quantize_group(&x, cfg(), ScaleRule::Floor);
+            // Plain MXFP4: decode without metadata refinement.
+            let g = quantize_group(&x, cfg(), ScaleRule::Floor);
+            let f4 = m2x_formats::fp4();
+            let s = g.scale.value();
+            let plain: Vec<f32> = g.codes.iter().map(|&c| f4.decode(c) * s).collect();
+            let e_meta = m2x_tensor::stats::mse(&x, &with_meta);
+            let e_plain = m2x_tensor::stats::mse(&x, &plain);
+            if e_meta > e_plain + 1e-12 {
+                worse += 1;
+            }
+        }
+        // The bias-clamp bad case can make an individual group slightly
+        // worse, but it must be rare (paper: negligible impact).
+        assert!(worse <= 10, "metadata hurt {worse}/200 groups");
+    }
+
+    #[test]
+    fn decoder_identifies_same_top1() {
+        // After refinement the FP4 codes are unchanged, so the decoder's
+        // top-1 search must return the same index the encoder used.
+        let x = [1.0, 4.0, -4.0, 2.0, 0.5, 0.4, 0.3, 0.2];
+        let c = small_cfg();
+        let g = quantize_group(&x, c, ScaleRule::Floor);
+        // Encoder picked index 1 (tie with 2, lowest wins); metadata refines
+        // x[1]: decode must apply it to index 1, leaving x[2] at FP4.
+        let dq = dequantize_group(&g, c);
+        let f4 = m2x_formats::fp4();
+        let s = g.scale.value();
+        assert_eq!(dq[2], f4.decode(g.codes[2]) * s);
+    }
+
+    #[test]
+    fn all_zero_group() {
+        let x = [0.0f32; 32];
+        let g = quantize_group(&x, cfg(), ScaleRule::Floor);
+        let dq = dequantize_group(&g, cfg());
+        assert_eq!(dq, x);
+    }
+
+    #[test]
+    fn short_trailing_group() {
+        let x = [1.0, -2.0, 3.0, 0.25, 5.9];
+        let g = quantize_group(&x, cfg(), ScaleRule::Floor);
+        assert_eq!(g.codes.len(), 5);
+        assert_eq!(g.meta.len(), 1);
+        let dq = dequantize_group(&g, cfg());
+        assert_eq!(dq.len(), 5);
+    }
+
+    #[test]
+    fn error_bounded_by_fp4_step() {
+        // Every element's error is at most half an FP4 step at the shared
+        // scale; the refined element's error is at most half an FP6 step
+        // plus the clamp penalty (one FP6 step).
+        let x: Vec<f32> = (0..32).map(|i| ((i * 37 % 64) as f32 - 32.0) / 7.3).collect();
+        let dq = fake_quantize_group(&x, cfg(), ScaleRule::Floor);
+        let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let s = ScaleRule::Floor.shared_scale(amax, m2x_formats::fp4()).value();
+        for (a, b) in x.iter().zip(&dq) {
+            // Worst-case FP4 step is 2 (between 4 and 6) at scale s.
+            assert!((a - b).abs() <= 1.0 * s + 1e-6, "a={a} b={b} s={s}");
+        }
+    }
+
+    #[test]
+    fn saturated_top1_uses_fp6_max() {
+        // amax just below 8·S saturates FP6 at 7.5 and the bias-clamp maps
+        // it to 7.0 (the +3 candidate is unreachable, §4.4.1 analysis).
+        let x = [7.9, 0.1, 0.1, 0.1];
+        let c = GroupConfig::new(4, 4);
+        let g = quantize_group(&x, c, ScaleRule::Floor);
+        assert_eq!(g.scale.exponent(), 0);
+        let dq = dequantize_group(&g, c);
+        assert_eq!(dq[0], 7.0);
+    }
+
+    #[test]
+    fn roundtrip_idempotent_on_generic_data() {
+        // Exact idempotence holds away from FP4 RNE tie midpoints; the
+        // tie/bad-case drift is covered by the workspace property test
+        // `activation_requantization_settles`.
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.77).sin() * 5.0).collect();
+        let c = cfg();
+        let once = fake_quantize_group(&x, c, ScaleRule::Floor);
+        let twice = fake_quantize_group(&once, c, ScaleRule::Floor);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,171 @@
+//! Encoding design-space exploration (paper §4.2, Figs. 6–7).
+//!
+//! Sweeps metadata strategies × subgroup sizes under fixed and adaptive
+//! shared scales, producing (EBW, MSE) points whose Pareto frontier drives
+//! the hybrid M2XFP design choice.
+
+use crate::group::GroupConfig;
+use crate::scale::ScaleRule;
+use crate::strategy::{MetadataStrategy, ScaleMode};
+use m2x_tensor::stats::mse;
+use m2x_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DsePoint {
+    /// Strategy display name (e.g. `Elem-EM-top1`).
+    pub strategy: String,
+    /// Shared-scale mode.
+    pub adaptive: bool,
+    /// Subgroup size used.
+    pub subgroup_size: usize,
+    /// Equivalent bit width (Eq. 2).
+    pub ebw: f64,
+    /// Mean squared quantization error over the workload.
+    pub mse: f64,
+}
+
+/// The subgroup sizes swept in Figs. 6–7 ("Subgroup size: 32 → 2").
+pub const FIG6_SUBGROUPS: [usize; 5] = [32, 16, 8, 4, 2];
+
+/// Sweeps `strategies` × `subgroups` over the rows of `data` (grouped at
+/// `group_size`, the paper uses 32).
+pub fn sweep(
+    data: &Matrix,
+    strategies: &[MetadataStrategy],
+    subgroups: &[usize],
+    group_size: usize,
+    rule: ScaleRule,
+    mode: ScaleMode,
+) -> Vec<DsePoint> {
+    let mut points = Vec::new();
+    for &s in strategies {
+        for &sg in subgroups {
+            if sg > group_size || group_size % sg != 0 {
+                continue;
+            }
+            let cfg = GroupConfig::new(group_size, sg);
+            let mut q = Vec::with_capacity(data.len());
+            for group in data.row_groups(group_size) {
+                q.extend(s.fake_quantize_group(group, cfg, rule, mode));
+            }
+            points.push(DsePoint {
+                strategy: s.to_string(),
+                adaptive: mode == ScaleMode::Adaptive,
+                subgroup_size: sg,
+                ebw: s.bit_budget(cfg).ebw(),
+                mse: mse(data.as_slice(), &q),
+            });
+        }
+    }
+    points
+}
+
+/// Filters a point set down to its Pareto frontier (minimal MSE at each
+/// EBW; a point survives when no other point has both ≤ EBW and < MSE).
+pub fn pareto_frontier(points: &[DsePoint]) -> Vec<DsePoint> {
+    let mut frontier: Vec<DsePoint> = Vec::new();
+    for p in points {
+        let dominated = points.iter().any(|q| {
+            (q.ebw < p.ebw && q.mse <= p.mse) || (q.ebw <= p.ebw && q.mse < p.mse)
+        });
+        if !dominated {
+            frontier.push(p.clone());
+        }
+    }
+    frontier.sort_by(|a, b| a.ebw.partial_cmp(&b.ebw).expect("finite"));
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Matrix {
+        Matrix::from_fn(16, 128, |r, c| {
+            let t = (r * 128 + c) as f32;
+            // Gaussian-ish body with occasional outliers.
+            let body = (t * 0.317).sin() + 0.7 * (t * 0.113).cos();
+            let spike = if (r * 128 + c) % 97 == 0 { 4.0 } else { 0.0 };
+            body + spike
+        })
+    }
+
+    #[test]
+    fn sweep_produces_all_points() {
+        let pts = sweep(
+            &workload(),
+            &MetadataStrategy::FIG6_SET,
+            &FIG6_SUBGROUPS,
+            32,
+            ScaleRule::Floor,
+            ScaleMode::Fixed,
+        );
+        assert_eq!(pts.len(), 6 * 5);
+        assert!(pts.iter().all(|p| p.mse.is_finite() && p.ebw > 4.0));
+    }
+
+    #[test]
+    fn ebw_increases_with_finer_subgroups() {
+        let pts = sweep(
+            &workload(),
+            &[MetadataStrategy::ElemEm { top: 1 }],
+            &FIG6_SUBGROUPS,
+            32,
+            ScaleRule::Floor,
+            ScaleMode::Fixed,
+        );
+        for w in pts.windows(2) {
+            assert!(w[0].ebw < w[1].ebw); // 32 -> 2 ascending EBW
+            // And MSE should not increase with more metadata.
+            assert!(w[1].mse <= w[0].mse * 1.05, "{:?}", w);
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let pts = sweep(
+            &workload(),
+            &MetadataStrategy::FIG6_SET,
+            &FIG6_SUBGROUPS,
+            32,
+            ScaleRule::Floor,
+            ScaleMode::Fixed,
+        );
+        let f = pareto_frontier(&pts);
+        assert!(!f.is_empty());
+        for w in f.windows(2) {
+            assert!(w[0].ebw <= w[1].ebw);
+            assert!(w[0].mse >= w[1].mse);
+        }
+    }
+
+    #[test]
+    fn elem_em_on_fixed_frontier_at_4_5() {
+        // The §4.2.2 headline: at the 4.5-4.75 EBW band, Elem-EM points are
+        // on the fixed-scale frontier.
+        let pts = sweep(
+            &workload(),
+            &MetadataStrategy::FIG6_SET,
+            &FIG6_SUBGROUPS,
+            32,
+            ScaleRule::Floor,
+            ScaleMode::Fixed,
+        );
+        let band: Vec<&DsePoint> = pts
+            .iter()
+            .filter(|p| p.ebw >= 4.45 && p.ebw <= 4.8)
+            .collect();
+        let best = band
+            .iter()
+            .min_by(|a, b| a.mse.partial_cmp(&b.mse).unwrap())
+            .unwrap();
+        assert!(
+            best.strategy.starts_with("Elem-EM"),
+            "best in band is {} (mse {})",
+            best.strategy,
+            best.mse
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! Packed M2XFP tensors with the three-stream memory layout of §5.2.
+//!
+//! An [`ActTensor`] holds activations quantized row-wise by Algorithm 1; a
+//! [`WeightTensor`] holds Sg-EM-quantized weights (stored transposed,
+//! `[N, K]`, so its rows run along the GEMM reduction dimension). Both can
+//! be serialized to the paper's byte layout — per group: a 128-bit block of
+//! packed 4-bit elements in one contiguous region, 8-bit scales in another
+//! and 8-bit metadata in a third — and parsed back losslessly.
+
+use crate::activation::{self, ActGroup};
+use crate::weight::{self, WeightGroup};
+use crate::M2xfpConfig;
+use bytes::{BufMut, Bytes, BytesMut};
+use m2x_formats::packing::{pack_nibbles, unpack_nibbles, StreamLayout};
+use m2x_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error from packing/unpacking a tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutError {
+    msg: String,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layout error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+fn check_aligned(cols: usize, cfg: &M2xfpConfig) -> Result<(), LayoutError> {
+    if cols % cfg.group_size != 0 {
+        return Err(LayoutError {
+            msg: format!(
+                "row length {cols} is not a multiple of the group size {}",
+                cfg.group_size
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// A matrix of activations quantized to M2XFP (Elem-EM-top1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActTensor {
+    rows: usize,
+    cols: usize,
+    cfg: M2xfpConfig,
+    groups: Vec<ActGroup>,
+}
+
+impl ActTensor {
+    /// Quantizes a matrix row-wise (groups along columns).
+    pub fn quantize(m: &Matrix, cfg: M2xfpConfig) -> Self {
+        let gc = cfg.group_config();
+        let groups = m
+            .row_groups(cfg.group_size)
+            .map(|g| activation::quantize_group(g, gc, cfg.scale_rule))
+            .collect();
+        ActTensor {
+            rows: m.rows(),
+            cols: m.cols(),
+            cfg,
+            groups,
+        }
+    }
+
+    /// Matrix shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The configuration used at quantization time.
+    pub fn config(&self) -> &M2xfpConfig {
+        &self.cfg
+    }
+
+    /// The quantized groups, row-major.
+    pub fn groups(&self) -> &[ActGroup] {
+        &self.groups
+    }
+
+    /// Groups per row.
+    pub fn groups_per_row(&self) -> usize {
+        self.cols.div_ceil(self.cfg.group_size)
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn dequantize(&self) -> Matrix {
+        let gc = self.cfg.group_config();
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for g in &self.groups {
+            data.extend(activation::dequantize_group(g, gc));
+        }
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Serializes to the three-stream layout (`elements | scales | meta`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `cols` is not a multiple of the group size (hardware
+    /// layouts require aligned rows).
+    pub fn pack(&self) -> Result<Bytes, LayoutError> {
+        check_aligned(self.cols, &self.cfg)?;
+        pack_streams(
+            self.layout(),
+            self.groups.iter().map(|g| (&g.codes[..], g.scale.to_bits(), &g.meta[..])),
+        )
+    }
+
+    /// Parses a packed buffer produced by [`Self::pack`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on misaligned shapes or a buffer of the wrong length.
+    pub fn unpack(
+        buf: &[u8],
+        rows: usize,
+        cols: usize,
+        cfg: M2xfpConfig,
+    ) -> Result<Self, LayoutError> {
+        check_aligned(cols, &cfg)?;
+        let layout = StreamLayout {
+            groups: rows * (cols / cfg.group_size),
+            group_size: cfg.group_size,
+            elem_bits: 4,
+            meta_bits_per_group: (2 * cfg.group_size / cfg.subgroup_size) as u32,
+        };
+        let parts = unpack_streams(buf, layout)?;
+        let n_sub = cfg.group_size / cfg.subgroup_size;
+        let groups = parts
+            .into_iter()
+            .map(|(codes, scale, meta_byte)| ActGroup {
+                codes,
+                scale: m2x_formats::E8M0::from_bits(scale),
+                meta: (0..n_sub).map(|i| (meta_byte >> (2 * i)) as u8 & 0b11).collect(),
+            })
+            .collect();
+        Ok(ActTensor {
+            rows,
+            cols,
+            cfg,
+            groups,
+        })
+    }
+
+    fn layout(&self) -> StreamLayout {
+        StreamLayout {
+            groups: self.groups.len(),
+            group_size: self.cfg.group_size,
+            elem_bits: 4,
+            meta_bits_per_group: (2 * self.cfg.group_size / self.cfg.subgroup_size) as u32,
+        }
+    }
+}
+
+/// A matrix of weights quantized to M2XFP (Sg-EM-2bit), stored transposed
+/// (`[N, K]`): each row is one output channel, grouped along `K`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightTensor {
+    rows: usize,
+    cols: usize,
+    cfg: M2xfpConfig,
+    groups: Vec<WeightGroup>,
+}
+
+impl WeightTensor {
+    /// Quantizes a (transposed) weight matrix row-wise.
+    pub fn quantize(w_t: &Matrix, cfg: M2xfpConfig) -> Self {
+        let gc = cfg.group_config();
+        let groups = w_t
+            .row_groups(cfg.group_size)
+            .map(|g| weight::quantize_group(g, gc, cfg.scale_rule, cfg.adaptive_weight_scale))
+            .collect();
+        WeightTensor {
+            rows: w_t.rows(),
+            cols: w_t.cols(),
+            cfg,
+            groups,
+        }
+    }
+
+    /// Matrix shape `(rows, cols)` = `(N, K)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The configuration used at quantization time.
+    pub fn config(&self) -> &M2xfpConfig {
+        &self.cfg
+    }
+
+    /// The quantized groups, row-major.
+    pub fn groups(&self) -> &[WeightGroup] {
+        &self.groups
+    }
+
+    /// Groups per row.
+    pub fn groups_per_row(&self) -> usize {
+        self.cols.div_ceil(self.cfg.group_size)
+    }
+
+    /// Dequantizes back to `f32` (still transposed).
+    pub fn dequantize(&self) -> Matrix {
+        let gc = self.cfg.group_config();
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for g in &self.groups {
+            data.extend(weight::dequantize_group(g, gc));
+        }
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Serializes to the three-stream layout. See [`ActTensor::pack`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when `cols` is not a multiple of the group size.
+    pub fn pack(&self) -> Result<Bytes, LayoutError> {
+        check_aligned(self.cols, &self.cfg)?;
+        let layout = StreamLayout {
+            groups: self.groups.len(),
+            group_size: self.cfg.group_size,
+            elem_bits: 4,
+            meta_bits_per_group: (2 * self.cfg.group_size / self.cfg.subgroup_size) as u32,
+        };
+        pack_streams(
+            layout,
+            self.groups.iter().map(|g| (&g.codes[..], g.scale.to_bits(), &g.sg_em[..])),
+        )
+    }
+
+    /// Parses a packed buffer produced by [`Self::pack`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on misaligned shapes or a buffer of the wrong length.
+    pub fn unpack(
+        buf: &[u8],
+        rows: usize,
+        cols: usize,
+        cfg: M2xfpConfig,
+    ) -> Result<Self, LayoutError> {
+        check_aligned(cols, &cfg)?;
+        let layout = StreamLayout {
+            groups: rows * (cols / cfg.group_size),
+            group_size: cfg.group_size,
+            elem_bits: 4,
+            meta_bits_per_group: (2 * cfg.group_size / cfg.subgroup_size) as u32,
+        };
+        let parts = unpack_streams(buf, layout)?;
+        let n_sub = cfg.group_size / cfg.subgroup_size;
+        let groups = parts
+            .into_iter()
+            .map(|(codes, scale, meta_byte)| WeightGroup {
+                codes,
+                scale: m2x_formats::E8M0::from_bits(scale),
+                sg_em: (0..n_sub).map(|i| (meta_byte >> (2 * i)) as u8 & 0b11).collect(),
+            })
+            .collect();
+        Ok(WeightTensor {
+            rows,
+            cols,
+            cfg,
+            groups,
+        })
+    }
+}
+
+/// Packs groups into `elements | scales | metadata` regions. Metadata per
+/// group must fit one byte (true for the production config: 4 × 2 bits).
+fn pack_streams<'a>(
+    layout: StreamLayout,
+    groups: impl Iterator<Item = (&'a [u8], u8, &'a [u8])> + Clone,
+) -> Result<Bytes, LayoutError> {
+    if layout.meta_bits_per_group > 8 {
+        return Err(LayoutError {
+            msg: format!(
+                "metadata {} bits/group exceeds the 8-bit field",
+                layout.meta_bits_per_group
+            ),
+        });
+    }
+    let mut buf = BytesMut::with_capacity(layout.total_bytes());
+    for (codes, _, _) in groups.clone() {
+        buf.put_slice(&pack_nibbles(codes));
+    }
+    for (_, scale, _) in groups.clone() {
+        buf.put_u8(scale);
+    }
+    for (_, _, meta) in groups {
+        let mut b = 0u8;
+        for (i, &m) in meta.iter().enumerate() {
+            b |= (m & 0b11) << (2 * i);
+        }
+        buf.put_u8(b);
+    }
+    Ok(buf.freeze())
+}
+
+/// Splits a packed buffer back into per-group (codes, scale, meta-byte).
+fn unpack_streams(
+    buf: &[u8],
+    layout: StreamLayout,
+) -> Result<Vec<(Vec<u8>, u8, u8)>, LayoutError> {
+    if buf.len() != layout.total_bytes() {
+        return Err(LayoutError {
+            msg: format!(
+                "buffer is {} bytes, layout requires {}",
+                buf.len(),
+                layout.total_bytes()
+            ),
+        });
+    }
+    let epg = layout.elem_bytes_per_group();
+    let scale_off = layout.scale_offset();
+    let meta_off = layout.meta_offset();
+    let mut out = Vec::with_capacity(layout.groups);
+    for g in 0..layout.groups {
+        let codes = unpack_nibbles(&buf[g * epg..(g + 1) * epg], layout.group_size);
+        out.push((codes, buf[scale_off + g], buf[meta_off + g]));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * cols + c) as f32 * 0.61).sin() * 4.0 + ((r + c) as f32 * 0.05).cos()
+        })
+    }
+
+    #[test]
+    fn act_roundtrip_through_pack() {
+        let cfg = M2xfpConfig::default();
+        let m = sample(3, 64);
+        let t = ActTensor::quantize(&m, cfg);
+        let packed = t.pack().unwrap();
+        // 6 groups: 6·(16+1+1) bytes.
+        assert_eq!(packed.len(), 108);
+        let t2 = ActTensor::unpack(&packed, 3, 64, cfg).unwrap();
+        assert_eq!(t, t2);
+        assert_eq!(t.dequantize(), t2.dequantize());
+    }
+
+    #[test]
+    fn weight_roundtrip_through_pack() {
+        let cfg = M2xfpConfig::default();
+        let m = sample(4, 32);
+        let t = WeightTensor::quantize(&m, cfg);
+        let packed = t.pack().unwrap();
+        assert_eq!(packed.len(), 4 * 18);
+        let t2 = WeightTensor::unpack(&packed, 4, 32, cfg).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn pack_rejects_misaligned_rows() {
+        let cfg = M2xfpConfig::default();
+        let m = sample(2, 40);
+        assert!(ActTensor::quantize(&m, cfg).pack().is_err());
+    }
+
+    #[test]
+    fn unpack_rejects_wrong_length() {
+        let cfg = M2xfpConfig::default();
+        assert!(ActTensor::unpack(&[0u8; 10], 1, 32, cfg).is_err());
+    }
+
+    #[test]
+    fn dequantize_matches_group_path() {
+        let cfg = M2xfpConfig::default();
+        let m = sample(2, 96);
+        let t = ActTensor::quantize(&m, cfg);
+        let dq = t.dequantize();
+        let gc = cfg.group_config();
+        let direct: Vec<f32> = m
+            .row_groups(cfg.group_size)
+            .flat_map(|g| crate::activation::fake_quantize_group(g, gc, cfg.scale_rule))
+            .collect();
+        assert_eq!(dq.as_slice(), &direct[..]);
+    }
+
+    #[test]
+    fn footprint_is_4_5_bits_per_element() {
+        let cfg = M2xfpConfig::default();
+        let m = sample(8, 128);
+        let t = ActTensor::quantize(&m, cfg);
+        let packed = t.pack().unwrap();
+        let bits_per_elem = packed.len() as f64 * 8.0 / (8.0 * 128.0);
+        assert!((bits_per_elem - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_groups_still_dequantize() {
+        // Unaligned shapes can't pack but must still round-trip in memory.
+        let cfg = M2xfpConfig::default();
+        let m = sample(2, 50);
+        let t = ActTensor::quantize(&m, cfg);
+        assert_eq!(t.dequantize().cols(), 50);
+        let w = WeightTensor::quantize(&m, cfg);
+        assert_eq!(w.dequantize().cols(), 50);
+    }
+}

@@ -1,0 +1,270 @@
+//! Bit-exact quantized GEMM mirroring the M2XFP processing element
+//! (paper §5.4, Fig. 11, Eq. 5).
+//!
+//! The PE pipeline is: FP4×FP4 products accumulated in a fixed-point
+//! register, an auxiliary MAC adding the ΔX extra-mantissa correction for
+//! each subgroup's top-1 activation, a shift-add subgroup scale refinement
+//! `P·{1.0,1.25,1.5,1.75}`, and a final E8M0 dequantize-and-accumulate.
+//!
+//! Everything is exact integer arithmetic in units of 1/64 (activations are
+//! multiples of 1/8 after FP6 refinement, weights multiples of 1/2, the
+//! multiplier contributes a /4), so [`qgemm`] and the floating-point
+//! reference [`qgemm_reference`] agree **exactly**, which the tests and
+//! property tests assert.
+
+use crate::format::{ActTensor, WeightTensor};
+use m2x_formats::tables::{decode_extra_mantissa, top1_index};
+use m2x_formats::fp4;
+use m2x_tensor::Matrix;
+
+/// An activation group decoded to integers: values ×8, plus the shared
+/// exponent.
+#[derive(Debug, Clone)]
+struct ActInts {
+    x8: Vec<i64>,
+    exp: i32,
+}
+
+/// A weight group decoded to integers: values ×2, per-subgroup multiplier
+/// codes, plus the shared exponent.
+#[derive(Debug, Clone)]
+struct WeightInts {
+    w2: Vec<i64>,
+    mult: Vec<u8>,
+    exp: i32,
+}
+
+fn decode_act_ints(t: &ActTensor) -> Vec<ActInts> {
+    let f4 = fp4();
+    let sg_size = t.config().subgroup_size;
+    t.groups()
+        .iter()
+        .map(|g| {
+            let mut x8: Vec<i64> = g
+                .codes
+                .iter()
+                .map(|&c| (f4.decode(c) * 8.0) as i64)
+                .collect();
+            for (sg_idx, sg_codes) in g.codes.chunks(sg_size).enumerate() {
+                let local = top1_index(sg_codes);
+                let idx = sg_idx * sg_size + local;
+                let mag = decode_extra_mantissa(sg_codes[local] & 0x7, g.meta[sg_idx]);
+                let sign = if sg_codes[local] & 0x8 != 0 { -1.0 } else { 1.0 };
+                x8[idx] = (sign * mag * 8.0) as i64;
+            }
+            ActInts {
+                x8,
+                exp: g.scale.exponent(),
+            }
+        })
+        .collect()
+}
+
+fn decode_weight_ints(t: &WeightTensor) -> Vec<WeightInts> {
+    let f4 = fp4();
+    t.groups()
+        .iter()
+        .map(|g| WeightInts {
+            w2: g.codes.iter().map(|&c| (f4.decode(c) * 2.0) as i64).collect(),
+            mult: g.sg_em.clone(),
+            exp: g.scale.exponent(),
+        })
+        .collect()
+}
+
+/// Quantized GEMM `Y[M,N] = X[M,K] · W^T[N,K]` through the exact PE
+/// pipeline.
+///
+/// # Panics
+///
+/// Panics when the reduction dimensions or group geometries disagree.
+pub fn qgemm(x: &ActTensor, w: &WeightTensor) -> Matrix {
+    let (m, k) = x.shape();
+    let (n, k2) = w.shape();
+    assert_eq!(k, k2, "reduction dimension mismatch");
+    assert_eq!(
+        (x.config().group_size, x.config().subgroup_size),
+        (w.config().group_size, w.config().subgroup_size),
+        "group geometry mismatch"
+    );
+    let sg_size = x.config().subgroup_size;
+    let gpr = x.groups_per_row();
+
+    let xi = decode_act_ints(x);
+    let wi = decode_weight_ints(w);
+
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for g in 0..gpr {
+                let xg = &xi[i * gpr + g];
+                let wg = &wi[j * gpr + g];
+                // Fixed-point accumulation in units of 1/64 (the PE's 32-bit
+                // fixed-point register; i64 here so no overflow handling is
+                // needed at any group size).
+                let mut acc64: i64 = 0;
+                for (s, (xs, ws)) in xg.x8.chunks(sg_size).zip(wg.w2.chunks(sg_size)).enumerate() {
+                    let mut sacc: i64 = 0; // units of 1/16
+                    for (&a, &b) in xs.iter().zip(ws) {
+                        sacc += a * b;
+                    }
+                    // Subgroup scale refinement: ×(4 + code)/4, realized in
+                    // hardware as shift-adds.
+                    acc64 += sacc * (4 + wg.mult[s] as i64);
+                }
+                // Dequantize: exponent alignment only (E8M0 scales).
+                acc += acc64 as f64 * ((xg.exp + wg.exp - 6) as f64).exp2();
+            }
+            out[(i, j)] = acc as f32;
+        }
+    }
+    out
+}
+
+/// Floating-point reference: dequantizes both tensors and multiplies in
+/// f64. All quantized values are small dyadic rationals, so this is exact
+/// and must equal [`qgemm`] bit-for-bit after the final f32 rounding.
+pub fn qgemm_reference(x: &ActTensor, w: &WeightTensor) -> Matrix {
+    let xd = x.dequantize();
+    let wd = w.dequantize();
+    let (m, k) = x.shape();
+    let n = w.shape().0;
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            let xr = xd.row(i);
+            let wr = wd.row(j);
+            for kk in 0..k {
+                acc += xr[kk] as f64 * wr[kk] as f64;
+            }
+            out[(i, j)] = acc as f32;
+        }
+    }
+    out
+}
+
+/// The Eq. 5 decomposition for one subgroup: `W×X' = W×X + W×ΔX`, where `X`
+/// is the FP4 baseline (values ×8) and `ΔX` the extra-mantissa correction
+/// applied at `top_idx`. Returns (baseline, correction) partial sums in
+/// units of 1/16.
+pub fn pe_subgroup_decomposed(
+    x8_base: &[i64],
+    w2: &[i64],
+    top_idx: usize,
+    delta8: i64,
+) -> (i64, i64) {
+    let base: i64 = x8_base.iter().zip(w2).map(|(&a, &b)| a * b).sum();
+    let corr = delta8 * w2[top_idx];
+    (base, corr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::M2xfpConfig;
+
+    fn mat(rows: usize, cols: usize, seed: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let t = (r * cols + c) as f32 + seed;
+            (t * 0.713).sin() * 2.5 + (t * 0.137).cos() * 0.5
+        })
+    }
+
+    #[test]
+    fn fixed_point_matches_reference_exactly() {
+        let cfg = M2xfpConfig::default();
+        let x = ActTensor::quantize(&mat(5, 64, 0.0), cfg);
+        let w = WeightTensor::quantize(&mat(7, 64, 9.0), cfg);
+        let a = qgemm(&x, &w);
+        let b = qgemm_reference(&x, &w);
+        for i in 0..5 {
+            for j in 0..7 {
+                assert_eq!(
+                    a[(i, j)].to_bits(),
+                    b[(i, j)].to_bits(),
+                    "mismatch at ({i},{j}): {} vs {}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_gemm_close_to_full_precision() {
+        let cfg = M2xfpConfig::default();
+        let xm = mat(4, 128, 1.0);
+        let wm = mat(6, 128, 2.0);
+        let y_ref = xm.matmul(&wm.transpose());
+        let y_q = qgemm(
+            &ActTensor::quantize(&xm, cfg),
+            &WeightTensor::quantize(&wm, cfg),
+        );
+        let e = m2x_tensor::stats::nmse(y_ref.as_slice(), y_q.as_slice());
+        assert!(e < 0.02, "relative output error too large: {e}");
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn eq5_decomposition_is_exact() {
+        // W×X' = W×X + W×ΔX for every subgroup of a quantized tensor.
+        let cfg = M2xfpConfig::default();
+        let xm = mat(3, 64, 3.0);
+        let x = ActTensor::quantize(&xm, cfg);
+        let f4 = m2x_formats::fp4();
+        let sg_size = cfg.subgroup_size;
+        for g in x.groups() {
+            for (sg_idx, sg_codes) in g.codes.chunks(sg_size).enumerate() {
+                let local = m2x_formats::tables::top1_index(sg_codes);
+                let x8_base: Vec<i64> = sg_codes
+                    .iter()
+                    .map(|&c| (f4.decode(c) * 8.0) as i64)
+                    .collect();
+                let mag =
+                    m2x_formats::tables::decode_extra_mantissa(sg_codes[local] & 7, g.meta[sg_idx]);
+                let sign: i64 = if sg_codes[local] & 8 != 0 { -1 } else { 1 };
+                let refined8 = sign * (mag * 8.0) as i64;
+                let delta8 = refined8 - x8_base[local];
+                // The refined magnitude is one of the bias-clamp candidates
+                // for this FP4 magnitude (bit distance in [-1, +2]).
+                let cands = m2x_formats::tables::fp6_candidates(sg_codes[local] & 7);
+                assert!(cands.contains(&mag), "refined {mag} not in {cands:?}");
+                // Any weight vector: decomposed == direct.
+                let w2: Vec<i64> = (0..sg_codes.len() as i64).map(|i| (i % 25) - 12).collect();
+                let mut x8_full = x8_base.clone();
+                x8_full[local] = refined8;
+                let direct: i64 = x8_full.iter().zip(&w2).map(|(&a, &b)| a * b).sum();
+                let (base, corr) = pe_subgroup_decomposed(&x8_base, &w2, local, delta8);
+                assert_eq!(base + corr, direct);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_inputs_give_zero_output() {
+        let cfg = M2xfpConfig::default();
+        let x = ActTensor::quantize(&Matrix::zeros(2, 32), cfg);
+        let w = WeightTensor::quantize(&Matrix::zeros(3, 32), cfg);
+        let y = qgemm(&x, &w);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn multi_group_reduction() {
+        // K = 3 groups; exercises the per-group exponent alignment.
+        let cfg = M2xfpConfig::default();
+        let xm = mat(2, 96, 5.0).map(|v| v * 100.0); // larger dynamic range
+        let wm = mat(2, 96, 7.0).map(|v| v * 0.01);
+        let a = qgemm(
+            &ActTensor::quantize(&xm, cfg),
+            &WeightTensor::quantize(&wm, cfg),
+        );
+        let b = qgemm_reference(
+            &ActTensor::quantize(&xm, cfg),
+            &WeightTensor::quantize(&wm, cfg),
+        );
+        assert_eq!(a, b);
+    }
+}

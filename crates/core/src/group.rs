@@ -1,0 +1,130 @@
+//! Group/subgroup partitioning framework (paper §4.1).
+//!
+//! A group of `k` elements shares one scale; it is divided into `N = k /
+//! subgroup_size` contiguous subgroups that each carry localized metadata.
+//! This abstraction generalizes existing MX variants — e.g. SMX is a group
+//! of 16 with subgroups of 2 carrying a 1-bit exponent.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Group geometry: group size and subgroup size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroupConfig {
+    group_size: usize,
+    subgroup_size: usize,
+}
+
+impl GroupConfig {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero, `subgroup_size > group_size`, or the
+    /// subgroup size does not divide the group size.
+    pub fn new(group_size: usize, subgroup_size: usize) -> Self {
+        assert!(group_size > 0 && subgroup_size > 0, "sizes must be positive");
+        assert!(
+            subgroup_size <= group_size,
+            "subgroup larger than group ({subgroup_size} > {group_size})"
+        );
+        assert_eq!(
+            group_size % subgroup_size,
+            0,
+            "subgroup size {subgroup_size} must divide group size {group_size}"
+        );
+        GroupConfig {
+            group_size,
+            subgroup_size,
+        }
+    }
+
+    /// The paper's M2XFP production geometry: 32 / 8.
+    pub fn m2xfp_default() -> Self {
+        GroupConfig::new(32, 8)
+    }
+
+    /// Elements per group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Elements per subgroup.
+    pub fn subgroup_size(&self) -> usize {
+        self.subgroup_size
+    }
+
+    /// Subgroups per full group.
+    pub fn subgroups_per_group(&self) -> usize {
+        self.group_size / self.subgroup_size
+    }
+
+    /// Splits a (possibly short, trailing) group into subgroups.
+    pub fn subgroups<'a, T>(&self, group: &'a [T]) -> impl Iterator<Item = &'a [T]> {
+        group.chunks(self.subgroup_size)
+    }
+
+    /// Number of subgroups in a group of `len` elements (`len` may be short
+    /// for the trailing group of a row).
+    pub fn subgroup_count(&self, len: usize) -> usize {
+        len.div_ceil(self.subgroup_size)
+    }
+}
+
+impl fmt::Display for GroupConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}/sg{}", self.group_size, self.subgroup_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let g = GroupConfig::m2xfp_default();
+        assert_eq!(g.group_size(), 32);
+        assert_eq!(g.subgroup_size(), 8);
+        assert_eq!(g.subgroups_per_group(), 4);
+    }
+
+    #[test]
+    fn subgroup_iteration() {
+        let g = GroupConfig::new(8, 4);
+        let data: Vec<i32> = (0..8).collect();
+        let sgs: Vec<&[i32]> = g.subgroups(&data).collect();
+        assert_eq!(sgs, vec![&data[0..4], &data[4..8]]);
+    }
+
+    #[test]
+    fn short_trailing_group() {
+        let g = GroupConfig::new(8, 4);
+        let data: Vec<i32> = (0..6).collect();
+        let sgs: Vec<&[i32]> = g.subgroups(&data).collect();
+        assert_eq!(sgs.len(), 2);
+        assert_eq!(sgs[1].len(), 2);
+        assert_eq!(g.subgroup_count(6), 2);
+        assert_eq!(g.subgroup_count(8), 2);
+        assert_eq!(g.subgroup_count(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_non_dividing_subgroup() {
+        GroupConfig::new(32, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "subgroup larger")]
+    fn rejects_oversized_subgroup() {
+        GroupConfig::new(8, 16);
+    }
+
+    #[test]
+    fn smx_geometry_expressible() {
+        // SMX: group of 16, subgroups of 2 (paper §4.1).
+        let g = GroupConfig::new(16, 2);
+        assert_eq!(g.subgroups_per_group(), 8);
+    }
+}

@@ -1,0 +1,249 @@
+//! Shared-scale computation.
+//!
+//! MX formats derive one power-of-two scale per group from the block
+//! maximum. The paper evaluates five derivation rules (§6.4, Table 8); the
+//! OCP-compliant default is `floor`: `E = ⌊log2(amax / P)⌋` with `P` the
+//! largest representable power of two (4 for FP4).
+//!
+//! All rules are computed with exact integer/binade arithmetic (no reliance
+//! on correctly-rounded `log2`), so group scales are bit-reproducible.
+
+use m2x_formats::{E8M0, Minifloat};
+use serde::{Deserialize, Serialize};
+
+/// Rule used to derive the shared exponent from the block maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScaleRule {
+    /// OCP default: `E = ⌊log2(amax/P)⌋` (P = largest power of two, 4 for FP4).
+    Floor,
+    /// `E = ⌈log2(amax/M)⌉` (M = largest representable value, 6 for FP4) —
+    /// guarantees no clipping.
+    Ceil,
+    /// `E = round(log2(amax/M))` — round-to-nearest in log space.
+    Rtn1,
+    /// `E = round(log2(amax/P))` — round-to-nearest in log space against P.
+    Rtn2,
+    /// `E = ⌊log2(round2(amax)/P)⌋` where `round2` rounds the block maximum
+    /// to the nearest power of two in *value* space (ties downward).
+    /// Identical to [`ScaleRule::Ceil`] when `M = 1.5 P`, which holds for
+    /// FP4 (paper §6.4).
+    Rtne,
+}
+
+impl ScaleRule {
+    /// All rules, in the order of Table 8.
+    pub const ALL: [ScaleRule; 5] = [
+        ScaleRule::Floor,
+        ScaleRule::Ceil,
+        ScaleRule::Rtn1,
+        ScaleRule::Rtn2,
+        ScaleRule::Rtne,
+    ];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScaleRule::Floor => "floor",
+            ScaleRule::Ceil => "ceil",
+            ScaleRule::Rtn1 => "RTN1",
+            ScaleRule::Rtn2 => "RTN2",
+            ScaleRule::Rtne => "RTNE",
+        }
+    }
+
+    /// Computes the shared exponent for a block maximum `amax` under this
+    /// rule for the given element format.
+    ///
+    /// `amax <= 0` (an all-zero block) yields the minimum exponent so that
+    /// every element quantizes to zero without special-casing.
+    pub fn shared_exponent(&self, amax: f32, elem: &Minifloat) -> i32 {
+        if !(amax > 0.0) || !amax.is_finite() {
+            return m2x_formats::e8m0::MIN_EXP;
+        }
+        let p_exp = exact_log2(elem.max_pow2());
+        match self {
+            ScaleRule::Floor => floor_log2(amax) - p_exp,
+            ScaleRule::Ceil => ceil_log2_over(amax, elem.max_value()),
+            ScaleRule::Rtn1 => round_log2_over(amax, elem.max_value()),
+            ScaleRule::Rtn2 => round_log2_over(amax, elem.max_pow2()),
+            ScaleRule::Rtne => {
+                // Round amax to the nearest power of two in value space
+                // (ties toward the smaller), then floor(log2(. / P)).
+                let e = floor_log2(amax);
+                let lo = exp2_f64(e);
+                let mid = 1.5 * lo;
+                let rounded_e = if (amax as f64) <= mid { e } else { e + 1 };
+                rounded_e - p_exp
+            }
+        }
+    }
+
+    /// Computes the E8M0 shared scale (clamped to the representable range).
+    pub fn shared_scale(&self, amax: f32, elem: &Minifloat) -> E8M0 {
+        E8M0::from_exponent(self.shared_exponent(amax, elem))
+    }
+}
+
+/// `⌊log2(a)⌋` computed exactly from the f32 bit pattern (a > 0, finite).
+pub fn floor_log2(a: f32) -> i32 {
+    debug_assert!(a > 0.0 && a.is_finite());
+    let bits = a.to_bits();
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    if exp != 0 {
+        exp - 127
+    } else {
+        // Subnormal: exponent of leading mantissa bit.
+        let man = bits & 0x7F_FFFF;
+        -127 - (man.leading_zeros() as i32 - 9) + 1 - 1
+    }
+}
+
+/// Exact `log2` of a value known to be a power of two.
+fn exact_log2(p: f32) -> i32 {
+    let e = floor_log2(p);
+    debug_assert_eq!(exp2_f64(e) as f32, p, "{p} is not a power of two");
+    e
+}
+
+fn exp2_f64(e: i32) -> f64 {
+    (e as f64).exp2()
+}
+
+/// `⌈log2(a / m)⌉` via exact comparisons: the smallest k with `a <= m·2^k`.
+fn ceil_log2_over(a: f32, m: f32) -> i32 {
+    let a = a as f64;
+    let m = m as f64;
+    let mut k = (a / m).log2().ceil() as i32;
+    while m * exp2_f64(k) < a {
+        k += 1;
+    }
+    while k > i32::MIN + 1 && m * exp2_f64(k - 1) >= a {
+        k -= 1;
+    }
+    k
+}
+
+/// `round(log2(a / m))` with exact fix-up: k minimizing `|log2(a/m) - k|`,
+/// ties resolved upward (matching `f64::round` on the positive side of the
+/// log axis).
+fn round_log2_over(a: f32, m: f32) -> i32 {
+    let a = a as f64;
+    let m = m as f64;
+    let mut k = (a / m).log2().round() as i32;
+    // Midpoint in log space between k and k+1 is m·2^(k+0.5).
+    let sqrt2 = std::f64::consts::SQRT_2;
+    while a >= m * exp2_f64(k) * sqrt2 {
+        k += 1;
+    }
+    while a < m * exp2_f64(k - 1) * sqrt2 {
+        k -= 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_formats::fp4;
+
+    #[test]
+    fn floor_log2_exact_at_binades() {
+        assert_eq!(floor_log2(1.0), 0);
+        assert_eq!(floor_log2(2.0), 1);
+        assert_eq!(floor_log2(1.9999999), 0);
+        assert_eq!(floor_log2(0.5), -1);
+        assert_eq!(floor_log2(0.4999999), -2);
+        assert_eq!(floor_log2(6.0), 2);
+        assert_eq!(floor_log2(8.0), 3);
+        // Subnormals (constructed from bits; powi(-149) underflows).
+        assert_eq!(floor_log2(2f32.powi(-127)), -127);
+        assert_eq!(floor_log2(f32::from_bits(1)), -149);
+        assert_eq!(floor_log2(f32::from_bits(0x7F_FFFF)), -127);
+    }
+
+    #[test]
+    fn floor_rule_matches_ocp_formula() {
+        let f = fp4();
+        // amax in [4, 8) -> E = 0; [8, 16) -> 1; [2, 4) -> -1.
+        assert_eq!(ScaleRule::Floor.shared_exponent(4.0, f), 0);
+        assert_eq!(ScaleRule::Floor.shared_exponent(7.9, f), 0);
+        assert_eq!(ScaleRule::Floor.shared_exponent(8.0, f), 1);
+        assert_eq!(ScaleRule::Floor.shared_exponent(3.9, f), -1);
+        assert_eq!(ScaleRule::Floor.shared_exponent(100.0, f), 4);
+    }
+
+    #[test]
+    fn ceil_rule_never_clips() {
+        let f = fp4();
+        for i in 1..2000 {
+            let amax = i as f32 * 0.013;
+            let e = ScaleRule::Ceil.shared_exponent(amax, f);
+            let s = (e as f64).exp2();
+            assert!(
+                amax as f64 <= 6.0 * s + 1e-12,
+                "amax {amax} clips at scale 2^{e}"
+            );
+            // And the scale is tight: one step smaller would clip.
+            assert!(amax as f64 > 6.0 * s / 2.0, "scale 2^{e} loose for {amax}");
+        }
+    }
+
+    #[test]
+    fn rtne_equals_ceil_for_fp4() {
+        // Paper §6.4: RTNE and ceil coincide when M = 1.5 P.
+        let f = fp4();
+        for i in 1..4000 {
+            let amax = i as f32 * 0.0037;
+            assert_eq!(
+                ScaleRule::Rtne.shared_exponent(amax, f),
+                ScaleRule::Ceil.shared_exponent(amax, f),
+                "amax={amax}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_block_gets_min_exponent() {
+        let f = fp4();
+        for rule in ScaleRule::ALL {
+            assert_eq!(rule.shared_exponent(0.0, f), m2x_formats::e8m0::MIN_EXP);
+        }
+    }
+
+    #[test]
+    fn rules_differ_where_expected() {
+        let f = fp4();
+        // amax = 5: floor -> 0 (5/4 in [1,2)), ceil -> 0 (5 <= 6), RTN2:
+        // log2(5/4) = 0.32 -> 0.
+        assert_eq!(ScaleRule::Floor.shared_exponent(5.0, f), 0);
+        assert_eq!(ScaleRule::Ceil.shared_exponent(5.0, f), 0);
+        // amax = 6.5: floor -> 0, ceil -> 1 (6.5 > 6).
+        assert_eq!(ScaleRule::Floor.shared_exponent(6.5, f), 0);
+        assert_eq!(ScaleRule::Ceil.shared_exponent(6.5, f), 1);
+        // amax = 11: floor: 11/4 in [2,4) -> 1. RTN2: log2(2.75)=1.46 -> 1.
+        // RTN1: log2(11/6)=0.87 -> 1.
+        assert_eq!(ScaleRule::Floor.shared_exponent(11.0, f), 1);
+        assert_eq!(ScaleRule::Rtn2.shared_exponent(11.0, f), 1);
+        assert_eq!(ScaleRule::Rtn1.shared_exponent(11.0, f), 1);
+        // amax = 23: floor -> 2; RTN2: log2(5.75) = 2.52 -> 3.
+        assert_eq!(ScaleRule::Floor.shared_exponent(23.0, f), 2);
+        assert_eq!(ScaleRule::Rtn2.shared_exponent(23.0, f), 3);
+    }
+
+    #[test]
+    fn round_log2_ties() {
+        let f = fp4();
+        // log-space midpoint between E=0 and E=1 for RTN2 is 4·√2 ≈ 5.657.
+        assert_eq!(ScaleRule::Rtn2.shared_exponent(5.65, f), 0);
+        assert_eq!(ScaleRule::Rtn2.shared_exponent(5.66, f), 1);
+    }
+
+    #[test]
+    fn shared_scale_clamps_to_e8m0_range() {
+        let f = fp4();
+        let s = ScaleRule::Floor.shared_scale(f32::MIN_POSITIVE, f);
+        assert!(s.exponent() >= m2x_formats::e8m0::MIN_EXP);
+        let s = ScaleRule::Floor.shared_scale(3.0e38, f);
+        assert!(s.exponent() <= m2x_formats::e8m0::MAX_EXP);
+    }
+}

@@ -1,0 +1,396 @@
+//! The metadata design space of §4.1–4.2: four strategy families × two
+//! shared-scale modes, all expressed over the group/subgroup framework.
+//!
+//! * **Elem-EM** — extra mantissa bits on the top-1/top-2 element of each
+//!   subgroup (ideal FP6 re-rounding; the production bias-clamp encoding
+//!   lives in [`crate::activation`] and is compared in the ablation bench).
+//! * **Elem-EE** — a 2-bit exponent offset on the top-1 element.
+//! * **Sg-EM**  — 1–2 extra mantissa bits refining each subgroup's scale
+//!   (multipliers of the shared power-of-two scale).
+//! * **Sg-EE**  — 1–2 extra exponent bits per subgroup (downward offsets,
+//!   the SMX concept).
+//!
+//! Under [`ScaleMode::Fixed`] the group scale comes straight from the scale
+//! rule; under [`ScaleMode::Adaptive`] a bias `b ∈ {-1,0,1}` on the shared
+//! exponent is searched jointly with the metadata (paper §4.1).
+
+use crate::ebw::BitBudget;
+use crate::group::GroupConfig;
+use crate::scale::ScaleRule;
+use m2x_formats::tables::{top1_index, top2_indices};
+use m2x_formats::{fp4, fp6_e2m3, E8M0};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether metadata may reshape the shared scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScaleMode {
+    /// Shared scale strictly from the block maximum (rule only).
+    Fixed,
+    /// MSE-based search over exponent bias b ∈ {-1, 0, 1}.
+    Adaptive,
+}
+
+/// A metadata allocation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetadataStrategy {
+    /// Element-level extra mantissa on the `top` largest elements per
+    /// subgroup (2 bits each).
+    ElemEm {
+        /// How many elements per subgroup are refined (1 or 2).
+        top: usize,
+    },
+    /// Element-level 2-bit exponent offset on the top-1 element.
+    ElemEe,
+    /// Subgroup-level extra mantissa refining the subgroup scale.
+    SgEm {
+        /// Metadata bits per subgroup (1 or 2).
+        bits: u8,
+    },
+    /// Subgroup-level extra exponent (downward offsets).
+    SgEe {
+        /// Metadata bits per subgroup (1 or 2).
+        bits: u8,
+    },
+}
+
+impl MetadataStrategy {
+    /// The strategies swept in Figs. 6–7, in plot order.
+    pub const FIG6_SET: [MetadataStrategy; 6] = [
+        MetadataStrategy::ElemEm { top: 1 },
+        MetadataStrategy::ElemEm { top: 2 },
+        MetadataStrategy::SgEm { bits: 1 },
+        MetadataStrategy::SgEm { bits: 2 },
+        MetadataStrategy::SgEe { bits: 1 },
+        MetadataStrategy::SgEe { bits: 2 },
+    ];
+
+    /// Metadata bits spent per subgroup.
+    pub fn meta_bits_per_subgroup(&self) -> f64 {
+        match self {
+            MetadataStrategy::ElemEm { top } => 2.0 * *top as f64,
+            MetadataStrategy::ElemEe => 2.0,
+            MetadataStrategy::SgEm { bits } | MetadataStrategy::SgEe { bits } => *bits as f64,
+        }
+    }
+
+    /// The bit budget at a given geometry.
+    pub fn bit_budget(&self, cfg: GroupConfig) -> BitBudget {
+        BitBudget::with_subgroup_meta(
+            cfg.group_size(),
+            cfg.subgroup_size(),
+            self.meta_bits_per_subgroup(),
+        )
+    }
+
+    /// Fake-quantizes one group under this strategy.
+    pub fn fake_quantize_group(
+        &self,
+        x: &[f32],
+        cfg: GroupConfig,
+        rule: ScaleRule,
+        mode: ScaleMode,
+    ) -> Vec<f32> {
+        assert!(!x.is_empty());
+        let f4 = fp4();
+        let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let e0 = rule.shared_exponent(amax, f4);
+        let biases: &[i32] = match mode {
+            ScaleMode::Fixed => &[0],
+            ScaleMode::Adaptive => &[-1, 0, 1],
+        };
+        let mut best: Option<(f64, Vec<f32>)> = None;
+        for &b in biases {
+            let s = E8M0::from_exponent(e0 + b).value();
+            let q = self.quantize_at_scale(x, cfg, s);
+            let sse: f64 = x
+                .iter()
+                .zip(&q)
+                .map(|(&a, &b)| {
+                    let d = (a - b) as f64;
+                    d * d
+                })
+                .sum();
+            let better = match &best {
+                None => true,
+                Some((t, _)) => sse < *t,
+            };
+            if better {
+                best = Some((sse, q));
+            }
+        }
+        best.expect("non-empty bias set").1
+    }
+
+    fn quantize_at_scale(&self, x: &[f32], cfg: GroupConfig, s: f32) -> Vec<f32> {
+        match self {
+            MetadataStrategy::ElemEm { top } => elem_em(x, cfg, s, *top),
+            MetadataStrategy::ElemEe => elem_ee(x, cfg, s),
+            MetadataStrategy::SgEm { bits } => sg_scaled(x, cfg, s, &multipliers(*bits)),
+            MetadataStrategy::SgEe { bits } => sg_scaled(x, cfg, s, &offsets(*bits)),
+        }
+    }
+}
+
+impl fmt::Display for MetadataStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetadataStrategy::ElemEm { top } => write!(f, "Elem-EM-top{top}"),
+            MetadataStrategy::ElemEe => write!(f, "Elem-EE"),
+            MetadataStrategy::SgEm { bits } => write!(f, "Sg-EM-{bits}bit"),
+            MetadataStrategy::SgEe { bits } => write!(f, "Sg-EE-{bits}bit"),
+        }
+    }
+}
+
+/// Subgroup scale multipliers for Sg-EM (1 bit: {1, 1.5}; 2 bits: Eq. 3).
+fn multipliers(bits: u8) -> Vec<f32> {
+    match bits {
+        1 => vec![1.0, 1.5],
+        2 => vec![1.0, 1.25, 1.5, 1.75],
+        _ => panic!("Sg-EM supports 1 or 2 bits, got {bits}"),
+    }
+}
+
+/// Subgroup scale factors for Sg-EE (downward power-of-two offsets, the SMX
+/// concept: small subgroups drop to a finer scale).
+fn offsets(bits: u8) -> Vec<f32> {
+    match bits {
+        1 => vec![1.0, 0.5],
+        2 => vec![1.0, 0.5, 0.25, 0.125],
+        _ => panic!("Sg-EE supports 1 or 2 bits, got {bits}"),
+    }
+}
+
+/// Element-level extra mantissa: FP4 everywhere, top-T per subgroup
+/// re-rounded at FP6 precision (ideal re-rounding; no encoding loss).
+fn elem_em(x: &[f32], cfg: GroupConfig, s: f32, top: usize) -> Vec<f32> {
+    assert!(top == 1 || top == 2, "top must be 1 or 2");
+    let f4 = fp4();
+    let f6 = fp6_e2m3();
+    let mut out = Vec::with_capacity(x.len());
+    for sg in x.chunks(cfg.subgroup_size()) {
+        let codes: Vec<u8> = sg.iter().map(|&v| f4.encode(v / s)).collect();
+        let mut vals: Vec<f32> = codes.iter().map(|&c| f4.decode(c) * s).collect();
+        let refine = |i: usize, vals: &mut Vec<f32>| {
+            let q = f6.quantize(sg[i] / s) * s;
+            vals[i] = q;
+        };
+        if sg.len() == 1 {
+            refine(0, &mut vals);
+        } else if top == 1 {
+            refine(top1_index(&codes), &mut vals);
+        } else {
+            let [a, b] = top2_indices(&codes);
+            refine(a, &mut vals);
+            refine(b, &mut vals);
+        }
+        out.extend_from_slice(&vals);
+    }
+    out
+}
+
+/// Element-level extra exponent: the top-1 element is re-quantized with a
+/// 2-bit exponent offset (2^{-2..=1}) chosen to minimize its error.
+fn elem_ee(x: &[f32], cfg: GroupConfig, s: f32) -> Vec<f32> {
+    let f4 = fp4();
+    let mut out = Vec::with_capacity(x.len());
+    for sg in x.chunks(cfg.subgroup_size()) {
+        let codes: Vec<u8> = sg.iter().map(|&v| f4.encode(v / s)).collect();
+        let mut vals: Vec<f32> = codes.iter().map(|&c| f4.decode(c) * s).collect();
+        let i = top1_index(&codes);
+        let target = sg[i];
+        let mut best = vals[i];
+        let mut best_err = (best - target).abs();
+        for off in [-2i32, -1, 0, 1] {
+            let es = s * (off as f32).exp2();
+            let q = f4.quantize(target / es) * es;
+            let e = (q - target).abs();
+            if e < best_err {
+                best_err = e;
+                best = q;
+            }
+        }
+        vals[i] = best;
+        out.extend_from_slice(&vals);
+    }
+    out
+}
+
+/// Subgroup-level scale refinement: each subgroup picks the factor (from
+/// `factors`, times the shared scale) minimizing its SSE — covers both
+/// Sg-EM (multipliers ≥ 1) and Sg-EE (power-of-two offsets ≤ 1).
+fn sg_scaled(x: &[f32], cfg: GroupConfig, s: f32, factors: &[f32]) -> Vec<f32> {
+    let f4 = fp4();
+    let mut out = Vec::with_capacity(x.len());
+    for sg in x.chunks(cfg.subgroup_size()) {
+        let mut best: Option<(f64, Vec<f32>)> = None;
+        for &m in factors {
+            let eff = m * s;
+            let q: Vec<f32> = sg.iter().map(|&v| f4.quantize(v / eff) * eff).collect();
+            let sse: f64 = sg
+                .iter()
+                .zip(&q)
+                .map(|(&a, &b)| {
+                    let d = (a - b) as f64;
+                    d * d
+                })
+                .sum();
+            let better = match &best {
+                None => true,
+                Some((t, _)) => sse < *t,
+            };
+            if better {
+                best = Some((sse, q));
+            }
+        }
+        out.extend_from_slice(&best.expect("non-empty factors").1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::mse;
+
+    fn cfg(sg: usize) -> GroupConfig {
+        GroupConfig::new(32, sg)
+    }
+
+    fn data(seed: u64) -> Vec<f32> {
+        // Heavy-tailed (Laplace) groups — the regime the paper's analysis
+        // targets, where the block/subgroup maximum dominates the error.
+        let mut r = m2x_tensor::Xoshiro::seed(seed + 1);
+        r.vec_of(32, |r| r.laplace(1.0))
+    }
+
+    fn strategy_mse(
+        s: MetadataStrategy,
+        sg: usize,
+        mode: ScaleMode,
+        seeds: std::ops::Range<u64>,
+    ) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0;
+        for seed in seeds {
+            let x = data(seed);
+            let q = s.fake_quantize_group(&x, cfg(sg), ScaleRule::Floor, mode);
+            total += mse(&x, &q);
+            n += 1;
+        }
+        total / n as f64
+    }
+
+    #[test]
+    fn ebw_of_fig6_points() {
+        // Elem-EM-top1 at subgroup 8 on group 32: EBW = 4.5.
+        let s = MetadataStrategy::ElemEm { top: 1 };
+        assert!((s.bit_budget(cfg(8)).ebw() - 4.5).abs() < 1e-12);
+        // Sg-EM-2bit at subgroup 8: also 4.5 — same budget, different use.
+        let s = MetadataStrategy::SgEm { bits: 2 };
+        assert!((s.bit_budget(cfg(8)).ebw() - 4.5).abs() < 1e-12);
+        // Sg-EM-1bit at subgroup 8: 4.375.
+        let s = MetadataStrategy::SgEm { bits: 1 };
+        assert!((s.bit_budget(cfg(8)).ebw() - 4.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_strategies_beat_plain_mxfp4() {
+        let plain = {
+            let mut total = 0.0;
+            for seed in 0..30 {
+                let x = data(seed);
+                let f4 = m2x_formats::fp4();
+                let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let s = ScaleRule::Floor.shared_scale(amax, f4).value();
+                let q: Vec<f32> = x.iter().map(|&v| f4.quantize(v / s) * s).collect();
+                total += mse(&x, &q);
+            }
+            total / 30.0
+        };
+        for s in MetadataStrategy::FIG6_SET {
+            let m = strategy_mse(s, 8, ScaleMode::Fixed, 0..30);
+            assert!(m <= plain + 1e-12, "{s} mse {m} vs plain {plain}");
+        }
+    }
+
+    #[test]
+    fn elem_em_dominates_under_fixed_scale() {
+        // The §4.2.2 finding: Elem-EM achieves the lowest MSE at matched
+        // budget under a fixed shared scale.
+        let em = strategy_mse(MetadataStrategy::ElemEm { top: 1 }, 8, ScaleMode::Fixed, 0..60);
+        let sgem = strategy_mse(MetadataStrategy::SgEm { bits: 2 }, 8, ScaleMode::Fixed, 0..60);
+        let sgee = strategy_mse(MetadataStrategy::SgEe { bits: 2 }, 8, ScaleMode::Fixed, 0..60);
+        assert!(em < sgem, "Elem-EM {em} should beat Sg-EM {sgem} (fixed)");
+        assert!(em < sgee, "Elem-EM {em} should beat Sg-EE {sgee} (fixed)");
+    }
+
+    #[test]
+    fn top2_no_worse_than_top1() {
+        let t1 = strategy_mse(MetadataStrategy::ElemEm { top: 1 }, 8, ScaleMode::Fixed, 0..40);
+        let t2 = strategy_mse(MetadataStrategy::ElemEm { top: 2 }, 8, ScaleMode::Fixed, 0..40);
+        assert!(t2 <= t1 + 1e-12);
+    }
+
+    #[test]
+    fn adaptive_no_worse_than_fixed() {
+        for s in MetadataStrategy::FIG6_SET {
+            let fixed = strategy_mse(s, 8, ScaleMode::Fixed, 0..30);
+            let adaptive = strategy_mse(s, 8, ScaleMode::Adaptive, 0..30);
+            assert!(adaptive <= fixed + 1e-12, "{s}");
+        }
+    }
+
+    #[test]
+    fn sgem_2bit_improves_with_adaptive() {
+        // §4.2.3: adaptive scale specifically unlocks Sg-EM.
+        let fixed = strategy_mse(MetadataStrategy::SgEm { bits: 2 }, 8, ScaleMode::Adaptive, 0..60);
+        let em_fixed =
+            strategy_mse(MetadataStrategy::ElemEm { top: 1 }, 8, ScaleMode::Fixed, 0..60);
+        assert!(
+            fixed < em_fixed,
+            "Sg-EM-adaptive {fixed} should beat Elem-EM-fixed {em_fixed}"
+        );
+    }
+
+    #[test]
+    fn smaller_subgroups_reduce_mse() {
+        let s = MetadataStrategy::SgEm { bits: 2 };
+        let coarse = strategy_mse(s, 32, ScaleMode::Fixed, 0..30);
+        let fine = strategy_mse(s, 4, ScaleMode::Fixed, 0..30);
+        assert!(fine < coarse);
+    }
+
+    #[test]
+    fn elem_ee_refines_top1_without_hurting() {
+        // Elem-EE is omitted from the paper's figures but must still be a
+        // valid refinement: never worse than plain MXFP4 on the group.
+        let s = MetadataStrategy::ElemEe;
+        for seed in 0..20 {
+            let x = data(seed);
+            let q = s.fake_quantize_group(&x, cfg(8), ScaleRule::Floor, ScaleMode::Fixed);
+            let f4 = m2x_formats::fp4();
+            let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let sc = ScaleRule::Floor.shared_scale(amax, f4).value();
+            let plain: Vec<f32> = x.iter().map(|&v| f4.quantize(v / sc) * sc).collect();
+            assert!(mse(&x, &q) <= mse(&x, &plain) + 1e-12, "seed {seed}");
+        }
+        assert_eq!(s.meta_bits_per_subgroup(), 2.0);
+    }
+
+    #[test]
+    fn zero_group_stable_for_all_strategies() {
+        let x = vec![0.0f32; 32];
+        for s in MetadataStrategy::FIG6_SET {
+            let q = s.fake_quantize_group(&x, cfg(8), ScaleRule::Floor, ScaleMode::Adaptive);
+            assert!(q.iter().all(|&v| v == 0.0), "{s}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MetadataStrategy::ElemEm { top: 1 }.to_string(), "Elem-EM-top1");
+        assert_eq!(MetadataStrategy::SgEe { bits: 2 }.to_string(), "Sg-EE-2bit");
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline weight quantization with Sg-EM subgroup scale refinement
+//! (paper §4.4.2).
+//!
+//! Each subgroup carries a 2-bit extra mantissa refining the shared scale
+//! `S = 2^E` into `{1.0, 1.25, 1.5, 1.75} · S` (Eq. 3). With the adaptive
+//! shared scale enabled, a group-level exponent bias `b ∈ {-1, 0, 1}` is
+//! searched jointly and absorbed into the stored E8M0 scale (it costs no
+//! extra bits). Parameters are chosen by hierarchical MSE minimization
+//! (Eq. 4): best multiplier per subgroup given `b`, then best `b`.
+
+use crate::group::GroupConfig;
+use crate::scale::ScaleRule;
+use m2x_formats::{fp4, E8M0};
+use serde::{Deserialize, Serialize};
+
+/// The four subgroup scale multipliers encoded by the 2-bit Sg-EM codes
+/// 00, 01, 10, 11 (paper §5.4).
+pub const SG_MULTIPLIERS: [f32; 4] = [1.0, 1.25, 1.5, 1.75];
+
+/// One quantized weight group: FP4 codes, E8M0 shared scale (bias already
+/// absorbed) and a 2-bit multiplier code per subgroup.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightGroup {
+    /// FP4 codes (sign in bit 3, magnitude in bits 2..0).
+    pub codes: Vec<u8>,
+    /// Shared power-of-two scale, including the adaptive bias.
+    pub scale: E8M0,
+    /// Sg-EM multiplier codes (0..=3), one per subgroup.
+    pub sg_em: Vec<u8>,
+}
+
+impl WeightGroup {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the group holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Effective scale of subgroup `i`.
+    pub fn subgroup_scale(&self, i: usize) -> f32 {
+        SG_MULTIPLIERS[self.sg_em[i] as usize] * self.scale.value()
+    }
+}
+
+/// Quantizes one group of weights with Sg-EM-2bit refinement.
+///
+/// `adaptive` enables the `b ∈ {-1,0,1}` exponent-bias search of the
+/// adaptive shared-scale mode; with `false` the scale comes directly from
+/// `rule` (fixed mode).
+pub fn quantize_group(
+    w: &[f32],
+    cfg: GroupConfig,
+    rule: ScaleRule,
+    adaptive: bool,
+) -> WeightGroup {
+    assert!(!w.is_empty(), "group must be non-empty");
+    assert!(w.len() <= cfg.group_size(), "group longer than configured size");
+    let f4 = fp4();
+
+    let amax = w.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let e0 = rule.shared_exponent(amax, f4);
+    let biases: &[i32] = if adaptive { &[-1, 0, 1] } else { &[0] };
+
+    let mut best: Option<(f64, E8M0, Vec<u8>)> = None;
+    for &b in biases {
+        let scale = E8M0::from_exponent(e0 + b);
+        let s = scale.value();
+        let mut total = 0.0f64;
+        let mut sg_em = Vec::with_capacity(cfg.subgroup_count(w.len()));
+        for sg in w.chunks(cfg.subgroup_size()) {
+            let (k_best, sse) = best_multiplier(sg, s);
+            sg_em.push(k_best);
+            total += sse;
+        }
+        let better = match &best {
+            None => true,
+            Some((t, _, _)) => total < *t,
+        };
+        if better {
+            best = Some((total, scale, sg_em));
+        }
+    }
+    let (_, scale, sg_em) = best.expect("at least one bias candidate");
+
+    // Encode codes with the winning parameters.
+    let s = scale.value();
+    let mut codes = Vec::with_capacity(w.len());
+    for (sg_idx, sg) in w.chunks(cfg.subgroup_size()).enumerate() {
+        let eff = SG_MULTIPLIERS[sg_em[sg_idx] as usize] * s;
+        for &v in sg {
+            codes.push(f4.encode(v / eff));
+        }
+    }
+    WeightGroup { codes, scale, sg_em }
+}
+
+/// Finds the multiplier code minimizing the subgroup's squared error under
+/// shared scale `s` (inner loop of Eq. 4). Ties keep the smaller code.
+fn best_multiplier(sg: &[f32], s: f32) -> (u8, f64) {
+    let f4 = fp4();
+    let mut best_k = 0u8;
+    let mut best_sse = f64::INFINITY;
+    for (k, &m) in SG_MULTIPLIERS.iter().enumerate() {
+        let eff = m * s;
+        let sse: f64 = sg
+            .iter()
+            .map(|&v| {
+                let q = f4.quantize(v / eff) * eff;
+                let e = (q - v) as f64;
+                e * e
+            })
+            .sum();
+        if sse < best_sse {
+            best_sse = sse;
+            best_k = k as u8;
+        }
+    }
+    (best_k, best_sse)
+}
+
+/// Dequantizes a weight group.
+pub fn dequantize_group(g: &WeightGroup, cfg: GroupConfig) -> Vec<f32> {
+    let f4 = fp4();
+    let mut out = Vec::with_capacity(g.codes.len());
+    for (sg_idx, sg_codes) in g.codes.chunks(cfg.subgroup_size()).enumerate() {
+        let eff = g.subgroup_scale(sg_idx);
+        for &c in sg_codes {
+            out.push(f4.decode(c) * eff);
+        }
+    }
+    out
+}
+
+/// Fake-quantization (quantize + dequantize) of one weight group.
+pub fn fake_quantize_group(
+    w: &[f32],
+    cfg: GroupConfig,
+    rule: ScaleRule,
+    adaptive: bool,
+) -> Vec<f32> {
+    dequantize_group(&quantize_group(w, cfg, rule, adaptive), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::mse;
+
+    fn cfg() -> GroupConfig {
+        GroupConfig::new(32, 8)
+    }
+
+    fn ramp(n: usize, scale: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32 * 1.37).sin() + 0.1 * (i as f32)) * scale)
+            .collect()
+    }
+
+    #[test]
+    fn multiplier_aligns_subgroup_max() {
+        // A subgroup whose max is 5.0 under scale 1: multiplier 1.25 maps it
+        // onto the FP4 code 4 exactly (5/1.25 = 4).
+        let sg = [5.0f32, 0.6, 0.2, -0.1];
+        let (k, _) = best_multiplier(&sg, 1.0);
+        let eff = SG_MULTIPLIERS[k as usize];
+        let q = m2x_formats::fp4().quantize(5.0 / eff) * eff;
+        assert!((q - 5.0).abs() < 1e-6, "k={k} q={q}");
+    }
+
+    #[test]
+    fn sgem_never_worse_than_plain_mxfp4() {
+        // Multiplier 1.0 (code 00) reproduces plain MXFP4, so the searched
+        // result can only improve group MSE.
+        for seed in 0..50u64 {
+            let w: Vec<f32> = (0..32)
+                .map(|i| {
+                    let t = (seed * 37 + i) as f32;
+                    (t * 0.618).sin() * 3.0 + (t * 0.314).cos()
+                })
+                .collect();
+            let refined = fake_quantize_group(&w, cfg(), ScaleRule::Floor, false);
+            let plain: Vec<f32> = {
+                let f4 = m2x_formats::fp4();
+                let amax = w.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let s = ScaleRule::Floor.shared_scale(amax, f4).value();
+                w.iter().map(|&v| f4.quantize(v / s) * s).collect()
+            };
+            assert!(
+                mse(&w, &refined) <= mse(&w, &plain) + 1e-12,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_never_worse_than_fixed() {
+        for seed in 0..50u64 {
+            let w: Vec<f32> = (0..32)
+                .map(|i| ((seed * 61 + i) as f32 * 0.789).sin() * 4.2)
+                .collect();
+            let fixed = fake_quantize_group(&w, cfg(), ScaleRule::Floor, false);
+            let adaptive = fake_quantize_group(&w, cfg(), ScaleRule::Floor, true);
+            assert!(
+                mse(&w, &adaptive) <= mse(&w, &fixed) + 1e-12,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_absorbed_into_scale() {
+        // The stored representation has no bias field: only scale + sg codes.
+        let w = ramp(32, 1.0);
+        let g = quantize_group(&w, cfg(), ScaleRule::Floor, true);
+        assert_eq!(g.sg_em.len(), 4);
+        assert!(g.sg_em.iter().all(|&k| k < 4));
+        // Round-trip through dequantize must be stable.
+        let dq = dequantize_group(&g, cfg());
+        let g2 = quantize_group(&dq, cfg(), ScaleRule::Floor, true);
+        let dq2 = dequantize_group(&g2, cfg());
+        assert_eq!(dq, dq2);
+    }
+
+    #[test]
+    fn scale_candidates_match_eq3() {
+        // Search space per subgroup is {(1 + k/4) · 2^E | k in 0..4}.
+        let w = [4.9f32, 0.3, -0.2, 0.1];
+        let c = GroupConfig::new(4, 4);
+        let g = quantize_group(&w, c, ScaleRule::Floor, false);
+        let e = g.scale.exponent();
+        let eff = g.subgroup_scale(0);
+        let found = SG_MULTIPLIERS
+            .iter()
+            .any(|m| (eff - m * (e as f32).exp2()).abs() < 1e-9);
+        assert!(found);
+    }
+
+    #[test]
+    fn zero_group() {
+        let w = [0.0f32; 32];
+        let dq = fake_quantize_group(&w, cfg(), ScaleRule::Floor, true);
+        assert_eq!(dq, w);
+    }
+
+    #[test]
+    fn short_group() {
+        let w = [1.0, -3.0, 0.5];
+        let g = quantize_group(&w, cfg(), ScaleRule::Floor, true);
+        assert_eq!(g.codes.len(), 3);
+        assert_eq!(g.sg_em.len(), 1);
+        assert_eq!(dequantize_group(&g, cfg()).len(), 3);
+    }
+
+    #[test]
+    fn outlier_heavy_group_prefers_nonunit_multiplier_somewhere() {
+        // With varied subgroup maxima, at least one subgroup should pick a
+        // non-1.0 multiplier on typical data.
+        let mut any = false;
+        for seed in 0..20u64 {
+            let w: Vec<f32> = (0..32)
+                .map(|i| ((seed * 97 + i * 13) as f32 * 0.423).sin() * 5.0)
+                .collect();
+            let g = quantize_group(&w, cfg(), ScaleRule::Floor, true);
+            if g.sg_em.iter().any(|&k| k != 0) {
+                any = true;
+                break;
+            }
+        }
+        assert!(any, "search never used the refinement");
+    }
+}

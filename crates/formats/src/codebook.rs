@@ -1,0 +1,229 @@
+//! Arbitrary value-grid ("codebook") quantizers.
+//!
+//! Baseline formats like ANT (Flint), M-ANT (16 mathematically adaptive
+//! types) and BlockDialect (16 selectable dialects) quantize onto value
+//! grids that are neither uniform integers nor plain minifloats. A
+//! [`Codebook`] holds a sorted grid of non-negative magnitudes and performs
+//! nearest-value quantization (sign handled separately, grids are
+//! sign-symmetric as in all those formats).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sign-symmetric quantization grid defined by its non-negative magnitudes.
+///
+/// ```
+/// use m2x_formats::Codebook;
+///
+/// // A power-of-two grid (ANT's PoT4-like type).
+/// let pot = Codebook::new("pot", vec![0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]).unwrap();
+/// assert_eq!(pot.quantize(3.1), 4.0);
+/// assert_eq!(pot.quantize(-0.3), -0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Codebook {
+    name: String,
+    /// Sorted ascending, starts at the smallest magnitude (usually 0).
+    magnitudes: Vec<f32>,
+}
+
+/// Error constructing a [`Codebook`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodebookError {
+    msg: String,
+}
+
+impl fmt::Display for CodebookError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid codebook: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CodebookError {}
+
+impl Codebook {
+    /// Creates a codebook from non-negative magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the grid is empty, contains negative/non-finite values or
+    /// is not strictly ascending after dedup.
+    pub fn new(
+        name: impl Into<String>,
+        mut magnitudes: Vec<f32>,
+    ) -> Result<Self, CodebookError> {
+        if magnitudes.is_empty() {
+            return Err(CodebookError {
+                msg: "empty grid".to_string(),
+            });
+        }
+        if magnitudes.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(CodebookError {
+                msg: "magnitudes must be finite and non-negative".to_string(),
+            });
+        }
+        magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        magnitudes.dedup();
+        Ok(Codebook {
+            name: name.into(),
+            magnitudes,
+        })
+    }
+
+    /// Codebook name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted magnitude grid.
+    pub fn magnitudes(&self) -> &[f32] {
+        &self.magnitudes
+    }
+
+    /// Largest representable magnitude.
+    pub fn max_value(&self) -> f32 {
+        *self.magnitudes.last().expect("non-empty")
+    }
+
+    /// Number of distinct signed codes (counting ±0 once when 0 is on the
+    /// grid).
+    pub fn signed_code_count(&self) -> usize {
+        let zero = if self.magnitudes[0] == 0.0 { 1 } else { 0 };
+        2 * (self.magnitudes.len() - zero) + zero
+    }
+
+    /// Index of the nearest magnitude (ties round to the smaller index, i.e.
+    /// toward zero — deterministic and matching a comparator-tree decode).
+    pub fn nearest_index(&self, a: f32) -> usize {
+        debug_assert!(!(a < 0.0));
+        match self
+            .magnitudes
+            .binary_search_by(|v| v.partial_cmp(&a).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => {
+                if i == 0 {
+                    0
+                } else if i == self.magnitudes.len() {
+                    i - 1
+                } else {
+                    let lo = self.magnitudes[i - 1];
+                    let hi = self.magnitudes[i];
+                    if a - lo <= hi - a {
+                        i - 1
+                    } else {
+                        i
+                    }
+                }
+            }
+        }
+    }
+
+    /// Quantizes a signed value to the nearest grid point.
+    pub fn quantize(&self, x: f32) -> f32 {
+        if x.is_nan() {
+            return 0.0;
+        }
+        let q = self.magnitudes[self.nearest_index(x.abs())];
+        if x < 0.0 {
+            -q
+        } else {
+            q
+        }
+    }
+
+    /// Quantizes under a scale: `quantize(x/scale) * scale`.
+    pub fn quantize_scaled(&self, x: f32, scale: f32) -> f32 {
+        if scale == 0.0 || !scale.is_finite() {
+            return 0.0;
+        }
+        self.quantize(x / scale) * scale
+    }
+
+    /// Sum of squared errors quantizing `values` under `scale` — the
+    /// selection metric used by type-adaptive formats.
+    pub fn sse(&self, values: &[f32], scale: f32) -> f64 {
+        values
+            .iter()
+            .map(|&x| {
+                let e = (self.quantize_scaled(x, scale) - x) as f64;
+                e * e
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Codebook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Codebook({}, {} levels)", self.name, self.magnitudes.len())
+    }
+}
+
+/// Builds a codebook from a [`crate::Minifloat`]'s value grid.
+pub fn from_minifloat(name: impl Into<String>, mf: &crate::Minifloat) -> Codebook {
+    Codebook::new(name, mf.values()).expect("minifloat grids are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fp4, Minifloat, SpecialValues};
+
+    #[test]
+    fn rejects_bad_grids() {
+        assert!(Codebook::new("e", vec![]).is_err());
+        assert!(Codebook::new("n", vec![-1.0, 0.0]).is_err());
+        assert!(Codebook::new("inf", vec![0.0, f32::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let cb = Codebook::new("g", vec![0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]).unwrap();
+        let mut a = 0.0f32;
+        while a < 8.0 {
+            let q = cb.quantize(a);
+            let best = cb
+                .magnitudes()
+                .iter()
+                .copied()
+                .min_by(|x, y| (x - a).abs().partial_cmp(&(y - a).abs()).unwrap())
+                .unwrap();
+            assert!((q - a).abs() <= (best - a).abs() + 1e-7);
+            a += 0.017;
+        }
+    }
+
+    #[test]
+    fn matches_minifloat_quantize() {
+        let mf = Minifloat::new(2, 1, SpecialValues::None).unwrap();
+        let cb = from_minifloat("fp4", &mf);
+        let mut x = -7.0f32;
+        while x < 7.0 {
+            // Ties may differ (RNE vs toward-zero) — skip exact midpoints.
+            let q_mf = mf.quantize(x);
+            let q_cb = cb.quantize(x);
+            if (q_mf - q_cb).abs() > 1e-6 {
+                // must be a tie case
+                let d_mf = (q_mf - x).abs();
+                let d_cb = (q_cb - x).abs();
+                assert!((d_mf - d_cb).abs() < 1e-6, "x={x}");
+            }
+            x += 0.0173;
+        }
+    }
+
+    #[test]
+    fn signed_codes_counted_once_for_zero() {
+        let cb = from_minifloat("fp4", fp4());
+        // 8 magnitudes incl. 0 -> 15 distinct signed values.
+        assert_eq!(cb.signed_code_count(), 15);
+    }
+
+    #[test]
+    fn sse_prefers_matching_grid() {
+        let uniform = Codebook::new("int", (0..8).map(|i| i as f32).collect()).unwrap();
+        let pot = Codebook::new("pot", vec![0.0, 1.0, 2.0, 4.0]).unwrap();
+        let data = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        assert!(uniform.sse(&data, 1.0) < pot.sse(&data, 1.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! The OCP E8M0 shared-scale type: an 8-bit power-of-two exponent.
+//!
+//! E8M0 stores only an exponent (bias 127, like FP32) and no mantissa, so a
+//! scale is always an exact power of two and de/quantization reduces to
+//! exponent arithmetic — the property that makes MX formats hardware-friendly
+//! (paper §2.2). Code `0xFF` is NaN per the OCP spec.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Exponent bias (same as FP32).
+pub const BIAS: i32 = 127;
+
+/// Minimum representable exponent (2^-127).
+pub const MIN_EXP: i32 = -BIAS;
+
+/// Maximum representable exponent (2^127; code 0xFE).
+pub const MAX_EXP: i32 = 127;
+
+/// An E8M0 power-of-two scale factor.
+///
+/// ```
+/// use m2x_formats::E8M0;
+///
+/// let s = E8M0::from_exponent(3);
+/// assert_eq!(s.value(), 8.0);
+/// assert_eq!(s.exponent(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct E8M0(u8);
+
+impl E8M0 {
+    /// The NaN code (0xFF).
+    pub const NAN: E8M0 = E8M0(0xFF);
+
+    /// Scale of 1.0 (exponent 0).
+    pub const ONE: E8M0 = E8M0(BIAS as u8);
+
+    /// Creates a scale `2^e`, clamping `e` into `[MIN_EXP, MAX_EXP]`.
+    pub fn from_exponent(e: i32) -> Self {
+        let e = e.clamp(MIN_EXP, MAX_EXP);
+        E8M0((e + BIAS) as u8)
+    }
+
+    /// Reinterprets a raw byte (0xFF is NaN).
+    pub fn from_bits(bits: u8) -> Self {
+        E8M0(bits)
+    }
+
+    /// Raw byte.
+    pub fn to_bits(self) -> u8 {
+        self.0
+    }
+
+    /// True when this is the NaN code.
+    pub fn is_nan(self) -> bool {
+        self.0 == 0xFF
+    }
+
+    /// The unbiased exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale is NaN.
+    pub fn exponent(self) -> i32 {
+        assert!(!self.is_nan(), "E8M0 NaN has no exponent");
+        self.0 as i32 - BIAS
+    }
+
+    /// The scale value `2^exponent` as f32.
+    ///
+    /// Exponents below -126 produce subnormal f32 values, which f32
+    /// represents exactly down to 2^-127.
+    pub fn value(self) -> f32 {
+        if self.is_nan() {
+            return f32::NAN;
+        }
+        (self.exponent() as f32).exp2()
+    }
+
+    /// Adds a (clamped) bias to the exponent — used by the adaptive
+    /// shared-scale search, which absorbs its `b ∈ {-1,0,1}` into the stored
+    /// scale (paper §4.4.2).
+    #[must_use]
+    pub fn with_bias(self, b: i32) -> Self {
+        E8M0::from_exponent(self.exponent() + b)
+    }
+}
+
+impl Default for E8M0 {
+    fn default() -> Self {
+        E8M0::ONE
+    }
+}
+
+impl fmt::Display for E8M0 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_nan() {
+            write!(f, "E8M0(NaN)")
+        } else {
+            write!(f, "2^{}", self.exponent())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for e in MIN_EXP..=MAX_EXP {
+            let s = E8M0::from_exponent(e);
+            assert_eq!(s.exponent(), e);
+            assert_eq!(s.value(), (e as f32).exp2());
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(E8M0::from_exponent(1000).exponent(), MAX_EXP);
+        assert_eq!(E8M0::from_exponent(-1000).exponent(), MIN_EXP);
+    }
+
+    #[test]
+    fn nan_detected() {
+        assert!(E8M0::from_bits(0xFF).is_nan());
+        assert!(E8M0::from_bits(0xFF).value().is_nan());
+        assert!(!E8M0::ONE.is_nan());
+    }
+
+    #[test]
+    fn one_is_unit() {
+        assert_eq!(E8M0::ONE.value(), 1.0);
+        assert_eq!(E8M0::default(), E8M0::ONE);
+    }
+
+    #[test]
+    fn bias_shifts() {
+        let s = E8M0::from_exponent(5);
+        assert_eq!(s.with_bias(1).exponent(), 6);
+        assert_eq!(s.with_bias(-1).exponent(), 4);
+        assert_eq!(E8M0::from_exponent(MAX_EXP).with_bias(1).exponent(), MAX_EXP);
+    }
+
+    #[test]
+    fn extreme_values_exact() {
+        assert_eq!(E8M0::from_exponent(-127).value(), 2f32.powi(-127));
+        assert_eq!(E8M0::from_exponent(127).value(), 2f32.powi(127));
+    }
+}

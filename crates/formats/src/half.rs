@@ -1,0 +1,199 @@
+//! Software FP16 (IEEE binary16) and BF16 conversion.
+//!
+//! The paper's baselines store group scales in FP16 (Table 1) and the "FP4
+//! with FP16 scaling" reference of Fig. 2/3 quantizes scales to binary16.
+//! Conversions are round-to-nearest-even and handle subnormals, inf and NaN.
+
+/// Converts an `f32` to IEEE binary16 bits (RNE).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN.
+        let nan_payload = if man != 0 { 0x200 } else { 0 };
+        return sign | 0x7C00 | nan_payload;
+    }
+
+    // Unbiased exponent.
+    let e = exp - 127;
+    if e > 15 {
+        // Overflow -> inf.
+        return sign | 0x7C00;
+    }
+    if e >= -14 {
+        // Normal range. 10-bit mantissa, round bits are the low 13.
+        let man16 = man >> 13;
+        let rest = man & 0x1FFF;
+        let halfway = 0x1000;
+        let mut out = ((e + 15) as u32) << 10 | man16;
+        if rest > halfway || (rest == halfway && (out & 1) == 1) {
+            out += 1; // may carry into exponent, which is correct behaviour
+        }
+        return sign | out as u16;
+    }
+    if e >= -25 {
+        // Subnormal half. Implicit leading 1 becomes explicit.
+        let full = man | 0x80_0000;
+        let shift = (-14 - e) + 13;
+        let man16 = full >> shift;
+        let rest = full & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut out = man16;
+        if rest > halfway || (rest == halfway && (out & 1) == 1) {
+            out += 1;
+        }
+        return sign | out as u16;
+    }
+    // Underflow to zero.
+    sign
+}
+
+/// Converts IEEE binary16 bits to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let man = (h & 0x3FF) as u32;
+    let bits = if exp == 0x1F {
+        // Inf / NaN.
+        sign | 0x7F80_0000 | (man << 13)
+    } else if exp == 0 {
+        if man == 0 {
+            sign
+        } else {
+            // Subnormal: value = man * 2^-24 = 2^-14 * (man / 1024); normalize
+            // so the leading mantissa bit becomes the implicit 1.
+            let mut e = -14i32;
+            let mut m = man;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x3FF;
+            sign | (((e + 127) as u32) << 23) | (m << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds an `f32` onto the binary16 grid (RNE with saturation to ±inf
+/// exactly as hardware conversion would).
+pub fn quantize_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Converts an `f32` to BF16 bits (RNE).
+pub fn f32_to_bf16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Preserve a quiet NaN.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let rest = bits & 0xFFFF;
+    let halfway = 0x8000;
+    let mut out = bits >> 16;
+    if rest > halfway || (rest == halfway && (out & 1) == 1) {
+        out += 1;
+    }
+    out as u16
+}
+
+/// Converts BF16 bits to `f32` (exact).
+pub fn bf16_bits_to_f32(h: u16) -> f32 {
+    f32::from_bits((h as u32) << 16)
+}
+
+/// Rounds an `f32` onto the BF16 grid.
+pub fn quantize_bf16(x: f32) -> f32 {
+    bf16_bits_to_f32(f32_to_bf16_bits(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(quantize_f16(x), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn f16_constants() {
+        assert_eq!(f16_bits_to_f32(0x3C00), 1.0);
+        assert_eq!(f16_bits_to_f32(0xC000), -2.0);
+        assert_eq!(f16_bits_to_f32(0x7BFF), 65504.0); // max half
+        assert_eq!(f16_bits_to_f32(0x0001), 2f32.powi(-24)); // min subnormal
+        assert_eq!(f16_bits_to_f32(0x0400), 2f32.powi(-14)); // min normal
+        assert_eq!(f16_bits_to_f32(0x7C00), f32::INFINITY);
+        assert!(f16_bits_to_f32(0x7C01).is_nan());
+    }
+
+    #[test]
+    fn f16_overflow_to_inf() {
+        assert_eq!(quantize_f16(1e6), f32::INFINITY);
+        assert_eq!(quantize_f16(-1e6), f32::NEG_INFINITY);
+        assert_eq!(quantize_f16(65504.0), 65504.0);
+    }
+
+    #[test]
+    fn f16_underflow_to_zero() {
+        assert_eq!(quantize_f16(1e-10), 0.0);
+        let z = quantize_f16(-1e-10);
+        assert_eq!(z, 0.0);
+        assert!(z.is_sign_negative());
+    }
+
+    #[test]
+    fn f16_rne() {
+        // 1 + 2^-11 is halfway between 1.0 and the next half (1 + 2^-10):
+        // rounds to even mantissa (1.0).
+        assert_eq!(quantize_f16(1.0 + 2f32.powi(-11)), 1.0);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; even is 1+2^-9.
+        assert_eq!(quantize_f16(1.0 + 3.0 * 2f32.powi(-11)), 1.0 + 2f32.powi(-9));
+    }
+
+    #[test]
+    fn f16_subnormal_roundtrip() {
+        for i in 1..=50u32 {
+            let x = i as f32 * 2f32.powi(-24);
+            assert_eq!(quantize_f16(x), x);
+        }
+    }
+
+    #[test]
+    fn bf16_roundtrip_exact_values() {
+        for x in [0.0f32, 1.0, -1.5, 3.140625, 65536.0, 1e30, -1e-30] {
+            let q = quantize_bf16(x);
+            assert_eq!(quantize_bf16(q), q);
+        }
+        assert!(quantize_bf16(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest() {
+        // BF16 has 7 mantissa bits; 1 + 2^-8 is halfway to 1 + 2^-7.
+        assert_eq!(quantize_bf16(1.0 + 2f32.powi(-8)), 1.0);
+        assert_eq!(quantize_bf16(1.0 + 1.5 * 2f32.powi(-8)), 1.0 + 2f32.powi(-7));
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_roundtrip() {
+        for h in 0..=u16::MAX {
+            let x = f16_bits_to_f32(h);
+            if x.is_nan() {
+                assert!(f16_bits_to_f32(f32_to_f16_bits(x)).is_nan());
+                continue;
+            }
+            let back = f32_to_f16_bits(x);
+            // -0.0 and 0.0 differ in bits but not value; compare via decode.
+            assert_eq!(f16_bits_to_f32(back), x, "bits {h:#06x}");
+        }
+    }
+}

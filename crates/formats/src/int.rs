@@ -1,0 +1,149 @@
+//! Symmetric integer codecs.
+//!
+//! SMX4 stores INT3 elements, MXINT8 stores INT8, MicroScopiQ mixes FP4 with
+//! INT4, and QuaRot/DuQuant quantize to INT4 (Table 1 / Table 7). All of them
+//! use symmetric signed grids: codes in `[-(2^(b-1)-1), 2^(b-1)-1]`, with the
+//! most negative two's-complement code unused so the grid is sign-symmetric.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A symmetric signed integer grid with `bits` total bits.
+///
+/// ```
+/// use m2x_formats::int::IntCodec;
+///
+/// let int4 = IntCodec::new(4);
+/// assert_eq!(int4.max_code(), 7);
+/// assert_eq!(int4.quantize_code(3.6), 4);
+/// assert_eq!(int4.quantize_code(-100.0), -7); // saturates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IntCodec {
+    bits: u32,
+}
+
+impl IntCodec {
+    /// Creates a codec with `bits` total bits (including sign).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`.
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        IntCodec { bits }
+    }
+
+    /// Total bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Largest positive code (`2^(bits-1) - 1`).
+    pub fn max_code(&self) -> i32 {
+        (1 << (self.bits - 1)) - 1
+    }
+
+    /// Rounds a real value to the nearest code (RNE), saturating.
+    pub fn quantize_code(&self, x: f32) -> i32 {
+        let m = self.max_code();
+        let r = x.round_ties_even();
+        (r as i32).clamp(-m, m)
+    }
+
+    /// Quantizes `x` under `scale`: returns the dequantized value
+    /// `code(x/scale) * scale`.
+    pub fn quantize(&self, x: f32, scale: f32) -> f32 {
+        if scale == 0.0 || !scale.is_finite() {
+            return 0.0;
+        }
+        self.quantize_code(x / scale) as f32 * scale
+    }
+
+    /// The scale that maps a block maximum onto the largest code.
+    pub fn scale_for_max(&self, amax: f32) -> f32 {
+        if amax == 0.0 {
+            return 1.0;
+        }
+        amax / self.max_code() as f32
+    }
+}
+
+impl fmt::Display for IntCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INT{}", self.bits)
+    }
+}
+
+/// INT3 (SMX4 element type).
+pub fn int3() -> IntCodec {
+    IntCodec::new(3)
+}
+
+/// INT4 (QuaRot / DuQuant / MicroScopiQ outlier type).
+pub fn int4() -> IntCodec {
+    IntCodec::new(4)
+}
+
+/// INT8 (MXINT8 element type; 8-bit fallbacks in baseline accelerators).
+pub fn int8() -> IntCodec {
+    IntCodec::new(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_ranges() {
+        assert_eq!(int3().max_code(), 3);
+        assert_eq!(int4().max_code(), 7);
+        assert_eq!(int8().max_code(), 127);
+    }
+
+    #[test]
+    fn saturates_both_sides() {
+        let c = int4();
+        assert_eq!(c.quantize_code(1e9), 7);
+        assert_eq!(c.quantize_code(-1e9), -7);
+    }
+
+    #[test]
+    fn rne_ties() {
+        let c = int4();
+        assert_eq!(c.quantize_code(0.5), 0);
+        assert_eq!(c.quantize_code(1.5), 2);
+        assert_eq!(c.quantize_code(2.5), 2);
+        assert_eq!(c.quantize_code(-0.5), 0);
+        assert_eq!(c.quantize_code(-1.5), -2);
+    }
+
+    #[test]
+    fn quantize_with_scale() {
+        let c = int4();
+        let s = c.scale_for_max(14.0); // 2.0
+        assert_eq!(s, 2.0);
+        assert_eq!(c.quantize(14.0, s), 14.0);
+        assert_eq!(c.quantize(13.0, s), 12.0); // 6.5 ties-to-even -> 6
+        assert_eq!(c.quantize(-14.0, s), -14.0);
+    }
+
+    #[test]
+    fn degenerate_scale_returns_zero() {
+        let c = int4();
+        assert_eq!(c.quantize(3.0, 0.0), 0.0);
+        assert_eq!(c.quantize(3.0, f32::NAN), 0.0);
+    }
+
+    #[test]
+    fn error_bound_half_scale() {
+        let c = int8();
+        let s = 0.37f32;
+        let mut x = -40.0f32;
+        while x < 40.0 {
+            let q = c.quantize(x, s);
+            assert!((q - x).abs() <= s / 2.0 + 1e-6, "x={x} q={q}");
+            x += 0.093;
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Lookup tables used by the Top-1 Decode Unit (paper Fig. 10) and the
+//! FP4→FP6 candidate mapping behind the bias-clamp encoding (paper §4.4.1).
+
+use crate::fp6_e2m3;
+#[cfg(test)]
+use crate::fp4;
+
+/// FP4-code → unsigned magnitude key, the "FP4-to-UINT lookup table" of the
+/// Top-1 Decode Unit.
+///
+/// FP4 (E2M1) magnitudes are monotone in their 3 magnitude bits, so the key
+/// is simply `code & 0x7`: comparing keys compares absolute values. Sign
+/// (bit 3) is masked off, making +x and −x compare equal; ties are broken by
+/// taking the lowest index, exactly as the comparator tree does.
+pub const FP4_ABS_KEY: [u8; 16] = [
+    0, 1, 2, 3, 4, 5, 6, 7, // +0 .. +6
+    0, 1, 2, 3, 4, 5, 6, 7, // -0 .. -6
+];
+
+/// Finds the top-1 element of a subgroup of FP4 codes: the element with the
+/// largest absolute value, ties resolved by the lowest index (paper Alg. 1,
+/// steps ❸–❹).
+///
+/// # Panics
+///
+/// Panics when `codes` is empty.
+pub fn top1_index(codes: &[u8]) -> usize {
+    assert!(!codes.is_empty(), "subgroup must be non-empty");
+    let mut best = 0usize;
+    let mut best_key = FP4_ABS_KEY[(codes[0] & 0xF) as usize];
+    for (i, &c) in codes.iter().enumerate().skip(1) {
+        let key = FP4_ABS_KEY[(c & 0xF) as usize];
+        // Strict '>' keeps the lowest index on ties.
+        if key > best_key {
+            best = i;
+            best_key = key;
+        }
+    }
+    best
+}
+
+/// Finds the top-2 indices of a subgroup (largest first; ties by lowest
+/// index). Used by the Elem-EM-top2 design-space point.
+///
+/// # Panics
+///
+/// Panics when `codes.len() < 2`.
+pub fn top2_indices(codes: &[u8]) -> [usize; 2] {
+    assert!(codes.len() >= 2, "need at least two elements");
+    let first = top1_index(codes);
+    let mut second = usize::MAX;
+    let mut second_key = 0u8;
+    let mut seen = false;
+    for (i, &c) in codes.iter().enumerate() {
+        if i == first {
+            continue;
+        }
+        let key = FP4_ABS_KEY[(c & 0xF) as usize];
+        if !seen || key > second_key {
+            second = i;
+            second_key = key;
+            seen = true;
+        }
+    }
+    [first, second]
+}
+
+/// The five FP6 (E2M3) magnitudes that a value rounding to the given FP4
+/// magnitude can itself round to — e.g. FP4 4.0 covers (3.5, 5] whose FP6
+/// quantizations are {3.5, 3.75, 4.0, 4.5, 5.0} (paper §4.4.1).
+///
+/// The returned candidates are those representable by the bias-clamp
+/// encoding, i.e. FP6 magnitude bits in `[(mag<<2)-1, (mag<<2)+2]` clamped
+/// to valid codes; the theoretical bias −2 candidate is excluded by design.
+pub fn fp6_candidates(fp4_mag: u8) -> Vec<f32> {
+    let fp6 = fp6_e2m3();
+    let base = (fp4_mag as i32) << 2;
+    let mut out = Vec::with_capacity(4);
+    for meta in 0..4i32 {
+        let bits = base + meta - 1;
+        if (0..32).contains(&bits) {
+            out.push(fp6.decode_magnitude(bits as u8));
+        }
+    }
+    out
+}
+
+/// Decodes 2-bit extra-mantissa metadata for an FP4 magnitude into the
+/// refined FP6 magnitude: `fp6_bits = (fp4_mag << 2 | meta) - 1`
+/// (the "-1" box in Figs. 10 and 12).
+///
+/// `(fp4_mag = 0, meta = 0)` cannot be produced by a valid encoder; it
+/// decodes to 0.0 for robustness.
+pub fn decode_extra_mantissa(fp4_mag: u8, meta: u8) -> f32 {
+    debug_assert!(fp4_mag < 8 && meta < 4);
+    let bits = ((fp4_mag as i32) << 2 | meta as i32) - 1;
+    if bits < 0 {
+        return 0.0;
+    }
+    fp6_e2m3().decode_magnitude(bits as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_key_is_monotone_in_abs_value() {
+        let f = fp4();
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                let va = f.decode(a).abs();
+                let vb = f.decode(b).abs();
+                let ka = FP4_ABS_KEY[a as usize];
+                let kb = FP4_ABS_KEY[b as usize];
+                assert_eq!(va > vb, ka > kb, "codes {a},{b}");
+                assert_eq!(va == vb, ka == kb, "codes {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn top1_picks_largest_abs() {
+        // values: 1.0, -6.0, 4.0, 0.5 -> -6.0 wins
+        let f = fp4();
+        let codes = [f.encode(1.0), f.encode(-6.0), f.encode(4.0), f.encode(0.5)];
+        assert_eq!(top1_index(&codes), 1);
+    }
+
+    #[test]
+    fn top1_tie_breaks_to_lowest_index() {
+        let f = fp4();
+        let codes = [f.encode(2.0), f.encode(-4.0), f.encode(4.0), f.encode(4.0)];
+        assert_eq!(top1_index(&codes), 1);
+        let codes2 = [f.encode(0.0), f.encode(3.0), f.encode(-3.0)];
+        assert_eq!(top1_index(&codes2), 1);
+    }
+
+    #[test]
+    fn top2_distinct_and_ordered() {
+        let f = fp4();
+        let codes = [f.encode(1.0), f.encode(6.0), f.encode(-4.0), f.encode(4.0)];
+        let [a, b] = top2_indices(&codes);
+        assert_eq!(a, 1);
+        assert_eq!(b, 2); // tie between -4.0 and 4.0 -> lower index
+    }
+
+    #[test]
+    fn candidates_for_fp4_four_match_paper() {
+        // FP4 magnitude 4.0 has bits 110; candidates per the paper's example
+        // (after the bias clamp) are 3.75, 4.0, 4.5, 5.0.
+        let mag = fp4().magnitude_bits_of(4.0);
+        assert_eq!(fp6_candidates(mag), vec![3.75, 4.0, 4.5, 5.0]);
+    }
+
+    #[test]
+    fn candidates_for_zero() {
+        let c = fp6_candidates(0);
+        // bits -1 invalid; meta 1..3 give 0.0, 0.125, 0.25.
+        assert_eq!(c, vec![0.0, 0.125, 0.25]);
+    }
+
+    #[test]
+    fn decode_extra_mantissa_spot_checks() {
+        let mag4 = fp4().magnitude_bits_of(4.0);
+        assert_eq!(decode_extra_mantissa(mag4, 0b00), 3.75);
+        assert_eq!(decode_extra_mantissa(mag4, 0b01), 4.0);
+        assert_eq!(decode_extra_mantissa(mag4, 0b10), 4.5);
+        assert_eq!(decode_extra_mantissa(mag4, 0b11), 5.0);
+        // Degenerate (0,0) decodes to 0.
+        assert_eq!(decode_extra_mantissa(0, 0), 0.0);
+    }
+
+    #[test]
+    fn every_candidate_is_adjacent_to_fp4_value() {
+        // The refined value must stay within the FP4 rounding bin so the
+        // top-1 element remains the subgroup maximum after refinement.
+        let f4 = fp4();
+        for mag in 1..8u8 {
+            let v4 = f4.decode_magnitude(mag);
+            let lower_neighbor = f4.decode_magnitude(mag - 1);
+            for meta in 0..4u8 {
+                let v6 = decode_extra_mantissa(mag, meta);
+                assert!(
+                    v6 > lower_neighbor,
+                    "refined {v6} for fp4 {v4} dips to/below neighbor {lower_neighbor}"
+                );
+            }
+        }
+    }
+}

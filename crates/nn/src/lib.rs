@@ -1,0 +1,36 @@
+//! # m2x-nn
+//!
+//! Synthetic LLM substrate for the M2XFP reproduction.
+//!
+//! The paper evaluates on real checkpoints (LLaMA-2/3, OPT, Mistral,
+//! Falcon, DeepSeek-R1-Distill-Qwen) via PyTorch + lm-evaluation-harness.
+//! Neither the checkpoints nor a GPU stack are available here, so this
+//! crate substitutes statistically calibrated synthetic tensors and exactly
+//! computable error propagation (see DESIGN.md §1 for the substitution
+//! argument):
+//!
+//! * [`profile`] — per-model architecture shapes and tensor statistics
+//!   (outlier channel rates, tail weights) for all eight evaluated models.
+//! * [`synth`] — seeded weight/activation synthesis from a profile.
+//! * [`layers`] — the transformer GEMM inventory (QKVO + MLP + attention),
+//!   shared with the accelerator timing model.
+//! * [`propagate`] — W4A4 layer error measurement: quantized GEMMs vs the
+//!   f32 reference, aggregated across layer kinds.
+//! * [`metrics`] — perplexity and task-accuracy proxies anchored to the
+//!   paper's published FP16/MXFP4 rows (anchors are constants; every other
+//!   number is predicted from measured error).
+//! * [`attention`] — the §6.4 extension: quantized attention with an
+//!   Elem-EM online path (Q, P) and an Sg-EM KV cache.
+//! * [`linear`] — a deployable quantized linear layer (packed weights +
+//!   bit-exact forward pass).
+
+pub mod attention;
+pub mod layers;
+pub mod linear;
+pub mod metrics;
+pub mod profile;
+pub mod propagate;
+pub mod synth;
+
+pub use profile::ModelProfile;
+pub use propagate::W4a4Error;

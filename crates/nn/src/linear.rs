@@ -1,0 +1,204 @@
+//! A ready-to-use quantized linear layer — the API a downstream user would
+//! deploy: weights held in the packed M2XFP representation, activations
+//! quantized on the fly by the (modeled) quantization engine, and the
+//! forward pass executed by the bit-exact PE GEMM.
+
+use m2x_tensor::Matrix;
+use m2xfp::format::{ActTensor, WeightTensor};
+use m2xfp::gemm::qgemm;
+use m2xfp::M2xfpConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error constructing or applying a [`QuantizedLinear`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearError {
+    msg: String,
+}
+
+impl fmt::Display for LinearError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "quantized linear error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for LinearError {}
+
+/// A linear layer `y = x·Wᵀ` with M2XFP-quantized weights.
+///
+/// ```
+/// use m2x_nn::linear::QuantizedLinear;
+/// use m2x_tensor::Matrix;
+/// use m2xfp::M2xfpConfig;
+///
+/// // W: 8 output features, 64 inputs (stored transposed, [out, in]).
+/// let w = Matrix::from_fn(8, 64, |r, c| ((r * 64 + c) as f32 * 0.1).sin());
+/// let layer = QuantizedLinear::from_weights(&w, M2xfpConfig::default())?;
+/// let x = Matrix::from_fn(4, 64, |r, c| ((r + c) as f32 * 0.2).cos());
+/// let y = layer.forward(&x)?;
+/// assert_eq!((y.rows(), y.cols()), (4, 8));
+/// # Ok::<(), m2x_nn::linear::LinearError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedLinear {
+    weights: WeightTensor,
+    cfg: M2xfpConfig,
+}
+
+impl QuantizedLinear {
+    /// Quantizes a transposed weight matrix `[out_features, in_features]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `in_features` is not a multiple of the group size (the
+    /// hardware layout requires aligned rows).
+    pub fn from_weights(w_t: &Matrix, cfg: M2xfpConfig) -> Result<Self, LinearError> {
+        if w_t.cols() % cfg.group_size != 0 {
+            return Err(LinearError {
+                msg: format!(
+                    "in_features {} is not a multiple of the group size {}",
+                    w_t.cols(),
+                    cfg.group_size
+                ),
+            });
+        }
+        Ok(QuantizedLinear {
+            weights: WeightTensor::quantize(w_t, cfg),
+            cfg,
+        })
+    }
+
+    /// Output features.
+    pub fn out_features(&self) -> usize {
+        self.weights.shape().0
+    }
+
+    /// Input features.
+    pub fn in_features(&self) -> usize {
+        self.weights.shape().1
+    }
+
+    /// The packed weight representation.
+    pub fn weights(&self) -> &WeightTensor {
+        &self.weights
+    }
+
+    /// W4A4 forward pass: quantizes `x` online (Elem-EM-top1) and runs the
+    /// bit-exact PE GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix, LinearError> {
+        if x.cols() != self.in_features() {
+            return Err(LinearError {
+                msg: format!(
+                    "input width {} does not match in_features {}",
+                    x.cols(),
+                    self.in_features()
+                ),
+            });
+        }
+        let xq = ActTensor::quantize(x, self.cfg);
+        Ok(qgemm(&xq, &self.weights))
+    }
+
+    /// Forward pass keeping activations in f32 (weight-only quantization,
+    /// the W4A16 deployment mode).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch.
+    pub fn forward_w4a16(&self, x: &Matrix) -> Result<Matrix, LinearError> {
+        if x.cols() != self.in_features() {
+            return Err(LinearError {
+                msg: format!(
+                    "input width {} does not match in_features {}",
+                    x.cols(),
+                    self.in_features()
+                ),
+            });
+        }
+        Ok(x.matmul(&self.weights.dequantize().transpose()))
+    }
+
+    /// Serializes the weights to the paper's three-stream byte layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the packing layout error.
+    pub fn pack_weights(&self) -> Result<bytes::Bytes, LinearError> {
+        self.weights.pack().map_err(|e| LinearError { msg: e.to_string() })
+    }
+
+    /// Storage footprint of the packed weights in bytes.
+    pub fn weight_bytes(&self) -> usize {
+        let (n, k) = self.weights.shape();
+        let groups = n * k / self.cfg.group_size;
+        groups * (self.cfg.group_size / 2 + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::nmse;
+    use m2x_tensor::Xoshiro;
+
+    fn layer(out: usize, inp: usize, seed: u64) -> (QuantizedLinear, Matrix) {
+        let mut r = Xoshiro::seed(seed);
+        let w = Matrix::from_fn(out, inp, |_, _| r.laplace(0.5));
+        let x = Matrix::from_fn(6, inp, |_, _| r.laplace(1.0));
+        (
+            QuantizedLinear::from_weights(&w, M2xfpConfig::default()).unwrap(),
+            x,
+        )
+    }
+
+    #[test]
+    fn forward_tracks_full_precision() {
+        let mut r = Xoshiro::seed(1);
+        let w = Matrix::from_fn(16, 128, |_, _| r.laplace(0.5));
+        let x = Matrix::from_fn(6, 128, |_, _| r.laplace(1.0));
+        let l = QuantizedLinear::from_weights(&w, M2xfpConfig::default()).unwrap();
+        let y_ref = x.matmul(&w.transpose());
+        let y = l.forward(&x).unwrap();
+        let e = nmse(y_ref.as_slice(), y.as_slice());
+        assert!(e > 0.0 && e < 0.05, "nmse {e}");
+    }
+
+    #[test]
+    fn w4a16_beats_w4a4() {
+        let (l, x) = layer(16, 128, 2);
+        let w_deq = l.weights().dequantize();
+        let y_ref = x.matmul(&w_deq.transpose());
+        // W4A16 equals the dequantized product exactly.
+        let y16 = l.forward_w4a16(&x).unwrap();
+        assert_eq!(y16, y_ref);
+    }
+
+    #[test]
+    fn shape_errors_reported() {
+        let (l, _) = layer(8, 64, 3);
+        let bad = Matrix::zeros(2, 65);
+        assert!(l.forward(&bad).is_err());
+        assert!(l.forward_w4a16(&bad).is_err());
+        let w_bad = Matrix::zeros(8, 65);
+        assert!(QuantizedLinear::from_weights(&w_bad, M2xfpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn weight_footprint_is_4_5_bits() {
+        let (l, _) = layer(8, 64, 4);
+        let bits = l.weight_bytes() as f64 * 8.0 / (8.0 * 64.0);
+        assert!((bits - 4.5).abs() < 1e-12);
+        assert_eq!(l.pack_weights().unwrap().len(), l.weight_bytes());
+    }
+
+    #[test]
+    fn accessors() {
+        let (l, _) = layer(8, 64, 5);
+        assert_eq!(l.out_features(), 8);
+        assert_eq!(l.in_features(), 64);
+    }
+}

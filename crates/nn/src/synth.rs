@@ -1,0 +1,242 @@
+//! Seeded synthesis of LLM-like weight and activation tensors.
+//!
+//! Weights: Laplace body with per-output-channel lognormal scale spread —
+//! the standard empirical model of trained transformer weights. Activations:
+//! Student-t body (heavy tails) with a sparse set of *outlier channels*
+//! whose magnitude is tens of times the body, the signature distribution
+//! that breaks shared-scale quantization in LLMs (paper §3.1).
+
+use crate::profile::ModelProfile;
+use m2x_tensor::{Matrix, Xoshiro};
+
+/// Which linear layer a weight tensor belongs to (affects the RNG stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Query projection.
+    Q,
+    /// Key projection.
+    K,
+    /// Value projection.
+    V,
+    /// Output projection.
+    O,
+    /// MLP gate (gated MLPs only).
+    Gate,
+    /// MLP up projection.
+    Up,
+    /// MLP down projection.
+    Down,
+}
+
+impl LayerKind {
+    fn salt(self) -> u64 {
+        match self {
+            LayerKind::Q => 1,
+            LayerKind::K => 2,
+            LayerKind::V => 3,
+            LayerKind::O => 4,
+            LayerKind::Gate => 5,
+            LayerKind::Up => 6,
+            LayerKind::Down => 7,
+        }
+    }
+}
+
+/// Synthesizes a transposed weight matrix `[out, in]` for a layer.
+///
+/// Rows (output channels) get individual lognormal scales; entries are
+/// Laplace. Deterministic in `(profile.seed, kind, layer_idx)`.
+pub fn weight_matrix(
+    profile: &ModelProfile,
+    kind: LayerKind,
+    layer_idx: usize,
+    out_dim: usize,
+    in_dim: usize,
+) -> Matrix {
+    let mut root = Xoshiro::seed(
+        profile
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(kind.salt() * 1000 + layer_idx as u64),
+    );
+    let mut rows = Vec::with_capacity(out_dim * in_dim);
+    for _ in 0..out_dim {
+        let ch_scale = root.lognormal(0.0, profile.weight_channel_spread);
+        for _ in 0..in_dim {
+            rows.push(root.laplace(profile.weight_b) * ch_scale);
+        }
+    }
+    Matrix::from_vec(out_dim, in_dim, rows)
+}
+
+/// The outlier-channel set of a model's residual stream (fixed per model,
+/// as in real LLMs where outlier channels persist across tokens). Roughly
+/// half the outlier channels come with an *adjacent* partner — the
+/// neighboring-outlier phenomenon MicroScopiQ documents in LLMs, which is
+/// what breaks pair-aligned outlier–victim encodings group-wise.
+pub fn outlier_channels(profile: &ModelProfile, dim: usize) -> Vec<usize> {
+    let mut r = Xoshiro::seed(profile.seed ^ 0x0u64.wrapping_sub(0x0DDC_0DE5));
+    let count = ((dim as f32) * profile.act_outlier_rate).round().max(1.0) as usize;
+    let perm = r.permutation(dim);
+    let mut out: Vec<usize> = Vec::with_capacity(count);
+    let mut i = 0;
+    while out.len() < count && i < perm.len() {
+        let c = perm[i];
+        if !out.contains(&c) {
+            out.push(c);
+            if out.len() < count && r.chance(0.5) {
+                let partner = c + 1;
+                if partner < dim && !out.contains(&partner) {
+                    out.push(partner);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Synthesizes an activation matrix `[tokens, dim]`.
+///
+/// Per token, channels mix a shared low-rank component (activations of
+/// real transformers are strongly correlated — features co-activate, which
+/// is what Hessian-based schemes like GPTQ exploit) with heavy-tailed
+/// Student-t noise; outlier channels are scaled by `act_outlier_scale`.
+/// Deterministic in `(profile.seed, layer_idx)`; for a fixed layer, the
+/// first `t` rows of a longer matrix equal the `t`-row matrix, so held-out
+/// calibration data can be carved from the same stream.
+pub fn activation_matrix(
+    profile: &ModelProfile,
+    layer_idx: usize,
+    tokens: usize,
+    dim: usize,
+) -> Matrix {
+    let outliers = outlier_channels(profile, dim);
+    let mut is_outlier = vec![false; dim];
+    for &c in &outliers {
+        is_outlier[c] = true;
+    }
+    let mut r = Xoshiro::seed(
+        profile
+            .seed
+            .wrapping_mul(0xA24B_AED4_963E_E407)
+            .wrapping_add(layer_idx as u64),
+    );
+    // Per-channel base scales: mild lognormal spread.
+    let ch_scale: Vec<f32> = (0..dim)
+        .map(|c| {
+            let base = r.lognormal(0.0, 0.3);
+            if is_outlier[c] {
+                base * profile.act_outlier_scale
+            } else {
+                base
+            }
+        })
+        .collect();
+    // Fixed low-rank mixing basis for this (model, layer).
+    let rank = (dim / 8).max(4);
+    let basis: Vec<f32> = r.vec_of(rank * dim, |r| r.gaussian() / (rank as f32).sqrt());
+
+    let nu = profile.act_student_nu;
+    let mut data = Vec::with_capacity(tokens * dim);
+    let mut z = vec![0.0f32; rank];
+    for _ in 0..tokens {
+        for zj in z.iter_mut() {
+            *zj = r.gaussian();
+        }
+        for c in 0..dim {
+            let mut shared = 0.0f32;
+            for (j, &zj) in z.iter().enumerate() {
+                shared += zj * basis[j * dim + c];
+            }
+            let v = 0.8 * shared + 0.6 * r.student_t(nu);
+            data.push(v * ch_scale[c]);
+        }
+    }
+    Matrix::from_vec(tokens, dim, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_tensor::stats::{abs_quantile, excess_kurtosis};
+
+    #[test]
+    fn weights_deterministic() {
+        let p = ModelProfile::llama2_7b();
+        let a = weight_matrix(&p, LayerKind::Q, 3, 64, 128);
+        let b = weight_matrix(&p, LayerKind::Q, 3, 64, 128);
+        assert_eq!(a, b);
+        let c = weight_matrix(&p, LayerKind::K, 3, 64, 128);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weights_heavy_tailed() {
+        let p = ModelProfile::llama2_7b();
+        let w = weight_matrix(&p, LayerKind::Up, 0, 128, 256);
+        // Laplace × lognormal channel scales: clearly super-Gaussian.
+        assert!(excess_kurtosis(w.as_slice()) > 1.0);
+    }
+
+    #[test]
+    fn activations_have_outlier_channels() {
+        let p = ModelProfile::opt_6_7b();
+        let dim = 512;
+        let x = activation_matrix(&p, 0, 64, dim);
+        let outliers = outlier_channels(&p, dim);
+        assert!(!outliers.is_empty());
+        // Outlier channels dominate: their median |x| exceeds the overall
+        // 99th percentile of the body.
+        let body_q99 = abs_quantile(x.as_slice(), 0.99);
+        let oc = outliers[0];
+        let col: Vec<f32> = (0..x.rows()).map(|r| x[(r, oc)]).collect();
+        let med = abs_quantile(&col, 0.5);
+        assert!(
+            med > body_q99 * 0.5,
+            "outlier channel median {med} vs body q99 {body_q99}"
+        );
+    }
+
+    #[test]
+    fn outlier_channel_count_scales_with_rate() {
+        let opt = ModelProfile::opt_6_7b();
+        let falcon = ModelProfile::falcon_7b();
+        assert!(outlier_channels(&opt, 1024).len() > outlier_channels(&falcon, 1024).len());
+    }
+
+    #[test]
+    fn opt_harder_to_quantize_than_falcon() {
+        // The knob ordering must translate into measured 4-bit damage to the
+        // *body* channels (outlier channels inflate raw NMSE's numerator and
+        // denominator alike, so we measure body error against body energy —
+        // the §3.1 failure mode: the block max destroys its neighbors).
+        use m2xfp::TensorQuantizer;
+        let q = m2x_baselines::MxQuantizer::mxfp4();
+        let body_err = |p: &ModelProfile| {
+            let dim = 512;
+            let x = activation_matrix(p, 0, 48, dim);
+            let xq = q.quantize_activations(&x);
+            let outliers = outlier_channels(p, dim);
+            let mut num = 0.0f64;
+            let mut den = 0.0f64;
+            for r in 0..x.rows() {
+                for c in 0..dim {
+                    if outliers.contains(&c) {
+                        continue;
+                    }
+                    let d = (x[(r, c)] - xq[(r, c)]) as f64;
+                    num += d * d;
+                    den += (x[(r, c)] as f64).powi(2);
+                }
+            }
+            num / den
+        };
+        let e_opt = body_err(&ModelProfile::opt_6_7b());
+        let e_falcon = body_err(&ModelProfile::falcon_7b());
+        assert!(
+            e_opt > 2.0 * e_falcon,
+            "opt body error {e_opt} should far exceed falcon {e_falcon}"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # m2x-tensor
+//!
+//! Minimal dense math substrate for the M2XFP reproduction:
+//!
+//! * [`matrix`] — row-major `f32` matrices with group/subgroup views, naive
+//!   and multi-threaded GEMM.
+//! * [`rng`] — deterministic random sources and the heavy-tailed
+//!   distributions (Gaussian, Laplace, Student-t, lognormal) used to
+//!   synthesize LLM-like weights and activations.
+//! * [`stats`] — error metrics (MSE, NMSE, SQNR, cosine similarity) and
+//!   distribution shape statistics (kurtosis, quantiles).
+//!
+//! ```
+//! use m2x_tensor::matrix::Matrix;
+//!
+//! let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+//! let b = Matrix::identity(3);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+pub mod linalg;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use rng::Xoshiro;

@@ -1,0 +1,254 @@
+//! Small dense linear-algebra kernels used by the algorithm-scheme
+//! baselines (GPTQ needs a Cholesky-based inverse Hessian; QuaRot/DuQuant
+//! need orthonormal transforms, built in `m2x-baselines`).
+//!
+//! All routines are f64 and operate on symmetric positive-definite (SPD)
+//! matrices stored row-major.
+
+use crate::matrix::Matrix;
+
+/// Error from a failed factorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotSpdError {
+    /// Pivot index where positive-definiteness failed.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotSpdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotSpdError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ` (f64, row-major,
+/// `n × n`).
+///
+/// # Errors
+///
+/// Returns [`NotSpdError`] when a pivot is non-positive.
+pub fn cholesky(a: &[f64], n: usize) -> Result<Vec<f64>, NotSpdError> {
+    assert_eq!(a.len(), n * n);
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(NotSpdError { pivot: i });
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L·y = b` for lower-triangular `L` (forward substitution).
+pub fn solve_lower(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i * n + k] * y[k];
+        }
+        y[i] = s / l[i * n + i];
+    }
+    y
+}
+
+/// Solves `Lᵀ·x = y` for lower-triangular `L` (backward substitution).
+pub fn solve_lower_t(l: &[f64], n: usize, y: &[f64]) -> Vec<f64> {
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in i + 1..n {
+            s -= l[k * n + i] * x[k];
+        }
+        x[i] = s / l[i * n + i];
+    }
+    x
+}
+
+/// Inverse of an SPD matrix via Cholesky (column-by-column solves).
+///
+/// # Errors
+///
+/// Returns [`NotSpdError`] when the factorization fails.
+pub fn inverse_spd(a: &[f64], n: usize) -> Result<Vec<f64>, NotSpdError> {
+    let l = cholesky(a, n)?;
+    let mut inv = vec![0.0f64; n * n];
+    let mut e = vec![0.0f64; n];
+    for c in 0..n {
+        e.fill(0.0);
+        e[c] = 1.0;
+        let y = solve_lower(&l, n, &e);
+        let x = solve_lower_t(&l, n, &y);
+        for r in 0..n {
+            inv[r * n + c] = x[r];
+        }
+    }
+    Ok(inv)
+}
+
+/// Upper-triangular Cholesky factor `U` with `A = Uᵀ·U` — the form GPTQ
+/// uses for the inverse Hessian.
+///
+/// # Errors
+///
+/// Returns [`NotSpdError`] when the factorization fails.
+pub fn cholesky_upper(a: &[f64], n: usize) -> Result<Vec<f64>, NotSpdError> {
+    let l = cholesky(a, n)?;
+    let mut u = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            u[j * n + i] = l[i * n + j];
+        }
+    }
+    Ok(u)
+}
+
+/// Gram matrix `Xᵀ·X` of an `f32` matrix, accumulated in f64, with a
+/// relative ridge `λ·mean(diag)` added to the diagonal (GPTQ's percdamp).
+pub fn gram_with_damping(x: &Matrix, damp: f64) -> Vec<f64> {
+    let k = x.cols();
+    let mut h = vec![0.0f64; k * k];
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        for i in 0..k {
+            let xi = row[i] as f64;
+            if xi == 0.0 {
+                continue;
+            }
+            for j in i..k {
+                h[i * k + j] += xi * row[j] as f64;
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..i {
+            h[i * k + j] = h[j * k + i];
+        }
+    }
+    let mean_diag: f64 = (0..k).map(|i| h[i * k + i]).sum::<f64>() / k as f64;
+    let ridge = damp * mean_diag.max(1e-12);
+    for i in 0..k {
+        h[i * k + i] += ridge;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize) -> Vec<f64> {
+        // A = B·Bᵀ + I for a deterministic B.
+        let b: Vec<f64> = (0..n * n)
+            .map(|i| ((i as f64 * 0.731).sin() + 0.2))
+            .collect();
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..n {
+                    s += b[i * n + k] * b[j * n + k];
+                }
+                a[i * n + j] = s;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let n = 8;
+        let a = spd(n);
+        let l = cholesky(&a, n).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += l[i * n + k] * l[j * n + k];
+                }
+                assert!((s - a[i * n + j]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let n = 6;
+        let a = spd(n);
+        let l = cholesky(&a, n).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+        let y = solve_lower(&l, n, &b);
+        let x = solve_lower_t(&l, n, &y);
+        // Check A·x = b.
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in 0..n {
+                s += a[i * n + j] * x[j];
+            }
+            assert!((s - b[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let n = 7;
+        let a = spd(n);
+        let inv = inverse_spd(&a, n).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a[i * n + k] * inv[k * n + j];
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((s - want).abs() < 1e-8, "({i},{j}) got {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_cholesky_reconstructs() {
+        let n = 5;
+        let a = spd(n);
+        let u = cholesky_upper(&a, n).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += u[k * n + i] * u[k * n + j];
+                }
+                assert!((s - a[i * n + j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn non_spd_rejected() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(cholesky(&a, 2).is_err());
+    }
+
+    #[test]
+    fn gram_is_symmetric_and_damped() {
+        let x = Matrix::from_fn(10, 4, |r, c| ((r * 4 + c) as f32 * 0.37).sin());
+        let h = gram_with_damping(&x, 0.01);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(h[i * 4 + j], h[j * 4 + i]);
+            }
+        }
+        // Damping makes it SPD.
+        assert!(cholesky(&h, 4).is_ok());
+    }
+}

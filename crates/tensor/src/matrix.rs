@@ -1,0 +1,317 @@
+//! Row-major `f32` matrices with the group views used by block quantization.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 64 {
+            for r in 0..self.rows {
+                write!(f, "\n  {:?}", self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a generator function `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix taking ownership of row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view of all elements.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Applies `f` elementwise, returning a new matrix.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Largest absolute element (0 for an empty matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Iterates over contiguous row-wise groups of `k` elements.
+    ///
+    /// Each row is partitioned independently (groups never straddle a row
+    /// boundary, matching how MX formats group along the reduction
+    /// dimension). A final short group per row is yielded when `cols % k !=
+    /// 0`.
+    pub fn row_groups(&self, k: usize) -> impl Iterator<Item = &[f32]> {
+        assert!(k > 0, "group size must be positive");
+        self.data.chunks(self.cols).flat_map(move |row| row.chunks(k))
+    }
+
+    /// Matrix product `self * rhs` (naive triple loop; exact reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for kk in 0..self.cols {
+                let a = self[(i, kk)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(kk);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Multi-threaded matrix product using scoped threads. Produces results
+    /// identical to [`Self::matmul`] (same per-row accumulation order).
+    pub fn matmul_threaded(&self, rhs: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let threads = threads.max(1).min(self.rows.max(1));
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let cols = self.cols;
+        let ncols_out = rhs.cols;
+        let chunk_rows = self.rows.div_ceil(threads);
+        let out_chunks: Vec<&mut [f32]> = out
+            .data
+            .chunks_mut(chunk_rows * ncols_out)
+            .collect();
+        crossbeam::thread::scope(|s| {
+            for (t, out_chunk) in out_chunks.into_iter().enumerate() {
+                let a = &self.data;
+                let b = rhs;
+                s.spawn(move |_| {
+                    let row0 = t * chunk_rows;
+                    for (local_i, orow) in out_chunk.chunks_mut(ncols_out).enumerate() {
+                        let i = row0 + local_i;
+                        for kk in 0..cols {
+                            let av = a[i * cols + kk];
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let rrow = b.row(kk);
+                            for (o, &bv) in orow.iter_mut().zip(rrow) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        out
+    }
+
+    /// Elementwise sum with `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Elementwise difference `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(a.matmul(&Matrix::identity(4)), a);
+        assert_eq!(Matrix::identity(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn threaded_matches_naive() {
+        let a = Matrix::from_fn(17, 23, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(23, 9, |r, c| ((r * 5 + c * 11) % 17) as f32 - 8.0);
+        let naive = a.matmul(&b);
+        for threads in [1, 2, 4, 32] {
+            assert_eq!(a.matmul_threaded(&b, threads), naive, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], a[(1, 2)]);
+    }
+
+    #[test]
+    fn row_groups_partition_rows() {
+        let a = Matrix::from_fn(2, 7, |r, c| (r * 7 + c) as f32);
+        let groups: Vec<&[f32]> = a.row_groups(4).collect();
+        assert_eq!(groups.len(), 4); // per row: 4 + 3
+        assert_eq!(groups[0], &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(groups[1], &[4.0, 5.0, 6.0]);
+        assert_eq!(groups[2], &[7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(groups[3], &[11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(4, 4, |r, c| (r * c) as f32 * 0.5);
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        let a = Matrix::from_vec(1, 4, vec![1.0, -7.5, 3.0, 2.0]);
+        assert_eq!(a.max_abs(), 7.5);
+        assert_eq!(Matrix::zeros(2, 2).max_abs(), 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Deterministic random sources and heavy-tailed samplers.
+//!
+//! All workloads in this reproduction are synthesized from seeded RNGs so
+//! every table and figure is reproducible bit-for-bit. The distributions
+//! here are the building blocks of the per-model weight/activation profiles
+//! in `m2x-nn`: LLM tensors are well modeled by a Gaussian body plus
+//! heavy-tailed outliers (Laplace / Student-t / lognormal-magnitude tails).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded deterministic generator (xoshiro-quality; wraps [`StdRng`]).
+#[derive(Debug, Clone)]
+pub struct Xoshiro {
+    inner: StdRng,
+}
+
+impl Xoshiro {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        Xoshiro {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give every tensor its
+    /// own stream so generation order does not matter.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Xoshiro::seed(s)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.inner.next_u64() % n as u64) as usize
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn gaussian(&mut self) -> f32 {
+        // Avoid log(0).
+        let u1 = (1.0 - self.uniform()).max(f32::MIN_POSITIVE);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.gaussian()
+    }
+
+    /// Laplace(0, b) via inverse CDF — a standard model of LLM weights.
+    pub fn laplace(&mut self, b: f32) -> f32 {
+        let u = self.uniform() - 0.5;
+        -b * u.signum() * (1.0 - 2.0 * u.abs()).max(f32::MIN_POSITIVE).ln()
+    }
+
+    /// Student-t with `nu` degrees of freedom — heavy tails for activation
+    /// outliers. Implemented as normal / sqrt(chi²/nu) with chi² built from
+    /// `nu` squared normals (exact for integer nu, which is all we use).
+    pub fn student_t(&mut self, nu: u32) -> f32 {
+        assert!(nu >= 1, "degrees of freedom must be >= 1");
+        let z = self.gaussian();
+        let mut chi2 = 0.0f32;
+        for _ in 0..nu {
+            let g = self.gaussian();
+            chi2 += g * g;
+        }
+        z / (chi2 / nu as f32).sqrt().max(1e-20)
+    }
+
+    /// Lognormal magnitude: `exp(normal(mu, sigma))`.
+    pub fn lognormal(&mut self, mu: f32, sigma: f32) -> f32 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Returns true with probability `p`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.uniform() < p
+    }
+
+    /// Fills a vector with i.i.d. samples from `f`.
+    pub fn vec_of(&mut self, n: usize, mut f: impl FnMut(&mut Self) -> f32) -> Vec<f32> {
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.below(i + 1);
+            p.swap(i, j);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Xoshiro::seed(42);
+        let mut b = Xoshiro::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro::seed(1);
+        let mut b = Xoshiro::seed(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Xoshiro::seed(7);
+        let n = 200_000;
+        let xs = r.vec_of(n, |r| r.gaussian());
+        let mean: f32 = xs.iter().sum::<f32>() / n as f32;
+        let var: f32 = xs.iter().map(|x| x * x).sum::<f32>() / n as f32 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn laplace_variance_is_2b2() {
+        let mut r = Xoshiro::seed(11);
+        let b = 0.7f32;
+        let n = 200_000;
+        let xs = r.vec_of(n, |r| r.laplace(b));
+        let var: f32 = xs.iter().map(|x| x * x).sum::<f32>() / n as f32;
+        assert!((var - 2.0 * b * b).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn student_t_has_heavier_tails_than_gaussian() {
+        let mut r = Xoshiro::seed(13);
+        let n = 100_000;
+        let t: usize = (0..n).filter(|_| r.student_t(4).abs() > 4.0).count();
+        let g: usize = (0..n).filter(|_| r.gaussian().abs() > 4.0).count();
+        assert!(t > g * 5, "t tail {t}, gaussian tail {g}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = Xoshiro::seed(3);
+        let p = r.permutation(100);
+        let mut seen = vec![false; 100];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_order() {
+        let mut root1 = Xoshiro::seed(5);
+        let mut a1 = root1.fork(1);
+        let mut root2 = Xoshiro::seed(5);
+        let mut a2 = root2.fork(1);
+        assert_eq!(a1.uniform().to_bits(), a2.uniform().to_bits());
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = Xoshiro::seed(17);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        assert!((hits as f32 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+}

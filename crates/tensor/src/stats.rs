@@ -1,0 +1,198 @@
+//! Error metrics and distribution statistics.
+//!
+//! The paper quantifies quantization fidelity with mean squared error against
+//! FP16 (§4.2.1) and reports perplexity/accuracy downstream; these helpers
+//! compute the error side of that pipeline plus the shape statistics
+//! (kurtosis, quantiles) used to calibrate the synthetic model profiles.
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty input");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Normalized MSE: `mse(a, b) / mean(a²)`. Returns 0 when `a` is all zeros
+/// and `b == a`.
+pub fn nmse(reference: &[f32], approx: &[f32]) -> f64 {
+    let num = mse(reference, approx);
+    let denom = reference
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        / reference.len() as f64;
+    if denom == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / denom
+    }
+}
+
+/// Root of [`nmse`] — the relative RMS error used by the nn proxies.
+pub fn nrmse(reference: &[f32], approx: &[f32]) -> f64 {
+    nmse(reference, approx).sqrt()
+}
+
+/// Signal-to-quantization-noise ratio in dB (`10·log10(1/NMSE)`).
+pub fn sqnr_db(reference: &[f32], approx: &[f32]) -> f64 {
+    let n = nmse(reference, approx);
+    if n == 0.0 {
+        f64::INFINITY
+    } else {
+        -10.0 * n.log10()
+    }
+}
+
+/// Largest absolute elementwise deviation.
+pub fn max_abs_err(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+/// Cosine similarity (1.0 for identical directions; 0 when either is zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let (mut dot, mut na, mut nb) = (0f64, 0f64, 0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x as f64 * y as f64;
+        na += x as f64 * x as f64;
+        nb += y as f64 * y as f64;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Sample mean.
+pub fn mean(xs: &[f32]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance.
+pub fn variance(xs: &[f32]) -> f64 {
+    let m = mean(xs);
+    xs.iter()
+        .map(|&x| {
+            let d = x as f64 - m;
+            d * d
+        })
+        .sum::<f64>()
+        / xs.len() as f64
+}
+
+/// Excess kurtosis (0 for a Gaussian; positive = heavy tails). Returns 0 for
+/// degenerate (zero-variance) inputs.
+pub fn excess_kurtosis(xs: &[f32]) -> f64 {
+    let m = mean(xs);
+    let var = variance(xs);
+    if var == 0.0 {
+        return 0.0;
+    }
+    let m4 = xs
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - m;
+            d * d * d * d
+        })
+        .sum::<f64>()
+        / xs.len() as f64;
+    m4 / (var * var) - 3.0
+}
+
+/// The `q`-quantile (0..=1) of the absolute values, by sorting a copy.
+pub fn abs_quantile(xs: &[f32], q: f64) -> f32 {
+    assert!(!xs.is_empty());
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let mut v: Vec<f32> = xs.iter().map(|x| x.abs()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = ((v.len() - 1) as f64 * q).round() as usize;
+    v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let a = [1.0f32, -2.0, 3.0];
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(nmse(&a, &a), 0.0);
+        assert_eq!(sqnr_db(&a, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = [0.0f32, 0.0];
+        let b = [3.0f32, 4.0];
+        assert_eq!(mse(&a, &b), 12.5);
+        assert_eq!(max_abs_err(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn nmse_scale_invariant() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [1.1f32, 2.1, 2.9, 4.2];
+        let a10: Vec<f32> = a.iter().map(|x| x * 10.0).collect();
+        let b10: Vec<f32> = b.iter().map(|x| x * 10.0).collect();
+        // f32 rounding of the scaled inputs leaves a small residual.
+        let rel = (nmse(&a, &b) - nmse(&a10, &b10)).abs() / nmse(&a, &b);
+        assert!(rel < 1e-4, "relative deviation {rel}");
+    }
+
+    #[test]
+    fn sqnr_10x_error_is_20db() {
+        let reference = vec![1.0f32; 1000];
+        let n1: Vec<f32> = reference.iter().map(|x| x + 0.01).collect();
+        let n2: Vec<f32> = reference.iter().map(|x| x + 0.1).collect();
+        let d = sqnr_db(&reference, &n1) - sqnr_db(&reference, &n2);
+        // 0.01 and 1.01 are not exactly representable in f32.
+        assert!((d - 20.0).abs() < 0.01, "delta {d}");
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let a = [1.0f32, 0.0];
+        assert_eq!(cosine(&a, &[2.0, 0.0]), 1.0);
+        assert_eq!(cosine(&a, &[0.0, 5.0]), 0.0);
+        assert_eq!(cosine(&a, &[-3.0, 0.0]), -1.0);
+    }
+
+    #[test]
+    fn kurtosis_gaussian_vs_heavy() {
+        use crate::rng::Xoshiro;
+        let mut r = Xoshiro::seed(1);
+        let g = r.vec_of(100_000, |r| r.gaussian());
+        let l = r.vec_of(100_000, |r| r.laplace(1.0));
+        assert!(excess_kurtosis(&g).abs() < 0.25);
+        // Laplace has excess kurtosis 3.
+        assert!((excess_kurtosis(&l) - 3.0).abs() < 0.8);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs: Vec<f32> = (0..101).map(|i| i as f32 - 50.0).collect();
+        assert_eq!(abs_quantile(&xs, 1.0), 50.0);
+        assert_eq!(abs_quantile(&xs, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Drive the cycle-level accelerator model: run LLaMA2-7B prefill on every
+//! Fig. 13 accelerator and print latency, energy and the area budget —
+//! plus a bit-exact check that the modeled PE pipeline reproduces the
+//! algorithmic GEMM.
+//!
+//! Run with: `cargo run --release --example accelerator_sim`
+
+use m2xfp_repro::accel::arch::{AcceleratorConfig, AcceleratorKind};
+use m2xfp_repro::accel::energy::{energy_of, EnergyModel};
+use m2xfp_repro::accel::timing::run_model;
+use m2xfp_repro::accel::units::{PeTile, TopOneDecodeUnit};
+use m2xfp_repro::core::format::{ActTensor, WeightTensor};
+use m2xfp_repro::core::M2xfpConfig;
+use m2xfp_repro::nn::profile::ModelProfile;
+use m2xfp_repro::tensor::{Matrix, Xoshiro};
+
+fn main() {
+    // ── 1. Functional check: the PE pipeline is bit-exact ──
+    let cfg = M2xfpConfig::default();
+    let mut rng = Xoshiro::seed(7);
+    let xv = Matrix::from_fn(1, 32, |_, _| rng.laplace(1.0));
+    let wv = Matrix::from_fn(1, 32, |_, _| rng.laplace(0.5));
+    let x = ActTensor::quantize(&xv, cfg);
+    let w = WeightTensor::quantize(&wv, cfg);
+    let want = m2xfp_repro::core::gemm::qgemm(&x, &w)[(0, 0)];
+
+    let pe = PeTile;
+    let xg = &x.groups()[0];
+    let wg = &w.groups()[0];
+    let mut acc = 0i64;
+    for (s, (xs, ws)) in xg.codes.chunks(8).zip(wg.codes.chunks(8)).enumerate() {
+        let (top1, _) = TopOneDecodeUnit.top1(xs);
+        acc += pe.subgroup_mac(ws, xs, top1, xg.meta[s], wg.sg_em[s]);
+    }
+    let got = pe.dequantize(acc, xg.scale.exponent(), wg.scale.exponent()) as f32;
+    assert_eq!(got.to_bits(), want.to_bits());
+    println!("PE pipeline vs algorithmic GEMM: bit-exact ({got} == {want})\n");
+
+    // ── 2. Per-accelerator latency and energy (LLaMA2-7B, seq 4096) ──
+    let model = ModelProfile::llama2_7b();
+    let em = EnergyModel::default();
+    println!("LLaMA2-7B prefill @ seq 4096, 32x32 PEs @ 500 MHz:");
+    println!(
+        "{:<12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "accelerator", "latency(s)", "energy(J)", "core", "buffer", "dram", "static"
+    );
+    let mut baseline = None;
+    for kind in AcceleratorKind::ALL {
+        let acfg = AcceleratorConfig::of(kind);
+        let run = run_model(&model, &acfg, 4096);
+        let e = energy_of(&run.total, &acfg, &em);
+        baseline.get_or_insert(run.total.seconds);
+        println!(
+            "{:<12} {:>10.2} {:>10.2} {:>8.0}% {:>8.0}% {:>8.0}% {:>8.0}%",
+            kind.name(),
+            run.total.seconds,
+            e.total(),
+            100.0 * e.core_j / e.total(),
+            100.0 * e.buffer_j / e.total(),
+            100.0 * e.dram_j / e.total(),
+            100.0 * e.static_j / e.total(),
+        );
+    }
+
+    // ── 3. Area budget (Tbl. 5) ──
+    println!("\nArea/power budget of the M2XFP core:");
+    for row in m2xfp_repro::accel::area::table5() {
+        println!(
+            "  {:<22} x{:<4} {:>8.4} mm2 {:>9.3} mW",
+            row.component, row.count, row.area_mm2, row.power_mw
+        );
+    }
+    let (a, p) = m2xfp_repro::accel::area::table5_totals();
+    println!("  {:<22} {:>14.3} mm2 {:>9.2} mW", "Total", a, p);
+}

@@ -1,0 +1,56 @@
+//! Explore the metadata design space (paper §4.1–4.2): sweep the four
+//! strategy families across subgroup sizes under fixed and adaptive shared
+//! scales, and print the Pareto frontier that motivates the hybrid M2XFP
+//! design.
+//!
+//! Run with: `cargo run --release --example format_explorer`
+
+use m2xfp_repro::core::dse::{pareto_frontier, sweep, FIG6_SUBGROUPS};
+use m2xfp_repro::core::strategy::{MetadataStrategy, ScaleMode};
+use m2xfp_repro::core::ScaleRule;
+use m2xfp_repro::tensor::{Matrix, Xoshiro};
+
+fn main() {
+    // A heavy-tailed workload (the regime the paper's analysis targets).
+    let mut rng = Xoshiro::seed(99);
+    let data = Matrix::from_fn(64, 256, |_, _| {
+        if rng.chance(0.01) {
+            rng.laplace(1.0) * 12.0
+        } else {
+            rng.laplace(1.0)
+        }
+    });
+
+    for (label, mode) in [("FIXED", ScaleMode::Fixed), ("ADAPTIVE", ScaleMode::Adaptive)] {
+        println!("── {label} shared scale ─────────────────────────────");
+        let points = sweep(
+            &data,
+            &MetadataStrategy::FIG6_SET,
+            &FIG6_SUBGROUPS,
+            32,
+            ScaleRule::Floor,
+            mode,
+        );
+        println!("{:<14} {:>4} {:>7} {:>10}", "strategy", "sg", "EBW", "MSE");
+        for p in &points {
+            println!(
+                "{:<14} {:>4} {:>7.3} {:>10.5}",
+                p.strategy, p.subgroup_size, p.ebw, p.mse
+            );
+        }
+        let frontier = pareto_frontier(&points);
+        println!("\nPareto frontier:");
+        for p in &frontier {
+            println!(
+                "  EBW {:>5.3}  MSE {:>9.5}  <- {} (sg {})",
+                p.ebw, p.mse, p.strategy, p.subgroup_size
+            );
+        }
+        println!();
+    }
+
+    println!("Paper's takeaway (§4.2.4): Elem-EM dominates the fixed-scale");
+    println!("frontier at 4.5-4.75 EBW; Sg-EM overtakes once the adaptive");
+    println!("shared scale is enabled — hence the hybrid: Elem-EM for online");
+    println!("activations, Sg-EM-adaptive for offline weights.");
+}

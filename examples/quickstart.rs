@@ -1,0 +1,58 @@
+//! Quickstart: quantize a tensor to M2XFP, inspect the packed layout,
+//! dequantize, and compare the error against MXFP4 and NVFP4.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use m2xfp_repro::baselines::{MxQuantizer, Nvfp4};
+use m2xfp_repro::core::format::ActTensor;
+use m2xfp_repro::core::quantizer::{M2xfpQuantizer, TensorQuantizer};
+use m2xfp_repro::core::M2xfpConfig;
+use m2xfp_repro::tensor::{stats, Matrix, Xoshiro};
+
+fn main() {
+    // A heavy-tailed activation-like tensor: 64 tokens × 256 channels.
+    let mut rng = Xoshiro::seed(42);
+    let x = Matrix::from_fn(64, 256, |_, _| rng.laplace(1.0));
+
+    // ── 1. One-line fake quantization through the shared trait ──
+    println!("Per-format reconstruction error on a Laplace tensor:");
+    println!("{:<10} {:>6} {:>12} {:>10}", "format", "EBW", "NMSE", "SQNR(dB)");
+    for q in [
+        Box::new(MxQuantizer::mxfp4()) as Box<dyn TensorQuantizer>,
+        Box::new(Nvfp4::default()),
+        Box::new(M2xfpQuantizer::default()),
+    ] {
+        let xq = q.quantize_activations(&x);
+        println!(
+            "{:<10} {:>6.2} {:>12.6} {:>10.2}",
+            q.name(),
+            q.activation_ebw(),
+            stats::nmse(x.as_slice(), xq.as_slice()),
+            stats::sqnr_db(x.as_slice(), xq.as_slice()),
+        );
+    }
+
+    // ── 2. The packed representation (Algorithm 1 + §5.2 layout) ──
+    let cfg = M2xfpConfig::default(); // group 32, subgroup 8, floor rule
+    let packed = ActTensor::quantize(&x, cfg);
+    let bytes = packed.pack().expect("aligned shape");
+    println!(
+        "\nPacked {}x{} tensor: {} bytes = {:.2} bits/element",
+        x.rows(),
+        x.cols(),
+        bytes.len(),
+        bytes.len() as f64 * 8.0 / x.len() as f64
+    );
+
+    // Round-trip through the wire format is lossless.
+    let restored = ActTensor::unpack(&bytes, x.rows(), x.cols(), cfg).expect("valid buffer");
+    assert_eq!(packed, restored);
+    println!("pack → unpack round-trip: exact");
+
+    // ── 3. A peek inside one group ──
+    let g = &packed.groups()[0];
+    println!("\nFirst group: scale = {}, metadata = {:?}", g.scale, g.meta);
+    let dq = packed.dequantize();
+    let err = stats::max_abs_err(&x.as_slice()[..32], &dq.as_slice()[..32]);
+    println!("max |error| in the first group: {err:.4}");
+}

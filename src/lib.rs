@@ -1,0 +1,23 @@
+//! # m2xfp-repro
+//!
+//! Umbrella crate for the full reproduction of
+//! *M2XFP: A Metadata-Augmented Microscaling Data Format for Efficient
+//! Low-bit Quantization* (ASPLOS '26).
+//!
+//! Each subsystem lives in its own crate; this crate re-exports them under
+//! short names and hosts the cross-crate integration tests (`tests/`) and
+//! runnable examples (`examples/`).
+//!
+//! * [`formats`] — software minifloat/integer codecs and bit packing.
+//! * [`tensor`] — matrix math, heavy-tailed RNG, error statistics.
+//! * [`core`] — the M2XFP format itself (encoder, decoder, GEMM, DSE).
+//! * [`baselines`] — every format/algorithm the paper compares against.
+//! * [`nn`] — synthetic LLM substrate and perplexity/accuracy proxies.
+//! * [`accel`] — cycle-level accelerator model (timing/energy/area).
+
+pub use m2x_accel as accel;
+pub use m2x_baselines as baselines;
+pub use m2x_formats as formats;
+pub use m2x_nn as nn;
+pub use m2x_tensor as tensor;
+pub use m2xfp as core;

@@ -1,0 +1,151 @@
+//! Property-based tests on the number-format substrate: codec round-trips,
+//! nearest-value quantization bounds, packing invertibility.
+
+use m2xfp_repro::formats::{
+    codebook::Codebook,
+    e8m0::E8M0,
+    half::{f16_bits_to_f32, f32_to_f16_bits, quantize_f16},
+    int::IntCodec,
+    minifloat::{Minifloat, SpecialValues},
+    packing::{pack_nibbles, unpack_nibbles, BitReader, BitWriter},
+};
+use proptest::prelude::*;
+
+fn formats() -> Vec<Minifloat> {
+    vec![
+        Minifloat::new(2, 1, SpecialValues::None).unwrap(),
+        Minifloat::new(2, 3, SpecialValues::None).unwrap(),
+        Minifloat::new(3, 2, SpecialValues::None).unwrap(),
+        Minifloat::new(3, 3, SpecialValues::None).unwrap(),
+        Minifloat::new(4, 3, SpecialValues::NanOnly).unwrap(),
+        Minifloat::new(5, 2, SpecialValues::Ieee).unwrap(),
+    ]
+}
+
+proptest! {
+    /// quantize() output is always on the grid: re-quantizing is identity.
+    #[test]
+    fn minifloat_quantize_idempotent(x in -1e6f32..1e6f32, fi in 0usize..6) {
+        let f = &formats()[fi];
+        let q = f.quantize(x);
+        prop_assert_eq!(f.quantize(q).to_bits(), q.to_bits());
+    }
+
+    /// The quantized value is the nearest grid point (within float fuzz).
+    #[test]
+    fn minifloat_quantize_is_nearest(x in -500f32..500f32, fi in 0usize..6) {
+        let f = &formats()[fi];
+        let q = f.quantize(x);
+        let a = x.abs().min(f.max_value());
+        let best = f
+            .values()
+            .into_iter()
+            .map(|v| (v - a).abs())
+            .fold(f32::INFINITY, f32::min);
+        prop_assert!((q.abs() - a).abs() <= best + best.abs() * 1e-6 + 1e-12);
+    }
+
+    /// encode -> decode -> encode is stable for every code.
+    #[test]
+    fn minifloat_code_roundtrip(code in 0u8..=255, fi in 0usize..6) {
+        let f = &formats()[fi];
+        let masked = code & ((1u16 << f.total_bits()) - 1) as u8;
+        let v = f.decode(masked);
+        if v.is_finite() {
+            prop_assert_eq!(f.decode(f.encode(v)), v);
+        }
+    }
+
+    /// Quantization error is bounded by half the local step (no clipping
+    /// regime).
+    #[test]
+    fn minifloat_error_bound(x in 0.01f32..1.0f32, fi in 0usize..6) {
+        let f = &formats()[fi];
+        // Scale x into the format's safe range.
+        let a = x * f.max_value() * 0.99;
+        let q = f.quantize_magnitude(a);
+        // The worst-case step at magnitude a is a * 2^-man_bits (normal
+        // range) or the subnormal step.
+        let step = (a * (-(f.man_bits() as f32)).exp2()).max(f.min_subnormal());
+        prop_assert!((q - a).abs() <= step * 0.5 + 1e-12, "a={a} q={q} step={step}");
+    }
+
+    /// f16 round-trip: every finite decode encodes back to the same value.
+    #[test]
+    fn f16_roundtrip(bits in 0u16..=u16::MAX) {
+        let v = f16_bits_to_f32(bits);
+        if v.is_finite() {
+            prop_assert_eq!(f16_bits_to_f32(f32_to_f16_bits(v)), v);
+        }
+    }
+
+    /// quantize_f16 is idempotent and monotone.
+    #[test]
+    fn f16_idempotent_monotone(a in -60000f32..60000f32, b in -60000f32..60000f32) {
+        let qa = quantize_f16(a);
+        prop_assert_eq!(quantize_f16(qa), qa);
+        if a <= b {
+            prop_assert!(quantize_f16(a) <= quantize_f16(b));
+        }
+    }
+
+    /// E8M0 round-trips every in-range exponent.
+    #[test]
+    fn e8m0_roundtrip(e in -127i32..=127) {
+        let s = E8M0::from_exponent(e);
+        prop_assert_eq!(s.exponent(), e);
+        prop_assert_eq!(E8M0::from_bits(s.to_bits()), s);
+    }
+
+    /// Symmetric int codecs: |error| <= scale/2 inside the range.
+    #[test]
+    fn int_codec_error_bound(x in -100f32..100f32, bits in 2u32..9, scale in 0.01f32..10.0f32) {
+        let c = IntCodec::new(bits);
+        let q = c.quantize(x, scale);
+        if x.abs() <= c.max_code() as f32 * scale {
+            prop_assert!((q - x).abs() <= scale / 2.0 + scale * 1e-5);
+        } else {
+            // Saturation: output is the extreme code.
+            prop_assert_eq!(q.abs(), c.max_code() as f32 * scale);
+        }
+    }
+
+    /// Nibble packing is invertible for any code sequence.
+    #[test]
+    fn nibble_roundtrip(codes in proptest::collection::vec(0u8..16, 0..200)) {
+        let packed = pack_nibbles(&codes);
+        prop_assert_eq!(unpack_nibbles(&packed, codes.len()), codes);
+    }
+
+    /// Arbitrary-width bit fields round-trip through the writer/reader.
+    #[test]
+    fn bitfield_roundtrip(fields in proptest::collection::vec((0u32..=u32::MAX, 1u32..=32), 0..50)) {
+        let mut w = BitWriter::new();
+        for &(v, width) in &fields {
+            w.push(v & ((1u64 << width) - 1) as u32, width);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, width) in &fields {
+            prop_assert_eq!(r.read(width), v & ((1u64 << width) - 1) as u32);
+        }
+    }
+
+    /// Codebook quantization returns a grid member with minimal distance.
+    #[test]
+    fn codebook_nearest(
+        mut grid in proptest::collection::vec(0.0f32..100.0, 1..20),
+        x in -120f32..120f32,
+    ) {
+        grid.push(0.0);
+        let cb = Codebook::new("p", grid).unwrap();
+        let q = cb.quantize(x);
+        prop_assert!(cb.magnitudes().contains(&q.abs()));
+        let best = cb
+            .magnitudes()
+            .iter()
+            .map(|v| (v - x.abs()).abs())
+            .fold(f32::INFINITY, f32::min);
+        prop_assert!((q.abs() - x.abs()).abs() <= best + 1e-5);
+    }
+}
