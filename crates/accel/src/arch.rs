@@ -11,10 +11,8 @@
 //! higher precision), and decode/compute overhead factors. An 8-bit
 //! operand takes two passes through a 4-bit PE and twice the bytes.
 
-use serde::{Deserialize, Serialize};
-
 /// Shared machine parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Machine {
     /// Systolic array height (rows of PEs).
     pub array_rows: usize,
@@ -59,7 +57,7 @@ impl Machine {
 }
 
 /// Which accelerator design is being modeled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AcceleratorKind {
     /// MX-OliVe (outlier–victim decode; heavy 8-bit fallback).
     MxOlive,
@@ -97,7 +95,7 @@ impl AcceleratorKind {
 }
 
 /// Per-accelerator behavioural parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcceleratorConfig {
     /// Which design this is.
     pub kind: AcceleratorKind,
@@ -253,8 +251,8 @@ mod tests {
         // compute-bound ratio of the configs must land in that vicinity.
         let ms = AcceleratorConfig::of(AcceleratorKind::MicroScopiQ);
         let m2 = AcceleratorConfig::of(AcceleratorKind::M2xfp);
-        let ratio = ms.compute_passes() * ms.compute_overhead
-            / (m2.compute_passes() * m2.compute_overhead);
+        let ratio =
+            ms.compute_passes() * ms.compute_overhead / (m2.compute_passes() * m2.compute_overhead);
         assert!((1.6..2.3).contains(&ratio), "ratio {ratio}");
     }
 

@@ -10,8 +10,6 @@
 //! per-KB model. Per-unit activity factors translate gates to dynamic
 //! power at 500 MHz.
 
-use serde::{Deserialize, Serialize};
-
 /// 28 nm NAND2-equivalent cell area (µm² per gate).
 pub const GATE_UM2: f64 = 0.49;
 
@@ -25,7 +23,7 @@ pub const SRAM_UM2_PER_KB: f64 = 2388.9;
 pub const SRAM_MW_PER_KB: f64 = 0.544;
 
 /// Which PE datapath variant (the §6.3 comparison set).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PeKind {
     /// Plain FP4×FP4 MAC pipeline with E8M0 dequantize.
     Mxfp4,
@@ -82,7 +80,7 @@ pub const DECODE_UNIT_GATES: f64 = 30.0 + 98.0 + 41.0;
 pub const QUANT_ENGINE_GATES: f64 = 380.0 + 120.0 + 1920.0 + 1280.0 + 200.0 + 1000.0 + 103.0;
 
 /// One row of the Tbl. 5 breakdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table5Row {
     /// Component name.
     pub component: String,

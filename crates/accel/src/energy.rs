@@ -8,10 +8,9 @@
 
 use crate::arch::AcceleratorConfig;
 use crate::timing::GemmCost;
-use serde::{Deserialize, Serialize};
 
 /// Per-operation energy constants (28 nm class).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Joules per 4-bit MAC (including pipeline registers).
     pub mac_4bit_j: f64,
@@ -35,7 +34,7 @@ impl Default for EnergyModel {
 }
 
 /// Energy breakdown of one run (Joules).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyBreakdown {
     /// PE-array dynamic energy.
     pub core_j: f64,
@@ -56,10 +55,7 @@ impl EnergyBreakdown {
 
 /// Computes the energy of a (already timed) cost under a config.
 pub fn energy_of(cost: &GemmCost, cfg: &AcceleratorConfig, model: &EnergyModel) -> EnergyBreakdown {
-    let core_j = cost.macs
-        * cfg.compute_passes()
-        * cfg.core_energy_overhead
-        * model.mac_4bit_j;
+    let core_j = cost.macs * cfg.compute_passes() * cfg.core_energy_overhead * model.mac_4bit_j;
     let buffer_j = cost.sram_bytes * model.sram_byte_j;
     let dram_j = cost.dram_bytes * model.dram_byte_j;
     let static_j = model.static_w * cost.seconds;

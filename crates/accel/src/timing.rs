@@ -12,10 +12,9 @@
 use crate::arch::AcceleratorConfig;
 use m2x_nn::layers::{linear_gemms, GemmShape};
 use m2x_nn::profile::ModelProfile;
-use serde::{Deserialize, Serialize};
 
 /// Cost of one GEMM on one accelerator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GemmCost {
     /// Multiply–accumulates (before fallback passes).
     pub macs: f64,
@@ -63,17 +62,16 @@ pub fn gemm_cost(shape: &GemmShape, cfg: &AcceleratorConfig) -> GemmCost {
     let tiles_k = (shape.k as f64 / mach.array_rows as f64).ceil();
     let tiles_n = (shape.n as f64 / mach.array_cols as f64).ceil();
     let fill = (mach.array_rows + mach.array_cols) as f64;
-    let compute_cycles = (tiles_k * tiles_n * m + tiles_n * fill)
-        * cfg.compute_passes()
-        * cfg.compute_overhead;
+    let compute_cycles =
+        (tiles_k * tiles_n * m + tiles_n * fill) * cfg.compute_passes() * cfg.compute_overhead;
 
     // ── DRAM traffic ──
     let w_bytes = k * n * cfg.weight_bytes_per_elem();
     let a_bytes = m * k * cfg.act_bytes_per_elem();
     let o_bytes = m * n * 2.0; // FP16 outputs
-    // Re-streaming: whichever full operand fits on chip is read once; if
-    // neither fits, the activations are re-read once per weight stripe
-    // resident in the weight buffer.
+                               // Re-streaming: whichever full operand fits on chip is read once; if
+                               // neither fits, the activations are re-read once per weight stripe
+                               // resident in the weight buffer.
     let w_resident_stripes = (w_bytes / mach.weight_buffer as f64).ceil().max(1.0);
     let a_fits = a_bytes <= mach.act_buffer as f64;
     let a_reads = if a_fits { 1.0 } else { w_resident_stripes };
@@ -102,7 +100,7 @@ pub fn gemm_cost(shape: &GemmShape, cfg: &AcceleratorConfig) -> GemmCost {
 }
 
 /// The aggregated cost of a full model forward pass.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelRun {
     /// Accelerator name.
     pub accelerator: String,
@@ -143,7 +141,12 @@ mod tests {
     use crate::arch::AcceleratorKind;
 
     fn shape(m: usize, k: usize, n: usize) -> GemmShape {
-        GemmShape { name: "t".into(), m, k, n }
+        GemmShape {
+            name: "t".into(),
+            m,
+            k,
+            n,
+        }
     }
 
     #[test]
@@ -193,7 +196,11 @@ mod tests {
         // §6.3: on average 1.91× over MicroScopiQ (compute-bound regime).
         let p = ModelProfile::llama3_8b();
         let m2 = run_model(&p, &AcceleratorConfig::of(AcceleratorKind::M2xfp), 4096);
-        let ms = run_model(&p, &AcceleratorConfig::of(AcceleratorKind::MicroScopiQ), 4096);
+        let ms = run_model(
+            &p,
+            &AcceleratorConfig::of(AcceleratorKind::MicroScopiQ),
+            4096,
+        );
         let speedup = ms.total.seconds / m2.total.seconds;
         assert!((1.5..2.4).contains(&speedup), "speedup {speedup}");
     }

@@ -128,7 +128,10 @@ impl QuantizationEngine {
         let scale = self.rule.shared_scale(amax, f4);
         let s = scale.value();
         let codes: Vec<u8> = x.iter().map(|&v| f4.encode(v / s)).collect();
-        let fp6_mags: Vec<u8> = x.iter().map(|&v| f6.encode_magnitude(v.abs() / s)).collect();
+        let fp6_mags: Vec<u8> = x
+            .iter()
+            .map(|&v| f6.encode_magnitude(v.abs() / s))
+            .collect();
         // ── Stage 2: Encode Unit ──
         let decode = TopOneDecodeUnit;
         let mut meta = Vec::with_capacity(self.cfg.subgroup_count(x.len()));
@@ -206,25 +209,14 @@ mod tests {
         for seed in 0..30 {
             let xv = random_group(seed * 2 + 1, 32);
             let wv = random_group(seed * 2 + 2, 32);
-            let x = ActTensor::quantize(
-                &m2x_tensor::Matrix::from_vec(1, 32, xv.clone()),
-                cfg,
-            );
-            let w = WeightTensor::quantize(
-                &m2x_tensor::Matrix::from_vec(1, 32, wv.clone()),
-                cfg,
-            );
+            let x = ActTensor::quantize(&m2x_tensor::Matrix::from_vec(1, 32, xv.clone()), cfg);
+            let w = WeightTensor::quantize(&m2x_tensor::Matrix::from_vec(1, 32, wv.clone()), cfg);
             let want = m2xfp::gemm::qgemm(&x, &w)[(0, 0)];
 
             let xg = &x.groups()[0];
             let wg = &w.groups()[0];
             let mut acc64 = 0i64;
-            for (s, (xs, ws)) in xg
-                .codes
-                .chunks(8)
-                .zip(wg.codes.chunks(8))
-                .enumerate()
-            {
+            for (s, (xs, ws)) in xg.codes.chunks(8).zip(wg.codes.chunks(8)).enumerate() {
                 let (local, _) = TopOneDecodeUnit.top1(xs);
                 acc64 += pe.subgroup_mac(ws, xs, local, xg.meta[s], wg.sg_em[s]);
             }

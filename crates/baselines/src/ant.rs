@@ -137,10 +137,15 @@ mod tests {
     #[test]
     fn adaptive_weights_beat_mxfp4() {
         let w = sample(5);
-        let ant = nmse(w.as_slice(), MxAnt::default().quantize_weights(&w).as_slice());
+        let ant = nmse(
+            w.as_slice(),
+            MxAnt::default().quantize_weights(&w).as_slice(),
+        );
         let mx = nmse(
             w.as_slice(),
-            crate::mx::MxQuantizer::mxfp4().quantize_weights(&w).as_slice(),
+            crate::mx::MxQuantizer::mxfp4()
+                .quantize_weights(&w)
+                .as_slice(),
         );
         // The ANT search space (fp4 book × two exponents) supersets MXFP4's
         // floor rule, so per-group SSE can only improve.
@@ -182,10 +187,15 @@ mod tests {
     #[test]
     fn activations_also_adapt() {
         let x = sample(6);
-        let ant = nmse(x.as_slice(), MxAnt::default().quantize_activations(&x).as_slice());
+        let ant = nmse(
+            x.as_slice(),
+            MxAnt::default().quantize_activations(&x).as_slice(),
+        );
         let mx = nmse(
             x.as_slice(),
-            crate::mx::MxQuantizer::mxfp4().quantize_activations(&x).as_slice(),
+            crate::mx::MxQuantizer::mxfp4()
+                .quantize_activations(&x)
+                .as_slice(),
         );
         assert!(ant <= mx + 1e-12, "ant {ant} vs mxfp4 {mx}");
     }

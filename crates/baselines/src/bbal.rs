@@ -106,7 +106,10 @@ mod tests {
     fn beats_plain_int3_bfp() {
         let mut r = Xoshiro::seed(4);
         let x = Matrix::from_fn(8, 128, |_, _| r.laplace(1.0));
-        let bbal = nmse(x.as_slice(), Bbal::default().quantize_activations(&x).as_slice());
+        let bbal = nmse(
+            x.as_slice(),
+            Bbal::default().quantize_activations(&x).as_slice(),
+        );
         // SMX4 is INT3 with only pair-level shifting; BBAL's per-element
         // flag must do at least as well.
         let smx = nmse(

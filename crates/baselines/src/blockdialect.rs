@@ -30,9 +30,7 @@ pub fn dialect_book() -> Vec<Codebook> {
     for (name, grid) in bases {
         for (ai, align) in [1.0f32, 1.25, 1.5, 1.75].into_iter().enumerate() {
             let scaled: Vec<f32> = grid.iter().map(|v| v * align).collect();
-            book.push(
-                Codebook::new(format!("{name}-a{ai}"), scaled).expect("valid dialect"),
-            );
+            book.push(Codebook::new(format!("{name}-a{ai}"), scaled).expect("valid dialect"));
         }
     }
     book

@@ -61,9 +61,9 @@ impl RotationStage {
     }
 
     /// Applies the stage to a row vector.
-    pub fn apply(&self, v: &mut Vec<f32>) {
+    pub fn apply(&self, v: &mut [f32]) {
         if let Some(p) = &self.perm {
-            let old = v.clone();
+            let old = v.to_vec();
             for (i, &src) in p.iter().enumerate() {
                 v[i] = old[src];
             }
@@ -78,7 +78,7 @@ impl RotationStage {
 
     /// Applies the inverse (signs, inverse Hadamard = Hadamard, inverse
     /// permutation).
-    pub fn apply_inverse(&self, v: &mut Vec<f32>) {
+    pub fn apply_inverse(&self, v: &mut [f32]) {
         for (x, s) in v.iter_mut().zip(&self.signs) {
             *x *= s;
         }
@@ -86,7 +86,7 @@ impl RotationStage {
             fwht_normalized(chunk);
         }
         if let Some(p) = &self.perm {
-            let old = v.clone();
+            let old = v.to_vec();
             for (i, &src) in p.iter().enumerate() {
                 v[src] = old[i];
             }

@@ -10,9 +10,9 @@
 //! tensors adapt for the accuracy evaluation; the online activation
 //! search cost is charged in the accelerator model (§6.2).
 
-use crate::ant::e8m0_scale_for;
 #[cfg(test)]
 use crate::ant::best_book_quantize;
+use crate::ant::e8m0_scale_for;
 use m2x_formats::Codebook;
 use m2x_tensor::Matrix;
 use m2xfp::quantizer::fake_quant_rowwise;
@@ -132,7 +132,10 @@ mod tests {
         // Tbl. 3: MX-M-ANT < MX-ANT perplexity; more types + coefficient
         // search fit groups at least as well.
         let w = sample(8);
-        let mant = nmse(w.as_slice(), MxMant::default().quantize_weights(&w).as_slice());
+        let mant = nmse(
+            w.as_slice(),
+            MxMant::default().quantize_weights(&w).as_slice(),
+        );
         let ant = nmse(
             w.as_slice(),
             crate::ant::MxAnt::default().quantize_weights(&w).as_slice(),
@@ -150,8 +153,16 @@ mod tests {
             let g = r.vec_of(32, |r| r.laplace(1.0));
             let mq = q.quantize_group(&g);
             let (_, aq) = best_book_quantize(&crate::ant::ant_codebooks(), &g);
-            let me: f64 = g.iter().zip(&mq).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum();
-            let ae: f64 = g.iter().zip(&aq).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum();
+            let me: f64 = g
+                .iter()
+                .zip(&mq)
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            let ae: f64 = g
+                .iter()
+                .zip(&aq)
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
             assert!(me <= ae + 1e-9);
         }
     }

@@ -170,7 +170,9 @@ mod tests {
         );
         let mx = nmse(
             w.as_slice(),
-            crate::mx::MxQuantizer::mxfp4().quantize_weights(&w).as_slice(),
+            crate::mx::MxQuantizer::mxfp4()
+                .quantize_weights(&w)
+                .as_slice(),
         );
         assert!(ms < mx, "microscopiq {ms} vs mxfp4 {mx}");
     }

@@ -109,8 +109,14 @@ mod tests {
     #[test]
     fn msfp16_beats_msfp12() {
         let x = sample(3);
-        let e12 = nmse(x.as_slice(), Msfp::msfp12().quantize_activations(&x).as_slice());
-        let e16 = nmse(x.as_slice(), Msfp::msfp16().quantize_activations(&x).as_slice());
+        let e12 = nmse(
+            x.as_slice(),
+            Msfp::msfp12().quantize_activations(&x).as_slice(),
+        );
+        let e16 = nmse(
+            x.as_slice(),
+            Msfp::msfp16().quantize_activations(&x).as_slice(),
+        );
         assert!(e16 < e12 / 4.0, "e12={e12} e16={e16}");
     }
 
@@ -119,7 +125,7 @@ mod tests {
         // BFP has a uniform grid: quantized values are multiples of the step.
         let g = [1.0f32, 0.33, 0.77, -0.5, 0.9, 0.11, -0.2, 0.6];
         let q = Msfp::msfp12().fake_quant_group(&g);
-        let step = 2f32.powi(0 + 1 - 3);
+        let step = 2f32.powi(1 - 3);
         for v in q {
             let m = v / step;
             assert!((m - m.round()).abs() < 1e-6);

@@ -312,11 +312,15 @@ mod tests {
         );
         let e6 = nmse(
             x.as_slice(),
-            MxQuantizer::mxfp6_e2m3().quantize_activations(&x).as_slice(),
+            MxQuantizer::mxfp6_e2m3()
+                .quantize_activations(&x)
+                .as_slice(),
         );
         let e8 = nmse(
             x.as_slice(),
-            MxQuantizer::mxfp8_e4m3().quantize_activations(&x).as_slice(),
+            MxQuantizer::mxfp8_e4m3()
+                .quantize_activations(&x)
+                .as_slice(),
         );
         assert!(e6 < e4 && e8 < e6, "e4={e4} e6={e6} e8={e8}");
     }
@@ -331,7 +335,9 @@ mod tests {
         );
         let fp = nmse(
             x.as_slice(),
-            MxQuantizer::fp4_fp16_scale().quantize_activations(&x).as_slice(),
+            MxQuantizer::fp4_fp16_scale()
+                .quantize_activations(&x)
+                .as_slice(),
         );
         assert!(fp < mx, "fp4+fp16 {fp} should beat mxfp4 {mx}");
     }

@@ -97,9 +97,14 @@ mod tests {
         let x = Matrix::from_fn(8, 128, |_, _| r.laplace(1.0));
         let mx = nmse(
             x.as_slice(),
-            crate::mx::MxQuantizer::mxfp4().quantize_activations(&x).as_slice(),
+            crate::mx::MxQuantizer::mxfp4()
+                .quantize_activations(&x)
+                .as_slice(),
         );
-        let plus = nmse(x.as_slice(), MxPlus::default().quantize_activations(&x).as_slice());
+        let plus = nmse(
+            x.as_slice(),
+            MxPlus::default().quantize_activations(&x).as_slice(),
+        );
         assert!(plus < mx, "mx+ {plus} vs mxfp4 {mx}");
     }
 

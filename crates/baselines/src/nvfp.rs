@@ -143,8 +143,7 @@ impl TensorQuantizer for M2Nvfp4 {
                 let mut best: Option<(f64, Vec<f32>)> = None;
                 for mult in m2xfp::weight::SG_MULTIPLIERS {
                     let eff = mult * s;
-                    let q: Vec<f32> =
-                        sg.iter().map(|&v| f4.quantize(v / eff) * eff).collect();
+                    let q: Vec<f32> = sg.iter().map(|&v| f4.quantize(v / eff) * eff).collect();
                     let sse: f64 = sg
                         .iter()
                         .zip(&q)
@@ -205,7 +204,10 @@ mod tests {
     fn nvfp4_beats_mxfp4() {
         // The precise FP8 scale narrows the block-max misalignment.
         let x = sample(1);
-        let nv = nmse(x.as_slice(), Nvfp4::default().quantize_activations(&x).as_slice());
+        let nv = nmse(
+            x.as_slice(),
+            Nvfp4::default().quantize_activations(&x).as_slice(),
+        );
         let mx = nmse(
             x.as_slice(),
             crate::mx::MxQuantizer::mxfp4()
@@ -219,9 +221,18 @@ mod tests {
     fn m2_nvfp4_beats_nvfp4() {
         // Tbl. 6's finding, on both tensors of a W4A4 pair.
         let x = sample(2);
-        let base = nmse(x.as_slice(), Nvfp4::default().quantize_activations(&x).as_slice());
-        let act = nmse(x.as_slice(), M2Nvfp4::default().quantize_activations(&x).as_slice());
-        let wt = nmse(x.as_slice(), M2Nvfp4::default().quantize_weights(&x).as_slice());
+        let base = nmse(
+            x.as_slice(),
+            Nvfp4::default().quantize_activations(&x).as_slice(),
+        );
+        let act = nmse(
+            x.as_slice(),
+            M2Nvfp4::default().quantize_activations(&x).as_slice(),
+        );
+        let wt = nmse(
+            x.as_slice(),
+            M2Nvfp4::default().quantize_weights(&x).as_slice(),
+        );
         assert!(act < base, "elem-em act {act} vs {base}");
         assert!(wt < base, "sg-em weights {wt} vs {base}");
     }

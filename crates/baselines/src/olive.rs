@@ -66,7 +66,11 @@ impl MxOlive {
             } else if partner < g.len() && outliers.contains(&partner) {
                 // Two outliers in one pair: the larger survives, the other
                 // is victimized.
-                let loser = if g[o].abs() >= g[partner].abs() { partner } else { o };
+                let loser = if g[o].abs() >= g[partner].abs() {
+                    partner
+                } else {
+                    o
+                };
                 if !victims.contains(&loser) {
                     victims.push(loser);
                 }
@@ -103,7 +107,11 @@ impl MxOlive {
             if partner < g.len() && !victims.contains(&partner) && !outliers.contains(&partner) {
                 victims.push(partner);
             } else if partner < g.len() && outliers.contains(&partner) {
-                let loser = if g[o].abs() >= g[partner].abs() { partner } else { o };
+                let loser = if g[o].abs() >= g[partner].abs() {
+                    partner
+                } else {
+                    o
+                };
                 if !victims.contains(&loser) {
                     victims.push(loser);
                 }

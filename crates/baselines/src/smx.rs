@@ -136,7 +136,10 @@ mod tests {
     fn smx4_much_worse_than_mxfp4() {
         // The Tbl. 2 collapse: SMX4's INT3 + pair sharing loses badly.
         let x = sample(1);
-        let smx = nmse(x.as_slice(), Smx::smx4().quantize_activations(&x).as_slice());
+        let smx = nmse(
+            x.as_slice(),
+            Smx::smx4().quantize_activations(&x).as_slice(),
+        );
         let mx = nmse(
             x.as_slice(),
             crate::mx::MxQuantizer::mxfp4()
@@ -149,9 +152,18 @@ mod tests {
     #[test]
     fn wider_smx_variants_improve() {
         let x = sample(2);
-        let e4 = nmse(x.as_slice(), Smx::smx4().quantize_activations(&x).as_slice());
-        let e6 = nmse(x.as_slice(), Smx::smx6().quantize_activations(&x).as_slice());
-        let e9 = nmse(x.as_slice(), Smx::smx9().quantize_activations(&x).as_slice());
+        let e4 = nmse(
+            x.as_slice(),
+            Smx::smx4().quantize_activations(&x).as_slice(),
+        );
+        let e6 = nmse(
+            x.as_slice(),
+            Smx::smx6().quantize_activations(&x).as_slice(),
+        );
+        let e9 = nmse(
+            x.as_slice(),
+            Smx::smx9().quantize_activations(&x).as_slice(),
+        );
         assert!(e6 < e4 && e9 < e6);
     }
 
@@ -164,7 +176,13 @@ mod tests {
         // The INT3 grid is coarse (step up to 2·amax/3 from the ceil
         // scale), so RNE can overshoot by up to a third — but never clips
         // below, and never runs away.
-        assert!(amax_out <= amax_in * 4.0 / 3.0 + 1e-6, "{amax_out} vs {amax_in}");
-        assert!(amax_out >= amax_in * 2.0 / 3.0 - 1e-6, "{amax_out} vs {amax_in}");
+        assert!(
+            amax_out <= amax_in * 4.0 / 3.0 + 1e-6,
+            "{amax_out} vs {amax_in}"
+        );
+        assert!(
+            amax_out >= amax_in * 2.0 / 3.0 - 1e-6,
+            "{amax_out} vs {amax_in}"
+        );
     }
 }

@@ -22,7 +22,10 @@ fn quantizer_throughput(c: &mut Criterion) {
         ("m2xfp", Box::new(M2xfpQuantizer::default())),
         ("smx4", Box::new(m2x_baselines::smx::Smx::smx4())),
         ("mx-ant", Box::new(m2x_baselines::ant::MxAnt::default())),
-        ("blockdialect", Box::new(m2x_baselines::blockdialect::BlockDialect::default())),
+        (
+            "blockdialect",
+            Box::new(m2x_baselines::blockdialect::BlockDialect::default()),
+        ),
     ];
 
     let mut g = c.benchmark_group("quantize_activations_64x2048");

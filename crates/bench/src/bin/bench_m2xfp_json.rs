@@ -1,0 +1,134 @@
+//! JSON throughput emitter for the M2XFP quantize + qGEMM hot path.
+//!
+//! Times the legacy grouped pipeline against the packed three-stream
+//! pipeline on the same data, verifies the two GEMMs agree bit for bit, and
+//! writes `results/BENCH_m2xfp.json`. This is the artifact behind the
+//! recorded throughput baseline (`BENCH_m2xfp.json` at the repo root).
+//!
+//! Environment:
+//! * `M2X_BENCH_DIM`  — K = N dimension (default 512; the acceptance run
+//!   uses 4096). M is fixed at 32 (a decode batch).
+//! * `M2X_BENCH_REPS` — measurement repetitions per timer (default 3,
+//!   minimum over reps is reported).
+
+use m2x_bench::report::results_dir;
+use m2x_tensor::{Matrix, Xoshiro};
+use m2xfp::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
+use m2xfp::gemm::{qgemm, qgemm_packed, qgemm_packed_threaded};
+use m2xfp::M2xfpConfig;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let dim = env_usize("M2X_BENCH_DIM", 512);
+    let reps = env_usize("M2X_BENCH_REPS", 3);
+    let (m, k, n) = (32usize, dim, dim);
+    let cfg = M2xfpConfig::default();
+
+    let mut rng = Xoshiro::seed(7);
+    let x = Matrix::from_fn(m, k, |_, _| rng.laplace(1.0));
+    let w = Matrix::from_fn(n, k, |_, _| rng.laplace(0.5));
+
+    eprintln!("m2xfp bench: M={m} K={k} N={n}, {reps} reps");
+
+    // Encode throughput (activations: the online path).
+    let t_enc_grouped = time(reps, || ActTensor::quantize(&x, cfg));
+    let t_enc_packed = time(reps, || PackedActTensor::quantize(&x, cfg));
+
+    // Weight quantization happens offline, so it is timed once for the
+    // record but excluded from the headline speedup.
+    let t0 = Instant::now();
+    let wt = WeightTensor::quantize(&w, cfg);
+    let t_wq = t0.elapsed().as_secs_f64();
+    let wp = PackedWeightTensor::from_grouped(&wt);
+    let xt = ActTensor::quantize(&x, cfg);
+    let xp = PackedActTensor::from_grouped(&xt);
+
+    // GEMM throughput.
+    let t_gemm_grouped = time(reps, || qgemm(&xt, &wt));
+    let t_gemm_packed_1t = time(reps, || qgemm_packed_threaded(&xp, &wp, 1));
+    let t_gemm_packed_mt = time(reps, || qgemm_packed(&xp, &wp));
+
+    // Bit-exactness of the two pipelines on this data.
+    let a = qgemm(&xt, &wt);
+    let b = qgemm_packed(&xp, &wp);
+    let exact = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .all(|(p, q)| p.to_bits() == q.to_bits());
+
+    let macs = (m * k * n) as f64;
+    let elems = (m * k) as f64;
+    // Quantize+qgemm: the end-to-end hot path the acceptance criterion
+    // measures (online activation encode + GEMM; weights are offline).
+    let path_grouped = t_enc_grouped + t_gemm_grouped;
+    let path_packed_1t = t_enc_packed + t_gemm_packed_1t;
+    let path_packed_mt = t_enc_packed + t_gemm_packed_mt;
+
+    let json = format!(
+        r#"{{
+  "bench": "m2xfp_quantize_qgemm",
+  "dims": {{"m": {m}, "k": {k}, "n": {n}}},
+  "exact_match": {exact},
+  "quantize_act": {{
+    "grouped_s": {t_enc_grouped:.6},
+    "packed_s": {t_enc_packed:.6},
+    "packed_melem_per_s": {enc_tput:.2},
+    "speedup": {enc_speedup:.3}
+  }},
+  "quantize_weights_grouped_s": {t_wq:.6},
+  "qgemm": {{
+    "grouped_s": {t_gemm_grouped:.6},
+    "packed_1thread_s": {t_gemm_packed_1t:.6},
+    "packed_threaded_s": {t_gemm_packed_mt:.6},
+    "packed_threaded_gmac_per_s": {gemm_tput:.3},
+    "speedup_1thread": {g1:.3},
+    "speedup_threaded": {gmt:.3}
+  }},
+  "quantize_plus_qgemm": {{
+    "grouped_s": {path_grouped:.6},
+    "packed_1thread_s": {path_packed_1t:.6},
+    "packed_threaded_s": {path_packed_mt:.6},
+    "speedup_1thread": {p1:.3},
+    "speedup_threaded": {pmt:.3}
+  }}
+}}
+"#,
+        enc_tput = elems / t_enc_packed / 1e6,
+        enc_speedup = t_enc_grouped / t_enc_packed,
+        gemm_tput = macs / t_gemm_packed_mt / 1e9,
+        g1 = t_gemm_grouped / t_gemm_packed_1t,
+        gmt = t_gemm_grouped / t_gemm_packed_mt,
+        p1 = path_grouped / path_packed_1t,
+        pmt = path_grouped / path_packed_mt,
+    );
+
+    print!("{json}");
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_m2xfp.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    assert!(exact, "packed qGEMM diverged from the grouped pipeline");
+}

@@ -5,8 +5,8 @@
 use m2x_nn::profile::ModelProfile;
 use m2x_nn::propagate::{evaluate, EvalConfig, W4a4Error};
 use m2xfp::TensorQuantizer;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// The evaluation size used by all experiment binaries (release builds).
 pub fn standard_cfg() -> EvalConfig {
@@ -50,11 +50,11 @@ impl Evaluator {
     /// Measured W4A4 error of `(model, format)`, memoized.
     pub fn error(&self, model: &ModelProfile, q: &dyn TensorQuantizer) -> W4a4Error {
         let key = (model.name.to_string(), q.name());
-        if let Some(hit) = self.cache.lock().get(&key) {
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
             return hit.clone();
         }
         let e = evaluate(model, q, &self.cfg());
-        self.cache.lock().insert(key, e.clone());
+        self.cache.lock().unwrap().insert(key, e.clone());
         e
     }
 

@@ -72,7 +72,12 @@ pub fn fig02_scale_error() -> Report {
         "fig02_scale_error",
         "Fig. 2 — FP4 quantization error: FP16 vs E8M0 scaling factors",
     );
-    let mut t = Table::new(vec!["amax/2^e", "NMSE (FP16 scale)", "NMSE (E8M0 floor)", "ratio"]);
+    let mut t = Table::new(vec![
+        "amax/2^e",
+        "NMSE (FP16 scale)",
+        "NMSE (E8M0 floor)",
+        "ratio",
+    ]);
     let mut r = Xoshiro::seed(2);
     for frac_i in 0..8 {
         // Block maxima swept across one binade: amax = 4.0 .. 7.5.
@@ -108,6 +113,7 @@ pub fn fig02_scale_error() -> Report {
 }
 
 /// Fig. 3 — max-value preservation study on LLaMA3-8B/70B.
+#[allow(clippy::type_complexity)]
 pub fn fig03_max_preservation(ev: &Evaluator) -> Report {
     let mut rep = Report::new(
         "fig03_max_preservation",
@@ -119,22 +125,34 @@ pub fn fig03_max_preservation(ev: &Evaluator) -> Report {
             (
                 "MXFP4".into(),
                 Box::new(MxQuantizer::mxfp4()),
-                Box::new(MaxPreserved { inner: MxQuantizer::mxfp4(), group: 32 }),
+                Box::new(MaxPreserved {
+                    inner: MxQuantizer::mxfp4(),
+                    group: 32,
+                }),
             ),
             (
                 "NVFP4".into(),
                 Box::new(Nvfp4::default()),
-                Box::new(MaxPreserved { inner: Nvfp4::default(), group: 16 }),
+                Box::new(MaxPreserved {
+                    inner: Nvfp4::default(),
+                    group: 16,
+                }),
             ),
             (
                 "FP4".into(),
                 Box::new(MxQuantizer::fp4_fp16_scale()),
-                Box::new(MaxPreserved { inner: MxQuantizer::fp4_fp16_scale(), group: 32 }),
+                Box::new(MaxPreserved {
+                    inner: MxQuantizer::fp4_fp16_scale(),
+                    group: 32,
+                }),
             ),
             (
                 "SMX4".into(),
                 Box::new(m2x_baselines::smx::Smx::smx4()),
-                Box::new(MaxPreserved { inner: m2x_baselines::smx::Smx::smx4(), group: 16 }),
+                Box::new(MaxPreserved {
+                    inner: m2x_baselines::smx::Smx::smx4(),
+                    group: 16,
+                }),
             ),
         ];
         let fp16 = metrics::ppl_anchor(model.name).unwrap().fp16;
@@ -146,7 +164,10 @@ pub fn fig03_max_preservation(ev: &Evaluator) -> Report {
                 f2(ev.ppl(&model, kept.as_ref())),
             ]);
         }
-        rep.table(&format!("{} (perplexity proxy, lower is better):", model.name), &t);
+        rep.table(
+            &format!("{} (perplexity proxy, lower is better):", model.name),
+            &t,
+        );
     }
     rep.line("Expected shape (paper): MXFP4/SMX4 improve drastically with the");
     rep.line("preserved max, nearly matching FP4/NVFP4 — the block maximum is");
@@ -318,9 +339,18 @@ pub fn table3_perplexity(ev: &Evaluator) -> Report {
         ("MXFP4", Box::new(MxQuantizer::mxfp4())),
         ("MX-ANT", Box::new(m2x_baselines::ant::MxAnt::default())),
         ("MX-M-ANT", Box::new(m2x_baselines::mant::MxMant::default())),
-        ("MX-OliVe", Box::new(m2x_baselines::olive::MxOlive::default())),
-        ("MicroScopiQ", Box::new(m2x_baselines::microscopiq::MicroScopiQ::default())),
-        ("BlockDialect", Box::new(m2x_baselines::blockdialect::BlockDialect::default())),
+        (
+            "MX-OliVe",
+            Box::new(m2x_baselines::olive::MxOlive::default()),
+        ),
+        (
+            "MicroScopiQ",
+            Box::new(m2x_baselines::microscopiq::MicroScopiQ::default()),
+        ),
+        (
+            "BlockDialect",
+            Box::new(m2x_baselines::blockdialect::BlockDialect::default()),
+        ),
         ("M2XFP", Box::new(M2xfpQuantizer::default())),
     ];
     let models = ModelProfile::table3_models();
@@ -362,7 +392,13 @@ pub fn table4_reasoning(ev: &Evaluator) -> Report {
         let (tasks, mxfp4_avg) = metrics::reasoning_anchors(model.name).unwrap();
         let e0 = ev.compounded(&model, &MxQuantizer::mxfp4());
         let mut t = Table::new(vec![
-            "Method", "AIME-90", "MATH-500", "GSM8K", "GPQA", "LiveCodeBench", "Avg",
+            "Method",
+            "AIME-90",
+            "MATH-500",
+            "GSM8K",
+            "GPQA",
+            "LiveCodeBench",
+            "Avg",
         ]);
         let fp16_avg = tasks.iter().map(|t| t.fp16).sum::<f64>() / 5.0;
         let mut row: Vec<String> = vec!["FP16".into()];
@@ -370,7 +406,10 @@ pub fn table4_reasoning(ev: &Evaluator) -> Report {
         row.push(f2(fp16_avg));
         t.row(row);
         for (name, q) in [
-            ("MXFP4", Box::new(MxQuantizer::mxfp4()) as Box<dyn TensorQuantizer>),
+            (
+                "MXFP4",
+                Box::new(MxQuantizer::mxfp4()) as Box<dyn TensorQuantizer>,
+            ),
             ("M2XFP", Box::new(M2xfpQuantizer::default())),
         ] {
             let e = ev.compounded(&model, q.as_ref());
@@ -384,7 +423,13 @@ pub fn table4_reasoning(ev: &Evaluator) -> Report {
         rep.table(&format!("{} (ours):", model.name), &t);
 
         let mut tp = Table::new(vec![
-            "Method", "AIME-90", "MATH-500", "GSM8K", "GPQA", "LiveCodeBench", "Avg",
+            "Method",
+            "AIME-90",
+            "MATH-500",
+            "GSM8K",
+            "GPQA",
+            "LiveCodeBench",
+            "Avg",
         ]);
         for (name, row) in paper::table4(model.name).unwrap() {
             let mut cells: Vec<String> = vec![name.to_string()];
@@ -413,14 +458,24 @@ pub fn table5_area_power() -> Report {
         ]);
     }
     let (area, power) = m2x_accel::area::table5_totals();
-    t.row(vec!["Total".to_string(), "".to_string(), f3(area), f2(power)]);
+    t.row(vec![
+        "Total".to_string(),
+        "".to_string(),
+        f3(area),
+        f2(power),
+    ]);
     rep.table("Ours (gate-count model):", &t);
 
     let mut tp = Table::new(vec!["Component", "Number", "Area(mm²)", "Power(mW)"]);
     for (name, count, a, p) in paper::table5() {
         tp.row(vec![name.to_string(), count.to_string(), f4(a), f3(p)]);
     }
-    tp.row(vec!["Total".to_string(), "".to_string(), "1.051".to_string(), "204.02".to_string()]);
+    tp.row(vec![
+        "Total".to_string(),
+        "".to_string(),
+        "1.051".to_string(),
+        "204.02".to_string(),
+    ]);
     rep.table("Paper:", &tp);
 
     let mut tc = Table::new(vec!["PE tile", "Area(µm²)", "vs MXFP4"]);
@@ -462,7 +517,10 @@ pub fn table6_m2nvfp4(ev: &Evaluator) -> Report {
     }
     t.row(fp16_row);
     for (name, q) in [
-        ("NVFP4", Box::new(Nvfp4::default()) as Box<dyn TensorQuantizer>),
+        (
+            "NVFP4",
+            Box::new(Nvfp4::default()) as Box<dyn TensorQuantizer>,
+        ),
         ("M2-NVFP4", Box::new(M2Nvfp4::default())),
     ] {
         let mut row = vec![name.to_string()];
@@ -505,7 +563,12 @@ pub fn table7_algorithms(_ev: &Evaluator) -> Report {
     let mut t = Table::new(vec!["Method", "LLaMA2-7B", "LLaMA3-8B"]);
 
     let gptq_err = |model: &ModelProfile, grid: GptqGrid, m2_acts: bool| {
-        let gcfg = GptqConfig { group: 32, damp: 0.01, grid, act_order: true };
+        let gcfg = GptqConfig {
+            group: 32,
+            damp: 0.01,
+            grid,
+            act_order: true,
+        };
         let m2 = M2xfpQuantizer::default();
         let mx = MxQuantizer::mxfp4();
         evaluate_with(
@@ -540,8 +603,14 @@ pub fn table7_algorithms(_ev: &Evaluator) -> Report {
 
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     for (name, q) in [
-        ("QuaRot", Box::new(m2x_baselines::quarot::QuaRot::default()) as Box<dyn TensorQuantizer>),
-        ("DuQuant", Box::new(m2x_baselines::duquant::DuQuant::default())),
+        (
+            "QuaRot",
+            Box::new(m2x_baselines::quarot::QuaRot::default()) as Box<dyn TensorQuantizer>,
+        ),
+        (
+            "DuQuant",
+            Box::new(m2x_baselines::duquant::DuQuant::default()),
+        ),
         ("M2XFP", Box::new(M2xfpQuantizer::default())),
     ] {
         let ppl: Vec<f64> = models.iter().map(|m| local.ppl(m, q.as_ref())).collect();
@@ -555,7 +624,10 @@ pub fn table7_algorithms(_ev: &Evaluator) -> Report {
     let mr_m2: Vec<f64> = models
         .iter()
         .map(|m| {
-            local.ppl_from_error(m, gptq_err(m, GptqGrid::M2xfp(M2xfpConfig::default()), true))
+            local.ppl_from_error(
+                m,
+                gptq_err(m, GptqGrid::M2xfp(M2xfpConfig::default()), true),
+            )
         })
         .collect();
     rows.push(("MR-GPTQ-M2XFP".to_string(), mr_m2));
@@ -752,8 +824,8 @@ pub fn headline_claims(ev: &Evaluator) -> Report {
         let ms = run_model(model, &ms_cfg, 4096);
         let m2 = run_model(model, &m2_cfg, 4096);
         sp += ms.total.seconds / m2.total.seconds;
-        es += energy_of(&ms.total, &ms_cfg, &em).total()
-            / energy_of(&m2.total, &m2_cfg, &em).total();
+        es +=
+            energy_of(&ms.total, &ms_cfg, &em).total() / energy_of(&m2.total, &m2_cfg, &em).total();
     }
     t.row(vec![
         "Speedup vs MicroScopiQ".to_string(),
@@ -841,7 +913,10 @@ pub fn ablate_adaptive(ev: &Evaluator) -> Report {
             f3(fixed - adaptive),
         ]);
     }
-    rep.table("Weight-path adaptive shared-scale search (b ∈ {-1,0,1}):", &t);
+    rep.table(
+        "Weight-path adaptive shared-scale search (b ∈ {-1,0,1}):",
+        &t,
+    );
     rep.emit();
     rep
 }

@@ -76,12 +76,7 @@ pub fn ablate_subgroup(ev: &Evaluator) -> Report {
         "Ablation — M2XFP subgroup size (group 32, sg 32 → 2)",
     );
     let models = [ModelProfile::llama2_7b(), ModelProfile::llama3_8b()];
-    let mut t = Table::new(vec![
-        "Subgroup",
-        "EBW",
-        "PPL LLaMA2-7B",
-        "PPL LLaMA3-8B",
-    ]);
+    let mut t = Table::new(vec!["Subgroup", "EBW", "PPL LLaMA2-7B", "PPL LLaMA3-8B"]);
     for sg in [32usize, 16, 8, 4, 2] {
         let cfg = M2xfpConfig {
             subgroup_size: sg,

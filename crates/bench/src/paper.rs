@@ -100,6 +100,8 @@ pub fn table6() -> Vec<(&'static str, [f64; 6])> {
 }
 
 /// Tbl. 7 — `(method, [LLaMA2-7B, LLaMA3-8B])` Wikitext perplexity.
+// DuQuant's published 6.28 perplexity happens to look like τ to clippy.
+#[allow(clippy::approx_constant)]
 pub fn table7() -> Vec<(&'static str, [f64; 2])> {
     vec![
         ("QuaRot", [5.84, 7.13]),

@@ -178,8 +178,8 @@ mod tests {
 
     #[test]
     fn float_formats() {
-        assert_eq!(f2(3.14159), "3.14");
-        assert_eq!(f3(3.14159), "3.142");
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(f3(1.23456), "1.235");
         assert_eq!(f4(2.0), "2.0000");
     }
 }

@@ -13,11 +13,10 @@ use crate::group::GroupConfig;
 use crate::scale::ScaleRule;
 use m2x_formats::tables::{decode_extra_mantissa, top1_index};
 use m2x_formats::{fp4, fp6_e2m3, E8M0};
-use serde::{Deserialize, Serialize};
 
 /// One quantized activation group: FP4 codes, E8M0 shared scale and one
 /// 2-bit extra-mantissa metadata field per subgroup.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActGroup {
     /// FP4 codes (sign in bit 3, magnitude in bits 2..0), one per element.
     pub codes: Vec<u8>,
@@ -43,8 +42,42 @@ impl ActGroup {
 ///
 /// `x.len()` may be shorter than `cfg.group_size()` for a trailing group.
 pub fn quantize_group(x: &[f32], cfg: GroupConfig, rule: ScaleRule) -> ActGroup {
+    let mut codes = vec![0u8; x.len()];
+    let mut meta = vec![0u8; cfg.subgroup_count(x.len())];
+    let scale = quantize_group_into(x, cfg, rule, &mut codes, &mut meta);
+    ActGroup { codes, scale, meta }
+}
+
+/// Allocation-free Algorithm 1: quantizes one group directly into
+/// caller-provided code and metadata slices, returning the shared scale.
+///
+/// This is the encoder the packed three-stream pipeline drives in a tight
+/// loop (one reusable scratch buffer per tensor, zero heap allocations per
+/// group). [`quantize_group`] is the allocating convenience wrapper.
+///
+/// # Panics
+///
+/// Panics when `x` is empty or longer than the group size, when
+/// `codes.len() != x.len()`, or when `meta` does not hold exactly one entry
+/// per subgroup.
+pub fn quantize_group_into(
+    x: &[f32],
+    cfg: GroupConfig,
+    rule: ScaleRule,
+    codes: &mut [u8],
+    meta: &mut [u8],
+) -> E8M0 {
     assert!(!x.is_empty(), "group must be non-empty");
-    assert!(x.len() <= cfg.group_size(), "group longer than configured size");
+    assert!(
+        x.len() <= cfg.group_size(),
+        "group longer than configured size"
+    );
+    assert_eq!(codes.len(), x.len(), "code buffer length mismatch");
+    assert_eq!(
+        meta.len(),
+        cfg.subgroup_count(x.len()),
+        "meta buffer length mismatch"
+    );
     let f4 = fp4();
     let f6 = fp6_e2m3();
 
@@ -54,14 +87,16 @@ pub fn quantize_group(x: &[f32], cfg: GroupConfig, rule: ScaleRule) -> ActGroup 
     let s = scale.value();
 
     // Step 2: quantize everything to FP4 (E2M1).
-    let codes: Vec<u8> = x.iter().map(|&v| f4.encode(v / s)).collect();
+    for (c, &v) in codes.iter_mut().zip(x) {
+        *c = f4.encode(v / s);
+    }
 
     // Steps 3-7 per subgroup.
-    let mut meta = Vec::with_capacity(cfg.subgroup_count(x.len()));
-    for (sg_idx, sg_codes) in codes.chunks(cfg.subgroup_size()).enumerate() {
+    let sg_size = cfg.subgroup_size();
+    for (sg_idx, sg_codes) in codes.chunks(sg_size).enumerate() {
         // Steps 3 & 4: top-1 in the FP4 domain, lowest index on ties.
         let local = top1_index(sg_codes);
-        let idx = sg_idx * cfg.subgroup_size() + local;
+        let idx = sg_idx * sg_size + local;
 
         // Step 5: re-quantize the original value to FP6 (E2M3), same scale.
         let fp6_mag = f6.encode_magnitude(x[idx].abs() / s);
@@ -73,10 +108,10 @@ pub fn quantize_group(x: &[f32], cfg: GroupConfig, rule: ScaleRule) -> ActGroup 
         let range_min = fp4_mag << 2;
         let range_max = range_min | 0b11;
         let clamped = encoded.clamp(range_min, range_max);
-        meta.push(clamped & 0b11);
+        meta[sg_idx] = clamped & 0b11;
     }
 
-    ActGroup { codes, scale, meta }
+    scale
 }
 
 /// Dequantizes a group: every element decodes from FP4 except each
@@ -92,7 +127,11 @@ pub fn dequantize_group(g: &ActGroup, cfg: GroupConfig) -> Vec<f32> {
         let idx = sg_idx * cfg.subgroup_size() + local;
         let fp4_mag = sg_codes[local] & 0x7;
         let refined = decode_extra_mantissa(fp4_mag, g.meta[sg_idx]);
-        let sign = if sg_codes[local] & 0x8 != 0 { -1.0 } else { 1.0 };
+        let sign = if sg_codes[local] & 0x8 != 0 {
+            -1.0
+        } else {
+            1.0
+        };
         out[idx] = sign * refined * s;
     }
     out
@@ -164,7 +203,9 @@ mod tests {
         let mut r = 0u64;
         let mut next = || {
             // Tiny deterministic LCG to avoid a dev-dependency here.
-            r = r.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            r = r
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((r >> 33) as f32 / (1u64 << 31) as f32) * 8.0 - 4.0
         };
         let mut worse = 0;
@@ -225,10 +266,14 @@ mod tests {
         // Every element's error is at most half an FP4 step at the shared
         // scale; the refined element's error is at most half an FP6 step
         // plus the clamp penalty (one FP6 step).
-        let x: Vec<f32> = (0..32).map(|i| ((i * 37 % 64) as f32 - 32.0) / 7.3).collect();
+        let x: Vec<f32> = (0..32)
+            .map(|i| ((i * 37 % 64) as f32 - 32.0) / 7.3)
+            .collect();
         let dq = fake_quantize_group(&x, cfg(), ScaleRule::Floor);
         let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        let s = ScaleRule::Floor.shared_scale(amax, m2x_formats::fp4()).value();
+        let s = ScaleRule::Floor
+            .shared_scale(amax, m2x_formats::fp4())
+            .value();
         for (a, b) in x.iter().zip(&dq) {
             // Worst-case FP4 step is 2 (between 4 and 6) at scale s.
             assert!((a - b).abs() <= 1.0 * s + 1e-6, "a={a} b={b} s={s}");

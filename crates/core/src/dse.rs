@@ -9,10 +9,9 @@ use crate::scale::ScaleRule;
 use crate::strategy::{MetadataStrategy, ScaleMode};
 use m2x_tensor::stats::mse;
 use m2x_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// One evaluated configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DsePoint {
     /// Strategy display name (e.g. `Elem-EM-top1`).
     pub strategy: String,
@@ -67,9 +66,9 @@ pub fn sweep(
 pub fn pareto_frontier(points: &[DsePoint]) -> Vec<DsePoint> {
     let mut frontier: Vec<DsePoint> = Vec::new();
     for p in points {
-        let dominated = points.iter().any(|q| {
-            (q.ebw < p.ebw && q.mse <= p.mse) || (q.ebw <= p.ebw && q.mse < p.mse)
-        });
+        let dominated = points
+            .iter()
+            .any(|q| (q.ebw < p.ebw && q.mse <= p.mse) || (q.ebw <= p.ebw && q.mse < p.mse));
         if !dominated {
             frontier.push(p.clone());
         }
@@ -118,7 +117,7 @@ mod tests {
         );
         for w in pts.windows(2) {
             assert!(w[0].ebw < w[1].ebw); // 32 -> 2 ascending EBW
-            // And MSE should not increase with more metadata.
+                                          // And MSE should not increase with more metadata.
             assert!(w[1].mse <= w[0].mse * 1.05, "{:?}", w);
         }
     }

@@ -9,10 +9,8 @@
 //! x-axis of the Pareto plots (Figs. 4, 6, 7) and the basis of the paper's
 //! "effective 4.5-bit" claim for M2XFP.
 
-use serde::{Deserialize, Serialize};
-
 /// Bit budget of a group-quantized format.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BitBudget {
     /// Bits per element (4 for FP4).
     pub elem_bits: f64,

@@ -10,10 +10,12 @@
 use crate::activation::{self, ActGroup};
 use crate::weight::{self, WeightGroup};
 use crate::M2xfpConfig;
-use bytes::{BufMut, Bytes, BytesMut};
-use m2x_formats::packing::{pack_nibbles, unpack_nibbles, StreamLayout};
+use m2x_formats::packing::{
+    nibble_at, pack_nibbles, pack_nibbles_into, set_two_bits, two_bits_at, unpack_nibbles,
+    StreamLayout,
+};
+use m2x_formats::E8M0;
 use m2x_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error from packing/unpacking a tensor.
@@ -43,7 +45,7 @@ fn check_aligned(cols: usize, cfg: &M2xfpConfig) -> Result<(), LayoutError> {
 }
 
 /// A matrix of activations quantized to M2XFP (Elem-EM-top1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActTensor {
     rows: usize,
     cols: usize,
@@ -103,11 +105,13 @@ impl ActTensor {
     ///
     /// Fails when `cols` is not a multiple of the group size (hardware
     /// layouts require aligned rows).
-    pub fn pack(&self) -> Result<Bytes, LayoutError> {
+    pub fn pack(&self) -> Result<Vec<u8>, LayoutError> {
         check_aligned(self.cols, &self.cfg)?;
         pack_streams(
             self.layout(),
-            self.groups.iter().map(|g| (&g.codes[..], g.scale.to_bits(), &g.meta[..])),
+            self.groups
+                .iter()
+                .map(|g| (&g.codes[..], g.scale.to_bits(), &g.meta[..])),
         )
     }
 
@@ -136,7 +140,7 @@ impl ActTensor {
             .map(|(codes, scale, meta_byte)| ActGroup {
                 codes,
                 scale: m2x_formats::E8M0::from_bits(scale),
-                meta: (0..n_sub).map(|i| (meta_byte >> (2 * i)) as u8 & 0b11).collect(),
+                meta: (0..n_sub).map(|i| (meta_byte >> (2 * i)) & 0b11).collect(),
             })
             .collect();
         Ok(ActTensor {
@@ -159,7 +163,7 @@ impl ActTensor {
 
 /// A matrix of weights quantized to M2XFP (Sg-EM-2bit), stored transposed
 /// (`[N, K]`): each row is one output channel, grouped along `K`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeightTensor {
     rows: usize,
     cols: usize,
@@ -218,7 +222,7 @@ impl WeightTensor {
     /// # Errors
     ///
     /// Fails when `cols` is not a multiple of the group size.
-    pub fn pack(&self) -> Result<Bytes, LayoutError> {
+    pub fn pack(&self) -> Result<Vec<u8>, LayoutError> {
         check_aligned(self.cols, &self.cfg)?;
         let layout = StreamLayout {
             groups: self.groups.len(),
@@ -228,7 +232,9 @@ impl WeightTensor {
         };
         pack_streams(
             layout,
-            self.groups.iter().map(|g| (&g.codes[..], g.scale.to_bits(), &g.sg_em[..])),
+            self.groups
+                .iter()
+                .map(|g| (&g.codes[..], g.scale.to_bits(), &g.sg_em[..])),
         )
     }
 
@@ -257,7 +263,7 @@ impl WeightTensor {
             .map(|(codes, scale, meta_byte)| WeightGroup {
                 codes,
                 scale: m2x_formats::E8M0::from_bits(scale),
-                sg_em: (0..n_sub).map(|i| (meta_byte >> (2 * i)) as u8 & 0b11).collect(),
+                sg_em: (0..n_sub).map(|i| (meta_byte >> (2 * i)) & 0b11).collect(),
             })
             .collect();
         Ok(WeightTensor {
@@ -269,12 +275,344 @@ impl WeightTensor {
     }
 }
 
+/// Flat three-stream storage shared by [`PackedActTensor`] and
+/// [`PackedWeightTensor`]: one nibble-packed code buffer, one scale byte per
+/// group, one 2-bit metadata field per subgroup — the actual §5.2 memory
+/// layout, structure-of-arrays instead of a `Vec` of per-group structs.
+///
+/// Groups are stored row-major. Every group occupies a fixed
+/// `group_size/2`-byte slot in the code stream and `subgroups_per_group`
+/// 2-bit slots in the metadata stream; a ragged trailing group leaves its
+/// slack nibbles/fields zero (code 0 is +0, which keeps decoder-side top-1
+/// searches identical to the encoder's, since ties resolve to the lowest
+/// index).
+#[derive(Debug, Clone, PartialEq)]
+struct PackedStreams {
+    rows: usize,
+    cols: usize,
+    cfg: M2xfpConfig,
+    codes: Vec<u8>,
+    scales: Vec<u8>,
+    meta: Vec<u8>,
+}
+
+impl PackedStreams {
+    fn quantize(
+        m: &Matrix,
+        cfg: M2xfpConfig,
+        mut encode: impl FnMut(&[f32], &mut [u8], &mut [u8]) -> E8M0,
+    ) -> Self {
+        let gs = cfg.group_size;
+        let sgs = cfg.subgroup_size;
+        let gpr = m.cols().div_ceil(gs);
+        let groups = m.rows() * gpr;
+        let cpg = gs.div_ceil(2);
+        let spg = gs / sgs;
+        let mut codes = vec![0u8; groups * cpg];
+        let mut scales = vec![0u8; groups];
+        let mut meta = vec![0u8; (groups * spg * 2).div_ceil(8)];
+        // One scratch pair for the whole tensor: the per-group encode loop is
+        // allocation-free.
+        let mut code_scratch = vec![0u8; gs];
+        let mut meta_scratch = vec![0u8; spg];
+        for (g, x) in m.row_groups(gs).enumerate() {
+            let nsub = x.len().div_ceil(sgs);
+            let scale = encode(x, &mut code_scratch[..x.len()], &mut meta_scratch[..nsub]);
+            scales[g] = scale.to_bits();
+            pack_nibbles_into(&code_scratch[..x.len()], &mut codes[g * cpg..(g + 1) * cpg]);
+            for (j, &mv) in meta_scratch[..nsub].iter().enumerate() {
+                set_two_bits(&mut meta, g * spg + j, mv);
+            }
+        }
+        PackedStreams {
+            rows: m.rows(),
+            cols: m.cols(),
+            cfg,
+            codes,
+            scales,
+            meta,
+        }
+    }
+
+    fn from_groups<'a>(
+        rows: usize,
+        cols: usize,
+        cfg: M2xfpConfig,
+        groups: impl Iterator<Item = (&'a [u8], E8M0, &'a [u8])>,
+    ) -> Self {
+        let gs = cfg.group_size;
+        let gpr = cols.div_ceil(gs);
+        let ngroups = rows * gpr;
+        let cpg = gs.div_ceil(2);
+        let spg = gs / cfg.subgroup_size;
+        let mut codes = vec![0u8; ngroups * cpg];
+        let mut scales = vec![0u8; ngroups];
+        let mut meta = vec![0u8; (ngroups * spg * 2).div_ceil(8)];
+        let mut count = 0usize;
+        for (g, (gcodes, scale, gmeta)) in groups.enumerate() {
+            scales[g] = scale.to_bits();
+            pack_nibbles_into(gcodes, &mut codes[g * cpg..(g + 1) * cpg]);
+            for (j, &mv) in gmeta.iter().enumerate() {
+                set_two_bits(&mut meta, g * spg + j, mv);
+            }
+            count += 1;
+        }
+        assert_eq!(count, ngroups, "group count does not match the shape");
+        PackedStreams {
+            rows,
+            cols,
+            cfg,
+            codes,
+            scales,
+            meta,
+        }
+    }
+
+    fn groups_per_row(&self) -> usize {
+        self.cols.div_ceil(self.cfg.group_size)
+    }
+
+    fn group_count(&self) -> usize {
+        self.rows * self.groups_per_row()
+    }
+
+    /// Elements in group `g` (short for a ragged trailing group).
+    fn group_len(&self, g: usize) -> usize {
+        let gs = self.cfg.group_size;
+        let gpr = self.groups_per_row();
+        let tail = self.cols - (gpr - 1) * gs;
+        if g % gpr == gpr - 1 {
+            tail
+        } else {
+            gs
+        }
+    }
+
+    fn code_at(&self, g: usize, i: usize) -> u8 {
+        let cpg = self.cfg.group_size.div_ceil(2);
+        nibble_at(&self.codes, g * cpg * 2 + i)
+    }
+
+    fn meta_at(&self, g: usize, sg: usize) -> u8 {
+        let spg = self.cfg.group_size / self.cfg.subgroup_size;
+        two_bits_at(&self.meta, g * spg + sg)
+    }
+
+    fn scale_at(&self, g: usize) -> E8M0 {
+        E8M0::from_bits(self.scales[g])
+    }
+}
+
+macro_rules! packed_accessors {
+    () => {
+        /// Matrix shape `(rows, cols)`.
+        pub fn shape(&self) -> (usize, usize) {
+            (self.s.rows, self.s.cols)
+        }
+
+        /// The configuration used at quantization time.
+        pub fn config(&self) -> &M2xfpConfig {
+            &self.s.cfg
+        }
+
+        /// Groups per row.
+        pub fn groups_per_row(&self) -> usize {
+            self.s.groups_per_row()
+        }
+
+        /// Total number of groups.
+        pub fn group_count(&self) -> usize {
+            self.s.group_count()
+        }
+
+        /// Elements in group `g` (short for a ragged trailing group).
+        pub fn group_len(&self, g: usize) -> usize {
+            self.s.group_len(g)
+        }
+
+        /// The nibble-packed FP4 code stream (`group_size/2` bytes per
+        /// group, slack nibbles zero).
+        pub fn codes(&self) -> &[u8] {
+            &self.s.codes
+        }
+
+        /// The E8M0 scale stream (one byte per group).
+        pub fn scales(&self) -> &[u8] {
+            &self.s.scales
+        }
+
+        /// The 2-bit metadata stream (one field per subgroup, LSB-first).
+        pub fn meta(&self) -> &[u8] {
+            &self.s.meta
+        }
+
+        /// FP4 code of element `i` of group `g`.
+        pub fn code_at(&self, g: usize, i: usize) -> u8 {
+            self.s.code_at(g, i)
+        }
+
+        /// 2-bit metadata of subgroup `sg` of group `g`.
+        pub fn meta_at(&self, g: usize, sg: usize) -> u8 {
+            self.s.meta_at(g, sg)
+        }
+
+        /// Shared scale of group `g`.
+        pub fn group_scale(&self, g: usize) -> E8M0 {
+            self.s.scale_at(g)
+        }
+
+        /// Total packed footprint in bytes across the three streams.
+        pub fn packed_bytes(&self) -> usize {
+            self.s.codes.len() + self.s.scales.len() + self.s.meta.len()
+        }
+    };
+}
+
+/// Activations in the flat three-stream layout (§5.2): the representation
+/// [`crate::gemm::qgemm_packed`] consumes directly.
+///
+/// Unlike [`ActTensor`] (a `Vec` of heap-allocated per-group structs kept
+/// for interop and the streaming-engine model), this type holds exactly
+/// three contiguous buffers and quantizes through the allocation-free
+/// [`activation::quantize_group_into`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedActTensor {
+    s: PackedStreams,
+}
+
+impl PackedActTensor {
+    /// Quantizes a matrix row-wise (Algorithm 1) straight into the packed
+    /// streams — no per-group heap allocation.
+    pub fn quantize(m: &Matrix, cfg: M2xfpConfig) -> Self {
+        let gc = cfg.group_config();
+        PackedActTensor {
+            s: PackedStreams::quantize(m, cfg, |x, codes, meta| {
+                activation::quantize_group_into(x, gc, cfg.scale_rule, codes, meta)
+            }),
+        }
+    }
+
+    packed_accessors!();
+
+    /// Converts the grouped representation into packed streams.
+    pub fn from_grouped(t: &ActTensor) -> Self {
+        let (rows, cols) = t.shape();
+        PackedActTensor {
+            s: PackedStreams::from_groups(
+                rows,
+                cols,
+                *t.config(),
+                t.groups()
+                    .iter()
+                    .map(|g| (&g.codes[..], g.scale, &g.meta[..])),
+            ),
+        }
+    }
+
+    /// Expands the packed streams back into the grouped representation.
+    pub fn to_grouped(&self) -> ActTensor {
+        let sgs = self.s.cfg.subgroup_size;
+        let groups = (0..self.group_count())
+            .map(|g| {
+                let len = self.group_len(g);
+                ActGroup {
+                    codes: (0..len).map(|i| self.code_at(g, i)).collect(),
+                    scale: self.group_scale(g),
+                    meta: (0..len.div_ceil(sgs)).map(|j| self.meta_at(g, j)).collect(),
+                }
+            })
+            .collect();
+        ActTensor {
+            rows: self.s.rows,
+            cols: self.s.cols,
+            cfg: self.s.cfg,
+            groups,
+        }
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn dequantize(&self) -> Matrix {
+        self.to_grouped().dequantize()
+    }
+}
+
+/// Weights in the flat three-stream layout (§5.2), stored transposed
+/// (`[N, K]`) like [`WeightTensor`]. The metadata stream holds the 2-bit
+/// Sg-EM multiplier codes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedWeightTensor {
+    s: PackedStreams,
+}
+
+impl PackedWeightTensor {
+    /// Quantizes a (transposed) weight matrix row-wise straight into the
+    /// packed streams — no per-group heap allocation.
+    pub fn quantize(w_t: &Matrix, cfg: M2xfpConfig) -> Self {
+        let gc = cfg.group_config();
+        PackedWeightTensor {
+            s: PackedStreams::quantize(w_t, cfg, |w, codes, sg_em| {
+                weight::quantize_group_into(
+                    w,
+                    gc,
+                    cfg.scale_rule,
+                    cfg.adaptive_weight_scale,
+                    codes,
+                    sg_em,
+                )
+            }),
+        }
+    }
+
+    packed_accessors!();
+
+    /// Converts the grouped representation into packed streams.
+    pub fn from_grouped(t: &WeightTensor) -> Self {
+        let (rows, cols) = t.shape();
+        PackedWeightTensor {
+            s: PackedStreams::from_groups(
+                rows,
+                cols,
+                *t.config(),
+                t.groups()
+                    .iter()
+                    .map(|g| (&g.codes[..], g.scale, &g.sg_em[..])),
+            ),
+        }
+    }
+
+    /// Expands the packed streams back into the grouped representation.
+    pub fn to_grouped(&self) -> WeightTensor {
+        let sgs = self.s.cfg.subgroup_size;
+        let groups = (0..self.group_count())
+            .map(|g| {
+                let len = self.group_len(g);
+                WeightGroup {
+                    codes: (0..len).map(|i| self.code_at(g, i)).collect(),
+                    scale: self.group_scale(g),
+                    sg_em: (0..len.div_ceil(sgs)).map(|j| self.meta_at(g, j)).collect(),
+                }
+            })
+            .collect();
+        WeightTensor {
+            rows: self.s.rows,
+            cols: self.s.cols,
+            cfg: self.s.cfg,
+            groups,
+        }
+    }
+
+    /// Dequantizes back to `f32` (still transposed).
+    pub fn dequantize(&self) -> Matrix {
+        self.to_grouped().dequantize()
+    }
+}
+
 /// Packs groups into `elements | scales | metadata` regions. Metadata per
 /// group must fit one byte (true for the production config: 4 × 2 bits).
 fn pack_streams<'a>(
     layout: StreamLayout,
     groups: impl Iterator<Item = (&'a [u8], u8, &'a [u8])> + Clone,
-) -> Result<Bytes, LayoutError> {
+) -> Result<Vec<u8>, LayoutError> {
     if layout.meta_bits_per_group > 8 {
         return Err(LayoutError {
             msg: format!(
@@ -283,28 +621,25 @@ fn pack_streams<'a>(
             ),
         });
     }
-    let mut buf = BytesMut::with_capacity(layout.total_bytes());
+    let mut buf = Vec::with_capacity(layout.total_bytes());
     for (codes, _, _) in groups.clone() {
-        buf.put_slice(&pack_nibbles(codes));
+        buf.extend_from_slice(&pack_nibbles(codes));
     }
     for (_, scale, _) in groups.clone() {
-        buf.put_u8(scale);
+        buf.push(scale);
     }
     for (_, _, meta) in groups {
         let mut b = 0u8;
         for (i, &m) in meta.iter().enumerate() {
             b |= (m & 0b11) << (2 * i);
         }
-        buf.put_u8(b);
+        buf.push(b);
     }
-    Ok(buf.freeze())
+    Ok(buf)
 }
 
 /// Splits a packed buffer back into per-group (codes, scale, meta-byte).
-fn unpack_streams(
-    buf: &[u8],
-    layout: StreamLayout,
-) -> Result<Vec<(Vec<u8>, u8, u8)>, LayoutError> {
+fn unpack_streams(buf: &[u8], layout: StreamLayout) -> Result<Vec<(Vec<u8>, u8, u8)>, LayoutError> {
     if buf.len() != layout.total_bytes() {
         return Err(LayoutError {
             msg: format!(
@@ -394,6 +729,62 @@ mod tests {
         let packed = t.pack().unwrap();
         let bits_per_elem = packed.len() as f64 * 8.0 / (8.0 * 128.0);
         assert!((bits_per_elem - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_act_matches_grouped_path() {
+        let cfg = M2xfpConfig::default();
+        for cols in [32, 64, 96, 50, 70] {
+            let m = sample(3, cols);
+            let grouped = ActTensor::quantize(&m, cfg);
+            let packed = PackedActTensor::quantize(&m, cfg);
+            assert_eq!(
+                PackedActTensor::from_grouped(&grouped),
+                packed,
+                "cols={cols}"
+            );
+            assert_eq!(packed.to_grouped(), grouped, "cols={cols}");
+            assert_eq!(packed.dequantize(), grouped.dequantize(), "cols={cols}");
+        }
+    }
+
+    #[test]
+    fn packed_weight_matches_grouped_path() {
+        let cfg = M2xfpConfig::default();
+        for cols in [32, 96, 41] {
+            let m = sample(4, cols);
+            let grouped = WeightTensor::quantize(&m, cfg);
+            let packed = PackedWeightTensor::quantize(&m, cfg);
+            assert_eq!(PackedWeightTensor::from_grouped(&grouped), packed);
+            assert_eq!(packed.to_grouped(), grouped, "cols={cols}");
+            assert_eq!(packed.dequantize(), grouped.dequantize(), "cols={cols}");
+        }
+    }
+
+    #[test]
+    fn packed_streams_have_paper_footprint() {
+        // Aligned shapes: 16 B codes + 1 B scale + 1 B meta per group of 32.
+        let cfg = M2xfpConfig::default();
+        let t = PackedActTensor::quantize(&sample(8, 128), cfg);
+        assert_eq!(t.codes().len(), 8 * 4 * 16);
+        assert_eq!(t.scales().len(), 8 * 4);
+        assert_eq!(t.meta().len(), 8 * 4);
+        let bits = t.packed_bytes() as f64 * 8.0 / (8.0 * 128.0);
+        assert!((bits - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_ragged_trailing_group_roundtrips() {
+        let cfg = M2xfpConfig::default();
+        let m = sample(2, 45); // 32 + 13 per row
+        let t = PackedActTensor::quantize(&m, cfg);
+        assert_eq!(t.group_len(0), 32);
+        assert_eq!(t.group_len(1), 13);
+        assert_eq!(t.to_grouped(), ActTensor::quantize(&m, cfg));
+        // Slack nibbles of the ragged group stay zero.
+        for i in 13..32 {
+            assert_eq!(t.code_at(1, i), 0);
+        }
     }
 
     #[test]

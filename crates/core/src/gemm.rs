@@ -8,14 +8,37 @@
 //!
 //! Everything is exact integer arithmetic in units of 1/64 (activations are
 //! multiples of 1/8 after FP6 refinement, weights multiples of 1/2, the
-//! multiplier contributes a /4), so [`qgemm`] and the floating-point
-//! reference [`qgemm_reference`] agree **exactly**, which the tests and
-//! property tests assert.
+//! multiplier contributes a /4), so [`qgemm`], the packed cache-blocked
+//! [`qgemm_packed`] and the floating-point reference [`qgemm_reference`]
+//! all agree **exactly**, which the tests and property tests assert.
+//!
+//! Two implementations are provided:
+//!
+//! * [`qgemm`] — the readable per-group pipeline over the legacy grouped
+//!   tensors, decoding through the integer LUTs of `m2x_formats::tables`
+//!   (no float decode round-trip anywhere).
+//! * [`qgemm_packed`] — the production path over the three-stream
+//!   [`PackedActTensor`]/[`PackedWeightTensor`]: both operand streams are
+//!   LUT-decoded **once** into flat fixed-point planes (one allocation per
+//!   plane per call — zero per-group allocations), the weight metadata
+//!   stream is walked bit-packed in place, and the integer kernel is tiled
+//!   over output row chunks (scoped threads via
+//!   [`m2x_tensor::matrix::par_row_chunks`]) × column tiles so a weight
+//!   tile stays cache-hot across the row block.
 
-use crate::format::{ActTensor, WeightTensor};
-use m2x_formats::tables::{decode_extra_mantissa, top1_index};
-use m2x_formats::fp4;
+use crate::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
+use m2x_formats::packing::two_bits_at;
+use m2x_formats::tables::{top1_index, EXTRA_X8, FP4_X2, FP4_X8};
+use m2x_tensor::matrix::par_row_chunks;
 use m2x_tensor::Matrix;
+
+/// Exact value of 1/64: the PE's fixed-point unit (1/8 activation × 1/2
+/// weight × 1/4 multiplier).
+const FIXED_POINT_UNIT: f64 = 1.0 / 64.0;
+
+/// Column-tile width of the packed kernel: 64 weight rows of one group
+/// (64 × 16 B codes) fit comfortably in L1 alongside the activation row.
+const COL_TILE: usize = 64;
 
 /// An activation group decoded to integers: values ×8, plus the shared
 /// exponent.
@@ -34,24 +57,28 @@ struct WeightInts {
     exp: i32,
 }
 
+/// Applies the per-subgroup top-1 metadata refinement to a decoded ×8
+/// buffer. `codes` and `x8` cover one group.
+fn refine_top1_x8<T: From<i16> + Copy>(
+    codes: &[u8],
+    meta_of: impl Fn(usize) -> u8,
+    sg_size: usize,
+    x8: &mut [T],
+) {
+    for (sg_idx, sg_codes) in codes.chunks(sg_size).enumerate() {
+        let local = top1_index(sg_codes);
+        let idx = sg_idx * sg_size + local;
+        x8[idx] = T::from(EXTRA_X8[sg_codes[local] as usize][meta_of(sg_idx) as usize]);
+    }
+}
+
 fn decode_act_ints(t: &ActTensor) -> Vec<ActInts> {
-    let f4 = fp4();
     let sg_size = t.config().subgroup_size;
     t.groups()
         .iter()
         .map(|g| {
-            let mut x8: Vec<i64> = g
-                .codes
-                .iter()
-                .map(|&c| (f4.decode(c) * 8.0) as i64)
-                .collect();
-            for (sg_idx, sg_codes) in g.codes.chunks(sg_size).enumerate() {
-                let local = top1_index(sg_codes);
-                let idx = sg_idx * sg_size + local;
-                let mag = decode_extra_mantissa(sg_codes[local] & 0x7, g.meta[sg_idx]);
-                let sign = if sg_codes[local] & 0x8 != 0 { -1.0 } else { 1.0 };
-                x8[idx] = (sign * mag * 8.0) as i64;
-            }
+            let mut x8: Vec<i64> = g.codes.iter().map(|&c| FP4_X8[c as usize] as i64).collect();
+            refine_top1_x8(&g.codes, |sg| g.meta[sg], sg_size, &mut x8);
             ActInts {
                 x8,
                 exp: g.scale.exponent(),
@@ -61,11 +88,10 @@ fn decode_act_ints(t: &ActTensor) -> Vec<ActInts> {
 }
 
 fn decode_weight_ints(t: &WeightTensor) -> Vec<WeightInts> {
-    let f4 = fp4();
     t.groups()
         .iter()
         .map(|g| WeightInts {
-            w2: g.codes.iter().map(|&c| (f4.decode(c) * 2.0) as i64).collect(),
+            w2: g.codes.iter().map(|&c| FP4_X2[c as usize] as i64).collect(),
             mult: g.sg_em.clone(),
             exp: g.scale.exponent(),
         })
@@ -119,6 +145,182 @@ pub fn qgemm(x: &ActTensor, w: &WeightTensor) -> Matrix {
             out[(i, j)] = acc as f32;
         }
     }
+    out
+}
+
+/// Cache-blocked integer qGEMM over the packed three-stream tensors,
+/// parallelized over output row chunks with scoped threads. Bit-exact
+/// against [`qgemm`] and [`qgemm_reference`].
+///
+/// Uses one thread per available core; see [`qgemm_packed_threaded`] to
+/// pin the worker count (1 reproduces the sequential order exactly — but
+/// every count produces identical bits, since each output element is
+/// computed by exactly one worker).
+///
+/// # Panics
+///
+/// Panics when the reduction dimensions or group geometries disagree.
+pub fn qgemm_packed(x: &PackedActTensor, w: &PackedWeightTensor) -> Matrix {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    qgemm_packed_threaded(x, w, threads)
+}
+
+/// [`qgemm_packed`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics when the reduction dimensions or group geometries disagree.
+pub fn qgemm_packed_threaded(
+    x: &PackedActTensor,
+    w: &PackedWeightTensor,
+    threads: usize,
+) -> Matrix {
+    qgemm_packed_planed(x, &WeightPlane::decode(w), threads)
+}
+
+/// A [`PackedWeightTensor`] LUT-decoded into the kernel's flat fixed-point
+/// form: FP4 decode ×2 with the subgroup's ×(4 + mult) shift-add refinement
+/// folded into every element (distributivity:
+/// Σ_s (4+mult_s)·Σ_t x·w == Σ_t x·(w·(4+mult)) — exact in integers).
+/// Folding eliminates the subgroup bookkeeping from the kernel, turning
+/// each group into one flat i16×i16→i32 dot product the compiler can
+/// vectorize. Max magnitude 12×7 = 84.
+///
+/// Weights are static across inference calls, so decode once (e.g. at layer
+/// construction) and reuse via [`qgemm_packed_planed`] — [`qgemm_packed`]
+/// re-decodes per call, which wastes an O(N·K) pass when the same weights
+/// are multiplied repeatedly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightPlane {
+    n: usize,
+    k: usize,
+    group_size: usize,
+    subgroup_size: usize,
+    /// Value ×2 with the subgroup multiplier folded in; group-padded rows.
+    w16: Vec<i16>,
+    /// exp2(group exponent) per group.
+    wscale: Vec<f64>,
+}
+
+impl WeightPlane {
+    /// Decodes the packed streams (walked in place, one pass).
+    pub fn decode(w: &PackedWeightTensor) -> Self {
+        let (n, k) = w.shape();
+        let gs = w.config().group_size;
+        let sgs = w.config().subgroup_size;
+        let spg = gs / sgs;
+        let gpr = w.groups_per_row();
+        let kp = gpr * gs;
+        let mut w16 = vec![0i16; n * kp];
+        let mut wscale = vec![0f64; n * gpr];
+        let wmeta = w.meta();
+        for (g, ws) in wscale.iter_mut().enumerate() {
+            let len = w.group_len(g);
+            let base = (g / gpr) * kp + (g % gpr) * gs;
+            for (sg, chunk) in w16[base..base + len].chunks_mut(sgs).enumerate() {
+                let mult = (4 + two_bits_at(wmeta, g * spg + sg)) as i16;
+                for (i, out) in chunk.iter_mut().enumerate() {
+                    *out = FP4_X2[w.code_at(g, sg * sgs + i) as usize] as i16 * mult;
+                }
+            }
+            *ws = (w.group_scale(g).exponent() as f64).exp2();
+        }
+        WeightPlane {
+            n,
+            k,
+            group_size: gs,
+            subgroup_size: sgs,
+            w16,
+            wscale,
+        }
+    }
+
+    /// Matrix shape `(rows, cols)` = `(N, K)` of the decoded weights.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n, self.k)
+    }
+}
+
+/// The packed qGEMM kernel over a pre-decoded [`WeightPlane`] — the form
+/// inference layers call repeatedly without paying the weight decode on
+/// every forward. Bit-exact against [`qgemm_reference`].
+///
+/// # Panics
+///
+/// Panics when the reduction dimensions or group geometries disagree.
+pub fn qgemm_packed_planed(x: &PackedActTensor, w: &WeightPlane, threads: usize) -> Matrix {
+    let (m, k) = x.shape();
+    let (n, k2) = w.shape();
+    assert_eq!(k, k2, "reduction dimension mismatch");
+    assert_eq!(
+        (x.config().group_size, x.config().subgroup_size),
+        (w.group_size, w.subgroup_size),
+        "group geometry mismatch"
+    );
+    let gs = x.config().group_size;
+    let sgs = x.config().subgroup_size;
+    let gpr = x.groups_per_row();
+    let kp = gpr * gs; // group-padded K; pad elements decode to exact zero
+
+    // Decode the activation stream once into a flat fixed-point plane (i16
+    // LUT lookups, no float round-trip). Padding with zeros keeps ragged
+    // trailing groups exact: zero codes contribute nothing to any product.
+    let mut x8 = vec![0i16; m * kp];
+    let mut xscale = vec![0f64; m * gpr];
+    let mut code_buf = vec![0u8; gs];
+    for (g, xs) in xscale.iter_mut().enumerate() {
+        let len = x.group_len(g);
+        let base = (g / gpr) * kp + (g % gpr) * gs;
+        for (i, c) in code_buf[..len].iter_mut().enumerate() {
+            *c = x.code_at(g, i);
+            x8[base + i] = FP4_X8[*c as usize] as i16;
+        }
+        refine_top1_x8(
+            &code_buf[..len],
+            |sg| x.meta_at(g, sg),
+            sgs,
+            &mut x8[base..base + len],
+        );
+        *xs = (x.group_scale(g).exponent() as f64).exp2();
+    }
+
+    let w16 = &w.w16;
+    let wscale = &w.wscale;
+    let mut out = Matrix::zeros(m, n);
+    par_row_chunks(out.as_mut_slice(), n.max(1), threads, |row0, chunk| {
+        let rows_here = chunk.len() / n.max(1);
+        // Column tiles keep a small set of weight rows L1/L2-hot across the
+        // whole row block.
+        for jt in (0..n).step_by(COL_TILE) {
+            let jhi = (jt + COL_TILE).min(n);
+            for li in 0..rows_here {
+                let i = row0 + li;
+                let xrow = &x8[i * kp..(i + 1) * kp];
+                let xsr = &xscale[i * gpr..(i + 1) * gpr];
+                let orow = &mut chunk[li * n..(li + 1) * n];
+                for j in jt..jhi {
+                    let wrow = &w16[j * kp..(j + 1) * kp];
+                    let wsr = &wscale[j * gpr..(j + 1) * gpr];
+                    let mut acc = 0.0f64;
+                    for (g, (xg, wg)) in
+                        xrow.chunks_exact(gs).zip(wrow.chunks_exact(gs)).enumerate()
+                    {
+                        // Fixed-point group sum in units of 1/64: per-lane
+                        // products ≤ 60·84, group total ≤ 32·5040 — i32 is
+                        // ample, and the i16×i16→i32 pattern vectorizes.
+                        let mut acc64: i32 = 0;
+                        for (&a, &b) in xg.iter().zip(wg) {
+                            acc64 += a as i32 * b as i32;
+                        }
+                        // exp2(xe)·exp2(we)·2^-6 — all exact powers of two,
+                        // bit-identical to exp2(xe + we - 6).
+                        acc += acc64 as f64 * (xsr[g] * wsr[g] * FIXED_POINT_UNIT);
+                    }
+                    orow[j] = acc as f32;
+                }
+            }
+        }
+    });
     out
 }
 
@@ -193,6 +395,68 @@ mod tests {
     }
 
     #[test]
+    fn packed_matches_reference_exactly() {
+        let cfg = M2xfpConfig::default();
+        let xm = mat(5, 96, 0.0);
+        let wm = mat(7, 96, 9.0);
+        let want = qgemm_reference(
+            &ActTensor::quantize(&xm, cfg),
+            &WeightTensor::quantize(&wm, cfg),
+        );
+        let xp = PackedActTensor::quantize(&xm, cfg);
+        let wp = PackedWeightTensor::quantize(&wm, cfg);
+        for threads in [1, 2, 4] {
+            let got = qgemm_packed_threaded(&xp, &wp, threads);
+            for i in 0..5 {
+                for j in 0..7 {
+                    assert_eq!(
+                        got[(i, j)].to_bits(),
+                        want[(i, j)].to_bits(),
+                        "threads={threads} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matches_reference_on_ragged_k() {
+        // K = 80 = 32 + 32 + 16: exercises ragged trailing groups and the
+        // zero-padded tail subgroups of the packed kernel.
+        let cfg = M2xfpConfig::default();
+        let xm = mat(3, 80, 1.0);
+        let wm = mat(4, 80, 2.0);
+        let want = qgemm_reference(
+            &ActTensor::quantize(&xm, cfg),
+            &WeightTensor::quantize(&wm, cfg),
+        );
+        let got = qgemm_packed(
+            &PackedActTensor::quantize(&xm, cfg),
+            &PackedWeightTensor::quantize(&wm, cfg),
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn planed_kernel_matches_per_call_decode() {
+        // A cached WeightPlane reused across calls gives the same bits as
+        // the per-call decode path.
+        let cfg = M2xfpConfig::default();
+        let wm = mat(5, 80, 4.0);
+        let wp = PackedWeightTensor::quantize(&wm, cfg);
+        let plane = WeightPlane::decode(&wp);
+        assert_eq!(plane.shape(), (5, 80));
+        for seed in [0.0, 6.0] {
+            let xp = PackedActTensor::quantize(&mat(3, 80, seed), cfg);
+            assert_eq!(
+                qgemm_packed_planed(&xp, &plane, 2),
+                qgemm_packed_threaded(&xp, &wp, 2),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
     fn quantized_gemm_close_to_full_precision() {
         let cfg = M2xfpConfig::default();
         let xm = mat(4, 128, 1.0);
@@ -213,19 +477,16 @@ mod tests {
         let cfg = M2xfpConfig::default();
         let xm = mat(3, 64, 3.0);
         let x = ActTensor::quantize(&xm, cfg);
-        let f4 = m2x_formats::fp4();
         let sg_size = cfg.subgroup_size;
         for g in x.groups() {
             for (sg_idx, sg_codes) in g.codes.chunks(sg_size).enumerate() {
-                let local = m2x_formats::tables::top1_index(sg_codes);
+                let local = top1_index(sg_codes);
                 let x8_base: Vec<i64> = sg_codes
                     .iter()
-                    .map(|&c| (f4.decode(c) * 8.0) as i64)
+                    .map(|&c| FP4_X8[c as usize] as i64)
                     .collect();
-                let mag =
-                    m2x_formats::tables::decode_extra_mantissa(sg_codes[local] & 7, g.meta[sg_idx]);
-                let sign: i64 = if sg_codes[local] & 8 != 0 { -1 } else { 1 };
-                let refined8 = sign * (mag * 8.0) as i64;
+                let refined8 = EXTRA_X8[sg_codes[local] as usize][g.meta[sg_idx] as usize] as i64;
+                let mag = refined8.abs() as f32 / 8.0;
                 let delta8 = refined8 - x8_base[local];
                 // The refined magnitude is one of the bias-clamp candidates
                 // for this FP4 magnitude (bit distance in [-1, +2]).
@@ -249,6 +510,11 @@ mod tests {
         let w = WeightTensor::quantize(&Matrix::zeros(3, 32), cfg);
         let y = qgemm(&x, &w);
         assert!(y.as_slice().iter().all(|&v| v == 0.0));
+        let yp = qgemm_packed(
+            &PackedActTensor::quantize(&Matrix::zeros(2, 32), cfg),
+            &PackedWeightTensor::quantize(&Matrix::zeros(3, 32), cfg),
+        );
+        assert!(yp.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]
@@ -266,5 +532,10 @@ mod tests {
             &WeightTensor::quantize(&wm, cfg),
         );
         assert_eq!(a, b);
+        let c = qgemm_packed(
+            &PackedActTensor::quantize(&xm, cfg),
+            &PackedWeightTensor::quantize(&wm, cfg),
+        );
+        assert_eq!(c, b);
     }
 }

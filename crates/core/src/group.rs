@@ -5,11 +5,10 @@
 //! This abstraction generalizes existing MX variants — e.g. SMX is a group
 //! of 16 with subgroups of 2 carrying a 1-bit exponent.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Group geometry: group size and subgroup size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GroupConfig {
     group_size: usize,
     subgroup_size: usize,
@@ -23,7 +22,10 @@ impl GroupConfig {
     /// Panics if either size is zero, `subgroup_size > group_size`, or the
     /// subgroup size does not divide the group size.
     pub fn new(group_size: usize, subgroup_size: usize) -> Self {
-        assert!(group_size > 0 && subgroup_size > 0, "sizes must be positive");
+        assert!(
+            group_size > 0 && subgroup_size > 0,
+            "sizes must be positive"
+        );
         assert!(
             subgroup_size <= group_size,
             "subgroup larger than group ({subgroup_size} > {group_size})"

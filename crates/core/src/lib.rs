@@ -49,13 +49,11 @@ pub use group::GroupConfig;
 pub use quantizer::TensorQuantizer;
 pub use scale::ScaleRule;
 
-use serde::{Deserialize, Serialize};
-
 /// Top-level M2XFP configuration.
 ///
 /// The paper's production configuration (§6.1) is group size 32, subgroup
 /// size 8, OCP floor scale rule, adaptive shared scale for weights.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct M2xfpConfig {
     /// Elements sharing one E8M0 scale (paper: 32).
     pub group_size: usize,

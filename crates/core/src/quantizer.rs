@@ -83,7 +83,11 @@ impl TensorQuantizer for M2xfpQuantizer {
                 self.cfg.group_size,
                 self.cfg.subgroup_size,
                 self.cfg.scale_rule.name(),
-                if self.cfg.adaptive_weight_scale { "adaptive" } else { "fixed" }
+                if self.cfg.adaptive_weight_scale {
+                    "adaptive"
+                } else {
+                    "fixed"
+                }
             )
         }
     }
@@ -187,10 +191,8 @@ mod tests {
 
     #[test]
     fn trait_object_usable() {
-        let quants: Vec<Box<dyn TensorQuantizer>> = vec![
-            Box::new(M2xfpQuantizer::default()),
-            Box::new(Fp16Reference),
-        ];
+        let quants: Vec<Box<dyn TensorQuantizer>> =
+            vec![Box::new(M2xfpQuantizer::default()), Box::new(Fp16Reference)];
         let x = toy_matrix(2, 32, 0.5);
         for q in &quants {
             let _ = q.quantize_weights(&x);

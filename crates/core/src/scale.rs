@@ -8,11 +8,10 @@
 //! All rules are computed with exact integer/binade arithmetic (no reliance
 //! on correctly-rounded `log2`), so group scales are bit-reproducible.
 
-use m2x_formats::{E8M0, Minifloat};
-use serde::{Deserialize, Serialize};
+use m2x_formats::{Minifloat, E8M0};
 
 /// Rule used to derive the shared exponent from the block maximum.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScaleRule {
     /// OCP default: `E = ⌊log2(amax/P)⌋` (P = largest power of two, 4 for FP4).
     Floor,
@@ -57,7 +56,7 @@ impl ScaleRule {
     /// `amax <= 0` (an all-zero block) yields the minimum exponent so that
     /// every element quantizes to zero without special-casing.
     pub fn shared_exponent(&self, amax: f32, elem: &Minifloat) -> i32 {
-        if !(amax > 0.0) || !amax.is_finite() {
+        if amax <= 0.0 || !amax.is_finite() {
             return m2x_formats::e8m0::MIN_EXP;
         }
         let p_exp = exact_log2(elem.max_pow2());

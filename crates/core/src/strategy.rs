@@ -19,11 +19,10 @@ use crate::group::GroupConfig;
 use crate::scale::ScaleRule;
 use m2x_formats::tables::{top1_index, top2_indices};
 use m2x_formats::{fp4, fp6_e2m3, E8M0};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether metadata may reshape the shared scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScaleMode {
     /// Shared scale strictly from the block maximum (rule only).
     Fixed,
@@ -32,7 +31,7 @@ pub enum ScaleMode {
 }
 
 /// A metadata allocation strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MetadataStrategy {
     /// Element-level extra mantissa on the `top` largest elements per
     /// subgroup (2 bits each).
@@ -319,17 +318,42 @@ mod tests {
     fn elem_em_dominates_under_fixed_scale() {
         // The §4.2.2 finding: Elem-EM achieves the lowest MSE at matched
         // budget under a fixed shared scale.
-        let em = strategy_mse(MetadataStrategy::ElemEm { top: 1 }, 8, ScaleMode::Fixed, 0..60);
-        let sgem = strategy_mse(MetadataStrategy::SgEm { bits: 2 }, 8, ScaleMode::Fixed, 0..60);
-        let sgee = strategy_mse(MetadataStrategy::SgEe { bits: 2 }, 8, ScaleMode::Fixed, 0..60);
+        let em = strategy_mse(
+            MetadataStrategy::ElemEm { top: 1 },
+            8,
+            ScaleMode::Fixed,
+            0..60,
+        );
+        let sgem = strategy_mse(
+            MetadataStrategy::SgEm { bits: 2 },
+            8,
+            ScaleMode::Fixed,
+            0..60,
+        );
+        let sgee = strategy_mse(
+            MetadataStrategy::SgEe { bits: 2 },
+            8,
+            ScaleMode::Fixed,
+            0..60,
+        );
         assert!(em < sgem, "Elem-EM {em} should beat Sg-EM {sgem} (fixed)");
         assert!(em < sgee, "Elem-EM {em} should beat Sg-EE {sgee} (fixed)");
     }
 
     #[test]
     fn top2_no_worse_than_top1() {
-        let t1 = strategy_mse(MetadataStrategy::ElemEm { top: 1 }, 8, ScaleMode::Fixed, 0..40);
-        let t2 = strategy_mse(MetadataStrategy::ElemEm { top: 2 }, 8, ScaleMode::Fixed, 0..40);
+        let t1 = strategy_mse(
+            MetadataStrategy::ElemEm { top: 1 },
+            8,
+            ScaleMode::Fixed,
+            0..40,
+        );
+        let t2 = strategy_mse(
+            MetadataStrategy::ElemEm { top: 2 },
+            8,
+            ScaleMode::Fixed,
+            0..40,
+        );
         assert!(t2 <= t1 + 1e-12);
     }
 
@@ -345,9 +369,18 @@ mod tests {
     #[test]
     fn sgem_2bit_improves_with_adaptive() {
         // §4.2.3: adaptive scale specifically unlocks Sg-EM.
-        let fixed = strategy_mse(MetadataStrategy::SgEm { bits: 2 }, 8, ScaleMode::Adaptive, 0..60);
-        let em_fixed =
-            strategy_mse(MetadataStrategy::ElemEm { top: 1 }, 8, ScaleMode::Fixed, 0..60);
+        let fixed = strategy_mse(
+            MetadataStrategy::SgEm { bits: 2 },
+            8,
+            ScaleMode::Adaptive,
+            0..60,
+        );
+        let em_fixed = strategy_mse(
+            MetadataStrategy::ElemEm { top: 1 },
+            8,
+            ScaleMode::Fixed,
+            0..60,
+        );
         assert!(
             fixed < em_fixed,
             "Sg-EM-adaptive {fixed} should beat Elem-EM-fixed {em_fixed}"
@@ -390,7 +423,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(MetadataStrategy::ElemEm { top: 1 }.to_string(), "Elem-EM-top1");
+        assert_eq!(
+            MetadataStrategy::ElemEm { top: 1 }.to_string(),
+            "Elem-EM-top1"
+        );
         assert_eq!(MetadataStrategy::SgEe { bits: 2 }.to_string(), "Sg-EE-2bit");
     }
 }

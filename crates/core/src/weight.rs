@@ -11,7 +11,6 @@
 use crate::group::GroupConfig;
 use crate::scale::ScaleRule;
 use m2x_formats::{fp4, E8M0};
-use serde::{Deserialize, Serialize};
 
 /// The four subgroup scale multipliers encoded by the 2-bit Sg-EM codes
 /// 00, 01, 10, 11 (paper §5.4).
@@ -19,7 +18,7 @@ pub const SG_MULTIPLIERS: [f32; 4] = [1.0, 1.25, 1.5, 1.75];
 
 /// One quantized weight group: FP4 codes, E8M0 shared scale (bias already
 /// absorbed) and a 2-bit multiplier code per subgroup.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WeightGroup {
     /// FP4 codes (sign in bit 3, magnitude in bits 2..0).
     pub codes: Vec<u8>,
@@ -51,51 +50,86 @@ impl WeightGroup {
 /// `adaptive` enables the `b ∈ {-1,0,1}` exponent-bias search of the
 /// adaptive shared-scale mode; with `false` the scale comes directly from
 /// `rule` (fixed mode).
-pub fn quantize_group(
+pub fn quantize_group(w: &[f32], cfg: GroupConfig, rule: ScaleRule, adaptive: bool) -> WeightGroup {
+    let mut codes = vec![0u8; w.len()];
+    let mut sg_em = vec![0u8; cfg.subgroup_count(w.len())];
+    let scale = quantize_group_into(w, cfg, rule, adaptive, &mut codes, &mut sg_em);
+    WeightGroup {
+        codes,
+        scale,
+        sg_em,
+    }
+}
+
+/// Allocation-free Sg-EM quantization: writes FP4 codes and per-subgroup
+/// multiplier codes into caller-provided slices, returning the shared scale
+/// (adaptive bias already absorbed).
+///
+/// The bias search runs over the candidates without materializing per-bias
+/// multiplier vectors: each candidate's total SSE is accumulated, and the
+/// winning bias' multipliers are recomputed into `sg_em` on the final
+/// encoding pass. [`quantize_group`] is the allocating wrapper.
+///
+/// # Panics
+///
+/// Panics when `w` is empty or longer than the group size, when
+/// `codes.len() != w.len()`, or when `sg_em` does not hold exactly one entry
+/// per subgroup.
+pub fn quantize_group_into(
     w: &[f32],
     cfg: GroupConfig,
     rule: ScaleRule,
     adaptive: bool,
-) -> WeightGroup {
+    codes: &mut [u8],
+    sg_em: &mut [u8],
+) -> E8M0 {
     assert!(!w.is_empty(), "group must be non-empty");
-    assert!(w.len() <= cfg.group_size(), "group longer than configured size");
+    assert!(
+        w.len() <= cfg.group_size(),
+        "group longer than configured size"
+    );
+    assert_eq!(codes.len(), w.len(), "code buffer length mismatch");
+    assert_eq!(
+        sg_em.len(),
+        cfg.subgroup_count(w.len()),
+        "sg_em buffer length mismatch"
+    );
     let f4 = fp4();
 
     let amax = w.iter().fold(0.0f32, |m, v| m.max(v.abs()));
     let e0 = rule.shared_exponent(amax, f4);
     let biases: &[i32] = if adaptive { &[-1, 0, 1] } else { &[0] };
 
-    let mut best: Option<(f64, E8M0, Vec<u8>)> = None;
+    // Outer loop of Eq. 4: first candidate bias with the strictly smallest
+    // total SSE wins (same tie-breaking as an ordered min-search).
+    let mut best_bias = biases[0];
+    let mut best_total = f64::INFINITY;
     for &b in biases {
-        let scale = E8M0::from_exponent(e0 + b);
-        let s = scale.value();
-        let mut total = 0.0f64;
-        let mut sg_em = Vec::with_capacity(cfg.subgroup_count(w.len()));
-        for sg in w.chunks(cfg.subgroup_size()) {
-            let (k_best, sse) = best_multiplier(sg, s);
-            sg_em.push(k_best);
-            total += sse;
-        }
-        let better = match &best {
-            None => true,
-            Some((t, _, _)) => total < *t,
-        };
-        if better {
-            best = Some((total, scale, sg_em));
+        let s = E8M0::from_exponent(e0 + b).value();
+        let total: f64 = w
+            .chunks(cfg.subgroup_size())
+            .map(|sg| best_multiplier(sg, s).1)
+            .sum();
+        if total < best_total {
+            best_total = total;
+            best_bias = b;
         }
     }
-    let (_, scale, sg_em) = best.expect("at least one bias candidate");
 
-    // Encode codes with the winning parameters.
+    // Encode with the winning parameters, recomputing each subgroup's best
+    // multiplier (deterministic, so identical to the search pass).
+    let scale = E8M0::from_exponent(e0 + best_bias);
     let s = scale.value();
-    let mut codes = Vec::with_capacity(w.len());
-    for (sg_idx, sg) in w.chunks(cfg.subgroup_size()).enumerate() {
-        let eff = SG_MULTIPLIERS[sg_em[sg_idx] as usize] * s;
-        for &v in sg {
-            codes.push(f4.encode(v / eff));
+    let sg_size = cfg.subgroup_size();
+    for (sg_idx, sg) in w.chunks(sg_size).enumerate() {
+        let k = best_multiplier(sg, s).0;
+        sg_em[sg_idx] = k;
+        let eff = SG_MULTIPLIERS[k as usize] * s;
+        for (c, &v) in codes[sg_idx * sg_size..].iter_mut().zip(sg) {
+            *c = f4.encode(v / eff);
         }
     }
-    WeightGroup { codes, scale, sg_em }
+    scale
 }
 
 /// Finds the multiplier code minimizing the subgroup's squared error under
@@ -189,10 +223,7 @@ mod tests {
                 let s = ScaleRule::Floor.shared_scale(amax, f4).value();
                 w.iter().map(|&v| f4.quantize(v / s) * s).collect()
             };
-            assert!(
-                mse(&w, &refined) <= mse(&w, &plain) + 1e-12,
-                "seed {seed}"
-            );
+            assert!(mse(&w, &refined) <= mse(&w, &plain) + 1e-12, "seed {seed}");
         }
     }
 
@@ -204,10 +235,7 @@ mod tests {
                 .collect();
             let fixed = fake_quantize_group(&w, cfg(), ScaleRule::Floor, false);
             let adaptive = fake_quantize_group(&w, cfg(), ScaleRule::Floor, true);
-            assert!(
-                mse(&w, &adaptive) <= mse(&w, &fixed) + 1e-12,
-                "seed {seed}"
-            );
+            assert!(mse(&w, &adaptive) <= mse(&w, &fixed) + 1e-12, "seed {seed}");
         }
     }
 

@@ -1,0 +1,328 @@
+//! A dependency-free, drop-in subset of the [criterion](https://docs.rs/criterion)
+//! benchmarking API.
+//!
+//! The container this reproduction builds in has no network access, so the
+//! real criterion crate cannot be fetched. The bench files under
+//! `crates/bench/benches/` are written against the criterion API; this crate
+//! provides the same surface (`Criterion`, `benchmark_group`, `Throughput`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`) backed by a simple
+//! wall-clock sampler:
+//!
+//! * each benchmark is warmed up for [`WARMUP`] and then measured for a time
+//!   budget of [`MEASURE`] (override with `M2X_BENCH_BUDGET_MS`),
+//! * the reported figure is the **median** of per-batch ns/iter samples,
+//!   which is robust against scheduler noise,
+//! * when a `Throughput` is set, elements/second is derived and printed,
+//! * setting `M2X_BENCH_JSON=<path>` writes the run's measurements to a
+//!   JSON report when the driver finishes — note it **overwrites** the
+//!   file, so point each bench binary at its own path.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Default warmup per benchmark.
+pub const WARMUP: Duration = Duration::from_millis(120);
+
+/// Default measurement budget per benchmark.
+pub const MEASURE: Duration = Duration::from_millis(700);
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (elements or bytes per
+/// iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, compatible with `BenchmarkId::from_parameter` and
+/// `BenchmarkId::new`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` of the benchmark.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Elements per iteration, when the group declared a throughput.
+    pub elements: Option<u64>,
+    /// Iterations actually executed during measurement.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Elements per second implied by the measurement (when known).
+    pub fn elems_per_sec(&self) -> Option<f64> {
+        self.elements.map(|e| e as f64 * 1e9 / self.ns_per_iter)
+    }
+}
+
+/// The per-iteration timing driver passed to benchmark closures.
+pub struct Bencher<'a> {
+    budget: Duration,
+    result: &'a mut Option<(f64, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing the median ns/iter over timed batches.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup: run until the warmup window has elapsed, counting
+        // iterations to size the measurement batches. Scaled down with the
+        // budget so M2X_BENCH_BUDGET_MS actually bounds total run time.
+        let warmup = WARMUP.min(self.budget);
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Aim for ~25 batches within the budget, at least 1 iter per batch.
+        let batch = ((self.budget.as_nanos() as f64 / 25.0 / per_iter) as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::new();
+        let mut total_iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.budget || samples.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_nanos() as f64;
+            samples.push(dt / batch as f64);
+            total_iters += batch;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+        let median = samples[samples.len() / 2];
+        *self.result = Some((median, total_iters));
+    }
+}
+
+fn budget() -> Duration {
+    std::env::var("M2X_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(MEASURE)
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name.to_string(), None, f);
+        self
+    }
+
+    fn run_one(&mut self, id: String, elements: Option<u64>, mut f: impl FnMut(&mut Bencher)) {
+        let mut result = None;
+        let mut b = Bencher {
+            budget: budget(),
+            result: &mut result,
+        };
+        f(&mut b);
+        let (ns, iters) = result.expect("benchmark closure must call Bencher::iter");
+        let m = Measurement {
+            id,
+            ns_per_iter: ns,
+            elements,
+            iters,
+        };
+        match m.elems_per_sec() {
+            Some(eps) => println!(
+                "bench {:<44} {:>14.1} ns/iter {:>12.3} Melem/s",
+                m.id,
+                m.ns_per_iter,
+                eps / 1e6
+            ),
+            None => println!("bench {:<44} {:>14.1} ns/iter", m.id, m.ns_per_iter),
+        }
+        self.results.push(m);
+    }
+
+    /// All measurements so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Renders every measurement as a JSON array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, m) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"ns_per_iter\": {:.2}, \"iters\": {}, \"elements\": {}, \"elems_per_sec\": {}}}",
+                m.id.replace('"', "'"),
+                m.ns_per_iter,
+                m.iters,
+                m.elements.map_or("null".to_string(), |e| e.to_string()),
+                m.elems_per_sec().map_or("null".to_string(), |e| format!("{e:.1}")),
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if let Ok(path) = std::env::var("M2X_BENCH_JSON") {
+            if !self.results.is_empty() {
+                if let Err(e) = std::fs::write(&path, self.to_json()) {
+                    eprintln!("warning: could not write {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used to derive elements/second.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for criterion compatibility; the sampler is time-budgeted so
+    /// the sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    fn elements(&self) -> Option<u64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => Some(n),
+            None => None,
+        }
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        let elems = self.elements();
+        self.parent.run_one(id, elems, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let elems = self.elements();
+        self.parent.run_one(full, elems, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, criterion style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("M2X_BENCH_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_throughput_reported() {
+        std::env::set_var("M2X_BENCH_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("work", |b| b.iter(|| black_box((0..100u64).sum::<u64>())));
+            g.finish();
+        }
+        let m = &c.results()[0];
+        assert_eq!(m.id, "g/work");
+        assert_eq!(m.elements, Some(100));
+        assert!(m.elems_per_sec().unwrap() > 0.0);
+        let json = c.to_json();
+        assert!(json.contains("\"id\": \"g/work\""));
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+    }
+}

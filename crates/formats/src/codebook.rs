@@ -7,7 +7,6 @@
 //! nearest-value quantization (sign handled separately, grids are
 //! sign-symmetric as in all those formats).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A sign-symmetric quantization grid defined by its non-negative magnitudes.
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert_eq!(pot.quantize(3.1), 4.0);
 /// assert_eq!(pot.quantize(-0.3), -0.25);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Codebook {
     name: String,
     /// Sorted ascending, starts at the smallest magnitude (usually 0).
@@ -48,10 +47,7 @@ impl Codebook {
     ///
     /// Fails when the grid is empty, contains negative/non-finite values or
     /// is not strictly ascending after dedup.
-    pub fn new(
-        name: impl Into<String>,
-        mut magnitudes: Vec<f32>,
-    ) -> Result<Self, CodebookError> {
+    pub fn new(name: impl Into<String>, mut magnitudes: Vec<f32>) -> Result<Self, CodebookError> {
         if magnitudes.is_empty() {
             return Err(CodebookError {
                 msg: "empty grid".to_string(),
@@ -95,7 +91,7 @@ impl Codebook {
     /// Index of the nearest magnitude (ties round to the smaller index, i.e.
     /// toward zero — deterministic and matching a comparator-tree decode).
     pub fn nearest_index(&self, a: f32) -> usize {
-        debug_assert!(!(a < 0.0));
+        debug_assert!(a >= 0.0 || a.is_nan());
         match self
             .magnitudes
             .binary_search_by(|v| v.partial_cmp(&a).expect("finite"))
@@ -155,7 +151,12 @@ impl Codebook {
 
 impl fmt::Display for Codebook {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Codebook({}, {} levels)", self.name, self.magnitudes.len())
+        write!(
+            f,
+            "Codebook({}, {} levels)",
+            self.name,
+            self.magnitudes.len()
+        )
     }
 }
 

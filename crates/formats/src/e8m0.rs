@@ -5,7 +5,6 @@
 //! exponent arithmetic — the property that makes MX formats hardware-friendly
 //! (paper §2.2). Code `0xFF` is NaN per the OCP spec.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Exponent bias (same as FP32).
@@ -26,7 +25,7 @@ pub const MAX_EXP: i32 = 127;
 /// assert_eq!(s.value(), 8.0);
 /// assert_eq!(s.exponent(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct E8M0(u8);
 
 impl E8M0 {
@@ -140,7 +139,10 @@ mod tests {
         let s = E8M0::from_exponent(5);
         assert_eq!(s.with_bias(1).exponent(), 6);
         assert_eq!(s.with_bias(-1).exponent(), 4);
-        assert_eq!(E8M0::from_exponent(MAX_EXP).with_bias(1).exponent(), MAX_EXP);
+        assert_eq!(
+            E8M0::from_exponent(MAX_EXP).with_bias(1).exponent(),
+            MAX_EXP
+        );
     }
 
     #[test]

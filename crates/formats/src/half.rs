@@ -156,7 +156,10 @@ mod tests {
         // rounds to even mantissa (1.0).
         assert_eq!(quantize_f16(1.0 + 2f32.powi(-11)), 1.0);
         // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; even is 1+2^-9.
-        assert_eq!(quantize_f16(1.0 + 3.0 * 2f32.powi(-11)), 1.0 + 2f32.powi(-9));
+        assert_eq!(
+            quantize_f16(1.0 + 3.0 * 2f32.powi(-11)),
+            1.0 + 2f32.powi(-9)
+        );
     }
 
     #[test]
@@ -180,7 +183,10 @@ mod tests {
     fn bf16_rounds_to_nearest() {
         // BF16 has 7 mantissa bits; 1 + 2^-8 is halfway to 1 + 2^-7.
         assert_eq!(quantize_bf16(1.0 + 2f32.powi(-8)), 1.0);
-        assert_eq!(quantize_bf16(1.0 + 1.5 * 2f32.powi(-8)), 1.0 + 2f32.powi(-7));
+        assert_eq!(
+            quantize_bf16(1.0 + 1.5 * 2f32.powi(-8)),
+            1.0 + 2f32.powi(-7)
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! use symmetric signed grids: codes in `[-(2^(b-1)-1), 2^(b-1)-1]`, with the
 //! most negative two's-complement code unused so the grid is sign-symmetric.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A symmetric signed integer grid with `bits` total bits.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(int4.quantize_code(3.6), 4);
 /// assert_eq!(int4.quantize_code(-100.0), -7); // saturates
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct IntCodec {
     bits: u32,
 }

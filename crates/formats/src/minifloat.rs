@@ -10,11 +10,10 @@
 //! `2^(E-1) - 1` (so E2 formats have bias 1, E4 bias 7, E5 bias 15), which
 //! matches all formats in the paper (Fig. 1).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How the top of the code space is interpreted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpecialValues {
     /// Every code is a finite value (OCP FP4/FP6: no inf, no NaN).
     None,
@@ -49,7 +48,7 @@ impl std::error::Error for InvalidSpecError {}
 /// assert_eq!(fp4.quantize(-100.0), -6.0); // saturates
 /// # Ok::<(), m2x_formats::minifloat::InvalidSpecError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Minifloat {
     exp_bits: u32,
     man_bits: u32,
@@ -78,10 +77,7 @@ impl Minifloat {
         }
         if 1 + exp_bits + man_bits > 8 {
             return Err(InvalidSpecError {
-                msg: format!(
-                    "total width {} exceeds 8 bits",
-                    1 + exp_bits + man_bits
-                ),
+                msg: format!("total width {} exceeds 8 bits", 1 + exp_bits + man_bits),
             });
         }
         if special == SpecialValues::Ieee && exp_bits < 2 {
@@ -179,7 +175,11 @@ impl Minifloat {
     pub fn decode(&self, bits: u8) -> f32 {
         let width = self.total_bits();
         let bits = (bits as u32) & ((1u32 << width) - 1);
-        let sign = if bits >> (width - 1) != 0 { -1.0f32 } else { 1.0 };
+        let sign = if bits >> (width - 1) != 0 {
+            -1.0f32
+        } else {
+            1.0
+        };
         let mag = bits & ((1 << self.magnitude_bits()) - 1);
         sign * self.decode_magnitude(mag as u8)
     }
@@ -195,7 +195,11 @@ impl Minifloat {
                 return f32::NAN;
             }
             SpecialValues::Ieee if e_field == (1 << self.exp_bits) - 1 => {
-                return if m_field == 0 { f32::INFINITY } else { f32::NAN };
+                return if m_field == 0 {
+                    f32::INFINITY
+                } else {
+                    f32::NAN
+                };
             }
             _ => {}
         }
@@ -222,7 +226,7 @@ impl Minifloat {
 
     /// Encodes a non-negative magnitude to magnitude bits (RNE, saturating).
     pub fn encode_magnitude(&self, a: f32) -> u8 {
-        debug_assert!(!(a < 0.0), "magnitude must be non-negative");
+        debug_assert!(a >= 0.0 || a.is_nan(), "magnitude must be non-negative");
         if a.is_nan() {
             return match self.special {
                 SpecialValues::None => 0,
@@ -247,7 +251,7 @@ impl Minifloat {
     /// Round-to-nearest-even quantization of a non-negative value onto the
     /// grid, saturating at [`Self::max_value`].
     pub fn quantize_magnitude(&self, a: f32) -> f32 {
-        debug_assert!(!(a < 0.0));
+        debug_assert!(a >= 0.0 || a.is_nan());
         if a.is_nan() {
             return f32::NAN;
         }
@@ -293,7 +297,7 @@ impl Minifloat {
     ///
     /// Panics in debug builds if `q` is not exactly representable.
     pub fn magnitude_bits_of(&self, q: f32) -> u8 {
-        debug_assert!(!(q < 0.0));
+        debug_assert!(q >= 0.0 || q.is_nan());
         if q == 0.0 {
             return 0;
         }
@@ -482,9 +486,7 @@ mod tests {
             let best = vals
                 .iter()
                 .copied()
-                .min_by(|a, b| {
-                    (a - x).abs().partial_cmp(&(b - x).abs()).unwrap()
-                })
+                .min_by(|a, b| (a - x).abs().partial_cmp(&(b - x).abs()).unwrap())
                 .unwrap();
             assert!(
                 (q - x).abs() <= (best - x).abs() + 1e-7,

@@ -6,9 +6,6 @@
 //! subgroup size 8). Elements, scales and metadata each live in their own
 //! contiguous region so that loads stay aligned.
 
-use bytes::{BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
-
 /// Packs 4-bit codes, two per byte, low nibble first.
 ///
 /// ```
@@ -18,24 +15,74 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(&packed[..], &[0xA3, 0x0F]);
 /// assert_eq!(unpack_nibbles(&packed, 3), vec![0x3, 0xA, 0xF]);
 /// ```
-pub fn pack_nibbles(codes: &[u8]) -> Bytes {
-    let mut out = BytesMut::with_capacity(codes.len().div_ceil(2));
-    for pair in codes.chunks(2) {
-        let lo = pair[0] & 0xF;
-        let hi = if pair.len() > 1 { pair[1] & 0xF } else { 0 };
-        out.put_u8(lo | (hi << 4));
+pub fn pack_nibbles(codes: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; codes.len().div_ceil(2)];
+    pack_nibbles_into(codes, &mut out);
+    out
+}
+
+/// Packs 4-bit codes into a caller-provided buffer, two per byte, low
+/// nibble first — the allocation-free primitive behind [`pack_nibbles`].
+///
+/// Branch-free in the steady state: full pairs are combined with shift-or;
+/// only a trailing odd code takes a separate path.
+///
+/// # Panics
+///
+/// Panics when `out` is shorter than `codes.len().div_ceil(2)` bytes.
+pub fn pack_nibbles_into(codes: &[u8], out: &mut [u8]) {
+    let nbytes = codes.len().div_ceil(2);
+    assert!(out.len() >= nbytes, "output buffer too short");
+    let (pairs, tail) = codes.split_at(codes.len() & !1);
+    for (o, pair) in out.iter_mut().zip(pairs.chunks_exact(2)) {
+        *o = (pair[0] & 0xF) | ((pair[1] & 0xF) << 4);
     }
-    out.freeze()
+    if let Some(&last) = tail.first() {
+        out[nbytes - 1] = last & 0xF;
+    }
 }
 
 /// Unpacks `n` 4-bit codes from bytes produced by [`pack_nibbles`].
 pub fn unpack_nibbles(bytes: &[u8], n: usize) -> Vec<u8> {
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let b = bytes[i / 2];
-        out.push(if i % 2 == 0 { b & 0xF } else { b >> 4 });
-    }
+    let mut out = vec![0u8; n];
+    unpack_nibbles_into(bytes, &mut out);
     out
+}
+
+/// Unpacks 4-bit codes into a caller-provided buffer (one code per output
+/// byte) — the allocation-free primitive behind [`unpack_nibbles`].
+///
+/// # Panics
+///
+/// Panics when `bytes` holds fewer than `out.len()` nibbles.
+pub fn unpack_nibbles_into(bytes: &[u8], out: &mut [u8]) {
+    assert!(bytes.len() * 2 >= out.len(), "input buffer too short");
+    for (i, o) in out.iter_mut().enumerate() {
+        // Branch-free nibble select: shift by 0 or 4 depending on parity.
+        *o = (bytes[i >> 1] >> ((i & 1) * 4)) & 0xF;
+    }
+}
+
+/// Reads the `i`-th 4-bit code from a nibble-packed stream.
+#[inline(always)]
+pub fn nibble_at(bytes: &[u8], i: usize) -> u8 {
+    (bytes[i >> 1] >> ((i & 1) * 4)) & 0xF
+}
+
+/// Reads the `i`-th 2-bit field from a bit-packed stream (LSB-first within
+/// each byte) — the accessor for the M2XFP subgroup-metadata stream.
+#[inline(always)]
+pub fn two_bits_at(bytes: &[u8], i: usize) -> u8 {
+    (bytes[i >> 2] >> ((i & 3) * 2)) & 0b11
+}
+
+/// Writes the `i`-th 2-bit field of a bit-packed stream. The target field
+/// must currently be zero (streams are built append-only from zeroed
+/// buffers).
+#[inline(always)]
+pub fn set_two_bits(bytes: &mut [u8], i: usize, v: u8) {
+    debug_assert_eq!(two_bits_at(bytes, i), 0, "2-bit field {i} already set");
+    bytes[i >> 2] |= (v & 0b11) << ((i & 3) * 2);
 }
 
 /// Writes fields of arbitrary bit width (LSB-first within the stream).
@@ -75,8 +122,8 @@ impl BitWriter {
     }
 
     /// Finishes and returns the packed bytes.
-    pub fn into_bytes(self) -> Bytes {
-        Bytes::from(self.buf)
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
     }
 }
 
@@ -123,7 +170,7 @@ impl<'a> BitReader<'a> {
 ///
 /// The three streams are stored contiguously in the order
 /// `elements | scales | metadata`, each region starting at a byte boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamLayout {
     /// Number of groups.
     pub groups: usize,
@@ -212,8 +259,15 @@ mod tests {
     #[test]
     fn bit_writer_reader_roundtrip() {
         let mut w = BitWriter::new();
-        let fields: [(u32, u32); 7] =
-            [(0x3, 2), (0x1F, 5), (0, 1), (0xABC, 12), (1, 1), (0x7F, 7), (0x3FFFFFFF, 30)];
+        let fields: [(u32, u32); 7] = [
+            (0x3, 2),
+            (0x1F, 5),
+            (0, 1),
+            (0xABC, 12),
+            (1, 1),
+            (0x7F, 7),
+            (0x3FFFFFFF, 30),
+        ];
         for (v, width) in fields {
             w.push(v, width);
         }

@@ -1,9 +1,9 @@
 //! Lookup tables used by the Top-1 Decode Unit (paper Fig. 10) and the
 //! FP4→FP6 candidate mapping behind the bias-clamp encoding (paper §4.4.1).
 
-use crate::fp6_e2m3;
 #[cfg(test)]
 use crate::fp4;
+use crate::fp6_e2m3;
 
 /// FP4-code → unsigned magnitude key, the "FP4-to-UINT lookup table" of the
 /// Top-1 Decode Unit.
@@ -15,6 +15,53 @@ use crate::fp4;
 pub const FP4_ABS_KEY: [u8; 16] = [
     0, 1, 2, 3, 4, 5, 6, 7, // +0 .. +6
     0, 1, 2, 3, 4, 5, 6, 7, // -0 .. -6
+];
+
+/// FP4 code → signed value ×8, as stored in the PE's activation datapath.
+///
+/// FP4 (E2M1) values are multiples of 1/2 with magnitudes
+/// {0, 0.5, 1, 1.5, 2, 3, 4, 6}; scaling by 8 makes every entry an exact
+/// integer (the activation side carries a further FP6 refinement whose
+/// resolution is 1/8, so ×8 is the natural fixed-point unit). Indexing with
+/// the full 4-bit code applies the sign directly — no float decode, no
+/// multiply, no cast.
+pub const FP4_X8: [i8; 16] = [
+    0, 4, 8, 12, 16, 24, 32, 48, // +codes
+    0, -4, -8, -12, -16, -24, -32, -48, // -codes
+];
+
+/// FP4 code → signed value ×2, the weight-side fixed-point decode (weights
+/// carry no element metadata, so 1/2 resolution suffices).
+pub const FP4_X2: [i8; 16] = [
+    0, 1, 2, 3, 4, 6, 8, 12, // +codes
+    0, -1, -2, -3, -4, -6, -8, -12, // -codes
+];
+
+/// `(FP4 code, 2-bit meta)` → signed refined value ×8: the integer form of
+/// [`decode_extra_mantissa`] with the sign folded in.
+///
+/// Row `c` column `k` holds `sign(c) · decode_extra_mantissa(c & 7, k) · 8`,
+/// i.e. the FP6 (E2M3) magnitude at bits `((c & 7) << 2 | k) - 1` times the
+/// sign of the FP4 code. Entry `(0, 0)` (and its negative twin) is the
+/// unreachable degenerate encoding and decodes to 0, matching the float
+/// path. Verified exhaustively against the float decode in the tests.
+pub const EXTRA_X8: [[i16; 4]; 16] = [
+    [0, 0, 1, 2],
+    [3, 4, 5, 6],
+    [7, 8, 9, 10],
+    [11, 12, 13, 14],
+    [15, 16, 18, 20],
+    [22, 24, 26, 28],
+    [30, 32, 36, 40],
+    [44, 48, 52, 56],
+    [0, 0, -1, -2],
+    [-3, -4, -5, -6],
+    [-7, -8, -9, -10],
+    [-11, -12, -13, -14],
+    [-15, -16, -18, -20],
+    [-22, -24, -26, -28],
+    [-30, -32, -36, -40],
+    [-44, -48, -52, -56],
 ];
 
 /// Finds the top-1 element of a subgroup of FP4 codes: the element with the
@@ -103,6 +150,41 @@ pub fn decode_extra_mantissa(fp4_mag: u8, meta: u8) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fp4_x8_matches_float_decode() {
+        let f = fp4();
+        for c in 0..16u8 {
+            let want = f.decode(c) * 8.0;
+            assert_eq!(want.fract(), 0.0, "FP4×8 must be integral");
+            assert_eq!(FP4_X8[c as usize] as f32, want, "code {c}");
+        }
+    }
+
+    #[test]
+    fn fp4_x2_matches_float_decode() {
+        let f = fp4();
+        for c in 0..16u8 {
+            let want = f.decode(c) * 2.0;
+            assert_eq!(want.fract(), 0.0, "FP4×2 must be integral");
+            assert_eq!(FP4_X2[c as usize] as f32, want, "code {c}");
+        }
+    }
+
+    #[test]
+    fn extra_x8_matches_float_decode() {
+        for c in 0..16u8 {
+            let sign = if c & 0x8 != 0 { -1.0f32 } else { 1.0 };
+            for meta in 0..4u8 {
+                let want = sign * decode_extra_mantissa(c & 0x7, meta) * 8.0;
+                assert_eq!(want.fract(), 0.0, "refined FP6×8 must be integral");
+                assert_eq!(
+                    EXTRA_X8[c as usize][meta as usize] as f32, want,
+                    "code {c} meta {meta}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn abs_key_is_monotone_in_abs_value() {

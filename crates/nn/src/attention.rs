@@ -9,7 +9,6 @@
 use crate::profile::ModelProfile;
 use m2x_tensor::{stats, Matrix, Xoshiro};
 use m2xfp::TensorQuantizer;
-use serde::{Deserialize, Serialize};
 
 /// Row-wise softmax (f32; the probability matrix of attention).
 pub fn softmax_rows(m: &Matrix) -> Matrix {
@@ -30,7 +29,7 @@ pub fn softmax_rows(m: &Matrix) -> Matrix {
 }
 
 /// Error of one quantized attention head.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttentionError {
     /// NMSE of the score matrix `Q·Kᵀ`.
     pub scores_nmse: f64,
@@ -41,11 +40,7 @@ pub struct AttentionError {
 /// Synthesizes one head's Q/K/V from a model profile (queries share the
 /// activation statistics; keys/values are mildly smoother, as post-RoPE
 /// projections are).
-pub fn synth_head(
-    profile: &ModelProfile,
-    seq: usize,
-    head_dim: usize,
-) -> (Matrix, Matrix, Matrix) {
+pub fn synth_head(profile: &ModelProfile, seq: usize, head_dim: usize) -> (Matrix, Matrix, Matrix) {
     let mut r = Xoshiro::seed(profile.seed ^ 0xA77E_0000);
     let nu = profile.act_student_nu;
     let q = Matrix::from_fn(seq, head_dim, |_, _| r.student_t(nu) * 0.7);

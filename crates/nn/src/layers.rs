@@ -3,10 +3,9 @@
 
 use crate::profile::{MlpKind, ModelProfile};
 use crate::synth::LayerKind;
-use serde::{Deserialize, Serialize};
 
 /// One GEMM in a transformer layer: `[m × k] · [k × n]`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GemmShape {
     /// Operation name (`q_proj`, `mlp_up`, `attn_qk`, ...).
     pub name: String,
@@ -32,20 +31,65 @@ pub fn linear_gemms(p: &ModelProfile, seq: usize) -> Vec<GemmShape> {
     let h = p.hidden;
     let kv = p.kv_dim();
     let mut v = vec![
-        GemmShape { name: "q_proj".into(), m: seq, k: h, n: h },
-        GemmShape { name: "k_proj".into(), m: seq, k: h, n: kv },
-        GemmShape { name: "v_proj".into(), m: seq, k: h, n: kv },
-        GemmShape { name: "o_proj".into(), m: seq, k: h, n: h },
+        GemmShape {
+            name: "q_proj".into(),
+            m: seq,
+            k: h,
+            n: h,
+        },
+        GemmShape {
+            name: "k_proj".into(),
+            m: seq,
+            k: h,
+            n: kv,
+        },
+        GemmShape {
+            name: "v_proj".into(),
+            m: seq,
+            k: h,
+            n: kv,
+        },
+        GemmShape {
+            name: "o_proj".into(),
+            m: seq,
+            k: h,
+            n: h,
+        },
     ];
     match p.mlp {
         MlpKind::Gated => {
-            v.push(GemmShape { name: "mlp_gate".into(), m: seq, k: h, n: p.intermediate });
-            v.push(GemmShape { name: "mlp_up".into(), m: seq, k: h, n: p.intermediate });
-            v.push(GemmShape { name: "mlp_down".into(), m: seq, k: p.intermediate, n: h });
+            v.push(GemmShape {
+                name: "mlp_gate".into(),
+                m: seq,
+                k: h,
+                n: p.intermediate,
+            });
+            v.push(GemmShape {
+                name: "mlp_up".into(),
+                m: seq,
+                k: h,
+                n: p.intermediate,
+            });
+            v.push(GemmShape {
+                name: "mlp_down".into(),
+                m: seq,
+                k: p.intermediate,
+                n: h,
+            });
         }
         MlpKind::Plain => {
-            v.push(GemmShape { name: "mlp_up".into(), m: seq, k: h, n: p.intermediate });
-            v.push(GemmShape { name: "mlp_down".into(), m: seq, k: p.intermediate, n: h });
+            v.push(GemmShape {
+                name: "mlp_up".into(),
+                m: seq,
+                k: h,
+                n: p.intermediate,
+            });
+            v.push(GemmShape {
+                name: "mlp_down".into(),
+                m: seq,
+                k: p.intermediate,
+                n: h,
+            });
         }
     }
     v
@@ -140,7 +184,12 @@ mod tests {
 
     #[test]
     fn macs_computation() {
-        let g = GemmShape { name: "t".into(), m: 2, k: 3, n: 5 };
+        let g = GemmShape {
+            name: "t".into(),
+            m: 2,
+            k: 3,
+            n: 5,
+        };
         assert_eq!(g.macs(), 30);
     }
 }

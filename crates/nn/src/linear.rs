@@ -4,10 +4,9 @@
 //! forward pass executed by the bit-exact PE GEMM.
 
 use m2x_tensor::Matrix;
-use m2xfp::format::{ActTensor, WeightTensor};
-use m2xfp::gemm::qgemm;
+use m2xfp::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
+use m2xfp::gemm::{qgemm, qgemm_packed_planed, WeightPlane};
 use m2xfp::M2xfpConfig;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error constructing or applying a [`QuantizedLinear`].
@@ -39,9 +38,15 @@ impl std::error::Error for LinearError {}
 /// assert_eq!((y.rows(), y.cols()), (4, 8));
 /// # Ok::<(), m2x_nn::linear::LinearError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedLinear {
-    weights: WeightTensor,
+    /// Weights in the flat three-stream layout — the stored representation;
+    /// the grouped form is reconstructed on demand via
+    /// [`PackedWeightTensor::to_grouped`].
+    packed: PackedWeightTensor,
+    /// The streams LUT-decoded once into the GEMM kernel's fixed-point
+    /// plane, so repeated [`Self::forward`] calls skip the O(N·K) decode.
+    plane: WeightPlane,
     cfg: M2xfpConfig,
 }
 
@@ -62,34 +67,12 @@ impl QuantizedLinear {
                 ),
             });
         }
-        Ok(QuantizedLinear {
-            weights: WeightTensor::quantize(w_t, cfg),
-            cfg,
-        })
+        let packed = PackedWeightTensor::quantize(w_t, cfg);
+        let plane = WeightPlane::decode(&packed);
+        Ok(QuantizedLinear { packed, plane, cfg })
     }
 
-    /// Output features.
-    pub fn out_features(&self) -> usize {
-        self.weights.shape().0
-    }
-
-    /// Input features.
-    pub fn in_features(&self) -> usize {
-        self.weights.shape().1
-    }
-
-    /// The packed weight representation.
-    pub fn weights(&self) -> &WeightTensor {
-        &self.weights
-    }
-
-    /// W4A4 forward pass: quantizes `x` online (Elem-EM-top1) and runs the
-    /// bit-exact PE GEMM.
-    ///
-    /// # Errors
-    ///
-    /// Fails on an input width mismatch.
-    pub fn forward(&self, x: &Matrix) -> Result<Matrix, LinearError> {
+    fn check_width(&self, x: &Matrix) -> Result<(), LinearError> {
         if x.cols() != self.in_features() {
             return Err(LinearError {
                 msg: format!(
@@ -99,8 +82,53 @@ impl QuantizedLinear {
                 ),
             });
         }
+        Ok(())
+    }
+
+    /// Output features.
+    pub fn out_features(&self) -> usize {
+        self.packed.shape().0
+    }
+
+    /// Input features.
+    pub fn in_features(&self) -> usize {
+        self.packed.shape().1
+    }
+
+    /// The grouped weight representation, reconstructed from the packed
+    /// streams.
+    pub fn weights(&self) -> WeightTensor {
+        self.packed.to_grouped()
+    }
+
+    /// The three-stream packed weight representation.
+    pub fn packed_weights(&self) -> &PackedWeightTensor {
+        &self.packed
+    }
+
+    /// W4A4 forward pass: quantizes `x` online (Elem-EM-top1) straight into
+    /// the packed streams and runs the cache-blocked bit-exact PE GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix, LinearError> {
+        self.check_width(x)?;
+        let xq = PackedActTensor::quantize(x, self.cfg);
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Ok(qgemm_packed_planed(&xq, &self.plane, threads))
+    }
+
+    /// [`Self::forward`] through the legacy grouped pipeline — bit-identical
+    /// output, kept for cross-checking the two representations.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch.
+    pub fn forward_grouped(&self, x: &Matrix) -> Result<Matrix, LinearError> {
+        self.check_width(x)?;
         let xq = ActTensor::quantize(x, self.cfg);
-        Ok(qgemm(&xq, &self.weights))
+        Ok(qgemm(&xq, &self.weights()))
     }
 
     /// Forward pass keeping activations in f32 (weight-only quantization,
@@ -110,16 +138,8 @@ impl QuantizedLinear {
     ///
     /// Fails on an input width mismatch.
     pub fn forward_w4a16(&self, x: &Matrix) -> Result<Matrix, LinearError> {
-        if x.cols() != self.in_features() {
-            return Err(LinearError {
-                msg: format!(
-                    "input width {} does not match in_features {}",
-                    x.cols(),
-                    self.in_features()
-                ),
-            });
-        }
-        Ok(x.matmul(&self.weights.dequantize().transpose()))
+        self.check_width(x)?;
+        Ok(x.matmul(&self.packed.dequantize().transpose()))
     }
 
     /// Serializes the weights to the paper's three-stream byte layout.
@@ -127,13 +147,15 @@ impl QuantizedLinear {
     /// # Errors
     ///
     /// Propagates the packing layout error.
-    pub fn pack_weights(&self) -> Result<bytes::Bytes, LinearError> {
-        self.weights.pack().map_err(|e| LinearError { msg: e.to_string() })
+    pub fn pack_weights(&self) -> Result<Vec<u8>, LinearError> {
+        self.weights()
+            .pack()
+            .map_err(|e| LinearError { msg: e.to_string() })
     }
 
     /// Storage footprint of the packed weights in bytes.
     pub fn weight_bytes(&self) -> usize {
-        let (n, k) = self.weights.shape();
+        let (n, k) = self.packed.shape();
         let groups = n * k / self.cfg.group_size;
         groups * (self.cfg.group_size / 2 + 2)
     }
@@ -165,6 +187,16 @@ mod tests {
         let y = l.forward(&x).unwrap();
         let e = nmse(y_ref.as_slice(), y.as_slice());
         assert!(e > 0.0 && e < 0.05, "nmse {e}");
+    }
+
+    #[test]
+    fn packed_and_grouped_forward_agree_bitwise() {
+        let (l, x) = layer(16, 96, 7);
+        let packed = l.forward(&x).unwrap();
+        let grouped = l.forward_grouped(&x).unwrap();
+        for (a, b) in packed.as_slice().iter().zip(grouped.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -18,8 +18,6 @@
 //! row is a prediction from measured error — orderings and gaps are
 //! genuine outputs of the format implementations.
 
-use serde::{Deserialize, Serialize};
-
 /// Standard normal CDF (Abramowitz–Stegun 7.1.26 erf, |ε| < 1.5e-7).
 pub fn phi(x: f64) -> f64 {
     0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
@@ -31,9 +29,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t
-            - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -69,7 +65,7 @@ pub fn compound_error(nrmse_layer: f64, layers: usize) -> f64 {
 }
 
 /// Published anchors for one model (constants from the paper's tables).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PplAnchor {
     /// FP16 Wikitext perplexity (paper Tbl. 3 row 1).
     pub fp16: f64,
@@ -80,12 +76,30 @@ pub struct PplAnchor {
 /// Tbl. 3 anchors by model name.
 pub fn ppl_anchor(model: &str) -> Option<PplAnchor> {
     let a = match model {
-        "LLaMA2-7B" => PplAnchor { fp16: 5.47, mxfp4: 7.15 },
-        "LLaMA3-8B" => PplAnchor { fp16: 6.14, mxfp4: 8.30 },
-        "LLaMA3-70B" => PplAnchor { fp16: 2.85, mxfp4: 4.84 },
-        "OPT-6.7B" => PplAnchor { fp16: 10.86, mxfp4: 19.21 },
-        "Mistral-7B" => PplAnchor { fp16: 5.32, mxfp4: 6.56 },
-        "Falcon-7B" => PplAnchor { fp16: 6.59, mxfp4: 7.59 },
+        "LLaMA2-7B" => PplAnchor {
+            fp16: 5.47,
+            mxfp4: 7.15,
+        },
+        "LLaMA3-8B" => PplAnchor {
+            fp16: 6.14,
+            mxfp4: 8.30,
+        },
+        "LLaMA3-70B" => PplAnchor {
+            fp16: 2.85,
+            mxfp4: 4.84,
+        },
+        "OPT-6.7B" => PplAnchor {
+            fp16: 10.86,
+            mxfp4: 19.21,
+        },
+        "Mistral-7B" => PplAnchor {
+            fp16: 5.32,
+            mxfp4: 6.56,
+        },
+        "Falcon-7B" => PplAnchor {
+            fp16: 6.59,
+            mxfp4: 7.59,
+        },
         _ => return None,
     };
     Some(a)
@@ -104,7 +118,7 @@ pub fn ppl_proxy(anchor: PplAnchor, nrmse_mxfp4: f64, nrmse: f64) -> f64 {
 }
 
 /// One zero-shot task: paper name, chance level (%), FP16 accuracy (%).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskAnchor {
     /// Task name as in Tbl. 2 / Tbl. 4.
     pub name: &'static str,
@@ -305,7 +319,11 @@ mod tests {
 
     #[test]
     fn task_accuracy_degrades_to_chance() {
-        let t = TaskAnchor { name: "t", chance: 25.0, fp16: 75.0 };
+        let t = TaskAnchor {
+            name: "t",
+            chance: 25.0,
+            fp16: 75.0,
+        };
         assert!((task_accuracy(t, 0.0) - 75.0).abs() < 0.05);
         let heavy = task_accuracy(t, 100.0);
         assert!((heavy - 25.0).abs() < 1.0, "got {heavy}");
@@ -354,7 +372,14 @@ mod tests {
 
     #[test]
     fn anchors_exist_for_expected_models() {
-        for m in ["LLaMA2-7B", "LLaMA3-8B", "LLaMA3-70B", "OPT-6.7B", "Mistral-7B", "Falcon-7B"] {
+        for m in [
+            "LLaMA2-7B",
+            "LLaMA3-8B",
+            "LLaMA3-70B",
+            "OPT-6.7B",
+            "Mistral-7B",
+            "Falcon-7B",
+        ] {
             assert!(ppl_anchor(m).is_some(), "{m}");
         }
         assert!(ppl_anchor("GPT-5").is_none());

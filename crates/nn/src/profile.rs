@@ -7,10 +7,8 @@
 //! paper's Tbl. 3 spread (OPT most sensitive, Falcon least). Published
 //! FP16/MXFP4 anchor rows used by the proxies live in [`crate::metrics`].
 
-use serde::{Deserialize, Serialize};
-
 /// MLP topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MlpKind {
     /// Gated (SwiGLU): gate + up + down projections (LLaMA/Mistral/Qwen).
     Gated,
@@ -19,7 +17,7 @@ pub enum MlpKind {
 }
 
 /// A model profile: architecture + synthetic-distribution knobs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelProfile {
     /// Display name as used in the paper's tables.
     pub name: &'static str,

@@ -13,11 +13,10 @@ use crate::synth::{activation_matrix, weight_matrix};
 use m2x_tensor::stats::nmse;
 use m2x_tensor::Matrix;
 use m2xfp::TensorQuantizer;
-use serde::{Deserialize, Serialize};
 
 /// Evaluation size caps (full model dimensions are sub-sampled; block
 /// quantization error statistics are dimension-independent, see DESIGN.md).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalConfig {
     /// Token rows per GEMM.
     pub tokens: usize,
@@ -57,7 +56,7 @@ impl EvalConfig {
 }
 
 /// Measured W4A4 error of one (model, format) pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct W4a4Error {
     /// Format display name.
     pub format: String,

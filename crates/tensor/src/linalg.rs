@@ -150,9 +150,7 @@ mod tests {
 
     fn spd(n: usize) -> Vec<f64> {
         // A = B·Bᵀ + I for a deterministic B.
-        let b: Vec<f64> = (0..n * n)
-            .map(|i| ((i as f64 * 0.731).sin() + 0.2))
-            .collect();
+        let b: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.731).sin() + 0.2).collect();
         let mut a = vec![0.0f64; n * n];
         for i in 0..n {
             for j in 0..n {

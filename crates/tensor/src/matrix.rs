@@ -1,11 +1,10 @@
 //! Row-major `f32` matrices with the group views used by block quantization.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
 /// A dense row-major matrix of `f32`.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -133,7 +132,9 @@ impl Matrix {
     /// 0`.
     pub fn row_groups(&self, k: usize) -> impl Iterator<Item = &[f32]> {
         assert!(k > 0, "group size must be positive");
-        self.data.chunks(self.cols).flat_map(move |row| row.chunks(k))
+        self.data
+            .chunks(self.cols)
+            .flat_map(move |row| row.chunks(k))
     }
 
     /// Matrix product `self * rhs` (naive triple loop; exact reference).
@@ -164,38 +165,24 @@ impl Matrix {
     /// identical to [`Self::matmul`] (same per-row accumulation order).
     pub fn matmul_threaded(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
-        let threads = threads.max(1).min(self.rows.max(1));
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let cols = self.cols;
-        let ncols_out = rhs.cols;
-        let chunk_rows = self.rows.div_ceil(threads);
-        let out_chunks: Vec<&mut [f32]> = out
-            .data
-            .chunks_mut(chunk_rows * ncols_out)
-            .collect();
-        crossbeam::thread::scope(|s| {
-            for (t, out_chunk) in out_chunks.into_iter().enumerate() {
-                let a = &self.data;
-                let b = rhs;
-                s.spawn(move |_| {
-                    let row0 = t * chunk_rows;
-                    for (local_i, orow) in out_chunk.chunks_mut(ncols_out).enumerate() {
-                        let i = row0 + local_i;
-                        for kk in 0..cols {
-                            let av = a[i * cols + kk];
-                            if av == 0.0 {
-                                continue;
-                            }
-                            let rrow = b.row(kk);
-                            for (o, &bv) in orow.iter_mut().zip(rrow) {
-                                *o += av * bv;
-                            }
-                        }
+        let a = &self.data;
+        par_row_chunks(&mut out.data, rhs.cols, threads, |row0, chunk| {
+            for (local_i, orow) in chunk.chunks_mut(rhs.cols).enumerate() {
+                let i = row0 + local_i;
+                for kk in 0..cols {
+                    let av = a[i * cols + kk];
+                    if av == 0.0 {
+                        continue;
                     }
-                });
+                    let rrow = rhs.row(kk);
+                    for (o, &bv) in orow.iter_mut().zip(rrow) {
+                        *o += av * bv;
+                    }
+                }
             }
-        })
-        .expect("worker thread panicked");
+        });
         out
     }
 
@@ -238,6 +225,39 @@ impl Matrix {
                 .collect(),
         }
     }
+}
+
+/// Splits a row-major output buffer of `ncols`-wide rows into contiguous
+/// row chunks and runs `body(first_row, chunk)` for each on a scoped thread.
+///
+/// This is the shared parallel skeleton behind [`Matrix::matmul_threaded`]
+/// and the packed quantized GEMM in `m2xfp::gemm`: each worker owns a
+/// disjoint slice of the output, so no synchronization is needed and results
+/// are identical to the sequential loop.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `ncols`, or if a worker
+/// panics.
+pub fn par_row_chunks<F>(out: &mut [f32], ncols: usize, threads: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(ncols > 0, "ncols must be positive");
+    assert_eq!(out.len() % ncols, 0, "buffer not a whole number of rows");
+    let rows = out.len() / ncols;
+    let threads = threads.max(1).min(rows.max(1));
+    let chunk_rows = rows.div_ceil(threads);
+    if threads <= 1 {
+        body(0, out);
+        return;
+    }
+    std::thread::scope(|s| {
+        for (t, chunk) in out.chunks_mut(chunk_rows * ncols).enumerate() {
+            let body = &body;
+            s.spawn(move || body(t * chunk_rows, chunk));
+        }
+    });
 }
 
 impl Index<(usize, usize)> for Matrix {

@@ -6,33 +6,63 @@
 //! in `m2x-nn`: LLM tensors are well modeled by a Gaussian body plus
 //! heavy-tailed outliers (Laplace / Student-t / lognormal-magnitude tails).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// A seeded deterministic generator (xoshiro-quality; wraps [`StdRng`]).
+/// A seeded deterministic xoshiro256++ generator (Blackman & Vigna), state
+/// initialized from the 64-bit seed by SplitMix64 — the reference
+/// construction, implemented here directly so the workspace stays
+/// dependency-free.
 #[derive(Debug, Clone)]
 pub struct Xoshiro {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Xoshiro {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
         Xoshiro {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ scrambler).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; used to give every tensor its
     /// own stream so generation order does not matter.
     pub fn fork(&mut self, salt: u64) -> Self {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Xoshiro::seed(s)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` with 24 bits of resolution (exact in f32).
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
     }
 
     /// Uniform in `[lo, hi)`.
@@ -42,7 +72,7 @@ impl Xoshiro {
 
     /// Uniform integer in `[0, n)`.
     pub fn below(&mut self, n: usize) -> usize {
-        (self.inner.next_u64() % n as u64) as usize
+        (self.next_u64() % n as u64) as usize
     }
 
     /// Standard normal via Box–Muller.
@@ -159,7 +189,7 @@ mod tests {
     fn permutation_is_a_permutation() {
         let mut r = Xoshiro::seed(3);
         let p = r.permutation(100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

@@ -21,7 +21,10 @@ fn main() {
         }
     });
 
-    for (label, mode) in [("FIXED", ScaleMode::Fixed), ("ADAPTIVE", ScaleMode::Adaptive)] {
+    for (label, mode) in [
+        ("FIXED", ScaleMode::Fixed),
+        ("ADAPTIVE", ScaleMode::Adaptive),
+    ] {
         println!("── {label} shared scale ─────────────────────────────");
         let points = sweep(
             &data,

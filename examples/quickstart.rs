@@ -16,7 +16,10 @@ fn main() {
 
     // ── 1. One-line fake quantization through the shared trait ──
     println!("Per-format reconstruction error on a Laplace tensor:");
-    println!("{:<10} {:>6} {:>12} {:>10}", "format", "EBW", "NMSE", "SQNR(dB)");
+    println!(
+        "{:<10} {:>6} {:>12} {:>10}",
+        "format", "EBW", "NMSE", "SQNR(dB)"
+    );
     for q in [
         Box::new(MxQuantizer::mxfp4()) as Box<dyn TensorQuantizer>,
         Box::new(Nvfp4::default()),
@@ -51,7 +54,10 @@ fn main() {
 
     // ── 3. A peek inside one group ──
     let g = &packed.groups()[0];
-    println!("\nFirst group: scale = {}, metadata = {:?}", g.scale, g.meta);
+    println!(
+        "\nFirst group: scale = {}, metadata = {:?}",
+        g.scale, g.meta
+    );
     let dq = packed.dequantize();
     let err = stats::max_abs_err(&x.as_slice()[..32], &dq.as_slice()[..32]);
     println!("max |error| in the first group: {err:.4}");

@@ -21,3 +21,68 @@ pub use m2x_formats as formats;
 pub use m2x_nn as nn;
 pub use m2x_tensor as tensor;
 pub use m2xfp as core;
+
+pub mod testkit {
+    //! A minimal deterministic property-testing harness (the workspace
+    //! builds offline, so the `proptest` crate is unavailable).
+    //!
+    //! [`cases`] runs a closure against `n` independently seeded [`Gen`]
+    //! generators; each case's seed is derived from its index, so failures
+    //! reproduce exactly and tests stay bit-stable across runs. There is no
+    //! shrinking: on failure, the panic message plus the case index is the
+    //! reproducer.
+
+    use m2x_tensor::Xoshiro;
+
+    /// Per-case random input generator.
+    pub struct Gen {
+        rng: Xoshiro,
+        /// Index of the case being run (for assertion messages).
+        pub case: usize,
+    }
+
+    impl Gen {
+        /// Uniform `f32` in `[lo, hi)`.
+        pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+            self.rng.uniform_range(lo, hi)
+        }
+
+        /// Uniform integer in `[0, n)`.
+        pub fn below(&mut self, n: usize) -> usize {
+            self.rng.below(n)
+        }
+
+        /// Uniform integer in `[lo, hi]`.
+        pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+            lo + self.rng.below((hi - lo + 1) as usize) as i64
+        }
+
+        /// A raw 32-bit value.
+        pub fn u32(&mut self) -> u32 {
+            self.rng.next_u64() as u32
+        }
+
+        /// A vector of `len` uniform samples from `[lo, hi)`.
+        pub fn vec_f32(&mut self, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+            (0..len).map(|_| self.f32_in(lo, hi)).collect()
+        }
+
+        /// A vector with a random length in `[min_len, max_len]` of uniform
+        /// byte values below `bound`.
+        pub fn vec_u8_below(&mut self, bound: u8, min_len: usize, max_len: usize) -> Vec<u8> {
+            let len = min_len + self.below(max_len - min_len + 1);
+            (0..len).map(|_| self.below(bound as usize) as u8).collect()
+        }
+    }
+
+    /// Runs `body` for `n` deterministic cases.
+    pub fn cases(n: usize, mut body: impl FnMut(&mut Gen)) {
+        for case in 0..n {
+            let mut g = Gen {
+                rng: Xoshiro::seed(0xA076_1D64_78BD_642F ^ (case as u64).wrapping_mul(0x9E37)),
+                case,
+            };
+            body(&mut g);
+        }
+    }
+}

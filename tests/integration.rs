@@ -14,7 +14,7 @@ use m2xfp_repro::core::M2xfpConfig;
 use m2xfp_repro::nn::profile::ModelProfile;
 use m2xfp_repro::nn::propagate::{evaluate, EvalConfig};
 use m2xfp_repro::nn::synth;
-use m2xfp_repro::tensor::{stats, Matrix};
+use m2xfp_repro::tensor::stats;
 
 /// The paper's central accuracy ordering must hold end to end on every
 /// model profile: M2XFP < NVFP4 < MXFP4 < SMX4 in W4A4 output error.

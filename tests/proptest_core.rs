@@ -1,61 +1,71 @@
 //! Property-based tests on the M2XFP core: Algorithm 1 invariants, Sg-EM
-//! search optimality, GEMM exactness, scale-rule laws and EBW accounting.
+//! search optimality, GEMM exactness (grouped and packed), scale-rule laws
+//! and EBW accounting.
 
 use m2xfp_repro::core::activation::{dequantize_group, fake_quantize_group, quantize_group};
-use m2xfp_repro::core::format::{ActTensor, WeightTensor};
-use m2xfp_repro::core::gemm::{qgemm, qgemm_reference};
+use m2xfp_repro::core::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
+use m2xfp_repro::core::gemm::{qgemm, qgemm_packed_threaded, qgemm_reference};
 use m2xfp_repro::core::strategy::{MetadataStrategy, ScaleMode};
 use m2xfp_repro::core::weight;
 use m2xfp_repro::core::{GroupConfig, M2xfpConfig, ScaleRule};
-use m2xfp_repro::formats::tables::{fp6_candidates, top1_index};
 use m2xfp_repro::formats::fp4;
+use m2xfp_repro::formats::tables::{fp6_candidates, top1_index};
 use m2xfp_repro::tensor::Matrix;
-use proptest::prelude::*;
+use m2xfp_repro::testkit::{cases, Gen};
 
-fn group32() -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-64f32..64f32, 32)
+fn group32(g: &mut Gen) -> Vec<f32> {
+    g.vec_f32(32, -64.0, 64.0)
 }
 
-proptest! {
-    /// Algorithm 1: metadata never changes the FP4 codes, the decoder
-    /// re-identifies the encoder's top-1, and the refined magnitude is one
-    /// of the bias-clamp candidates for that FP4 code.
-    #[test]
-    fn activation_invariants(x in group32()) {
+/// Algorithm 1: metadata never changes the FP4 codes, the decoder
+/// re-identifies the encoder's top-1, and the refined magnitude is one of
+/// the bias-clamp candidates for that FP4 code.
+#[test]
+fn activation_invariants() {
+    cases(256, |g| {
+        let x = group32(g);
         let cfg = GroupConfig::new(32, 8);
-        let g = quantize_group(&x, cfg, ScaleRule::Floor);
+        let gq = quantize_group(&x, cfg, ScaleRule::Floor);
         let f4 = fp4();
-        let s = g.scale.value();
+        let s = gq.scale.value();
         let plain: Vec<u8> = x.iter().map(|&v| f4.encode(v / s)).collect();
-        prop_assert_eq!(&g.codes, &plain);
-        let dq = dequantize_group(&g, cfg);
-        for (sg_idx, sg_codes) in g.codes.chunks(8).enumerate() {
+        assert_eq!(&gq.codes, &plain, "case {}", g.case);
+        let dq = dequantize_group(&gq, cfg);
+        for (sg_idx, sg_codes) in gq.codes.chunks(8).enumerate() {
             let local = top1_index(sg_codes);
             let idx = sg_idx * 8 + local;
             // Non-top elements decode exactly like plain MXFP4.
             for (j, &c) in sg_codes.iter().enumerate() {
-                if j == local { continue; }
-                prop_assert_eq!(dq[sg_idx * 8 + j], f4.decode(c) * s);
+                if j == local {
+                    continue;
+                }
+                assert_eq!(dq[sg_idx * 8 + j], f4.decode(c) * s, "case {}", g.case);
             }
             // The refined element is a bias-clamp candidate.
             let cands = fp6_candidates(sg_codes[local] & 7);
             let mag = (dq[idx] / s).abs();
-            prop_assert!(
+            assert!(
                 cands.iter().any(|c| (c - mag).abs() < 1e-6),
-                "mag {} not in {:?}", mag, cands
+                "case {}: mag {} not in {:?}",
+                g.case,
+                mag,
+                cands
             );
         }
-    }
+    });
+}
 
-    /// Re-quantization drift is bounded and settles. Algorithm 1 is *not*
-    /// exactly idempotent: a refined value sitting on an FP4 RNE tie
-    /// midpoint (the §4.4.1 bad-case region, e.g. 3.5·2^e) re-rounds up a
-    /// code and the bias clamp shifts it one FP6 step. The honest
-    /// invariants: (a) one re-quantization moves any element by at most
-    /// one FP6 step at the shared scale, (b) the third pass equals the
-    /// second (the drift settles immediately).
-    #[test]
-    fn activation_requantization_settles(x in group32()) {
+/// Re-quantization drift is bounded and settles. Algorithm 1 is *not*
+/// exactly idempotent: a refined value sitting on an FP4 RNE tie midpoint
+/// (the §4.4.1 bad-case region, e.g. 3.5·2^e) re-rounds up a code and the
+/// bias clamp shifts it one FP6 step. The honest invariants: (a) one
+/// re-quantization moves any element by at most one FP6 step at the shared
+/// scale, (b) the third pass equals the second (the drift settles
+/// immediately).
+#[test]
+fn activation_requantization_settles() {
+    cases(256, |g| {
+        let x = group32(g);
         let cfg = GroupConfig::new(32, 8);
         let once = fake_quantize_group(&x, cfg, ScaleRule::Floor);
         let twice = fake_quantize_group(&once, cfg, ScaleRule::Floor);
@@ -63,39 +73,60 @@ proptest! {
         let s = ScaleRule::Floor.shared_scale(amax, fp4()).value();
         // Largest FP6 (E2M3) step below the FP4 max is 0.5 at unit scale.
         for (a, b) in once.iter().zip(&twice) {
-            prop_assert!((a - b).abs() <= 0.5 * s + 1e-6, "{a} -> {b} (scale {s})");
+            assert!(
+                (a - b).abs() <= 0.5 * s + 1e-6,
+                "case {}: {a} -> {b} (scale {s})",
+                g.case
+            );
         }
         let thrice = fake_quantize_group(&twice, cfg, ScaleRule::Floor);
-        prop_assert_eq!(twice, thrice);
-    }
+        assert_eq!(twice, thrice, "case {}", g.case);
+    });
+}
 
-    /// Sg-EM: every stored multiplier code is 0..4, the adaptive search
-    /// never loses to the fixed scale, and the multiplier search never
-    /// loses to plain MXFP4 on the same group.
-    #[test]
-    fn weight_search_optimality(w in group32()) {
+/// Sg-EM: every stored multiplier code is 0..4, the adaptive search never
+/// loses to the fixed scale, and the multiplier search never loses to
+/// plain MXFP4 on the same group.
+#[test]
+fn weight_search_optimality() {
+    cases(128, |g| {
+        let w = group32(g);
         let cfg = GroupConfig::new(32, 8);
-        let g = weight::quantize_group(&w, cfg, ScaleRule::Floor, true);
-        prop_assert!(g.sg_em.iter().all(|&k| k < 4));
+        let gq = weight::quantize_group(&w, cfg, ScaleRule::Floor, true);
+        assert!(gq.sg_em.iter().all(|&k| k < 4), "case {}", g.case);
         let sse = |q: &[f32]| -> f64 {
-            w.iter().zip(q).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum()
+            w.iter()
+                .zip(q)
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum()
         };
-        let adaptive = sse(&weight::fake_quantize_group(&w, cfg, ScaleRule::Floor, true));
-        let fixed = sse(&weight::fake_quantize_group(&w, cfg, ScaleRule::Floor, false));
-        prop_assert!(adaptive <= fixed + 1e-9);
+        let adaptive = sse(&weight::fake_quantize_group(
+            &w,
+            cfg,
+            ScaleRule::Floor,
+            true,
+        ));
+        let fixed = sse(&weight::fake_quantize_group(
+            &w,
+            cfg,
+            ScaleRule::Floor,
+            false,
+        ));
+        assert!(adaptive <= fixed + 1e-9, "case {}", g.case);
         let f4 = fp4();
         let amax = w.iter().fold(0.0f32, |m, v| m.max(v.abs()));
         let s = ScaleRule::Floor.shared_scale(amax, f4).value();
         let plain: Vec<f32> = w.iter().map(|&v| f4.quantize(v / s) * s).collect();
-        prop_assert!(fixed <= sse(&plain) + 1e-9);
-    }
+        assert!(fixed <= sse(&plain) + 1e-9, "case {}", g.case);
+    });
+}
 
-    /// The fixed-point PE GEMM and the f64 reference agree bit for bit.
-    #[test]
-    fn qgemm_exact(
-        xs in proptest::collection::vec(-16f32..16f32, 2 * 32),
-        ws in proptest::collection::vec(-4f32..4f32, 3 * 32),
-    ) {
+/// The fixed-point PE GEMM and the f64 reference agree bit for bit.
+#[test]
+fn qgemm_exact() {
+    cases(128, |g| {
+        let xs = g.vec_f32(2 * 32, -16.0, 16.0);
+        let ws = g.vec_f32(3 * 32, -4.0, 4.0);
         let cfg = M2xfpConfig::default();
         let x = ActTensor::quantize(&Matrix::from_vec(2, 32, xs), cfg);
         let w = WeightTensor::quantize(&Matrix::from_vec(3, 32, ws), cfg);
@@ -103,53 +134,142 @@ proptest! {
         let b = qgemm_reference(&x, &w);
         for i in 0..2 {
             for j in 0..3 {
-                prop_assert_eq!(a[(i, j)].to_bits(), b[(i, j)].to_bits());
+                assert_eq!(a[(i, j)].to_bits(), b[(i, j)].to_bits(), "case {}", g.case);
             }
         }
-    }
+    });
+}
 
-    /// Scale-rule laws: ceil never clips; floor is within one binade below
-    /// ceil; RTNE == ceil for FP4.
-    #[test]
-    fn scale_rule_laws(amax in 1e-20f32..1e20f32) {
+/// The packed three-stream round-trip equals the legacy grouped
+/// representation element-for-element — including ragged trailing groups
+/// and every stream accessor.
+#[test]
+fn packed_streams_equal_grouped_representation() {
+    cases(96, |g| {
+        let cfg = M2xfpConfig::default();
+        let rows = 1 + g.below(3);
+        let cols = 1 + g.below(100); // frequently ragged
+        let data = g.vec_f32(rows * cols, -32.0, 32.0);
+        let m = Matrix::from_vec(rows, cols, data);
+
+        let act = ActTensor::quantize(&m, cfg);
+        let pact = PackedActTensor::quantize(&m, cfg);
+        assert_eq!(PackedActTensor::from_grouped(&act), pact, "case {}", g.case);
+        assert_eq!(pact.to_grouped(), act, "case {}", g.case);
+        assert_eq!(pact.dequantize(), act.dequantize(), "case {}", g.case);
+        for (gi, grp) in act.groups().iter().enumerate() {
+            assert_eq!(pact.group_len(gi), grp.codes.len(), "case {}", g.case);
+            assert_eq!(pact.group_scale(gi), grp.scale, "case {}", g.case);
+            for (i, &c) in grp.codes.iter().enumerate() {
+                assert_eq!(pact.code_at(gi, i), c, "case {} g{gi} i{i}", g.case);
+            }
+            for (sg, &mv) in grp.meta.iter().enumerate() {
+                assert_eq!(pact.meta_at(gi, sg), mv, "case {} g{gi} sg{sg}", g.case);
+            }
+        }
+
+        let wt = WeightTensor::quantize(&m, cfg);
+        let pwt = PackedWeightTensor::quantize(&m, cfg);
+        assert_eq!(
+            PackedWeightTensor::from_grouped(&wt),
+            pwt,
+            "case {}",
+            g.case
+        );
+        assert_eq!(pwt.to_grouped(), wt, "case {}", g.case);
+        assert_eq!(pwt.dequantize(), wt.dequantize(), "case {}", g.case);
+    });
+}
+
+/// The packed cache-blocked qGEMM equals the f64 reference bit for bit —
+/// for any thread count, including ragged trailing groups.
+#[test]
+fn packed_qgemm_bit_exact() {
+    cases(48, |g| {
+        let cfg = M2xfpConfig::default();
+        let m = 1 + g.below(4);
+        let n = 1 + g.below(5);
+        let k = 1 + g.below(100); // frequently ragged
+        let xm = Matrix::from_vec(m, k, g.vec_f32(m * k, -16.0, 16.0));
+        let wm = Matrix::from_vec(n, k, g.vec_f32(n * k, -4.0, 4.0));
+        let want = qgemm_reference(
+            &ActTensor::quantize(&xm, cfg),
+            &WeightTensor::quantize(&wm, cfg),
+        );
+        let xp = PackedActTensor::quantize(&xm, cfg);
+        let wp = PackedWeightTensor::quantize(&wm, cfg);
+        let threads = 1 + g.below(4);
+        let got = qgemm_packed_threaded(&xp, &wp, threads);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(
+                    got[(i, j)].to_bits(),
+                    want[(i, j)].to_bits(),
+                    "case {} ({i},{j}) m={m} n={n} k={k} threads={threads}",
+                    g.case
+                );
+            }
+        }
+    });
+}
+
+/// Scale-rule laws: ceil never clips; floor is within one binade below
+/// ceil; RTNE == ceil for FP4.
+#[test]
+fn scale_rule_laws() {
+    cases(512, |g| {
+        // Log-uniform over ~40 binades around 1.
+        let amax = g.f32_in(-66.0, 66.0).exp2();
         let f = fp4();
         let e_floor = ScaleRule::Floor.shared_exponent(amax, f);
         let e_ceil = ScaleRule::Ceil.shared_exponent(amax, f);
         let e_rtne = ScaleRule::Rtne.shared_exponent(amax, f);
-        prop_assert_eq!(e_rtne, e_ceil);
-        prop_assert!((e_ceil - 1..=e_ceil).contains(&e_floor));
+        assert_eq!(e_rtne, e_ceil, "case {}", g.case);
+        assert!((e_ceil - 1..=e_ceil).contains(&e_floor), "case {}", g.case);
         // Ceil never clips: 6·2^e >= amax.
-        prop_assert!(6.0 * (e_ceil as f64).exp2() >= amax as f64 * 0.999_999);
-    }
+        assert!(
+            6.0 * (e_ceil as f64).exp2() >= amax as f64 * 0.999_999,
+            "case {}",
+            g.case
+        );
+    });
+}
 
-    /// Packed round-trip equals the in-memory representation for any
-    /// aligned activation tensor.
-    #[test]
-    fn pack_unpack_roundtrip(xs in proptest::collection::vec(-8f32..8f32, 2 * 64)) {
+/// Packed round-trip equals the in-memory representation for any aligned
+/// activation tensor (byte-serialization path).
+#[test]
+fn pack_unpack_roundtrip() {
+    cases(128, |g| {
+        let xs = g.vec_f32(2 * 64, -8.0, 8.0);
         let cfg = M2xfpConfig::default();
         let t = ActTensor::quantize(&Matrix::from_vec(2, 64, xs), cfg);
         let bytes = t.pack().unwrap();
         let t2 = ActTensor::unpack(&bytes, 2, 64, cfg).unwrap();
-        prop_assert_eq!(t, t2);
-    }
+        assert_eq!(t, t2, "case {}", g.case);
+    });
+}
 
-    /// EBW accounting: every strategy's budget is FP4+scale plus its
-    /// documented metadata bits, monotone in subgroup fineness.
-    #[test]
-    fn ebw_monotone(sg_pow in 1u32..=5) {
+/// EBW accounting: every strategy's budget is FP4+scale plus its
+/// documented metadata bits, monotone in subgroup fineness.
+#[test]
+fn ebw_monotone() {
+    for sg_pow in 1u32..=5 {
         let sg = 1usize << sg_pow; // 2..32
         for s in MetadataStrategy::FIG6_SET {
             let coarse = s.bit_budget(GroupConfig::new(32, 32)).ebw();
             let fine = s.bit_budget(GroupConfig::new(32, sg)).ebw();
-            prop_assert!(fine >= coarse - 1e-12);
-            prop_assert!(coarse >= 4.25); // never below MXFP4
+            assert!(fine >= coarse - 1e-12);
+            assert!(coarse >= 4.25); // never below MXFP4
         }
     }
+}
 
-    /// Strategy fake-quant never increases group error versus plain MXFP4
-    /// under the fixed shared scale (all strategies only refine).
-    #[test]
-    fn strategies_only_refine(x in group32()) {
+/// Strategy fake-quant never increases group error versus plain MXFP4
+/// under the fixed shared scale (all strategies only refine).
+#[test]
+fn strategies_only_refine() {
+    cases(96, |g| {
+        let x = group32(g);
         let f4 = fp4();
         let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
         let s = ScaleRule::Floor.shared_scale(amax, f4).value();
@@ -167,8 +287,16 @@ proptest! {
                 ScaleRule::Floor,
                 ScaleMode::Fixed,
             );
-            let sse: f64 = x.iter().zip(&q).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum();
-            prop_assert!(sse <= plain_sse + 1e-9, "{strat}: {sse} > {plain_sse}");
+            let sse: f64 = x
+                .iter()
+                .zip(&q)
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            assert!(
+                sse <= plain_sse + 1e-9,
+                "case {}: {strat}: {sse} > {plain_sse}",
+                g.case
+            );
         }
-    }
+    });
 }

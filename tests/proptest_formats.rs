@@ -1,5 +1,6 @@
 //! Property-based tests on the number-format substrate: codec round-trips,
-//! nearest-value quantization bounds, packing invertibility.
+//! nearest-value quantization bounds, packing invertibility, and the
+//! integer decode LUTs behind the packed GEMM.
 
 use m2xfp_repro::formats::{
     codebook::Codebook,
@@ -7,9 +8,13 @@ use m2xfp_repro::formats::{
     half::{f16_bits_to_f32, f32_to_f16_bits, quantize_f16},
     int::IntCodec,
     minifloat::{Minifloat, SpecialValues},
-    packing::{pack_nibbles, unpack_nibbles, BitReader, BitWriter},
+    packing::{
+        nibble_at, pack_nibbles, pack_nibbles_into, set_two_bits, two_bits_at, unpack_nibbles,
+        unpack_nibbles_into, BitReader, BitWriter,
+    },
+    tables,
 };
-use proptest::prelude::*;
+use m2xfp_repro::testkit::cases;
 
 fn formats() -> Vec<Minifloat> {
     vec![
@@ -22,19 +27,25 @@ fn formats() -> Vec<Minifloat> {
     ]
 }
 
-proptest! {
-    /// quantize() output is always on the grid: re-quantizing is identity.
-    #[test]
-    fn minifloat_quantize_idempotent(x in -1e6f32..1e6f32, fi in 0usize..6) {
-        let f = &formats()[fi];
+/// quantize() output is always on the grid: re-quantizing is identity.
+#[test]
+fn minifloat_quantize_idempotent() {
+    let fs = formats();
+    cases(512, |g| {
+        let x = g.f32_in(-1e6, 1e6);
+        let f = &fs[g.below(fs.len())];
         let q = f.quantize(x);
-        prop_assert_eq!(f.quantize(q).to_bits(), q.to_bits());
-    }
+        assert_eq!(f.quantize(q).to_bits(), q.to_bits(), "case {}", g.case);
+    });
+}
 
-    /// The quantized value is the nearest grid point (within float fuzz).
-    #[test]
-    fn minifloat_quantize_is_nearest(x in -500f32..500f32, fi in 0usize..6) {
-        let f = &formats()[fi];
+/// The quantized value is the nearest grid point (within float fuzz).
+#[test]
+fn minifloat_quantize_is_nearest() {
+    let fs = formats();
+    cases(512, |g| {
+        let x = g.f32_in(-500.0, 500.0);
+        let f = &fs[g.below(fs.len())];
         let q = f.quantize(x);
         let a = x.abs().min(f.max_value());
         let best = f
@@ -42,84 +53,153 @@ proptest! {
             .into_iter()
             .map(|v| (v - a).abs())
             .fold(f32::INFINITY, f32::min);
-        prop_assert!((q.abs() - a).abs() <= best + best.abs() * 1e-6 + 1e-12);
-    }
+        assert!(
+            (q.abs() - a).abs() <= best + best.abs() * 1e-6 + 1e-12,
+            "case {}: x={x} q={q}",
+            g.case
+        );
+    });
+}
 
-    /// encode -> decode -> encode is stable for every code.
-    #[test]
-    fn minifloat_code_roundtrip(code in 0u8..=255, fi in 0usize..6) {
-        let f = &formats()[fi];
-        let masked = code & ((1u16 << f.total_bits()) - 1) as u8;
-        let v = f.decode(masked);
-        if v.is_finite() {
-            prop_assert_eq!(f.decode(f.encode(v)), v);
+/// encode -> decode -> encode is stable for every code of every format.
+#[test]
+fn minifloat_code_roundtrip() {
+    for f in &formats() {
+        for code in 0u16..=255 {
+            let masked = code as u8 & ((1u16 << f.total_bits()) - 1) as u8;
+            let v = f.decode(masked);
+            if v.is_finite() {
+                assert_eq!(f.decode(f.encode(v)), v, "format {f} code {code}");
+            }
         }
     }
+}
 
-    /// Quantization error is bounded by half the local step (no clipping
-    /// regime).
-    #[test]
-    fn minifloat_error_bound(x in 0.01f32..1.0f32, fi in 0usize..6) {
-        let f = &formats()[fi];
-        // Scale x into the format's safe range.
+/// Quantization error is bounded by half the local step (no clipping
+/// regime).
+#[test]
+fn minifloat_error_bound() {
+    let fs = formats();
+    cases(512, |g| {
+        let x = g.f32_in(0.01, 1.0);
+        let f = &fs[g.below(fs.len())];
         let a = x * f.max_value() * 0.99;
         let q = f.quantize_magnitude(a);
-        // The worst-case step at magnitude a is a * 2^-man_bits (normal
-        // range) or the subnormal step.
         let step = (a * (-(f.man_bits() as f32)).exp2()).max(f.min_subnormal());
-        prop_assert!((q - a).abs() <= step * 0.5 + 1e-12, "a={a} q={q} step={step}");
-    }
+        assert!(
+            (q - a).abs() <= step * 0.5 + 1e-12,
+            "case {}: a={a} q={q} step={step}",
+            g.case
+        );
+    });
+}
 
-    /// f16 round-trip: every finite decode encodes back to the same value.
-    #[test]
-    fn f16_roundtrip(bits in 0u16..=u16::MAX) {
+/// f16 round-trip: every finite decode encodes back to the same value.
+#[test]
+fn f16_roundtrip() {
+    for bits in 0u16..=u16::MAX {
         let v = f16_bits_to_f32(bits);
         if v.is_finite() {
-            prop_assert_eq!(f16_bits_to_f32(f32_to_f16_bits(v)), v);
+            assert_eq!(f16_bits_to_f32(f32_to_f16_bits(v)), v, "bits {bits:#x}");
         }
     }
+}
 
-    /// quantize_f16 is idempotent and monotone.
-    #[test]
-    fn f16_idempotent_monotone(a in -60000f32..60000f32, b in -60000f32..60000f32) {
+/// quantize_f16 is idempotent and monotone.
+#[test]
+fn f16_idempotent_monotone() {
+    cases(512, |g| {
+        let a = g.f32_in(-60000.0, 60000.0);
+        let b = g.f32_in(-60000.0, 60000.0);
         let qa = quantize_f16(a);
-        prop_assert_eq!(quantize_f16(qa), qa);
-        if a <= b {
-            prop_assert!(quantize_f16(a) <= quantize_f16(b));
-        }
-    }
+        assert_eq!(quantize_f16(qa), qa, "case {}", g.case);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        assert!(quantize_f16(lo) <= quantize_f16(hi), "case {}", g.case);
+    });
+}
 
-    /// E8M0 round-trips every in-range exponent.
-    #[test]
-    fn e8m0_roundtrip(e in -127i32..=127) {
+/// E8M0 round-trips every in-range exponent.
+#[test]
+fn e8m0_roundtrip() {
+    for e in -127i32..=127 {
         let s = E8M0::from_exponent(e);
-        prop_assert_eq!(s.exponent(), e);
-        prop_assert_eq!(E8M0::from_bits(s.to_bits()), s);
+        assert_eq!(s.exponent(), e);
+        assert_eq!(E8M0::from_bits(s.to_bits()), s);
     }
+}
 
-    /// Symmetric int codecs: |error| <= scale/2 inside the range.
-    #[test]
-    fn int_codec_error_bound(x in -100f32..100f32, bits in 2u32..9, scale in 0.01f32..10.0f32) {
+/// Symmetric int codecs: |error| <= scale/2 inside the range.
+#[test]
+fn int_codec_error_bound() {
+    cases(512, |g| {
+        let x = g.f32_in(-100.0, 100.0);
+        let bits = g.int_in(2, 8) as u32;
+        let scale = g.f32_in(0.01, 10.0);
         let c = IntCodec::new(bits);
         let q = c.quantize(x, scale);
         if x.abs() <= c.max_code() as f32 * scale {
-            prop_assert!((q - x).abs() <= scale / 2.0 + scale * 1e-5);
+            assert!(
+                (q - x).abs() <= scale / 2.0 + scale * 1e-5,
+                "case {}",
+                g.case
+            );
         } else {
-            // Saturation: output is the extreme code.
-            prop_assert_eq!(q.abs(), c.max_code() as f32 * scale);
+            assert_eq!(q.abs(), c.max_code() as f32 * scale, "case {}", g.case);
         }
-    }
+    });
+}
 
-    /// Nibble packing is invertible for any code sequence.
-    #[test]
-    fn nibble_roundtrip(codes in proptest::collection::vec(0u8..16, 0..200)) {
+/// Nibble packing is invertible for any code sequence, and the
+/// allocation-free `_into` variants agree with the allocating ones.
+#[test]
+fn nibble_roundtrip() {
+    cases(256, |g| {
+        let codes = g.vec_u8_below(16, 0, 199);
         let packed = pack_nibbles(&codes);
-        prop_assert_eq!(unpack_nibbles(&packed, codes.len()), codes);
-    }
+        assert_eq!(
+            unpack_nibbles(&packed, codes.len()),
+            codes,
+            "case {}",
+            g.case
+        );
+        let mut buf = vec![0u8; codes.len().div_ceil(2)];
+        pack_nibbles_into(&codes, &mut buf);
+        assert_eq!(buf, packed, "case {}", g.case);
+        let mut out = vec![0u8; codes.len()];
+        unpack_nibbles_into(&buf, &mut out);
+        assert_eq!(out, codes, "case {}", g.case);
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(nibble_at(&packed, i), c, "case {} nibble {i}", g.case);
+        }
+    });
+}
 
-    /// Arbitrary-width bit fields round-trip through the writer/reader.
-    #[test]
-    fn bitfield_roundtrip(fields in proptest::collection::vec((0u32..=u32::MAX, 1u32..=32), 0..50)) {
+/// The 2-bit stream accessors round-trip any field sequence.
+#[test]
+fn two_bit_stream_roundtrip() {
+    cases(256, |g| {
+        let fields = g.vec_u8_below(4, 0, 100);
+        let mut buf = vec![0u8; (fields.len() * 2).div_ceil(8)];
+        for (i, &f) in fields.iter().enumerate() {
+            set_two_bits(&mut buf, i, f);
+        }
+        for (i, &f) in fields.iter().enumerate() {
+            assert_eq!(two_bits_at(&buf, i), f, "case {} field {i}", g.case);
+        }
+    });
+}
+
+/// Arbitrary-width bit fields round-trip through the writer/reader.
+#[test]
+fn bitfield_roundtrip() {
+    cases(256, |g| {
+        let n = g.below(50);
+        let fields: Vec<(u32, u32)> = (0..n)
+            .map(|_| {
+                let width = g.int_in(1, 32) as u32;
+                (g.u32(), width)
+            })
+            .collect();
         let mut w = BitWriter::new();
         for &(v, width) in &fields {
             w.push(v & ((1u64 << width) - 1) as u32, width);
@@ -127,25 +207,51 @@ proptest! {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         for &(v, width) in &fields {
-            prop_assert_eq!(r.read(width), v & ((1u64 << width) - 1) as u32);
+            assert_eq!(
+                r.read(width),
+                v & ((1u64 << width) - 1) as u32,
+                "case {}",
+                g.case
+            );
         }
-    }
+    });
+}
 
-    /// Codebook quantization returns a grid member with minimal distance.
-    #[test]
-    fn codebook_nearest(
-        mut grid in proptest::collection::vec(0.0f32..100.0, 1..20),
-        x in -120f32..120f32,
-    ) {
+/// Codebook quantization returns a grid member with minimal distance.
+#[test]
+fn codebook_nearest() {
+    cases(256, |g| {
+        let n = 1 + g.below(19);
+        let mut grid = g.vec_f32(n, 0.0, 100.0);
         grid.push(0.0);
+        let x = g.f32_in(-120.0, 120.0);
         let cb = Codebook::new("p", grid).unwrap();
         let q = cb.quantize(x);
-        prop_assert!(cb.magnitudes().contains(&q.abs()));
+        assert!(cb.magnitudes().contains(&q.abs()), "case {}", g.case);
         let best = cb
             .magnitudes()
             .iter()
             .map(|v| (v - x.abs()).abs())
             .fold(f32::INFINITY, f32::min);
-        prop_assert!((q.abs() - x.abs()).abs() <= best + 1e-5);
+        assert!((q.abs() - x.abs()).abs() <= best + 1e-5, "case {}", g.case);
+    });
+}
+
+/// The integer decode LUTs agree with the float codec for every code and
+/// metadata value (the packed GEMM trusts these tables blindly).
+#[test]
+fn decode_luts_match_float_codec() {
+    let f4 = m2xfp_repro::formats::fp4();
+    for c in 0..16u8 {
+        assert_eq!(tables::FP4_X8[c as usize] as f32, f4.decode(c) * 8.0);
+        assert_eq!(tables::FP4_X2[c as usize] as f32, f4.decode(c) * 2.0);
+        let sign = if c & 0x8 != 0 { -1.0f32 } else { 1.0 };
+        for meta in 0..4u8 {
+            assert_eq!(
+                tables::EXTRA_X8[c as usize][meta as usize] as f32,
+                sign * tables::decode_extra_mantissa(c & 0x7, meta) * 8.0,
+                "code {c} meta {meta}"
+            );
+        }
     }
 }

@@ -6,86 +6,158 @@ use m2xfp_repro::accel::units::TopOneDecodeUnit;
 use m2xfp_repro::baselines::hadamard::{fwht_normalized, Rotation};
 use m2xfp_repro::nn::metrics::{phi, phi_inv, ppl_proxy, task_accuracy, PplAnchor, TaskAnchor};
 use m2xfp_repro::tensor::Matrix;
-use proptest::prelude::*;
+use m2xfp_repro::testkit::cases;
 
-proptest! {
-    /// FWHT is an orthonormal involution: applying it twice restores the
-    /// input and the L2 norm is preserved.
-    #[test]
-    fn fwht_involution(v in proptest::collection::vec(-100f32..100f32, 64)) {
+/// FWHT is an orthonormal involution: applying it twice restores the input
+/// and the L2 norm is preserved.
+#[test]
+fn fwht_involution() {
+    cases(128, |g| {
+        let v = g.vec_f32(64, -100.0, 100.0);
         let mut w = v.clone();
         fwht_normalized(&mut w);
         let n0: f64 = v.iter().map(|&x| (x as f64).powi(2)).sum();
         let n1: f64 = w.iter().map(|&x| (x as f64).powi(2)).sum();
-        prop_assert!((n0 - n1).abs() <= n0.max(1.0) * 1e-4);
+        assert!((n0 - n1).abs() <= n0.max(1.0) * 1e-4, "case {}", g.case);
         fwht_normalized(&mut w);
         for (a, b) in v.iter().zip(&w) {
-            prop_assert!((a - b).abs() <= a.abs().max(1.0) * 1e-4);
+            assert!((a - b).abs() <= a.abs().max(1.0) * 1e-4, "case {}", g.case);
         }
-    }
+    });
+}
 
-    /// Rotations preserve GEMM results (computational invariance).
-    #[test]
-    fn rotation_preserves_products(seed in 0u64..1000) {
+/// Rotations preserve GEMM results (computational invariance).
+#[test]
+fn rotation_preserves_products() {
+    cases(64, |g| {
+        let seed = g.below(1000) as u64;
         let x = Matrix::from_fn(3, 64, |r, c| ((r * 64 + c) as f32 * 0.173).sin());
         let wt = Matrix::from_fn(4, 64, |r, c| ((r * 64 + c) as f32 * 0.311).cos());
         let rot = Rotation::quarot(64, seed);
         let y0 = x.matmul(&wt.transpose());
         let y1 = rot.apply_rows(&x).matmul(&rot.apply_rows(&wt).transpose());
         let e = m2xfp_repro::tensor::stats::max_abs_err(y0.as_slice(), y1.as_slice());
-        prop_assert!(e < 1e-3, "max err {e}");
-    }
+        assert!(e < 1e-3, "case {}: max err {e}", g.case);
+    });
+}
 
-    /// The comparator tree equals the reference top-1 for any codes.
-    #[test]
-    fn comparator_tree_equivalence(codes in proptest::collection::vec(0u8..16, 1..=8)) {
+/// The comparator tree equals the reference top-1 for any codes.
+#[test]
+fn comparator_tree_equivalence() {
+    cases(256, |g| {
+        let codes = g.vec_u8_below(16, 1, 8);
         let (idx, code) = TopOneDecodeUnit.top1(&codes);
-        prop_assert_eq!(idx, m2xfp_repro::formats::tables::top1_index(&codes));
-        prop_assert_eq!(code, codes[idx]);
-    }
+        assert_eq!(
+            idx,
+            m2xfp_repro::formats::tables::top1_index(&codes),
+            "case {}",
+            g.case
+        );
+        assert_eq!(code, codes[idx], "case {}", g.case);
+    });
+}
 
-    /// Accelerator cost scales monotonically with every GEMM dimension.
-    #[test]
-    fn gemm_cost_monotone(m in 1usize..512, k in 32usize..2048, n in 32usize..2048) {
+/// Accelerator cost scales monotonically with every GEMM dimension.
+#[test]
+fn gemm_cost_monotone() {
+    cases(128, |g| {
         use m2xfp_repro::accel::timing::gemm_cost;
         use m2xfp_repro::nn::layers::GemmShape;
+        let m = 1 + g.below(511);
+        let k = 32 + g.below(2016);
+        let n = 32 + g.below(2016);
         let cfg = AcceleratorConfig::of(AcceleratorKind::M2xfp);
-        let base = gemm_cost(&GemmShape { name: "g".into(), m, k, n }, &cfg);
-        let bigger = gemm_cost(&GemmShape { name: "g".into(), m: m + 32, k, n }, &cfg);
-        prop_assert!(bigger.seconds >= base.seconds);
-        prop_assert!(bigger.dram_bytes >= base.dram_bytes);
-        let wider = gemm_cost(&GemmShape { name: "g".into(), m, k, n: n + 32 }, &cfg);
-        prop_assert!(wider.seconds >= base.seconds);
-    }
+        let base = gemm_cost(
+            &GemmShape {
+                name: "g".into(),
+                m,
+                k,
+                n,
+            },
+            &cfg,
+        );
+        let bigger = gemm_cost(
+            &GemmShape {
+                name: "g".into(),
+                m: m + 32,
+                k,
+                n,
+            },
+            &cfg,
+        );
+        assert!(bigger.seconds >= base.seconds, "case {}", g.case);
+        assert!(bigger.dram_bytes >= base.dram_bytes, "case {}", g.case);
+        let wider = gemm_cost(
+            &GemmShape {
+                name: "g".into(),
+                m,
+                k,
+                n: n + 32,
+            },
+            &cfg,
+        );
+        assert!(wider.seconds >= base.seconds, "case {}", g.case);
+    });
+}
 
-    /// Φ and Φ⁻¹ are inverse, monotone, and bounded.
-    #[test]
-    fn normal_cdf_properties(x in -6f64..6f64, p in 0.001f64..0.999) {
-        prop_assert!((0.0..=1.0).contains(&phi(x)));
-        prop_assert!((phi(phi_inv(p)) - p).abs() < 1e-6);
-        prop_assert!((phi_inv(phi(x)) - x).abs() < 1e-4);
-    }
+/// Φ and Φ⁻¹ are inverse, monotone, and bounded.
+#[test]
+fn normal_cdf_properties() {
+    cases(512, |g| {
+        let x = g.f32_in(-6.0, 6.0) as f64;
+        let p = g.f32_in(0.001, 0.999) as f64;
+        assert!((0.0..=1.0).contains(&phi(x)), "case {}", g.case);
+        assert!((phi(phi_inv(p)) - p).abs() < 1e-6, "case {}", g.case);
+        assert!((phi_inv(phi(x)) - x).abs() < 1e-4, "case {}", g.case);
+    });
+}
 
-    /// The perplexity proxy is monotone in error and anchored at both ends.
-    #[test]
-    fn ppl_proxy_laws(e0 in 0.01f64..0.5, e1 in 0.0f64..0.5, e2 in 0.0f64..0.5) {
-        let anchor = PplAnchor { fp16: 5.47, mxfp4: 7.15 };
-        prop_assert!((ppl_proxy(anchor, e0, 0.0) - anchor.fp16).abs() < 1e-9);
-        prop_assert!((ppl_proxy(anchor, e0, e0) - anchor.mxfp4).abs() < 1e-9);
-        if e1 <= e2 {
-            prop_assert!(ppl_proxy(anchor, e0, e1) <= ppl_proxy(anchor, e0, e2) + 1e-12);
-        }
-    }
+/// The perplexity proxy is monotone in error and anchored at both ends.
+#[test]
+fn ppl_proxy_laws() {
+    cases(512, |g| {
+        let e0 = g.f32_in(0.01, 0.5) as f64;
+        let e1 = g.f32_in(0.0, 0.5) as f64;
+        let e2 = g.f32_in(0.0, 0.5) as f64;
+        let anchor = PplAnchor {
+            fp16: 5.47,
+            mxfp4: 7.15,
+        };
+        assert!(
+            (ppl_proxy(anchor, e0, 0.0) - anchor.fp16).abs() < 1e-9,
+            "case {}",
+            g.case
+        );
+        assert!(
+            (ppl_proxy(anchor, e0, e0) - anchor.mxfp4).abs() < 1e-9,
+            "case {}",
+            g.case
+        );
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        assert!(
+            ppl_proxy(anchor, e0, lo) <= ppl_proxy(anchor, e0, hi) + 1e-12,
+            "case {}",
+            g.case
+        );
+    });
+}
 
-    /// The accuracy race model stays within [chance, fp16] and decreases
-    /// with noise.
-    #[test]
-    fn accuracy_model_bounds(sigma in 0f64..20.0, fp16 in 30f64..95.0) {
-        let t = TaskAnchor { name: "t", chance: 25.0, fp16 };
+/// The accuracy race model stays within [chance, fp16] and decreases with
+/// noise.
+#[test]
+fn accuracy_model_bounds() {
+    cases(512, |g| {
+        let sigma = g.f32_in(0.0, 20.0) as f64;
+        let fp16 = g.f32_in(30.0, 95.0) as f64;
+        let t = TaskAnchor {
+            name: "t",
+            chance: 25.0,
+            fp16,
+        };
         let a = task_accuracy(t, sigma);
-        prop_assert!(a <= fp16 + 0.1, "a={a} fp16={fp16}");
-        prop_assert!(a >= 25.0 - 0.5, "a={a}");
+        assert!(a <= fp16 + 0.1, "case {}: a={a} fp16={fp16}", g.case);
+        assert!(a >= 25.0 - 0.5, "case {}: a={a}", g.case);
         let a2 = task_accuracy(t, sigma + 1.0);
-        prop_assert!(a2 <= a + 0.05);
-    }
+        assert!(a2 <= a + 0.05, "case {}", g.case);
+    });
 }
