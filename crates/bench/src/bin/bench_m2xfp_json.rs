@@ -5,11 +5,14 @@
 //! writes `results/BENCH_m2xfp.json`. This is the artifact behind the
 //! recorded throughput baseline (`BENCH_m2xfp.json` at the repo root).
 //!
-//! Environment:
+//! Environment (the full knob list lives in README § "Benchmark
+//! environment knobs"):
 //! * `M2X_BENCH_DIM`  — K = N dimension (default 512; the acceptance run
 //!   uses 4096). M is fixed at 32 (a decode batch).
 //! * `M2X_BENCH_REPS` — measurement repetitions per timer (default 3,
 //!   minimum over reps is reported).
+//! * `M2X_BENCH_WQ_REFERENCE` — set to `0` to skip timing the float-codec
+//!   reference weight search (it is the slow one: ~12 s per rep at 4096²).
 
 use m2x_bench::report::results_dir;
 use m2x_tensor::{Matrix, Xoshiro};
@@ -27,14 +30,21 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 /// Best-of-`reps` wall time of `f`, in seconds.
-fn time<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
+fn time<O>(reps: usize, f: impl FnMut() -> O) -> f64 {
+    time_keep(reps, f).0
+}
+
+/// Best-of-`reps` wall time of `f` plus the last run's output, so callers
+/// that need the constructed value don't pay an extra untimed run.
+fn time_keep<O>(reps: usize, mut f: impl FnMut() -> O) -> (f64, O) {
     let mut best = f64::INFINITY;
+    let mut out = None;
     for _ in 0..reps.max(1) {
         let t0 = Instant::now();
-        black_box(f());
+        out = Some(black_box(f()));
         best = best.min(t0.elapsed().as_secs_f64());
     }
-    best
+    (best, out.expect("reps >= 1"))
 }
 
 fn main() {
@@ -53,12 +63,27 @@ fn main() {
     let t_enc_grouped = time(reps, || ActTensor::quantize(&x, cfg));
     let t_enc_packed = time(reps, || PackedActTensor::quantize(&x, cfg));
 
-    // Weight quantization happens offline, so it is timed once for the
-    // record but excluded from the headline speedup.
-    let t0 = Instant::now();
-    let wt = WeightTensor::quantize(&w, cfg);
-    let t_wq = t0.elapsed().as_secs_f64();
-    let wp = PackedWeightTensor::from_grouped(&wt);
+    // Weight quantization happens offline, so it is excluded from the
+    // headline quantize+qGEMM speedup; `quantize_weights_grouped_s` is the
+    // legacy float-codec Sg-EM search and `quantize_weights_packed_s` the
+    // threaded integer-LUT search writing the packed streams directly.
+    // Both sides are best-of-`reps`: their ratio is a hard-gated CI metric,
+    // so a single noisy measurement must not skew it. At the 4096²
+    // acceptance dim the reference costs ~12 s per rep — set
+    // `M2X_BENCH_WQ_REFERENCE=0` (or lower `M2X_BENCH_REPS`) to trim that.
+    let time_reference = env_usize("M2X_BENCH_WQ_REFERENCE", 1) != 0;
+    let (t_wq, wt_ref) = if time_reference {
+        let (t, wt) = time_keep(reps, || WeightTensor::quantize_reference(&w, cfg));
+        (t, Some(wt))
+    } else {
+        (0.0, None)
+    };
+    let (t_wq_packed, wp) = time_keep(reps, || PackedWeightTensor::quantize_parallel(&w, cfg));
+    // Bit-exactness of the parallel LUT search against the float oracle.
+    let wq_exact = wt_ref
+        .as_ref()
+        .map(|r| PackedWeightTensor::from_grouped(r) == wp);
+    let wt = wp.to_grouped();
     let xt = ActTensor::quantize(&x, cfg);
     let xp = PackedActTensor::from_grouped(&xt);
 
@@ -95,7 +120,10 @@ fn main() {
     "packed_melem_per_s": {enc_tput:.2},
     "speedup": {enc_speedup:.3}
   }},
-  "quantize_weights_grouped_s": {t_wq:.6},
+  "quantize_weights_grouped_s": {wq_grouped},
+  "quantize_weights_packed_s": {t_wq_packed:.6},
+  "quantize_weights_speedup": {wq_speedup},
+  "weight_search_exact": {wq_exact_str},
   "qgemm": {{
     "grouped_s": {t_gemm_grouped:.6},
     "packed_1thread_s": {t_gemm_packed_1t:.6},
@@ -113,6 +141,20 @@ fn main() {
   }}
 }}
 "#,
+        wq_grouped = if time_reference {
+            format!("{t_wq:.6}")
+        } else {
+            "null".to_string()
+        },
+        wq_speedup = if time_reference {
+            format!("{:.3}", t_wq / t_wq_packed)
+        } else {
+            "null".to_string()
+        },
+        wq_exact_str = match wq_exact {
+            Some(e) => e.to_string(),
+            None => "null".to_string(),
+        },
         enc_tput = elems / t_enc_packed / 1e6,
         enc_speedup = t_enc_grouped / t_enc_packed,
         gemm_tput = macs / t_gemm_packed_mt / 1e9,
@@ -131,4 +173,8 @@ fn main() {
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
     assert!(exact, "packed qGEMM diverged from the grouped pipeline");
+    assert!(
+        wq_exact.unwrap_or(true),
+        "parallel LUT weight search diverged from the float reference"
+    );
 }

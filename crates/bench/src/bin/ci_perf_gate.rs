@@ -1,0 +1,395 @@
+//! CI performance-regression gate over `bench_m2xfp_json` artifacts.
+//!
+//! Usage: `ci_perf_gate <current.json> <baseline.json>`
+//!
+//! Compares the freshly measured `results/BENCH_m2xfp.json` against the
+//! committed `results/BENCH_ci_baseline.json` (same dims, produced by the
+//! same emitter) and exits non-zero when
+//!
+//! * any exactness flag (`exact_match`, `weight_search_exact`) is `false`
+//!   in the current run, or
+//! * any within-run speedup ratio dropped by more than the tolerance
+//!   (`M2X_GATE_TOLERANCE`, default 0.25 = 25%) relative to the baseline.
+//!
+//! Absolute wall-times are compared against the baseline too, but a
+//! regression there is only a **warning** by default: the committed
+//! baseline and the CI runner are different hardware, and sub-millisecond
+//! measurements on shared runners vary beyond any useful tolerance. Set
+//! `M2X_GATE_ABS_TIMES=1` to harden them (e.g. on a dedicated,
+//! baseline-matched runner). The speedup ratios are hardware-normalized
+//! (both sides measured in the same process), so they catch real code
+//! regressions regardless of runner speed.
+//!
+//! Metrics present in only one of the two files are reported but not
+//! gated, so the gate stays usable while fields evolve. The parser is a
+//! self-contained subset of JSON (objects, numbers, bools, strings,
+//! `null`) — the workspace builds offline, with no serde.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Scalar value the gate understands.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+/// Parses a JSON object into a flat `path.to.key -> Scalar` map. Strings
+/// are skipped (no gated metric is a string). Arrays are unsupported —
+/// the emitter never writes them.
+fn flatten_json(text: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let mut out = BTreeMap::new();
+    let mut chars = text.char_indices().peekable();
+    let mut path: Vec<String> = Vec::new();
+    let mut pending_key: Option<String> = None;
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '{' => {
+                if let Some(k) = pending_key.take() {
+                    path.push(k);
+                }
+            }
+            '}' => {
+                path.pop();
+            }
+            '"' => {
+                let mut s = String::new();
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '"' {
+                        break;
+                    }
+                    if c2 == '\\' {
+                        return Err(format!("escape sequences unsupported (byte {i})"));
+                    }
+                    s.push(c2);
+                }
+                // A string followed by ':' is a key; otherwise a value.
+                let mut rest = chars.clone();
+                let is_key = loop {
+                    match rest.peek() {
+                        Some((_, w)) if w.is_whitespace() => {
+                            rest.next();
+                        }
+                        Some((_, ':')) => break true,
+                        _ => break false,
+                    }
+                };
+                if is_key {
+                    pending_key = Some(s);
+                } else {
+                    pending_key = None; // string value: not gated, drop it
+                }
+            }
+            't' | 'f' | 'n' if pending_key.is_some() => {
+                let word: String = std::iter::once(c)
+                    .chain(
+                        std::iter::from_fn(|| {
+                            chars.next_if(|(_, w)| w.is_ascii_alphabetic()).map(|x| x.1)
+                        })
+                        .fuse(),
+                    )
+                    .collect();
+                let key = pending_key.take().expect("guarded by match arm");
+                let v = match word.as_str() {
+                    "true" => Scalar::Bool(true),
+                    "false" => Scalar::Bool(false),
+                    "null" => Scalar::Null,
+                    other => return Err(format!("unexpected literal `{other}` at byte {i}")),
+                };
+                out.insert(join(&path, &key), v);
+            }
+            c if (c.is_ascii_digit() || c == '-') && pending_key.is_some() => {
+                let mut num = String::new();
+                num.push(c);
+                while let Some((_, d)) = chars.next_if(|(_, d)| {
+                    d.is_ascii_digit() || matches!(d, '.' | 'e' | 'E' | '+' | '-')
+                }) {
+                    num.push(d);
+                }
+                let key = pending_key.take().expect("guarded by match arm");
+                let v: f64 = num
+                    .parse()
+                    .map_err(|e| format!("bad number `{num}` at byte {i}: {e}"))?;
+                out.insert(join(&path, &key), Scalar::Num(v));
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+fn join(path: &[String], key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{}.{key}", path.join("."))
+    }
+}
+
+/// Wall-time metrics (lower is better). Absolute times assume baseline
+/// and current ran on comparable hardware, so by default a regression
+/// here only warns (`M2X_GATE_ABS_TIMES=1` hardens it); the
+/// hardware-normalized speedup ratios below are the enforcing gates.
+const GATED_TIMES: [&str; 4] = [
+    "quantize_act.packed_s",
+    "qgemm.packed_threaded_s",
+    "quantize_plus_qgemm.packed_threaded_s",
+    "quantize_weights_packed_s",
+];
+
+/// Within-run speedup ratios (higher is better). Both sides of each ratio
+/// are measured in the same process on the same machine, so these are
+/// hardware-normalized: a >tolerance drop is a code regression even if
+/// the runner got faster or slower overall.
+const GATED_SPEEDUPS: [&str; 3] = [
+    "qgemm.speedup_1thread",
+    "quantize_plus_qgemm.speedup_1thread",
+    "quantize_weights_speedup",
+];
+
+/// Boolean exactness flags the gate enforces on the current run.
+const GATED_EXACT: [&str; 2] = ["exact_match", "weight_search_exact"];
+
+/// One gate verdict: metric name, baseline, current, allowed, pass.
+/// `hard` failures fail the gate; soft ones only warn.
+struct Verdict {
+    metric: String,
+    detail: String,
+    pass: bool,
+    hard: bool,
+}
+
+fn evaluate(
+    current: &BTreeMap<String, Scalar>,
+    baseline: &BTreeMap<String, Scalar>,
+    tolerance: f64,
+    abs_times_hard: bool,
+) -> Vec<Verdict> {
+    let mut verdicts = Vec::new();
+    for flag in GATED_EXACT {
+        let (pass, detail) = match current.get(flag) {
+            Some(Scalar::Bool(true)) => (true, "true".to_string()),
+            Some(Scalar::Bool(false)) => (false, "false".to_string()),
+            Some(Scalar::Null) | None => (true, "absent (not gated)".to_string()),
+            Some(other) => (false, format!("non-boolean {other:?}")),
+        };
+        verdicts.push(Verdict {
+            metric: flag.to_string(),
+            detail,
+            pass,
+            hard: true,
+        });
+    }
+    for metric in GATED_TIMES {
+        let (pass, detail) = match (current.get(metric), baseline.get(metric)) {
+            (Some(Scalar::Num(cur)), Some(Scalar::Num(base))) => {
+                let limit = base * (1.0 + tolerance);
+                (
+                    *cur <= limit,
+                    format!("current {cur:.6}s vs baseline {base:.6}s (limit {limit:.6}s)"),
+                )
+            }
+            _ => (
+                true,
+                "absent in current or baseline (not gated)".to_string(),
+            ),
+        };
+        verdicts.push(Verdict {
+            metric: metric.to_string(),
+            detail,
+            pass,
+            hard: abs_times_hard,
+        });
+    }
+    for metric in GATED_SPEEDUPS {
+        let (pass, detail) = match (current.get(metric), baseline.get(metric)) {
+            (Some(Scalar::Num(cur)), Some(Scalar::Num(base))) => {
+                let floor = base * (1.0 - tolerance);
+                (
+                    *cur >= floor,
+                    format!("current {cur:.3}x vs baseline {base:.3}x (floor {floor:.3}x)"),
+                )
+            }
+            _ => (
+                true,
+                "absent in current or baseline (not gated)".to_string(),
+            ),
+        };
+        verdicts.push(Verdict {
+            metric: metric.to_string(),
+            detail,
+            pass,
+            hard: true,
+        });
+    }
+    // Dims must match or the time comparison is meaningless.
+    for d in ["dims.m", "dims.k", "dims.n"] {
+        let (pass, detail) = match (current.get(d), baseline.get(d)) {
+            (Some(Scalar::Num(a)), Some(Scalar::Num(b))) => {
+                (a == b, format!("current {a} vs baseline {b}"))
+            }
+            _ => (false, "missing dimension field".to_string()),
+        };
+        verdicts.push(Verdict {
+            metric: d.to_string(),
+            detail,
+            pass,
+            hard: true,
+        });
+    }
+    verdicts
+}
+
+fn env_tolerance() -> f64 {
+    std::env::var("M2X_GATE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: ci_perf_gate <current.json> <baseline.json>");
+        return ExitCode::from(2);
+    }
+    let read = |p: &str| -> Result<BTreeMap<String, Scalar>, String> {
+        flatten_json(&std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?)
+    };
+    let (current, baseline) = match (read(&args[1]), read(&args[2])) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("ci_perf_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance = env_tolerance();
+    let abs_times_hard = std::env::var("M2X_GATE_ABS_TIMES").as_deref() == Ok("1");
+    println!(
+        "ci_perf_gate: tolerance {:.0}%, absolute times {}",
+        tolerance * 100.0,
+        if abs_times_hard { "gated" } else { "advisory" }
+    );
+    let verdicts = evaluate(&current, &baseline, tolerance, abs_times_hard);
+    let mut ok = true;
+    for v in &verdicts {
+        let tag = match (v.pass, v.hard) {
+            (true, _) => "ok",
+            (false, true) => "FAIL",
+            (false, false) => "warn",
+        };
+        println!("  [{tag}] {:42} {}", v.metric, v.detail);
+        ok &= v.pass || !v.hard;
+    }
+    if ok {
+        println!("ci_perf_gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("ci_perf_gate: FAIL (regression beyond tolerance or exactness lost)");
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "m2xfp_quantize_qgemm",
+  "dims": {"m": 32, "k": 256, "n": 256},
+  "exact_match": true,
+  "quantize_act": {"grouped_s": 0.001, "packed_s": 0.0009, "speedup": 1.1},
+  "quantize_weights_grouped_s": null,
+  "quantize_weights_packed_s": 0.0061,
+  "quantize_weights_speedup": 14.2,
+  "weight_search_exact": true,
+  "qgemm": {"packed_threaded_s": 0.002, "speedup_1thread": 5.3},
+  "quantize_plus_qgemm": {"packed_threaded_s": 0.003, "speedup_1thread": 3.2}
+}"#;
+
+    #[test]
+    fn flatten_handles_nesting_null_and_bools() {
+        let m = flatten_json(SAMPLE).unwrap();
+        assert_eq!(m.get("dims.k"), Some(&Scalar::Num(256.0)));
+        assert_eq!(m.get("quantize_act.packed_s"), Some(&Scalar::Num(0.0009)));
+        assert_eq!(m.get("exact_match"), Some(&Scalar::Bool(true)));
+        assert_eq!(m.get("quantize_weights_grouped_s"), Some(&Scalar::Null));
+        // The string value is skipped, not misread as a key.
+        assert!(!m.contains_key("bench"));
+        assert_eq!(m.get("qgemm.packed_threaded_s"), Some(&Scalar::Num(0.002)));
+    }
+
+    /// Metrics whose failed verdicts are hard (fail the gate).
+    fn hard_fails(cur: &BTreeMap<String, Scalar>, base: &BTreeMap<String, Scalar>) -> Vec<String> {
+        evaluate(cur, base, 0.25, false)
+            .into_iter()
+            .filter(|v| !v.pass && v.hard)
+            .map(|v| v.metric)
+            .collect()
+    }
+
+    #[test]
+    fn gate_passes_identical_runs() {
+        let m = flatten_json(SAMPLE).unwrap();
+        assert!(evaluate(&m, &m, 0.25, false).iter().all(|v| v.pass));
+    }
+
+    #[test]
+    fn abs_time_regression_warns_by_default_and_gates_when_hardened() {
+        let base = flatten_json(SAMPLE).unwrap();
+        let slower = SAMPLE.replace("\"packed_s\": 0.0009", "\"packed_s\": 0.00111");
+        let cur = flatten_json(&slower).unwrap();
+        // 0.00111 / 0.0009 = 1.233… — inside 25%, outside 20%.
+        assert!(evaluate(&cur, &base, 0.25, true).iter().all(|v| v.pass));
+        let v = evaluate(&cur, &base, 0.20, false);
+        let t = v.iter().find(|v| v.metric == "quantize_act.packed_s");
+        // Advisory by default: a failed time verdict is soft.
+        assert!(t.is_some_and(|v| !v.pass && !v.hard));
+        let v = evaluate(&cur, &base, 0.20, true);
+        let t = v.iter().find(|v| v.metric == "quantize_act.packed_s");
+        assert!(t.is_some_and(|v| !v.pass && v.hard));
+    }
+
+    #[test]
+    fn speedup_ratios_gate_in_the_opposite_direction() {
+        let base = flatten_json(SAMPLE).unwrap();
+        // A 30% speedup drop fails at 25% tolerance; a 20% drop passes.
+        let dropped = SAMPLE.replace("\"speedup_1thread\": 5.3", "\"speedup_1thread\": 3.7");
+        let cur = flatten_json(&dropped).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["qgemm.speedup_1thread"]);
+        let mild = SAMPLE.replace("\"speedup_1thread\": 5.3", "\"speedup_1thread\": 4.3");
+        let cur = flatten_json(&mild).unwrap();
+        assert!(evaluate(&cur, &base, 0.25, false).iter().all(|v| v.pass));
+    }
+
+    #[test]
+    fn gate_fails_on_lost_exactness() {
+        let base = flatten_json(SAMPLE).unwrap();
+        let broken = SAMPLE.replace("\"exact_match\": true", "\"exact_match\": false");
+        let cur = flatten_json(&broken).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["exact_match"]);
+    }
+
+    #[test]
+    fn gate_fails_on_dim_mismatch() {
+        let base = flatten_json(SAMPLE).unwrap();
+        let other = SAMPLE.replace("\"k\": 256", "\"k\": 512");
+        let cur = flatten_json(&other).unwrap();
+        assert!(!hard_fails(&cur, &base).is_empty());
+    }
+
+    #[test]
+    fn absent_metrics_are_reported_not_gated() {
+        let base = flatten_json(SAMPLE).unwrap();
+        let trimmed = SAMPLE.replace("\"quantize_weights_packed_s\": 0.0061,", "");
+        let cur = flatten_json(&trimmed).unwrap();
+        let v = evaluate(&cur, &base, 0.25, true);
+        let wq = v
+            .iter()
+            .find(|v| v.metric == "quantize_weights_packed_s")
+            .unwrap();
+        assert!(wq.pass && wq.detail.contains("not gated"));
+    }
+}

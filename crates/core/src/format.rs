@@ -14,9 +14,30 @@ use m2x_formats::packing::{
     nibble_at, pack_nibbles, pack_nibbles_into, set_two_bits, two_bits_at, unpack_nibbles,
     StreamLayout,
 };
+use m2x_formats::tables::FP4_VALUES;
 use m2x_formats::E8M0;
 use m2x_tensor::Matrix;
 use std::fmt;
+
+/// Minimum element count that justifies one additional quantization worker
+/// thread: below this the scoped-thread spawn overhead outweighs the
+/// per-group search work, so small tensors stay single-threaded.
+const QUANT_ELEMS_PER_THREAD: usize = 1 << 17;
+
+/// Worker count the parallel quantizers auto-select for a tensor of
+/// `elems` elements: one thread per [`QUANT_ELEMS_PER_THREAD`] elements,
+/// capped at the available cores, never below one.
+fn quantize_threads(elems: usize) -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, |t| t.get());
+    avail.min(elems / QUANT_ELEMS_PER_THREAD).max(1)
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
 
 /// Error from packing/unpacking a tensor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -187,6 +208,25 @@ impl WeightTensor {
         }
     }
 
+    /// [`Self::quantize`] through the float-codec reference search
+    /// ([`weight::quantize_group_reference`]) — the bit-exactness oracle
+    /// for the LUT/parallel paths. Slow; use only in tests and benches.
+    pub fn quantize_reference(w_t: &Matrix, cfg: M2xfpConfig) -> Self {
+        let gc = cfg.group_config();
+        let groups = w_t
+            .row_groups(cfg.group_size)
+            .map(|g| {
+                weight::quantize_group_reference(g, gc, cfg.scale_rule, cfg.adaptive_weight_scale)
+            })
+            .collect();
+        WeightTensor {
+            rows: w_t.rows(),
+            cols: w_t.cols(),
+            cfg,
+            groups,
+        }
+    }
+
     /// Matrix shape `(rows, cols)` = `(N, K)`.
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
@@ -297,10 +337,31 @@ struct PackedStreams {
 }
 
 impl PackedStreams {
+    /// Sequential quantization — [`Self::quantize_parallel`] with one
+    /// worker (no thread spawn).
     fn quantize(
         m: &Matrix,
         cfg: M2xfpConfig,
-        mut encode: impl FnMut(&[f32], &mut [u8], &mut [u8]) -> E8M0,
+        encode: impl Fn(&[f32], &mut [u8], &mut [u8]) -> E8M0 + Sync,
+    ) -> Self {
+        Self::quantize_parallel(m, cfg, 1, encode)
+    }
+
+    /// Quantizes straight into the three streams with `threads` scoped
+    /// workers, each owning a contiguous, disjoint run of groups.
+    ///
+    /// Every worker writes its own sub-slices of the code, scale and
+    /// metadata streams (split with `split_at_mut`, so no synchronization
+    /// and no `unsafe`), with one scratch pair per worker — the per-group
+    /// encode loop stays allocation-free. Chunk boundaries are aligned so
+    /// each worker's 2-bit metadata run starts on a byte boundary; output
+    /// bytes are identical for every thread count because each group is
+    /// encoded independently and deterministically.
+    fn quantize_parallel(
+        m: &Matrix,
+        cfg: M2xfpConfig,
+        threads: usize,
+        encode: impl Fn(&[f32], &mut [u8], &mut [u8]) -> E8M0 + Sync,
     ) -> Self {
         let gs = cfg.group_size;
         let sgs = cfg.subgroup_size;
@@ -311,18 +372,62 @@ impl PackedStreams {
         let mut codes = vec![0u8; groups * cpg];
         let mut scales = vec![0u8; groups];
         let mut meta = vec![0u8; (groups * spg * 2).div_ceil(8)];
-        // One scratch pair for the whole tensor: the per-group encode loop is
-        // allocation-free.
-        let mut code_scratch = vec![0u8; gs];
-        let mut meta_scratch = vec![0u8; spg];
-        for (g, x) in m.row_groups(gs).enumerate() {
-            let nsub = x.len().div_ceil(sgs);
-            let scale = encode(x, &mut code_scratch[..x.len()], &mut meta_scratch[..nsub]);
-            scales[g] = scale.to_bits();
-            pack_nibbles_into(&code_scratch[..x.len()], &mut codes[g * cpg..(g + 1) * cpg]);
-            for (j, &mv) in meta_scratch[..nsub].iter().enumerate() {
-                set_two_bits(&mut meta, g * spg + j, mv);
+
+        // One worker: encodes groups [g0, g0 + n) into chunk-local slices
+        // (`scales` carries the chunk length).
+        let work = |g0: usize, codes: &mut [u8], scales: &mut [u8], meta: &mut [u8]| {
+            let mut code_scratch = vec![0u8; gs];
+            let mut meta_scratch = vec![0u8; spg];
+            for lg in 0..scales.len() {
+                let g = g0 + lg;
+                let row = m.row(g / gpr);
+                let j = g % gpr;
+                let x = &row[j * gs..row.len().min((j + 1) * gs)];
+                let nsub = x.len().div_ceil(sgs);
+                let scale = encode(x, &mut code_scratch[..x.len()], &mut meta_scratch[..nsub]);
+                scales[lg] = scale.to_bits();
+                pack_nibbles_into(
+                    &code_scratch[..x.len()],
+                    &mut codes[lg * cpg..(lg + 1) * cpg],
+                );
+                for (jj, &mv) in meta_scratch[..nsub].iter().enumerate() {
+                    set_two_bits(meta, lg * spg + jj, mv);
+                }
             }
+        };
+
+        let threads = threads.max(1).min(groups.max(1));
+        if threads <= 1 {
+            work(0, &mut codes, &mut scales, &mut meta);
+        } else {
+            // Smallest chunk granularity whose metadata run is whole bytes:
+            // `align` groups span `align·spg` 2-bit fields.
+            let align = 4 / gcd(spg, 4);
+            let per = groups.div_ceil(threads).div_ceil(align) * align;
+            std::thread::scope(|s| {
+                let work = &work;
+                let mut crem: &mut [u8] = &mut codes;
+                let mut srem: &mut [u8] = &mut scales;
+                let mut mrem: &mut [u8] = &mut meta;
+                let mut g0 = 0usize;
+                while g0 < groups {
+                    let g1 = (g0 + per).min(groups);
+                    let ng = g1 - g0;
+                    let (c, cr) = crem.split_at_mut(ng * cpg);
+                    crem = cr;
+                    let (sc, sr) = srem.split_at_mut(ng);
+                    srem = sr;
+                    let mbytes = if g1 == groups {
+                        mrem.len()
+                    } else {
+                        ng * spg * 2 / 8
+                    };
+                    let (mt, mr) = mrem.split_at_mut(mbytes);
+                    mrem = mr;
+                    s.spawn(move || work(g0, c, sc, mt));
+                    g0 = g1;
+                }
+            });
         }
         PackedStreams {
             rows: m.rows(),
@@ -492,6 +597,24 @@ impl PackedActTensor {
         }
     }
 
+    /// [`Self::quantize`] fanned out over scoped worker threads (auto
+    /// worker count, same policy as
+    /// [`PackedWeightTensor::quantize_parallel`]); byte-identical output
+    /// for every thread count.
+    pub fn quantize_parallel(m: &Matrix, cfg: M2xfpConfig) -> Self {
+        let gc = cfg.group_config();
+        PackedActTensor {
+            s: PackedStreams::quantize_parallel(
+                m,
+                cfg,
+                quantize_threads(m.len()),
+                |x, codes, meta| {
+                    activation::quantize_group_into(x, gc, cfg.scale_rule, codes, meta)
+                },
+            ),
+        }
+    }
+
     packed_accessors!();
 
     /// Converts the grouped representation into packed streams.
@@ -546,11 +669,31 @@ pub struct PackedWeightTensor {
 
 impl PackedWeightTensor {
     /// Quantizes a (transposed) weight matrix row-wise straight into the
-    /// packed streams — no per-group heap allocation.
+    /// packed streams — no per-group heap allocation, single-threaded.
     pub fn quantize(w_t: &Matrix, cfg: M2xfpConfig) -> Self {
+        Self::quantize_parallel_threaded(w_t, cfg, 1)
+    }
+
+    /// The production offline weight-quantization entry point: the
+    /// integer-LUT Sg-EM search ([`weight::quantize_group_into`]) fanned
+    /// out over scoped worker threads, encoding straight into the three
+    /// streams with no intermediate [`WeightGroup`].
+    ///
+    /// The worker count scales with the tensor size (small tensors stay
+    /// single-threaded to avoid spawn overhead) and is capped at the
+    /// available cores. Output is byte-identical for every thread count
+    /// and bit-identical to the legacy float search
+    /// ([`WeightTensor::quantize_reference`]), which the property tests
+    /// assert.
+    pub fn quantize_parallel(w_t: &Matrix, cfg: M2xfpConfig) -> Self {
+        Self::quantize_parallel_threaded(w_t, cfg, quantize_threads(w_t.len()))
+    }
+
+    /// [`Self::quantize_parallel`] with an explicit worker count.
+    pub fn quantize_parallel_threaded(w_t: &Matrix, cfg: M2xfpConfig, threads: usize) -> Self {
         let gc = cfg.group_config();
         PackedWeightTensor {
-            s: PackedStreams::quantize(w_t, cfg, |w, codes, sg_em| {
+            s: PackedStreams::quantize_parallel(w_t, cfg, threads, |w, codes, sg_em| {
                 weight::quantize_group_into(
                     w,
                     gc,
@@ -601,9 +744,27 @@ impl PackedWeightTensor {
         }
     }
 
-    /// Dequantizes back to `f32` (still transposed).
+    /// Dequantizes back to `f32` (still transposed), walking the packed
+    /// streams directly — bit-identical to the grouped
+    /// [`WeightTensor::dequantize`], without reconstructing per-group
+    /// structs.
     pub fn dequantize(&self) -> Matrix {
-        self.to_grouped().dequantize()
+        let gs = self.s.cfg.group_size;
+        let sgs = self.s.cfg.subgroup_size;
+        let gpr = self.groups_per_row();
+        let mut data = vec![0.0f32; self.s.rows * self.s.cols];
+        for g in 0..self.group_count() {
+            let len = self.group_len(g);
+            let scale = self.group_scale(g).value();
+            let base = (g / gpr) * self.s.cols + (g % gpr) * gs;
+            for sg in 0..len.div_ceil(sgs) {
+                let eff = weight::SG_MULTIPLIERS[self.meta_at(g, sg) as usize] * scale;
+                for i in sg * sgs..len.min((sg + 1) * sgs) {
+                    data[base + i] = FP4_VALUES[self.code_at(g, i) as usize] * eff;
+                }
+            }
+        }
+        Matrix::from_vec(self.s.rows, self.s.cols, data)
     }
 }
 
@@ -758,6 +919,60 @@ mod tests {
             assert_eq!(PackedWeightTensor::from_grouped(&grouped), packed);
             assert_eq!(packed.to_grouped(), grouped, "cols={cols}");
             assert_eq!(packed.dequantize(), grouped.dequantize(), "cols={cols}");
+        }
+    }
+
+    #[test]
+    fn parallel_weight_search_identical_across_threads_and_oracle() {
+        // The threaded LUT search must be byte-identical to the float-codec
+        // oracle for every thread count, including ragged trailing groups
+        // and subgroup sizes whose metadata runs are not byte-aligned per
+        // group (spg = 2 → 4 bits/group).
+        for cfg in [
+            M2xfpConfig::default(),
+            M2xfpConfig {
+                subgroup_size: 16,
+                ..M2xfpConfig::default()
+            },
+            M2xfpConfig {
+                adaptive_weight_scale: false,
+                ..M2xfpConfig::default()
+            },
+        ] {
+            for cols in [32, 96, 41] {
+                let m = sample(5, cols);
+                let oracle =
+                    PackedWeightTensor::from_grouped(&WeightTensor::quantize_reference(&m, cfg));
+                for threads in [1, 2, 3, 8] {
+                    let p = PackedWeightTensor::quantize_parallel_threaded(&m, cfg, threads);
+                    assert_eq!(p, oracle, "cols={cols} threads={threads}");
+                }
+                assert_eq!(PackedWeightTensor::quantize_parallel(&m, cfg), oracle);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_act_quantize_matches_sequential() {
+        let cfg = M2xfpConfig::default();
+        for cols in [32, 64, 45] {
+            let m = sample(7, cols);
+            let seq = PackedActTensor::quantize(&m, cfg);
+            assert_eq!(PackedActTensor::quantize_parallel(&m, cfg), seq, "{cols}");
+        }
+    }
+
+    #[test]
+    fn packed_weight_direct_dequantize_matches_grouped() {
+        let cfg = M2xfpConfig::default();
+        for cols in [32, 41, 96] {
+            let m = sample(3, cols);
+            let p = PackedWeightTensor::quantize_parallel(&m, cfg);
+            let grouped = p.to_grouped().dequantize();
+            let direct = p.dequantize();
+            for (a, b) in direct.as_slice().iter().zip(grouped.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cols={cols}");
+            }
         }
     }
 

@@ -148,21 +148,41 @@ pub fn qgemm(x: &ActTensor, w: &WeightTensor) -> Matrix {
     out
 }
 
+/// Minimum MAC count that justifies one additional GEMM worker thread.
+/// Below ~8 MiMAC per extra worker the scoped-thread spawn/join overhead
+/// and the cache interference of splitting a small output exceed the
+/// parallel win (the recorded `BENCH_m2xfp.json` anomaly where the
+/// threaded kernel lost to the pinned single-thread run), so small and
+/// medium GEMMs stay single-threaded.
+const GEMM_MACS_PER_THREAD: usize = 8 << 20;
+
+/// Worker count [`qgemm_packed`] auto-selects for an `M×K×N` problem: one
+/// thread per [`GEMM_MACS_PER_THREAD`] MACs, capped at the available cores
+/// and at the output row count (row chunks are the parallel grain), never
+/// below one.
+pub fn gemm_threads(m: usize, k: usize, n: usize) -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let macs = m.saturating_mul(k).saturating_mul(n);
+    avail.min(macs / GEMM_MACS_PER_THREAD).min(m.max(1)).max(1)
+}
+
 /// Cache-blocked integer qGEMM over the packed three-stream tensors,
 /// parallelized over output row chunks with scoped threads. Bit-exact
 /// against [`qgemm`] and [`qgemm_reference`].
 ///
-/// Uses one thread per available core; see [`qgemm_packed_threaded`] to
-/// pin the worker count (1 reproduces the sequential order exactly — but
-/// every count produces identical bits, since each output element is
-/// computed by exactly one worker).
+/// The worker count comes from [`gemm_threads`] (work-size threshold, so
+/// small/medium GEMMs skip the spawn overhead entirely); see
+/// [`qgemm_packed_threaded`] to pin it (1 reproduces the sequential order
+/// exactly — but every count produces identical bits, since each output
+/// element is computed by exactly one worker).
 ///
 /// # Panics
 ///
 /// Panics when the reduction dimensions or group geometries disagree.
 pub fn qgemm_packed(x: &PackedActTensor, w: &PackedWeightTensor) -> Matrix {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    qgemm_packed_threaded(x, w, threads)
+    let (m, k) = x.shape();
+    let n = w.shape().0;
+    qgemm_packed_threaded(x, w, gemm_threads(m, k, n))
 }
 
 /// [`qgemm_packed`] with an explicit worker count.

@@ -10,7 +10,8 @@
 //! * `quantize_*` return the dequantized ("fake-quantized") tensor, which is
 //!   exactly what flows through the paper's accuracy evaluation.
 
-use crate::{activation, weight, M2xfpConfig};
+use crate::format::PackedWeightTensor;
+use crate::{activation, M2xfpConfig};
 use m2x_tensor::Matrix;
 
 /// A weight/activation quantization format.
@@ -102,10 +103,13 @@ impl TensorQuantizer for M2xfpQuantizer {
     }
 
     fn quantize_weights(&self, w: &Matrix) -> Matrix {
-        let gc = self.cfg.group_config();
-        fake_quant_rowwise(w, self.cfg.group_size, |g| {
-            weight::fake_quantize_group(g, gc, self.cfg.scale_rule, self.cfg.adaptive_weight_scale)
-        })
+        // The threaded integer-LUT Sg-EM search straight into the packed
+        // streams, then a direct stream dequantize — bit-identical to the
+        // legacy per-group float search (`weight::fake_quantize_group`
+        // over `fake_quant_rowwise`), roughly an order of magnitude
+        // faster, and what makes multi-layer offline quantization (§6
+        // end-to-end) practical.
+        PackedWeightTensor::quantize_parallel(w, self.cfg).dequantize()
     }
 
     fn quantize_activations(&self, x: &Matrix) -> Matrix {
@@ -113,6 +117,57 @@ impl TensorQuantizer for M2xfpQuantizer {
         fake_quant_rowwise(x, self.cfg.group_size, |g| {
             activation::fake_quantize_group(g, gc, self.cfg.scale_rule)
         })
+    }
+}
+
+/// The float-codec reference twin of [`M2xfpQuantizer`]: weights run the
+/// original per-group decode/encode Sg-EM search
+/// ([`weight::quantize_group_reference`]) instead of the threaded LUT
+/// path. Kept as the bit-exactness oracle — tests assert the production
+/// quantizer matches it bit for bit. Slow; not for production use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceM2xfpQuantizer {
+    cfg: M2xfpConfig,
+}
+
+impl ReferenceM2xfpQuantizer {
+    /// Creates an oracle quantizer from a configuration.
+    pub fn new(cfg: M2xfpConfig) -> Self {
+        ReferenceM2xfpQuantizer { cfg }
+    }
+}
+
+impl TensorQuantizer for ReferenceM2xfpQuantizer {
+    fn name(&self) -> String {
+        format!("{}-reference", M2xfpQuantizer::new(self.cfg).name())
+    }
+
+    fn weight_ebw(&self) -> f64 {
+        M2xfpQuantizer::new(self.cfg).weight_ebw()
+    }
+
+    fn activation_ebw(&self) -> f64 {
+        M2xfpQuantizer::new(self.cfg).activation_ebw()
+    }
+
+    fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        use crate::weight;
+        let gc = self.cfg.group_config();
+        fake_quant_rowwise(w, self.cfg.group_size, |g| {
+            weight::dequantize_group(
+                &weight::quantize_group_reference(
+                    g,
+                    gc,
+                    self.cfg.scale_rule,
+                    self.cfg.adaptive_weight_scale,
+                ),
+                gc,
+            )
+        })
+    }
+
+    fn quantize_activations(&self, x: &Matrix) -> Matrix {
+        M2xfpQuantizer::new(self.cfg).quantize_activations(x)
     }
 }
 
@@ -221,6 +276,36 @@ mod tests {
         for i in 0..names.len() {
             for j in i + 1..names.len() {
                 assert_ne!(names[i], names[j], "{} vs {}", names[i], names[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn routed_quantize_weights_matches_legacy_fake_quant() {
+        // quantize_weights now runs the threaded LUT search through the
+        // packed streams; it must stay bit-identical to the float-codec
+        // oracle quantizer (the legacy per-group fake-quantization it
+        // replaced — result caches and recorded tables depend on it).
+        for cfg in [
+            M2xfpConfig::default(),
+            M2xfpConfig {
+                adaptive_weight_scale: false,
+                ..M2xfpConfig::default()
+            },
+            M2xfpConfig {
+                scale_rule: crate::ScaleRule::Ceil,
+                ..M2xfpConfig::default()
+            },
+        ] {
+            let q = M2xfpQuantizer::new(cfg);
+            let oracle = ReferenceM2xfpQuantizer::new(cfg);
+            for (rows, cols) in [(4, 128), (3, 100), (1, 32)] {
+                let w = toy_matrix(rows, cols, 0.3);
+                let routed = q.quantize_weights(&w);
+                let legacy = oracle.quantize_weights(&w);
+                for (a, b) in routed.as_slice().iter().zip(legacy.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{}x{cols}", rows);
+                }
             }
         }
     }

@@ -17,7 +17,7 @@
 use crate::ebw::BitBudget;
 use crate::group::GroupConfig;
 use crate::scale::ScaleRule;
-use m2x_formats::tables::{top1_index, top2_indices};
+use m2x_formats::tables::{fp4_encode, top1_index, top2_indices, FP4_VALUES};
 use m2x_formats::{fp4, fp6_e2m3, E8M0};
 use std::fmt;
 
@@ -90,45 +90,80 @@ impl MetadataStrategy {
         rule: ScaleRule,
         mode: ScaleMode,
     ) -> Vec<f32> {
-        assert!(!x.is_empty());
-        let f4 = fp4();
-        let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        let e0 = rule.shared_exponent(amax, f4);
-        let biases: &[i32] = match mode {
-            ScaleMode::Fixed => &[0],
-            ScaleMode::Adaptive => &[-1, 0, 1],
-        };
-        let mut best: Option<(f64, Vec<f32>)> = None;
-        for &b in biases {
-            let s = E8M0::from_exponent(e0 + b).value();
-            let q = self.quantize_at_scale(x, cfg, s);
-            let sse: f64 = x
-                .iter()
-                .zip(&q)
-                .map(|(&a, &b)| {
-                    let d = (a - b) as f64;
-                    d * d
-                })
-                .sum();
-            let better = match &best {
-                None => true,
-                Some((t, _)) => sse < *t,
-            };
-            if better {
-                best = Some((sse, q));
-            }
-        }
-        best.expect("non-empty bias set").1
+        bias_search(x, rule, mode, |s| self.quantize_at_scale(x, cfg, s))
     }
 
     fn quantize_at_scale(&self, x: &[f32], cfg: GroupConfig, s: f32) -> Vec<f32> {
         match self {
             MetadataStrategy::ElemEm { top } => elem_em(x, cfg, s, *top),
             MetadataStrategy::ElemEe => elem_ee(x, cfg, s),
-            MetadataStrategy::SgEm { bits } => sg_scaled(x, cfg, s, &multipliers(*bits)),
-            MetadataStrategy::SgEe { bits } => sg_scaled(x, cfg, s, &offsets(*bits)),
+            MetadataStrategy::SgEm { bits } => sg_scaled(x, cfg, s, multipliers(*bits)),
+            MetadataStrategy::SgEe { bits } => sg_scaled(x, cfg, s, offsets(*bits)),
         }
     }
+
+    /// [`Self::fake_quantize_group`] through the float-codec reference
+    /// scorer for the subgroup-scaled strategies — the bit-exactness
+    /// oracle the property tests compare the LUT path against. The
+    /// element-level strategies have a single implementation and are
+    /// shared between both entry points, as is the bias-search outer loop
+    /// ([`bias_search`]); only the quantize-at-scale scorer differs.
+    pub fn fake_quantize_group_reference(
+        &self,
+        x: &[f32],
+        cfg: GroupConfig,
+        rule: ScaleRule,
+        mode: ScaleMode,
+    ) -> Vec<f32> {
+        bias_search(x, rule, mode, |s| match self {
+            MetadataStrategy::ElemEm { top } => elem_em(x, cfg, s, *top),
+            MetadataStrategy::ElemEe => elem_ee(x, cfg, s),
+            MetadataStrategy::SgEm { bits } => sg_scaled_reference(x, cfg, s, multipliers(*bits)),
+            MetadataStrategy::SgEe { bits } => sg_scaled_reference(x, cfg, s, offsets(*bits)),
+        })
+    }
+}
+
+/// The shared-scale bias search of §4.1 (outer loop of the adaptive
+/// mode): quantizes the group at each candidate scale `2^(e0+b)` via
+/// `quantize_at_scale` and keeps the first candidate with the strictly
+/// smallest SSE. Shared by the production and reference entry points so
+/// the candidate set, summation order and tie-breaking can never drift
+/// apart.
+fn bias_search(
+    x: &[f32],
+    rule: ScaleRule,
+    mode: ScaleMode,
+    mut quantize_at_scale: impl FnMut(f32) -> Vec<f32>,
+) -> Vec<f32> {
+    assert!(!x.is_empty());
+    let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let e0 = rule.shared_exponent(amax, fp4());
+    let biases: &[i32] = match mode {
+        ScaleMode::Fixed => &[0],
+        ScaleMode::Adaptive => &[-1, 0, 1],
+    };
+    let mut best: Option<(f64, Vec<f32>)> = None;
+    for &b in biases {
+        let s = E8M0::from_exponent(e0 + b).value();
+        let q = quantize_at_scale(s);
+        let sse: f64 = x
+            .iter()
+            .zip(&q)
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum();
+        let better = match &best {
+            None => true,
+            Some((t, _)) => sse < *t,
+        };
+        if better {
+            best = Some((sse, q));
+        }
+    }
+    best.expect("non-empty bias set").1
 }
 
 impl fmt::Display for MetadataStrategy {
@@ -143,20 +178,20 @@ impl fmt::Display for MetadataStrategy {
 }
 
 /// Subgroup scale multipliers for Sg-EM (1 bit: {1, 1.5}; 2 bits: Eq. 3).
-fn multipliers(bits: u8) -> Vec<f32> {
+fn multipliers(bits: u8) -> &'static [f32] {
     match bits {
-        1 => vec![1.0, 1.5],
-        2 => vec![1.0, 1.25, 1.5, 1.75],
+        1 => &[1.0, 1.5],
+        2 => &[1.0, 1.25, 1.5, 1.75],
         _ => panic!("Sg-EM supports 1 or 2 bits, got {bits}"),
     }
 }
 
 /// Subgroup scale factors for Sg-EE (downward power-of-two offsets, the SMX
 /// concept: small subgroups drop to a finer scale).
-fn offsets(bits: u8) -> Vec<f32> {
+fn offsets(bits: u8) -> &'static [f32] {
     match bits {
-        1 => vec![1.0, 0.5],
-        2 => vec![1.0, 0.5, 0.25, 0.125],
+        1 => &[1.0, 0.5],
+        2 => &[1.0, 0.5, 0.25, 0.125],
         _ => panic!("Sg-EE supports 1 or 2 bits, got {bits}"),
     }
 }
@@ -218,8 +253,52 @@ fn elem_ee(x: &[f32], cfg: GroupConfig, s: f32) -> Vec<f32> {
 
 /// Subgroup-level scale refinement: each subgroup picks the factor (from
 /// `factors`, times the shared scale) minimizing its SSE — covers both
-/// Sg-EM (multipliers ≥ 1) and Sg-EE (power-of-two offsets ≤ 1).
+/// Sg-EM (multipliers ≥ 1, 1- or 2-bit) and Sg-EE (power-of-two offsets
+/// ≤ 1).
+///
+/// Production path: per factor a 16-entry dequantized-value LUT is built
+/// once, each candidate is scored with the branch-free [`fp4_encode`]
+/// (integer adds over seven compares) plus one LUT read, and only the
+/// winning candidate is materialized. Bit-identical to
+/// [`sg_scaled_reference`], without a codec `quantize` call or a per-
+/// candidate allocation anywhere.
 fn sg_scaled(x: &[f32], cfg: GroupConfig, s: f32, factors: &[f32]) -> Vec<f32> {
+    // Factor lists are tiny (≤ 4); stack tables, rebuilt per group call.
+    let mut effs = [0.0f32; 4];
+    let mut qvs = [[0.0f32; 16]; 4];
+    assert!(factors.len() <= 4, "at most 4 subgroup factors supported");
+    for (k, &m) in factors.iter().enumerate() {
+        effs[k] = m * s;
+        for (c, q) in qvs[k].iter_mut().enumerate() {
+            *q = FP4_VALUES[c] * effs[k];
+        }
+    }
+    let mut out = Vec::with_capacity(x.len());
+    for sg in x.chunks(cfg.subgroup_size()) {
+        let mut best_f = 0usize;
+        let mut best_sse = f64::INFINITY;
+        for f in 0..factors.len() {
+            let eff = effs[f];
+            let qv = &qvs[f];
+            let mut sse = 0.0f64;
+            for &v in sg {
+                let d = (v - qv[fp4_encode(v / eff) as usize]) as f64;
+                sse += d * d;
+            }
+            if sse < best_sse {
+                best_sse = sse;
+                best_f = f;
+            }
+        }
+        let eff = effs[best_f];
+        let qv = &qvs[best_f];
+        out.extend(sg.iter().map(|&v| qv[fp4_encode(v / eff) as usize]));
+    }
+    out
+}
+
+/// Float-codec twin of [`sg_scaled`], kept as the bit-exactness oracle.
+fn sg_scaled_reference(x: &[f32], cfg: GroupConfig, s: f32, factors: &[f32]) -> Vec<f32> {
     let f4 = fp4();
     let mut out = Vec::with_capacity(x.len());
     for sg in x.chunks(cfg.subgroup_size()) {
@@ -418,6 +497,36 @@ mod tests {
         for s in MetadataStrategy::FIG6_SET {
             let q = s.fake_quantize_group(&x, cfg(8), ScaleRule::Floor, ScaleMode::Adaptive);
             assert!(q.iter().all(|&v| v == 0.0), "{s}");
+        }
+    }
+
+    #[test]
+    fn lut_scorer_bit_identical_to_reference() {
+        // The Sg strategies run the LUT fast path; the reference oracle
+        // runs the float codec. Outputs must agree bit for bit across
+        // metadata widths, subgroup sizes and scale modes.
+        let strategies = [
+            MetadataStrategy::SgEm { bits: 1 },
+            MetadataStrategy::SgEm { bits: 2 },
+            MetadataStrategy::SgEe { bits: 1 },
+            MetadataStrategy::SgEe { bits: 2 },
+            MetadataStrategy::ElemEm { top: 1 },
+            MetadataStrategy::ElemEe,
+        ];
+        for seed in 0..30 {
+            let x = data(seed);
+            for s in strategies {
+                for sg in [4, 8, 16] {
+                    for mode in [ScaleMode::Fixed, ScaleMode::Adaptive] {
+                        let fast = s.fake_quantize_group(&x, cfg(sg), ScaleRule::Floor, mode);
+                        let oracle =
+                            s.fake_quantize_group_reference(&x, cfg(sg), ScaleRule::Floor, mode);
+                        for (a, b) in fast.iter().zip(&oracle) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "{s} sg={sg} seed={seed}");
+                        }
+                    }
+                }
+            }
         }
     }
 

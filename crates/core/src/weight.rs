@@ -7,9 +7,29 @@
 //! searched jointly and absorbed into the stored E8M0 scale (it costs no
 //! extra bits). Parameters are chosen by hierarchical MSE minimization
 //! (Eq. 4): best multiplier per subgroup given `b`, then best `b`.
+//!
+//! Two implementations of the search are provided:
+//!
+//! * the **production LUT path** ([`quantize_group_into`]) — per candidate
+//!   `(bias, multiplier)` a 16-entry dequantized-value LUT is precomputed
+//!   once ([`ScaleLuts`]), each element is encoded branch-free via
+//!   [`m2x_formats::tables::fp4_encode`] (seven compares summed with
+//!   integer adds — no `log2`, no rounding loop, no float decode
+//!   round-trip), and its squared error accumulated from the LUT value;
+//! * the **float reference oracle** ([`quantize_group_reference`]) — the
+//!   original decode/encode loop through the [`Minifloat`] codec, kept as
+//!   the bit-exactness oracle the property tests compare against.
+//!
+//! Both produce **bit-identical** codes, scales and multiplier codes; the
+//! LUT path is roughly an order of magnitude faster, which is what makes
+//! multi-layer offline weight quantization practical (see
+//! `PackedWeightTensor::quantize_parallel`).
+//!
+//! [`Minifloat`]: m2x_formats::Minifloat
 
 use crate::group::GroupConfig;
 use crate::scale::ScaleRule;
+use m2x_formats::tables::{fp4_encode, FP4_VALUES};
 use m2x_formats::{fp4, E8M0};
 
 /// The four subgroup scale multipliers encoded by the 2-bit Sg-EM codes
@@ -83,6 +103,131 @@ pub fn quantize_group_into(
     codes: &mut [u8],
     sg_em: &mut [u8],
 ) -> E8M0 {
+    check_buffers(w, cfg, codes, sg_em);
+
+    let amax = w.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let e0 = rule.shared_exponent(amax, fp4());
+    let biases: &[i32] = if adaptive { &[-1, 0, 1] } else { &[0] };
+
+    // Outer loop of Eq. 4: first candidate bias with the strictly smallest
+    // total SSE wins (same tie-breaking as an ordered min-search). A bias
+    // whose partial total already reaches the incumbent can never win the
+    // strict `<` comparison (per-subgroup SSEs are non-negative, so the
+    // total is monotone in the subgroup index) — pruning it changes no
+    // outcome, only skips work. The winning bias is never pruned, so its
+    // multiplier codes (stacked in `cand`) are complete and exact and the
+    // encode pass below needs no re-search.
+    let mut cand = [0u8; MAX_CACHED_SUBGROUPS];
+    let cache = sg_em.len() <= cand.len();
+    // Whether any bias won the strict comparison: with degenerate totals
+    // (NaN/∞ from non-finite inputs or scale overflow) none does, and the
+    // encode pass falls back to recomputing, exactly like the oracle.
+    let mut won = false;
+    let mut best_bias = biases[0];
+    let mut best_total = f64::INFINITY;
+    'bias: for &b in biases {
+        let luts = ScaleLuts::new(E8M0::from_exponent(e0 + b).value());
+        let mut total = 0.0f64;
+        for (i, sg) in w.chunks(cfg.subgroup_size()).enumerate() {
+            let (k, sse) = best_multiplier_lut(sg, &luts);
+            if cache {
+                cand[i] = k;
+            }
+            total += sse;
+            if total >= best_total {
+                continue 'bias;
+            }
+        }
+        if total < best_total {
+            best_total = total;
+            best_bias = b;
+            won = true;
+            if cache {
+                sg_em.copy_from_slice(&cand[..sg_em.len()]);
+            }
+        }
+    }
+    let cache = cache && won;
+
+    // Encode with the winning parameters. The per-subgroup multipliers are
+    // the winning bias's cached codes; a group with more subgroups than the
+    // stack cache recomputes them (deterministic, so identical to the
+    // search pass).
+    let scale = E8M0::from_exponent(e0 + best_bias);
+    let luts = ScaleLuts::new(scale.value());
+    let sg_size = cfg.subgroup_size();
+    for (sg_idx, sg) in w.chunks(sg_size).enumerate() {
+        let k = if cache {
+            sg_em[sg_idx]
+        } else {
+            best_multiplier_lut(sg, &luts).0
+        };
+        sg_em[sg_idx] = k;
+        let eff = luts.eff[k as usize];
+        for (c, &v) in codes[sg_idx * sg_size..].iter_mut().zip(sg) {
+            *c = fp4_encode(v / eff);
+        }
+    }
+    scale
+}
+
+/// Subgroup-count ceiling for the stack-allocated multiplier cache in
+/// [`quantize_group_into`]; larger groups fall back to recomputing the
+/// winning multipliers in the encode pass.
+const MAX_CACHED_SUBGROUPS: usize = 128;
+
+/// The float-codec Sg-EM search — the original implementation, kept
+/// verbatim as the **bit-exactness oracle** for the LUT path. Produces the
+/// same codes, scale and multiplier codes as [`quantize_group_into`]
+/// (asserted by unit and property tests), an order of magnitude slower.
+pub fn quantize_group_reference(
+    w: &[f32],
+    cfg: GroupConfig,
+    rule: ScaleRule,
+    adaptive: bool,
+) -> WeightGroup {
+    let mut codes = vec![0u8; w.len()];
+    let mut sg_em = vec![0u8; cfg.subgroup_count(w.len())];
+    check_buffers(w, cfg, &codes, &sg_em);
+    let f4 = fp4();
+
+    let amax = w.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let e0 = rule.shared_exponent(amax, f4);
+    let biases: &[i32] = if adaptive { &[-1, 0, 1] } else { &[0] };
+
+    let mut best_bias = biases[0];
+    let mut best_total = f64::INFINITY;
+    for &b in biases {
+        let s = E8M0::from_exponent(e0 + b).value();
+        let total: f64 = w
+            .chunks(cfg.subgroup_size())
+            .map(|sg| best_multiplier_reference(sg, s).1)
+            .sum();
+        if total < best_total {
+            best_total = total;
+            best_bias = b;
+        }
+    }
+
+    let scale = E8M0::from_exponent(e0 + best_bias);
+    let s = scale.value();
+    let sg_size = cfg.subgroup_size();
+    for (sg_idx, sg) in w.chunks(sg_size).enumerate() {
+        let k = best_multiplier_reference(sg, s).0;
+        sg_em[sg_idx] = k;
+        let eff = SG_MULTIPLIERS[k as usize] * s;
+        for (c, &v) in codes[sg_idx * sg_size..].iter_mut().zip(sg) {
+            *c = f4.encode(v / eff);
+        }
+    }
+    WeightGroup {
+        codes,
+        scale,
+        sg_em,
+    }
+}
+
+fn check_buffers(w: &[f32], cfg: GroupConfig, codes: &[u8], sg_em: &[u8]) {
     assert!(!w.is_empty(), "group must be non-empty");
     assert!(
         w.len() <= cfg.group_size(),
@@ -94,47 +239,70 @@ pub fn quantize_group_into(
         cfg.subgroup_count(w.len()),
         "sg_em buffer length mismatch"
     );
-    let f4 = fp4();
-
-    let amax = w.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-    let e0 = rule.shared_exponent(amax, f4);
-    let biases: &[i32] = if adaptive { &[-1, 0, 1] } else { &[0] };
-
-    // Outer loop of Eq. 4: first candidate bias with the strictly smallest
-    // total SSE wins (same tie-breaking as an ordered min-search).
-    let mut best_bias = biases[0];
-    let mut best_total = f64::INFINITY;
-    for &b in biases {
-        let s = E8M0::from_exponent(e0 + b).value();
-        let total: f64 = w
-            .chunks(cfg.subgroup_size())
-            .map(|sg| best_multiplier(sg, s).1)
-            .sum();
-        if total < best_total {
-            best_total = total;
-            best_bias = b;
-        }
-    }
-
-    // Encode with the winning parameters, recomputing each subgroup's best
-    // multiplier (deterministic, so identical to the search pass).
-    let scale = E8M0::from_exponent(e0 + best_bias);
-    let s = scale.value();
-    let sg_size = cfg.subgroup_size();
-    for (sg_idx, sg) in w.chunks(sg_size).enumerate() {
-        let k = best_multiplier(sg, s).0;
-        sg_em[sg_idx] = k;
-        let eff = SG_MULTIPLIERS[k as usize] * s;
-        for (c, &v) in codes[sg_idx * sg_size..].iter_mut().zip(sg) {
-            *c = f4.encode(v / eff);
-        }
-    }
-    scale
 }
 
-/// Finds the multiplier code minimizing the subgroup's squared error under
-/// shared scale `s` (inner loop of Eq. 4). Ties keep the smaller code.
-fn best_multiplier(sg: &[f32], s: f32) -> (u8, f64) {
+/// The candidate effective scales for one shared scale `s`:
+/// `eff[k] = SG_MULTIPLIERS[k] * s`, the same `f32` products the float
+/// oracle forms, so every downstream multiply matches it bit for bit.
+struct ScaleLuts {
+    eff: [f32; 4],
+}
+
+impl ScaleLuts {
+    #[inline]
+    fn new(s: f32) -> Self {
+        let mut eff = [0.0f32; 4];
+        for k in 0..4 {
+            eff[k] = SG_MULTIPLIERS[k] * s;
+        }
+        ScaleLuts { eff }
+    }
+}
+
+/// Finds the multiplier code minimizing the subgroup's squared error via
+/// the LUT scorer (inner loop of Eq. 4). Ties keep the smaller code.
+/// Bit-identical to [`best_multiplier_reference`].
+///
+/// All four candidates are scored in a single pass over the elements with
+/// four independent accumulators: the divisions pipeline, the branch-free
+/// [`fp4_encode`]s and the four f64 chains overlap, and there is no
+/// data-dependent branch to mispredict. Each accumulator still sums its
+/// candidate's squared errors in element order — exactly the oracle's
+/// summation — so the SSE values (and therefore the argmin and its
+/// tie-breaks) are identical.
+#[inline]
+fn best_multiplier_lut(sg: &[f32], luts: &ScaleLuts) -> (u8, f64) {
+    let [e0, e1, e2, e3] = luts.eff;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for &v in sg {
+        let q0 = FP4_VALUES[fp4_encode(v / e0) as usize] * e0;
+        let q1 = FP4_VALUES[fp4_encode(v / e1) as usize] * e1;
+        let q2 = FP4_VALUES[fp4_encode(v / e2) as usize] * e2;
+        let q3 = FP4_VALUES[fp4_encode(v / e3) as usize] * e3;
+        let (d0, d1, d2, d3) = (
+            (q0 - v) as f64,
+            (q1 - v) as f64,
+            (q2 - v) as f64,
+            (q3 - v) as f64,
+        );
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut best_k = 0u8;
+    let mut best_sse = f64::INFINITY;
+    for (k, sse) in [s0, s1, s2, s3].into_iter().enumerate() {
+        if sse < best_sse {
+            best_sse = sse;
+            best_k = k as u8;
+        }
+    }
+    (best_k, best_sse)
+}
+
+/// Float-codec twin of [`best_multiplier_lut`] — the oracle's inner loop.
+fn best_multiplier_reference(sg: &[f32], s: f32) -> (u8, f64) {
     let f4 = fp4();
     let mut best_k = 0u8;
     let mut best_sse = f64::INFINITY;
@@ -199,10 +367,40 @@ mod tests {
         // A subgroup whose max is 5.0 under scale 1: multiplier 1.25 maps it
         // onto the FP4 code 4 exactly (5/1.25 = 4).
         let sg = [5.0f32, 0.6, 0.2, -0.1];
-        let (k, _) = best_multiplier(&sg, 1.0);
+        let (k, _) = best_multiplier_lut(&sg, &ScaleLuts::new(1.0));
         let eff = SG_MULTIPLIERS[k as usize];
         let q = m2x_formats::fp4().quantize(5.0 / eff) * eff;
         assert!((q - 5.0).abs() < 1e-6, "k={k} q={q}");
+    }
+
+    #[test]
+    fn lut_and_reference_multiplier_search_agree() {
+        let mut r = m2x_tensor::Xoshiro::seed(41);
+        for case in 0..500 {
+            let n = 1 + r.below(8);
+            let sg: Vec<f32> = (0..n).map(|_| r.laplace(1.0) * 3.0).collect();
+            let e = r.below(61) as i32 - 30;
+            let s = E8M0::from_exponent(e).value();
+            let (k_lut, sse_lut) = best_multiplier_lut(&sg, &ScaleLuts::new(s));
+            let (k_ref, sse_ref) = best_multiplier_reference(&sg, s);
+            assert_eq!(k_lut, k_ref, "case {case}");
+            assert_eq!(sse_lut.to_bits(), sse_ref.to_bits(), "case {case}");
+        }
+    }
+
+    #[test]
+    fn lut_search_bit_identical_to_reference_oracle() {
+        let mut r = m2x_tensor::Xoshiro::seed(97);
+        for case in 0..300 {
+            let n = 1 + r.below(32);
+            let scale = ((r.below(41) as i32 - 20) as f32).exp2();
+            let w: Vec<f32> = (0..n).map(|_| r.laplace(1.0) * scale).collect();
+            for adaptive in [false, true] {
+                let fast = quantize_group(&w, cfg(), ScaleRule::Floor, adaptive);
+                let oracle = quantize_group_reference(&w, cfg(), ScaleRule::Floor, adaptive);
+                assert_eq!(fast, oracle, "case {case} adaptive {adaptive}");
+            }
+        }
     }
 
     #[test]

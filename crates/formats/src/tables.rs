@@ -37,6 +37,48 @@ pub const FP4_X2: [i8; 16] = [
     0, -1, -2, -3, -4, -6, -8, -12, // -codes
 ];
 
+/// FP4 code → exact `f32` value, all 16 codes (sign in bit 3). Every FP4
+/// value is a small dyadic rational, so the table is exact; entry 8 is
+/// `-0.0` so that sign-sensitive arithmetic (`value * scale`) reproduces
+/// the codec's float decode bit for bit.
+pub const FP4_VALUES: [f32; 16] = [
+    0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, // +codes
+    -0.0, -0.5, -1.0, -1.5, -2.0, -3.0, -4.0, -6.0, // -codes
+];
+
+/// Branch-free FP4 (E2M1) magnitude encode: the code is the count of
+/// rounding boundaries below `a`.
+///
+/// The FP4 magnitude grid is {0, 0.5, 1, 1.5, 2, 3, 4, 6} and
+/// round-to-nearest-even places the decision boundaries at
+/// {0.25, 0.75, 1.25, 1.75, 2.5, 3.5, 5}; the midpoints that tie *upward*
+/// under RNE (0.75 → 1.0, 1.75 → 2.0, 3.5 → 4.0 land on even mantissas)
+/// use `>=`, the rest use `>`. Summing the seven comparison bits yields the
+/// magnitude code with integer adds only — no `log2`, no rounding loop.
+///
+/// Bit-identical to `fp4().encode_magnitude(a)` for every non-negative
+/// input including `+0.0`, subnormals, `+∞` (saturates to code 7) and NaN
+/// (code 0, matching [`crate::SpecialValues::None`]); verified
+/// exhaustively in the tests.
+#[inline(always)]
+pub fn fp4_mag_code(a: f32) -> u8 {
+    (a > 0.25) as u8
+        + (a >= 0.75) as u8
+        + (a > 1.25) as u8
+        + (a >= 1.75) as u8
+        + (a > 2.5) as u8
+        + (a >= 3.5) as u8
+        + (a > 5.0) as u8
+}
+
+/// Branch-free full FP4 encode (sign in bit 3), bit-identical to
+/// `fp4().encode(x)` — the hot-path primitive behind the Sg-EM/Sg-EE
+/// weight-search LUT scorer.
+#[inline(always)]
+pub fn fp4_encode(x: f32) -> u8 {
+    ((x.is_sign_negative() as u8) << 3) | fp4_mag_code(x.abs())
+}
+
 /// `(FP4 code, 2-bit meta)` → signed refined value ×8: the integer form of
 /// [`decode_extra_mantissa`] with the sign folded in.
 ///
@@ -184,6 +226,65 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fp4_values_match_float_decode() {
+        let f = fp4();
+        for c in 0..16u8 {
+            let want = f.decode(c);
+            let got = FP4_VALUES[c as usize];
+            assert_eq!(got.to_bits(), want.to_bits(), "code {c}");
+        }
+    }
+
+    #[test]
+    fn fast_encode_matches_codec_on_dense_sweep() {
+        let f = fp4();
+        // Dense sweep over the interesting range, both signs.
+        let mut x = -8.0f32;
+        while x <= 8.0 {
+            assert_eq!(fp4_encode(x), f.encode(x), "x={x}");
+            x += 0.001;
+        }
+    }
+
+    #[test]
+    fn fast_encode_matches_codec_at_exact_boundaries() {
+        let f = fp4();
+        // RNE decision boundaries and grid points, at many binades: these
+        // are exactly representable after scaling by powers of two, so the
+        // tie behavior must match precisely.
+        let pts = [
+            0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 7.0,
+        ];
+        for e in -130..=120i32 {
+            let s = (e as f32).exp2();
+            for &p in &pts {
+                for v in [p * s, -(p * s)] {
+                    assert_eq!(fp4_encode(v), f.encode(v), "v={v} (p={p}, e={e})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_encode_matches_codec_on_specials() {
+        let f = fp4();
+        for v in [
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            f32::from_bits(1), // smallest subnormal
+            -0.0,
+            0.0,
+        ] {
+            assert_eq!(fp4_encode(v), f.encode(v), "v={v}");
+        }
+        // NaN: codec encodes magnitude 0 under SpecialValues::None; the sign
+        // bit follows the NaN payload's sign in both paths.
+        assert_eq!(fp4_encode(f32::NAN) & 0x7, f.encode(f32::NAN) & 0x7);
     }
 
     #[test]

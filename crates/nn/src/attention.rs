@@ -5,6 +5,12 @@
 //! Q and the probability matrix P are produced on the fly and need the
 //! online Elem-EM path: `P = Q·Kᵀ`, `O = P·V`. This module evaluates the
 //! output error of that hybrid against any uniform format.
+//!
+//! With [`m2xfp::quantizer::M2xfpQuantizer`] as the `cached` format, the
+//! K/V quantization runs the threaded integer-LUT Sg-EM search (the
+//! `PackedWeightTensor::quantize_parallel` route), bit-identical to the
+//! legacy float search — long-context KV caches quantize at weight-search
+//! speed instead of the old ~12 s/4096² rate.
 
 use crate::profile::ModelProfile;
 use m2x_tensor::{stats, Matrix, Xoshiro};
@@ -122,6 +128,29 @@ mod tests {
             e_mx.output_nmse
         );
         assert!(e_m2.scores_nmse < e_mx.scores_nmse);
+    }
+
+    #[test]
+    fn kv_cache_lut_search_matches_legacy_float_search() {
+        // The M2XFP KV-cache path now quantizes K/V through the threaded
+        // LUT search; attention errors must be bit-identical to the legacy
+        // per-group float Sg-EM search.
+        use m2x_tensor::Matrix;
+        use m2xfp::quantizer::ReferenceM2xfpQuantizer;
+
+        let p = ModelProfile::llama3_8b();
+        let (q, k, v) = synth_head(&p, 48, 32);
+        let m2 = M2xfpQuantizer::default();
+        let oracle = ReferenceM2xfpQuantizer::default();
+        let kq: Matrix = m2.quantize_weights(&k);
+        let kq_ref: Matrix = oracle.quantize_weights(&k);
+        for (a, b) in kq.as_slice().iter().zip(kq_ref.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let e = evaluate_attention(&q, &k, &v, &m2, &m2);
+        let e_ref = evaluate_attention(&q, &k, &v, &oracle, &oracle);
+        assert_eq!(e.scores_nmse.to_bits(), e_ref.scores_nmse.to_bits());
+        assert_eq!(e.output_nmse.to_bits(), e_ref.output_nmse.to_bits());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use m2x_tensor::Matrix;
 use m2xfp::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
-use m2xfp::gemm::{qgemm, qgemm_packed_planed, WeightPlane};
+use m2xfp::gemm::{gemm_threads, qgemm, qgemm_packed_planed, WeightPlane};
 use m2xfp::M2xfpConfig;
 use std::fmt;
 
@@ -67,7 +67,10 @@ impl QuantizedLinear {
                 ),
             });
         }
-        let packed = PackedWeightTensor::quantize(w_t, cfg);
+        // The threaded integer-LUT Sg-EM search — layer construction is the
+        // offline weight-quantization moment, the path the paper's §6
+        // end-to-end setting exercises per layer.
+        let packed = PackedWeightTensor::quantize_parallel(w_t, cfg);
         let plane = WeightPlane::decode(&packed);
         Ok(QuantizedLinear { packed, plane, cfg })
     }
@@ -114,8 +117,10 @@ impl QuantizedLinear {
     /// Fails on an input width mismatch.
     pub fn forward(&self, x: &Matrix) -> Result<Matrix, LinearError> {
         self.check_width(x)?;
-        let xq = PackedActTensor::quantize(x, self.cfg);
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Auto-threaded: decode-size batches fall below the work threshold
+        // and encode sequentially; large prefill batches fan out.
+        let xq = PackedActTensor::quantize_parallel(x, self.cfg);
+        let threads = gemm_threads(x.rows(), self.in_features(), self.out_features());
         Ok(qgemm_packed_planed(&xq, &self.plane, threads))
     }
 

@@ -233,15 +233,19 @@ impl Matrix {
 /// This is the shared parallel skeleton behind [`Matrix::matmul_threaded`]
 /// and the packed quantized GEMM in `m2xfp::gemm`: each worker owns a
 /// disjoint slice of the output, so no synchronization is needed and results
-/// are identical to the sequential loop.
+/// are identical to the sequential loop. Generic over the element type so
+/// single-buffer byte-stream outputs can reuse the skeleton; the packed
+/// quantizers' three-stream encode splits three buffers at once and keeps
+/// its own scoped-thread loop (`m2xfp::format`).
 ///
 /// # Panics
 ///
 /// Panics if `out.len()` is not a multiple of `ncols`, or if a worker
 /// panics.
-pub fn par_row_chunks<F>(out: &mut [f32], ncols: usize, threads: usize, body: F)
+pub fn par_row_chunks<T, F>(out: &mut [T], ncols: usize, threads: usize, body: F)
 where
-    F: Fn(usize, &mut [f32]) + Sync,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(ncols > 0, "ncols must be positive");
     assert_eq!(out.len() % ncols, 0, "buffer not a whole number of rows");

@@ -300,3 +300,120 @@ fn strategies_only_refine() {
         }
     });
 }
+
+/// The branch-free FP4 encode agrees with the minifloat codec everywhere:
+/// random values across ~80 binades, both signs, plus exact RNE midpoints.
+#[test]
+fn fast_fp4_encode_matches_codec() {
+    let f4 = fp4();
+    cases(256, |g| {
+        for _ in 0..64 {
+            let mant = g.f32_in(-8.0, 8.0);
+            let v = mant * ((g.int_in(-40, 40) as f32).exp2());
+            assert_eq!(
+                m2xfp_repro::formats::tables::fp4_encode(v),
+                f4.encode(v),
+                "case {} v={v}",
+                g.case
+            );
+        }
+        // Exact tie midpoints at a random binade.
+        let s = (g.int_in(-30, 30) as f32).exp2();
+        for p in [0.25f32, 0.75, 1.25, 1.75, 2.5, 3.5, 5.0] {
+            for v in [p * s, -(p * s)] {
+                assert_eq!(
+                    m2xfp_repro::formats::tables::fp4_encode(v),
+                    f4.encode(v),
+                    "case {} v={v}",
+                    g.case
+                );
+            }
+        }
+    });
+}
+
+/// The threaded integer-LUT Sg-EM search is bit-identical to the legacy
+/// float-codec search (`WeightTensor::quantize_reference`) across random
+/// shapes with ragged trailing groups, every `ScaleRule`, fixed and
+/// adaptive shared scales, extreme magnitudes and every thread count —
+/// and byte-identical across thread counts.
+#[test]
+fn parallel_lut_weight_search_bit_identical_to_oracle() {
+    cases(96, |g| {
+        let rows = 1 + g.below(5);
+        let cols = 1 + g.below(80); // ragged trailing groups most of the time
+        let rule = ScaleRule::ALL[g.below(5)];
+        let adaptive = g.below(2) == 1;
+        let scale = (g.int_in(-30, 30) as f32).exp2();
+        let data = g.vec_f32(rows * cols, -8.0, 8.0);
+        let m = Matrix::from_vec(rows, cols, data.iter().map(|&v| v * scale).collect());
+        let cfg = M2xfpConfig {
+            scale_rule: rule,
+            adaptive_weight_scale: adaptive,
+            ..M2xfpConfig::default()
+        };
+        let oracle = PackedWeightTensor::from_grouped(&WeightTensor::quantize_reference(&m, cfg));
+        let seq = PackedWeightTensor::quantize(&m, cfg);
+        assert_eq!(seq, oracle, "case {} (sequential)", g.case);
+        let threads = 1 + g.below(6);
+        let par = PackedWeightTensor::quantize_parallel_threaded(&m, cfg, threads);
+        assert_eq!(par, oracle, "case {} threads={threads}", g.case);
+    });
+}
+
+/// The LUT scorer behind the Sg-EM/Sg-EE strategy sweep is bit-identical
+/// to the float-codec reference for 1-bit and 2-bit metadata, every scale
+/// rule and both shared-scale modes.
+#[test]
+fn strategy_lut_scorer_bit_identical_to_oracle() {
+    cases(128, |g| {
+        let x = group32(g);
+        let bits = 1 + g.below(2) as u8;
+        let strategy = if g.below(2) == 0 {
+            MetadataStrategy::SgEm { bits }
+        } else {
+            MetadataStrategy::SgEe { bits }
+        };
+        let sg = [2usize, 4, 8, 16, 32][g.below(5)];
+        let cfg = GroupConfig::new(32, sg);
+        let rule = ScaleRule::ALL[g.below(5)];
+        let mode = if g.below(2) == 0 {
+            ScaleMode::Fixed
+        } else {
+            ScaleMode::Adaptive
+        };
+        let fast = strategy.fake_quantize_group(&x, cfg, rule, mode);
+        let oracle = strategy.fake_quantize_group_reference(&x, cfg, rule, mode);
+        for (i, (a, b)) in fast.iter().zip(&oracle).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "case {} {strategy} sg={sg} i={i}",
+                g.case
+            );
+        }
+    });
+}
+
+/// The routed `M2xfpQuantizer::quantize_weights` (threaded LUT search →
+/// packed streams → direct dequantize) matches the float reference
+/// quantizer bit for bit, so every downstream accuracy table is unchanged.
+#[test]
+fn routed_weight_quantizer_matches_reference_oracle() {
+    use m2xfp_repro::core::quantizer::{M2xfpQuantizer, ReferenceM2xfpQuantizer, TensorQuantizer};
+    cases(48, |g| {
+        let rows = 1 + g.below(4);
+        let cols = 1 + g.below(100);
+        let m = Matrix::from_vec(rows, cols, g.vec_f32(rows * cols, -16.0, 16.0));
+        let cfg = M2xfpConfig {
+            scale_rule: ScaleRule::ALL[g.below(5)],
+            adaptive_weight_scale: g.below(2) == 1,
+            ..M2xfpConfig::default()
+        };
+        let routed = M2xfpQuantizer::new(cfg).quantize_weights(&m);
+        let oracle = ReferenceM2xfpQuantizer::new(cfg).quantize_weights(&m);
+        for (a, b) in routed.as_slice().iter().zip(oracle.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "case {}", g.case);
+        }
+    });
+}
