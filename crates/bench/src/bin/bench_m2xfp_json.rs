@@ -14,6 +14,7 @@
 //! * `M2X_BENCH_WQ_REFERENCE` — set to `0` to skip timing the float-codec
 //!   reference weight search (it is the slow one: ~12 s per rep at 4096²).
 
+use m2x_bench::e2e::{run as run_e2e, E2eConfig};
 use m2x_bench::report::results_dir;
 use m2x_tensor::{Matrix, Xoshiro};
 use m2xfp::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
@@ -101,6 +102,21 @@ fn main() {
         .zip(b.as_slice())
         .all(|(p, q)| p.to_bits() == q.to_bits());
 
+    // Whole-model §6 end-to-end section: fixed small dims (independent of
+    // M2X_BENCH_DIM, so the committed baseline stays comparable across
+    // emitter dims). `speedup_packed` is the hardware-normalized
+    // grouped/packed whole-model ratio CI hard-gates; `gmacs` the absolute
+    // throughput it gates like the wall-times.
+    let e2e_cfg = E2eConfig {
+        reps,
+        ..E2eConfig::ci()
+    };
+    eprintln!(
+        "e2e model: hidden={} layers={} tokens={}",
+        e2e_cfg.hidden, e2e_cfg.layers, e2e_cfg.tokens
+    );
+    let e2e = run_e2e(e2e_cfg);
+
     let macs = (m * k * n) as f64;
     let elems = (m * k) as f64;
     // Quantize+qgemm: the end-to-end hot path the acceptance criterion
@@ -138,9 +154,31 @@ fn main() {
     "packed_threaded_s": {path_packed_mt:.6},
     "speedup_1thread": {p1:.3},
     "speedup_threaded": {pmt:.3}
+  }},
+  "e2e_model": {{
+    "hidden": {e2e_hidden},
+    "layers": {e2e_layers},
+    "tokens": {e2e_tokens},
+    "quantize_s": {e2e_quant:.6},
+    "forward_batch_packed_s": {e2e_fp:.6},
+    "forward_batch_grouped_s": {e2e_fg:.6},
+    "gmacs": {e2e_gmacs:.4},
+    "speedup_packed": {e2e_speedup:.3},
+    "backends_exact": {e2e_exact},
+    "nrmse": {e2e_nrmse:.6}
   }}
 }}
 "#,
+        e2e_hidden = e2e.cfg.hidden,
+        e2e_layers = e2e.cfg.layers,
+        e2e_tokens = e2e.cfg.tokens,
+        e2e_quant = e2e.quantize_s,
+        e2e_fp = e2e.forward_packed_s,
+        e2e_fg = e2e.forward_grouped_s,
+        e2e_gmacs = e2e.gmacs,
+        e2e_speedup = e2e.speedup_packed,
+        e2e_exact = e2e.backends_exact,
+        e2e_nrmse = e2e.nrmse,
         wq_grouped = if time_reference {
             format!("{t_wq:.6}")
         } else {
@@ -176,5 +214,9 @@ fn main() {
     assert!(
         wq_exact.unwrap_or(true),
         "parallel LUT weight search diverged from the float reference"
+    );
+    assert!(
+        e2e.backends_exact,
+        "packed and grouped backends diverged on the whole-model forward"
     );
 }

@@ -6,9 +6,10 @@
 //! committed `results/BENCH_ci_baseline.json` (same dims, produced by the
 //! same emitter) and exits non-zero when
 //!
-//! * any exactness flag (`exact_match`, `weight_search_exact`) is `false`
-//!   in the current run, or
-//! * any within-run speedup ratio dropped by more than the tolerance
+//! * any exactness flag (`exact_match`, `weight_search_exact`,
+//!   `e2e_model.backends_exact`) is `false` in the current run, or
+//! * any within-run speedup ratio — per-kernel or the whole-model
+//!   `e2e_model.speedup_packed` — dropped by more than the tolerance
 //!   (`M2X_GATE_TOLERANCE`, default 0.25 = 25%) relative to the baseline.
 //!
 //! Absolute wall-times are compared against the baseline too, but a
@@ -20,8 +21,13 @@
 //! (both sides measured in the same process), so they catch real code
 //! regressions regardless of runner speed.
 //!
-//! Metrics present in only one of the two files are reported but not
-//! gated, so the gate stays usable while fields evolve. The parser is a
+//! Metrics absent from the **baseline** are reported but not gated, so
+//! new emitter fields can land before the baseline is re-recorded. A
+//! hard-gated metric that the baseline has but the current run **lost**
+//! (key missing entirely — e.g. an emitter refactor renamed or dropped
+//! the section) fails the gate: silently disarming a gate is itself a
+//! regression. An explicit `null` (a deliberately skipped measurement,
+//! e.g. `M2X_BENCH_WQ_REFERENCE=0`) stays ungated. The parser is a
 //! self-contained subset of JSON (objects, numbers, bools, strings,
 //! `null`) — the workspace builds offline, with no serde.
 
@@ -132,25 +138,38 @@ fn join(path: &[String], key: &str) -> String {
 /// and current ran on comparable hardware, so by default a regression
 /// here only warns (`M2X_GATE_ABS_TIMES=1` hardens it); the
 /// hardware-normalized speedup ratios below are the enforcing gates.
-const GATED_TIMES: [&str; 4] = [
+const GATED_TIMES: [&str; 6] = [
     "quantize_act.packed_s",
     "qgemm.packed_threaded_s",
     "quantize_plus_qgemm.packed_threaded_s",
     "quantize_weights_packed_s",
+    "e2e_model.quantize_s",
+    "e2e_model.forward_batch_packed_s",
 ];
+
+/// Throughput metrics (higher is better). Hardware-dependent like the
+/// wall-times, so they share the advisory-by-default/`M2X_GATE_ABS_TIMES`
+/// treatment; the whole-model `e2e_model.speedup_packed` ratio below is
+/// the enforcing end-to-end gate.
+const GATED_THROUGHPUTS: [&str; 1] = ["e2e_model.gmacs"];
 
 /// Within-run speedup ratios (higher is better). Both sides of each ratio
 /// are measured in the same process on the same machine, so these are
 /// hardware-normalized: a >tolerance drop is a code regression even if
 /// the runner got faster or slower overall.
-const GATED_SPEEDUPS: [&str; 3] = [
+const GATED_SPEEDUPS: [&str; 4] = [
     "qgemm.speedup_1thread",
     "quantize_plus_qgemm.speedup_1thread",
     "quantize_weights_speedup",
+    "e2e_model.speedup_packed",
 ];
 
 /// Boolean exactness flags the gate enforces on the current run.
-const GATED_EXACT: [&str; 2] = ["exact_match", "weight_search_exact"];
+const GATED_EXACT: [&str; 3] = [
+    "exact_match",
+    "weight_search_exact",
+    "e2e_model.backends_exact",
+];
 
 /// One gate verdict: metric name, baseline, current, allowed, pass.
 /// `hard` failures fail the gate; soft ones only warn.
@@ -172,7 +191,12 @@ fn evaluate(
         let (pass, detail) = match current.get(flag) {
             Some(Scalar::Bool(true)) => (true, "true".to_string()),
             Some(Scalar::Bool(false)) => (false, "false".to_string()),
-            Some(Scalar::Null) | None => (true, "absent (not gated)".to_string()),
+            Some(Scalar::Null) => (true, "null (measurement skipped, not gated)".to_string()),
+            None if matches!(baseline.get(flag), Some(Scalar::Bool(_))) => (
+                false,
+                "missing from current run but gated in baseline".to_string(),
+            ),
+            None => (true, "absent (not gated)".to_string()),
             Some(other) => (false, format!("non-boolean {other:?}")),
         };
         verdicts.push(Verdict {
@@ -203,13 +227,13 @@ fn evaluate(
             hard: abs_times_hard,
         });
     }
-    for metric in GATED_SPEEDUPS {
+    for metric in GATED_THROUGHPUTS {
         let (pass, detail) = match (current.get(metric), baseline.get(metric)) {
             (Some(Scalar::Num(cur)), Some(Scalar::Num(base))) => {
                 let floor = base * (1.0 - tolerance);
                 (
                     *cur >= floor,
-                    format!("current {cur:.3}x vs baseline {base:.3}x (floor {floor:.3}x)"),
+                    format!("current {cur:.3} vs baseline {base:.3} (floor {floor:.3})"),
                 )
             }
             _ => (
@@ -221,14 +245,50 @@ fn evaluate(
             metric: metric.to_string(),
             detail,
             pass,
+            hard: abs_times_hard,
+        });
+    }
+    for metric in GATED_SPEEDUPS {
+        let (pass, detail) = match (current.get(metric), baseline.get(metric)) {
+            (Some(Scalar::Num(cur)), Some(Scalar::Num(base))) => {
+                let floor = base * (1.0 - tolerance);
+                (
+                    *cur >= floor,
+                    format!("current {cur:.3}x vs baseline {base:.3}x (floor {floor:.3}x)"),
+                )
+            }
+            // Losing a ratio the baseline gates (key gone from the emitter)
+            // would silently disarm the gate; an explicit null is a
+            // deliberately skipped measurement and stays ungated.
+            (None, Some(Scalar::Num(_))) => (
+                false,
+                "missing from current run but gated in baseline".to_string(),
+            ),
+            _ => (
+                true,
+                "absent or null in current or baseline (not gated)".to_string(),
+            ),
+        };
+        verdicts.push(Verdict {
+            metric: metric.to_string(),
+            detail,
+            pass,
             hard: true,
         });
     }
-    // Dims must match or the time comparison is meaningless.
-    for d in ["dims.m", "dims.k", "dims.n"] {
-        let (pass, detail) = match (current.get(d), baseline.get(d)) {
+    // Dims must match or the time comparison is meaningless. The core
+    // emitter dims are required; the e2e-section dims gate the e2e metrics
+    // and are only compared when either side carries them (pre-e2e
+    // baselines stay usable).
+    let required = ["dims.m", "dims.k", "dims.n"];
+    let optional = ["e2e_model.hidden", "e2e_model.layers", "e2e_model.tokens"];
+    for d in required.iter().chain(&optional) {
+        let (pass, detail) = match (current.get(*d), baseline.get(*d)) {
             (Some(Scalar::Num(a)), Some(Scalar::Num(b))) => {
                 (a == b, format!("current {a} vs baseline {b}"))
+            }
+            (None, None) if optional.contains(d) => {
+                (true, "absent in both (not gated)".to_string())
             }
             _ => (false, "missing dimension field".to_string()),
         };
@@ -306,7 +366,8 @@ mod tests {
   "quantize_weights_speedup": 14.2,
   "weight_search_exact": true,
   "qgemm": {"packed_threaded_s": 0.002, "speedup_1thread": 5.3},
-  "quantize_plus_qgemm": {"packed_threaded_s": 0.003, "speedup_1thread": 3.2}
+  "quantize_plus_qgemm": {"packed_threaded_s": 0.003, "speedup_1thread": 3.2},
+  "e2e_model": {"hidden": 128, "layers": 2, "tokens": 16, "gmacs": 2.1, "speedup_packed": 3.0, "backends_exact": true, "nrmse": 0.05}
 }"#;
 
     #[test]
@@ -370,6 +431,27 @@ mod tests {
         let broken = SAMPLE.replace("\"exact_match\": true", "\"exact_match\": false");
         let cur = flatten_json(&broken).unwrap();
         assert_eq!(hard_fails(&cur, &base), ["exact_match"]);
+        let broken = SAMPLE.replace("\"backends_exact\": true", "\"backends_exact\": false");
+        let cur = flatten_json(&broken).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["e2e_model.backends_exact"]);
+    }
+
+    #[test]
+    fn whole_model_ratio_is_hard_gated_and_gmacs_advisory() {
+        let base = flatten_json(SAMPLE).unwrap();
+        // 3.0 → 2.0 is a 33% drop: beyond the 25% floor.
+        let dropped = SAMPLE.replace("\"speedup_packed\": 3.0", "\"speedup_packed\": 2.0");
+        let cur = flatten_json(&dropped).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["e2e_model.speedup_packed"]);
+        // Throughput regressions warn by default and harden with abs times.
+        let slower = SAMPLE.replace("\"gmacs\": 2.1", "\"gmacs\": 1.0");
+        let cur = flatten_json(&slower).unwrap();
+        let v = evaluate(&cur, &base, 0.25, false);
+        let g = v.iter().find(|v| v.metric == "e2e_model.gmacs").unwrap();
+        assert!(!g.pass && !g.hard);
+        let v = evaluate(&cur, &base, 0.25, true);
+        let g = v.iter().find(|v| v.metric == "e2e_model.gmacs").unwrap();
+        assert!(!g.pass && g.hard);
     }
 
     #[test]
@@ -378,6 +460,16 @@ mod tests {
         let other = SAMPLE.replace("\"k\": 256", "\"k\": 512");
         let cur = flatten_json(&other).unwrap();
         assert!(!hard_fails(&cur, &base).is_empty());
+        // The e2e section's dims gate too: a silent E2eConfig::ci() bump
+        // must not be compared against the stale baseline.
+        let other = SAMPLE.replace("\"hidden\": 128", "\"hidden\": 256");
+        let cur = flatten_json(&other).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["e2e_model.hidden"]);
+        // But a pre-e2e baseline (no section at all on either side) is
+        // fine; only compare what exists.
+        let trimmed = SAMPLE.replace("\"hidden\": 128, \"layers\": 2, \"tokens\": 16, ", "");
+        let both = flatten_json(&trimmed).unwrap();
+        assert!(hard_fails(&both, &both).is_empty());
     }
 
     #[test]
@@ -391,5 +483,42 @@ mod tests {
             .find(|v| v.metric == "quantize_weights_packed_s")
             .unwrap();
         assert!(wq.pass && wq.detail.contains("not gated"));
+    }
+
+    #[test]
+    fn losing_a_hard_gated_key_fails_but_explicit_null_does_not() {
+        let base = flatten_json(SAMPLE).unwrap();
+        // Emitter refactor drops the whole-model ratio and exactness flag:
+        // the gate must notice the disarm, not silently pass.
+        let dropped = SAMPLE.replace("\"speedup_packed\": 3.0, \"backends_exact\": true, ", "");
+        let cur = flatten_json(&dropped).unwrap();
+        assert_ne!(dropped, SAMPLE, "fixture edit must take effect");
+        let fails = hard_fails(&cur, &base);
+        assert!(
+            fails.contains(&"e2e_model.speedup_packed".to_string()),
+            "{fails:?}"
+        );
+        assert!(
+            fails.contains(&"e2e_model.backends_exact".to_string()),
+            "{fails:?}"
+        );
+        // A deliberately skipped measurement (explicit null, e.g.
+        // M2X_BENCH_WQ_REFERENCE=0) stays ungated even when the baseline
+        // gates it.
+        let skipped = SAMPLE
+            .replace(
+                "\"quantize_weights_speedup\": 14.2",
+                "\"quantize_weights_speedup\": null",
+            )
+            .replace(
+                "\"weight_search_exact\": true",
+                "\"weight_search_exact\": null",
+            );
+        let cur = flatten_json(&skipped).unwrap();
+        assert!(hard_fails(&cur, &base).is_empty());
+        // New fields absent from the baseline never gate (forward compat).
+        let future = SAMPLE.replace("\"gmacs\": 2.1", "\"gmacs\": 2.1, \"new_ratio\": 1.0");
+        let cur = flatten_json(&future).unwrap();
+        assert!(hard_fails(&cur, &base).is_empty());
     }
 }

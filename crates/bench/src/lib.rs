@@ -24,6 +24,7 @@
 //! | `ablate_adaptive` | §4.2.3 adaptive-scale ablation |
 //! | `run_all` | everything above, into `results/` |
 
+pub mod e2e;
 pub mod eval;
 pub mod experiments;
 pub mod extensions;

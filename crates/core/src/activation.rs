@@ -11,7 +11,7 @@
 
 use crate::group::GroupConfig;
 use crate::scale::ScaleRule;
-use m2x_formats::tables::{decode_extra_mantissa, top1_index};
+use m2x_formats::tables::{decode_extra_mantissa, fp4_encode, fp6_mag_code, top1_index};
 use m2x_formats::{fp4, fp6_e2m3, E8M0};
 
 /// One quantized activation group: FP4 codes, E8M0 shared scale and one
@@ -48,12 +48,35 @@ pub fn quantize_group(x: &[f32], cfg: GroupConfig, rule: ScaleRule) -> ActGroup 
     ActGroup { codes, scale, meta }
 }
 
+fn check_group_buffers(x: &[f32], cfg: GroupConfig, codes: &[u8], meta: &[u8]) {
+    assert!(!x.is_empty(), "group must be non-empty");
+    assert!(
+        x.len() <= cfg.group_size(),
+        "group longer than configured size"
+    );
+    assert_eq!(codes.len(), x.len(), "code buffer length mismatch");
+    assert_eq!(
+        meta.len(),
+        cfg.subgroup_count(x.len()),
+        "meta buffer length mismatch"
+    );
+}
+
 /// Allocation-free Algorithm 1: quantizes one group directly into
 /// caller-provided code and metadata slices, returning the shared scale.
 ///
 /// This is the encoder the packed three-stream pipeline drives in a tight
 /// loop (one reusable scratch buffer per tensor, zero heap allocations per
 /// group). [`quantize_group`] is the allocating convenience wrapper.
+///
+/// The per-element FP4 encode runs the branch-free
+/// [`fp4_encode`] comparison ladder and the per-subgroup FP6 refinement the
+/// region-wise [`fp6_mag_code`] — no minifloat-codec calls anywhere on the
+/// online path. Scaling multiplies by the exact reciprocal of the E8M0
+/// scale (a power of two, so `v * (1/s)` and `v / s` round identically).
+/// Bit-identical to the float-codec oracle
+/// [`quantize_group_into_reference`], which the tests and the workspace
+/// property tests pin.
 ///
 /// # Panics
 ///
@@ -67,28 +90,19 @@ pub fn quantize_group_into(
     codes: &mut [u8],
     meta: &mut [u8],
 ) -> E8M0 {
-    assert!(!x.is_empty(), "group must be non-empty");
-    assert!(
-        x.len() <= cfg.group_size(),
-        "group longer than configured size"
-    );
-    assert_eq!(codes.len(), x.len(), "code buffer length mismatch");
-    assert_eq!(
-        meta.len(),
-        cfg.subgroup_count(x.len()),
-        "meta buffer length mismatch"
-    );
-    let f4 = fp4();
-    let f6 = fp6_e2m3();
+    check_group_buffers(x, cfg, codes, meta);
 
     // Step 1: shared scale from the block maximum.
     let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-    let scale = rule.shared_scale(amax, f4);
-    let s = scale.value();
+    let scale = rule.shared_scale(amax, fp4());
+    // E8M0 exponents span [-127, 127], so 1/s is an exact (possibly
+    // subnormal) power of two and multiplying by it is bit-identical to
+    // dividing by s: both correctly round the same real quotient.
+    let inv = 1.0 / scale.value();
 
-    // Step 2: quantize everything to FP4 (E2M1).
+    // Step 2: quantize everything to FP4 (E2M1), branch-free.
     for (c, &v) in codes.iter_mut().zip(x) {
-        *c = f4.encode(v / s);
+        *c = fp4_encode(v * inv);
     }
 
     // Steps 3-7 per subgroup.
@@ -99,10 +113,49 @@ pub fn quantize_group_into(
         let idx = sg_idx * sg_size + local;
 
         // Step 5: re-quantize the original value to FP6 (E2M3), same scale.
-        let fp6_mag = f6.encode_magnitude(x[idx].abs() / s);
+        let fp6_mag = fp6_mag_code(x[idx].abs() * inv);
 
         // Steps 6 & 7: add bias, clamp to keep the FP6 high bits equal to
         // the FP4 bits, keep the low 2 bits as metadata.
+        let fp4_mag = sg_codes[local] & 0x7;
+        let encoded = fp6_mag + 1;
+        let range_min = fp4_mag << 2;
+        let range_max = range_min | 0b11;
+        let clamped = encoded.clamp(range_min, range_max);
+        meta[sg_idx] = clamped & 0b11;
+    }
+
+    scale
+}
+
+/// [`quantize_group_into`] through the original float-codec encode
+/// (`Minifloat::encode` / `encode_magnitude` with a true division by the
+/// shared scale) — the bit-exactness oracle for the branch-free online
+/// path. Slow; use only in tests and benches.
+pub fn quantize_group_into_reference(
+    x: &[f32],
+    cfg: GroupConfig,
+    rule: ScaleRule,
+    codes: &mut [u8],
+    meta: &mut [u8],
+) -> E8M0 {
+    check_group_buffers(x, cfg, codes, meta);
+    let f4 = fp4();
+    let f6 = fp6_e2m3();
+
+    let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let scale = rule.shared_scale(amax, f4);
+    let s = scale.value();
+
+    for (c, &v) in codes.iter_mut().zip(x) {
+        *c = f4.encode(v / s);
+    }
+
+    let sg_size = cfg.subgroup_size();
+    for (sg_idx, sg_codes) in codes.chunks(sg_size).enumerate() {
+        let local = top1_index(sg_codes);
+        let idx = sg_idx * sg_size + local;
+        let fp6_mag = f6.encode_magnitude(x[idx].abs() / s);
         let fp4_mag = sg_codes[local] & 0x7;
         let encoded = fp6_mag + 1;
         let range_min = fp4_mag << 2;
@@ -290,6 +343,49 @@ mod tests {
         assert_eq!(g.scale.exponent(), 0);
         let dq = dequantize_group(&g, c);
         assert_eq!(dq[0], 7.0);
+    }
+
+    #[test]
+    fn fast_encode_matches_float_codec_oracle() {
+        // The branch-free online encoder must be bit-identical to the
+        // float-codec reference on every code, scale and metadata byte —
+        // including huge/tiny magnitudes that drive the E8M0 scale to its
+        // clamps and make 1/s subnormal.
+        let c = cfg();
+        for (seed, mag) in [
+            (1u64, 1.0f32),
+            (2, 1e-4),
+            (3, 1e4),
+            (4, 3.0e38),
+            (5, 1e-38),
+            (6, 0.0),
+        ] {
+            let mut r = seed;
+            let mut next = || {
+                r = r
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (((r >> 33) as f32 / (1u64 << 31) as f32) * 8.0 - 4.0) * mag
+            };
+            for rule in ScaleRule::ALL {
+                for len in [32usize, 13, 1] {
+                    let x: Vec<f32> = (0..len).map(|_| next()).collect();
+                    let mut codes = vec![0u8; len];
+                    let mut meta = vec![0u8; c.subgroup_count(len)];
+                    let s = quantize_group_into(&x, c, rule, &mut codes, &mut meta);
+                    let mut codes_ref = vec![0u8; len];
+                    let mut meta_ref = vec![0u8; c.subgroup_count(len)];
+                    let s_ref =
+                        quantize_group_into_reference(&x, c, rule, &mut codes_ref, &mut meta_ref);
+                    assert_eq!(s, s_ref, "scale seed={seed} rule={rule:?} len={len}");
+                    assert_eq!(
+                        codes, codes_ref,
+                        "codes seed={seed} rule={rule:?} len={len}"
+                    );
+                    assert_eq!(meta, meta_ref, "meta seed={seed} rule={rule:?} len={len}");
+                }
+            }
+        }
     }
 
     #[test]

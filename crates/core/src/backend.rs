@@ -1,0 +1,372 @@
+//! Execution backends — the engine abstraction behind every quantized
+//! forward pass.
+//!
+//! A backend owns the *how* of running `y = Q_a(x) · Q_w(W)ᵀ`: which
+//! activation encoder, which tensor representation and which GEMM kernel.
+//! All three implementations consume the same canonical weight bits (a
+//! [`PackedWeightTensor`] produced by the threaded integer-LUT Sg-EM
+//! search) and are **bit-identical** on every input — the property tests
+//! assert it — so callers pick a backend for speed or debuggability, never
+//! for accuracy:
+//!
+//! * [`PackedBackend`] — the production hot path: branch-free packed
+//!   activation encode, cached [`WeightPlane`] decode, cache-blocked
+//!   threaded integer [`qgemm_packed_planed`].
+//! * [`GroupedBackend`] — the legacy `Vec<Group>` pipeline, demoted to a
+//!   readable reference implementation of the PE ([`qgemm`]).
+//! * [`ReferenceBackend`] — the float oracle: dequantize both operands and
+//!   multiply in f64 ([`qgemm_reference`]).
+//!
+//! Weights are prepared **once** per layer ([`ExecBackend::prepare`]) into
+//! the backend's execution form ([`PreparedWeights`]) and reused across
+//! forwards — the decode-once contract that `m2x_nn::linear` and
+//! `m2x_nn::model` build on.
+//!
+//! ```
+//! use m2x_tensor::Matrix;
+//! use m2xfp::backend::BackendKind;
+//! use m2xfp::format::PackedWeightTensor;
+//! use m2xfp::M2xfpConfig;
+//!
+//! let cfg = M2xfpConfig::default();
+//! let w = Matrix::from_fn(8, 64, |r, c| ((r * 64 + c) as f32 * 0.1).sin());
+//! let x = Matrix::from_fn(4, 64, |r, c| ((r + c) as f32 * 0.2).cos());
+//! let packed = PackedWeightTensor::quantize_parallel(&w, cfg);
+//! let mut outs = Vec::new();
+//! for kind in BackendKind::ALL {
+//!     let be = kind.backend();
+//!     let prepared = be.prepare(packed.clone());
+//!     outs.push(be.forward(&x, &prepared)?);
+//! }
+//! assert_eq!(outs[0], outs[1]); // packed == grouped, bit for bit
+//! assert_eq!(outs[1], outs[2]); // grouped == reference
+//! # Ok::<(), m2xfp::Error>(())
+//! ```
+
+use crate::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
+use crate::gemm::{gemm_threads, qgemm, qgemm_packed_planed, qgemm_reference, WeightPlane};
+use crate::{Error, M2xfpConfig};
+use m2x_tensor::Matrix;
+
+/// Selector for the three built-in execution backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Three-stream packed pipeline (production hot path).
+    Packed,
+    /// Legacy grouped `Vec<Group>` pipeline (readable PE reference).
+    Grouped,
+    /// Float-oracle pipeline (dequantize + f64 matmul).
+    Reference,
+}
+
+impl BackendKind {
+    /// All backends, production first.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Packed,
+        BackendKind::Grouped,
+        BackendKind::Reference,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Packed => "packed",
+            BackendKind::Grouped => "grouped",
+            BackendKind::Reference => "reference",
+        }
+    }
+
+    /// The backend implementation for this kind (a static singleton —
+    /// backends are stateless).
+    pub fn backend(self) -> &'static dyn ExecBackend {
+        match self {
+            BackendKind::Packed => &PackedBackend,
+            BackendKind::Grouped => &GroupedBackend,
+            BackendKind::Reference => &ReferenceBackend,
+        }
+    }
+}
+
+/// A weight tensor prepared for repeated forwards under one backend: the
+/// canonical packed streams plus the backend's decoded execution form
+/// (fixed-point [`WeightPlane`] for the packed kernel, reconstructed
+/// [`WeightTensor`] groups for the grouped/reference kernels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedWeights {
+    packed: PackedWeightTensor,
+    exec: ExecForm,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ExecForm {
+    Plane(WeightPlane),
+    Grouped(WeightTensor),
+}
+
+impl PreparedWeights {
+    /// Matrix shape `(rows, cols)` = `(out_features, in_features)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.packed.shape()
+    }
+
+    /// The configuration the weights were quantized with.
+    pub fn config(&self) -> &M2xfpConfig {
+        self.packed.config()
+    }
+
+    /// The canonical three-stream weight bits.
+    pub fn packed(&self) -> &PackedWeightTensor {
+        &self.packed
+    }
+
+    fn form_name(&self) -> &'static str {
+        match self.exec {
+            ExecForm::Plane(_) => "packed",
+            ExecForm::Grouped(_) => "grouped",
+        }
+    }
+}
+
+/// An execution backend: prepares quantized weights into its preferred
+/// form and runs the W4A4 forward pass (online activation quantization +
+/// quantized GEMM) against them.
+///
+/// All implementations produce bit-identical outputs from the same weight
+/// bits; see the [module docs](self) for the menu.
+pub trait ExecBackend: Send + Sync + std::fmt::Debug {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Display name (mirrors [`BackendKind::name`]).
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Decodes quantized weights into this backend's execution form. Do
+    /// this once per layer (it is the O(N·K) decode) and reuse the result
+    /// across forwards.
+    fn prepare(&self, weights: PackedWeightTensor) -> PreparedWeights;
+
+    /// W4A4 forward `y = Q_a(x) · Wᵀ` against prepared weights.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `x.cols()` does not match the weights' reduction
+    /// dimension, or when `w` was prepared into a different backend's form.
+    fn forward(&self, x: &Matrix, w: &PreparedWeights) -> Result<Matrix, Error>;
+
+    /// Fake-quantizes activations (quantize + dequantize) through this
+    /// backend's online encoder — the form error measurement flows
+    /// through. Bit-identical across backends.
+    fn fake_quantize_activations(&self, x: &Matrix, cfg: M2xfpConfig) -> Matrix;
+
+    /// Fake-quantizes weights (Sg-EM search + dequantize) through this
+    /// backend's weight pipeline. Bit-identical across backends.
+    fn fake_quantize_weights(&self, w: &Matrix, cfg: M2xfpConfig) -> Matrix;
+}
+
+fn check_forward(x: &Matrix, w: &PreparedWeights) -> Result<(), Error> {
+    let (_, k) = w.shape();
+    if x.cols() != k {
+        return Err(Error::WidthMismatch {
+            tensor: "prepared weights".to_string(),
+            expected: k,
+            got: x.cols(),
+        });
+    }
+    Ok(())
+}
+
+fn form_error(backend: &dyn ExecBackend, w: &PreparedWeights) -> Error {
+    Error::BackendMismatch {
+        backend: backend.name(),
+        prepared_by: w.form_name(),
+    }
+}
+
+/// The production backend: packed three-stream tensors end to end.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PackedBackend;
+
+impl ExecBackend for PackedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Packed
+    }
+
+    fn prepare(&self, weights: PackedWeightTensor) -> PreparedWeights {
+        let plane = WeightPlane::decode(&weights);
+        PreparedWeights {
+            packed: weights,
+            exec: ExecForm::Plane(plane),
+        }
+    }
+
+    fn forward(&self, x: &Matrix, w: &PreparedWeights) -> Result<Matrix, Error> {
+        check_forward(x, w)?;
+        let ExecForm::Plane(plane) = &w.exec else {
+            return Err(form_error(self, w));
+        };
+        let (n, k) = w.shape();
+        // Auto-threaded online encode; decode-sized batches stay
+        // single-threaded below the work threshold.
+        let xq = PackedActTensor::quantize_parallel(x, *w.config());
+        let threads = gemm_threads(x.rows(), k, n);
+        Ok(qgemm_packed_planed(&xq, plane, threads))
+    }
+
+    fn fake_quantize_activations(&self, x: &Matrix, cfg: M2xfpConfig) -> Matrix {
+        PackedActTensor::quantize_parallel(x, cfg).dequantize()
+    }
+
+    fn fake_quantize_weights(&self, w: &Matrix, cfg: M2xfpConfig) -> Matrix {
+        PackedWeightTensor::quantize_parallel(w, cfg).dequantize()
+    }
+}
+
+/// The legacy grouped backend: `Vec<Group>` tensors and the readable
+/// per-group integer PE pipeline ([`qgemm`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupedBackend;
+
+impl ExecBackend for GroupedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Grouped
+    }
+
+    fn prepare(&self, weights: PackedWeightTensor) -> PreparedWeights {
+        let grouped = weights.to_grouped();
+        PreparedWeights {
+            packed: weights,
+            exec: ExecForm::Grouped(grouped),
+        }
+    }
+
+    fn forward(&self, x: &Matrix, w: &PreparedWeights) -> Result<Matrix, Error> {
+        check_forward(x, w)?;
+        let ExecForm::Grouped(grouped) = &w.exec else {
+            return Err(form_error(self, w));
+        };
+        let xq = ActTensor::quantize(x, *w.config());
+        Ok(qgemm(&xq, grouped))
+    }
+
+    fn fake_quantize_activations(&self, x: &Matrix, cfg: M2xfpConfig) -> Matrix {
+        ActTensor::quantize(x, cfg).dequantize()
+    }
+
+    fn fake_quantize_weights(&self, w: &Matrix, cfg: M2xfpConfig) -> Matrix {
+        WeightTensor::quantize(w, cfg).dequantize()
+    }
+}
+
+/// The float-oracle backend: dequantizes both operands and multiplies in
+/// f64 ([`qgemm_reference`]) — every quantized value is a small dyadic
+/// rational, so this is exact and matches the integer kernels bit for bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceBackend;
+
+impl ExecBackend for ReferenceBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Reference
+    }
+
+    fn prepare(&self, weights: PackedWeightTensor) -> PreparedWeights {
+        GroupedBackend.prepare(weights)
+    }
+
+    fn forward(&self, x: &Matrix, w: &PreparedWeights) -> Result<Matrix, Error> {
+        check_forward(x, w)?;
+        let ExecForm::Grouped(grouped) = &w.exec else {
+            return Err(form_error(self, w));
+        };
+        let xq = ActTensor::quantize(x, *w.config());
+        Ok(qgemm_reference(&xq, grouped))
+    }
+
+    fn fake_quantize_activations(&self, x: &Matrix, cfg: M2xfpConfig) -> Matrix {
+        GroupedBackend.fake_quantize_activations(x, cfg)
+    }
+
+    fn fake_quantize_weights(&self, w: &Matrix, cfg: M2xfpConfig) -> Matrix {
+        // The float-codec Sg-EM search — the slow oracle the LUT search is
+        // pinned against.
+        WeightTensor::quantize_reference(w, cfg).dequantize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, seed: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let t = (r * cols + c) as f32 + seed;
+            (t * 0.713).sin() * 2.5 + (t * 0.137).cos() * 0.5
+        })
+    }
+
+    #[test]
+    fn backends_bit_identical_including_ragged() {
+        let cfg = M2xfpConfig::default();
+        for cols in [64usize, 96, 80, 41] {
+            let w = PackedWeightTensor::quantize_parallel(&mat(7, cols, 9.0), cfg);
+            let x = mat(5, cols, 1.0);
+            let mut outs = Vec::new();
+            for kind in BackendKind::ALL {
+                let be = kind.backend();
+                assert_eq!(be.kind(), kind);
+                let prepared = be.prepare(w.clone());
+                assert_eq!(prepared.shape(), (7, cols));
+                outs.push(be.forward(&x, &prepared).unwrap());
+            }
+            for o in &outs[1..] {
+                for (a, b) in outs[0].as_slice().iter().zip(o.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "cols={cols}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fake_quantize_identical_across_backends() {
+        let cfg = M2xfpConfig::default();
+        let x = mat(4, 100, 3.0);
+        let base_a = BackendKind::Packed
+            .backend()
+            .fake_quantize_activations(&x, cfg);
+        let base_w = BackendKind::Packed.backend().fake_quantize_weights(&x, cfg);
+        for kind in [BackendKind::Grouped, BackendKind::Reference] {
+            let be = kind.backend();
+            assert_eq!(be.fake_quantize_activations(&x, cfg), base_a, "{kind:?}");
+            assert_eq!(be.fake_quantize_weights(&x, cfg), base_w, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn forward_rejects_width_mismatch_and_foreign_form() {
+        let cfg = M2xfpConfig::default();
+        let w = PackedWeightTensor::quantize_parallel(&mat(4, 64, 0.0), cfg);
+        let packed = BackendKind::Packed.backend().prepare(w.clone());
+        let grouped = BackendKind::Grouped.backend().prepare(w);
+        let bad = mat(2, 65, 0.0);
+        assert!(matches!(
+            BackendKind::Packed.backend().forward(&bad, &packed),
+            Err(Error::WidthMismatch { .. })
+        ));
+        let x = mat(2, 64, 0.0);
+        assert!(matches!(
+            BackendKind::Packed.backend().forward(&x, &grouped),
+            Err(Error::BackendMismatch { .. })
+        ));
+        assert!(matches!(
+            BackendKind::Grouped.backend().forward(&x, &packed),
+            Err(Error::BackendMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn kinds_have_distinct_names() {
+        let names: Vec<_> = BackendKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["packed", "grouped", "reference"]);
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::activation::{self, ActGroup};
 use crate::weight::{self, WeightGroup};
-use crate::M2xfpConfig;
+use crate::{Error, M2xfpConfig};
 use m2x_formats::packing::{
     nibble_at, pack_nibbles, pack_nibbles_into, set_two_bits, two_bits_at, unpack_nibbles,
     StreamLayout,
@@ -17,7 +17,6 @@ use m2x_formats::packing::{
 use m2x_formats::tables::FP4_VALUES;
 use m2x_formats::E8M0;
 use m2x_tensor::Matrix;
-use std::fmt;
 
 /// Minimum element count that justifies one additional quantization worker
 /// thread: below this the scoped-thread spawn overhead outweighs the
@@ -39,27 +38,16 @@ fn gcd(mut a: usize, mut b: usize) -> usize {
     a
 }
 
-/// Error from packing/unpacking a tensor.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LayoutError {
-    msg: String,
-}
+/// Error from packing/unpacking a tensor — an alias of the engine-wide
+/// [`enum@Error`], kept so pre-unification call sites keep compiling.
+pub type LayoutError = Error;
 
-impl fmt::Display for LayoutError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "layout error: {}", self.msg)
-    }
-}
-
-impl std::error::Error for LayoutError {}
-
-fn check_aligned(cols: usize, cfg: &M2xfpConfig) -> Result<(), LayoutError> {
+fn check_aligned(tensor: &str, cols: usize, cfg: &M2xfpConfig) -> Result<(), Error> {
     if cols % cfg.group_size != 0 {
-        return Err(LayoutError {
-            msg: format!(
-                "row length {cols} is not a multiple of the group size {}",
-                cfg.group_size
-            ),
+        return Err(Error::Misaligned {
+            tensor: tensor.to_string(),
+            len: cols,
+            group_size: cfg.group_size,
         });
     }
     Ok(())
@@ -127,7 +115,7 @@ impl ActTensor {
     /// Fails when `cols` is not a multiple of the group size (hardware
     /// layouts require aligned rows).
     pub fn pack(&self) -> Result<Vec<u8>, LayoutError> {
-        check_aligned(self.cols, &self.cfg)?;
+        check_aligned("activation tensor", self.cols, &self.cfg)?;
         pack_streams(
             self.layout(),
             self.groups
@@ -147,14 +135,14 @@ impl ActTensor {
         cols: usize,
         cfg: M2xfpConfig,
     ) -> Result<Self, LayoutError> {
-        check_aligned(cols, &cfg)?;
+        check_aligned("activation tensor", cols, &cfg)?;
         let layout = StreamLayout {
             groups: rows * (cols / cfg.group_size),
             group_size: cfg.group_size,
             elem_bits: 4,
             meta_bits_per_group: (2 * cfg.group_size / cfg.subgroup_size) as u32,
         };
-        let parts = unpack_streams(buf, layout)?;
+        let parts = unpack_streams("activation tensor", buf, layout)?;
         let n_sub = cfg.group_size / cfg.subgroup_size;
         let groups = parts
             .into_iter()
@@ -263,7 +251,7 @@ impl WeightTensor {
     ///
     /// Fails when `cols` is not a multiple of the group size.
     pub fn pack(&self) -> Result<Vec<u8>, LayoutError> {
-        check_aligned(self.cols, &self.cfg)?;
+        check_aligned("weight tensor", self.cols, &self.cfg)?;
         let layout = StreamLayout {
             groups: self.groups.len(),
             group_size: self.cfg.group_size,
@@ -289,14 +277,14 @@ impl WeightTensor {
         cols: usize,
         cfg: M2xfpConfig,
     ) -> Result<Self, LayoutError> {
-        check_aligned(cols, &cfg)?;
+        check_aligned("weight tensor", cols, &cfg)?;
         let layout = StreamLayout {
             groups: rows * (cols / cfg.group_size),
             group_size: cfg.group_size,
             elem_bits: 4,
             meta_bits_per_group: (2 * cfg.group_size / cfg.subgroup_size) as u32,
         };
-        let parts = unpack_streams(buf, layout)?;
+        let parts = unpack_streams("weight tensor", buf, layout)?;
         let n_sub = cfg.group_size / cfg.subgroup_size;
         let groups = parts
             .into_iter()
@@ -506,6 +494,37 @@ impl PackedStreams {
     fn scale_at(&self, g: usize) -> E8M0 {
         E8M0::from_bits(self.scales[g])
     }
+
+    /// Appends another stream set's groups below the existing rows. Both
+    /// sides must share `cols` and the configuration; groups quantize
+    /// independently, so the result is byte-identical to quantizing the
+    /// row-concatenated matrix in one pass.
+    fn append(&mut self, more: PackedStreams) {
+        assert_eq!(self.cols, more.cols, "appended rows have a different width");
+        assert_eq!(self.cfg, more.cfg, "appended rows use a different config");
+        let spg = self.cfg.group_size / self.cfg.subgroup_size;
+        let old_groups = self.group_count();
+        let add_groups = more.group_count();
+        self.codes.extend_from_slice(&more.codes);
+        self.scales.extend_from_slice(&more.scales);
+        if (old_groups * spg) % 4 == 0 {
+            // The existing metadata run ends on a byte boundary (always
+            // true for the production 4-subgroup config): bytes concatenate.
+            self.meta.extend_from_slice(&more.meta);
+        } else {
+            // Odd 2-bit offset: re-pack the appended fields bitwise.
+            let new_len = ((old_groups + add_groups) * spg * 2).div_ceil(8);
+            self.meta.resize(new_len, 0);
+            for i in 0..add_groups * spg {
+                set_two_bits(
+                    &mut self.meta,
+                    old_groups * spg + i,
+                    two_bits_at(&more.meta, i),
+                );
+            }
+        }
+        self.rows += more.rows;
+    }
 }
 
 macro_rules! packed_accessors {
@@ -706,6 +725,34 @@ impl PackedWeightTensor {
         }
     }
 
+    /// An empty tensor (zero rows) of the given width — the seed state of a
+    /// growable store such as a KV cache; fill it with [`Self::append_rows`].
+    pub fn empty(cols: usize, cfg: M2xfpConfig) -> Self {
+        Self::quantize(&Matrix::zeros(0, cols), cfg)
+    }
+
+    /// Quantizes `rows` (same width) and appends them below the existing
+    /// rows — the incremental entry point behind the KV cache: each row
+    /// quantizes independently, so the streams stay byte-identical to
+    /// quantizing the full row-concatenated matrix in one pass (asserted by
+    /// the tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `rows.cols()` differs from this tensor's width.
+    pub fn append_rows(&mut self, rows: &Matrix) -> Result<(), Error> {
+        if rows.cols() != self.s.cols {
+            return Err(Error::WidthMismatch {
+                tensor: "packed weight tensor".to_string(),
+                expected: self.s.cols,
+                got: rows.cols(),
+            });
+        }
+        let add = PackedWeightTensor::quantize_parallel(rows, self.s.cfg);
+        self.s.append(add.s);
+        Ok(())
+    }
+
     packed_accessors!();
 
     /// Converts the grouped representation into packed streams.
@@ -775,11 +822,8 @@ fn pack_streams<'a>(
     groups: impl Iterator<Item = (&'a [u8], u8, &'a [u8])> + Clone,
 ) -> Result<Vec<u8>, LayoutError> {
     if layout.meta_bits_per_group > 8 {
-        return Err(LayoutError {
-            msg: format!(
-                "metadata {} bits/group exceeds the 8-bit field",
-                layout.meta_bits_per_group
-            ),
+        return Err(Error::MetaOverflow {
+            bits: layout.meta_bits_per_group,
         });
     }
     let mut buf = Vec::with_capacity(layout.total_bytes());
@@ -800,14 +844,16 @@ fn pack_streams<'a>(
 }
 
 /// Splits a packed buffer back into per-group (codes, scale, meta-byte).
-fn unpack_streams(buf: &[u8], layout: StreamLayout) -> Result<Vec<(Vec<u8>, u8, u8)>, LayoutError> {
+fn unpack_streams(
+    tensor: &str,
+    buf: &[u8],
+    layout: StreamLayout,
+) -> Result<Vec<(Vec<u8>, u8, u8)>, LayoutError> {
     if buf.len() != layout.total_bytes() {
-        return Err(LayoutError {
-            msg: format!(
-                "buffer is {} bytes, layout requires {}",
-                buf.len(),
-                layout.total_bytes()
-            ),
+        return Err(Error::BufferLength {
+            tensor: tensor.to_string(),
+            expected: layout.total_bytes(),
+            got: buf.len(),
         });
     }
     let epg = layout.elem_bytes_per_group();
@@ -973,6 +1019,31 @@ mod tests {
             for (a, b) in direct.as_slice().iter().zip(grouped.as_slice()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "cols={cols}");
             }
+        }
+    }
+
+    #[test]
+    fn append_rows_matches_one_shot_quantization() {
+        // Incremental growth (the KV-cache pattern) must be byte-identical
+        // to quantizing the concatenated matrix, including configurations
+        // whose per-group metadata run is not byte-aligned (spg = 2).
+        for cfg in [
+            M2xfpConfig::default(),
+            M2xfpConfig {
+                subgroup_size: 16,
+                ..M2xfpConfig::default()
+            },
+        ] {
+            let full = sample(7, 32);
+            let want = PackedWeightTensor::quantize(&full, cfg);
+            let mut grown = PackedWeightTensor::empty(32, cfg);
+            for chunk in [1usize, 2, 1, 3] {
+                let start = grown.shape().0;
+                let rows = Matrix::from_fn(chunk, 32, |r, c| full[(start + r, c)]);
+                grown.append_rows(&rows).unwrap();
+            }
+            assert_eq!(grown, want, "sg={}", cfg.subgroup_size);
+            assert!(grown.append_rows(&Matrix::zeros(1, 33)).is_err());
         }
     }
 

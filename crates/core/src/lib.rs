@@ -22,6 +22,11 @@
 //!   exploration.
 //! * [`quantizer`] — the [`TensorQuantizer`] trait shared with every
 //!   baseline format.
+//! * [`backend`] — the [`ExecBackend`](backend::ExecBackend) execution
+//!   abstraction: packed / grouped / float-oracle engines with
+//!   bit-identical outputs, the layer every inference surface
+//!   (`m2x_nn::linear`, `m2x_nn::model`) routes through.
+//! * [`error`] — the unified [`enum@Error`] type of the engine API.
 //!
 //! ```
 //! use m2x_tensor::Matrix;
@@ -35,8 +40,10 @@
 //! ```
 
 pub mod activation;
+pub mod backend;
 pub mod dse;
 pub mod ebw;
+pub mod error;
 pub mod format;
 pub mod gemm;
 pub mod group;
@@ -45,9 +52,32 @@ pub mod scale;
 pub mod strategy;
 pub mod weight;
 
+pub use backend::{BackendKind, ExecBackend};
+pub use error::Error;
 pub use group::GroupConfig;
 pub use quantizer::TensorQuantizer;
 pub use scale::ScaleRule;
+
+/// One-stop imports for the engine API: configuration, backends, packed
+/// tensors, the quantizer trait and the unified error type.
+///
+/// ```
+/// use m2xfp::prelude::*;
+///
+/// let cfg = M2xfpConfig::default();
+/// let be = BackendKind::Packed.backend();
+/// assert_eq!(be.name(), "packed");
+/// assert_eq!(cfg.group_size, 32);
+/// ```
+pub mod prelude {
+    pub use crate::backend::{BackendKind, ExecBackend, PreparedWeights};
+    pub use crate::error::Error;
+    pub use crate::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
+    pub use crate::gemm::WeightPlane;
+    pub use crate::quantizer::{M2xfpQuantizer, TensorQuantizer};
+    pub use crate::scale::ScaleRule;
+    pub use crate::M2xfpConfig;
+}
 
 /// Top-level M2XFP configuration.
 ///

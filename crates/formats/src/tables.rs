@@ -79,6 +79,38 @@ pub fn fp4_encode(x: f32) -> u8 {
     ((x.is_sign_negative() as u8) << 3) | fp4_mag_code(x.abs())
 }
 
+/// Branch-light FP6 (E2M3) magnitude encode, bit-identical to
+/// `fp6_e2m3().encode_magnitude(a)` — the online-path primitive behind the
+/// fast Elem-EM-top1 activation encoder (one call per subgroup).
+///
+/// The FP6 magnitude grid has a uniform step of 1/8 below 2.0 (subnormals
+/// and the first normal binade share it), 1/4 in `[2, 4)` and 1/2 in
+/// `[4, 7.5]`, and codes are affine in the step count within each region,
+/// so RNE quantization is one exact power-of-two multiply plus
+/// `round_ties_even` per region — no `log2`, no grid search. Saturation
+/// (`a ≥ 7.5`, including `+∞`) hits the max code and NaN encodes as 0,
+/// matching [`crate::SpecialValues::None`]; verified against the codec on
+/// a dense sweep, at every RNE boundary and on specials in the tests.
+#[inline(always)]
+pub fn fp6_mag_code(a: f32) -> u8 {
+    if a >= 7.5 {
+        return 31;
+    }
+    if a.is_nan() {
+        return 0;
+    }
+    if a < 2.0 {
+        // Codes 0..=16 at step 1/8 (a·8 is exact: power-of-two multiply).
+        (a * 8.0).round_ties_even() as u8
+    } else if a < 4.0 {
+        // Codes 16..=24 at step 1/4: code = 8 + a·4 on the grid.
+        (a * 4.0).round_ties_even() as u8 + 8
+    } else {
+        // Codes 24..=31 at step 1/2: code = 16 + a·2 on the grid.
+        (a * 2.0).round_ties_even() as u8 + 16
+    }
+}
+
 /// `(FP4 code, 2-bit meta)` → signed refined value ×8: the integer form of
 /// [`decode_extra_mantissa`] with the sign folded in.
 ///
@@ -285,6 +317,55 @@ mod tests {
         // NaN: codec encodes magnitude 0 under SpecialValues::None; the sign
         // bit follows the NaN payload's sign in both paths.
         assert_eq!(fp4_encode(f32::NAN) & 0x7, f.encode(f32::NAN) & 0x7);
+    }
+
+    #[test]
+    fn fast_fp6_encode_matches_codec_on_dense_sweep() {
+        let f = fp6_e2m3();
+        let mut a = 0.0f32;
+        while a <= 9.0 {
+            assert_eq!(fp6_mag_code(a), f.encode_magnitude(a), "a={a}");
+            a += 0.0007;
+        }
+    }
+
+    #[test]
+    fn fast_fp6_encode_matches_codec_at_exact_boundaries() {
+        let f = fp6_e2m3();
+        // Every grid point and every RNE midpoint of the three step regions,
+        // scaled across binades that keep them exactly representable.
+        let mut pts = Vec::new();
+        for i in 0..=64u32 {
+            pts.push(i as f32 / 16.0); // 1/16 covers all 1/8-step midpoints
+        }
+        for i in 0..=64u32 {
+            pts.push(2.0 + i as f32 / 8.0);
+            pts.push(4.0 + i as f32 / 4.0);
+        }
+        for &p in &pts {
+            for e in [-3i32, -1, 0, 1, 2] {
+                let v = p * (e as f32).exp2();
+                assert_eq!(fp6_mag_code(v), f.encode_magnitude(v), "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_fp6_encode_matches_codec_on_specials() {
+        let f = fp6_e2m3();
+        for v in [
+            f32::INFINITY,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            f32::from_bits(1),
+            0.0,
+            7.25,
+            7.5,
+            7.75,
+        ] {
+            assert_eq!(fp6_mag_code(v), f.encode_magnitude(v), "v={v}");
+        }
+        assert_eq!(fp6_mag_code(f32::NAN), f.encode_magnitude(f32::NAN));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 
 use crate::profile::ModelProfile;
 use m2x_tensor::{stats, Matrix, Xoshiro};
-use m2xfp::TensorQuantizer;
+use m2xfp::backend::ExecBackend;
+use m2xfp::format::PackedWeightTensor;
+use m2xfp::{Error, M2xfpConfig, TensorQuantizer};
 
 /// Row-wise softmax (f32; the probability matrix of attention).
 pub fn softmax_rows(m: &Matrix) -> Matrix {
@@ -86,6 +88,57 @@ pub fn evaluate_attention(
     }
 }
 
+/// Runs one attention head through an execution backend — the engine-true
+/// variant of [`evaluate_attention`]: the score GEMM `Q·Kᵀ` and the value
+/// GEMM `P·V` both execute the backend's quantized kernel against Sg-EM
+/// prepared K/Vᵀ (the lazily quantized cache operands), with Q and P
+/// quantized online inside the forward. All backends report bit-identical
+/// errors.
+///
+/// This measures the full-sequence offline setting, where Vᵀ may be
+/// grouped along seq. `m2x_nn::model`'s KV-cache attention shares the
+/// score route but quantizes V **per token along the head dimension**
+/// (grouping V along a growing seq axis would let future tokens perturb
+/// past group scales, breaking causality and the prefill/decode
+/// equivalence) and mixes the dequantized V rows in f32 — so its
+/// attention error differs slightly from the number reported here.
+///
+/// # Errors
+///
+/// Fails when Q/K/V shapes are inconsistent.
+pub fn evaluate_attention_backend(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    backend: &dyn ExecBackend,
+    cfg: M2xfpConfig,
+) -> Result<AttentionError, Error> {
+    let scale = 1.0 / (q.cols() as f32).sqrt();
+
+    let scores_ref = q.matmul(&k.transpose()).map(|x| x * scale);
+    let p_ref = softmax_rows(&scores_ref);
+    let out_ref = p_ref.matmul(v);
+
+    // K rows are already the weight layout ([seq, head_dim], rows along the
+    // reduction dimension); V must be grouped along seq for P·V, so its
+    // transpose is the cached weight operand.
+    let pk = backend.prepare(PackedWeightTensor::quantize_parallel(k, cfg));
+    let pv = backend.prepare(PackedWeightTensor::quantize_parallel(&v.transpose(), cfg));
+    let scores_q = backend
+        .forward(q, &pk)
+        .map_err(|e| e.for_tensor("attention scores (Q·Kᵀ)"))?
+        .map(|x| x * scale);
+    let p_q = softmax_rows(&scores_q);
+    let out_q = backend
+        .forward(&p_q, &pv)
+        .map_err(|e| e.for_tensor("attention output (P·V)"))?;
+
+    Ok(AttentionError {
+        scores_nmse: stats::nmse(scores_ref.as_slice(), scores_q.as_slice()),
+        output_nmse: stats::nmse(out_ref.as_slice(), out_q.as_slice()),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +204,23 @@ mod tests {
         let e_ref = evaluate_attention(&q, &k, &v, &oracle, &oracle);
         assert_eq!(e.scores_nmse.to_bits(), e_ref.scores_nmse.to_bits());
         assert_eq!(e.output_nmse.to_bits(), e_ref.output_nmse.to_bits());
+    }
+
+    #[test]
+    fn backend_routed_attention_identical_across_backends() {
+        use m2xfp::backend::BackendKind;
+        let p = ModelProfile::llama3_8b();
+        let (q, k, v) = synth_head(&p, 40, 64);
+        let cfg = M2xfpConfig::default();
+        let errs: Vec<AttentionError> = BackendKind::ALL
+            .iter()
+            .map(|b| evaluate_attention_backend(&q, &k, &v, b.backend(), cfg).unwrap())
+            .collect();
+        assert!(errs[0].output_nmse > 0.0 && errs[0].output_nmse.is_finite());
+        for e in &errs[1..] {
+            assert_eq!(errs[0].scores_nmse.to_bits(), e.scores_nmse.to_bits());
+            assert_eq!(errs[0].output_nmse.to_bits(), e.output_nmse.to_bits());
+        }
     }
 
     #[test]

@@ -21,16 +21,24 @@
 //!   number is predicted from measured error).
 //! * [`attention`] — the §6.4 extension: quantized attention with an
 //!   Elem-EM online path (Q, P) and an Sg-EM KV cache.
-//! * [`linear`] — a deployable quantized linear layer (packed weights +
-//!   bit-exact forward pass).
+//! * [`linear`] — a deployable quantized linear layer (packed weights,
+//!   prepared once per execution backend, bit-exact forward pass).
+//! * [`model`] — the engine API's model-level session: a
+//!   [`QuantizedModel`](model::QuantizedModel) built by a
+//!   [`ModelBuilder`](model::ModelBuilder), with per-layer prepared
+//!   weights, a quantized KV cache and batch/prefill/decode forwards — the
+//!   paper's §6 end-to-end flow.
 
 pub mod attention;
 pub mod layers;
 pub mod linear;
 pub mod metrics;
+pub mod model;
 pub mod profile;
 pub mod propagate;
 pub mod synth;
 
+pub use linear::QuantizedLinear;
+pub use model::{ModelBuilder, QuantizedModel};
 pub use profile::ModelProfile;
-pub use propagate::W4a4Error;
+pub use propagate::{W4a4Error, W4a4Stats};

@@ -1,27 +1,21 @@
 //! A ready-to-use quantized linear layer — the API a downstream user would
-//! deploy: weights held in the packed M2XFP representation, activations
-//! quantized on the fly by the (modeled) quantization engine, and the
-//! forward pass executed by the bit-exact PE GEMM.
+//! deploy: weights held in the packed M2XFP representation, prepared once
+//! into the execution backend's form, and every forward pass routed through
+//! the [`ExecBackend`] abstraction (`m2xfp::backend`).
+//!
+//! The default backend is [`BackendKind::Packed`] (the LUT/cache-blocked
+//! hot path); [`QuantizedLinear::with_backend`] swaps in the grouped or
+//! float-oracle engines, whose outputs are bit-identical.
 
 use m2x_tensor::Matrix;
-use m2xfp::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
-use m2xfp::gemm::{gemm_threads, qgemm, qgemm_packed_planed, WeightPlane};
-use m2xfp::M2xfpConfig;
-use std::fmt;
+use m2xfp::backend::{BackendKind, PreparedWeights};
+use m2xfp::format::{PackedWeightTensor, WeightTensor};
+use m2xfp::{Error, M2xfpConfig};
 
-/// Error constructing or applying a [`QuantizedLinear`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LinearError {
-    msg: String,
-}
-
-impl fmt::Display for LinearError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "quantized linear error: {}", self.msg)
-    }
-}
-
-impl std::error::Error for LinearError {}
+/// Error constructing or applying a [`QuantizedLinear`] — an alias of the
+/// engine-wide [`m2xfp::Error`], kept so pre-unification call sites keep
+/// compiling.
+pub type LinearError = Error;
 
 /// A linear layer `y = x·Wᵀ` with M2XFP-quantized weights.
 ///
@@ -36,104 +30,120 @@ impl std::error::Error for LinearError {}
 /// let x = Matrix::from_fn(4, 64, |r, c| ((r + c) as f32 * 0.2).cos());
 /// let y = layer.forward(&x)?;
 /// assert_eq!((y.rows(), y.cols()), (4, 8));
-/// # Ok::<(), m2x_nn::linear::LinearError>(())
+/// # Ok::<(), m2xfp::Error>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedLinear {
-    /// Weights in the flat three-stream layout — the stored representation;
-    /// the grouped form is reconstructed on demand via
-    /// [`PackedWeightTensor::to_grouped`].
-    packed: PackedWeightTensor,
-    /// The streams LUT-decoded once into the GEMM kernel's fixed-point
-    /// plane, so repeated [`Self::forward`] calls skip the O(N·K) decode.
-    plane: WeightPlane,
-    cfg: M2xfpConfig,
+    /// Weights prepared for the chosen backend: the canonical three-stream
+    /// bits plus the backend's decoded execution form (e.g. the GEMM
+    /// kernel's fixed-point plane), so repeated [`Self::forward`] calls
+    /// skip the O(N·K) decode.
+    prepared: PreparedWeights,
+    backend: BackendKind,
 }
 
 impl QuantizedLinear {
-    /// Quantizes a transposed weight matrix `[out_features, in_features]`.
+    /// Quantizes a transposed weight matrix `[out_features, in_features]`
+    /// for the production [`BackendKind::Packed`] engine.
     ///
     /// # Errors
     ///
     /// Fails when `in_features` is not a multiple of the group size (the
     /// hardware layout requires aligned rows).
-    pub fn from_weights(w_t: &Matrix, cfg: M2xfpConfig) -> Result<Self, LinearError> {
+    pub fn from_weights(w_t: &Matrix, cfg: M2xfpConfig) -> Result<Self, Error> {
+        Self::with_backend(w_t, cfg, BackendKind::Packed)
+    }
+
+    /// [`Self::from_weights`] on an explicit execution backend. All
+    /// backends produce bit-identical forwards from the same weights.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `in_features` is not a multiple of the group size.
+    pub fn with_backend(
+        w_t: &Matrix,
+        cfg: M2xfpConfig,
+        backend: BackendKind,
+    ) -> Result<Self, Error> {
         if w_t.cols() % cfg.group_size != 0 {
-            return Err(LinearError {
-                msg: format!(
-                    "in_features {} is not a multiple of the group size {}",
-                    w_t.cols(),
-                    cfg.group_size
-                ),
+            return Err(Error::Misaligned {
+                tensor: "linear weights".to_string(),
+                len: w_t.cols(),
+                group_size: cfg.group_size,
             });
         }
         // The threaded integer-LUT Sg-EM search — layer construction is the
         // offline weight-quantization moment, the path the paper's §6
-        // end-to-end setting exercises per layer.
+        // end-to-end setting exercises per layer — followed by the
+        // backend's one-time decode into its execution form.
         let packed = PackedWeightTensor::quantize_parallel(w_t, cfg);
-        let plane = WeightPlane::decode(&packed);
-        Ok(QuantizedLinear { packed, plane, cfg })
+        let prepared = backend.backend().prepare(packed);
+        Ok(QuantizedLinear { prepared, backend })
     }
 
-    fn check_width(&self, x: &Matrix) -> Result<(), LinearError> {
+    fn check_width(&self, x: &Matrix) -> Result<(), Error> {
         if x.cols() != self.in_features() {
-            return Err(LinearError {
-                msg: format!(
-                    "input width {} does not match in_features {}",
-                    x.cols(),
-                    self.in_features()
-                ),
+            return Err(Error::WidthMismatch {
+                tensor: "quantized linear".to_string(),
+                expected: self.in_features(),
+                got: x.cols(),
             });
         }
         Ok(())
     }
 
+    /// The execution backend this layer runs on.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The configuration the weights were quantized with.
+    pub fn config(&self) -> &M2xfpConfig {
+        self.prepared.config()
+    }
+
     /// Output features.
     pub fn out_features(&self) -> usize {
-        self.packed.shape().0
+        self.prepared.shape().0
     }
 
     /// Input features.
     pub fn in_features(&self) -> usize {
-        self.packed.shape().1
+        self.prepared.shape().1
     }
 
     /// The grouped weight representation, reconstructed from the packed
     /// streams.
     pub fn weights(&self) -> WeightTensor {
-        self.packed.to_grouped()
+        self.prepared.packed().to_grouped()
     }
 
     /// The three-stream packed weight representation.
     pub fn packed_weights(&self) -> &PackedWeightTensor {
-        &self.packed
+        self.prepared.packed()
     }
 
-    /// W4A4 forward pass: quantizes `x` online (Elem-EM-top1) straight into
-    /// the packed streams and runs the cache-blocked bit-exact PE GEMM.
+    /// W4A4 forward pass through the layer's backend: quantizes `x` online
+    /// (Elem-EM-top1) and runs the bit-exact PE GEMM against the prepared
+    /// weights.
     ///
     /// # Errors
     ///
     /// Fails on an input width mismatch.
-    pub fn forward(&self, x: &Matrix) -> Result<Matrix, LinearError> {
-        self.check_width(x)?;
-        // Auto-threaded: decode-size batches fall below the work threshold
-        // and encode sequentially; large prefill batches fan out.
-        let xq = PackedActTensor::quantize_parallel(x, self.cfg);
-        let threads = gemm_threads(x.rows(), self.in_features(), self.out_features());
-        Ok(qgemm_packed_planed(&xq, &self.plane, threads))
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix, Error> {
+        self.backend.backend().forward(x, &self.prepared)
     }
 
     /// [`Self::forward`] through the legacy grouped pipeline — bit-identical
-    /// output, kept for cross-checking the two representations.
+    /// output, kept for cross-checking the representations without
+    /// rebuilding the layer on another backend.
     ///
     /// # Errors
     ///
     /// Fails on an input width mismatch.
-    pub fn forward_grouped(&self, x: &Matrix) -> Result<Matrix, LinearError> {
-        self.check_width(x)?;
-        let xq = ActTensor::quantize(x, self.cfg);
-        Ok(qgemm(&xq, &self.weights()))
+    pub fn forward_grouped(&self, x: &Matrix) -> Result<Matrix, Error> {
+        let be = BackendKind::Grouped.backend();
+        be.forward(x, &be.prepare(self.prepared.packed().clone()))
     }
 
     /// Forward pass keeping activations in f32 (weight-only quantization,
@@ -142,9 +152,9 @@ impl QuantizedLinear {
     /// # Errors
     ///
     /// Fails on an input width mismatch.
-    pub fn forward_w4a16(&self, x: &Matrix) -> Result<Matrix, LinearError> {
+    pub fn forward_w4a16(&self, x: &Matrix) -> Result<Matrix, Error> {
         self.check_width(x)?;
-        Ok(x.matmul(&self.packed.dequantize().transpose()))
+        Ok(x.matmul(&self.prepared.packed().dequantize().transpose()))
     }
 
     /// Serializes the weights to the paper's three-stream byte layout.
@@ -152,17 +162,16 @@ impl QuantizedLinear {
     /// # Errors
     ///
     /// Propagates the packing layout error.
-    pub fn pack_weights(&self) -> Result<Vec<u8>, LinearError> {
-        self.weights()
-            .pack()
-            .map_err(|e| LinearError { msg: e.to_string() })
+    pub fn pack_weights(&self) -> Result<Vec<u8>, Error> {
+        self.weights().pack()
     }
 
     /// Storage footprint of the packed weights in bytes.
     pub fn weight_bytes(&self) -> usize {
-        let (n, k) = self.packed.shape();
-        let groups = n * k / self.cfg.group_size;
-        groups * (self.cfg.group_size / 2 + 2)
+        let (n, k) = self.prepared.shape();
+        let cfg = self.config();
+        let groups = n * k / cfg.group_size;
+        groups * (cfg.group_size / 2 + 2)
     }
 }
 
@@ -205,6 +214,27 @@ mod tests {
     }
 
     #[test]
+    fn every_backend_layer_is_bit_identical() {
+        let mut r = Xoshiro::seed(11);
+        let w = Matrix::from_fn(12, 64, |_, _| r.laplace(0.5));
+        let x = Matrix::from_fn(5, 64, |_, _| r.laplace(1.0));
+        let cfg = M2xfpConfig::default();
+        let outs: Vec<Matrix> = BackendKind::ALL
+            .iter()
+            .map(|&k| {
+                let l = QuantizedLinear::with_backend(&w, cfg, k).unwrap();
+                assert_eq!(l.backend(), k);
+                l.forward(&x).unwrap()
+            })
+            .collect();
+        for o in &outs[1..] {
+            for (a, b) in outs[0].as_slice().iter().zip(o.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn w4a16_beats_w4a4() {
         let (l, x) = layer(16, 128, 2);
         let w_deq = l.weights().dequantize();
@@ -221,7 +251,8 @@ mod tests {
         assert!(l.forward(&bad).is_err());
         assert!(l.forward_w4a16(&bad).is_err());
         let w_bad = Matrix::zeros(8, 65);
-        assert!(QuantizedLinear::from_weights(&w_bad, M2xfpConfig::default()).is_err());
+        let err = QuantizedLinear::from_weights(&w_bad, M2xfpConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("linear weights"), "{err}");
     }
 
     #[test]
@@ -237,5 +268,6 @@ mod tests {
         let (l, _) = layer(8, 64, 5);
         assert_eq!(l.out_features(), 8);
         assert_eq!(l.in_features(), 64);
+        assert_eq!(l.backend(), BackendKind::Packed);
     }
 }

@@ -1,0 +1,794 @@
+//! Model-level quantized inference — the §6 end-to-end setting as an API.
+//!
+//! [`ModelBuilder`] takes a [`ModelProfile`] + [`M2xfpConfig`], synthesizes
+//! every linear weight of a transformer stack (deterministic, from the
+//! profile's seed), quantizes each through the threaded integer-LUT Sg-EM
+//! search (`PackedWeightTensor::quantize_parallel`, via
+//! [`QuantizedLinear`]) and prepares it once for the chosen execution
+//! backend. The resulting [`QuantizedModel`] is a stateful inference
+//! session:
+//!
+//! * [`QuantizedModel::forward_batch`] — reset the KV cache and run a full
+//!   causal batch (the throughput surface the `e2e_model` driver times);
+//! * [`QuantizedModel::prefill`] / [`QuantizedModel::decode`] — the
+//!   serving loop: append tokens to the per-layer [`KvCache`] and return
+//!   their outputs. Prefill-then-decode is **bit-identical** to the
+//!   one-shot batch (rows quantize independently and every kernel computes
+//!   each output element in the same order), which the workspace property
+//!   tests pin.
+//!
+//! Attention follows the paper's §6.4 hybrid: K is cached in the packed
+//! Sg-EM weight representation (grown incrementally with
+//! `PackedWeightTensor::append_rows`) and consumed by the backend's
+//! quantized score GEMM; V rows are Sg-EM-quantized per token and
+//! dequantized at use; Q and the probability matrix P run the online
+//! Elem-EM path. Everything quantized routes through one
+//! [`ExecBackend`](m2xfp::backend::ExecBackend), so the whole model is
+//! bit-identical across the packed, grouped and reference engines.
+
+use crate::linear::QuantizedLinear;
+use crate::profile::{MlpKind, ModelProfile};
+use crate::synth::{weight_matrix, LayerKind};
+use m2x_tensor::Matrix;
+use m2xfp::backend::BackendKind;
+use m2xfp::format::PackedWeightTensor;
+use m2xfp::{Error, M2xfpConfig};
+
+/// Row-wise RMS normalization (unit gain): keeps the residual stream's
+/// scale bounded across layers so deep stacks stay in the formats' dynamic
+/// range. Purely per-row, so batch and decode paths compute identical bits.
+fn rms_norm(m: &Matrix) -> Matrix {
+    let n = m.cols() as f64;
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let ss: f64 = row.iter().map(|&v| v as f64 * v as f64).sum();
+        let inv = (1.0 / (ss / n + 1e-6).sqrt()) as f32;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// SiLU (x·σ(x)) applied element-wise — the gated-MLP activation.
+fn silu(m: &Matrix) -> Matrix {
+    m.map(|v| v / (1.0 + (-v).exp()))
+}
+
+/// ReLU applied element-wise — the plain-MLP activation.
+fn relu(m: &Matrix) -> Matrix {
+    m.map(|v| v.max(0.0))
+}
+
+/// Copies `width` columns starting at `start` out of `m`.
+fn slice_cols(m: &Matrix, start: usize, width: usize) -> Matrix {
+    Matrix::from_fn(m.rows(), width, |r, c| m[(r, start + c)])
+}
+
+/// Writes `src` into `out` at column offset `start`.
+fn write_cols(out: &mut Matrix, src: &Matrix, start: usize) {
+    for r in 0..src.rows() {
+        let (orow, srow) = (out.row_mut(r), src.row(r));
+        orow[start..start + srow.len()].copy_from_slice(srow);
+    }
+}
+
+/// One transformer block's quantized projections.
+#[derive(Debug, Clone)]
+struct Block {
+    q: QuantizedLinear,
+    k: QuantizedLinear,
+    v: QuantizedLinear,
+    o: QuantizedLinear,
+    /// `Some` for gated (SwiGLU) MLPs, `None` for plain two-matrix MLPs.
+    gate: Option<QuantizedLinear>,
+    up: QuantizedLinear,
+    down: QuantizedLinear,
+}
+
+/// One block's f32 weights (transposed `[out, in]`), kept when the builder
+/// is asked for the full-precision oracle path.
+#[derive(Debug, Clone)]
+struct RefBlock {
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    o: Matrix,
+    gate: Option<Matrix>,
+    up: Matrix,
+    down: Matrix,
+}
+
+/// One layer's quantized KV cache: per KV head, K rows in the packed Sg-EM
+/// weight representation (the backend's score-GEMM operand) and V rows
+/// likewise quantized per token along the head dimension. Each appended
+/// token quantizes independently, so incremental growth is byte-identical
+/// to quantizing the full sequence at once.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    k: Vec<PackedWeightTensor>,
+    v: Vec<PackedWeightTensor>,
+}
+
+impl KvCache {
+    fn new(kv_heads: usize, head_dim: usize, cfg: M2xfpConfig) -> Self {
+        KvCache {
+            k: (0..kv_heads)
+                .map(|_| PackedWeightTensor::empty(head_dim, cfg))
+                .collect(),
+            v: (0..kv_heads)
+                .map(|_| PackedWeightTensor::empty(head_dim, cfg))
+                .collect(),
+        }
+    }
+
+    /// Quantizes and appends new K/V projection rows (`[tokens, kv_dim]`),
+    /// sliced per KV head.
+    fn append(&mut self, k_new: &Matrix, v_new: &Matrix, head_dim: usize) -> Result<(), Error> {
+        for (h, (kc, vc)) in self.k.iter_mut().zip(&mut self.v).enumerate() {
+            kc.append_rows(&slice_cols(k_new, h * head_dim, head_dim))?;
+            vc.append_rows(&slice_cols(v_new, h * head_dim, head_dim))?;
+        }
+        Ok(())
+    }
+
+    /// Cached sequence length in tokens.
+    pub fn seq_len(&self) -> usize {
+        self.k.first().map_or(0, |t| t.shape().0)
+    }
+
+    /// Total packed footprint of the cached K and V streams in bytes.
+    pub fn bytes(&self) -> usize {
+        self.k.iter().chain(&self.v).map(|t| t.packed_bytes()).sum()
+    }
+
+    fn clear(&mut self, head_dim: usize, cfg: M2xfpConfig) {
+        for t in self.k.iter_mut().chain(&mut self.v) {
+            *t = PackedWeightTensor::empty(head_dim, cfg);
+        }
+    }
+}
+
+/// Builder for a [`QuantizedModel`]: a [`ModelProfile`] supplies the
+/// architecture shape and weight statistics, an [`M2xfpConfig`] the format,
+/// and a [`BackendKind`] the execution engine. Dimensions can be overridden
+/// (or bulk-scaled with [`ModelBuilder::scaled`]) so tests and CI drive the
+/// same code at toy sizes.
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    profile: ModelProfile,
+    cfg: M2xfpConfig,
+    backend: BackendKind,
+    hidden: usize,
+    intermediate: usize,
+    heads: usize,
+    kv_heads: usize,
+    layers: usize,
+    keep_reference: bool,
+}
+
+impl ModelBuilder {
+    /// A builder with the profile's real architecture dimensions.
+    pub fn new(profile: &ModelProfile) -> Self {
+        ModelBuilder {
+            cfg: M2xfpConfig::default(),
+            backend: BackendKind::Packed,
+            hidden: profile.hidden,
+            intermediate: profile.intermediate,
+            heads: profile.heads,
+            kv_heads: profile.kv_heads,
+            layers: profile.layers,
+            keep_reference: false,
+            profile: profile.clone(),
+        }
+    }
+
+    /// A builder scaled down to `hidden` × `layers`, preserving the
+    /// profile's head width (64 where it divides `hidden`), GQA ratio and
+    /// MLP expansion factor, rounded to group-aligned dimensions.
+    pub fn scaled(profile: &ModelProfile, hidden: usize, layers: usize) -> Self {
+        let head_dim = if hidden % 64 == 0 { 64 } else { 32 };
+        let heads = (hidden / head_dim).max(1);
+        let ratio = (profile.heads / profile.kv_heads).max(1);
+        let mut kv_heads = (heads / ratio).max(1);
+        while heads % kv_heads != 0 {
+            kv_heads -= 1;
+        }
+        let expand = profile.intermediate as f64 / profile.hidden as f64;
+        let intermediate = (((hidden as f64 * expand) / 32.0).round() as usize).max(1) * 32;
+        ModelBuilder {
+            hidden,
+            intermediate,
+            heads,
+            kv_heads,
+            layers,
+            ..Self::new(profile)
+        }
+    }
+
+    /// Sets the quantization configuration.
+    pub fn config(mut self, cfg: M2xfpConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the execution backend (default [`BackendKind::Packed`]).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the transformer layer count.
+    pub fn layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Overrides the hidden dimension.
+    pub fn hidden(mut self, hidden: usize) -> Self {
+        self.hidden = hidden;
+        self
+    }
+
+    /// Overrides the MLP intermediate dimension.
+    pub fn intermediate(mut self, intermediate: usize) -> Self {
+        self.intermediate = intermediate;
+        self
+    }
+
+    /// Overrides the attention head counts.
+    pub fn heads(mut self, heads: usize, kv_heads: usize) -> Self {
+        self.heads = heads;
+        self.kv_heads = kv_heads;
+        self
+    }
+
+    /// Keeps the f32 weights alongside the quantized model so
+    /// [`QuantizedModel::reference_forward_batch`] (the NRMSE oracle) is
+    /// available. Costs one full-precision copy of every weight.
+    pub fn keep_reference(mut self, keep: bool) -> Self {
+        self.keep_reference = keep;
+        self
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        let gs = self.cfg.group_size;
+        let bad = |msg: String| Err(Error::config(msg));
+        if self.layers == 0 {
+            return bad("layers must be >= 1".into());
+        }
+        if self.heads == 0 || self.kv_heads == 0 || self.heads % self.kv_heads != 0 {
+            return bad(format!(
+                "heads {} must be a positive multiple of kv_heads {}",
+                self.heads, self.kv_heads
+            ));
+        }
+        if self.hidden % self.heads != 0 {
+            return bad(format!(
+                "hidden {} must divide into heads {}",
+                self.hidden, self.heads
+            ));
+        }
+        let head_dim = self.hidden / self.heads;
+        for (name, dim) in [
+            ("hidden", self.hidden),
+            ("intermediate", self.intermediate),
+            ("head_dim", head_dim),
+        ] {
+            if dim == 0 || dim % gs != 0 {
+                return bad(format!(
+                    "{name} {dim} must be a positive multiple of the group size {gs}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Synthesizes, quantizes and prepares every layer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on inconsistent or group-misaligned dimensions; the message
+    /// names the offending field or layer.
+    pub fn build(self) -> Result<QuantizedModel, Error> {
+        self.validate()?;
+        let (h, inter) = (self.hidden, self.intermediate);
+        let head_dim = h / self.heads;
+        let kv_dim = self.kv_heads * head_dim;
+        let gated = self.profile.mlp == MlpKind::Gated;
+
+        let mut blocks = Vec::with_capacity(self.layers);
+        let mut reference = self.keep_reference.then(Vec::new);
+        for l in 0..self.layers {
+            let synth = |kind: LayerKind, n: usize, k: usize| -> Matrix {
+                weight_matrix(&self.profile, kind, l, n, k)
+            };
+            let quant = |w: &Matrix, name: &str| -> Result<QuantizedLinear, Error> {
+                QuantizedLinear::with_backend(w, self.cfg, self.backend)
+                    .map_err(|e| e.for_tensor(format!("layer {l} {name}")))
+            };
+            let wq = synth(LayerKind::Q, h, h);
+            let wk = synth(LayerKind::K, kv_dim, h);
+            let wv = synth(LayerKind::V, kv_dim, h);
+            let wo = synth(LayerKind::O, h, h);
+            let wgate = gated.then(|| synth(LayerKind::Gate, inter, h));
+            let wup = synth(LayerKind::Up, inter, h);
+            let wdown = synth(LayerKind::Down, h, inter);
+            blocks.push(Block {
+                q: quant(&wq, "q_proj")?,
+                k: quant(&wk, "k_proj")?,
+                v: quant(&wv, "v_proj")?,
+                o: quant(&wo, "o_proj")?,
+                gate: wgate.as_ref().map(|w| quant(w, "mlp_gate")).transpose()?,
+                up: quant(&wup, "mlp_up")?,
+                down: quant(&wdown, "mlp_down")?,
+            });
+            if let Some(r) = reference.as_mut() {
+                r.push(RefBlock {
+                    q: wq,
+                    k: wk,
+                    v: wv,
+                    o: wo,
+                    gate: wgate,
+                    up: wup,
+                    down: wdown,
+                });
+            }
+        }
+
+        let kv = (0..self.layers)
+            .map(|_| KvCache::new(self.kv_heads, head_dim, self.cfg))
+            .collect();
+        Ok(QuantizedModel {
+            name: self.profile.name.to_string(),
+            cfg: self.cfg,
+            backend: self.backend,
+            mlp: self.profile.mlp,
+            hidden: h,
+            intermediate: inter,
+            heads: self.heads,
+            kv_heads: self.kv_heads,
+            head_dim,
+            blocks,
+            kv,
+            pos: 0,
+            reference,
+        })
+    }
+}
+
+/// A whole transformer stack quantized to M2XFP: every projection held in
+/// the packed three-stream representation, prepared once for one execution
+/// backend, plus a per-layer quantized [`KvCache`]. See the
+/// [module docs](self) for the session API.
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    name: String,
+    cfg: M2xfpConfig,
+    backend: BackendKind,
+    mlp: MlpKind,
+    hidden: usize,
+    intermediate: usize,
+    heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+    blocks: Vec<Block>,
+    kv: Vec<KvCache>,
+    pos: usize,
+    reference: Option<Vec<RefBlock>>,
+}
+
+impl QuantizedModel {
+    /// Profile name the model was synthesized from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The quantization configuration.
+    pub fn config(&self) -> &M2xfpConfig {
+        &self.cfg
+    }
+
+    /// The execution backend every forward routes through.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Hidden (residual stream) dimension.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// MLP intermediate dimension.
+    pub fn intermediate(&self) -> usize {
+        self.intermediate
+    }
+
+    /// Transformer layer count.
+    pub fn layer_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// KV heads (GQA when < heads).
+    pub fn kv_heads(&self) -> usize {
+        self.kv_heads
+    }
+
+    /// Width of one attention head.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Tokens currently held in the KV cache.
+    pub fn seq_len(&self) -> usize {
+        self.pos
+    }
+
+    /// Per-layer KV caches (index = layer).
+    pub fn kv_caches(&self) -> &[KvCache] {
+        &self.kv
+    }
+
+    /// Total packed weight footprint across all layers, in bytes.
+    pub fn weight_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| {
+                [Some(&b.q), Some(&b.k), Some(&b.v), Some(&b.o)]
+                    .into_iter()
+                    .chain([b.gate.as_ref(), Some(&b.up), Some(&b.down)])
+                    .flatten()
+                    .map(QuantizedLinear::weight_bytes)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Multiply–accumulate count of one forward over `tokens` tokens
+    /// starting at cache position `start_pos` (linear projections plus the
+    /// per-head score/value GEMMs against the grown cache).
+    pub fn forward_macs(&self, tokens: usize, start_pos: usize) -> u64 {
+        let (t, h) = (tokens as u64, self.hidden as u64);
+        let inter = self.intermediate as u64;
+        let kv_dim = (self.kv_heads * self.head_dim) as u64;
+        let s = (start_pos + tokens) as u64;
+        let linear = t * h * h * 2 // q, o
+            + t * h * kv_dim * 2 // k, v
+            + match self.mlp {
+                MlpKind::Gated => 3 * t * h * inter,
+                MlpKind::Plain => 2 * t * h * inter,
+            };
+        let attn = self.heads as u64 * 2 * t * s * self.head_dim as u64;
+        (linear + attn) * self.blocks.len() as u64
+    }
+
+    /// Drops the KV cache and resets the stream position to zero.
+    pub fn reset(&mut self) {
+        for c in &mut self.kv {
+            c.clear(self.head_dim, self.cfg);
+        }
+        self.pos = 0;
+    }
+
+    /// One-shot causal forward over a full batch of token embeddings
+    /// `[tokens, hidden]`: resets the session, then prefills. Bit-identical
+    /// to any prefill/decode split of the same rows.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch.
+    pub fn forward_batch(&mut self, x: &Matrix) -> Result<Matrix, Error> {
+        self.reset();
+        self.step(x, None)
+    }
+
+    /// Appends a chunk of tokens `[tokens, hidden]` to the session and
+    /// returns their outputs (causal within the chunk and against the
+    /// cache).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch.
+    pub fn prefill(&mut self, x: &Matrix) -> Result<Matrix, Error> {
+        self.step(x, None)
+    }
+
+    /// Appends exactly one token `[1, hidden]` — the serving decode step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch or a multi-row input.
+    pub fn decode(&mut self, x: &Matrix) -> Result<Matrix, Error> {
+        if x.rows() != 1 {
+            return Err(Error::config(format!(
+                "decode expects exactly 1 token row, got {}",
+                x.rows()
+            )));
+        }
+        self.step(x, None)
+    }
+
+    /// [`Self::forward_batch`] that also returns the residual stream after
+    /// every layer — the per-layer observability hook the `e2e_model`
+    /// driver's NRMSE report uses.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch.
+    pub fn forward_batch_traced(&mut self, x: &Matrix) -> Result<(Matrix, Vec<Matrix>), Error> {
+        self.reset();
+        let mut trace = Vec::with_capacity(self.blocks.len());
+        let out = self.step(x, Some(&mut trace))?;
+        Ok((out, trace))
+    }
+
+    fn step(&mut self, x: &Matrix, mut trace: Option<&mut Vec<Matrix>>) -> Result<Matrix, Error> {
+        if x.cols() != self.hidden {
+            return Err(Error::WidthMismatch {
+                tensor: "model input".to_string(),
+                expected: self.hidden,
+                got: x.cols(),
+            });
+        }
+        let p0 = self.pos;
+        let mut h = x.clone();
+        for li in 0..self.blocks.len() {
+            let ctx = |e: Error, what: &str| e.for_tensor(format!("layer {li} {what}"));
+            let hn = rms_norm(&h);
+            let block = &self.blocks[li];
+            let q = block.q.forward(&hn).map_err(|e| ctx(e, "q_proj"))?;
+            let k = block.k.forward(&hn).map_err(|e| ctx(e, "k_proj"))?;
+            let v = block.v.forward(&hn).map_err(|e| ctx(e, "v_proj"))?;
+            self.kv[li]
+                .append(&k, &v, self.head_dim)
+                .map_err(|e| ctx(e, "kv cache"))?;
+            let attn = self
+                .attention(li, &q, p0)
+                .map_err(|e| ctx(e, "attention"))?;
+            let block = &self.blocks[li];
+            let o = block.o.forward(&attn).map_err(|e| ctx(e, "o_proj"))?;
+            h = h.add(&o);
+            let hn = rms_norm(&h);
+            let m = match &block.gate {
+                Some(gate) => {
+                    let g = silu(&gate.forward(&hn).map_err(|e| ctx(e, "mlp_gate"))?);
+                    let u = block.up.forward(&hn).map_err(|e| ctx(e, "mlp_up"))?;
+                    let gu = Matrix::from_fn(g.rows(), g.cols(), |r, c| g[(r, c)] * u[(r, c)]);
+                    block.down.forward(&gu).map_err(|e| ctx(e, "mlp_down"))?
+                }
+                None => {
+                    let u = relu(&block.up.forward(&hn).map_err(|e| ctx(e, "mlp_up"))?);
+                    block.down.forward(&u).map_err(|e| ctx(e, "mlp_down"))?
+                }
+            };
+            h = h.add(&m);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(h.clone());
+            }
+        }
+        self.pos = p0 + x.rows();
+        Ok(h)
+    }
+
+    /// Multi-head causal attention over the layer's KV cache, §6.4 hybrid:
+    /// quantized score GEMM (Q online, K from the Sg-EM cache), online
+    /// Elem-EM quantization of P, dequantized Sg-EM V rows.
+    fn attention(&self, li: usize, q: &Matrix, p0: usize) -> Result<Matrix, Error> {
+        let be = self.backend.backend();
+        let cache = &self.kv[li];
+        let (t, hd) = (q.rows(), self.head_dim);
+        let scale = 1.0 / (hd as f32).sqrt();
+        let heads_per_kv = self.heads / self.kv_heads;
+        // Decode each KV head's cache once per step, not once per query
+        // head: under GQA the query heads sharing a KV head reuse the same
+        // prepared K form and dequantized V rows.
+        let prepared_k: Vec<_> = cache.k.iter().map(|k| be.prepare(k.clone())).collect();
+        let v_rows: Vec<Matrix> = cache.v.iter().map(|v| v.dequantize()).collect();
+        let mut out = Matrix::zeros(t, self.hidden);
+        for head in 0..self.heads {
+            let kvh = head / heads_per_kv;
+            let qh = slice_cols(q, head * hd, hd);
+            // Scores = Q·Kᵀ through the backend's quantized GEMM: the K
+            // cache rows are exactly the weight layout ([seq, head_dim],
+            // grouped along the reduction dimension).
+            let mut scores = be.forward(&qh, &prepared_k[kvh])?;
+            for i in 0..t {
+                let row = scores.row_mut(i);
+                for (j, sc) in row.iter_mut().enumerate() {
+                    // Causal mask: chunk row i sits at stream position
+                    // p0 + i and may only attend to keys at or before it.
+                    *sc = if j <= p0 + i {
+                        *sc * scale
+                    } else {
+                        f32::NEG_INFINITY
+                    };
+                }
+            }
+            let p = crate::attention::softmax_rows(&scores);
+            // P is produced on the fly → online Elem-EM path; V rows were
+            // quantized on arrival (per token, so decode == batch) and
+            // dequantize here for the value mix.
+            let pq = be.fake_quantize_activations(&p, self.cfg);
+            let oh = pq.matmul(&v_rows[kvh]);
+            debug_assert_eq!((oh.rows(), oh.cols()), (t, hd));
+            write_cols(&mut out, &oh, head * hd);
+        }
+        Ok(out)
+    }
+
+    /// Full-precision (f32) forward over the same synthesized weights and
+    /// architecture — the oracle the whole-model NRMSE is measured against.
+    /// Stateless (always starts from position 0) and available only when
+    /// the builder was asked to [`ModelBuilder::keep_reference`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch or when the reference weights were
+    /// not kept.
+    pub fn reference_forward_batch(&self, x: &Matrix) -> Result<Matrix, Error> {
+        Ok(self.reference_traced(x)?.0)
+    }
+
+    /// [`Self::reference_forward_batch`] that also returns the residual
+    /// stream after every layer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::reference_forward_batch`].
+    pub fn reference_traced(&self, x: &Matrix) -> Result<(Matrix, Vec<Matrix>), Error> {
+        let Some(reference) = &self.reference else {
+            return Err(Error::config(
+                "reference weights were not kept; build with keep_reference(true)",
+            ));
+        };
+        if x.cols() != self.hidden {
+            return Err(Error::WidthMismatch {
+                tensor: "model input".to_string(),
+                expected: self.hidden,
+                got: x.cols(),
+            });
+        }
+        let hd = self.head_dim;
+        let heads_per_kv = self.heads / self.kv_heads;
+        let scale = 1.0 / (hd as f32).sqrt();
+        let mut trace = Vec::with_capacity(reference.len());
+        let mut h = x.clone();
+        for block in reference {
+            let hn = rms_norm(&h);
+            let lin = |w: &Matrix, x: &Matrix| x.matmul(&w.transpose());
+            let (q, k, v) = (lin(&block.q, &hn), lin(&block.k, &hn), lin(&block.v, &hn));
+            let t = q.rows();
+            let mut attn = Matrix::zeros(t, self.hidden);
+            for head in 0..self.heads {
+                let kvh = head / heads_per_kv;
+                let qh = slice_cols(&q, head * hd, hd);
+                let kh = slice_cols(&k, kvh * hd, hd);
+                let vh = slice_cols(&v, kvh * hd, hd);
+                let mut scores = qh.matmul(&kh.transpose());
+                for i in 0..t {
+                    let row = scores.row_mut(i);
+                    for (j, sc) in row.iter_mut().enumerate() {
+                        *sc = if j <= i {
+                            *sc * scale
+                        } else {
+                            f32::NEG_INFINITY
+                        };
+                    }
+                }
+                let p = crate::attention::softmax_rows(&scores);
+                write_cols(&mut attn, &p.matmul(&vh), head * hd);
+            }
+            h = h.add(&lin(&block.o, &attn));
+            let hn = rms_norm(&h);
+            let m = match &block.gate {
+                Some(gate) => {
+                    let g = silu(&lin(gate, &hn));
+                    let u = lin(&block.up, &hn);
+                    let gu = Matrix::from_fn(g.rows(), g.cols(), |r, c| g[(r, c)] * u[(r, c)]);
+                    lin(&block.down, &gu)
+                }
+                None => lin(&block.down, &relu(&lin(&block.up, &hn))),
+            };
+            h = h.add(&m);
+            trace.push(h.clone());
+        }
+        Ok((h, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::activation_matrix;
+    use m2x_tensor::stats::nmse;
+
+    fn tiny_builder() -> ModelBuilder {
+        ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 2).keep_reference(true)
+    }
+
+    fn tokens(n: usize, hidden: usize) -> Matrix {
+        let x = activation_matrix(&ModelProfile::llama3_8b(), 0, n, hidden);
+        // Embeddings, not raw activations: tame the outlier channels so the
+        // residual stream stays well-conditioned through a deep stack.
+        x.map(|v| (v * 0.25).tanh())
+    }
+
+    #[test]
+    fn builder_validates_dimensions() {
+        let p = ModelProfile::llama3_8b();
+        assert!(ModelBuilder::scaled(&p, 64, 0).build().is_err());
+        // hidden 48 gives a 48-wide head: not group-aligned.
+        assert!(ModelBuilder::scaled(&p, 48, 1).build().is_err());
+        let err = ModelBuilder::scaled(&p, 64, 1)
+            .heads(3, 2)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("heads"), "{err}");
+    }
+
+    #[test]
+    fn forward_shapes_and_macs() {
+        let mut m = tiny_builder().build().unwrap();
+        assert_eq!(m.hidden(), 64);
+        assert_eq!(m.layer_count(), 2);
+        assert_eq!(m.heads(), 1);
+        let x = tokens(6, 64);
+        let y = m.forward_batch(&x).unwrap();
+        assert_eq!((y.rows(), y.cols()), (6, 64));
+        assert_eq!(m.seq_len(), 6);
+        assert!(m.forward_macs(6, 0) > 0);
+        assert!(m.weight_bytes() > 0);
+        assert!(m.kv_caches()[0].bytes() > 0);
+        assert_eq!(m.kv_caches()[0].seq_len(), 6);
+    }
+
+    #[test]
+    fn quantized_model_tracks_reference() {
+        let mut m = tiny_builder().build().unwrap();
+        let x = tokens(8, 64);
+        let y = m.forward_batch(&x).unwrap();
+        let (y_ref, trace_ref) = m.reference_traced(&x).unwrap();
+        let e = nmse(y_ref.as_slice(), y.as_slice());
+        assert!(e > 0.0 && e < 0.05, "whole-model nmse {e}");
+        assert_eq!(trace_ref.len(), 2);
+    }
+
+    #[test]
+    fn prefill_then_decode_matches_batch() {
+        let mut m = tiny_builder().build().unwrap();
+        let x = tokens(5, 64);
+        let batch = m.forward_batch(&x).unwrap();
+        m.reset();
+        let head = Matrix::from_fn(3, 64, |r, c| x[(r, c)]);
+        let mut rows = m.prefill(&head).unwrap().into_vec();
+        for t in 3..5 {
+            let xt = Matrix::from_fn(1, 64, |_, c| x[(t, c)]);
+            rows.extend(m.decode(&xt).unwrap().into_vec());
+        }
+        let inc = Matrix::from_vec(5, 64, rows);
+        for (a, b) in batch.as_slice().iter().zip(inc.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_multi_row_and_bad_width() {
+        let mut m = tiny_builder().build().unwrap();
+        assert!(m.decode(&tokens(2, 64)).is_err());
+        assert!(m.forward_batch(&Matrix::zeros(2, 65)).is_err());
+    }
+
+    #[test]
+    fn reference_requires_keep_reference() {
+        let m = ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 1)
+            .build()
+            .unwrap();
+        assert!(m.reference_forward_batch(&tokens(2, 64)).is_err());
+    }
+}

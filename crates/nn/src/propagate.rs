@@ -12,7 +12,9 @@ use crate::profile::ModelProfile;
 use crate::synth::{activation_matrix, weight_matrix};
 use m2x_tensor::stats::nmse;
 use m2x_tensor::Matrix;
-use m2xfp::TensorQuantizer;
+use m2xfp::backend::ExecBackend;
+use m2xfp::format::PackedWeightTensor;
+use m2xfp::{M2xfpConfig, TensorQuantizer};
 
 /// Evaluation size caps (full model dimensions are sub-sampled; block
 /// quantization error statistics are dimension-independent, see DESIGN.md).
@@ -55,9 +57,9 @@ impl EvalConfig {
     }
 }
 
-/// Measured W4A4 error of one (model, format) pair.
+/// Measured W4A4 error statistics of one (model, format) pair.
 #[derive(Debug, Clone)]
-pub struct W4a4Error {
+pub struct W4a4Stats {
     /// Format display name.
     pub format: String,
     /// Model display name.
@@ -68,7 +70,12 @@ pub struct W4a4Error {
     pub mean_nmse: f64,
 }
 
-impl W4a4Error {
+/// Pre-unification name of [`W4a4Stats`], kept so existing call sites keep
+/// compiling (it is a measurement record, not an error type — Rust errors
+/// now all live in [`m2xfp::Error`]).
+pub type W4a4Error = W4a4Stats;
+
+impl W4a4Stats {
     /// Relative RMS output error (√NMSE) — the proxies' noise magnitude.
     pub fn nrmse(&self) -> f64 {
         self.mean_nmse.sqrt()
@@ -80,13 +87,41 @@ pub fn evaluate(
     profile: &ModelProfile,
     quant: &dyn TensorQuantizer,
     cfg: &EvalConfig,
-) -> W4a4Error {
+) -> W4a4Stats {
     evaluate_with(
         profile,
         &quant.name(),
         cfg,
         |w, _layer| quant.quantize_weights(w),
         |x| quant.quantize_activations(x),
+    )
+}
+
+/// Evaluates the M2XFP format through an execution backend: every quantized
+/// GEMM runs the backend's actual engine (`ExecBackend::forward` — online
+/// activation encode + integer PE kernel against prepared weights) instead
+/// of the fake-quantize-then-f32-matmul route of [`evaluate`]. This is the
+/// measurement the engine really ships; all backends report bit-identical
+/// numbers.
+pub fn evaluate_backend(
+    profile: &ModelProfile,
+    backend: &dyn ExecBackend,
+    qcfg: M2xfpConfig,
+    cfg: &EvalConfig,
+) -> W4a4Stats {
+    // K is aligned down to the group size so the engine forward keeps the
+    // hardware layout contract (`K % group_size == 0`).
+    evaluate_gemms(
+        profile,
+        &format!("M2XFP/{}", backend.name()),
+        cfg,
+        qcfg.group_size,
+        |x, w_t, _layer| {
+            let prepared = backend.prepare(PackedWeightTensor::quantize_parallel(w_t, qcfg));
+            backend
+                .forward(x, &prepared)
+                .expect("aligned dims by construction")
+        },
     )
 }
 
@@ -100,7 +135,26 @@ pub fn evaluate_with(
     cfg: &EvalConfig,
     quantize_weights: impl Fn(&Matrix, usize) -> Matrix,
     quantize_activations: impl Fn(&Matrix) -> Matrix,
-) -> W4a4Error {
+) -> W4a4Stats {
+    evaluate_gemms(profile, format_name, cfg, 1, |x, w_t, layer_idx| {
+        let xq = quantize_activations(x);
+        let wq = quantize_weights(w_t, layer_idx);
+        xq.matmul_threaded(&wq.transpose(), cfg.threads)
+    })
+}
+
+/// The shared measurement scaffold: enumerates the model's linear GEMMs,
+/// synthesizes operands per sampled layer, runs `quantized_gemm(x, w_t,
+/// layer_idx)` against the f32 reference and MAC-weights the per-kind NMSE.
+/// `k_align` rounds the sampled reduction dimension down to a multiple
+/// (1 = no alignment; the engine route passes the group size).
+fn evaluate_gemms(
+    profile: &ModelProfile,
+    format_name: &str,
+    cfg: &EvalConfig,
+    k_align: usize,
+    quantized_gemm: impl Fn(&Matrix, &Matrix, usize) -> Matrix,
+) -> W4a4Stats {
     let shapes = linear_gemms(profile, cfg.tokens);
     let total_macs: f64 = shapes.iter().map(|g| g.macs() as f64).sum();
 
@@ -108,7 +162,7 @@ pub fn evaluate_with(
     let mut weighted = 0.0f64;
     for shape in &shapes {
         let kind = weight_kind(&shape.name).expect("linear gemm");
-        let k = shape.k.min(cfg.max_k);
+        let k = (shape.k.min(cfg.max_k) / k_align).max(1) * k_align;
         let n = shape.n.min(cfg.max_n);
         let mut acc = 0.0f64;
         for li in 0..cfg.layer_samples {
@@ -116,9 +170,7 @@ pub fn evaluate_with(
             let x = activation_matrix(profile, layer_idx, cfg.tokens, k);
             let w_t = weight_matrix(profile, kind, layer_idx, n, k);
             let y_ref = x.matmul_threaded(&w_t.transpose(), cfg.threads);
-            let xq = quantize_activations(&x);
-            let wq = quantize_weights(&w_t, layer_idx);
-            let y_q = xq.matmul_threaded(&wq.transpose(), cfg.threads);
+            let y_q = quantized_gemm(&x, &w_t, layer_idx);
             acc += nmse(y_ref.as_slice(), y_q.as_slice());
         }
         let e = acc / cfg.layer_samples as f64;
@@ -126,7 +178,7 @@ pub fn evaluate_with(
         per_gemm.push((shape.name.clone(), e));
     }
 
-    W4a4Error {
+    W4a4Stats {
         format: format_name.to_string(),
         model: profile.name.to_string(),
         per_gemm,
@@ -179,8 +231,31 @@ mod tests {
     }
 
     #[test]
+    fn backend_evaluation_identical_across_backends() {
+        use m2xfp::backend::BackendKind;
+        let p = ModelProfile::llama3_8b();
+        let cfg = EvalConfig::tiny();
+        let qcfg = M2xfpConfig::default();
+        let runs: Vec<W4a4Stats> = BackendKind::ALL
+            .iter()
+            .map(|k| evaluate_backend(&p, k.backend(), qcfg, &cfg))
+            .collect();
+        assert!(runs[0].mean_nmse > 0.0 && runs[0].mean_nmse < 0.05);
+        for r in &runs[1..] {
+            assert_eq!(
+                runs[0].mean_nmse.to_bits(),
+                r.mean_nmse.to_bits(),
+                "{} vs {}",
+                runs[0].format,
+                r.format
+            );
+        }
+        assert_eq!(runs[0].format, "M2XFP/packed");
+    }
+
+    #[test]
     fn nrmse_is_sqrt_of_nmse() {
-        let e = W4a4Error {
+        let e = W4a4Stats {
             format: "t".into(),
             model: "m".into(),
             per_gemm: vec![],

@@ -3,17 +3,23 @@
 //! K/V are right-hand GEMM operands (like weights) and can be quantized
 //! lazily with the adaptive Sg-EM search; Q and the attention probabilities
 //! P are produced on the fly and use the online Elem-EM path. This example
-//! measures attention-output error for that hybrid vs plain MXFP4 on both
-//! operands, and reports the linear-vs-attention MAC split that motivates
-//! the extension.
+//! measures attention-output error for that hybrid vs plain MXFP4, runs the
+//! same head through the engine's execution backends (bit-identical by
+//! construction), and drives a `QuantizedModel` prefill→decode session
+//! whose per-layer KV cache grows in the packed Sg-EM representation.
 //!
 //! Run with: `cargo run --release --example kv_cache`
 
 use m2xfp_repro::baselines::MxQuantizer;
+use m2xfp_repro::core::backend::BackendKind;
 use m2xfp_repro::core::quantizer::M2xfpQuantizer;
-use m2xfp_repro::nn::attention::{evaluate_attention, synth_head};
+use m2xfp_repro::core::M2xfpConfig;
+use m2xfp_repro::nn::attention::{evaluate_attention, evaluate_attention_backend, synth_head};
 use m2xfp_repro::nn::layers::linear_macs_fraction;
+use m2xfp_repro::nn::model::ModelBuilder;
 use m2xfp_repro::nn::profile::ModelProfile;
+use m2xfp_repro::nn::synth::activation_matrix;
+use m2xfp_repro::tensor::Matrix;
 
 fn main() {
     let model = ModelProfile::llama3_8b();
@@ -50,7 +56,42 @@ fn main() {
         e_mx.output_nmse, e_m2.output_nmse
     );
     println!(
-        "  output improvement: {:.2}x",
+        "  output improvement: {:.2}x\n",
         e_mx.output_nmse / e_m2.output_nmse
+    );
+
+    // ── 3. The same head through the engine backends: score and value
+    //       GEMMs run the real quantized kernels; every backend agrees ──
+    let cfg = M2xfpConfig::default();
+    for kind in BackendKind::ALL {
+        let e = evaluate_attention_backend(&q, &k, &v, kind.backend(), cfg).expect("shapes");
+        println!(
+            "  engine[{:<9}] scores NMSE {:.6}  output NMSE {:.6}",
+            kind.name(),
+            e.scores_nmse,
+            e.output_nmse
+        );
+    }
+
+    // ── 4. A serving session: prefill a prompt, decode tokens, watch the
+    //       packed Sg-EM KV cache grow ──
+    let mut qm = ModelBuilder::scaled(&model, 128, 2)
+        .build()
+        .expect("group-aligned dims");
+    let prompt = activation_matrix(&model, 0, 12, 128).map(|x| (x * 0.25).tanh());
+    qm.prefill(&prompt).expect("aligned");
+    println!(
+        "\nQuantizedModel session: prefilled {} tokens, KV cache {} B/layer",
+        qm.seq_len(),
+        qm.kv_caches()[0].bytes()
+    );
+    for step in 0..4 {
+        let tok = Matrix::from_fn(1, 128, |_, c| prompt[(11, c)] * (1.0 - 0.1 * step as f32));
+        qm.decode(&tok).expect("aligned");
+    }
+    println!(
+        "after 4 decode steps: seq {}, KV cache {} B/layer (4.5 bits/element)",
+        qm.seq_len(),
+        qm.kv_caches()[0].bytes()
     );
 }
