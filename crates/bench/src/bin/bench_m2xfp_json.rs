@@ -16,6 +16,7 @@
 
 use m2x_bench::e2e::{run as run_e2e, E2eConfig};
 use m2x_bench::report::results_dir;
+use m2x_bench::serving::{run as run_serve, ServeBenchConfig};
 use m2x_tensor::{Matrix, Xoshiro};
 use m2xfp::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
 use m2xfp::gemm::{qgemm, qgemm_packed, qgemm_packed_threaded};
@@ -117,6 +118,20 @@ fn main() {
     );
     let e2e = run_e2e(e2e_cfg);
 
+    // Serving section: the continuous-batching scheduler vs solo sequential
+    // sessions at fixed small dims. `speedup_batch` is hardware-normalized
+    // (both sides in the same process) and CI hard-gates it alongside the
+    // `batch_exact` bit-identity flag.
+    let serve_cfg = ServeBenchConfig {
+        reps,
+        ..ServeBenchConfig::ci()
+    };
+    eprintln!(
+        "serve: hidden={} layers={} requests={} max_batch={}",
+        serve_cfg.hidden, serve_cfg.layers, serve_cfg.requests, serve_cfg.max_batch
+    );
+    let serve = run_serve(serve_cfg);
+
     let macs = (m * k * n) as f64;
     let elems = (m * k) as f64;
     // Quantize+qgemm: the end-to-end hot path the acceptance criterion
@@ -166,9 +181,31 @@ fn main() {
     "speedup_packed": {e2e_speedup:.3},
     "backends_exact": {e2e_exact},
     "nrmse": {e2e_nrmse:.6}
+  }},
+  "serve": {{
+    "hidden": {sv_hidden},
+    "layers": {sv_layers},
+    "requests": {sv_requests},
+    "max_batch": {sv_batch},
+    "solo_s": {sv_solo:.6},
+    "batch_s": {sv_bs:.6},
+    "speedup_batch": {sv_speedup:.3},
+    "req_per_s": {sv_rps:.3},
+    "decode_tok_per_s": {sv_tps:.2},
+    "batch_exact": {sv_exact}
   }}
 }}
 "#,
+        sv_hidden = serve.cfg.hidden,
+        sv_layers = serve.cfg.layers,
+        sv_requests = serve.cfg.requests,
+        sv_batch = serve.cfg.max_batch,
+        sv_solo = serve.solo_s,
+        sv_bs = serve.batch_s,
+        sv_speedup = serve.speedup_batch,
+        sv_rps = serve.req_per_s,
+        sv_tps = serve.decode_tok_per_s,
+        sv_exact = serve.batch_exact,
         e2e_hidden = e2e.cfg.hidden,
         e2e_layers = e2e.cfg.layers,
         e2e_tokens = e2e.cfg.tokens,
@@ -218,5 +255,9 @@ fn main() {
     assert!(
         e2e.backends_exact,
         "packed and grouped backends diverged on the whole-model forward"
+    );
+    assert!(
+        serve.batch_exact,
+        "a batched request's token stream diverged from its solo run"
     );
 }

@@ -7,9 +7,11 @@
 //! same emitter) and exits non-zero when
 //!
 //! * any exactness flag (`exact_match`, `weight_search_exact`,
-//!   `e2e_model.backends_exact`) is `false` in the current run, or
-//! * any within-run speedup ratio — per-kernel or the whole-model
-//!   `e2e_model.speedup_packed` — dropped by more than the tolerance
+//!   `e2e_model.backends_exact`, `serve.batch_exact`) is `false` in the
+//!   current run, or
+//! * any within-run speedup ratio — per-kernel, the whole-model
+//!   `e2e_model.speedup_packed` or the serving `serve.speedup_batch`
+//!   (batched-over-solo) — dropped by more than the tolerance
 //!   (`M2X_GATE_TOLERANCE`, default 0.25 = 25%) relative to the baseline.
 //!
 //! Absolute wall-times are compared against the baseline too, but a
@@ -138,37 +140,44 @@ fn join(path: &[String], key: &str) -> String {
 /// and current ran on comparable hardware, so by default a regression
 /// here only warns (`M2X_GATE_ABS_TIMES=1` hardens it); the
 /// hardware-normalized speedup ratios below are the enforcing gates.
-const GATED_TIMES: [&str; 6] = [
+const GATED_TIMES: [&str; 7] = [
     "quantize_act.packed_s",
     "qgemm.packed_threaded_s",
     "quantize_plus_qgemm.packed_threaded_s",
     "quantize_weights_packed_s",
     "e2e_model.quantize_s",
     "e2e_model.forward_batch_packed_s",
+    "serve.batch_s",
 ];
 
 /// Throughput metrics (higher is better). Hardware-dependent like the
 /// wall-times, so they share the advisory-by-default/`M2X_GATE_ABS_TIMES`
-/// treatment; the whole-model `e2e_model.speedup_packed` ratio below is
-/// the enforcing end-to-end gate.
-const GATED_THROUGHPUTS: [&str; 1] = ["e2e_model.gmacs"];
+/// treatment; the whole-model `e2e_model.speedup_packed` and serving
+/// `serve.speedup_batch` ratios below are the enforcing end-to-end gates.
+const GATED_THROUGHPUTS: [&str; 3] = [
+    "e2e_model.gmacs",
+    "serve.req_per_s",
+    "serve.decode_tok_per_s",
+];
 
 /// Within-run speedup ratios (higher is better). Both sides of each ratio
 /// are measured in the same process on the same machine, so these are
 /// hardware-normalized: a >tolerance drop is a code regression even if
 /// the runner got faster or slower overall.
-const GATED_SPEEDUPS: [&str; 4] = [
+const GATED_SPEEDUPS: [&str; 5] = [
     "qgemm.speedup_1thread",
     "quantize_plus_qgemm.speedup_1thread",
     "quantize_weights_speedup",
     "e2e_model.speedup_packed",
+    "serve.speedup_batch",
 ];
 
 /// Boolean exactness flags the gate enforces on the current run.
-const GATED_EXACT: [&str; 3] = [
+const GATED_EXACT: [&str; 4] = [
     "exact_match",
     "weight_search_exact",
     "e2e_model.backends_exact",
+    "serve.batch_exact",
 ];
 
 /// One gate verdict: metric name, baseline, current, allowed, pass.
@@ -281,7 +290,15 @@ fn evaluate(
     // and are only compared when either side carries them (pre-e2e
     // baselines stay usable).
     let required = ["dims.m", "dims.k", "dims.n"];
-    let optional = ["e2e_model.hidden", "e2e_model.layers", "e2e_model.tokens"];
+    let optional = [
+        "e2e_model.hidden",
+        "e2e_model.layers",
+        "e2e_model.tokens",
+        "serve.hidden",
+        "serve.layers",
+        "serve.requests",
+        "serve.max_batch",
+    ];
     for d in required.iter().chain(&optional) {
         let (pass, detail) = match (current.get(*d), baseline.get(*d)) {
             (Some(Scalar::Num(a)), Some(Scalar::Num(b))) => {
@@ -367,7 +384,8 @@ mod tests {
   "weight_search_exact": true,
   "qgemm": {"packed_threaded_s": 0.002, "speedup_1thread": 5.3},
   "quantize_plus_qgemm": {"packed_threaded_s": 0.003, "speedup_1thread": 3.2},
-  "e2e_model": {"hidden": 128, "layers": 2, "tokens": 16, "gmacs": 2.1, "speedup_packed": 3.0, "backends_exact": true, "nrmse": 0.05}
+  "e2e_model": {"hidden": 128, "layers": 2, "tokens": 16, "gmacs": 2.1, "speedup_packed": 3.0, "backends_exact": true, "nrmse": 0.05},
+  "serve": {"hidden": 128, "layers": 2, "requests": 6, "max_batch": 6, "batch_s": 0.05, "speedup_batch": 1.3, "req_per_s": 120.0, "decode_tok_per_s": 960.0, "batch_exact": true}
 }"#;
 
     #[test]
@@ -455,16 +473,47 @@ mod tests {
     }
 
     #[test]
+    fn serve_section_gates_exactness_and_batching_ratio() {
+        let base = flatten_json(SAMPLE).unwrap();
+        // Lost per-request bit-identity fails hard.
+        let broken = SAMPLE.replace("\"batch_exact\": true", "\"batch_exact\": false");
+        let cur = flatten_json(&broken).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["serve.batch_exact"]);
+        // A >25% drop of the batched-over-solo ratio fails hard (it is
+        // hardware-normalized: both sides measured in the same process).
+        let dropped = SAMPLE.replace("\"speedup_batch\": 1.3", "\"speedup_batch\": 0.9");
+        let cur = flatten_json(&dropped).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["serve.speedup_batch"]);
+        // Serving wall-time/throughput regressions warn by default.
+        let slower = SAMPLE.replace("\"decode_tok_per_s\": 960.0", "\"decode_tok_per_s\": 400.0");
+        let cur = flatten_json(&slower).unwrap();
+        let v = evaluate(&cur, &base, 0.25, false);
+        let t = v
+            .iter()
+            .find(|v| v.metric == "serve.decode_tok_per_s")
+            .unwrap();
+        assert!(!t.pass && !t.hard);
+        // Serve dims gate like the e2e dims: a silent config bump fails.
+        let other = SAMPLE.replace("\"max_batch\": 6", "\"max_batch\": 8");
+        let cur = flatten_json(&other).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["serve.max_batch"]);
+    }
+
+    #[test]
     fn gate_fails_on_dim_mismatch() {
         let base = flatten_json(SAMPLE).unwrap();
         let other = SAMPLE.replace("\"k\": 256", "\"k\": 512");
         let cur = flatten_json(&other).unwrap();
         assert!(!hard_fails(&cur, &base).is_empty());
-        // The e2e section's dims gate too: a silent E2eConfig::ci() bump
-        // must not be compared against the stale baseline.
+        // The e2e/serve sections' dims gate too: a silent ::ci() bump must
+        // not be compared against the stale baseline. (`replace` rewrites
+        // both sections' `hidden`.)
         let other = SAMPLE.replace("\"hidden\": 128", "\"hidden\": 256");
         let cur = flatten_json(&other).unwrap();
-        assert_eq!(hard_fails(&cur, &base), ["e2e_model.hidden"]);
+        assert_eq!(
+            hard_fails(&cur, &base),
+            ["e2e_model.hidden", "serve.hidden"]
+        );
         // But a pre-e2e baseline (no section at all on either side) is
         // fine; only compare what exists.
         let trimmed = SAMPLE.replace("\"hidden\": 128, \"layers\": 2, \"tokens\": 16, ", "");

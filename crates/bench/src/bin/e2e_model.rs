@@ -2,8 +2,9 @@
 //! linear of a synthetic transformer to M2XFP (threaded integer-LUT Sg-EM
 //! search), then run batched inference through the engine API
 //! (`QuantizedModel` on the packed backend), cross-check the grouped
-//! backend bit for bit, time the prefill→decode serving loop, and report
-//! per-layer + whole-model throughput/NRMSE as JSON
+//! backend bit for bit, time the prefill→decode serving loop (decode rides
+//! the appendable-plane KV path: O(1) per head per step, no cache
+//! re-decode), and report per-layer + whole-model throughput/NRMSE as JSON
 //! (`results/BENCH_e2e_model.json`, gate-compatible schema).
 //!
 //! Environment:

@@ -1,0 +1,77 @@
+//! Serving-runtime driver — open-loop arrival of M generation requests
+//! against one shared prepared model through the `m2x-serve`
+//! continuous-batching scheduler, compared against the same M requests run
+//! solo on sequential sessions. Verifies every request's batched token
+//! stream is bit-identical to its solo run (`batch_exact`), reports
+//! req/s, aggregate decode tok/s and p50/p99 request latency in scheduler
+//! steps, and writes `results/BENCH_serve.json` (gate-compatible schema).
+//!
+//! Environment:
+//! * `M2X_SERVE_HIDDEN`   — hidden dimension (default 256; group-aligned).
+//! * `M2X_SERVE_LAYERS`   — transformer layers (default 2).
+//! * `M2X_SERVE_REQUESTS` — concurrent generation requests (default 8).
+//! * `M2X_SERVE_PROMPT`   — prompt tokens per request (default 16).
+//! * `M2X_SERVE_DECODE`   — decode steps per request (default 16).
+//! * `M2X_SERVE_BATCH`    — scheduler admission window (default 8).
+//! * `M2X_SERVE_REPS`     — measurement repetitions, best-of (default 3).
+
+use m2x_bench::report::results_dir;
+use m2x_bench::serving::{run, ServeBenchConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cfg = ServeBenchConfig {
+        hidden: env_usize("M2X_SERVE_HIDDEN", 256),
+        layers: env_usize("M2X_SERVE_LAYERS", 2),
+        requests: env_usize("M2X_SERVE_REQUESTS", 8),
+        prompt_tokens: env_usize("M2X_SERVE_PROMPT", 16),
+        decode_steps: env_usize("M2X_SERVE_DECODE", 16),
+        max_batch: env_usize("M2X_SERVE_BATCH", 8),
+        reps: env_usize("M2X_SERVE_REPS", 3),
+    };
+    eprintln!(
+        "serve_bench: hidden={} layers={} requests={} prompt={} decode={} max_batch={} reps={}",
+        cfg.hidden,
+        cfg.layers,
+        cfg.requests,
+        cfg.prompt_tokens,
+        cfg.decode_steps,
+        cfg.max_batch,
+        cfg.reps
+    );
+
+    let r = run(cfg);
+    eprintln!(
+        "solo {:.4}s | batched {:.4}s = {:.2}x | {:.2} req/s, {:.1} decode tok/s | \
+         latency p50 {:.0} / p99 {:.0} steps (peak batch {}) | batch_exact {}",
+        r.solo_s,
+        r.batch_s,
+        r.speedup_batch,
+        r.req_per_s,
+        r.decode_tok_per_s,
+        r.latency_p50_steps,
+        r.latency_p99_steps,
+        r.peak_batch,
+        r.batch_exact,
+    );
+
+    let json = r.to_json();
+    println!("{json}");
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_serve.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    assert!(
+        r.batch_exact,
+        "a batched request's token stream diverged from its solo run"
+    );
+}

@@ -127,7 +127,9 @@ pub fn run(cfg: E2eConfig) -> E2eReport {
         .zip(y_grouped.as_slice())
         .all(|(a, b)| a.to_bits() == b.to_bits());
 
-    // Serving loop: prefill half the batch, then single-token decodes.
+    // Serving loop: prefill half the batch, then single-token decodes on
+    // the decode-on-append KV path (each step grows the prepared K plane
+    // and cached V rows incrementally — O(1) per head per step).
     let prefill_rows = (cfg.tokens / 2).max(1);
     let decode_s = {
         model.reset();

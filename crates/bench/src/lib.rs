@@ -30,3 +30,4 @@ pub mod experiments;
 pub mod extensions;
 pub mod paper;
 pub mod report;
+pub mod serving;

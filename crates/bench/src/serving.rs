@@ -1,0 +1,265 @@
+//! Serving-throughput measurement harness — behind the `serve_bench`
+//! driver binary and the `serve` section of `bench_m2xfp_json`.
+//!
+//! Builds one shared prepared model (`Arc<ModelWeights>`), generates `M`
+//! deterministic generation requests, then measures the same workload two
+//! ways:
+//!
+//! * **solo** — each request on its own fresh session, one after another
+//!   (the PR 3 single-session serving loop);
+//! * **batched** — all requests submitted open-loop to the `m2x_serve`
+//!   continuous-batching [`Server`] with an admission window of
+//!   `max_batch`.
+//!
+//! Both paths produce the exact same per-request token streams
+//! (`batch_exact` — hard-gated in CI), so the wall-clock ratio
+//! `speedup_batch` is a pure scheduling/batching win: one walk over each
+//! prepared weight plane per step instead of one per request. The JSON it
+//! renders is array-free so `ci_perf_gate`'s flattener can gate every
+//! field.
+
+use m2x_nn::model::{ModelBuilder, ModelWeights};
+use m2x_nn::profile::ModelProfile;
+use m2x_nn::synth::activation_matrix;
+use m2x_serve::{run_solo, Completed, ServeConfig, Server};
+use m2x_tensor::Matrix;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Dimensions and measurement knobs of one serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchConfig {
+    /// Hidden (residual stream) dimension.
+    pub hidden: usize,
+    /// Transformer layer count.
+    pub layers: usize,
+    /// Concurrent generation requests.
+    pub requests: usize,
+    /// Prompt length per request, in tokens.
+    pub prompt_tokens: usize,
+    /// Closed-loop decode steps per request.
+    pub decode_steps: usize,
+    /// Admission window of the continuous-batching scheduler.
+    pub max_batch: usize,
+    /// Measurement repetitions (best-of is reported).
+    pub reps: usize,
+}
+
+impl ServeBenchConfig {
+    /// The fixed small configuration embedded in `bench_m2xfp_json` (and
+    /// gated by CI): big enough that batching amortizes real weight-plane
+    /// traffic, small enough for a shared runner.
+    pub fn ci() -> Self {
+        ServeBenchConfig {
+            hidden: 128,
+            layers: 2,
+            requests: 6,
+            prompt_tokens: 8,
+            decode_steps: 8,
+            max_batch: 6,
+            reps: 3,
+        }
+    }
+}
+
+/// Measured results of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Configuration measured.
+    pub cfg: ServeBenchConfig,
+    /// Every request's batched token stream was bit-identical to its solo
+    /// run.
+    pub batch_exact: bool,
+    /// Best-of-reps wall time of the solo sequential sessions (seconds).
+    pub solo_s: f64,
+    /// Best-of-reps wall time of the batched server run (seconds).
+    pub batch_s: f64,
+    /// Hardware-normalized solo/batched wall-time ratio (> 1 means
+    /// batching wins).
+    pub speedup_batch: f64,
+    /// Completed requests per second of the batched run.
+    pub req_per_s: f64,
+    /// Aggregate decode throughput of the batched run (tokens/s).
+    pub decode_tok_per_s: f64,
+    /// Median request latency in scheduler steps.
+    pub latency_p50_steps: f64,
+    /// 99th-percentile request latency in scheduler steps.
+    pub latency_p99_steps: f64,
+    /// Largest in-flight batch the scheduler reached.
+    pub peak_batch: usize,
+}
+
+fn time_best<O>(reps: usize, mut f: impl FnMut() -> O) -> (f64, O) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        out = Some(black_box(f()));
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// The deterministic request mix: request `i` prefills `prompt_tokens`
+/// profile-calibrated embedding rows from stream seed `i`, so every
+/// request carries a **distinct** token stream — a scheduler bug that
+/// mixed rows between sessions would flip `batch_exact`, which is the
+/// whole point of the gate.
+pub fn request_prompts(cfg: &ServeBenchConfig) -> Vec<Matrix> {
+    let profile = ModelProfile::llama3_8b();
+    (0..cfg.requests)
+        .map(|i| {
+            activation_matrix(&profile, i, cfg.prompt_tokens, cfg.hidden).map(|v| (v * 0.25).tanh())
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Runs the full measurement. Deterministic given the configuration
+/// (timings aside).
+pub fn run(cfg: ServeBenchConfig) -> ServeReport {
+    let profile = ModelProfile::llama3_8b();
+    let weights: Arc<ModelWeights> = Arc::new(
+        ModelBuilder::scaled(&profile, cfg.hidden, cfg.layers)
+            .build_weights()
+            .expect("scaled dimensions are group-aligned"),
+    );
+    let prompts = request_prompts(&cfg);
+
+    // Solo: the same M requests, one session at a time.
+    let (solo_s, solo_outs) = time_best(cfg.reps, || {
+        prompts
+            .iter()
+            .map(|p| run_solo(&weights, p, cfg.decode_steps).expect("solo run"))
+            .collect::<Vec<Matrix>>()
+    });
+
+    // Batched: open-loop submission of every request, then wait for all.
+    let (batch_s, (completed, peak_batch)) = time_best(cfg.reps, || {
+        let server = Server::start(
+            Arc::clone(&weights),
+            ServeConfig {
+                max_batch: cfg.max_batch,
+                worker_threads: 0,
+            },
+        );
+        let ids: Vec<u64> = prompts
+            .iter()
+            .map(|p| server.submit(p.clone(), cfg.decode_steps).expect("submit"))
+            .collect();
+        let completed: Vec<Completed> = ids.into_iter().map(|id| server.wait(id)).collect();
+        (completed, server.stats().peak_batch)
+    });
+
+    let batch_exact = completed.iter().zip(&solo_outs).all(|(c, solo)| {
+        c.decoded.rows() == solo.rows()
+            && c.decoded
+                .as_slice()
+                .iter()
+                .zip(solo.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+
+    let mut latencies: Vec<f64> = completed
+        .iter()
+        .map(|c| (c.finished_step - c.arrived_step) as f64)
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let decode_tokens = (cfg.requests * cfg.decode_steps) as f64;
+
+    ServeReport {
+        cfg,
+        batch_exact,
+        solo_s,
+        batch_s,
+        speedup_batch: solo_s / batch_s,
+        req_per_s: cfg.requests as f64 / batch_s,
+        decode_tok_per_s: decode_tokens / batch_s,
+        latency_p50_steps: percentile(&latencies, 0.50),
+        latency_p99_steps: percentile(&latencies, 0.99),
+        peak_batch,
+    }
+}
+
+impl ServeReport {
+    /// Renders the report as a flat-gateable JSON object (no arrays).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{
+  "bench": "m2x_serve",
+  "model": "LLaMA3-8B-scaled",
+  "dims": {{"hidden": {h}, "layers": {l}, "requests": {r}, "prompt_tokens": {p}, "decode_steps": {d}, "max_batch": {mb}}},
+  "batch_exact": {ex},
+  "solo_s": {ss:.6},
+  "batch_s": {bs:.6},
+  "speedup_batch": {sp:.3},
+  "req_per_s": {rps:.3},
+  "decode_tok_per_s": {tps:.2},
+  "latency_p50_steps": {p50:.1},
+  "latency_p99_steps": {p99:.1},
+  "peak_batch": {pk}
+}}"#,
+            h = self.cfg.hidden,
+            l = self.cfg.layers,
+            r = self.cfg.requests,
+            p = self.cfg.prompt_tokens,
+            d = self.cfg.decode_steps,
+            mb = self.cfg.max_batch,
+            ex = self.batch_exact,
+            ss = self.solo_s,
+            bs = self.batch_s,
+            sp = self.speedup_batch,
+            rps = self.req_per_s,
+            tps = self.decode_tok_per_s,
+            p50 = self.latency_p50_steps,
+            p99 = self.latency_p99_steps,
+            pk = self.peak_batch,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_prompts_are_distinct() {
+        // Identical prompts would make the batch_exact gate vacuous: a
+        // cross-session row mix-up between identical streams is invisible.
+        let prompts = request_prompts(&ServeBenchConfig::ci());
+        for i in 0..prompts.len() {
+            for j in i + 1..prompts.len() {
+                assert_ne!(prompts[i], prompts[j], "prompts {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn ci_run_is_exact() {
+        let cfg = ServeBenchConfig {
+            hidden: 64,
+            layers: 1,
+            requests: 3,
+            prompt_tokens: 3,
+            decode_steps: 2,
+            max_batch: 3,
+            reps: 1,
+        };
+        let r = run(cfg);
+        assert!(r.batch_exact, "batched streams diverged from solo");
+        assert!(r.speedup_batch > 0.0 && r.decode_tok_per_s > 0.0);
+        assert!(r.latency_p99_steps >= r.latency_p50_steps);
+        assert!(r.peak_batch >= 2, "peak batch {}", r.peak_batch);
+        let json = r.to_json();
+        assert!(json.contains("\"batch_exact\": true"));
+        assert!(json.contains("\"speedup_batch\""));
+    }
+}

@@ -47,6 +47,7 @@ use crate::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor
 use crate::gemm::{gemm_threads, qgemm, qgemm_packed_planed, qgemm_reference, WeightPlane};
 use crate::{Error, M2xfpConfig};
 use m2x_tensor::Matrix;
+use std::sync::Arc;
 
 /// Selector for the three built-in execution backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,8 +92,20 @@ impl BackendKind {
 /// canonical packed streams plus the backend's decoded execution form
 /// (fixed-point [`WeightPlane`] for the packed kernel, reconstructed
 /// [`WeightTensor`] groups for the grouped/reference kernels).
+///
+/// The decoded state lives behind an [`Arc`], so `Clone` is O(1) and never
+/// re-decodes: one prepared layer can be shared across any number of
+/// concurrent inference sessions or threads (`m2x_serve` builds on exactly
+/// this — N sessions cost N KV caches, not N weight copies). Mutation
+/// ([`Self::append_quantized`], the KV-cache growth path) is copy-on-write:
+/// unshared handles mutate in place, shared ones clone first.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PreparedWeights {
+    inner: Arc<PreparedInner>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PreparedInner {
     packed: PackedWeightTensor,
     exec: ExecForm,
 }
@@ -104,26 +117,67 @@ enum ExecForm {
 }
 
 impl PreparedWeights {
+    fn new(packed: PackedWeightTensor, exec: ExecForm) -> Self {
+        PreparedWeights {
+            inner: Arc::new(PreparedInner { packed, exec }),
+        }
+    }
+
     /// Matrix shape `(rows, cols)` = `(out_features, in_features)`.
     pub fn shape(&self) -> (usize, usize) {
-        self.packed.shape()
+        self.inner.packed.shape()
     }
 
     /// The configuration the weights were quantized with.
     pub fn config(&self) -> &M2xfpConfig {
-        self.packed.config()
+        self.inner.packed.config()
     }
 
     /// The canonical three-stream weight bits.
     pub fn packed(&self) -> &PackedWeightTensor {
-        &self.packed
+        &self.inner.packed
+    }
+
+    /// Appends already-quantized rows below the prepared tensor, updating
+    /// both the canonical streams and the backend's execution form
+    /// **incrementally** — O(delta), never a re-decode of the existing rows
+    /// (the plane appends decoded rows, the grouped form appends groups).
+    /// Bit-identical to re-preparing the row-concatenated tensor, which the
+    /// tests pin. Copy-on-write when the handle is shared.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a width or configuration mismatch.
+    pub fn append_quantized(&mut self, delta: PackedWeightTensor) -> Result<(), Error> {
+        if delta.shape().1 != self.shape().1 {
+            return Err(Error::WidthMismatch {
+                tensor: "prepared weights".to_string(),
+                expected: self.shape().1,
+                got: delta.shape().1,
+            });
+        }
+        if delta.config() != self.config() {
+            return Err(Error::config(
+                "appended rows were quantized with a different config",
+            ));
+        }
+        let inner = Arc::make_mut(&mut self.inner);
+        match &mut inner.exec {
+            ExecForm::Plane(plane) => plane.append(&delta),
+            ExecForm::Grouped(grouped) => grouped.append_tensor(delta.to_grouped()),
+        }
+        inner.packed.append_packed(delta)
     }
 
     fn form_name(&self) -> &'static str {
-        match self.exec {
+        match self.inner.exec {
             ExecForm::Plane(_) => "packed",
             ExecForm::Grouped(_) => "grouped",
         }
+    }
+
+    fn exec(&self) -> &ExecForm {
+        &self.inner.exec
     }
 }
 
@@ -154,6 +208,20 @@ pub trait ExecBackend: Send + Sync + std::fmt::Debug {
     /// Fails when `x.cols()` does not match the weights' reduction
     /// dimension, or when `w` was prepared into a different backend's form.
     fn forward(&self, x: &Matrix, w: &PreparedWeights) -> Result<Matrix, Error>;
+
+    /// Quantizes `rows` (Sg-EM search) and appends them below prepared
+    /// weights, updating the execution form incrementally — O(rows) per
+    /// call regardless of how many rows are already prepared. This is the
+    /// decode-on-append path a growing KV cache rides: the appended rows
+    /// quantize and decode independently, so the result is bit-identical to
+    /// re-preparing the row-concatenated tensor (pinned by tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a width mismatch.
+    fn append_rows(&self, w: &mut PreparedWeights, rows: &Matrix) -> Result<(), Error> {
+        w.append_quantized(PackedWeightTensor::quantize_parallel(rows, *w.config()))
+    }
 
     /// Fake-quantizes activations (quantize + dequantize) through this
     /// backend's online encoder — the form error measurement flows
@@ -195,15 +263,12 @@ impl ExecBackend for PackedBackend {
 
     fn prepare(&self, weights: PackedWeightTensor) -> PreparedWeights {
         let plane = WeightPlane::decode(&weights);
-        PreparedWeights {
-            packed: weights,
-            exec: ExecForm::Plane(plane),
-        }
+        PreparedWeights::new(weights, ExecForm::Plane(plane))
     }
 
     fn forward(&self, x: &Matrix, w: &PreparedWeights) -> Result<Matrix, Error> {
         check_forward(x, w)?;
-        let ExecForm::Plane(plane) = &w.exec else {
+        let ExecForm::Plane(plane) = w.exec() else {
             return Err(form_error(self, w));
         };
         let (n, k) = w.shape();
@@ -235,15 +300,12 @@ impl ExecBackend for GroupedBackend {
 
     fn prepare(&self, weights: PackedWeightTensor) -> PreparedWeights {
         let grouped = weights.to_grouped();
-        PreparedWeights {
-            packed: weights,
-            exec: ExecForm::Grouped(grouped),
-        }
+        PreparedWeights::new(weights, ExecForm::Grouped(grouped))
     }
 
     fn forward(&self, x: &Matrix, w: &PreparedWeights) -> Result<Matrix, Error> {
         check_forward(x, w)?;
-        let ExecForm::Grouped(grouped) = &w.exec else {
+        let ExecForm::Grouped(grouped) = w.exec() else {
             return Err(form_error(self, w));
         };
         let xq = ActTensor::quantize(x, *w.config());
@@ -276,7 +338,7 @@ impl ExecBackend for ReferenceBackend {
 
     fn forward(&self, x: &Matrix, w: &PreparedWeights) -> Result<Matrix, Error> {
         check_forward(x, w)?;
-        let ExecForm::Grouped(grouped) = &w.exec else {
+        let ExecForm::Grouped(grouped) = w.exec() else {
             return Err(form_error(self, w));
         };
         let xq = ActTensor::quantize(x, *w.config());
@@ -362,6 +424,79 @@ mod tests {
             BackendKind::Grouped.backend().forward(&x, &packed),
             Err(Error::BackendMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn append_rows_matches_full_reprepare_on_every_backend() {
+        // Decode-on-append (the KV-cache growth path) must be bit-identical
+        // to preparing the fully grown tensor from scratch, on every
+        // backend, including ragged reduction dims.
+        let cfg = M2xfpConfig::default();
+        for cols in [64usize, 80] {
+            let full = mat(9, cols, 5.0);
+            let x = mat(3, cols, 2.0);
+            for kind in BackendKind::ALL {
+                let be = kind.backend();
+                let mut grown =
+                    be.prepare(PackedWeightTensor::quantize(&Matrix::zeros(0, cols), cfg));
+                let mut row = 0usize;
+                for chunk in [1usize, 4, 2, 2] {
+                    let delta = Matrix::from_fn(chunk, cols, |r, c| full[(row + r, c)]);
+                    be.append_rows(&mut grown, &delta).unwrap();
+                    row += chunk;
+                }
+                let fresh = be.prepare(PackedWeightTensor::quantize_parallel(&full, cfg));
+                assert_eq!(grown, fresh, "cols={cols} {kind:?}");
+                let a = be.forward(&x, &grown).unwrap();
+                let b = be.forward(&x, &fresh).unwrap();
+                for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+                    assert_eq!(p.to_bits(), q.to_bits(), "cols={cols} {kind:?}");
+                }
+                assert!(be
+                    .append_rows(&mut grown, &Matrix::zeros(1, cols + 1))
+                    .is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prepared_weights_forward_identically_across_threads() {
+        // Preparing once and forwarding from two threads through Arc-shared
+        // clones is bit-identical to two independent preparations — the
+        // contract the multi-session serving runtime builds on.
+        let cfg = M2xfpConfig::default();
+        let w = PackedWeightTensor::quantize_parallel(&mat(8, 96, 4.0), cfg);
+        let be = BackendKind::Packed.backend();
+        let shared = be.prepare(w.clone());
+        let xs = [mat(3, 96, 1.0), mat(2, 96, 7.0)];
+        let from_threads: Vec<Matrix> = std::thread::scope(|s| {
+            let handles: Vec<_> = xs
+                .iter()
+                .map(|x| {
+                    let mine = shared.clone(); // O(1): Arc, no re-decode
+                    s.spawn(move || be.forward(x, &mine).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (x, got) in xs.iter().zip(&from_threads) {
+            let independent = be.forward(x, &be.prepare(w.clone())).unwrap();
+            for (p, q) in independent.as_slice().iter().zip(got.as_slice()) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn append_to_shared_handle_is_copy_on_write() {
+        let cfg = M2xfpConfig::default();
+        let be = BackendKind::Packed.backend();
+        let base = be.prepare(PackedWeightTensor::quantize(&mat(2, 64, 0.0), cfg));
+        let mut grown = base.clone();
+        be.append_rows(&mut grown, &mat(3, 64, 8.0)).unwrap();
+        // The shared original is untouched; the grown handle diverged.
+        assert_eq!(base.shape(), (2, 64));
+        assert_eq!(grown.shape(), (5, 64));
     }
 
     #[test]

@@ -266,6 +266,20 @@ impl WeightTensor {
         )
     }
 
+    /// Appends another tensor's groups below the existing rows (used by the
+    /// execution backends to grow a prepared grouped form in O(new rows)).
+    /// Groups quantize independently, so the result equals quantizing the
+    /// row-concatenated matrix.
+    pub(crate) fn append_tensor(&mut self, other: WeightTensor) {
+        assert_eq!(
+            self.cols, other.cols,
+            "appended rows have a different width"
+        );
+        assert_eq!(self.cfg, other.cfg, "appended rows use a different config");
+        self.groups.extend(other.groups);
+        self.rows += other.rows;
+    }
+
     /// Parses a packed buffer produced by [`Self::pack`].
     ///
     /// # Errors
@@ -750,6 +764,32 @@ impl PackedWeightTensor {
         }
         let add = PackedWeightTensor::quantize_parallel(rows, self.s.cfg);
         self.s.append(add.s);
+        Ok(())
+    }
+
+    /// Appends rows that are **already quantized** (same width and config)
+    /// below the existing rows — the zero-requantization half of
+    /// [`Self::append_rows`], for callers that quantized the delta once and
+    /// reuse it in several places (e.g. the KV cache appending the same
+    /// token rows into the packed store and a decoded execution plane).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a width or configuration mismatch.
+    pub fn append_packed(&mut self, other: PackedWeightTensor) -> Result<(), Error> {
+        if other.s.cols != self.s.cols {
+            return Err(Error::WidthMismatch {
+                tensor: "packed weight tensor".to_string(),
+                expected: self.s.cols,
+                got: other.s.cols,
+            });
+        }
+        if other.s.cfg != self.s.cfg {
+            return Err(Error::config(
+                "appended packed rows were quantized with a different config",
+            ));
+        }
+        self.s.append(other.s);
         Ok(())
     }
 

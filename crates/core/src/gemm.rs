@@ -259,6 +259,29 @@ impl WeightPlane {
     pub fn shape(&self) -> (usize, usize) {
         (self.n, self.k)
     }
+
+    /// Decode-on-append: decodes `delta`'s rows and appends them below the
+    /// existing rows — O(delta) work, not O(total). Rows decode
+    /// independently (the plane is row-major with group-padded rows), so
+    /// the grown plane is identical to [`Self::decode`] of the
+    /// row-concatenated tensor; this is what makes a growing KV cache's
+    /// score-GEMM operand O(1) per decode step instead of a full re-decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `delta`'s width or group geometry differs.
+    pub fn append(&mut self, delta: &PackedWeightTensor) {
+        let d = WeightPlane::decode(delta);
+        assert_eq!(self.k, d.k, "appended plane rows have a different width");
+        assert_eq!(
+            (self.group_size, self.subgroup_size),
+            (d.group_size, d.subgroup_size),
+            "appended plane rows use a different group geometry"
+        );
+        self.w16.extend_from_slice(&d.w16);
+        self.wscale.extend_from_slice(&d.wscale);
+        self.n += d.n;
+    }
 }
 
 /// The packed qGEMM kernel over a pre-decoded [`WeightPlane`] — the form
@@ -472,6 +495,32 @@ mod tests {
                 qgemm_packed_planed(&xp, &plane, 2),
                 qgemm_packed_threaded(&xp, &wp, 2),
                 "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn appended_plane_matches_full_decode() {
+        // Growing a plane row-chunk by row-chunk (the KV-cache pattern) is
+        // identical to decoding the fully grown tensor, including ragged K.
+        let cfg = M2xfpConfig::default();
+        for cols in [64usize, 80] {
+            let full = mat(7, cols, 3.0);
+            let want = WeightPlane::decode(&PackedWeightTensor::quantize(&full, cfg));
+            let mut grown =
+                WeightPlane::decode(&PackedWeightTensor::quantize(&Matrix::zeros(0, cols), cfg));
+            let mut row = 0usize;
+            for chunk in [2usize, 1, 3, 1] {
+                let delta = Matrix::from_fn(chunk, cols, |r, c| full[(row + r, c)]);
+                grown.append(&PackedWeightTensor::quantize(&delta, cfg));
+                row += chunk;
+            }
+            assert_eq!(grown, want, "cols={cols}");
+            // And the kernel consumes the grown plane bit-identically.
+            let xp = PackedActTensor::quantize(&mat(3, cols, 1.0), cfg);
+            assert_eq!(
+                qgemm_packed_planed(&xp, &grown, 1),
+                qgemm_packed_planed(&xp, &want, 1),
             );
         }
     }

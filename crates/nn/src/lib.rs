@@ -27,7 +27,10 @@
 //!   [`QuantizedModel`](model::QuantizedModel) built by a
 //!   [`ModelBuilder`](model::ModelBuilder), with per-layer prepared
 //!   weights, a quantized KV cache and batch/prefill/decode forwards — the
-//!   paper's §6 end-to-end flow.
+//!   paper's §6 end-to-end flow. The weights split into an `Arc`-shared
+//!   [`ModelWeights`](model::ModelWeights) and per-request
+//!   [`SessionState`](model::SessionState)s, the multi-session surface the
+//!   `m2x-serve` continuous-batching scheduler drives.
 
 pub mod attention;
 pub mod layers;
@@ -39,6 +42,6 @@ pub mod propagate;
 pub mod synth;
 
 pub use linear::QuantizedLinear;
-pub use model::{ModelBuilder, QuantizedModel};
+pub use model::{ModelBuilder, ModelWeights, QuantizedModel, SessionState};
 pub use profile::ModelProfile;
 pub use propagate::{W4a4Error, W4a4Stats};

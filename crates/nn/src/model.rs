@@ -5,8 +5,16 @@
 //! profile's seed), quantizes each through the threaded integer-LUT Sg-EM
 //! search (`PackedWeightTensor::quantize_parallel`, via
 //! [`QuantizedLinear`]) and prepares it once for the chosen execution
-//! backend. The resulting [`QuantizedModel`] is a stateful inference
-//! session:
+//! backend. The result splits into two halves:
+//!
+//! * [`ModelWeights`] — the **immutable, shareable** half: every projection
+//!   prepared once for one backend, held behind an `Arc` so any number of
+//!   concurrent sessions (threads, serving requests) run against the same
+//!   prepared planes. N sessions cost N KV caches, never N weight copies.
+//! * [`SessionState`] — the **per-request mutable** half: the per-layer
+//!   packed [`KvCache`] plus the stream position.
+//!
+//! [`QuantizedModel`] pairs the two into the single-session API:
 //!
 //! * [`QuantizedModel::forward_batch`] — reset the KV cache and run a full
 //!   causal batch (the throughput surface the `e2e_model` driver times);
@@ -17,12 +25,21 @@
 //!   each output element in the same order), which the workspace property
 //!   tests pin.
 //!
+//! [`ModelWeights::step_sessions`] is the multi-session surface the
+//! `m2x-serve` continuous-batching scheduler drives: one batched step over
+//! many independent sessions, their token rows stacked into single
+//! projection GEMMs (each output row depends only on its own input row, so
+//! every request's output is bit-identical to running it solo) and the
+//! per-request attention fanned out over scoped worker threads.
+//!
 //! Attention follows the paper's §6.4 hybrid: K is cached in the packed
-//! Sg-EM weight representation (grown incrementally with
-//! `PackedWeightTensor::append_rows`) and consumed by the backend's
-//! quantized score GEMM; V rows are Sg-EM-quantized per token and
-//! dequantized at use; Q and the probability matrix P run the online
-//! Elem-EM path. Everything quantized routes through one
+//! Sg-EM weight representation and consumed by the backend's quantized
+//! score GEMM; V rows are Sg-EM-quantized per token and dequantized at
+//! use; Q and the probability matrix P run the online Elem-EM path. The
+//! cache grows **decode-on-append** (`ExecBackend::append_rows`): each new
+//! token's rows are quantized and decoded straight into the prepared
+//! execution form, so a decode step costs O(1) per head instead of
+//! re-decoding the whole K plane. Everything quantized routes through one
 //! [`ExecBackend`](m2xfp::backend::ExecBackend), so the whole model is
 //! bit-identical across the packed, grouped and reference engines.
 
@@ -30,9 +47,16 @@ use crate::linear::QuantizedLinear;
 use crate::profile::{MlpKind, ModelProfile};
 use crate::synth::{weight_matrix, LayerKind};
 use m2x_tensor::Matrix;
-use m2xfp::backend::BackendKind;
+use m2xfp::backend::{BackendKind, PreparedWeights};
 use m2xfp::format::PackedWeightTensor;
 use m2xfp::{Error, M2xfpConfig};
+use std::sync::Arc;
+
+/// Minimum attention MAC volume (per layer, across the whole step batch)
+/// that justifies one additional scoped worker in the multi-session step:
+/// the worker scope is re-entered every layer, so below this the
+/// spawn/join overhead on the decode hot loop exceeds the parallel win.
+const ATTN_MACS_PER_WORKER: usize = 1 << 20;
 
 /// Row-wise RMS normalization (unit gain): keeps the residual stream's
 /// scale bounded across layers so deep stacks stay in the formats' dynamic
@@ -66,11 +90,31 @@ fn slice_cols(m: &Matrix, start: usize, width: usize) -> Matrix {
     Matrix::from_fn(m.rows(), width, |r, c| m[(r, start + c)])
 }
 
+/// Copies `count` rows starting at `start` out of `m`.
+fn slice_rows(m: &Matrix, start: usize, count: usize) -> Matrix {
+    Matrix::from_fn(count, m.cols(), |r, c| m[(start + r, c)])
+}
+
+/// Copies a `rows × width` block of `m` starting at (`r0`, `c0`).
+fn slice_block(m: &Matrix, r0: usize, rows: usize, c0: usize, width: usize) -> Matrix {
+    Matrix::from_fn(rows, width, |r, c| m[(r0 + r, c0 + c)])
+}
+
 /// Writes `src` into `out` at column offset `start`.
 fn write_cols(out: &mut Matrix, src: &Matrix, start: usize) {
+    write_block(out, src, 0, start)
+}
+
+/// Writes `src` into `out` at row offset `r0`.
+fn write_rows(out: &mut Matrix, src: &Matrix, r0: usize) {
+    write_block(out, src, r0, 0)
+}
+
+/// Writes `src` into `out` with its top-left corner at (`r0`, `c0`).
+fn write_block(out: &mut Matrix, src: &Matrix, r0: usize, c0: usize) {
     for r in 0..src.rows() {
-        let (orow, srow) = (out.row_mut(r), src.row(r));
-        orow[start..start + srow.len()].copy_from_slice(srow);
+        let (orow, srow) = (out.row_mut(r0 + r), src.row(r));
+        orow[c0..c0 + srow.len()].copy_from_slice(srow);
     }
 }
 
@@ -100,35 +144,56 @@ struct RefBlock {
     down: Matrix,
 }
 
-/// One layer's quantized KV cache: per KV head, K rows in the packed Sg-EM
-/// weight representation (the backend's score-GEMM operand) and V rows
-/// likewise quantized per token along the head dimension. Each appended
-/// token quantizes independently, so incremental growth is byte-identical
-/// to quantizing the full sequence at once.
+/// One layer's quantized KV cache: per KV head, K rows held **prepared**
+/// for the execution backend ([`PreparedWeights`]: the canonical packed
+/// Sg-EM streams plus the decoded score-GEMM operand, grown
+/// decode-on-append) and V rows likewise quantized per token along the
+/// head dimension, with their dequantized form cached incrementally. Each
+/// appended token quantizes and decodes independently, so incremental
+/// growth is bit-identical to quantizing and preparing the full sequence
+/// at once — and a decode step costs O(1) per head, not O(seq).
 #[derive(Debug, Clone)]
 pub struct KvCache {
-    k: Vec<PackedWeightTensor>,
+    k: Vec<PreparedWeights>,
     v: Vec<PackedWeightTensor>,
+    /// Dequantized V rows (`[seq, head_dim]` per KV head), grown alongside
+    /// `v` so the value mix never re-walks the packed streams.
+    v_rows: Vec<Matrix>,
+    backend: BackendKind,
+    head_dim: usize,
+    cfg: M2xfpConfig,
 }
 
 impl KvCache {
-    fn new(kv_heads: usize, head_dim: usize, cfg: M2xfpConfig) -> Self {
+    fn new(kv_heads: usize, head_dim: usize, cfg: M2xfpConfig, backend: BackendKind) -> Self {
+        let be = backend.backend();
         KvCache {
             k: (0..kv_heads)
-                .map(|_| PackedWeightTensor::empty(head_dim, cfg))
+                .map(|_| be.prepare(PackedWeightTensor::empty(head_dim, cfg)))
                 .collect(),
             v: (0..kv_heads)
                 .map(|_| PackedWeightTensor::empty(head_dim, cfg))
                 .collect(),
+            v_rows: (0..kv_heads).map(|_| Matrix::zeros(0, head_dim)).collect(),
+            backend,
+            head_dim,
+            cfg,
         }
     }
 
     /// Quantizes and appends new K/V projection rows (`[tokens, kv_dim]`),
-    /// sliced per KV head.
-    fn append(&mut self, k_new: &Matrix, v_new: &Matrix, head_dim: usize) -> Result<(), Error> {
-        for (h, (kc, vc)) in self.k.iter_mut().zip(&mut self.v).enumerate() {
-            kc.append_rows(&slice_cols(k_new, h * head_dim, head_dim))?;
-            vc.append_rows(&slice_cols(v_new, h * head_dim, head_dim))?;
+    /// sliced per KV head. K rows go straight into the prepared execution
+    /// form (decode-on-append); V rows are quantized once, appended to the
+    /// packed store and their dequantized values cached.
+    fn append(&mut self, k_new: &Matrix, v_new: &Matrix) -> Result<(), Error> {
+        let be = self.backend.backend();
+        for h in 0..self.k.len() {
+            let ks = slice_cols(k_new, h * self.head_dim, self.head_dim);
+            be.append_rows(&mut self.k[h], &ks)?;
+            let vs = slice_cols(v_new, h * self.head_dim, self.head_dim);
+            let vq = PackedWeightTensor::quantize_parallel(&vs, self.cfg);
+            self.v_rows[h].push_rows(&vq.dequantize());
+            self.v[h].append_packed(vq)?;
         }
         Ok(())
     }
@@ -138,15 +203,48 @@ impl KvCache {
         self.k.first().map_or(0, |t| t.shape().0)
     }
 
-    /// Total packed footprint of the cached K and V streams in bytes.
+    /// Total packed footprint of the cached K and V streams in bytes
+    /// (the canonical 4.5-bit representation; decoded execution planes are
+    /// working state on top).
     pub fn bytes(&self) -> usize {
-        self.k.iter().chain(&self.v).map(|t| t.packed_bytes()).sum()
+        self.k
+            .iter()
+            .map(|t| t.packed().packed_bytes())
+            .sum::<usize>()
+            + self.v.iter().map(|t| t.packed_bytes()).sum::<usize>()
     }
 
-    fn clear(&mut self, head_dim: usize, cfg: M2xfpConfig) {
-        for t in self.k.iter_mut().chain(&mut self.v) {
-            *t = PackedWeightTensor::empty(head_dim, cfg);
+    fn clear(&mut self) {
+        *self = KvCache::new(self.k.len(), self.head_dim, self.cfg, self.backend);
+    }
+}
+
+/// The per-request mutable half of a model session: the per-layer
+/// [`KvCache`] plus the stream position. Create one per concurrent request
+/// with [`ModelWeights::new_session`]; the weights stay shared.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    kv: Vec<KvCache>,
+    pos: usize,
+}
+
+impl SessionState {
+    /// Tokens appended so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Per-layer KV caches (index = layer).
+    pub fn kv_caches(&self) -> &[KvCache] {
+        &self.kv
+    }
+
+    /// Drops the KV cache and resets the stream position to zero.
+    pub fn reset(&mut self) {
+        for c in &mut self.kv {
+            c.clear();
         }
+        self.pos = 0;
     }
 }
 
@@ -285,13 +383,27 @@ impl ModelBuilder {
         Ok(())
     }
 
-    /// Synthesizes, quantizes and prepares every layer.
+    /// Synthesizes, quantizes and prepares every layer, then opens a fresh
+    /// single session over the shared weights.
     ///
     /// # Errors
     ///
     /// Fails on inconsistent or group-misaligned dimensions; the message
     /// names the offending field or layer.
     pub fn build(self) -> Result<QuantizedModel, Error> {
+        Ok(QuantizedModel::from_weights(Arc::new(
+            self.build_weights()?,
+        )))
+    }
+
+    /// Synthesizes, quantizes and prepares every layer into the shareable
+    /// immutable half only — wrap in an `Arc` and hand to
+    /// [`QuantizedModel::from_weights`] or the `m2x-serve` scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::build`].
+    pub fn build_weights(self) -> Result<ModelWeights, Error> {
         self.validate()?;
         let (h, inter) = (self.hidden, self.intermediate);
         let head_dim = h / self.heads;
@@ -337,10 +449,7 @@ impl ModelBuilder {
             }
         }
 
-        let kv = (0..self.layers)
-            .map(|_| KvCache::new(self.kv_heads, head_dim, self.cfg))
-            .collect();
-        Ok(QuantizedModel {
+        Ok(ModelWeights {
             name: self.profile.name.to_string(),
             cfg: self.cfg,
             backend: self.backend,
@@ -351,19 +460,19 @@ impl ModelBuilder {
             kv_heads: self.kv_heads,
             head_dim,
             blocks,
-            kv,
-            pos: 0,
             reference,
         })
     }
 }
 
-/// A whole transformer stack quantized to M2XFP: every projection held in
-/// the packed three-stream representation, prepared once for one execution
-/// backend, plus a per-layer quantized [`KvCache`]. See the
-/// [module docs](self) for the session API.
+/// The immutable, shareable half of a quantized transformer: every
+/// projection held in the packed three-stream representation and prepared
+/// once for one execution backend. Hold it in an `Arc` and open any number
+/// of concurrent [`SessionState`]s against it — sessions cost a KV cache
+/// each, the prepared weights are never copied. See the
+/// [module docs](self).
 #[derive(Debug, Clone)]
-pub struct QuantizedModel {
+pub struct ModelWeights {
     name: String,
     cfg: M2xfpConfig,
     backend: BackendKind,
@@ -374,12 +483,10 @@ pub struct QuantizedModel {
     kv_heads: usize,
     head_dim: usize,
     blocks: Vec<Block>,
-    kv: Vec<KvCache>,
-    pos: usize,
     reference: Option<Vec<RefBlock>>,
 }
 
-impl QuantizedModel {
+impl ModelWeights {
     /// Profile name the model was synthesized from.
     pub fn name(&self) -> &str {
         &self.name
@@ -425,16 +532,6 @@ impl QuantizedModel {
         self.head_dim
     }
 
-    /// Tokens currently held in the KV cache.
-    pub fn seq_len(&self) -> usize {
-        self.pos
-    }
-
-    /// Per-layer KV caches (index = layer).
-    pub fn kv_caches(&self) -> &[KvCache] {
-        &self.kv
-    }
-
     /// Total packed weight footprint across all layers, in bytes.
     pub fn weight_bytes(&self) -> usize {
         self.blocks
@@ -468,76 +565,108 @@ impl QuantizedModel {
         (linear + attn) * self.blocks.len() as u64
     }
 
-    /// Drops the KV cache and resets the stream position to zero.
-    pub fn reset(&mut self) {
-        for c in &mut self.kv {
-            c.clear(self.head_dim, self.cfg);
+    /// Opens a fresh session (empty KV cache, position zero) against these
+    /// weights.
+    pub fn new_session(&self) -> SessionState {
+        SessionState {
+            kv: (0..self.blocks.len())
+                .map(|_| KvCache::new(self.kv_heads, self.head_dim, self.cfg, self.backend))
+                .collect(),
+            pos: 0,
         }
-        self.pos = 0;
     }
 
-    /// One-shot causal forward over a full batch of token embeddings
-    /// `[tokens, hidden]`: resets the session, then prefills. Bit-identical
-    /// to any prefill/decode split of the same rows.
+    /// One batched step over many **independent** sessions — the
+    /// continuous-batching surface. `inputs[i]` (`[tokens_i, hidden]`,
+    /// prefill chunks and single decode tokens mix freely) is appended to
+    /// `sessions[i]` and its causal outputs returned in order.
+    ///
+    /// All sessions' rows are stacked into one matrix per projection GEMM,
+    /// so a decode batch of B requests walks each prepared weight plane
+    /// once instead of B times; the per-request attention (KV growth +
+    /// score/value GEMMs per head) is sharded over scoped worker threads —
+    /// `threads == 0` auto-scales the worker count with the attention work
+    /// volume (small steps stay inline, avoiding per-layer spawn overhead),
+    /// an explicit count is pinned exactly. Every output row depends only
+    /// on its own session's rows and cache, so each request's output is
+    /// **bit-identical to running it solo** — for any batch composition and
+    /// any thread count — which `tests/proptest_serve.rs` pins.
     ///
     /// # Errors
     ///
-    /// Fails on an input width mismatch.
-    pub fn forward_batch(&mut self, x: &Matrix) -> Result<Matrix, Error> {
-        self.reset();
-        self.step(x, None)
+    /// Fails on a session/input count mismatch or an input width mismatch.
+    pub fn step_sessions(
+        &self,
+        sessions: &mut [&mut SessionState],
+        inputs: &[Matrix],
+        threads: usize,
+    ) -> Result<Vec<Matrix>, Error> {
+        self.step_multi(sessions, inputs, threads, None)
     }
 
-    /// Appends a chunk of tokens `[tokens, hidden]` to the session and
-    /// returns their outputs (causal within the chunk and against the
-    /// cache).
-    ///
-    /// # Errors
-    ///
-    /// Fails on an input width mismatch.
-    pub fn prefill(&mut self, x: &Matrix) -> Result<Matrix, Error> {
-        self.step(x, None)
-    }
-
-    /// Appends exactly one token `[1, hidden]` — the serving decode step.
-    ///
-    /// # Errors
-    ///
-    /// Fails on an input width mismatch or a multi-row input.
-    pub fn decode(&mut self, x: &Matrix) -> Result<Matrix, Error> {
-        if x.rows() != 1 {
+    fn step_multi(
+        &self,
+        sessions: &mut [&mut SessionState],
+        inputs: &[Matrix],
+        threads: usize,
+        mut trace: Option<&mut Vec<Matrix>>,
+    ) -> Result<Vec<Matrix>, Error> {
+        if sessions.len() != inputs.len() {
             return Err(Error::config(format!(
-                "decode expects exactly 1 token row, got {}",
-                x.rows()
+                "step got {} sessions but {} inputs",
+                sessions.len(),
+                inputs.len()
             )));
         }
-        self.step(x, None)
-    }
-
-    /// [`Self::forward_batch`] that also returns the residual stream after
-    /// every layer — the per-layer observability hook the `e2e_model`
-    /// driver's NRMSE report uses.
-    ///
-    /// # Errors
-    ///
-    /// Fails on an input width mismatch.
-    pub fn forward_batch_traced(&mut self, x: &Matrix) -> Result<(Matrix, Vec<Matrix>), Error> {
-        self.reset();
-        let mut trace = Vec::with_capacity(self.blocks.len());
-        let out = self.step(x, Some(&mut trace))?;
-        Ok((out, trace))
-    }
-
-    fn step(&mut self, x: &Matrix, mut trace: Option<&mut Vec<Matrix>>) -> Result<Matrix, Error> {
-        if x.cols() != self.hidden {
-            return Err(Error::WidthMismatch {
-                tensor: "model input".to_string(),
-                expected: self.hidden,
-                got: x.cols(),
-            });
+        for x in inputs {
+            if x.cols() != self.hidden {
+                return Err(Error::WidthMismatch {
+                    tensor: "model input".to_string(),
+                    expected: self.hidden,
+                    got: x.cols(),
+                });
+            }
         }
-        let p0 = self.pos;
-        let mut h = x.clone();
+        let counts: Vec<usize> = inputs.iter().map(Matrix::rows).collect();
+        let offsets: Vec<usize> = counts
+            .iter()
+            .scan(0usize, |acc, c| {
+                let o = *acc;
+                *acc += c;
+                Some(o)
+            })
+            .collect();
+        let total: usize = counts.iter().sum();
+        let p0s: Vec<usize> = sessions.iter().map(|s| s.pos).collect();
+
+        // Worker budget for the per-layer attention phase. The scope is
+        // re-entered every layer (the projections in between are sequential
+        // barriers), so each extra worker must be paid for by real
+        // score/value-GEMM volume or the spawn/join overhead sits directly
+        // on the decode hot loop: in auto mode (`threads == 0`) one worker
+        // is granted per [`ATTN_MACS_PER_WORKER`] attention MACs, capped at
+        // the available cores (mirrors `gemm_threads`' policy). An explicit
+        // count is pinned exactly, like `qgemm_packed_threaded`. Any worker
+        // count computes identical bits.
+        let attn_workers = if threads == 0 {
+            let attn_macs: usize = counts
+                .iter()
+                .zip(&p0s)
+                .map(|(&c, &p0)| 2 * c * (p0 + c) * self.head_dim * self.heads)
+                .sum();
+            let avail = std::thread::available_parallelism().map_or(1, |t| t.get());
+            avail.min(attn_macs / ATTN_MACS_PER_WORKER + 1)
+        } else {
+            threads
+        }
+        .min((sessions.len() * self.heads).max(1))
+        .max(1);
+
+        let mut h = Matrix::zeros(total, self.hidden);
+        for (x, &o) in inputs.iter().zip(&offsets) {
+            write_rows(&mut h, x, o);
+        }
+
         for li in 0..self.blocks.len() {
             let ctx = |e: Error, what: &str| e.for_tensor(format!("layer {li} {what}"));
             let hn = rms_norm(&h);
@@ -545,13 +674,65 @@ impl QuantizedModel {
             let q = block.q.forward(&hn).map_err(|e| ctx(e, "q_proj"))?;
             let k = block.k.forward(&hn).map_err(|e| ctx(e, "k_proj"))?;
             let v = block.v.forward(&hn).map_err(|e| ctx(e, "v_proj"))?;
-            self.kv[li]
-                .append(&k, &v, self.head_dim)
-                .map_err(|e| ctx(e, "kv cache"))?;
-            let attn = self
-                .attention(li, &q, p0)
-                .map_err(|e| ctx(e, "attention"))?;
-            let block = &self.blocks[li];
+
+            // Grow every session's cache with its own K/V rows (decode-on-
+            // append: O(new rows) per session, independent of history).
+            for (i, s) in sessions.iter_mut().enumerate() {
+                let ks = slice_rows(&k, offsets[i], counts[i]);
+                let vs = slice_rows(&v, offsets[i], counts[i]);
+                s.kv[li].append(&ks, &vs).map_err(|e| ctx(e, "kv cache"))?;
+            }
+
+            // Per-(session, head) attention over the grown caches, sharded
+            // across scoped worker threads. Each item reads only its own
+            // session's cache and q rows and produces its own output block,
+            // so any thread count computes identical bits.
+            let caches: Vec<&KvCache> = sessions.iter().map(|s| &s.kv[li]).collect();
+            let items: Vec<(usize, usize)> = (0..sessions.len())
+                .flat_map(|i| (0..self.heads).map(move |hd| (i, hd)))
+                .collect();
+            let compute = |&(si, head): &(usize, usize)| -> Result<Matrix, Error> {
+                let qh = slice_block(
+                    &q,
+                    offsets[si],
+                    counts[si],
+                    head * self.head_dim,
+                    self.head_dim,
+                );
+                self.attention_head(caches[si], &qh, head, p0s[si])
+                    .map_err(|e| ctx(e, "attention"))
+            };
+            let workers = attn_workers;
+            let head_blocks: Vec<Matrix> = if workers <= 1 {
+                items.iter().map(compute).collect::<Result<_, _>>()?
+            } else {
+                let per = items.len().div_ceil(workers);
+                let chunk_results: Vec<Result<Vec<Matrix>, Error>> = std::thread::scope(|sc| {
+                    let handles: Vec<_> = items
+                        .chunks(per)
+                        .map(|chunk| {
+                            let compute = &compute;
+                            sc.spawn(move || {
+                                chunk.iter().map(compute).collect::<Result<Vec<_>, _>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("attention worker panicked"))
+                        .collect()
+                });
+                let mut all = Vec::with_capacity(items.len());
+                for r in chunk_results {
+                    all.extend(r?);
+                }
+                all
+            };
+            let mut attn = Matrix::zeros(total, self.hidden);
+            for (&(si, head), oh) in items.iter().zip(&head_blocks) {
+                write_block(&mut attn, oh, offsets[si], head * self.head_dim);
+            }
+
             let o = block.o.forward(&attn).map_err(|e| ctx(e, "o_proj"))?;
             h = h.add(&o);
             let hn = rms_norm(&h);
@@ -572,54 +753,56 @@ impl QuantizedModel {
                 t.push(h.clone());
             }
         }
-        self.pos = p0 + x.rows();
-        Ok(h)
+        for (s, c) in sessions.iter_mut().zip(&counts) {
+            s.pos += c;
+        }
+        Ok(offsets
+            .iter()
+            .zip(&counts)
+            .map(|(&o, &c)| slice_rows(&h, o, c))
+            .collect())
     }
 
-    /// Multi-head causal attention over the layer's KV cache, §6.4 hybrid:
-    /// quantized score GEMM (Q online, K from the Sg-EM cache), online
-    /// Elem-EM quantization of P, dequantized Sg-EM V rows.
-    fn attention(&self, li: usize, q: &Matrix, p0: usize) -> Result<Matrix, Error> {
+    /// One causal attention head over a session's grown cache, §6.4 hybrid:
+    /// quantized score GEMM (Q online, K from the prepared Sg-EM cache —
+    /// **no per-step decode**, the plane grew on append), online Elem-EM
+    /// quantization of P, cached dequantized Sg-EM V rows.
+    fn attention_head(
+        &self,
+        cache: &KvCache,
+        qh: &Matrix,
+        head: usize,
+        p0: usize,
+    ) -> Result<Matrix, Error> {
         let be = self.backend.backend();
-        let cache = &self.kv[li];
-        let (t, hd) = (q.rows(), self.head_dim);
-        let scale = 1.0 / (hd as f32).sqrt();
         let heads_per_kv = self.heads / self.kv_heads;
-        // Decode each KV head's cache once per step, not once per query
-        // head: under GQA the query heads sharing a KV head reuse the same
-        // prepared K form and dequantized V rows.
-        let prepared_k: Vec<_> = cache.k.iter().map(|k| be.prepare(k.clone())).collect();
-        let v_rows: Vec<Matrix> = cache.v.iter().map(|v| v.dequantize()).collect();
-        let mut out = Matrix::zeros(t, self.hidden);
-        for head in 0..self.heads {
-            let kvh = head / heads_per_kv;
-            let qh = slice_cols(q, head * hd, hd);
-            // Scores = Q·Kᵀ through the backend's quantized GEMM: the K
-            // cache rows are exactly the weight layout ([seq, head_dim],
-            // grouped along the reduction dimension).
-            let mut scores = be.forward(&qh, &prepared_k[kvh])?;
-            for i in 0..t {
-                let row = scores.row_mut(i);
-                for (j, sc) in row.iter_mut().enumerate() {
-                    // Causal mask: chunk row i sits at stream position
-                    // p0 + i and may only attend to keys at or before it.
-                    *sc = if j <= p0 + i {
-                        *sc * scale
-                    } else {
-                        f32::NEG_INFINITY
-                    };
-                }
+        let kvh = head / heads_per_kv;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let t = qh.rows();
+        // Scores = Q·Kᵀ through the backend's quantized GEMM: the K cache
+        // rows are exactly the weight layout ([seq, head_dim], grouped
+        // along the reduction dimension).
+        let mut scores = be.forward(qh, &cache.k[kvh])?;
+        for i in 0..t {
+            let row = scores.row_mut(i);
+            for (j, sc) in row.iter_mut().enumerate() {
+                // Causal mask: chunk row i sits at stream position p0 + i
+                // and may only attend to keys at or before it.
+                *sc = if j <= p0 + i {
+                    *sc * scale
+                } else {
+                    f32::NEG_INFINITY
+                };
             }
-            let p = crate::attention::softmax_rows(&scores);
-            // P is produced on the fly → online Elem-EM path; V rows were
-            // quantized on arrival (per token, so decode == batch) and
-            // dequantize here for the value mix.
-            let pq = be.fake_quantize_activations(&p, self.cfg);
-            let oh = pq.matmul(&v_rows[kvh]);
-            debug_assert_eq!((oh.rows(), oh.cols()), (t, hd));
-            write_cols(&mut out, &oh, head * hd);
         }
-        Ok(out)
+        let p = crate::attention::softmax_rows(&scores);
+        // P is produced on the fly → online Elem-EM path; V rows were
+        // quantized on arrival (per token, so decode == batch) and their
+        // dequantized form is cached for the value mix.
+        let pq = be.fake_quantize_activations(&p, self.cfg);
+        let oh = pq.matmul(&cache.v_rows[kvh]);
+        debug_assert_eq!((oh.rows(), oh.cols()), (t, self.head_dim));
+        Ok(oh)
     }
 
     /// Full-precision (f32) forward over the same synthesized weights and
@@ -702,6 +885,188 @@ impl QuantizedModel {
     }
 }
 
+/// A whole transformer stack quantized to M2XFP: an `Arc`-shared
+/// [`ModelWeights`] paired with one [`SessionState`] — the single-session
+/// inference API. Cloning shares the weights and copies only the session.
+/// See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    weights: Arc<ModelWeights>,
+    state: SessionState,
+}
+
+impl QuantizedModel {
+    /// Opens a fresh session over already-prepared shared weights — O(KV
+    /// cache), the weights are not copied. This is how the serving runtime
+    /// turns one prepared model into many concurrent sessions.
+    pub fn from_weights(weights: Arc<ModelWeights>) -> Self {
+        let state = weights.new_session();
+        QuantizedModel { weights, state }
+    }
+
+    /// The shared immutable half (architecture + prepared projections).
+    pub fn weights(&self) -> &Arc<ModelWeights> {
+        &self.weights
+    }
+
+    /// The per-session mutable half (KV caches + position).
+    pub fn session(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// Profile name the model was synthesized from.
+    pub fn name(&self) -> &str {
+        self.weights.name()
+    }
+
+    /// The quantization configuration.
+    pub fn config(&self) -> &M2xfpConfig {
+        self.weights.config()
+    }
+
+    /// The execution backend every forward routes through.
+    pub fn backend(&self) -> BackendKind {
+        self.weights.backend()
+    }
+
+    /// Hidden (residual stream) dimension.
+    pub fn hidden(&self) -> usize {
+        self.weights.hidden()
+    }
+
+    /// MLP intermediate dimension.
+    pub fn intermediate(&self) -> usize {
+        self.weights.intermediate()
+    }
+
+    /// Transformer layer count.
+    pub fn layer_count(&self) -> usize {
+        self.weights.layer_count()
+    }
+
+    /// Attention heads.
+    pub fn heads(&self) -> usize {
+        self.weights.heads()
+    }
+
+    /// KV heads (GQA when < heads).
+    pub fn kv_heads(&self) -> usize {
+        self.weights.kv_heads()
+    }
+
+    /// Width of one attention head.
+    pub fn head_dim(&self) -> usize {
+        self.weights.head_dim()
+    }
+
+    /// Tokens currently held in the KV cache.
+    pub fn seq_len(&self) -> usize {
+        self.state.pos
+    }
+
+    /// Per-layer KV caches (index = layer).
+    pub fn kv_caches(&self) -> &[KvCache] {
+        &self.state.kv
+    }
+
+    /// Total packed weight footprint across all layers, in bytes.
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.weight_bytes()
+    }
+
+    /// Multiply–accumulate count of one forward over `tokens` tokens
+    /// starting at cache position `start_pos`.
+    pub fn forward_macs(&self, tokens: usize, start_pos: usize) -> u64 {
+        self.weights.forward_macs(tokens, start_pos)
+    }
+
+    /// Drops the KV cache and resets the stream position to zero.
+    pub fn reset(&mut self) {
+        self.state.reset();
+    }
+
+    /// One-shot causal forward over a full batch of token embeddings
+    /// `[tokens, hidden]`: resets the session, then prefills. Bit-identical
+    /// to any prefill/decode split of the same rows.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch.
+    pub fn forward_batch(&mut self, x: &Matrix) -> Result<Matrix, Error> {
+        self.reset();
+        self.step(x, None)
+    }
+
+    /// Appends a chunk of tokens `[tokens, hidden]` to the session and
+    /// returns their outputs (causal within the chunk and against the
+    /// cache).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch.
+    pub fn prefill(&mut self, x: &Matrix) -> Result<Matrix, Error> {
+        self.step(x, None)
+    }
+
+    /// Appends exactly one token `[1, hidden]` — the serving decode step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch or a multi-row input.
+    pub fn decode(&mut self, x: &Matrix) -> Result<Matrix, Error> {
+        if x.rows() != 1 {
+            return Err(Error::config(format!(
+                "decode expects exactly 1 token row, got {}",
+                x.rows()
+            )));
+        }
+        self.step(x, None)
+    }
+
+    /// [`Self::forward_batch`] that also returns the residual stream after
+    /// every layer — the per-layer observability hook the `e2e_model`
+    /// driver's NRMSE report uses.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch.
+    pub fn forward_batch_traced(&mut self, x: &Matrix) -> Result<(Matrix, Vec<Matrix>), Error> {
+        self.reset();
+        let mut trace = Vec::with_capacity(self.weights.layer_count());
+        let out = self.step(x, Some(&mut trace))?;
+        Ok((out, trace))
+    }
+
+    fn step(&mut self, x: &Matrix, trace: Option<&mut Vec<Matrix>>) -> Result<Matrix, Error> {
+        let inputs = [x.clone()];
+        let mut outs = self
+            .weights
+            .step_multi(&mut [&mut self.state], &inputs, 1, trace)?;
+        Ok(outs.pop().expect("one session in, one output out"))
+    }
+
+    /// Full-precision (f32) forward over the same synthesized weights —
+    /// see [`ModelWeights::reference_forward_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch or when the reference weights were
+    /// not kept.
+    pub fn reference_forward_batch(&self, x: &Matrix) -> Result<Matrix, Error> {
+        self.weights.reference_forward_batch(x)
+    }
+
+    /// [`Self::reference_forward_batch`] that also returns the residual
+    /// stream after every layer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::reference_forward_batch`].
+    pub fn reference_traced(&self, x: &Matrix) -> Result<(Matrix, Vec<Matrix>), Error> {
+        self.weights.reference_traced(x)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,6 +1140,47 @@ mod tests {
         for (a, b) in batch.as_slice().iter().zip(inc.as_slice()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn shared_weight_sessions_match_solo_bitwise() {
+        // Two sessions over one Arc of prepared weights, stepped as a
+        // batch, reproduce two independent solo models bit for bit — the
+        // SharedModel contract the serving runtime is built on.
+        let weights = Arc::new(tiny_builder().build_weights().unwrap());
+        let xa = tokens(4, 64);
+        let xb = tokens(7, 64);
+
+        let mut solo_a = QuantizedModel::from_weights(Arc::clone(&weights));
+        let mut solo_b = QuantizedModel::from_weights(Arc::clone(&weights));
+        let ya = solo_a.forward_batch(&xa).unwrap();
+        let yb = solo_b.forward_batch(&xb).unwrap();
+
+        let mut sa = weights.new_session();
+        let mut sb = weights.new_session();
+        for threads in [1usize, 3] {
+            sa.reset();
+            sb.reset();
+            let outs = weights
+                .step_sessions(&mut [&mut sa, &mut sb], &[xa.clone(), xb.clone()], threads)
+                .unwrap();
+            for (want, got) in [(&ya, &outs[0]), (&yb, &outs[1])] {
+                for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+                }
+            }
+            assert_eq!(sa.pos(), 4);
+            assert_eq!(sb.pos(), 7);
+        }
+    }
+
+    #[test]
+    fn step_sessions_validates_inputs() {
+        let weights = Arc::new(tiny_builder().build_weights().unwrap());
+        let mut s = weights.new_session();
+        assert!(weights.step_sessions(&mut [&mut s], &[], 1).is_err());
+        let bad = Matrix::zeros(2, 65);
+        assert!(weights.step_sessions(&mut [&mut s], &[bad], 1).is_err());
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! # m2x-serve
+//!
+//! Multi-session continuous-batching serving runtime over the quantized
+//! M2XFP engine — the system the MX line of work motivates low-bit formats
+//! with: one shared set of prepared weights amortized across many in-flight
+//! generation requests.
+//!
+//! The runtime is std-only (threads, `Mutex`/`Condvar`, `mpsc`-style
+//! queues) and is built on the `m2x_nn::model` weight/state split:
+//!
+//! * [`ModelWeights`](m2x_nn::model::ModelWeights) behind an `Arc` is the
+//!   **shared model** — every projection quantized and decoded once; N
+//!   concurrent requests cost N KV caches, never N weight copies.
+//! * A [`Server`] owns one engine thread running the continuous-batching
+//!   loop: requests are admitted from the arrival queue up to
+//!   [`ServeConfig::max_batch`], every scheduler step stacks all active
+//!   requests' pending rows (prefill chunks and decode tokens mix freely)
+//!   into one batched [`step_sessions`](m2x_nn::model::ModelWeights::step_sessions)
+//!   call, and requests join and leave between steps without disturbing
+//!   the others.
+//!
+//! **Determinism:** every output row depends only on its own request's
+//! rows and KV cache, so each request's generation is **bit-identical to
+//! running it alone** ([`run_solo`]) — for any arrival interleaving, batch
+//! composition and worker-thread count. `tests/proptest_serve.rs` pins
+//! this; the `serve_bench` driver hard-gates it in CI (`batch_exact`).
+//!
+//! ```
+//! use m2x_nn::model::ModelBuilder;
+//! use m2x_nn::profile::ModelProfile;
+//! use m2x_serve::{feedback_token, run_solo, ServeConfig, Server};
+//! use m2x_tensor::Matrix;
+//! use std::sync::Arc;
+//!
+//! let weights = Arc::new(
+//!     ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 1).build_weights()?,
+//! );
+//! let prompt = Matrix::from_fn(3, 64, |r, c| ((r * 64 + c) as f32 * 0.1).sin() * 0.5);
+//! let server = Server::start(Arc::clone(&weights), ServeConfig::default());
+//! let id = server.submit(prompt.clone(), 2)?;
+//! let out = server.wait(id);
+//! assert_eq!(out.decoded, run_solo(&weights, &prompt, 2)?); // bit-identical
+//! # Ok::<(), m2xfp::Error>(())
+//! ```
+
+pub mod scheduler;
+
+pub use scheduler::{Completed, ServeStats, Server};
+
+use m2x_nn::model::{ModelWeights, QuantizedModel};
+use m2x_tensor::Matrix;
+use m2xfp::Error;
+use std::sync::Arc;
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Admission cap: at most this many requests are in flight per
+    /// scheduler step; later arrivals queue until a slot frees up.
+    pub max_batch: usize,
+    /// Worker threads the per-request attention work is sharded over.
+    /// `0` = auto: the engine scales the worker count with each step's
+    /// attention work volume, up to the available cores (small steps stay
+    /// inline). Any value computes identical bits.
+    pub worker_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            worker_threads: 0,
+        }
+    }
+}
+
+/// The deterministic greedy "sampler" of the synthetic serving loop: the
+/// next input token embedding is the last output row squashed back into an
+/// embedding-like range. Purely per-row, so the feedback stream of a
+/// request is identical whether it runs solo or batched.
+pub fn feedback_token(y: &Matrix) -> Matrix {
+    assert!(y.rows() > 0, "feedback needs at least one output row");
+    let last = y.rows() - 1;
+    Matrix::from_fn(1, y.cols(), |_, c| (y[(last, c)] * 0.25).tanh())
+}
+
+/// Runs one generation request synchronously on a fresh single session over
+/// the shared weights: prefill the prompt, then `decode_steps` closed-loop
+/// decode steps through [`feedback_token`]. Returns the stacked decode
+/// outputs (`[decode_steps, hidden]`) — the solo oracle every scheduled
+/// request is bit-compared against.
+///
+/// # Errors
+///
+/// Fails on an input width mismatch or an empty prompt.
+pub fn run_solo(
+    weights: &Arc<ModelWeights>,
+    prompt: &Matrix,
+    decode_steps: usize,
+) -> Result<Matrix, Error> {
+    if prompt.rows() == 0 {
+        return Err(Error::config("prompt must contain at least one token"));
+    }
+    let mut model = QuantizedModel::from_weights(Arc::clone(weights));
+    let y = model.prefill(prompt)?;
+    let mut tok = feedback_token(&y);
+    let mut decoded = Matrix::zeros(0, weights.hidden());
+    for _ in 0..decode_steps {
+        let y = model.decode(&tok)?;
+        tok = feedback_token(&y);
+        decoded.push_rows(&y);
+    }
+    Ok(decoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_nn::model::ModelBuilder;
+    use m2x_nn::profile::ModelProfile;
+    use m2x_nn::synth::activation_matrix;
+
+    fn weights() -> Arc<ModelWeights> {
+        Arc::new(
+            ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 1)
+                .build_weights()
+                .unwrap(),
+        )
+    }
+
+    fn prompt(tokens: usize, seed: usize) -> Matrix {
+        activation_matrix(&ModelProfile::llama3_8b(), seed, tokens, 64).map(|v| (v * 0.25).tanh())
+    }
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_requests_match_solo_bitwise() {
+        let w = weights();
+        let server = Server::start(
+            Arc::clone(&w),
+            ServeConfig {
+                max_batch: 3,
+                worker_threads: 2,
+            },
+        );
+        let reqs: Vec<(Matrix, usize)> =
+            (0..5).map(|i| (prompt(1 + i % 4, i), 1 + i % 3)).collect();
+        let ids: Vec<u64> = reqs
+            .iter()
+            .map(|(p, d)| server.submit(p.clone(), *d).unwrap())
+            .collect();
+        for (id, (p, d)) in ids.iter().zip(&reqs) {
+            let out = server.wait(*id);
+            assert_eq!(out.id, *id);
+            assert_eq!(out.decoded.rows(), *d);
+            assert_bits_eq(&out.decoded, &run_solo(&w, p, *d).unwrap());
+            assert!(out.finished_step > out.arrived_step);
+        }
+        let stats = server.stats();
+        assert!(stats.peak_batch >= 2, "peak batch {}", stats.peak_batch);
+        assert_eq!(
+            stats.decoded_tokens,
+            reqs.iter().map(|r| r.1 as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn zero_decode_steps_completes_after_prefill() {
+        let w = weights();
+        let server = Server::start(Arc::clone(&w), ServeConfig::default());
+        let id = server.submit(prompt(3, 0), 0).unwrap();
+        let out = server.wait(id);
+        assert_eq!(out.decoded.rows(), 0);
+        assert_eq!(out.prefill_out.rows(), 3);
+    }
+
+    #[test]
+    fn submit_rejects_bad_requests() {
+        let server = Server::start(weights(), ServeConfig::default());
+        assert!(server.submit(Matrix::zeros(0, 64), 1).is_err());
+        assert!(server.submit(Matrix::zeros(1, 65), 1).is_err());
+    }
+
+    #[test]
+    fn double_wait_panics_instead_of_hanging() {
+        let server = Server::start(weights(), ServeConfig::default());
+        let id = server.submit(prompt(2, 0), 1).unwrap();
+        let _ = server.wait(id);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| server.wait(id)))
+            .expect_err("second wait must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("already waited"), "{msg}");
+    }
+
+    #[test]
+    fn feedback_token_uses_last_row() {
+        let y = Matrix::from_vec(2, 2, vec![9.0, 9.0, 1.0, -1.0]);
+        let t = feedback_token(&y);
+        assert_eq!(t.rows(), 1);
+        assert!((t[(0, 0)] - 0.25f32.tanh()).abs() < 1e-7);
+        assert!(t[(0, 1)] < 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! The continuous-batching scheduler: an arrival queue, an admission
+//! window, and one engine thread stepping every in-flight request's rows
+//! through a single batched model call per scheduler step.
+//!
+//! ```text
+//!  submit() ──► pending (FIFO) ──admit (≤ max_batch)──► active
+//!                                                        │ every step:
+//!                                                        │  stack rows →
+//!                                                        │  step_sessions
+//!                                                        │  (one batched
+//!                                                        │   GEMM walk)
+//!  wait(id) ◄── done map ◄── retire finished ◄───────────┘
+//! ```
+//!
+//! Requests are admitted and stepped in arrival order, so a given request
+//! stream is reproducible run to run; and because every output row depends
+//! only on its own request's rows and KV cache, each request's outputs are
+//! bit-identical to a solo run no matter how arrivals interleave with the
+//! engine's steps.
+
+use crate::{feedback_token, ServeConfig};
+use m2x_nn::model::{ModelWeights, SessionState};
+use m2x_tensor::Matrix;
+use m2xfp::Error;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// A finished request: its decode outputs plus scheduling metadata.
+#[derive(Debug, Clone)]
+pub struct Completed {
+    /// The id [`Server::submit`] returned.
+    pub id: u64,
+    /// Outputs of the prompt rows (the prefill step).
+    pub prefill_out: Matrix,
+    /// Stacked outputs of the decode steps (`[decode_steps, hidden]`).
+    pub decoded: Matrix,
+    /// Scheduler step count when the request was admitted.
+    pub arrived_step: u64,
+    /// Scheduler step count when the request finished; `finished_step -
+    /// arrived_step` is the request's latency in scheduler steps.
+    pub finished_step: u64,
+}
+
+/// Aggregate scheduler counters (monotonic over the server's lifetime).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Batched scheduler steps executed.
+    pub steps: u64,
+    /// Total decode tokens produced across all requests.
+    pub decoded_tokens: u64,
+    /// Largest number of requests in flight during one step.
+    pub peak_batch: usize,
+}
+
+struct Pending {
+    id: u64,
+    prompt: Matrix,
+    decode_steps: usize,
+}
+
+/// One in-flight request, owned by the engine thread between steps.
+struct Active {
+    id: u64,
+    session: SessionState,
+    next_input: Matrix,
+    prefilling: bool,
+    remaining: usize,
+    prefill_out: Matrix,
+    decoded: Matrix,
+    arrived_step: u64,
+}
+
+impl Active {
+    fn admit(p: Pending, weights: &ModelWeights, arrived_step: u64) -> Self {
+        Active {
+            id: p.id,
+            session: weights.new_session(),
+            next_input: p.prompt,
+            prefilling: true,
+            remaining: p.decode_steps,
+            prefill_out: Matrix::zeros(0, weights.hidden()),
+            decoded: Matrix::zeros(0, weights.hidden()),
+            arrived_step,
+        }
+    }
+
+    /// Folds one step's output rows into the request; returns the number
+    /// of decode tokens it produced (0 for the prefill step).
+    fn consume(&mut self, y: Matrix) -> u64 {
+        self.next_input = feedback_token(&y);
+        if self.prefilling {
+            self.prefill_out = y;
+            self.prefilling = false;
+            0
+        } else {
+            self.decoded.push_rows(&y);
+            self.remaining -= 1;
+            1
+        }
+    }
+
+    fn finished(&self) -> bool {
+        !self.prefilling && self.remaining == 0
+    }
+
+    fn into_completed(self, finished_step: u64) -> Completed {
+        Completed {
+            id: self.id,
+            prefill_out: self.prefill_out,
+            decoded: self.decoded,
+            arrived_step: self.arrived_step,
+            finished_step,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Queues {
+    next_id: u64,
+    pending: VecDeque<Pending>,
+    done: BTreeMap<u64, Completed>,
+    /// Ids whose [`Completed`] has already been handed to a waiter —
+    /// waiting again is a caller bug and panics instead of hanging.
+    claimed: BTreeSet<u64>,
+    stats: ServeStats,
+    shutdown: bool,
+    /// Set when the engine thread hit an unrecoverable model error; waiters
+    /// surface it instead of blocking forever.
+    failed: Option<String>,
+}
+
+struct Shared {
+    weights: Arc<ModelWeights>,
+    max_batch: usize,
+    threads: usize,
+    q: Mutex<Queues>,
+    /// Wakes the engine: new arrival or shutdown.
+    work_cv: Condvar,
+    /// Wakes waiters: request completed or engine failed.
+    done_cv: Condvar,
+}
+
+/// A running serving instance: one engine thread, one shared weight set,
+/// any number of submitting/waiting threads. Dropping the server drains
+/// the queues (every submitted request still completes), then joins the
+/// engine.
+pub struct Server {
+    shared: Arc<Shared>,
+    engine: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns the engine thread over an `Arc`-shared prepared model.
+    pub fn start(weights: Arc<ModelWeights>, cfg: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            threads: cfg.worker_threads,
+            max_batch: cfg.max_batch.max(1),
+            weights,
+            q: Mutex::new(Queues::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let engine_shared = Arc::clone(&shared);
+        let engine = std::thread::Builder::new()
+            .name("m2x-serve-engine".into())
+            .spawn(move || engine_loop(&engine_shared))
+            .expect("spawning the serve engine thread");
+        Server {
+            shared,
+            engine: Some(engine),
+        }
+    }
+
+    /// Enqueues a generation request (open-loop: returns immediately) and
+    /// hands back the id to [`Self::wait`] on. The request prefills
+    /// `prompt` and then runs `decode_steps` closed-loop decode steps
+    /// through [`feedback_token`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty prompt or an input width mismatch.
+    pub fn submit(&self, prompt: Matrix, decode_steps: usize) -> Result<u64, Error> {
+        if prompt.rows() == 0 {
+            return Err(Error::config("prompt must contain at least one token"));
+        }
+        if prompt.cols() != self.shared.weights.hidden() {
+            return Err(Error::WidthMismatch {
+                tensor: "serve prompt".to_string(),
+                expected: self.shared.weights.hidden(),
+                got: prompt.cols(),
+            });
+        }
+        let mut q = self.lock();
+        let id = q.next_id;
+        q.next_id += 1;
+        q.pending.push_back(Pending {
+            id,
+            prompt,
+            decode_steps,
+        });
+        self.shared.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Blocks until request `id` completes and returns its outputs. Each
+    /// completion is handed out **once**: the first `wait(id)` consumes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine thread failed (a model error mid-stream — only
+    /// reachable when submit-time validation was bypassed), if `id` was
+    /// never issued by this server, or if `id` was already waited on.
+    pub fn wait(&self, id: u64) -> Completed {
+        let mut q = self.lock();
+        assert!(id < q.next_id, "request {id} was never submitted here");
+        assert!(
+            !q.claimed.contains(&id),
+            "request {id} was already waited on (completions are consumed once)"
+        );
+        loop {
+            if let Some(done) = q.done.remove(&id) {
+                q.claimed.insert(id);
+                return done;
+            }
+            if let Some(err) = &q.failed {
+                panic!("serve engine failed: {err}");
+            }
+            q = self
+                .shared
+                .done_cv
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Aggregate scheduler counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.lock().stats
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Queues> {
+        lock_queues(&self.shared)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.lock().shutdown = true;
+        self.shared.work_cv.notify_all();
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+    }
+}
+
+/// Locks the queue state, recovering from poisoning: every mutation
+/// inside the lock is applied atomically from the state's point of view
+/// (panics can only fire before any mutation — e.g. [`Server::wait`]'s
+/// misuse asserts), so a poisoned mutex still guards consistent data.
+fn lock_queues(shared: &Shared) -> MutexGuard<'_, Queues> {
+    shared.q.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The continuous-batching loop (runs on the engine thread).
+fn engine_loop(shared: &Shared) {
+    let mut active: Vec<Active> = Vec::new();
+    loop {
+        // Admission: wait for work, then top the batch up from the queue
+        // in arrival order.
+        {
+            let mut q = lock_queues(shared);
+            while active.is_empty() && q.pending.is_empty() && !q.shutdown {
+                q = shared
+                    .work_cv
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            if active.is_empty() && q.pending.is_empty() && q.shutdown {
+                return;
+            }
+            let arrived = q.stats.steps;
+            while active.len() < shared.max_batch {
+                let Some(p) = q.pending.pop_front() else {
+                    break;
+                };
+                active.push(Active::admit(p, &shared.weights, arrived));
+            }
+        }
+
+        // One batched step over every in-flight request (no lock held:
+        // arrivals enqueue concurrently and are admitted next step).
+        let inputs: Vec<Matrix> = active.iter().map(|a| a.next_input.clone()).collect();
+        let step = {
+            let mut sessions: Vec<&mut SessionState> =
+                active.iter_mut().map(|a| &mut a.session).collect();
+            shared
+                .weights
+                .step_sessions(&mut sessions, &inputs, shared.threads)
+        };
+        let outs = match step {
+            Ok(outs) => outs,
+            Err(e) => {
+                let mut q = lock_queues(shared);
+                q.failed = Some(e.to_string());
+                shared.done_cv.notify_all();
+                return;
+            }
+        };
+
+        let batch = active.len();
+        let mut decoded_now = 0u64;
+        for (a, y) in active.iter_mut().zip(outs) {
+            decoded_now += a.consume(y);
+        }
+        let finished: Vec<Active> = {
+            let mut rest = Vec::with_capacity(active.len());
+            let mut done = Vec::new();
+            for a in active.drain(..) {
+                if a.finished() {
+                    done.push(a);
+                } else {
+                    rest.push(a);
+                }
+            }
+            active = rest;
+            done
+        };
+
+        let mut q = lock_queues(shared);
+        q.stats.steps += 1;
+        q.stats.decoded_tokens += decoded_now;
+        q.stats.peak_batch = q.stats.peak_batch.max(batch);
+        let now = q.stats.steps;
+        for f in finished {
+            q.done.insert(f.id, f.into_completed(now));
+        }
+        shared.done_cv.notify_all();
+    }
+}

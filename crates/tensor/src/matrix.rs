@@ -124,6 +124,19 @@ impl Matrix {
         self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
     }
 
+    /// Appends the rows of `rows` below the existing rows — the growable
+    /// store pattern (KV caches, accumulated decode outputs). Start from
+    /// `Matrix::zeros(0, cols)` for an empty seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn push_rows(&mut self, rows: &Matrix) {
+        assert_eq!(self.cols, rows.cols, "appended rows have a different width");
+        self.data.extend_from_slice(&rows.data);
+        self.rows += rows.rows;
+    }
+
     /// Iterates over contiguous row-wise groups of `k` elements.
     ///
     /// Each row is partitioned independently (groups never straddle a row
@@ -330,6 +343,21 @@ mod tests {
         let a = Matrix::from_fn(4, 4, |r, c| (r + c) as f32);
         let b = Matrix::from_fn(4, 4, |r, c| (r * c) as f32 * 0.5);
         assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn push_rows_grows_from_empty() {
+        let mut m = Matrix::zeros(0, 3);
+        m.push_rows(&Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        m.push_rows(&Matrix::from_vec(1, 3, vec![7.0, 8.0, 9.0]));
+        assert_eq!((m.rows(), m.cols()), (3, 3));
+        assert_eq!(m.row(2), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different width")]
+    fn push_rows_rejects_width_mismatch() {
+        Matrix::zeros(0, 3).push_rows(&Matrix::zeros(1, 4));
     }
 
     #[test]
