@@ -140,11 +140,12 @@ fn join(path: &[String], key: &str) -> String {
 /// and current ran on comparable hardware, so by default a regression
 /// here only warns (`M2X_GATE_ABS_TIMES=1` hardens it); the
 /// hardware-normalized speedup ratios below are the enforcing gates.
-const GATED_TIMES: [&str; 7] = [
+const GATED_TIMES: [&str; 8] = [
     "quantize_act.packed_s",
     "qgemm.packed_threaded_s",
     "quantize_plus_qgemm.packed_threaded_s",
     "quantize_weights_packed_s",
+    "decode_kernel.gemv_s",
     "e2e_model.quantize_s",
     "e2e_model.forward_batch_packed_s",
     "serve.batch_s",
@@ -154,28 +155,32 @@ const GATED_TIMES: [&str; 7] = [
 /// wall-times, so they share the advisory-by-default/`M2X_GATE_ABS_TIMES`
 /// treatment; the whole-model `e2e_model.speedup_packed` and serving
 /// `serve.speedup_batch` ratios below are the enforcing end-to-end gates.
-const GATED_THROUGHPUTS: [&str; 3] = [
+const GATED_THROUGHPUTS: [&str; 5] = [
+    "decode_kernel.gemv_melem_per_s",
     "e2e_model.gmacs",
     "serve.req_per_s",
     "serve.decode_tok_per_s",
+    "serve.solo_decode_tok_per_s",
 ];
 
 /// Within-run speedup ratios (higher is better). Both sides of each ratio
 /// are measured in the same process on the same machine, so these are
 /// hardware-normalized: a >tolerance drop is a code regression even if
 /// the runner got faster or slower overall.
-const GATED_SPEEDUPS: [&str; 5] = [
+const GATED_SPEEDUPS: [&str; 6] = [
     "qgemm.speedup_1thread",
     "quantize_plus_qgemm.speedup_1thread",
     "quantize_weights_speedup",
+    "decode_kernel.speedup_gemv",
     "e2e_model.speedup_packed",
     "serve.speedup_batch",
 ];
 
 /// Boolean exactness flags the gate enforces on the current run.
-const GATED_EXACT: [&str; 4] = [
+const GATED_EXACT: [&str; 5] = [
     "exact_match",
     "weight_search_exact",
+    "decode_kernel.decode_exact",
     "e2e_model.backends_exact",
     "serve.batch_exact",
 ];
@@ -384,8 +389,9 @@ mod tests {
   "weight_search_exact": true,
   "qgemm": {"packed_threaded_s": 0.002, "speedup_1thread": 5.3},
   "quantize_plus_qgemm": {"packed_threaded_s": 0.003, "speedup_1thread": 3.2},
+  "decode_kernel": {"gemv_s": 0.0001, "gemv_melem_per_s": 650.0, "speedup_gemv": 6.0, "speedup_planed_vs_inreg": 1.8, "decode_exact": true},
   "e2e_model": {"hidden": 128, "layers": 2, "tokens": 16, "gmacs": 2.1, "speedup_packed": 3.0, "backends_exact": true, "nrmse": 0.05},
-  "serve": {"hidden": 128, "layers": 2, "requests": 6, "max_batch": 6, "batch_s": 0.05, "speedup_batch": 1.3, "req_per_s": 120.0, "decode_tok_per_s": 960.0, "batch_exact": true}
+  "serve": {"hidden": 128, "layers": 2, "requests": 6, "max_batch": 6, "batch_s": 0.05, "speedup_batch": 1.3, "req_per_s": 120.0, "decode_tok_per_s": 960.0, "solo_decode_tok_per_s": 740.0, "batch_exact": true}
 }"#;
 
     #[test]
@@ -441,6 +447,37 @@ mod tests {
         let mild = SAMPLE.replace("\"speedup_1thread\": 5.3", "\"speedup_1thread\": 4.3");
         let cur = flatten_json(&mild).unwrap();
         assert!(evaluate(&cur, &base, 0.25, false).iter().all(|v| v.pass));
+    }
+
+    #[test]
+    fn decode_kernel_section_gates_exactness_and_gemv_ratio() {
+        let base = flatten_json(SAMPLE).unwrap();
+        // Lost decode-kernel bit-identity fails hard.
+        let broken = SAMPLE.replace("\"decode_exact\": true", "\"decode_exact\": false");
+        let cur = flatten_json(&broken).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["decode_kernel.decode_exact"]);
+        // A >25% drop of the GEMV-over-grouped ratio fails hard (both
+        // sides measured in the same process: hardware-normalized).
+        let dropped = SAMPLE.replace("\"speedup_gemv\": 6.0", "\"speedup_gemv\": 4.0");
+        let cur = flatten_json(&dropped).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["decode_kernel.speedup_gemv"]);
+        // GEMV wall-time and throughput regressions warn by default.
+        let slower = SAMPLE.replace("\"gemv_s\": 0.0001", "\"gemv_s\": 0.0002");
+        let cur = flatten_json(&slower).unwrap();
+        let v = evaluate(&cur, &base, 0.25, false);
+        let t = v
+            .iter()
+            .find(|v| v.metric == "decode_kernel.gemv_s")
+            .unwrap();
+        assert!(!t.pass && !t.hard);
+        let slower = SAMPLE.replace("\"gemv_melem_per_s\": 650.0", "\"gemv_melem_per_s\": 300.0");
+        let cur = flatten_json(&slower).unwrap();
+        let v = evaluate(&cur, &base, 0.25, false);
+        let t = v
+            .iter()
+            .find(|v| v.metric == "decode_kernel.gemv_melem_per_s")
+            .unwrap();
+        assert!(!t.pass && !t.hard);
     }
 
     #[test]

@@ -82,6 +82,9 @@ pub struct ServeReport {
     pub req_per_s: f64,
     /// Aggregate decode throughput of the batched run (tokens/s).
     pub decode_tok_per_s: f64,
+    /// Decode throughput of the solo sequential sessions (tokens/s) — the
+    /// single-stream number the GEMV decode fast path moves directly.
+    pub solo_decode_tok_per_s: f64,
     /// Median request latency in scheduler steps.
     pub latency_p50_steps: f64,
     /// 99th-percentile request latency in scheduler steps.
@@ -183,6 +186,7 @@ pub fn run(cfg: ServeBenchConfig) -> ServeReport {
         speedup_batch: solo_s / batch_s,
         req_per_s: cfg.requests as f64 / batch_s,
         decode_tok_per_s: decode_tokens / batch_s,
+        solo_decode_tok_per_s: decode_tokens / solo_s,
         latency_p50_steps: percentile(&latencies, 0.50),
         latency_p99_steps: percentile(&latencies, 0.99),
         peak_batch,
@@ -203,6 +207,7 @@ impl ServeReport {
   "speedup_batch": {sp:.3},
   "req_per_s": {rps:.3},
   "decode_tok_per_s": {tps:.2},
+  "solo_decode_tok_per_s": {stps:.2},
   "latency_p50_steps": {p50:.1},
   "latency_p99_steps": {p99:.1},
   "peak_batch": {pk}
@@ -219,6 +224,7 @@ impl ServeReport {
             sp = self.speedup_batch,
             rps = self.req_per_s,
             tps = self.decode_tok_per_s,
+            stps = self.solo_decode_tok_per_s,
             p50 = self.latency_p50_steps,
             p99 = self.latency_p99_steps,
             pk = self.peak_batch,

@@ -44,7 +44,10 @@
 //! ```
 
 use crate::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
-use crate::gemm::{gemm_threads, qgemm, qgemm_packed_planed, qgemm_reference, WeightPlane};
+use crate::gemm::{
+    gemm_threads, qgemm, qgemm_packed_planed_scratch, qgemm_reference, qgemv_packed, GemmScratch,
+    WeightPlane,
+};
 use crate::{Error, M2xfpConfig};
 use m2x_tensor::Matrix;
 use std::sync::Arc;
@@ -209,6 +212,27 @@ pub trait ExecBackend: Send + Sync + std::fmt::Debug {
     /// dimension, or when `w` was prepared into a different backend's form.
     fn forward(&self, x: &Matrix, w: &PreparedWeights) -> Result<Matrix, Error>;
 
+    /// [`Self::forward`] with a caller-held reusable [`GemmScratch`].
+    ///
+    /// On the packed backend this is the decode hot-loop entry point:
+    /// single-row inputs take the [`qgemv_packed`] GEMV fast path (no
+    /// row-chunk threading) and the activation scratch is reused across
+    /// calls instead of allocated fresh — serving sessions hold one scratch
+    /// and route every projection through here. Backends without a scratch
+    /// to reuse simply ignore it; every path computes identical bits.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::forward`].
+    fn forward_scratch(
+        &self,
+        x: &Matrix,
+        w: &PreparedWeights,
+        _scratch: &mut GemmScratch,
+    ) -> Result<Matrix, Error> {
+        self.forward(x, w)
+    }
+
     /// Quantizes `rows` (Sg-EM search) and appends them below prepared
     /// weights, updating the execution form incrementally — O(rows) per
     /// call regardless of how many rows are already prepared. This is the
@@ -267,6 +291,15 @@ impl ExecBackend for PackedBackend {
     }
 
     fn forward(&self, x: &Matrix, w: &PreparedWeights) -> Result<Matrix, Error> {
+        self.forward_scratch(x, w, &mut GemmScratch::default())
+    }
+
+    fn forward_scratch(
+        &self,
+        x: &Matrix,
+        w: &PreparedWeights,
+        scratch: &mut GemmScratch,
+    ) -> Result<Matrix, Error> {
         check_forward(x, w)?;
         let ExecForm::Plane(plane) = w.exec() else {
             return Err(form_error(self, w));
@@ -275,8 +308,13 @@ impl ExecBackend for PackedBackend {
         // Auto-threaded online encode; decode-sized batches stay
         // single-threaded below the work threshold.
         let xq = PackedActTensor::quantize_parallel(x, *w.config());
+        if x.rows() == 1 {
+            // The serving decode shape: GEMV fast path, no row-chunk
+            // threading, activation scratch reused from the caller.
+            return Ok(qgemv_packed(&xq, plane, scratch));
+        }
         let threads = gemm_threads(x.rows(), k, n);
-        Ok(qgemm_packed_planed(&xq, plane, threads))
+        Ok(qgemm_packed_planed_scratch(&xq, plane, threads, scratch))
     }
 
     fn fake_quantize_activations(&self, x: &Matrix, cfg: M2xfpConfig) -> Matrix {
@@ -385,6 +423,27 @@ mod tests {
                 for (a, b) in outs[0].as_slice().iter().zip(o.as_slice()) {
                     assert_eq!(a.to_bits(), b.to_bits(), "cols={cols}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_scratch_matches_forward_bitwise() {
+        // The scratch-reusing entry point (GEMV fast path at one row,
+        // scratch-backed planed kernel above) is bit-identical to the
+        // allocating forward on every backend, with one scratch reused
+        // across shapes and backends.
+        let cfg = M2xfpConfig::default();
+        let w = PackedWeightTensor::quantize_parallel(&mat(7, 96, 9.0), cfg);
+        let mut scratch = GemmScratch::new();
+        for kind in BackendKind::ALL {
+            let be = kind.backend();
+            let prepared = be.prepare(w.clone());
+            for rows in [1usize, 4] {
+                let x = mat(rows, 96, 2.0);
+                let a = be.forward(&x, &prepared).unwrap();
+                let b = be.forward_scratch(&x, &prepared, &mut scratch).unwrap();
+                assert_eq!(a, b, "{kind:?} rows={rows}");
             }
         }
     }

@@ -12,19 +12,29 @@
 //! [`qgemm_packed`] and the floating-point reference [`qgemm_reference`]
 //! all agree **exactly**, which the tests and property tests assert.
 //!
-//! Two implementations are provided:
+//! Several implementations are provided, all bit-identical:
 //!
 //! * [`qgemm`] — the readable per-group pipeline over the legacy grouped
 //!   tensors, decoding through the integer LUTs of `m2x_formats::tables`
 //!   (no float decode round-trip anywhere).
-//! * [`qgemm_packed`] — the production path over the three-stream
-//!   [`PackedActTensor`]/[`PackedWeightTensor`]: both operand streams are
-//!   LUT-decoded **once** into flat fixed-point planes (one allocation per
-//!   plane per call — zero per-group allocations), the weight metadata
-//!   stream is walked bit-packed in place, and the integer kernel is tiled
-//!   over output row chunks (scoped threads via
-//!   [`m2x_tensor::matrix::par_row_chunks`]) × column tiles so a weight
-//!   tile stays cache-hot across the row block.
+//! * [`qgemm_packed_planed`] — the production hot path over a pre-decoded
+//!   [`WeightPlane`]: a register-blocked micro-kernel accumulating
+//!   [`NR`] output columns per activation-row pass (scale products hoisted
+//!   out of the group loop, i16×i16→i32 tiles the autovectorizer turns
+//!   into wide multiply-adds), tiled over output row chunks (scoped
+//!   threads via [`m2x_tensor::matrix::par_row_chunks`]) × [`COL_TILE`]
+//!   column tiles so a weight tile stays cache-hot across the row block.
+//! * [`qgemv_packed`] — the `m == 1` decode fast path serving hits once
+//!   per projection per layer per step: no row-chunk threading, and the
+//!   activation scratch lives in a caller-held reusable [`GemmScratch`]
+//!   instead of three fresh `Vec`s per call — the decode hot loop is
+//!   allocation-free after warm-up.
+//! * [`qgemm_packed_inreg`] — the in-register nibble-decode variant: it
+//!   consumes the [`PackedWeightTensor`] streams directly (nibble extract,
+//!   LUT and subgroup-hoisted multiplier inside the dot product) without
+//!   materializing a [`WeightPlane`], for cold weights and one-shot calls
+//!   where an O(N·K) decode pass would dominate. [`qgemm_packed`] routes
+//!   small-`m` one-shot calls here automatically.
 
 use crate::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
 use m2x_formats::packing::two_bits_at;
@@ -39,6 +49,29 @@ const FIXED_POINT_UNIT: f64 = 1.0 / 64.0;
 /// Column-tile width of the packed kernel: 64 weight rows of one group
 /// (64 × 16 B codes) fit comfortably in L1 alongside the activation row.
 const COL_TILE: usize = 64;
+
+/// Output-column register block of the packed micro-kernel: [`NR`]
+/// independent i32 dot-product chains (plus their f64 accumulators) stay
+/// register-resident while one activation group is walked, so the decoded
+/// activation values are reused [`NR`] times per load and the chains give
+/// the core independent FMA work. 4 keeps `NR` f64 accumulators + `NR`
+/// group-scale pointers comfortably inside the 16 architectural vector
+/// registers of baseline x86-64 / aarch64.
+const NR: usize = 4;
+
+/// Activation-row register block: each decoded weight group loaded for the
+/// [`NR`] column chains is reused across up to [`MR`] activation rows
+/// before moving on, quartering the weight-stream traffic of batched
+/// steps (the continuous-batching scheduler's decode batches are exactly
+/// this shape: a handful of single-token rows stacked per projection).
+/// `m == 1` GEMV calls degrade gracefully to a 1×[`NR`] block.
+const MR: usize = 4;
+
+/// Row-count ceiling below which [`qgemm_packed`] prefers the in-register
+/// nibble-decode kernel over decoding a full [`WeightPlane`] first: the
+/// plane decode is one extra O(N·K) pass over the weight streams, which
+/// only amortizes once several activation rows reuse the decoded plane.
+const INREG_MAX_ROWS: usize = 2;
 
 /// An activation group decoded to integers: values ×8, plus the shared
 /// exponent.
@@ -187,6 +220,13 @@ pub fn qgemm_packed(x: &PackedActTensor, w: &PackedWeightTensor) -> Matrix {
 
 /// [`qgemm_packed`] with an explicit worker count.
 ///
+/// One-shot calls with at most [`INREG_MAX_ROWS`] activation rows take the
+/// in-register nibble-decode kernel ([`qgemm_packed_inreg`]) — the weight
+/// streams are walked once, in registers, instead of paying a full
+/// [`WeightPlane`] decode pass that nothing reuses. Larger batches decode
+/// the plane once and run the register-blocked kernel over it. Both paths
+/// produce identical bits.
+///
 /// # Panics
 ///
 /// Panics when the reduction dimensions or group geometries disagree.
@@ -195,7 +235,186 @@ pub fn qgemm_packed_threaded(
     w: &PackedWeightTensor,
     threads: usize,
 ) -> Matrix {
-    qgemm_packed_planed(x, &WeightPlane::decode(w), threads)
+    if x.shape().0 <= INREG_MAX_ROWS {
+        qgemm_packed_inreg(x, w, threads)
+    } else {
+        qgemm_packed_planed(x, &WeightPlane::decode(w), threads)
+    }
+}
+
+/// Reusable activation scratch of the packed kernels: the decoded
+/// fixed-point activation plane (`x8`), its per-group scales (`xscale`)
+/// and the group code staging buffer (`code_buf`).
+///
+/// The decode hot loop of a serving session calls a GEMM once per
+/// projection per layer per step; holding one `GemmScratch` per session
+/// (or per engine thread) and passing it to [`qgemv_packed`] /
+/// [`qgemm_packed_planed_scratch`] makes those calls allocation-free
+/// after warm-up — the buffers are cleared and refilled in place, never
+/// reallocated once they have grown to the largest projection width.
+#[derive(Debug, Clone, Default)]
+pub struct GemmScratch {
+    x8: Vec<i16>,
+    xscale: Vec<f64>,
+    code_buf: Vec<u8>,
+}
+
+impl GemmScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Decodes the activation stream into the scratch's flat fixed-point plane
+/// (i16 LUT lookups, no float round-trip). Padding with zeros keeps ragged
+/// trailing groups exact: zero codes contribute nothing to any product.
+/// Returns the group-padded row width `kp`.
+fn decode_act_plane(x: &PackedActTensor, s: &mut GemmScratch) -> usize {
+    let gs = x.config().group_size;
+    let sgs = x.config().subgroup_size;
+    let gpr = x.groups_per_row();
+    let kp = gpr * gs;
+    let m = x.shape().0;
+    s.x8.clear();
+    s.x8.resize(m * kp, 0);
+    s.xscale.clear();
+    s.xscale.resize(m * gpr, 0.0);
+    s.code_buf.clear();
+    s.code_buf.resize(gs, 0);
+    let (x8, code_buf) = (&mut s.x8, &mut s.code_buf);
+    for (g, xs) in s.xscale.iter_mut().enumerate() {
+        let len = x.group_len(g);
+        let base = (g / gpr) * kp + (g % gpr) * gs;
+        for (i, c) in code_buf[..len].iter_mut().enumerate() {
+            *c = x.code_at(g, i);
+            x8[base + i] = FP4_X8[*c as usize] as i16;
+        }
+        refine_top1_x8(
+            &code_buf[..len],
+            |sg| x.meta_at(g, sg),
+            sgs,
+            &mut x8[base..base + len],
+        );
+        *xs = (x.group_scale(g).exponent() as f64).exp2();
+    }
+    kp
+}
+
+/// One i16×i16→i32 dot product over a group — the pattern the
+/// autovectorizer turns into widening multiply-adds. Per-lane products are
+/// ≤ 60·84 and a group total ≤ 32·5040, so i32 is ample. The production
+/// group size (32) takes a fixed-length path: known trip counts compile to
+/// straight-line `pmaddwd`-style chains with no loop or bounds checks.
+#[inline(always)]
+fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
+    if let (Ok(a32), Ok(b32)) = (<&[i16; 32]>::try_from(a), <&[i16; 32]>::try_from(b)) {
+        let mut s = 0i32;
+        for i in 0..32 {
+            s += a32[i] as i32 * b32[i] as i32;
+        }
+        return s;
+    }
+    let mut s = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        s += x as i32 * y as i32;
+    }
+    s
+}
+
+/// The register-blocked micro-kernel over one chunk of output rows:
+/// [`COL_TILE`] column tiles keep a small set of decoded weight rows
+/// L1/L2-hot across the row block, and within a tile an [`MR`]×[`NR`]
+/// register block is accumulated per pass — the group loop walks each
+/// decoded weight group once while [`MR`]·[`NR`] independent
+/// i32-dot/f64-accumulate chains consume it (each weight group reused
+/// across [`MR`] activation rows, each activation group across [`NR`]
+/// columns), with the activation scale × fixed-point-unit products
+/// hoisted out of the per-column work.
+///
+/// Every output element still accumulates its groups in ascending order
+/// with the exact same f64 operand values as the scalar loop (the group
+/// sums are exact integers, the scale products exact powers of two), so
+/// any blocking order is bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn kernel_row_chunk(
+    row0: usize,
+    chunk: &mut [f32],
+    x8: &[i16],
+    xscale: &[f64],
+    w16: &[i16],
+    wscale: &[f64],
+    n: usize,
+    gs: usize,
+    kp: usize,
+    gpr: usize,
+) {
+    let rows_here = chunk.len() / n;
+    for jt in (0..n).step_by(COL_TILE) {
+        let jhi = (jt + COL_TILE).min(n);
+        let mut li0 = 0;
+        while li0 < rows_here {
+            let mr = MR.min(rows_here - li0);
+            // Slice lookups clamped so the fixed-size arrays fill even on
+            // a short row block; entries past `mr` are never read.
+            let xrows: [&[i16]; MR] = std::array::from_fn(|mi| {
+                let i = row0 + li0 + mi.min(mr - 1);
+                &x8[i * kp..(i + 1) * kp]
+            });
+            let xsrs: [&[f64]; MR] = std::array::from_fn(|mi| {
+                let i = row0 + li0 + mi.min(mr - 1);
+                &xscale[i * gpr..(i + 1) * gpr]
+            });
+            let mut j = jt;
+            while j + NR <= jhi {
+                let wrows: [&[i16]; NR] =
+                    std::array::from_fn(|r| &w16[(j + r) * kp..(j + r + 1) * kp]);
+                let wsrs: [&[f64]; NR] =
+                    std::array::from_fn(|r| &wscale[(j + r) * gpr..(j + r + 1) * gpr]);
+                let mut acc = [[0.0f64; NR]; MR];
+                for g in 0..gpr {
+                    let gb = g * gs;
+                    // exp2(xe)·2^-6·exp2(we) — all exact powers of two,
+                    // bit-identical to exp2(xe + we - 6) in any order.
+                    let mut xs = [0.0f64; MR];
+                    for (mi, x) in xs.iter_mut().take(mr).enumerate() {
+                        *x = xsrs[mi][g] * FIXED_POINT_UNIT;
+                    }
+                    for (r, (wrow, wsr)) in wrows.iter().zip(&wsrs).enumerate() {
+                        let wg = &wrow[gb..gb + gs];
+                        let ws = wsr[g];
+                        for (mi, arow) in acc.iter_mut().take(mr).enumerate() {
+                            arow[r] += dot_i16(&xrows[mi][gb..gb + gs], wg) as f64 * (xs[mi] * ws);
+                        }
+                    }
+                }
+                for (mi, arow) in acc.iter().take(mr).enumerate() {
+                    let orow = &mut chunk[(li0 + mi) * n..(li0 + mi + 1) * n];
+                    for (r, &a) in arow.iter().enumerate() {
+                        orow[j + r] = a as f32;
+                    }
+                }
+                j += NR;
+            }
+            // Tail columns of the tile: plain single-column loop, same
+            // per-element group order.
+            while j < jhi {
+                let wrow = &w16[j * kp..(j + 1) * kp];
+                let wsr = &wscale[j * gpr..(j + 1) * gpr];
+                for mi in 0..mr {
+                    let (xrow, xsr) = (xrows[mi], xsrs[mi]);
+                    let mut acc = 0.0f64;
+                    for (g, xg) in xrow.chunks_exact(gs).enumerate() {
+                        acc += dot_i16(xg, &wrow[g * gs..(g + 1) * gs]) as f64
+                            * (xsr[g] * FIXED_POINT_UNIT * wsr[g]);
+                    }
+                    chunk[(li0 + mi) * n + j] = acc as f32;
+                }
+                j += 1;
+            }
+            li0 += mr;
+        }
+    }
 }
 
 /// A [`PackedWeightTensor`] LUT-decoded into the kernel's flat fixed-point
@@ -222,34 +441,50 @@ pub struct WeightPlane {
     wscale: Vec<f64>,
 }
 
+/// Decodes `w`'s rows straight into the tails of `w16`/`wscale` (the
+/// fold-the-multiplier LUT decode of [`WeightPlane`]): the shared body of
+/// [`WeightPlane::decode`] and [`WeightPlane::append`]. Rows decode
+/// independently and the plane is row-major with group-padded rows, so
+/// appending decoded rows below existing ones is bit-identical to decoding
+/// the row-concatenated tensor — and no temporary plane is materialized
+/// (the vectors grow amortized, the decode itself writes in place).
+fn decode_weight_rows_into(w: &PackedWeightTensor, w16: &mut Vec<i16>, wscale: &mut Vec<f64>) {
+    let gs = w.config().group_size;
+    let sgs = w.config().subgroup_size;
+    let spg = gs / sgs;
+    let gpr = w.groups_per_row();
+    let kp = gpr * gs;
+    let n = w.shape().0;
+    let base0 = w16.len();
+    let gbase0 = wscale.len();
+    w16.resize(base0 + n * kp, 0);
+    wscale.resize(gbase0 + n * gpr, 0.0);
+    let wmeta = w.meta();
+    for (g, ws) in wscale[gbase0..].iter_mut().enumerate() {
+        let len = w.group_len(g);
+        let base = base0 + (g / gpr) * kp + (g % gpr) * gs;
+        for (sg, chunk) in w16[base..base + len].chunks_mut(sgs).enumerate() {
+            let mult = (4 + two_bits_at(wmeta, g * spg + sg)) as i16;
+            for (i, out) in chunk.iter_mut().enumerate() {
+                *out = FP4_X2[w.code_at(g, sg * sgs + i) as usize] as i16 * mult;
+            }
+        }
+        *ws = (w.group_scale(g).exponent() as f64).exp2();
+    }
+}
+
 impl WeightPlane {
     /// Decodes the packed streams (walked in place, one pass).
     pub fn decode(w: &PackedWeightTensor) -> Self {
         let (n, k) = w.shape();
-        let gs = w.config().group_size;
-        let sgs = w.config().subgroup_size;
-        let spg = gs / sgs;
-        let gpr = w.groups_per_row();
-        let kp = gpr * gs;
-        let mut w16 = vec![0i16; n * kp];
-        let mut wscale = vec![0f64; n * gpr];
-        let wmeta = w.meta();
-        for (g, ws) in wscale.iter_mut().enumerate() {
-            let len = w.group_len(g);
-            let base = (g / gpr) * kp + (g % gpr) * gs;
-            for (sg, chunk) in w16[base..base + len].chunks_mut(sgs).enumerate() {
-                let mult = (4 + two_bits_at(wmeta, g * spg + sg)) as i16;
-                for (i, out) in chunk.iter_mut().enumerate() {
-                    *out = FP4_X2[w.code_at(g, sg * sgs + i) as usize] as i16 * mult;
-                }
-            }
-            *ws = (w.group_scale(g).exponent() as f64).exp2();
-        }
+        let mut w16 = Vec::new();
+        let mut wscale = Vec::new();
+        decode_weight_rows_into(w, &mut w16, &mut wscale);
         WeightPlane {
             n,
             k,
-            group_size: gs,
-            subgroup_size: sgs,
+            group_size: w.config().group_size,
+            subgroup_size: w.config().subgroup_size,
             w16,
             wscale,
         }
@@ -260,27 +495,31 @@ impl WeightPlane {
         (self.n, self.k)
     }
 
-    /// Decode-on-append: decodes `delta`'s rows and appends them below the
-    /// existing rows — O(delta) work, not O(total). Rows decode
+    /// Decode-on-append: decodes `delta`'s rows **directly into the tails**
+    /// of the existing `w16`/`wscale` vectors — O(delta) work, not
+    /// O(total), and no temporary plane per call (the KV cache calls this
+    /// once per head per decode step; materializing and copying a scratch
+    /// `WeightPlane` here was pure hot-loop allocation churn). Rows decode
     /// independently (the plane is row-major with group-padded rows), so
     /// the grown plane is identical to [`Self::decode`] of the
-    /// row-concatenated tensor; this is what makes a growing KV cache's
-    /// score-GEMM operand O(1) per decode step instead of a full re-decode.
+    /// row-concatenated tensor, which the tests pin bit for bit.
     ///
     /// # Panics
     ///
     /// Panics when `delta`'s width or group geometry differs.
     pub fn append(&mut self, delta: &PackedWeightTensor) {
-        let d = WeightPlane::decode(delta);
-        assert_eq!(self.k, d.k, "appended plane rows have a different width");
+        assert_eq!(
+            self.k,
+            delta.shape().1,
+            "appended plane rows have a different width"
+        );
         assert_eq!(
             (self.group_size, self.subgroup_size),
-            (d.group_size, d.subgroup_size),
+            (delta.config().group_size, delta.config().subgroup_size),
             "appended plane rows use a different group geometry"
         );
-        self.w16.extend_from_slice(&d.w16);
-        self.wscale.extend_from_slice(&d.wscale);
-        self.n += d.n;
+        decode_weight_rows_into(delta, &mut self.w16, &mut self.wscale);
+        self.n += delta.shape().0;
     }
 }
 
@@ -288,82 +527,175 @@ impl WeightPlane {
 /// inference layers call repeatedly without paying the weight decode on
 /// every forward. Bit-exact against [`qgemm_reference`].
 ///
+/// Allocates a fresh activation scratch per call; hot loops should hold a
+/// [`GemmScratch`] and call [`qgemm_packed_planed_scratch`] (or
+/// [`qgemv_packed`] for the single-row decode shape) instead.
+///
 /// # Panics
 ///
 /// Panics when the reduction dimensions or group geometries disagree.
 pub fn qgemm_packed_planed(x: &PackedActTensor, w: &WeightPlane, threads: usize) -> Matrix {
-    let (m, k) = x.shape();
-    let (n, k2) = w.shape();
-    assert_eq!(k, k2, "reduction dimension mismatch");
+    qgemm_packed_planed_scratch(x, w, threads, &mut GemmScratch::default())
+}
+
+fn check_planed_geometry(x: &PackedActTensor, w: &WeightPlane) {
+    assert_eq!(x.shape().1, w.k, "reduction dimension mismatch");
     assert_eq!(
         (x.config().group_size, x.config().subgroup_size),
         (w.group_size, w.subgroup_size),
         "group geometry mismatch"
     );
+}
+
+/// [`qgemm_packed_planed`] with a caller-held reusable [`GemmScratch`]:
+/// after the first call at a given shape the activation decode reuses the
+/// scratch's buffers in place — no per-call allocations. Zero-row and
+/// zero-column inputs return the corresponding empty matrix.
+///
+/// # Panics
+///
+/// Panics when the reduction dimensions or group geometries disagree.
+pub fn qgemm_packed_planed_scratch(
+    x: &PackedActTensor,
+    w: &WeightPlane,
+    threads: usize,
+    scratch: &mut GemmScratch,
+) -> Matrix {
+    check_planed_geometry(x, w);
+    let m = x.shape().0;
+    let n = w.n;
+    if m == 0 || n == 0 {
+        return Matrix::zeros(m, n);
+    }
+    let gs = x.config().group_size;
+    let gpr = x.groups_per_row();
+    let kp = decode_act_plane(x, scratch);
+    let (x8, xscale) = (&scratch.x8[..], &scratch.xscale[..]);
+    let (w16, wscale) = (&w.w16[..], &w.wscale[..]);
+    let mut out = Matrix::zeros(m, n);
+    par_row_chunks(out.as_mut_slice(), n, threads, |row0, chunk| {
+        kernel_row_chunk(row0, chunk, x8, xscale, w16, wscale, n, gs, kp, gpr);
+    });
+    out
+}
+
+/// The `m == 1` decode fast path: one activation row against a pre-decoded
+/// [`WeightPlane`], register-blocked like [`qgemm_packed_planed`] but with
+/// no row-chunk threading overhead at all — serving hits this shape once
+/// per projection per layer per decode step, where a scoped-thread
+/// spawn/join would dwarf the kernel. The activation scratch lives in the
+/// caller's [`GemmScratch`], so the call is allocation-free after warm-up
+/// (the `1 × n` output aside). Bit-exact against [`qgemm_reference`].
+///
+/// # Panics
+///
+/// Panics when `x` has more than one row, or when the reduction dimensions
+/// or group geometries disagree.
+pub fn qgemv_packed(x: &PackedActTensor, w: &WeightPlane, scratch: &mut GemmScratch) -> Matrix {
+    assert_eq!(x.shape().0, 1, "qgemv_packed expects exactly one row");
+    // One worker: par_row_chunks at threads <= 1 runs the kernel inline
+    // with no spawn, so this is the no-threading-overhead path.
+    qgemm_packed_planed_scratch(x, w, 1, scratch)
+}
+
+/// The in-register nibble-decode kernel: consumes the
+/// [`PackedWeightTensor`] streams **directly** — FP4 nibbles are extracted
+/// and LUT-decoded inside the dot product, with the subgroup's `4 + mult`
+/// shift-add refinement hoisted to one integer multiply per subgroup and
+/// the group scale to one multiply per group — so no [`WeightPlane`] is
+/// ever materialized. The exact-integer subgroup regrouping
+/// `Σ_s (4+mult_s)·Σ_t x·w == Σ_t x·(w·(4+mult))` makes it bit-identical
+/// to the planed kernel and [`qgemm_reference`].
+///
+/// This is the right kernel for cold weights and one-shot calls (the
+/// per-call [`qgemm_packed`] route takes it for decode-sized batches): it
+/// walks the weight streams once per activation row, where the planed
+/// route would pay a full O(N·K) decode pass first. For weights reused
+/// across many rows or calls, decode a plane once instead.
+///
+/// # Panics
+///
+/// Panics when the reduction dimensions or group geometries disagree.
+pub fn qgemm_packed_inreg(x: &PackedActTensor, w: &PackedWeightTensor, threads: usize) -> Matrix {
+    let (m, k) = x.shape();
+    let (n, k2) = w.shape();
+    assert_eq!(k, k2, "reduction dimension mismatch");
+    assert_eq!(
+        (x.config().group_size, x.config().subgroup_size),
+        (w.config().group_size, w.config().subgroup_size),
+        "group geometry mismatch"
+    );
+    if m == 0 || n == 0 {
+        return Matrix::zeros(m, n);
+    }
     let gs = x.config().group_size;
     let sgs = x.config().subgroup_size;
+    let spg = gs / sgs;
+    let cpg = gs.div_ceil(2);
     let gpr = x.groups_per_row();
-    let kp = gpr * gs; // group-padded K; pad elements decode to exact zero
+    let mut scratch = GemmScratch::default();
+    let kp = decode_act_plane(x, &mut scratch);
+    let (x8, xscale) = (&scratch.x8[..], &scratch.xscale[..]);
+    let (codes, scales, meta) = (w.codes(), w.scales(), w.meta());
 
-    // Decode the activation stream once into a flat fixed-point plane (i16
-    // LUT lookups, no float round-trip). Padding with zeros keeps ragged
-    // trailing groups exact: zero codes contribute nothing to any product.
-    let mut x8 = vec![0i16; m * kp];
-    let mut xscale = vec![0f64; m * gpr];
-    let mut code_buf = vec![0u8; gs];
-    for (g, xs) in xscale.iter_mut().enumerate() {
-        let len = x.group_len(g);
-        let base = (g / gpr) * kp + (g % gpr) * gs;
-        for (i, c) in code_buf[..len].iter_mut().enumerate() {
-            *c = x.code_at(g, i);
-            x8[base + i] = FP4_X8[*c as usize] as i16;
+    // One output element: weight row `j` against a decoded activation row,
+    // groups ascending — the same per-element accumulation order and f64
+    // operand values as every other kernel.
+    let element = |xrow: &[i16], xsr: &[f64], j: usize| -> f32 {
+        let mut acc = 0.0f64;
+        for g in 0..gpr {
+            let wg = j * gpr + g; // weight group index
+            let gb = &codes[wg * cpg..(wg + 1) * cpg];
+            let mut gsum: i32 = 0;
+            for sg in 0..spg {
+                // Slack subgroups of a ragged trailing group hold zero
+                // codes and zero metadata, so they contribute nothing.
+                let mult = (4 + two_bits_at(meta, wg * spg + sg)) as i32;
+                let xsg = &xrow[g * gs + sg * sgs..g * gs + (sg + 1) * sgs];
+                let mut ss: i32 = 0;
+                if sgs % 2 == 0 {
+                    let cb = &gb[sg * sgs / 2..(sg + 1) * sgs / 2];
+                    for (pair, &b) in xsg.chunks_exact(2).zip(cb) {
+                        ss += pair[0] as i32 * FP4_X2[(b & 0xF) as usize] as i32;
+                        ss += pair[1] as i32 * FP4_X2[(b >> 4) as usize] as i32;
+                    }
+                } else {
+                    for (e, &xv) in xsg.iter().enumerate() {
+                        let c = m2x_formats::packing::nibble_at(gb, sg * sgs + e);
+                        ss += xv as i32 * FP4_X2[c as usize] as i32;
+                    }
+                }
+                gsum += ss * mult;
+            }
+            let ws = (m2x_formats::E8M0::from_bits(scales[wg]).exponent() as f64).exp2();
+            acc += gsum as f64 * (xsr[g] * FIXED_POINT_UNIT * ws);
         }
-        refine_top1_x8(
-            &code_buf[..len],
-            |sg| x.meta_at(g, sg),
-            sgs,
-            &mut x8[base..base + len],
-        );
-        *xs = (x.group_scale(g).exponent() as f64).exp2();
-    }
+        acc as f32
+    };
 
-    let w16 = &w.w16;
-    let wscale = &w.wscale;
     let mut out = Matrix::zeros(m, n);
-    par_row_chunks(out.as_mut_slice(), n.max(1), threads, |row0, chunk| {
-        let rows_here = chunk.len() / n.max(1);
-        // Column tiles keep a small set of weight rows L1/L2-hot across the
-        // whole row block.
-        for jt in (0..n).step_by(COL_TILE) {
-            let jhi = (jt + COL_TILE).min(n);
-            for li in 0..rows_here {
+    if m == 1 {
+        // Single activation row: parallelize over output columns (each
+        // element is one cell of the only output row).
+        let xrow = &x8[..kp];
+        let xsr = &xscale[..gpr];
+        par_row_chunks(out.as_mut_slice(), 1, threads, |j0, chunk| {
+            for (dj, o) in chunk.iter_mut().enumerate() {
+                *o = element(xrow, xsr, j0 + dj);
+            }
+        });
+    } else {
+        par_row_chunks(out.as_mut_slice(), n, threads, |row0, chunk| {
+            for (li, orow) in chunk.chunks_mut(n).enumerate() {
                 let i = row0 + li;
                 let xrow = &x8[i * kp..(i + 1) * kp];
                 let xsr = &xscale[i * gpr..(i + 1) * gpr];
-                let orow = &mut chunk[li * n..(li + 1) * n];
-                for j in jt..jhi {
-                    let wrow = &w16[j * kp..(j + 1) * kp];
-                    let wsr = &wscale[j * gpr..(j + 1) * gpr];
-                    let mut acc = 0.0f64;
-                    for (g, (xg, wg)) in
-                        xrow.chunks_exact(gs).zip(wrow.chunks_exact(gs)).enumerate()
-                    {
-                        // Fixed-point group sum in units of 1/64: per-lane
-                        // products ≤ 60·84, group total ≤ 32·5040 — i32 is
-                        // ample, and the i16×i16→i32 pattern vectorizes.
-                        let mut acc64: i32 = 0;
-                        for (&a, &b) in xg.iter().zip(wg) {
-                            acc64 += a as i32 * b as i32;
-                        }
-                        // exp2(xe)·exp2(we)·2^-6 — all exact powers of two,
-                        // bit-identical to exp2(xe + we - 6).
-                        acc += acc64 as f64 * (xsr[g] * wsr[g] * FIXED_POINT_UNIT);
-                    }
-                    orow[j] = acc as f32;
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = element(xrow, xsr, j);
                 }
             }
-        }
-    });
+        });
+    }
     out
 }
 
@@ -502,26 +834,137 @@ mod tests {
     #[test]
     fn appended_plane_matches_full_decode() {
         // Growing a plane row-chunk by row-chunk (the KV-cache pattern) is
-        // identical to decoding the fully grown tensor, including ragged K.
-        let cfg = M2xfpConfig::default();
-        for cols in [64usize, 80] {
-            let full = mat(7, cols, 3.0);
-            let want = WeightPlane::decode(&PackedWeightTensor::quantize(&full, cfg));
-            let mut grown =
-                WeightPlane::decode(&PackedWeightTensor::quantize(&Matrix::zeros(0, cols), cfg));
-            let mut row = 0usize;
-            for chunk in [2usize, 1, 3, 1] {
-                let delta = Matrix::from_fn(chunk, cols, |r, c| full[(row + r, c)]);
-                grown.append(&PackedWeightTensor::quantize(&delta, cfg));
-                row += chunk;
+        // identical to decoding the fully grown tensor — bit for bit on the
+        // raw w16/wscale state via PartialEq — including ragged K and a
+        // metadata granularity whose per-group run is not byte-aligned
+        // (subgroup 16 → 4 bits/group). The append decodes straight into
+        // the existing vectors' tails; no intermediate plane exists to
+        // diverge.
+        for cfg in [
+            M2xfpConfig::default(),
+            M2xfpConfig {
+                subgroup_size: 16,
+                ..M2xfpConfig::default()
+            },
+        ] {
+            for cols in [64usize, 80] {
+                let full = mat(7, cols, 3.0);
+                let want = WeightPlane::decode(&PackedWeightTensor::quantize(&full, cfg));
+                let mut grown = WeightPlane::decode(&PackedWeightTensor::quantize(
+                    &Matrix::zeros(0, cols),
+                    cfg,
+                ));
+                let mut row = 0usize;
+                for chunk in [2usize, 1, 3, 1] {
+                    let delta = Matrix::from_fn(chunk, cols, |r, c| full[(row + r, c)]);
+                    grown.append(&PackedWeightTensor::quantize(&delta, cfg));
+                    row += chunk;
+                }
+                assert_eq!(grown, want, "cols={cols} sg={}", cfg.subgroup_size);
+                // And the kernel consumes the grown plane bit-identically.
+                let xp = PackedActTensor::quantize(&mat(3, cols, 1.0), cfg);
+                assert_eq!(
+                    qgemm_packed_planed(&xp, &grown, 1),
+                    qgemm_packed_planed(&xp, &want, 1),
+                );
             }
-            assert_eq!(grown, want, "cols={cols}");
-            // And the kernel consumes the grown plane bit-identically.
-            let xp = PackedActTensor::quantize(&mat(3, cols, 1.0), cfg);
-            assert_eq!(
-                qgemm_packed_planed(&xp, &grown, 1),
-                qgemm_packed_planed(&xp, &want, 1),
+        }
+    }
+
+    #[test]
+    fn gemv_and_inreg_match_planed_bitwise() {
+        // The decode fast path (reused scratch) and the in-register
+        // nibble-decode kernel agree with the planed kernel and the f64
+        // reference on the m == 1 serving shape, including NR-unaligned n
+        // and ragged K.
+        let cfg = M2xfpConfig::default();
+        let mut scratch = GemmScratch::new();
+        for (n, cols) in [(1usize, 64usize), (5, 80), (7, 96), (13, 41)] {
+            let xm = mat(1, cols, 2.0);
+            let wm = mat(n, cols, 8.0);
+            let want = qgemm_reference(
+                &ActTensor::quantize(&xm, cfg),
+                &WeightTensor::quantize(&wm, cfg),
             );
+            let xp = PackedActTensor::quantize(&xm, cfg);
+            let wp = PackedWeightTensor::quantize(&wm, cfg);
+            let plane = WeightPlane::decode(&wp);
+            // The same scratch is reused across shapes on purpose.
+            let gemv = qgemv_packed(&xp, &plane, &mut scratch);
+            assert_eq!(gemv, want, "gemv n={n} cols={cols}");
+            for threads in [1, 3] {
+                let inreg = qgemm_packed_inreg(&xp, &wp, threads);
+                assert_eq!(inreg, want, "inreg n={n} cols={cols} threads={threads}");
+            }
+            assert_eq!(qgemm_packed(&xp, &wp), want, "routed n={n} cols={cols}");
+        }
+    }
+
+    #[test]
+    fn inreg_matches_planed_on_multi_row_batches() {
+        let cfg = M2xfpConfig::default();
+        for (m, n, cols) in [(2usize, 6usize, 64usize), (5, 9, 80)] {
+            let xp = PackedActTensor::quantize(&mat(m, cols, 1.0), cfg);
+            let wp = PackedWeightTensor::quantize(&mat(n, cols, 4.0), cfg);
+            let want = qgemm_packed_planed(&xp, &WeightPlane::decode(&wp), 1);
+            for threads in [1, 2] {
+                assert_eq!(
+                    qgemm_packed_inreg(&xp, &wp, threads),
+                    want,
+                    "m={m} n={n} cols={cols} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_return_empty_matrices() {
+        // (0, k), (m, 0) and (0, 0) shapes produce empty outputs on every
+        // kernel instead of relying on incidental chunk arithmetic.
+        let cfg = M2xfpConfig::default();
+        let x0 = PackedActTensor::quantize(&Matrix::zeros(0, 64), cfg);
+        let xm = PackedActTensor::quantize(&mat(3, 64, 0.0), cfg);
+        let w0 = PackedWeightTensor::quantize(&Matrix::zeros(0, 64), cfg);
+        let wn = PackedWeightTensor::quantize(&mat(4, 64, 9.0), cfg);
+        let plane0 = WeightPlane::decode(&w0);
+        let planen = WeightPlane::decode(&wn);
+        let mut scratch = GemmScratch::new();
+        let dims = |y: &Matrix| (y.rows(), y.cols());
+        for threads in [1, 2] {
+            // (0, k) × (n, k) → 0 × n.
+            assert_eq!(dims(&qgemm_packed_planed(&x0, &planen, threads)), (0, 4));
+            assert_eq!(dims(&qgemm_packed_inreg(&x0, &wn, threads)), (0, 4));
+            // (m, k) × (0, k) → m × 0.
+            assert_eq!(dims(&qgemm_packed_planed(&xm, &plane0, threads)), (3, 0));
+            assert_eq!(dims(&qgemm_packed_inreg(&xm, &w0, threads)), (3, 0));
+            // (0, k) × (0, k) → 0 × 0.
+            assert_eq!(dims(&qgemm_packed_planed(&x0, &plane0, threads)), (0, 0));
+            assert_eq!(dims(&qgemm_packed_inreg(&x0, &w0, threads)), (0, 0));
+        }
+        assert_eq!(dims(&qgemm_packed(&x0, &wn)), (0, 4));
+        assert_eq!(dims(&qgemm_packed(&xm, &w0)), (3, 0));
+        let x1 = PackedActTensor::quantize(&mat(1, 64, 5.0), cfg);
+        assert_eq!(dims(&qgemv_packed(&x1, &plane0, &mut scratch)), (1, 0));
+        // The grouped kernels agree on the shapes.
+        let g0 = ActTensor::quantize(&Matrix::zeros(0, 64), cfg);
+        let gw = WeightTensor::quantize(&Matrix::zeros(0, 64), cfg);
+        assert_eq!(dims(&qgemm(&g0, &gw)), (0, 0));
+        assert_eq!(dims(&qgemm_reference(&g0, &gw)), (0, 0));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_stable() {
+        // Calling through one scratch repeatedly (the decode hot loop)
+        // yields the same bits as fresh scratches every call.
+        let cfg = M2xfpConfig::default();
+        let wp = PackedWeightTensor::quantize(&mat(6, 96, 3.0), cfg);
+        let plane = WeightPlane::decode(&wp);
+        let mut scratch = GemmScratch::new();
+        for seed in [0.0f32, 2.0, 4.0, 6.0] {
+            let xp = PackedActTensor::quantize(&mat(1, 96, seed), cfg);
+            let reused = qgemv_packed(&xp, &plane, &mut scratch);
+            let fresh = qgemv_packed(&xp, &plane, &mut GemmScratch::new());
+            assert_eq!(reused, fresh, "seed {seed}");
         }
     }
 

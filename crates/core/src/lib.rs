@@ -73,7 +73,7 @@ pub mod prelude {
     pub use crate::backend::{BackendKind, ExecBackend, PreparedWeights};
     pub use crate::error::Error;
     pub use crate::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
-    pub use crate::gemm::WeightPlane;
+    pub use crate::gemm::{GemmScratch, WeightPlane};
     pub use crate::quantizer::{M2xfpQuantizer, TensorQuantizer};
     pub use crate::scale::ScaleRule;
     pub use crate::M2xfpConfig;

@@ -134,6 +134,25 @@ impl QuantizedLinear {
         self.backend.backend().forward(x, &self.prepared)
     }
 
+    /// [`Self::forward`] with a caller-held reusable
+    /// [`GemmScratch`](m2xfp::gemm::GemmScratch) — the decode hot-loop
+    /// entry point: single-row inputs take the packed backend's GEMV fast
+    /// path and the activation scratch is reused across calls instead of
+    /// allocated fresh. Bit-identical to [`Self::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on an input width mismatch.
+    pub fn forward_scratch(
+        &self,
+        x: &Matrix,
+        scratch: &mut m2xfp::gemm::GemmScratch,
+    ) -> Result<Matrix, Error> {
+        self.backend
+            .backend()
+            .forward_scratch(x, &self.prepared, scratch)
+    }
+
     /// [`Self::forward`] through the legacy grouped pipeline — bit-identical
     /// output, kept for cross-checking the representations without
     /// rebuilding the layer on another backend.

@@ -49,6 +49,7 @@ use crate::synth::{weight_matrix, LayerKind};
 use m2x_tensor::Matrix;
 use m2xfp::backend::{BackendKind, PreparedWeights};
 use m2xfp::format::PackedWeightTensor;
+use m2xfp::gemm::GemmScratch;
 use m2xfp::{Error, M2xfpConfig};
 use std::sync::Arc;
 
@@ -216,6 +217,31 @@ impl KvCache {
 
     fn clear(&mut self) {
         *self = KvCache::new(self.k.len(), self.head_dim, self.cfg, self.backend);
+    }
+}
+
+/// Reusable scratch state of one long-lived stepping loop (a serving
+/// engine thread, a [`QuantizedModel`] session): the main activation
+/// scratch threaded through every projection GEMM plus the per-worker
+/// scratches the threaded attention path lends out. Holding one across
+/// scheduler steps keeps the decode hot loop allocation-free after
+/// warm-up — the buffers grow once to the largest projection width and
+/// are then refilled in place.
+#[derive(Debug, Clone, Default)]
+pub struct StepScratch {
+    /// Scratch of the single-threaded work: projections and, at one
+    /// worker, the attention score GEMVs.
+    main: GemmScratch,
+    /// One scratch per attention worker (scratches cannot be shared
+    /// across threads); grown to the step's worker count and reused
+    /// every layer of every subsequent step.
+    workers: Vec<GemmScratch>,
+}
+
+impl StepScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -601,7 +627,27 @@ impl ModelWeights {
         inputs: &[Matrix],
         threads: usize,
     ) -> Result<Vec<Matrix>, Error> {
-        self.step_multi(sessions, inputs, threads, None)
+        self.step_multi(sessions, inputs, threads, None, &mut StepScratch::default())
+    }
+
+    /// [`Self::step_sessions`] with a caller-held reusable [`StepScratch`]:
+    /// the serving engine holds one scratch across scheduler steps and
+    /// threads it through every projection GEMM and the attention score
+    /// GEMVs (per-worker sub-scratches on the threaded path), so the
+    /// decode hot loop stops allocating activation planes per call.
+    /// Bit-identical to [`Self::step_sessions`] for any scratch state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::step_sessions`].
+    pub fn step_sessions_scratch(
+        &self,
+        sessions: &mut [&mut SessionState],
+        inputs: &[Matrix],
+        threads: usize,
+        scratch: &mut StepScratch,
+    ) -> Result<Vec<Matrix>, Error> {
+        self.step_multi(sessions, inputs, threads, None, scratch)
     }
 
     fn step_multi(
@@ -610,6 +656,7 @@ impl ModelWeights {
         inputs: &[Matrix],
         threads: usize,
         mut trace: Option<&mut Vec<Matrix>>,
+        scr: &mut StepScratch,
     ) -> Result<Vec<Matrix>, Error> {
         if sessions.len() != inputs.len() {
             return Err(Error::config(format!(
@@ -667,13 +714,29 @@ impl ModelWeights {
             write_rows(&mut h, x, o);
         }
 
+        // Grow the persistent per-worker attention scratch pool to this
+        // step's worker count; the slots live in the caller's StepScratch,
+        // so they stay warm across layers AND across scheduler steps.
+        if attn_workers > 1 && scr.workers.len() < attn_workers {
+            scr.workers.resize_with(attn_workers, GemmScratch::new);
+        }
+
         for li in 0..self.blocks.len() {
             let ctx = |e: Error, what: &str| e.for_tensor(format!("layer {li} {what}"));
             let hn = rms_norm(&h);
             let block = &self.blocks[li];
-            let q = block.q.forward(&hn).map_err(|e| ctx(e, "q_proj"))?;
-            let k = block.k.forward(&hn).map_err(|e| ctx(e, "k_proj"))?;
-            let v = block.v.forward(&hn).map_err(|e| ctx(e, "v_proj"))?;
+            let q = block
+                .q
+                .forward_scratch(&hn, &mut scr.main)
+                .map_err(|e| ctx(e, "q_proj"))?;
+            let k = block
+                .k
+                .forward_scratch(&hn, &mut scr.main)
+                .map_err(|e| ctx(e, "k_proj"))?;
+            let v = block
+                .v
+                .forward_scratch(&hn, &mut scr.main)
+                .map_err(|e| ctx(e, "v_proj"))?;
 
             // Grow every session's cache with its own K/V rows (decode-on-
             // append: O(new rows) per session, independent of history).
@@ -691,29 +754,39 @@ impl ModelWeights {
             let items: Vec<(usize, usize)> = (0..sessions.len())
                 .flat_map(|i| (0..self.heads).map(move |hd| (i, hd)))
                 .collect();
-            let compute = |&(si, head): &(usize, usize)| -> Result<Matrix, Error> {
-                let qh = slice_block(
-                    &q,
-                    offsets[si],
-                    counts[si],
-                    head * self.head_dim,
-                    self.head_dim,
-                );
-                self.attention_head(caches[si], &qh, head, p0s[si])
-                    .map_err(|e| ctx(e, "attention"))
-            };
+            let compute =
+                |&(si, head): &(usize, usize), sc: &mut GemmScratch| -> Result<Matrix, Error> {
+                    let qh = slice_block(
+                        &q,
+                        offsets[si],
+                        counts[si],
+                        head * self.head_dim,
+                        self.head_dim,
+                    );
+                    self.attention_head(caches[si], &qh, head, p0s[si], sc)
+                        .map_err(|e| ctx(e, "attention"))
+                };
             let workers = attn_workers;
             let head_blocks: Vec<Matrix> = if workers <= 1 {
-                items.iter().map(compute).collect::<Result<_, _>>()?
+                // Inline path (the decode hot loop): the step's scratch is
+                // reused across every (session, head) score GEMV.
+                items
+                    .iter()
+                    .map(|it| compute(it, &mut scr.main))
+                    .collect::<Result<_, _>>()?
             } else {
                 let per = items.len().div_ceil(workers);
                 let chunk_results: Vec<Result<Vec<Matrix>, Error>> = std::thread::scope(|sc| {
                     let handles: Vec<_> = items
                         .chunks(per)
-                        .map(|chunk| {
+                        .zip(scr.workers.iter_mut())
+                        .map(|(chunk, local)| {
                             let compute = &compute;
                             sc.spawn(move || {
-                                chunk.iter().map(compute).collect::<Result<Vec<_>, _>>()
+                                chunk
+                                    .iter()
+                                    .map(|it| compute(it, local))
+                                    .collect::<Result<Vec<_>, _>>()
                             })
                         })
                         .collect();
@@ -733,19 +806,40 @@ impl ModelWeights {
                 write_block(&mut attn, oh, offsets[si], head * self.head_dim);
             }
 
-            let o = block.o.forward(&attn).map_err(|e| ctx(e, "o_proj"))?;
+            let o = block
+                .o
+                .forward_scratch(&attn, &mut scr.main)
+                .map_err(|e| ctx(e, "o_proj"))?;
             h = h.add(&o);
             let hn = rms_norm(&h);
             let m = match &block.gate {
                 Some(gate) => {
-                    let g = silu(&gate.forward(&hn).map_err(|e| ctx(e, "mlp_gate"))?);
-                    let u = block.up.forward(&hn).map_err(|e| ctx(e, "mlp_up"))?;
+                    let g = silu(
+                        &gate
+                            .forward_scratch(&hn, &mut scr.main)
+                            .map_err(|e| ctx(e, "mlp_gate"))?,
+                    );
+                    let u = block
+                        .up
+                        .forward_scratch(&hn, &mut scr.main)
+                        .map_err(|e| ctx(e, "mlp_up"))?;
                     let gu = Matrix::from_fn(g.rows(), g.cols(), |r, c| g[(r, c)] * u[(r, c)]);
-                    block.down.forward(&gu).map_err(|e| ctx(e, "mlp_down"))?
+                    block
+                        .down
+                        .forward_scratch(&gu, &mut scr.main)
+                        .map_err(|e| ctx(e, "mlp_down"))?
                 }
                 None => {
-                    let u = relu(&block.up.forward(&hn).map_err(|e| ctx(e, "mlp_up"))?);
-                    block.down.forward(&u).map_err(|e| ctx(e, "mlp_down"))?
+                    let u = relu(
+                        &block
+                            .up
+                            .forward_scratch(&hn, &mut scr.main)
+                            .map_err(|e| ctx(e, "mlp_up"))?,
+                    );
+                    block
+                        .down
+                        .forward_scratch(&u, &mut scr.main)
+                        .map_err(|e| ctx(e, "mlp_down"))?
                 }
             };
             h = h.add(&m);
@@ -773,6 +867,7 @@ impl ModelWeights {
         qh: &Matrix,
         head: usize,
         p0: usize,
+        scratch: &mut GemmScratch,
     ) -> Result<Matrix, Error> {
         let be = self.backend.backend();
         let heads_per_kv = self.heads / self.kv_heads;
@@ -781,8 +876,9 @@ impl ModelWeights {
         let t = qh.rows();
         // Scores = Q·Kᵀ through the backend's quantized GEMM: the K cache
         // rows are exactly the weight layout ([seq, head_dim], grouped
-        // along the reduction dimension).
-        let mut scores = be.forward(qh, &cache.k[kvh])?;
+        // along the reduction dimension). Decode steps (t == 1) ride the
+        // GEMV fast path with the reused scratch.
+        let mut scores = be.forward_scratch(qh, &cache.k[kvh], scratch)?;
         for i in 0..t {
             let row = scores.row_mut(i);
             for (j, sc) in row.iter_mut().enumerate() {
@@ -893,6 +989,9 @@ impl ModelWeights {
 pub struct QuantizedModel {
     weights: Arc<ModelWeights>,
     state: SessionState,
+    /// Reusable scratch of the session's GEMMs: decode steps run
+    /// allocation-free through the GEMV fast path after warm-up.
+    scratch: StepScratch,
 }
 
 impl QuantizedModel {
@@ -901,7 +1000,11 @@ impl QuantizedModel {
     /// turns one prepared model into many concurrent sessions.
     pub fn from_weights(weights: Arc<ModelWeights>) -> Self {
         let state = weights.new_session();
-        QuantizedModel { weights, state }
+        QuantizedModel {
+            weights,
+            state,
+            scratch: StepScratch::new(),
+        }
     }
 
     /// The shared immutable half (architecture + prepared projections).
@@ -1039,9 +1142,13 @@ impl QuantizedModel {
 
     fn step(&mut self, x: &Matrix, trace: Option<&mut Vec<Matrix>>) -> Result<Matrix, Error> {
         let inputs = [x.clone()];
-        let mut outs = self
-            .weights
-            .step_multi(&mut [&mut self.state], &inputs, 1, trace)?;
+        let mut outs = self.weights.step_multi(
+            &mut [&mut self.state],
+            &inputs,
+            1,
+            trace,
+            &mut self.scratch,
+        )?;
         Ok(outs.pop().expect("one session in, one output out"))
     }
 
@@ -1171,6 +1278,35 @@ mod tests {
             }
             assert_eq!(sa.pos(), 4);
             assert_eq!(sb.pos(), 7);
+        }
+    }
+
+    #[test]
+    fn step_sessions_scratch_reuse_matches_fresh_scratch_bitwise() {
+        // One scratch carried across scheduler steps (the serving engine
+        // pattern) produces the same bits as a fresh scratch per step.
+        let weights = Arc::new(tiny_builder().build_weights().unwrap());
+        let x = tokens(3, 64);
+        let tok = tokens(1, 64);
+        let mut fresh = weights.new_session();
+        let a0 = weights
+            .step_sessions(&mut [&mut fresh], std::slice::from_ref(&x), 1)
+            .unwrap();
+        let a1 = weights
+            .step_sessions(&mut [&mut fresh], std::slice::from_ref(&tok), 1)
+            .unwrap();
+        let mut reused = weights.new_session();
+        let mut scratch = StepScratch::new();
+        let b0 = weights
+            .step_sessions_scratch(&mut [&mut reused], &[x], 1, &mut scratch)
+            .unwrap();
+        let b1 = weights
+            .step_sessions_scratch(&mut [&mut reused], &[tok], 1, &mut scratch)
+            .unwrap();
+        for (a, b) in [(a0, b0), (a1, b1)] {
+            for (p, q) in a[0].as_slice().iter().zip(b[0].as_slice()) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
         }
     }
 

@@ -84,6 +84,17 @@ pub fn feedback_token(y: &Matrix) -> Matrix {
     Matrix::from_fn(1, y.cols(), |_, c| (y[(last, c)] * 0.25).tanh())
 }
 
+/// Rejects prompts carrying NaN/Inf values at the serve boundary: a
+/// non-finite row would flow through the online quantizer into the engine
+/// and poison whatever batch it lands in, so both [`Server::submit`] and
+/// [`run_solo`] validate before any model state is touched.
+pub(crate) fn check_finite(prompt: &Matrix) -> Result<(), Error> {
+    if prompt.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(Error::config("prompt contains non-finite (NaN/Inf) values"));
+    }
+    Ok(())
+}
+
 /// Runs one generation request synchronously on a fresh single session over
 /// the shared weights: prefill the prompt, then `decode_steps` closed-loop
 /// decode steps through [`feedback_token`]. Returns the stacked decode
@@ -92,7 +103,8 @@ pub fn feedback_token(y: &Matrix) -> Matrix {
 ///
 /// # Errors
 ///
-/// Fails on an input width mismatch or an empty prompt.
+/// Fails on an input width mismatch, an empty prompt, or non-finite
+/// prompt values (the same boundary check as [`Server::submit`]).
 pub fn run_solo(
     weights: &Arc<ModelWeights>,
     prompt: &Matrix,
@@ -101,6 +113,7 @@ pub fn run_solo(
     if prompt.rows() == 0 {
         return Err(Error::config("prompt must contain at least one token"));
     }
+    check_finite(prompt)?;
     let mut model = QuantizedModel::from_weights(Arc::clone(weights));
     let y = model.prefill(prompt)?;
     let mut tok = feedback_token(&y);
@@ -185,6 +198,48 @@ mod tests {
         let server = Server::start(weights(), ServeConfig::default());
         assert!(server.submit(Matrix::zeros(0, 64), 1).is_err());
         assert!(server.submit(Matrix::zeros(1, 65), 1).is_err());
+        let mut nan = prompt(2, 0);
+        nan[(1, 3)] = f32::NAN;
+        assert!(server.submit(nan, 1).is_err());
+        let mut inf = prompt(2, 1);
+        inf[(0, 0)] = f32::INFINITY;
+        assert!(server.submit(inf, 1).is_err());
+    }
+
+    #[test]
+    fn rejected_nonfinite_submit_leaves_concurrent_requests_bit_identical() {
+        // A NaN prompt is rejected at the boundary and never reaches the
+        // engine: the requests in flight around it keep producing streams
+        // bit-identical to their solo runs, and the engine stays alive for
+        // later submissions.
+        let w = weights();
+        let server = Server::start(Arc::clone(&w), ServeConfig::default());
+        let before: Vec<(u64, Matrix)> = (0..3)
+            .map(|i| {
+                let p = prompt(2 + i, i);
+                (server.submit(p.clone(), 2).unwrap(), p)
+            })
+            .collect();
+        let mut poison = prompt(3, 7);
+        poison[(2, 5)] = f32::NAN;
+        assert!(server.submit(poison, 2).is_err());
+        let after = prompt(4, 9);
+        let after_id = server.submit(after.clone(), 1).unwrap();
+        for (id, p) in &before {
+            assert_bits_eq(&server.wait(*id).decoded, &run_solo(&w, p, 2).unwrap());
+        }
+        assert_bits_eq(
+            &server.wait(after_id).decoded,
+            &run_solo(&w, &after, 1).unwrap(),
+        );
+    }
+
+    #[test]
+    fn run_solo_rejects_nonfinite_prompt() {
+        let w = weights();
+        let mut p = prompt(2, 0);
+        p[(0, 1)] = f32::NEG_INFINITY;
+        assert!(run_solo(&w, &p, 1).is_err());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! engine's steps.
 
 use crate::{feedback_token, ServeConfig};
-use m2x_nn::model::{ModelWeights, SessionState};
+use m2x_nn::model::{ModelWeights, SessionState, StepScratch};
 use m2x_tensor::Matrix;
 use m2xfp::Error;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -179,7 +179,11 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Fails on an empty prompt or an input width mismatch.
+    /// Fails on an empty prompt, an input width mismatch, or a prompt
+    /// containing NaN/Inf values — non-finite rows would flow into the
+    /// online quantizer and poison the engine thread mid-batch, taking
+    /// every concurrent request down with a config error that belongs to
+    /// this one.
     pub fn submit(&self, prompt: Matrix, decode_steps: usize) -> Result<u64, Error> {
         if prompt.rows() == 0 {
             return Err(Error::config("prompt must contain at least one token"));
@@ -191,6 +195,7 @@ impl Server {
                 got: prompt.cols(),
             });
         }
+        crate::check_finite(&prompt)?;
         let mut q = self.lock();
         let id = q.next_id;
         q.next_id += 1;
@@ -265,6 +270,11 @@ fn lock_queues(shared: &Shared) -> MutexGuard<'_, Queues> {
 /// The continuous-batching loop (runs on the engine thread).
 fn engine_loop(shared: &Shared) {
     let mut active: Vec<Active> = Vec::new();
+    // One activation scratch for the engine's lifetime: every scheduler
+    // step's projection GEMMs (and, at one worker, the attention score
+    // GEMVs) reuse it, so the decode hot loop stops allocating activation
+    // planes per call.
+    let mut scratch = StepScratch::new();
     loop {
         // Admission: wait for work, then top the batch up from the queue
         // in arrival order.
@@ -294,9 +304,12 @@ fn engine_loop(shared: &Shared) {
         let step = {
             let mut sessions: Vec<&mut SessionState> =
                 active.iter_mut().map(|a| &mut a.session).collect();
-            shared
-                .weights
-                .step_sessions(&mut sessions, &inputs, shared.threads)
+            shared.weights.step_sessions_scratch(
+                &mut sessions,
+                &inputs,
+                shared.threads,
+                &mut scratch,
+            )
         };
         let outs = match step {
             Ok(outs) => outs,
