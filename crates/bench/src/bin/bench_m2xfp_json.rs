@@ -16,7 +16,7 @@
 
 use m2x_bench::e2e::{run as run_e2e, E2eConfig};
 use m2x_bench::report::results_dir;
-use m2x_bench::serving::{run as run_serve, ServeBenchConfig};
+use m2x_bench::serving::{run as run_serve, run_chaos, ChaosBenchConfig, ServeBenchConfig};
 use m2x_tensor::{Matrix, Xoshiro};
 use m2xfp::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
 use m2xfp::gemm::{
@@ -181,6 +181,24 @@ fn main() {
     );
     let serve = run_serve(serve_cfg);
 
+    // Chaos section: the same serving runtime flooded past its bounded
+    // queue under a seeded fault plan (step panics, stalls, mid-flight
+    // cancels) plus per-request deadlines. `chaos_exact` and `zero_leak`
+    // are CI hard gates: survivors stay bit-identical to solo and the
+    // server quiesces with zero leaked sessions; the shed rate, p99 step
+    // latency and recovery-tick count ride along as advisory numbers.
+    let chaos_cfg = ChaosBenchConfig::ci();
+    eprintln!(
+        "chaos: requests={} queue={} seed={:#x} panics={} delays={} cancels={}",
+        chaos_cfg.requests,
+        chaos_cfg.queue_capacity,
+        chaos_cfg.seed,
+        chaos_cfg.panics,
+        chaos_cfg.delays,
+        chaos_cfg.cancels
+    );
+    let chaos = run_chaos(chaos_cfg);
+
     let macs = (m * k * n) as f64;
     let elems = (m * k) as f64;
     // Quantize+qgemm: the end-to-end hot path the acceptance criterion
@@ -251,7 +269,12 @@ fn main() {
     "req_per_s": {sv_rps:.3},
     "decode_tok_per_s": {sv_tps:.2},
     "solo_decode_tok_per_s": {sv_stps:.2},
-    "batch_exact": {sv_exact}
+    "batch_exact": {sv_exact},
+    "chaos_exact": {ch_exact},
+    "zero_leak": {ch_leak},
+    "shed_rate": {ch_shed:.3},
+    "p99_step_us_churn": {ch_p99:.1},
+    "recovery_ticks": {ch_rt}
   }}
 }}
 "#,
@@ -266,6 +289,11 @@ fn main() {
         sv_tps = serve.decode_tok_per_s,
         sv_stps = serve.solo_decode_tok_per_s,
         sv_exact = serve.batch_exact,
+        ch_exact = chaos.chaos_exact,
+        ch_leak = chaos.zero_leak,
+        ch_shed = chaos.shed_rate,
+        ch_p99 = chaos.p99_step_us,
+        ch_rt = chaos.recovery_ticks,
         e2e_hidden = e2e.cfg.hidden,
         e2e_layers = e2e.cfg.layers,
         e2e_tokens = e2e.cfg.tokens,
@@ -327,4 +355,9 @@ fn main() {
         serve.batch_exact,
         "a batched request's token stream diverged from its solo run"
     );
+    assert!(
+        chaos.chaos_exact,
+        "a chaos survivor's token stream diverged from its solo run"
+    );
+    assert!(chaos.zero_leak, "sessions leaked after the chaos run");
 }

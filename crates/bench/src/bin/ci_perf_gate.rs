@@ -7,8 +7,9 @@
 //! same emitter) and exits non-zero when
 //!
 //! * any exactness flag (`exact_match`, `weight_search_exact`,
-//!   `e2e_model.backends_exact`, `serve.batch_exact`) is `false` in the
-//!   current run, or
+//!   `e2e_model.backends_exact`, `serve.batch_exact`, or the
+//!   fault-tolerance flags `serve.chaos_exact` / `serve.zero_leak`) is
+//!   `false` in the current run, or
 //! * any within-run speedup ratio — per-kernel, the whole-model
 //!   `e2e_model.speedup_packed` or the serving `serve.speedup_batch`
 //!   (batched-over-solo) — dropped by more than the tolerance
@@ -177,12 +178,18 @@ const GATED_SPEEDUPS: [&str; 6] = [
 ];
 
 /// Boolean exactness flags the gate enforces on the current run.
-const GATED_EXACT: [&str; 5] = [
+/// `serve.chaos_exact` (chaos survivors bit-identical to solo) and
+/// `serve.zero_leak` (zero open sessions after the chaos shutdown) gate
+/// the fault-tolerance layer the same way `batch_exact` gates the happy
+/// path: a `false` is a correctness loss, never a perf question.
+const GATED_EXACT: [&str; 7] = [
     "exact_match",
     "weight_search_exact",
     "decode_kernel.decode_exact",
     "e2e_model.backends_exact",
     "serve.batch_exact",
+    "serve.chaos_exact",
+    "serve.zero_leak",
 ];
 
 /// One gate verdict: metric name, baseline, current, allowed, pass.
@@ -391,7 +398,7 @@ mod tests {
   "quantize_plus_qgemm": {"packed_threaded_s": 0.003, "speedup_1thread": 3.2},
   "decode_kernel": {"gemv_s": 0.0001, "gemv_melem_per_s": 650.0, "speedup_gemv": 6.0, "speedup_planed_vs_inreg": 1.8, "decode_exact": true},
   "e2e_model": {"hidden": 128, "layers": 2, "tokens": 16, "gmacs": 2.1, "speedup_packed": 3.0, "backends_exact": true, "nrmse": 0.05},
-  "serve": {"hidden": 128, "layers": 2, "requests": 6, "max_batch": 6, "batch_s": 0.05, "speedup_batch": 1.3, "req_per_s": 120.0, "decode_tok_per_s": 960.0, "solo_decode_tok_per_s": 740.0, "batch_exact": true}
+  "serve": {"hidden": 128, "layers": 2, "requests": 6, "max_batch": 6, "batch_s": 0.05, "speedup_batch": 1.3, "req_per_s": 120.0, "decode_tok_per_s": 960.0, "solo_decode_tok_per_s": 740.0, "batch_exact": true, "chaos_exact": true, "zero_leak": true, "shed_rate": 0.5, "p99_step_us_churn": 900.0, "recovery_ticks": 2}
 }"#;
 
     #[test]
@@ -534,6 +541,37 @@ mod tests {
         let other = SAMPLE.replace("\"max_batch\": 6", "\"max_batch\": 8");
         let cur = flatten_json(&other).unwrap();
         assert_eq!(hard_fails(&cur, &base), ["serve.max_batch"]);
+    }
+
+    #[test]
+    fn chaos_flags_gate_like_exactness() {
+        let base = flatten_json(SAMPLE).unwrap();
+        // A survivor drifting from its solo bits under fault injection is
+        // a hard correctness failure.
+        let broken = SAMPLE.replace("\"chaos_exact\": true", "\"chaos_exact\": false");
+        let cur = flatten_json(&broken).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["serve.chaos_exact"]);
+        // A leaked session after the chaos shutdown fails hard too.
+        let leaky = SAMPLE.replace("\"zero_leak\": true", "\"zero_leak\": false");
+        let cur = flatten_json(&leaky).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["serve.zero_leak"]);
+        // Dropping the flags from the emitter (silent disarm) fails hard;
+        // the advisory chaos numbers (shed rate, p99, recovery ticks) can
+        // go missing without gating.
+        let dropped = SAMPLE.replace("\"chaos_exact\": true, \"zero_leak\": true, ", "");
+        assert_ne!(dropped, SAMPLE, "fixture edit must take effect");
+        let cur = flatten_json(&dropped).unwrap();
+        assert_eq!(
+            hard_fails(&cur, &base),
+            ["serve.chaos_exact", "serve.zero_leak"]
+        );
+        let trimmed = SAMPLE.replace(
+            ", \"shed_rate\": 0.5, \"p99_step_us_churn\": 900.0, \"recovery_ticks\": 2",
+            "",
+        );
+        assert_ne!(trimmed, SAMPLE, "fixture edit must take effect");
+        let cur = flatten_json(&trimmed).unwrap();
+        assert!(hard_fails(&cur, &base).is_empty());
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! solo on sequential sessions. Verifies every request's batched token
 //! stream is bit-identical to its solo run (`batch_exact`), reports
 //! req/s, aggregate decode tok/s and p50/p99 request latency in scheduler
-//! steps, and writes `results/BENCH_serve.json` (gate-compatible schema).
+//! steps, then runs the chaos + churn scenario (bounded queue flooded 4×
+//! under a seeded fault plan of step panics, stalls and mid-flight
+//! cancels) and writes `results/BENCH_serve.json` (gate-compatible
+//! schema) with the chaos block nested under `"chaos"`.
 //!
 //! Environment:
 //! * `M2X_SERVE_HIDDEN`   — hidden dimension (default 256; group-aligned).
@@ -14,9 +17,13 @@
 //! * `M2X_SERVE_DECODE`   — decode steps per request (default 16).
 //! * `M2X_SERVE_BATCH`    — scheduler admission window (default 8).
 //! * `M2X_SERVE_REPS`     — measurement repetitions, best-of (default 3).
+//! * `M2X_CHAOS_SEED`     — fault-plan seed (default `ci()`'s 0xC0FFEE).
+//! * `M2X_CHAOS_PANICS`   — injected step panics (default 2).
+//! * `M2X_CHAOS_DELAYS`   — injected engine stalls (default 3).
+//! * `M2X_CHAOS_CANCELS`  — injected mid-flight cancels (default 3).
 
 use m2x_bench::report::results_dir;
-use m2x_bench::serving::{run, ServeBenchConfig};
+use m2x_bench::serving::{run, run_chaos, ChaosBenchConfig, ServeBenchConfig};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -61,7 +68,44 @@ fn main() {
         r.batch_exact,
     );
 
-    let json = r.to_json();
+    let ci = ChaosBenchConfig::ci();
+    let chaos_cfg = ChaosBenchConfig {
+        seed: env_usize("M2X_CHAOS_SEED", ci.seed as usize) as u64,
+        panics: env_usize("M2X_CHAOS_PANICS", ci.panics),
+        delays: env_usize("M2X_CHAOS_DELAYS", ci.delays),
+        cancels: env_usize("M2X_CHAOS_CANCELS", ci.cancels),
+        ..ci
+    };
+    let c = run_chaos(chaos_cfg);
+    eprintln!(
+        "chaos: seed {:#x} → {} finished / {} shed ({:.0}% of flood) / {} cancelled / \
+         {} deadline-exceeded / {} failed | {} panics recovered over {} recovery ticks | \
+         p99 step {:.0}µs | chaos_exact {} zero_leak {}",
+        c.cfg.seed,
+        c.finished,
+        c.rejected,
+        c.shed_rate * 100.0,
+        c.cancelled,
+        c.deadline_exceeded,
+        c.failed,
+        c.panics_recovered,
+        c.recovery_ticks,
+        c.p99_step_us,
+        c.chaos_exact,
+        c.zero_leak,
+    );
+
+    // Nest the chaos block inside the serving report — one array-free
+    // object, so the gate flattener sees `chaos.chaos_exact` etc.
+    let body = r
+        .to_json()
+        .strip_suffix("\n}")
+        .expect("ServeReport::to_json renders an object")
+        .to_string();
+    let json = format!(
+        "{body},\n  \"chaos\": {}\n}}",
+        c.to_json().replace('\n', "\n  ")
+    );
     println!("{json}");
     let dir = results_dir();
     let _ = std::fs::create_dir_all(&dir);
@@ -74,4 +118,9 @@ fn main() {
         r.batch_exact,
         "a batched request's token stream diverged from its solo run"
     );
+    assert!(
+        c.chaos_exact,
+        "a chaos survivor's token stream diverged from its solo run"
+    );
+    assert!(c.zero_leak, "sessions leaked after the chaos run");
 }

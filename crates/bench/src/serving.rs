@@ -21,7 +21,9 @@
 use m2x_nn::model::{ModelBuilder, ModelWeights};
 use m2x_nn::profile::ModelProfile;
 use m2x_nn::synth::activation_matrix;
-use m2x_serve::{run_solo, Completed, ServeConfig, Server};
+use m2x_serve::{
+    run_solo, Completed, FaultPlan, RequestOptions, RequestOutcome, ServeConfig, Server,
+};
 use m2x_tensor::Matrix;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -151,14 +153,23 @@ pub fn run(cfg: ServeBenchConfig) -> ServeReport {
             Arc::clone(&weights),
             ServeConfig {
                 max_batch: cfg.max_batch,
-                worker_threads: 0,
+                ..ServeConfig::default()
             },
         );
         let ids: Vec<u64> = prompts
             .iter()
             .map(|p| server.submit(p.clone(), cfg.decode_steps).expect("submit"))
             .collect();
-        let completed: Vec<Completed> = ids.into_iter().map(|id| server.wait(id)).collect();
+        let completed: Vec<Completed> = ids
+            .into_iter()
+            .map(|id| {
+                server
+                    .wait(id)
+                    .expect("typed outcome")
+                    .finished()
+                    .expect("no faults in the throughput run")
+            })
+            .collect();
         (completed, server.stats().peak_batch)
     });
 
@@ -232,6 +243,273 @@ impl ServeReport {
     }
 }
 
+/// Dimensions and fault mix of one chaos + churn serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosBenchConfig {
+    /// Hidden (residual stream) dimension.
+    pub hidden: usize,
+    /// Transformer layer count.
+    pub layers: usize,
+    /// Requests flooded at the server open-loop (more than it will admit).
+    pub requests: usize,
+    /// Prompt length per request, in tokens.
+    pub prompt_tokens: usize,
+    /// Closed-loop decode steps per request.
+    pub decode_steps: usize,
+    /// Admission window of the continuous-batching scheduler.
+    pub max_batch: usize,
+    /// Bounded arrival queue — the flood sheds everything past this.
+    pub queue_capacity: usize,
+    /// Seed of the [`FaultPlan`] (and nothing else: the workload is fixed).
+    pub seed: u64,
+    /// Injected step panics (each must fail exactly one request).
+    pub panics: usize,
+    /// Injected engine stalls.
+    pub delays: usize,
+    /// Injected mid-flight slot cancellations.
+    pub cancels: usize,
+    /// Last scheduler tick a fault may fire at. Keep it well below the
+    /// ticks the churn wave typically drives (≈ `admitted · (1 + decode)
+    /// / max_batch`) so the recovery wave usually runs fault-free.
+    pub fault_horizon: u64,
+}
+
+impl ChaosBenchConfig {
+    /// The fixed chaos scenario embedded in `bench_m2xfp_json` and gated
+    /// by CI (`serve.chaos_exact`, `serve.zero_leak`). The flood is 4× the
+    /// queue, so admission control *must* shed; the plan's horizon (16)
+    /// sits below the ~22+ ticks the admitted work typically drives, so
+    /// the recovery wave normally runs on an exhausted plan.
+    pub fn ci() -> Self {
+        ChaosBenchConfig {
+            hidden: 128,
+            layers: 2,
+            requests: 24,
+            prompt_tokens: 6,
+            decode_steps: 8,
+            max_batch: 4,
+            queue_capacity: 6,
+            seed: 0x00C0_FFEE,
+            panics: 2,
+            delays: 3,
+            cancels: 3,
+            fault_horizon: 16,
+        }
+    }
+}
+
+/// Measured results of one chaos + churn run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Configuration measured.
+    pub cfg: ChaosBenchConfig,
+    /// Every request that **finished** (churn survivors and the
+    /// post-chaos recovery wave alike) was bit-identical to its solo run,
+    /// every failure was an injected fault, and at least one request
+    /// finished (the fault budget is below the admission floor, so the
+    /// check can never go vacuous). CI hard gate.
+    pub chaos_exact: bool,
+    /// `ModelWeights::open_sessions() == 0` after shutdown — no KV page
+    /// outlived its request. CI hard gate.
+    pub zero_leak: bool,
+    /// Fraction of the flood shed by admission control.
+    pub shed_rate: f64,
+    /// 99th-percentile engine step latency (µs) under churn — measured
+    /// across admission, expiry, cancellation and panic-recovery ticks.
+    pub p99_step_us: f64,
+    /// Scheduler ticks spent in reset-and-replay panic recovery.
+    pub recovery_ticks: u64,
+    /// Requests that ran to completion (both waves).
+    pub finished: u64,
+    /// Requests shed at admission.
+    pub rejected: u64,
+    /// Requests cancelled (all injected by the plan here).
+    pub cancelled: u64,
+    /// Requests that blew their step deadline.
+    pub deadline_exceeded: u64,
+    /// Requests failed by an injected panic.
+    pub failed: u64,
+    /// Panics the engine caught and recovered from (2 per fired
+    /// injection: batched attempt + isolated replay).
+    pub panics_recovered: u64,
+    /// Wall time of the whole scenario (seconds) — advisory only; chaos
+    /// wall time is dominated by injected delays.
+    pub wall_s: f64,
+}
+
+/// Runs the chaos + churn scenario: flood a bounded-queue server wired to
+/// a seeded [`FaultPlan`], classify every typed outcome, then prove the
+/// engine still serves a full recovery wave bit-exactly and quiesces with
+/// zero leaked sessions.
+pub fn run_chaos(cfg: ChaosBenchConfig) -> ChaosReport {
+    let profile = ModelProfile::llama3_8b();
+    let weights: Arc<ModelWeights> = Arc::new(
+        ModelBuilder::scaled(&profile, cfg.hidden, cfg.layers)
+            .build_weights()
+            .expect("scaled dimensions are group-aligned"),
+    );
+    let prompts: Vec<Matrix> = (0..cfg.requests + cfg.max_batch)
+        .map(|i| {
+            activation_matrix(&profile, i, cfg.prompt_tokens, cfg.hidden).map(|v| (v * 0.25).tanh())
+        })
+        .collect();
+    let solo = |p: &Matrix| run_solo(&weights, p, cfg.decode_steps).expect("solo run");
+
+    let plan = FaultPlan::seeded(
+        cfg.seed,
+        cfg.fault_horizon,
+        cfg.max_batch,
+        cfg.panics,
+        cfg.delays,
+        cfg.cancels,
+        300,
+    );
+    let mut server = Server::start_with_faults(
+        Arc::clone(&weights),
+        ServeConfig {
+            max_batch: cfg.max_batch,
+            queue_capacity: cfg.queue_capacity,
+            ..ServeConfig::default()
+        },
+        plan,
+    );
+
+    let t0 = Instant::now();
+    // ── Churn wave: flood 4× the queue; every 6th request carries a
+    //    too-tight step deadline. Shed, expiry, injected cancels and
+    //    injected panics all land in this wave. ──
+    let ids: Vec<u64> = prompts[..cfg.requests]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let opts = if i % 6 == 5 {
+                RequestOptions {
+                    deadline_steps: Some((cfg.decode_steps / 2) as u64),
+                    ..RequestOptions::default()
+                }
+            } else {
+                RequestOptions::default()
+            };
+            server
+                .submit_with(p.clone(), cfg.decode_steps, opts)
+                .expect("server is live")
+        })
+        .collect();
+    let mut chaos_exact = true;
+    for (i, id) in ids.iter().enumerate() {
+        match server.wait(*id).expect("typed outcome") {
+            RequestOutcome::Finished(c) => {
+                chaos_exact &= c.decoded == solo(&prompts[i]);
+            }
+            RequestOutcome::Failed { error } => {
+                // Only the plan may fail requests in this scenario.
+                chaos_exact &= error.contains("injected fault");
+            }
+            RequestOutcome::Rejected { .. }
+            | RequestOutcome::Cancelled { .. }
+            | RequestOutcome::DeadlineExceeded { .. } => {}
+        }
+    }
+
+    // ── Recovery wave: `max_batch` fresh requests, submitted one at a
+    //    time (so admission control can never shed them). Normally the
+    //    churn wave has driven the step counter past the plan's horizon
+    //    and all of these finish; ticks only advance under load, though,
+    //    so a residual planned fault may still land here — that keeps a
+    //    *typed* per-request outcome, never an untyped one. ──
+    for p in &prompts[cfg.requests..] {
+        let id = server
+            .submit(p.clone(), cfg.decode_steps)
+            .expect("server is live");
+        match server.wait(id).expect("typed outcome") {
+            RequestOutcome::Finished(c) => chaos_exact &= c.decoded == solo(p),
+            RequestOutcome::Failed { error } => chaos_exact &= error.contains("injected fault"),
+            // A residual planned cancel is legal; nothing here carries a
+            // deadline and a serial submitter cannot be shed.
+            RequestOutcome::Cancelled { .. } => {}
+            RequestOutcome::Rejected { .. } | RequestOutcome::DeadlineExceeded { .. } => {
+                chaos_exact = false;
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let stats = server.shutdown();
+    let zero_leak = weights.open_sessions() == 0;
+    let finished = cfg.requests as u64 + cfg.max_batch as u64
+        - stats.rejected
+        - stats.cancelled
+        - stats.deadline_exceeded
+        - stats.failed;
+    // Non-vacuous by construction: admitted ≥ queue_capacity + max_batch
+    // while panics + cancels + deadline victims stay strictly below it.
+    chaos_exact &= finished >= 1;
+    ChaosReport {
+        cfg,
+        chaos_exact,
+        zero_leak,
+        shed_rate: stats.rejected as f64 / cfg.requests as f64,
+        p99_step_us: stats.p99_step_us,
+        recovery_ticks: stats.recovery_ticks,
+        finished,
+        rejected: stats.rejected,
+        cancelled: stats.cancelled,
+        deadline_exceeded: stats.deadline_exceeded,
+        failed: stats.failed,
+        panics_recovered: stats.panics_recovered,
+        wall_s,
+    }
+}
+
+impl ChaosReport {
+    /// Renders the report as a flat-gateable JSON object (no arrays).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{
+  "bench": "m2x_serve_chaos",
+  "model": "LLaMA3-8B-scaled",
+  "dims": {{"hidden": {h}, "layers": {l}, "requests": {r}, "decode_steps": {d}, "max_batch": {mb}, "queue_capacity": {qc}}},
+  "faults": {{"seed": {seed}, "panics": {pa}, "delays": {de}, "cancels": {ca}, "horizon": {ho}}},
+  "chaos_exact": {ex},
+  "zero_leak": {zl},
+  "shed_rate": {sr:.3},
+  "p99_step_us": {p99:.1},
+  "recovery_ticks": {rt},
+  "finished": {fi},
+  "rejected": {rj},
+  "cancelled": {cn},
+  "deadline_exceeded": {dl},
+  "failed": {fa},
+  "panics_recovered": {pr},
+  "wall_s": {ws:.6}
+}}"#,
+            h = self.cfg.hidden,
+            l = self.cfg.layers,
+            r = self.cfg.requests,
+            d = self.cfg.decode_steps,
+            mb = self.cfg.max_batch,
+            qc = self.cfg.queue_capacity,
+            seed = self.cfg.seed,
+            pa = self.cfg.panics,
+            de = self.cfg.delays,
+            ca = self.cfg.cancels,
+            ho = self.cfg.fault_horizon,
+            ex = self.chaos_exact,
+            zl = self.zero_leak,
+            sr = self.shed_rate,
+            p99 = self.p99_step_us,
+            rt = self.recovery_ticks,
+            fi = self.finished,
+            rj = self.rejected,
+            cn = self.cancelled,
+            dl = self.deadline_exceeded,
+            fa = self.failed,
+            pr = self.panics_recovered,
+            ws = self.wall_s,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +524,33 @@ mod tests {
                 assert_ne!(prompts[i], prompts[j], "prompts {i} and {j} collide");
             }
         }
+    }
+
+    #[test]
+    fn chaos_run_holds_both_gates_at_small_dims() {
+        let cfg = ChaosBenchConfig {
+            hidden: 64,
+            layers: 1,
+            requests: 8,
+            prompt_tokens: 3,
+            decode_steps: 4,
+            max_batch: 2,
+            queue_capacity: 3,
+            seed: 7,
+            panics: 1,
+            delays: 1,
+            cancels: 1,
+            fault_horizon: 6,
+        };
+        let r = run_chaos(cfg);
+        assert!(r.chaos_exact, "chaos run lost bit-exactness: {r:?}");
+        assert!(r.zero_leak, "chaos run leaked sessions: {r:?}");
+        assert!(r.finished >= 1);
+        assert_eq!(r.panics_recovered, 2 * r.failed, "exact attribution");
+        let json = r.to_json();
+        assert!(json.contains("\"chaos_exact\": true"));
+        assert!(json.contains("\"zero_leak\": true"));
+        assert!(json.contains("\"recovery_ticks\""));
     }
 
     #[test]

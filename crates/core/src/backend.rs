@@ -449,6 +449,44 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reused_after_caught_panic_is_bit_identical() {
+        // A serving engine isolates step panics with `catch_unwind` and
+        // keeps stepping the surviving requests with the same scratch. The
+        // scratch contract (see `GemmScratch`) is that a panic can only
+        // leave *stale* data behind, never data a later call reads: a
+        // forward through a scratch abandoned mid-use — with and without an
+        // explicit `reset()` — must match a fresh-scratch forward bitwise.
+        let cfg = M2xfpConfig::default();
+        let w = PackedWeightTensor::quantize_parallel(&mat(6, 96, 3.0), cfg);
+        let be = BackendKind::Packed.backend();
+        let prepared = be.prepare(w);
+        let x = mat(2, 96, 1.5);
+        let want = be
+            .forward_scratch(&x, &prepared, &mut GemmScratch::new())
+            .unwrap();
+
+        let mut scratch = GemmScratch::new();
+        // Dirty the scratch with a different shape, then abandon a call
+        // mid-flight via a panic unwinding across it.
+        let other = mat(5, 96, 9.0);
+        be.forward_scratch(&other, &prepared, &mut scratch).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = be.forward_scratch(&other, &prepared, &mut scratch);
+            panic!("injected fault");
+        }));
+        assert!(caught.is_err());
+        let after_panic = be.forward_scratch(&x, &prepared, &mut scratch).unwrap();
+        for (p, q) in want.as_slice().iter().zip(after_panic.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        scratch.reset();
+        let after_reset = be.forward_scratch(&x, &prepared, &mut scratch).unwrap();
+        for (p, q) in want.as_slice().iter().zip(after_reset.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
     fn fake_quantize_identical_across_backends() {
         let cfg = M2xfpConfig::default();
         let x = mat(4, 100, 3.0);

@@ -252,6 +252,13 @@ pub fn qgemm_packed_threaded(
 /// [`qgemm_packed_planed_scratch`] makes those calls allocation-free
 /// after warm-up — the buffers are cleared and refilled in place, never
 /// reallocated once they have grown to the largest projection width.
+///
+/// **Panic safety:** the scratch carries no semantic state between calls —
+/// every kernel clears and fully rewrites the region it reads before use.
+/// A scratch abandoned mid-call by a panic (e.g. one caught by a serving
+/// engine's `catch_unwind` isolation) can therefore be reused as-is and
+/// still computes bit-identical results; [`GemmScratch::reset`] merely
+/// discards the stale contents eagerly.
 #[derive(Debug, Clone, Default)]
 pub struct GemmScratch {
     x8: Vec<i16>,
@@ -263,6 +270,15 @@ impl GemmScratch {
     /// An empty scratch; buffers grow on first use and are then reused.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empties the buffers (capacity kept). Correctness never requires
+    /// this — see the type docs — but a recovery path that wants to drop
+    /// data a caught panic left behind can call it cheaply.
+    pub fn reset(&mut self) {
+        self.x8.clear();
+        self.xscale.clear();
+        self.code_buf.clear();
     }
 }
 

@@ -51,6 +51,7 @@ use m2xfp::backend::{BackendKind, PreparedWeights};
 use m2xfp::format::PackedWeightTensor;
 use m2xfp::gemm::GemmScratch;
 use m2xfp::{Error, M2xfpConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Minimum attention MAC volume (per layer, across the whole step batch)
@@ -243,6 +244,41 @@ impl StepScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Drops any buffered activation data (capacity included). Scratch
+    /// contents never carry semantic state between steps — every kernel
+    /// refills what it reads — so this is only needed to discard a scratch
+    /// a caught panic may have left half-written, cheaply re-establishing
+    /// the freshly-constructed state without reallocating the struct.
+    pub fn reset(&mut self) {
+        *self = StepScratch::new();
+    }
+}
+
+/// Live-session bookkeeping for one weight family: [`SessionState`] holds a
+/// ticket that increments the shared counter on creation/clone and
+/// decrements it on drop, so [`ModelWeights::open_sessions`] can assert
+/// that a serving runtime released every KV cache it admitted.
+#[derive(Debug)]
+struct SessionTicket(Arc<AtomicUsize>);
+
+impl SessionTicket {
+    fn issue(counter: &Arc<AtomicUsize>) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        SessionTicket(Arc::clone(counter))
+    }
+}
+
+impl Clone for SessionTicket {
+    fn clone(&self) -> Self {
+        SessionTicket::issue(&self.0)
+    }
+}
+
+impl Drop for SessionTicket {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// The per-request mutable half of a model session: the per-layer
@@ -252,6 +288,9 @@ impl StepScratch {
 pub struct SessionState {
     kv: Vec<KvCache>,
     pos: usize,
+    /// Keeps the weights' open-session count honest (see [`SessionTicket`]).
+    /// Held only for its `Clone`/`Drop` side effects.
+    _ticket: SessionTicket,
 }
 
 impl SessionState {
@@ -263,6 +302,14 @@ impl SessionState {
     /// Per-layer KV caches (index = layer).
     pub fn kv_caches(&self) -> &[KvCache] {
         &self.kv
+    }
+
+    /// Total packed KV footprint of this session across all layers, in
+    /// bytes (the canonical representation; decoded execution planes are
+    /// working state on top). The serving scheduler's KV-memory budget
+    /// meters admission against this.
+    pub fn kv_bytes(&self) -> usize {
+        self.kv.iter().map(KvCache::bytes).sum()
     }
 
     /// Drops the KV cache and resets the stream position to zero.
@@ -487,6 +534,7 @@ impl ModelBuilder {
             head_dim,
             blocks,
             reference,
+            sessions: Arc::new(AtomicUsize::new(0)),
         })
     }
 }
@@ -510,6 +558,10 @@ pub struct ModelWeights {
     head_dim: usize,
     blocks: Vec<Block>,
     reference: Option<Vec<RefBlock>>,
+    /// Live [`SessionState`] count opened against this weight family.
+    /// Clones of the weights share the counter (they share the prepared
+    /// planes too), so it meters the family, not one `Arc` handle.
+    sessions: Arc<AtomicUsize>,
 }
 
 impl ModelWeights {
@@ -599,7 +651,16 @@ impl ModelWeights {
                 .map(|_| KvCache::new(self.kv_heads, self.head_dim, self.cfg, self.backend))
                 .collect(),
             pos: 0,
+            _ticket: SessionTicket::issue(&self.sessions),
         }
+    }
+
+    /// Number of [`SessionState`]s currently alive against this weight
+    /// family (sessions opened minus sessions dropped, clones of a session
+    /// counted). The serving layer's zero-leak gate asserts this returns
+    /// to 0 after shutdown — a leak here is a leaked KV cache.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.load(Ordering::SeqCst)
     }
 
     /// One batched step over many **independent** sessions — the
@@ -1189,6 +1250,53 @@ mod tests {
         // Embeddings, not raw activations: tame the outlier channels so the
         // residual stream stays well-conditioned through a deep stack.
         x.map(|v| (v * 0.25).tanh())
+    }
+
+    #[test]
+    fn session_accounting_tracks_open_and_dropped_sessions() {
+        let weights = tiny_builder().build_weights().unwrap();
+        assert_eq!(weights.open_sessions(), 0);
+        let a = weights.new_session();
+        let b = weights.new_session();
+        assert_eq!(weights.open_sessions(), 2);
+        // Clones of the weights share the counter; clones of a session
+        // count as their own live KV cache.
+        let alias = weights.clone();
+        assert_eq!(alias.open_sessions(), 2);
+        let b2 = b.clone();
+        assert_eq!(weights.open_sessions(), 3);
+        drop(b2);
+        drop(a);
+        assert_eq!(weights.open_sessions(), 1);
+        drop(b);
+        assert_eq!(weights.open_sessions(), 0);
+        assert_eq!(alias.open_sessions(), 0);
+    }
+
+    #[test]
+    fn session_kv_bytes_grows_with_appended_tokens() {
+        let weights = tiny_builder().build_weights().unwrap();
+        let mut sessions = [weights.new_session()];
+        let mut refs: Vec<&mut SessionState> = sessions.iter_mut().collect();
+        assert_eq!(refs[0].kv_bytes(), 0);
+        let x = tokens(4, 64);
+        weights
+            .step_sessions(&mut refs, std::slice::from_ref(&x), 1)
+            .unwrap();
+        let after_prefill = refs[0].kv_bytes();
+        assert!(after_prefill > 0);
+        assert_eq!(
+            after_prefill,
+            refs[0]
+                .kv_caches()
+                .iter()
+                .map(KvCache::bytes)
+                .sum::<usize>()
+        );
+        weights
+            .step_sessions(&mut refs, &[tokens(1, 64)], 1)
+            .unwrap();
+        assert!(refs[0].kv_bytes() > after_prefill);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Deterministic fault injection for the serving engine — the chaos half
+//! of the fault-tolerance story.
+//!
+//! A [`FaultPlan`] is a fixed, seed-reproducible schedule of faults fired
+//! by the engine thread at planned scheduler ticks:
+//!
+//! * [`Fault::StepPanic`] — panic out of the batched model step (after the
+//!   step's compute, so session state *has* advanced when the panic lands:
+//!   the worst case for the recovery path);
+//! * [`Fault::Delay`] — an artificial stall before the step, perturbing
+//!   every wall-clock race (arrival interleavings, deadline expiry, waiter
+//!   wakeups) without touching any computed bit;
+//! * [`Fault::CancelActive`] — a mid-flight cancellation of whatever
+//!   request occupies a batch slot at that tick, exercising the
+//!   release-between-steps path from inside the engine.
+//!
+//! Faults target **batch slots**, not request ids: a plan written before
+//! any request exists still lands on real in-flight work, and a slot that
+//! happens to be empty makes the fault a no-op (recorded nowhere — the
+//! chaos tests count *observed* outcomes, not planned faults).
+//!
+//! The plan is std-only and seeded through the in-repo xoshiro generator,
+//! so a failing chaos case reproduces from its seed alone. At most one
+//! [`Fault::StepPanic`] is scheduled per tick: the engine's recovery then
+//! catches exactly two panics per fired injection (the batched step and
+//! the victim's isolated replay), which `tests/proptest_chaos.rs` uses to
+//! pin "every injected fault fails exactly one request".
+
+use m2x_tensor::Xoshiro;
+
+/// One scheduled fault (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic out of the batched step at `tick`, attributed to the request
+    /// in batch slot `slot` (no-op if the slot is empty that tick).
+    StepPanic {
+        /// Scheduler step count the fault fires at.
+        tick: u64,
+        /// Active-batch slot whose request the panic is pinned on.
+        slot: usize,
+    },
+    /// Stall the engine for `micros` before the step at `tick`.
+    Delay {
+        /// Scheduler step count the fault fires at.
+        tick: u64,
+        /// Stall length in microseconds.
+        micros: u64,
+    },
+    /// Cancel the request in batch slot `slot` right before the step at
+    /// `tick` (no-op if the slot is empty).
+    CancelActive {
+        /// Scheduler step count the fault fires at.
+        tick: u64,
+        /// Active-batch slot to cancel.
+        slot: usize,
+    },
+}
+
+impl Fault {
+    fn tick(&self) -> u64 {
+        match *self {
+            Fault::StepPanic { tick, .. }
+            | Fault::Delay { tick, .. }
+            | Fault::CancelActive { tick, .. } => tick,
+        }
+    }
+}
+
+/// A deterministic schedule of engine faults, sorted by tick and consumed
+/// once as the engine's step counter passes each fault's tick.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Sorted by tick (stable: same-tick faults keep insertion order).
+    faults: Vec<Fault>,
+    /// Index of the first fault not yet handed out.
+    next: usize,
+}
+
+impl FaultPlan {
+    /// The empty plan — what [`Server::start`](crate::Server::start) runs
+    /// under.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan firing the given faults, sorted by tick. If several
+    /// [`Fault::StepPanic`]s share a tick, only the first is kept (one
+    /// panic per tick keeps fault→failure attribution exact; see the
+    /// [module docs](self)).
+    pub fn new(mut faults: Vec<Fault>) -> Self {
+        faults.sort_by_key(Fault::tick);
+        let mut panic_ticks = std::collections::BTreeSet::new();
+        faults.retain(|f| match f {
+            Fault::StepPanic { tick, .. } => panic_ticks.insert(*tick),
+            _ => true,
+        });
+        FaultPlan { faults, next: 0 }
+    }
+
+    /// A seed-reproducible random plan: `panics`/`delays`/`cancels` faults
+    /// scattered over ticks `0..horizon`, slots `0..max_slot`, delays up
+    /// to `max_delay_us`. Panic ticks are kept distinct (see
+    /// [`FaultPlan::new`]); a horizon smaller than `panics` caps the
+    /// panic count.
+    pub fn seeded(
+        seed: u64,
+        horizon: u64,
+        max_slot: usize,
+        panics: usize,
+        delays: usize,
+        cancels: usize,
+        max_delay_us: u64,
+    ) -> Self {
+        let mut rng = Xoshiro::seed(seed ^ 0xFA_17_BD_5E);
+        let horizon = horizon.max(1);
+        let slots = max_slot.max(1);
+        let mut faults = Vec::with_capacity(panics + delays + cancels);
+        for _ in 0..panics {
+            faults.push(Fault::StepPanic {
+                tick: rng.below(horizon as usize) as u64,
+                slot: rng.below(slots),
+            });
+        }
+        for _ in 0..delays {
+            faults.push(Fault::Delay {
+                tick: rng.below(horizon as usize) as u64,
+                micros: 1 + rng.below(max_delay_us.max(1) as usize) as u64,
+            });
+        }
+        for _ in 0..cancels {
+            faults.push(Fault::CancelActive {
+                tick: rng.below(horizon as usize) as u64,
+                slot: rng.below(slots),
+            });
+        }
+        FaultPlan::new(faults)
+    }
+
+    /// True if no faults remain to fire.
+    pub fn is_empty(&self) -> bool {
+        self.next >= self.faults.len()
+    }
+
+    /// Total faults scheduled (fired or not).
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Hands out (consumes) every not-yet-fired fault scheduled at or
+    /// before `tick`, in schedule order.
+    pub(crate) fn take_due(&mut self, tick: u64) -> &[Fault] {
+        let start = self.next;
+        while self.next < self.faults.len() && self.faults[self.next].tick() <= tick {
+            self.next += 1;
+        }
+        &self.faults[start..self.next]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_and_consumes_in_tick_order() {
+        let mut plan = FaultPlan::new(vec![
+            Fault::Delay { tick: 5, micros: 9 },
+            Fault::CancelActive { tick: 1, slot: 0 },
+            Fault::StepPanic { tick: 3, slot: 2 },
+        ]);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.take_due(0), &[]);
+        assert_eq!(plan.take_due(3).len(), 2); // ticks 1 and 3
+        assert_eq!(plan.take_due(3), &[]); // consumed once
+        assert_eq!(plan.take_due(99), &[Fault::Delay { tick: 5, micros: 9 }]);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn at_most_one_step_panic_per_tick() {
+        let plan = FaultPlan::new(vec![
+            Fault::StepPanic { tick: 2, slot: 0 },
+            Fault::StepPanic { tick: 2, slot: 1 },
+            Fault::Delay { tick: 2, micros: 1 },
+            Fault::StepPanic { tick: 4, slot: 1 },
+        ]);
+        let panics = plan
+            .faults
+            .iter()
+            .filter(|f| matches!(f, Fault::StepPanic { .. }))
+            .count();
+        assert_eq!(panics, 2);
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_bounded() {
+        let a = FaultPlan::seeded(42, 20, 4, 3, 2, 2, 50);
+        let b = FaultPlan::seeded(42, 20, 4, 3, 2, 2, 50);
+        assert_eq!(a.faults, b.faults);
+        assert!(a.len() <= 7);
+        for f in &a.faults {
+            assert!(f.tick() < 20);
+            match *f {
+                Fault::StepPanic { slot, .. } | Fault::CancelActive { slot, .. } => {
+                    assert!(slot < 4)
+                }
+                Fault::Delay { micros, .. } => assert!((1..=50).contains(&micros)),
+            }
+        }
+        let c = FaultPlan::seeded(43, 20, 4, 3, 2, 2, 50);
+        assert_ne!(a.faults, c.faults, "different seeds, different plans");
+    }
+}

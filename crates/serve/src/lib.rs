@@ -25,10 +25,20 @@
 //! composition and worker-thread count. `tests/proptest_serve.rs` pins
 //! this; the `serve_bench` driver hard-gates it in CI (`batch_exact`).
 //!
+//! **Fault tolerance:** every submitted id resolves to exactly one typed
+//! [`RequestOutcome`] (`Finished | Cancelled | DeadlineExceeded | Rejected
+//! | Failed`) — per-request deadlines, [`Server::cancel`], a bounded
+//! arrival queue with shed-on-overload, a KV-memory admission budget, and
+//! `catch_unwind` panic isolation that fails only the implicated request
+//! and keeps every survivor bit-identical to its solo run (see
+//! [`scheduler`]). The [`fault`] module's deterministic [`FaultPlan`]
+//! drives the chaos property tests (`tests/proptest_chaos.rs`) and the CI
+//! hard gates `serve.chaos_exact` / `serve.zero_leak`.
+//!
 //! ```
 //! use m2x_nn::model::ModelBuilder;
 //! use m2x_nn::profile::ModelProfile;
-//! use m2x_serve::{feedback_token, run_solo, ServeConfig, Server};
+//! use m2x_serve::{feedback_token, run_solo, ServeConfig, ServeError, Server};
 //! use m2x_tensor::Matrix;
 //! use std::sync::Arc;
 //!
@@ -38,14 +48,16 @@
 //! let prompt = Matrix::from_fn(3, 64, |r, c| ((r * 64 + c) as f32 * 0.1).sin() * 0.5);
 //! let server = Server::start(Arc::clone(&weights), ServeConfig::default());
 //! let id = server.submit(prompt.clone(), 2)?;
-//! let out = server.wait(id);
+//! let out = server.wait(id)?.finished().expect("no faults in play");
 //! assert_eq!(out.decoded, run_solo(&weights, &prompt, 2)?); // bit-identical
-//! # Ok::<(), m2xfp::Error>(())
+//! # Ok::<(), ServeError>(())
 //! ```
 
+pub mod fault;
 pub mod scheduler;
 
-pub use scheduler::{Completed, ServeStats, Server};
+pub use fault::{Fault, FaultPlan};
+pub use scheduler::{Completed, RequestOutcome, ServeError, ServeStats, Server};
 
 use m2x_nn::model::{ModelWeights, QuantizedModel};
 use m2x_tensor::Matrix;
@@ -63,6 +75,17 @@ pub struct ServeConfig {
     /// attention work volume, up to the available cores (small steps stay
     /// inline). Any value computes identical bits.
     pub worker_threads: usize,
+    /// Arrival-queue bound; `0` = unbounded (the pre-robustness
+    /// behavior). When the queue holds this many waiting requests, later
+    /// submissions are **shed**: they resolve immediately to
+    /// [`RequestOutcome::Rejected`] instead of growing the queue.
+    pub queue_capacity: usize,
+    /// Packed-KV admission budget in bytes; `0` = unlimited. While the
+    /// in-flight sessions' [`kv_bytes`](m2x_nn::model::SessionState::kv_bytes)
+    /// sum is at or past the budget, the engine stops admitting (graceful
+    /// degradation) but keeps serving — at least one request always runs,
+    /// so the budget drains and admission resumes.
+    pub kv_budget_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,8 +93,23 @@ impl Default for ServeConfig {
         ServeConfig {
             max_batch: 8,
             worker_threads: 0,
+            queue_capacity: 0,
+            kv_budget_bytes: 0,
         }
     }
+}
+
+/// Per-request options for [`Server::submit_with`]: optional deadlines,
+/// counted from submission (time spent queued counts against them).
+/// `..Default::default()` is "no deadline".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOptions {
+    /// Expire the request once this many scheduler steps have elapsed
+    /// since submission (deterministic — the chaos tests use this form).
+    pub deadline_steps: Option<u64>,
+    /// Expire the request once this much wall-clock time has elapsed
+    /// since submission.
+    pub deadline: Option<std::time::Duration>,
 }
 
 /// The deterministic greedy "sampler" of the synthetic serving loop: the
@@ -152,6 +190,14 @@ mod tests {
         }
     }
 
+    fn wait_finished(server: &Server, id: u64) -> Completed {
+        server
+            .wait(id)
+            .unwrap()
+            .finished()
+            .unwrap_or_else(|| panic!("request {id} did not finish"))
+    }
+
     #[test]
     fn batched_requests_match_solo_bitwise() {
         let w = weights();
@@ -160,6 +206,7 @@ mod tests {
             ServeConfig {
                 max_batch: 3,
                 worker_threads: 2,
+                ..ServeConfig::default()
             },
         );
         let reqs: Vec<(Matrix, usize)> =
@@ -169,7 +216,7 @@ mod tests {
             .map(|(p, d)| server.submit(p.clone(), *d).unwrap())
             .collect();
         for (id, (p, d)) in ids.iter().zip(&reqs) {
-            let out = server.wait(*id);
+            let out = wait_finished(&server, *id);
             assert_eq!(out.id, *id);
             assert_eq!(out.decoded.rows(), *d);
             assert_bits_eq(&out.decoded, &run_solo(&w, p, *d).unwrap());
@@ -188,7 +235,7 @@ mod tests {
         let w = weights();
         let server = Server::start(Arc::clone(&w), ServeConfig::default());
         let id = server.submit(prompt(3, 0), 0).unwrap();
-        let out = server.wait(id);
+        let out = wait_finished(&server, id);
         assert_eq!(out.decoded.rows(), 0);
         assert_eq!(out.prefill_out.rows(), 3);
     }
@@ -226,10 +273,13 @@ mod tests {
         let after = prompt(4, 9);
         let after_id = server.submit(after.clone(), 1).unwrap();
         for (id, p) in &before {
-            assert_bits_eq(&server.wait(*id).decoded, &run_solo(&w, p, 2).unwrap());
+            assert_bits_eq(
+                &wait_finished(&server, *id).decoded,
+                &run_solo(&w, p, 2).unwrap(),
+            );
         }
         assert_bits_eq(
-            &server.wait(after_id).decoded,
+            &wait_finished(&server, after_id).decoded,
             &run_solo(&w, &after, 1).unwrap(),
         );
     }
@@ -243,14 +293,276 @@ mod tests {
     }
 
     #[test]
-    fn double_wait_panics_instead_of_hanging() {
+    fn wait_misuse_returns_typed_errors_instead_of_panicking() {
         let server = Server::start(weights(), ServeConfig::default());
+        assert_eq!(server.wait(99), Err(ServeError::UnknownRequest { id: 99 }));
         let id = server.submit(prompt(2, 0), 1).unwrap();
-        let _ = server.wait(id);
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| server.wait(id)))
-            .expect_err("second wait must panic");
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("already waited"), "{msg}");
+        assert!(server.wait(id).is_ok());
+        assert_eq!(server.wait(id), Err(ServeError::AlreadyConsumed { id }));
+        assert_eq!(
+            server.cancel(77),
+            Err(ServeError::UnknownRequest { id: 77 })
+        );
+    }
+
+    #[test]
+    fn submit_after_shutdown_returns_error_and_shutdown_is_idempotent() {
+        let mut server = Server::start(weights(), ServeConfig::default());
+        let id = server.submit(prompt(2, 0), 2).unwrap();
+        let stats = server.shutdown();
+        // The drain resolved the in-flight request before the join.
+        assert!(stats.steps >= 1);
+        assert!(wait_finished(&server, id).decoded.rows() == 2);
+        assert_eq!(server.submit(prompt(2, 1), 1), Err(ServeError::ShutDown));
+        server.shutdown(); // second call is a no-op
+    }
+
+    #[test]
+    fn abort_cancels_queued_and_in_flight_work() {
+        let w = weights();
+        let mut server = Server::start(
+            Arc::clone(&w),
+            ServeConfig {
+                max_batch: 1, // force a queue to build up
+                ..ServeConfig::default()
+            },
+        );
+        let ids: Vec<u64> = (0..4)
+            .map(|i| server.submit(prompt(2, i), 200).unwrap())
+            .collect();
+        let stats = server.abort();
+        assert_eq!(stats.cancelled, 4);
+        for id in ids {
+            let out = server.wait(id).unwrap();
+            assert!(
+                matches!(out, RequestOutcome::Cancelled { .. }),
+                "{id}: {}",
+                out.kind()
+            );
+        }
+        assert_eq!(w.open_sessions(), 0, "aborted sessions must be released");
+    }
+
+    #[test]
+    fn cancel_releases_kv_and_leaves_survivors_bit_identical() {
+        let w = weights();
+        let server = Server::start(Arc::clone(&w), ServeConfig::default());
+        let keep = prompt(3, 0);
+        let keep_id = server.submit(keep.clone(), 40).unwrap();
+        let victim = server.submit(prompt(2, 1), 5_000).unwrap();
+        assert!(server.cancel(victim).unwrap());
+        let out = server.wait(victim).unwrap();
+        assert!(
+            matches!(out, RequestOutcome::Cancelled { .. }),
+            "{}",
+            out.kind()
+        );
+        // The engine keeps scheduling and the survivor's stream is intact.
+        let done = wait_finished(&server, keep_id);
+        assert_bits_eq(&done.decoded, &run_solo(&w, &keep, 40).unwrap());
+        assert!(server.stats().cancelled >= 1);
+        // Cancel after resolution is a no-op.
+        assert!(!server.cancel(victim).unwrap());
+    }
+
+    #[test]
+    fn step_deadline_expires_queued_and_in_flight_requests() {
+        let w = weights();
+        let server = Server::start(Arc::clone(&w), ServeConfig::default());
+        // Deadline of 0 steps: expired at the first lifecycle pass,
+        // before ever being stepped.
+        let dead = server
+            .submit_with(
+                prompt(2, 0),
+                3,
+                RequestOptions {
+                    deadline_steps: Some(0),
+                    ..RequestOptions::default()
+                },
+            )
+            .unwrap();
+        // A short step deadline on a long request: admitted, then expired
+        // mid-flight with partial progress.
+        let slow = server
+            .submit_with(
+                prompt(2, 1),
+                10_000,
+                RequestOptions {
+                    deadline_steps: Some(4),
+                    ..RequestOptions::default()
+                },
+            )
+            .unwrap();
+        let live = server.submit(prompt(2, 2), 2).unwrap();
+        assert!(matches!(
+            server.wait(dead).unwrap(),
+            RequestOutcome::DeadlineExceeded { decoded_tokens: 0 }
+        ));
+        assert!(matches!(
+            server.wait(slow).unwrap(),
+            RequestOutcome::DeadlineExceeded { .. }
+        ));
+        assert_eq!(wait_finished(&server, live).decoded.rows(), 2);
+        assert_eq!(server.stats().deadline_exceeded, 2);
+        drop(server);
+        assert_eq!(w.open_sessions(), 0, "expired sessions must be released");
+    }
+
+    #[test]
+    fn generous_wall_deadline_does_not_expire_a_short_request() {
+        let server = Server::start(weights(), ServeConfig::default());
+        let id = server
+            .submit_with(
+                prompt(2, 0),
+                2,
+                RequestOptions {
+                    deadline: Some(std::time::Duration::from_secs(600)),
+                    ..RequestOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(wait_finished(&server, id).decoded.rows(), 2);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_overload_with_queue_depth() {
+        let w = weights();
+        let server = Server::start(
+            Arc::clone(&w),
+            ServeConfig {
+                max_batch: 1,
+                queue_capacity: 2,
+                ..ServeConfig::default()
+            },
+        );
+        // Submit a burst far past capacity; the engine races the
+        // submissions, so we only know *at least* burst - capacity -
+        // in-flight requests resolve, and every shed one carries the
+        // observed depth.
+        let ids: Vec<u64> = (0..8)
+            .map(|i| server.submit(prompt(2, i), 30).unwrap())
+            .collect();
+        let mut rejected = 0u64;
+        for id in ids {
+            match server.wait(id).unwrap() {
+                RequestOutcome::Rejected { queue_depth } => {
+                    assert!(queue_depth >= 2, "shed below capacity");
+                    rejected += 1;
+                }
+                RequestOutcome::Finished(c) => assert_eq!(c.decoded.rows(), 30),
+                other => panic!("unexpected outcome {}", other.kind()),
+            }
+        }
+        assert!(rejected > 0, "an 8-burst into capacity 2 must shed");
+        let stats = server.stats();
+        assert_eq!(stats.rejected, rejected);
+        assert!(stats.peak_queue_depth <= 2);
+    }
+
+    #[test]
+    fn kv_budget_degrades_to_serial_admission_but_serves_everything() {
+        let w = weights();
+        // A 1-byte budget: any non-empty KV footprint is over it, so the
+        // engine degrades to one admitted request at a time — but always
+        // at least one, so everything still completes, bit-identically.
+        let server = Server::start(
+            Arc::clone(&w),
+            ServeConfig {
+                max_batch: 4,
+                kv_budget_bytes: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let reqs: Vec<(Matrix, usize)> = (0..4).map(|i| (prompt(2, i), 3)).collect();
+        let ids: Vec<u64> = reqs
+            .iter()
+            .map(|(p, d)| server.submit(p.clone(), *d).unwrap())
+            .collect();
+        for (id, (p, d)) in ids.iter().zip(&reqs) {
+            let out = wait_finished(&server, *id);
+            assert_bits_eq(&out.decoded, &run_solo(&w, p, *d).unwrap());
+        }
+    }
+
+    #[test]
+    fn injected_step_panic_fails_only_the_victim_bitwise() {
+        let w = weights();
+        let plan = FaultPlan::new(vec![Fault::StepPanic { tick: 2, slot: 0 }]);
+        let server = Server::start_with_faults(
+            Arc::clone(&w),
+            ServeConfig {
+                max_batch: 4,
+                ..ServeConfig::default()
+            },
+            plan,
+        );
+        let reqs: Vec<(Matrix, usize)> = (0..3).map(|i| (prompt(2 + i, i), 8)).collect();
+        let ids: Vec<u64> = reqs
+            .iter()
+            .map(|(p, d)| server.submit(p.clone(), *d).unwrap())
+            .collect();
+        let mut failures = 0;
+        for (id, (p, d)) in ids.iter().zip(&reqs) {
+            match server.wait(*id).unwrap() {
+                RequestOutcome::Failed { error } => {
+                    assert!(error.contains("injected fault"), "{error}");
+                    failures += 1;
+                }
+                RequestOutcome::Finished(c) => {
+                    // Survivors replayed through recovery still match solo.
+                    assert_bits_eq(&c.decoded, &run_solo(&w, p, *d).unwrap());
+                }
+                other => panic!("unexpected outcome {}", other.kind()),
+            }
+        }
+        assert_eq!(failures, 1, "exactly the victim fails");
+        let stats = server.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.recovery_ticks, 1);
+        // One caught panic in the batched step + one in the victim's
+        // isolated replay — the exact-attribution invariant.
+        assert_eq!(stats.panics_recovered, 2);
+        drop(server);
+        assert_eq!(w.open_sessions(), 0);
+    }
+
+    #[test]
+    fn injected_delay_and_cancel_leave_survivors_exact() {
+        let w = weights();
+        let plan = FaultPlan::new(vec![
+            Fault::Delay {
+                tick: 1,
+                micros: 200,
+            },
+            Fault::CancelActive { tick: 5, slot: 1 },
+        ]);
+        let server = Server::start_with_faults(
+            Arc::clone(&w),
+            ServeConfig {
+                max_batch: 4,
+                ..ServeConfig::default()
+            },
+            plan,
+        );
+        let reqs: Vec<(Matrix, usize)> = (0..3).map(|i| (prompt(2, i), 10)).collect();
+        let ids: Vec<u64> = reqs
+            .iter()
+            .map(|(p, d)| server.submit(p.clone(), *d).unwrap())
+            .collect();
+        let mut cancelled = 0;
+        for (id, (p, d)) in ids.iter().zip(&reqs) {
+            match server.wait(*id).unwrap() {
+                RequestOutcome::Cancelled { .. } => cancelled += 1,
+                RequestOutcome::Finished(c) => {
+                    assert_bits_eq(&c.decoded, &run_solo(&w, p, *d).unwrap());
+                }
+                other => panic!("unexpected outcome {}", other.kind()),
+            }
+        }
+        assert_eq!(cancelled, 1, "exactly the targeted slot is cancelled");
+        assert_eq!(server.stats().cancelled, 1);
+        drop(server);
+        assert_eq!(w.open_sessions(), 0);
     }
 
     #[test]

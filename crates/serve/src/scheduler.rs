@@ -1,33 +1,66 @@
-//! The continuous-batching scheduler: an arrival queue, an admission
-//! window, and one engine thread stepping every in-flight request's rows
-//! through a single batched model call per scheduler step.
+//! The continuous-batching scheduler: an arrival queue with admission
+//! control, one engine thread stepping every in-flight request's rows
+//! through a single batched model call per scheduler step, and a
+//! fault-tolerant request lifecycle ending in a typed [`RequestOutcome`].
 //!
 //! ```text
-//!  submit() ──► pending (FIFO) ──admit (≤ max_batch)──► active
-//!                                                        │ every step:
-//!                                                        │  stack rows →
-//!                                                        │  step_sessions
-//!                                                        │  (one batched
-//!                                                        │   GEMM walk)
-//!  wait(id) ◄── done map ◄── retire finished ◄───────────┘
+//!            shed (queue full) ──► Rejected
+//!                 │
+//!  submit() ──► pending (FIFO, bounded) ──admit (≤ max_batch,
+//!                 │                        ≤ KV budget)──► active
+//!                 │ deadline                                │ every tick:
+//!                 ▼                          cancel/deadline│  faults? →
+//!            DeadlineExceeded   Cancelled ◄────(released    │  stack rows →
+//!                                               between     │  step_sessions
+//!                                               steps)      │  (catch_unwind)
+//!                                                           │      │ panic?
+//!                                              Failed ◄── isolate ◄┘
+//!  wait(id) ◄── outcome map ◄── retire finished ◄───────────┘
 //! ```
 //!
 //! Requests are admitted and stepped in arrival order, so a given request
 //! stream is reproducible run to run; and because every output row depends
 //! only on its own request's rows and KV cache, each request's outputs are
 //! bit-identical to a solo run no matter how arrivals interleave with the
-//! engine's steps.
+//! engine's steps — including across cancellations, deadline expiry and
+//! panic recovery of *other* requests in the same batch.
+//!
+//! # Failure semantics
+//!
+//! * Every submitted id resolves to exactly one [`RequestOutcome`],
+//!   consumed once by [`Server::wait`]. Misuse (unknown id, double wait)
+//!   is a typed [`ServeError`], not a panic or a hang.
+//! * Cancelled and deadline-expired requests release their session
+//!   **between** steps, so their KV memory is reclaimed before the next
+//!   admission and never mid-computation.
+//! * A panic inside the batched step (a worker thread, a kernel, or an
+//!   injected [`Fault::StepPanic`](crate::fault::Fault)) is caught with
+//!   `catch_unwind`. Generation is closed-loop deterministic from the
+//!   prompt, so recovery resets every in-flight session and re-steps each
+//!   request in isolation: the request that reproduces the failure gets a
+//!   [`RequestOutcome::Failed`] and is released; every survivor replays to
+//!   a stream still bit-identical to its solo run. The engine keeps
+//!   scheduling.
+//! * Locks poisoned by a panic are recovered ([`lock_queues`]); shared
+//!   state is only ever mutated under the lock in panic-free sections, so
+//!   recovered guards still see consistent data.
 
-use crate::{feedback_token, ServeConfig};
+use crate::fault::{Fault, FaultPlan};
+use crate::{feedback_token, RequestOptions, ServeConfig};
 use m2x_nn::model::{ModelWeights, SessionState, StepScratch};
 use m2x_tensor::Matrix;
 use m2xfp::Error;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-tick step latencies retained for [`ServeStats::p99_step_us`].
+const STEP_LATENCY_WINDOW: usize = 4096;
 
 /// A finished request: its decode outputs plus scheduling metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Completed {
     /// The id [`Server::submit`] returned.
     pub id: u64,
@@ -42,26 +75,176 @@ pub struct Completed {
     pub finished_step: u64,
 }
 
+/// How a submitted request ended. Every id handed out by
+/// [`Server::submit`] resolves to exactly one of these, consumed once by
+/// [`Server::wait`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// Ran to completion; the payload is the full result.
+    Finished(Completed),
+    /// Cancelled — by [`Server::cancel`], [`Server::abort`], or an
+    /// injected [`Fault::CancelActive`](crate::fault::Fault) — before it
+    /// finished. Its session was released between steps.
+    Cancelled {
+        /// Decode tokens produced before the cancellation took effect.
+        decoded_tokens: u64,
+    },
+    /// Missed its deadline (scheduler-step or wall-clock) and was expired
+    /// between steps, whether still queued or already in flight.
+    DeadlineExceeded {
+        /// Decode tokens produced before expiry (0 if never admitted).
+        decoded_tokens: u64,
+    },
+    /// Shed at submission: the bounded arrival queue was full
+    /// ([`ServeConfig::queue_capacity`]). The request never touched the
+    /// engine.
+    Rejected {
+        /// Queue depth observed when the request was shed.
+        queue_depth: usize,
+    },
+    /// The engine's step failed for this specific request — a caught
+    /// panic or model error reproduced in isolation — and the request was
+    /// released. Concurrent requests keep running.
+    Failed {
+        /// The panic message or model error, for diagnostics.
+        error: String,
+    },
+}
+
+impl RequestOutcome {
+    /// The completed result, if the request [`Finished`](Self::Finished).
+    pub fn finished(self) -> Option<Completed> {
+        match self {
+            RequestOutcome::Finished(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// A short stable label for logs/metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestOutcome::Finished(_) => "finished",
+            RequestOutcome::Cancelled { .. } => "cancelled",
+            RequestOutcome::DeadlineExceeded { .. } => "deadline_exceeded",
+            RequestOutcome::Rejected { .. } => "rejected",
+            RequestOutcome::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// Typed misuse/liveness errors of the serving API — every former
+/// panic-on-misuse path of [`Server::wait`]/[`Server::submit`] lands here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The id was never issued by this server.
+    UnknownRequest {
+        /// The offending id.
+        id: u64,
+    },
+    /// The id's outcome was already consumed by an earlier
+    /// [`Server::wait`] (outcomes are handed out once).
+    AlreadyConsumed {
+        /// The offending id.
+        id: u64,
+    },
+    /// The server was shut down; no new work is accepted.
+    ShutDown,
+    /// The engine thread died without resolving this request — only
+    /// reachable if a panic escapes the engine's isolation, which the
+    /// chaos tests exist to rule out.
+    EngineDown {
+        /// Why the engine is gone.
+        reason: String,
+    },
+    /// Submit-time validation failed (shape, width, non-finite values).
+    Invalid(Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownRequest { id } => {
+                write!(f, "request {id} was never submitted to this server")
+            }
+            ServeError::AlreadyConsumed { id } => {
+                write!(f, "request {id}'s outcome was already consumed")
+            }
+            ServeError::ShutDown => write!(f, "server is shut down"),
+            ServeError::EngineDown { reason } => write!(f, "serve engine is down: {reason}"),
+            ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Error> for ServeError {
+    fn from(e: Error) -> Self {
+        ServeError::Invalid(e)
+    }
+}
+
 /// Aggregate scheduler counters (monotonic over the server's lifetime).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServeStats {
     /// Batched scheduler steps executed.
     pub steps: u64,
-    /// Total decode tokens produced across all requests.
+    /// Total decode tokens produced across all requests (tokens discarded
+    /// by a recovery replay are not double-counted).
     pub decoded_tokens: u64,
     /// Largest number of requests in flight during one step.
     pub peak_batch: usize,
+    /// Requests shed at submission because the arrival queue was full.
+    pub rejected: u64,
+    /// Requests cancelled (explicitly or by [`Server::abort`]).
+    pub cancelled: u64,
+    /// Requests expired past their deadline.
+    pub deadline_exceeded: u64,
+    /// Requests failed by a step panic or model error.
+    pub failed: u64,
+    /// Panics caught by the engine's isolation (each batched attempt and
+    /// each isolated replay counts one).
+    pub panics_recovered: u64,
+    /// Scheduler ticks that ran the reset-and-replay recovery pass.
+    pub recovery_ticks: u64,
+    /// Largest arrival-queue depth observed at submission.
+    pub peak_queue_depth: usize,
+    /// p99 engine step latency in µs over the last
+    /// [`STEP_LATENCY_WINDOW`] ticks (0 until a step has run).
+    pub p99_step_us: f64,
 }
 
 struct Pending {
     id: u64,
     prompt: Matrix,
     decode_steps: usize,
+    /// Step counter to expire at, if a step deadline was set.
+    expires_step: Option<u64>,
+    /// Wall-clock instant to expire at, if a wall deadline was set.
+    expires_at: Option<Instant>,
+}
+
+impl Pending {
+    fn expired(&self, now_step: u64, now: Instant) -> bool {
+        self.expires_step.is_some_and(|s| now_step >= s)
+            || self.expires_at.is_some_and(|t| now >= t)
+    }
 }
 
 /// One in-flight request, owned by the engine thread between steps.
 struct Active {
     id: u64,
+    /// The original prompt, kept so a recovery pass can replay the request
+    /// from scratch (generation is closed-loop deterministic).
+    prompt: Matrix,
+    decode_steps: usize,
     session: SessionState,
     next_input: Matrix,
     prefilling: bool,
@@ -69,19 +252,26 @@ struct Active {
     prefill_out: Matrix,
     decoded: Matrix,
     arrived_step: u64,
+    expires_step: Option<u64>,
+    expires_at: Option<Instant>,
 }
 
 impl Active {
     fn admit(p: Pending, weights: &ModelWeights, arrived_step: u64) -> Self {
+        let hidden = weights.hidden();
         Active {
             id: p.id,
             session: weights.new_session(),
-            next_input: p.prompt,
+            next_input: p.prompt.clone(),
+            prompt: p.prompt,
             prefilling: true,
             remaining: p.decode_steps,
-            prefill_out: Matrix::zeros(0, weights.hidden()),
-            decoded: Matrix::zeros(0, weights.hidden()),
+            decode_steps: p.decode_steps,
+            prefill_out: Matrix::zeros(0, hidden),
+            decoded: Matrix::zeros(0, hidden),
             arrived_step,
+            expires_step: p.expires_step,
+            expires_at: p.expires_at,
         }
     }
 
@@ -104,6 +294,25 @@ impl Active {
         !self.prefilling && self.remaining == 0
     }
 
+    fn expired(&self, now_step: u64, now: Instant) -> bool {
+        self.expires_step.is_some_and(|s| now_step >= s)
+            || self.expires_at.is_some_and(|t| now >= t)
+    }
+
+    /// Rewinds the request to its prompt for a recovery replay: fresh KV
+    /// state, original inputs, progress discarded. Returns the number of
+    /// decode tokens thrown away (so aggregate counters stay honest).
+    fn reset_for_replay(&mut self) -> u64 {
+        let discarded = self.decoded.rows() as u64;
+        self.session.reset();
+        self.next_input = self.prompt.clone();
+        self.prefilling = true;
+        self.remaining = self.decode_steps;
+        self.prefill_out = Matrix::zeros(0, self.prefill_out.cols());
+        self.decoded = Matrix::zeros(0, self.decoded.cols());
+        discarded
+    }
+
     fn into_completed(self, finished_step: u64) -> Completed {
         Completed {
             id: self.id,
@@ -119,32 +328,51 @@ impl Active {
 struct Queues {
     next_id: u64,
     pending: VecDeque<Pending>,
-    done: BTreeMap<u64, Completed>,
-    /// Ids whose [`Completed`] has already been handed to a waiter —
-    /// waiting again is a caller bug and panics instead of hanging.
+    done: BTreeMap<u64, RequestOutcome>,
+    /// Ids whose [`RequestOutcome`] has already been handed to a waiter.
     claimed: BTreeSet<u64>,
+    /// Cancellation flags for in-flight ids, drained by the engine
+    /// between steps (pending ids are cancelled inline by
+    /// [`Server::cancel`]).
+    cancels: BTreeSet<u64>,
     stats: ServeStats,
+    /// Recent per-tick engine step latencies (µs) for the p99 stat.
+    step_us: VecDeque<u64>,
     shutdown: bool,
-    /// Set when the engine thread hit an unrecoverable model error; waiters
-    /// surface it instead of blocking forever.
-    failed: Option<String>,
+    /// Abort-mode shutdown: cancel in-flight work instead of draining it.
+    abort: bool,
+    /// Set (with a reason) if a panic escapes the engine's isolation —
+    /// waiters then error out instead of blocking forever.
+    engine_down: Option<String>,
+    /// Set when the engine thread exits for any reason.
+    engine_exited: bool,
 }
 
 struct Shared {
     weights: Arc<ModelWeights>,
     max_batch: usize,
     threads: usize,
+    /// Arrival-queue bound (0 = unbounded): submissions past it are shed.
+    queue_capacity: usize,
+    /// Packed-KV admission budget in bytes (0 = unlimited): admission
+    /// stops (but serving continues) while in-flight KV is at or past it.
+    kv_budget: usize,
     q: Mutex<Queues>,
-    /// Wakes the engine: new arrival or shutdown.
+    /// Wakes the engine: new arrival, cancellation or shutdown.
     work_cv: Condvar,
-    /// Wakes waiters: request completed or engine failed.
+    /// Wakes waiters: an outcome landed or the engine died.
     done_cv: Condvar,
 }
 
 /// A running serving instance: one engine thread, one shared weight set,
-/// any number of submitting/waiting threads. Dropping the server drains
-/// the queues (every submitted request still completes), then joins the
-/// engine.
+/// any number of submitting/waiting/cancelling threads.
+///
+/// Shutdown ordering: [`Server::shutdown`] (and [`Drop`]) stops admission,
+/// **drains** — every already-submitted request still resolves (finish,
+/// cancel, deadline, fail) — then joins the engine thread.
+/// [`Server::abort`] instead cancels all queued and in-flight work, then
+/// joins. Both are deterministic: after either returns, every id has an
+/// outcome and every session has been released.
 pub struct Server {
     shared: Arc<Shared>,
     engine: Option<JoinHandle<()>>,
@@ -153,9 +381,22 @@ pub struct Server {
 impl Server {
     /// Spawns the engine thread over an `Arc`-shared prepared model.
     pub fn start(weights: Arc<ModelWeights>, cfg: ServeConfig) -> Self {
+        Self::start_with_faults(weights, cfg, FaultPlan::none())
+    }
+
+    /// [`Server::start`] plus a deterministic [`FaultPlan`] the engine
+    /// fires at its scheduled ticks — the chaos-testing entry point (see
+    /// [`crate::fault`]).
+    pub fn start_with_faults(
+        weights: Arc<ModelWeights>,
+        cfg: ServeConfig,
+        plan: FaultPlan,
+    ) -> Self {
         let shared = Arc::new(Shared {
             threads: cfg.worker_threads,
             max_batch: cfg.max_batch.max(1),
+            queue_capacity: cfg.queue_capacity,
+            kv_budget: cfg.kv_budget_bytes,
             weights,
             q: Mutex::new(Queues::default()),
             work_cv: Condvar::new(),
@@ -164,7 +405,7 @@ impl Server {
         let engine_shared = Arc::clone(&shared);
         let engine = std::thread::Builder::new()
             .name("m2x-serve-engine".into())
-            .spawn(move || engine_loop(&engine_shared))
+            .spawn(move || engine_loop(&engine_shared, plan))
             .expect("spawning the serve engine thread");
         Server {
             shared,
@@ -177,59 +418,137 @@ impl Server {
     /// `prompt` and then runs `decode_steps` closed-loop decode steps
     /// through [`feedback_token`].
     ///
+    /// If the arrival queue is at [`ServeConfig::queue_capacity`], the
+    /// request is **shed**: an id is still returned, and its outcome is
+    /// [`RequestOutcome::Rejected`] — overload is an outcome, not an
+    /// error, so callers can distinguish it from caller bugs.
+    ///
     /// # Errors
     ///
-    /// Fails on an empty prompt, an input width mismatch, or a prompt
-    /// containing NaN/Inf values — non-finite rows would flow into the
-    /// online quantizer and poison the engine thread mid-batch, taking
-    /// every concurrent request down with a config error that belongs to
-    /// this one.
-    pub fn submit(&self, prompt: Matrix, decode_steps: usize) -> Result<u64, Error> {
+    /// [`ServeError::Invalid`] on an empty prompt, an input width
+    /// mismatch, or a prompt containing NaN/Inf values — non-finite rows
+    /// would flow into the online quantizer and poison the engine thread
+    /// mid-batch, taking every concurrent request down with an error that
+    /// belongs to this one. [`ServeError::ShutDown`] after
+    /// [`Server::shutdown`]/[`Server::abort`]: the request would queue
+    /// into a dead engine.
+    pub fn submit(&self, prompt: Matrix, decode_steps: usize) -> Result<u64, ServeError> {
+        self.submit_with(prompt, decode_steps, RequestOptions::default())
+    }
+
+    /// [`Server::submit`] with per-request [`RequestOptions`]: deadlines
+    /// in scheduler steps and/or wall-clock time, counted from
+    /// submission (queue wait included).
+    pub fn submit_with(
+        &self,
+        prompt: Matrix,
+        decode_steps: usize,
+        opts: RequestOptions,
+    ) -> Result<u64, ServeError> {
         if prompt.rows() == 0 {
-            return Err(Error::config("prompt must contain at least one token"));
+            return Err(Error::config("prompt must contain at least one token").into());
         }
         if prompt.cols() != self.shared.weights.hidden() {
-            return Err(Error::WidthMismatch {
+            return Err(ServeError::Invalid(Error::WidthMismatch {
                 tensor: "serve prompt".to_string(),
                 expected: self.shared.weights.hidden(),
                 got: prompt.cols(),
-            });
+            }));
         }
         crate::check_finite(&prompt)?;
+        let now = Instant::now();
         let mut q = self.lock();
+        if q.shutdown {
+            return Err(ServeError::ShutDown);
+        }
         let id = q.next_id;
         q.next_id += 1;
+        if self.shared.queue_capacity > 0 && q.pending.len() >= self.shared.queue_capacity {
+            let queue_depth = q.pending.len();
+            q.stats.rejected += 1;
+            q.done.insert(id, RequestOutcome::Rejected { queue_depth });
+            self.shared.done_cv.notify_all();
+            return Ok(id);
+        }
+        let expires_step = opts.deadline_steps.map(|d| q.stats.steps + d);
+        let expires_at = opts.deadline.map(|d| now + d);
         q.pending.push_back(Pending {
             id,
             prompt,
             decode_steps,
+            expires_step,
+            expires_at,
         });
+        q.stats.peak_queue_depth = q.stats.peak_queue_depth.max(q.pending.len());
         self.shared.work_cv.notify_one();
         Ok(id)
     }
 
-    /// Blocks until request `id` completes and returns its outputs. Each
-    /// completion is handed out **once**: the first `wait(id)` consumes it.
+    /// Requests cancellation of `id`. A still-queued request is cancelled
+    /// inline; an in-flight one is flagged and released by the engine
+    /// **between** steps (its KV memory reclaimed before the next
+    /// admission). Returns `true` if the cancellation was recorded while
+    /// the request was unresolved, `false` if it had already resolved —
+    /// either way [`Server::wait`] reports the authoritative outcome
+    /// (best-effort: a request may still finish in the step racing the
+    /// flag).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the engine thread failed (a model error mid-stream — only
-    /// reachable when submit-time validation was bypassed), if `id` was
-    /// never issued by this server, or if `id` was already waited on.
-    pub fn wait(&self, id: u64) -> Completed {
+    /// [`ServeError::UnknownRequest`] if `id` was never issued here.
+    pub fn cancel(&self, id: u64) -> Result<bool, ServeError> {
         let mut q = self.lock();
-        assert!(id < q.next_id, "request {id} was never submitted here");
-        assert!(
-            !q.claimed.contains(&id),
-            "request {id} was already waited on (completions are consumed once)"
-        );
+        if id >= q.next_id {
+            return Err(ServeError::UnknownRequest { id });
+        }
+        if q.done.contains_key(&id) || q.claimed.contains(&id) {
+            return Ok(false);
+        }
+        if let Some(pos) = q.pending.iter().position(|p| p.id == id) {
+            q.pending.remove(pos);
+            q.stats.cancelled += 1;
+            q.done
+                .insert(id, RequestOutcome::Cancelled { decoded_tokens: 0 });
+            self.shared.done_cv.notify_all();
+            return Ok(true);
+        }
+        q.cancels.insert(id);
+        self.shared.work_cv.notify_one();
+        Ok(true)
+    }
+
+    /// Blocks until request `id` resolves and returns its
+    /// [`RequestOutcome`]. Each outcome is handed out **once**: the first
+    /// `wait(id)` consumes it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownRequest`] if `id` was never issued here,
+    /// [`ServeError::AlreadyConsumed`] on a second wait for the same id,
+    /// [`ServeError::EngineDown`] if the engine thread died without
+    /// resolving the request (never blocks forever).
+    pub fn wait(&self, id: u64) -> Result<RequestOutcome, ServeError> {
+        let mut q = self.lock();
+        if id >= q.next_id {
+            return Err(ServeError::UnknownRequest { id });
+        }
+        if q.claimed.contains(&id) {
+            return Err(ServeError::AlreadyConsumed { id });
+        }
         loop {
             if let Some(done) = q.done.remove(&id) {
                 q.claimed.insert(id);
-                return done;
+                return Ok(done);
             }
-            if let Some(err) = &q.failed {
-                panic!("serve engine failed: {err}");
+            if let Some(reason) = &q.engine_down {
+                return Err(ServeError::EngineDown {
+                    reason: reason.clone(),
+                });
+            }
+            if q.engine_exited {
+                return Err(ServeError::EngineDown {
+                    reason: "engine thread exited before the request resolved".to_string(),
+                });
             }
             q = self
                 .shared
@@ -239,9 +558,47 @@ impl Server {
         }
     }
 
-    /// Aggregate scheduler counters so far.
+    /// Aggregate scheduler counters so far. Lock-poison-tolerant: the
+    /// queue mutex is recovered on poisoning (see [`lock_queues`]), so
+    /// stats stay readable even while the engine is mid-recovery from a
+    /// caught panic.
     pub fn stats(&self) -> ServeStats {
-        self.lock().stats
+        let q = self.lock();
+        let mut stats = q.stats;
+        stats.p99_step_us = percentile_us(&q.step_us, 0.99);
+        stats
+    }
+
+    /// Graceful shutdown: stops admission (later [`Server::submit`]s
+    /// return [`ServeError::ShutDown`]), **drains** every
+    /// already-submitted request to an outcome, joins the engine thread,
+    /// and returns the final stats. Idempotent; [`Drop`] calls it.
+    pub fn shutdown(&mut self) -> ServeStats {
+        {
+            let mut q = self.lock();
+            q.shutdown = true;
+        }
+        self.join_engine()
+    }
+
+    /// Hard shutdown: stops admission and **cancels** every queued and
+    /// in-flight request (outcome [`RequestOutcome::Cancelled`], sessions
+    /// released) instead of draining, then joins the engine thread.
+    pub fn abort(&mut self) -> ServeStats {
+        {
+            let mut q = self.lock();
+            q.shutdown = true;
+            q.abort = true;
+        }
+        self.join_engine()
+    }
+
+    fn join_engine(&mut self) -> ServeStats {
+        self.shared.work_cv.notify_all();
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+        self.stats()
     }
 
     fn lock(&self) -> MutexGuard<'_, Queues> {
@@ -251,103 +608,346 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.lock().shutdown = true;
-        self.shared.work_cv.notify_all();
-        if let Some(engine) = self.engine.take() {
-            let _ = engine.join();
-        }
+        self.shutdown();
     }
 }
 
-/// Locks the queue state, recovering from poisoning: every mutation
-/// inside the lock is applied atomically from the state's point of view
-/// (panics can only fire before any mutation — e.g. [`Server::wait`]'s
-/// misuse asserts), so a poisoned mutex still guards consistent data.
+/// Locks the queue state, recovering from poisoning: every mutation of the
+/// queue state happens under the lock in panic-free sections (the engine's
+/// model calls run outside the lock, behind `catch_unwind`), so a poisoned
+/// mutex still guards consistent data.
 fn lock_queues(shared: &Shared) -> MutexGuard<'_, Queues> {
     shared.q.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// p99 (or any percentile) of the retained step-latency window, in µs.
+fn percentile_us(window: &VecDeque<u64>, p: f64) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<u64> = window.iter().copied().collect();
+    v.sort_unstable();
+    let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+    v[idx.min(v.len() - 1)] as f64
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "step panicked".to_string()
+    }
+}
+
+/// Resolves every queued and in-flight request as cancelled (the abort
+/// shutdown path); sessions drop here, releasing their KV memory.
+fn abort_all(q: &mut Queues, active: &mut Vec<Active>) {
+    while let Some(p) = q.pending.pop_front() {
+        q.stats.cancelled += 1;
+        q.done
+            .insert(p.id, RequestOutcome::Cancelled { decoded_tokens: 0 });
+    }
+    for a in active.drain(..) {
+        q.stats.cancelled += 1;
+        q.done.insert(
+            a.id,
+            RequestOutcome::Cancelled {
+                decoded_tokens: a.decoded.rows() as u64,
+            },
+        );
+    }
+}
+
+/// Publishes "the engine is gone" on every exit path of [`engine_loop`] —
+/// including a panic escaping its isolation — so waiters never block on an
+/// id that can no longer resolve.
+struct EngineExitGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for EngineExitGuard<'_> {
+    fn drop(&mut self) {
+        let mut q = lock_queues(self.shared);
+        q.engine_exited = true;
+        if std::thread::panicking() {
+            q.engine_down = Some("a panic escaped the engine's step isolation".to_string());
+        }
+        self.shared.done_cv.notify_all();
+    }
+}
+
 /// The continuous-batching loop (runs on the engine thread).
-fn engine_loop(shared: &Shared) {
+fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
     let mut active: Vec<Active> = Vec::new();
     // One activation scratch for the engine's lifetime: every scheduler
     // step's projection GEMMs (and, at one worker, the attention score
     // GEMVs) reuse it, so the decode hot loop stops allocating activation
-    // planes per call.
+    // planes per call. Reset after any caught panic (stale contents are
+    // harmless — see `GemmScratch` — but recovery discards them anyway).
     let mut scratch = StepScratch::new();
+    let _exit_guard = EngineExitGuard { shared };
     loop {
-        // Admission: wait for work, then top the batch up from the queue
-        // in arrival order.
-        {
+        // ── Phase 1 (locked): lifecycle + admission ─────────────────────
+        // Cancellations and deadline expiries resolve here, **between**
+        // steps: the released sessions drop before the admission below,
+        // so reclaimed KV memory immediately frees budget and batch slots.
+        let tick = {
             let mut q = lock_queues(shared);
-            while active.is_empty() && q.pending.is_empty() && !q.shutdown {
-                q = shared
-                    .work_cv
-                    .wait(q)
-                    .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if q.abort {
+                    abort_all(&mut q, &mut active);
+                    shared.done_cv.notify_all();
+                    return;
+                }
+                if active.is_empty() && q.pending.is_empty() {
+                    if q.shutdown {
+                        return;
+                    }
+                    q = shared
+                        .work_cv
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    continue;
+                }
+                break;
             }
-            if active.is_empty() && q.pending.is_empty() && q.shutdown {
-                return;
+            let now_step = q.stats.steps;
+            let now = Instant::now();
+            let mut resolved = false;
+            for _ in 0..q.pending.len() {
+                let p = q.pending.pop_front().expect("len-bounded");
+                if p.expired(now_step, now) {
+                    q.stats.deadline_exceeded += 1;
+                    q.done
+                        .insert(p.id, RequestOutcome::DeadlineExceeded { decoded_tokens: 0 });
+                    resolved = true;
+                } else {
+                    q.pending.push_back(p);
+                }
             }
-            let arrived = q.stats.steps;
+            let cancels = std::mem::take(&mut q.cancels);
+            let mut keep = Vec::with_capacity(active.len());
+            for a in active.drain(..) {
+                let decoded_tokens = a.decoded.rows() as u64;
+                if cancels.contains(&a.id) {
+                    q.stats.cancelled += 1;
+                    q.done
+                        .insert(a.id, RequestOutcome::Cancelled { decoded_tokens });
+                    resolved = true;
+                } else if a.expired(now_step, now) {
+                    q.stats.deadline_exceeded += 1;
+                    q.done
+                        .insert(a.id, RequestOutcome::DeadlineExceeded { decoded_tokens });
+                    resolved = true;
+                } else {
+                    keep.push(a);
+                }
+            }
+            active = keep;
+            let mut kv_used: usize = active.iter().map(|a| a.session.kv_bytes()).sum();
             while active.len() < shared.max_batch {
+                // Graceful degradation, not a stall: past the KV budget we
+                // stop admitting, but at least one request always runs, so
+                // the budget drains and admission resumes.
+                if shared.kv_budget > 0 && !active.is_empty() && kv_used >= shared.kv_budget {
+                    break;
+                }
                 let Some(p) = q.pending.pop_front() else {
                     break;
                 };
-                active.push(Active::admit(p, &shared.weights, arrived));
+                let a = Active::admit(p, &shared.weights, now_step);
+                kv_used += a.session.kv_bytes();
+                active.push(a);
+            }
+            q.stats.peak_batch = q.stats.peak_batch.max(active.len());
+            if resolved {
+                shared.done_cv.notify_all();
+            }
+            now_step
+        };
+        if active.is_empty() {
+            continue;
+        }
+
+        // ── Phase 2: scheduled faults for this tick ─────────────────────
+        let mut armed_panic: Option<u64> = None;
+        let mut cancelled_now = 0u64;
+        for fault in plan.take_due(tick).to_vec() {
+            match fault {
+                Fault::Delay { micros, .. } => {
+                    std::thread::sleep(Duration::from_micros(micros));
+                }
+                Fault::CancelActive { slot, .. } => {
+                    if slot < active.len() {
+                        let a = active.remove(slot);
+                        cancelled_now += 1;
+                        let mut q = lock_queues(shared);
+                        q.done.insert(
+                            a.id,
+                            RequestOutcome::Cancelled {
+                                decoded_tokens: a.decoded.rows() as u64,
+                            },
+                        );
+                        shared.done_cv.notify_all();
+                    }
+                }
+                Fault::StepPanic { slot, .. } => {
+                    if slot < active.len() {
+                        armed_panic = Some(active[slot].id);
+                    }
+                }
+            }
+        }
+        if active.is_empty() {
+            let mut q = lock_queues(shared);
+            q.stats.cancelled += cancelled_now;
+            continue;
+        }
+        // A same-tick CancelActive may have removed the panic victim from
+        // the batch: disarm, so a fired panic always attributes to a
+        // request that is actually stepped.
+        if let Some(victim) = armed_panic {
+            if !active.iter().any(|a| a.id == victim) {
+                armed_panic = None;
             }
         }
 
-        // One batched step over every in-flight request (no lock held:
-        // arrivals enqueue concurrently and are admitted next step).
+        // ── Phase 3: one batched step (isolated), recovery on failure ───
+        let t0 = Instant::now();
         let inputs: Vec<Matrix> = active.iter().map(|a| a.next_input.clone()).collect();
-        let step = {
+        let step = catch_unwind(AssertUnwindSafe(|| {
             let mut sessions: Vec<&mut SessionState> =
                 active.iter_mut().map(|a| &mut a.session).collect();
-            shared.weights.step_sessions_scratch(
+            let out = shared.weights.step_sessions_scratch(
                 &mut sessions,
                 &inputs,
                 shared.threads,
                 &mut scratch,
-            )
-        };
-        let outs = match step {
-            Ok(outs) => outs,
-            Err(e) => {
-                let mut q = lock_queues(shared);
-                q.failed = Some(e.to_string());
-                shared.done_cv.notify_all();
-                return;
+            );
+            if let (Some(victim), Ok(_)) = (armed_panic, &out) {
+                // Injected *after* the batched compute: session state has
+                // already advanced when the panic lands — the worst case
+                // the reset-and-replay recovery must handle.
+                panic!("injected fault: step panic (request {victim})");
             }
-        };
+            out
+        }));
 
-        let batch = active.len();
-        let mut decoded_now = 0u64;
-        for (a, y) in active.iter_mut().zip(outs) {
-            decoded_now += a.consume(y);
-        }
-        let finished: Vec<Active> = {
-            let mut rest = Vec::with_capacity(active.len());
-            let mut done = Vec::new();
-            for a in active.drain(..) {
-                if a.finished() {
-                    done.push(a);
-                } else {
-                    rest.push(a);
+        let mut decoded_delta: i64 = 0;
+        let mut caught_panics = 0u64;
+        let mut failed: Vec<(u64, RequestOutcome)> = Vec::new();
+        let mut recovery = false;
+        match step {
+            Ok(Ok(outs)) => {
+                for (a, y) in active.iter_mut().zip(outs) {
+                    decoded_delta += a.consume(y) as i64;
                 }
             }
-            active = rest;
-            done
-        };
+            other => {
+                // The batched step died mid-flight: a panic (caught above)
+                // or a model error. Every in-flight session is suspect —
+                // the failure may have landed after some sessions already
+                // appended this step's KV rows. Generation is closed-loop
+                // deterministic from the prompt, so recovery rewinds every
+                // request and re-steps each in isolation: the one that
+                // reproduces the failure is failed and released, the rest
+                // replay to bit-identical streams and keep going batched.
+                recovery = true;
+                let batched_error = match other {
+                    Ok(Err(e)) => e.to_string(),
+                    Err(payload) => {
+                        caught_panics += 1;
+                        panic_message(payload)
+                    }
+                    Ok(Ok(_)) => unreachable!("handled above"),
+                };
+                scratch.reset();
+                let mut survivors = Vec::with_capacity(active.len());
+                for mut a in active.drain(..) {
+                    decoded_delta -= a.reset_for_replay() as i64;
+                    let input = [a.next_input.clone()];
+                    let rid = a.id;
+                    let isolated = catch_unwind(AssertUnwindSafe(|| {
+                        let mut sessions: Vec<&mut SessionState> = vec![&mut a.session];
+                        let out = shared.weights.step_sessions_scratch(
+                            &mut sessions,
+                            &input,
+                            shared.threads,
+                            &mut scratch,
+                        );
+                        if let (Some(victim), Ok(_)) = (armed_panic, &out) {
+                            if victim == rid {
+                                panic!("injected fault: step panic (request {rid})");
+                            }
+                        }
+                        out
+                    }));
+                    match isolated {
+                        Ok(Ok(mut outs)) => {
+                            let y = outs.pop().expect("one session stepped");
+                            decoded_delta += a.consume(y) as i64;
+                            survivors.push(a);
+                        }
+                        Ok(Err(e)) => {
+                            failed.push((
+                                rid,
+                                RequestOutcome::Failed {
+                                    error: format!("{e} (batched step: {batched_error})"),
+                                },
+                            ));
+                        }
+                        Err(payload) => {
+                            caught_panics += 1;
+                            scratch.reset();
+                            failed.push((
+                                rid,
+                                RequestOutcome::Failed {
+                                    error: panic_message(payload),
+                                },
+                            ));
+                        }
+                    }
+                }
+                active = survivors;
+            }
+        }
+        let step_us = t0.elapsed().as_micros() as u64;
 
+        // ── Phase 4 (locked): bookkeeping + retire ──────────────────────
+        let batch = active.len() + failed.len();
         let mut q = lock_queues(shared);
         q.stats.steps += 1;
-        q.stats.decoded_tokens += decoded_now;
+        q.stats.decoded_tokens = (q.stats.decoded_tokens as i64 + decoded_delta).max(0) as u64;
         q.stats.peak_batch = q.stats.peak_batch.max(batch);
-        let now = q.stats.steps;
-        for f in finished {
-            q.done.insert(f.id, f.into_completed(now));
+        q.stats.cancelled += cancelled_now;
+        q.stats.panics_recovered += caught_panics;
+        q.stats.failed += failed.len() as u64;
+        if recovery {
+            q.stats.recovery_ticks += 1;
         }
+        if q.step_us.len() == STEP_LATENCY_WINDOW {
+            q.step_us.pop_front();
+        }
+        q.step_us.push_back(step_us);
+        let now = q.stats.steps;
+        for (id, outcome) in failed {
+            q.cancels.remove(&id);
+            q.done.insert(id, outcome);
+        }
+        let mut rest = Vec::with_capacity(active.len());
+        for a in active.drain(..) {
+            if a.finished() {
+                q.cancels.remove(&a.id);
+                q.done
+                    .insert(a.id, RequestOutcome::Finished(a.into_completed(now)));
+            } else {
+                rest.push(a);
+            }
+        }
+        active = rest;
         shared.done_cv.notify_all();
     }
 }

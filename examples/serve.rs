@@ -1,19 +1,24 @@
 //! Serving a handful of concurrent generation requests from one shared
-//! quantized model through the `m2x-serve` continuous-batching runtime.
+//! quantized model through the `m2x-serve` continuous-batching runtime —
+//! including the fault-tolerant request lifecycle: deadlines, explicit
+//! cancellation, and typed [`RequestOutcome`]s.
 //!
 //! One `Arc<ModelWeights>` (every projection Sg-EM-quantized and prepared
 //! once) backs every request; each request only owns its packed KV cache.
 //! The scheduler admits arrivals up to the batch window, stacks all active
 //! requests' pending rows into one batched engine step, and retires
-//! requests as they finish — and every request's token stream is
-//! bit-identical to running it alone, which this example double-checks.
+//! requests as they finish — and every surviving request's token stream is
+//! bit-identical to running it alone, which this example double-checks
+//! while a deadline expiry and a cancellation land in the same batch.
 //!
 //! Run with: `cargo run --release --example serve`
+//!
+//! [`RequestOutcome`]: m2xfp_repro::serve::RequestOutcome
 
 use m2xfp_repro::nn::model::ModelBuilder;
 use m2xfp_repro::nn::profile::ModelProfile;
 use m2xfp_repro::nn::synth::activation_matrix;
-use m2xfp_repro::serve::{run_solo, ServeConfig, Server};
+use m2xfp_repro::serve::{run_solo, RequestOptions, RequestOutcome, ServeConfig, Server};
 use m2xfp_repro::tensor::Matrix;
 use std::sync::Arc;
 use std::time::Instant;
@@ -47,11 +52,11 @@ fn main() {
         .collect();
 
     // ── 3. Serve them through the continuous-batching scheduler ──
-    let server = Server::start(
+    let mut server = Server::start(
         Arc::clone(&weights),
         ServeConfig {
             max_batch: 4, // admission window smaller than the burst
-            worker_threads: 0,
+            ..ServeConfig::default()
         },
     );
     let t0 = Instant::now();
@@ -64,8 +69,48 @@ fn main() {
         ids.len(),
         4
     );
+
+    // ── 4. Two more requests exercise the failure semantics: one with an
+    //       impossible deadline, one cancelled mid-flight. Both release
+    //       their KV memory between steps; neither disturbs the batch. ──
+    let doomed_prompt = activation_matrix(&profile, 90, 4, 128).map(|v| (v * 0.25).tanh());
+    let doomed = server
+        .submit_with(
+            doomed_prompt,
+            500,
+            RequestOptions {
+                deadline_steps: Some(2), // a 501-step request with a 2-step SLO
+                ..RequestOptions::default()
+            },
+        )
+        .expect("valid request");
+    let unwanted_prompt = activation_matrix(&profile, 91, 4, 128).map(|v| (v * 0.25).tanh());
+    let unwanted = server
+        .submit(unwanted_prompt, 10_000)
+        .expect("valid request");
+    server.cancel(unwanted).expect("id was issued here");
+    match server.wait(doomed).expect("typed outcome") {
+        RequestOutcome::DeadlineExceeded { decoded_tokens } => println!(
+            "request {doomed}: deadline exceeded after {decoded_tokens} decode tokens \
+             (2-step SLO, 500-step request)"
+        ),
+        other => println!("request {doomed}: {}", other.kind()),
+    }
+    match server.wait(unwanted).expect("typed outcome") {
+        RequestOutcome::Cancelled { decoded_tokens } => println!(
+            "request {unwanted}: cancelled mid-flight after {decoded_tokens} decode tokens, \
+             KV reclaimed between steps"
+        ),
+        other => println!("request {unwanted}: {}", other.kind()),
+    }
+
+    // ── 5. The disrupted requests never touched the survivors' bits ──
     for (id, (prompt, decode)) in ids.iter().zip(&requests) {
-        let out = server.wait(*id);
+        let out = server
+            .wait(*id)
+            .expect("typed outcome")
+            .finished()
+            .expect("no faults target these requests");
         println!(
             "  request {id}: prompt {:>2} tokens + {decode} decoded, \
              latency {} scheduler steps",
@@ -76,14 +121,18 @@ fn main() {
         let solo = run_solo(&weights, prompt, *decode).expect("solo run");
         assert_eq!(out.decoded, solo, "request {id} diverged from solo");
     }
-    let stats = server.stats();
+    let stats = server.shutdown();
     println!(
-        "\nall {} requests served in {:.2?}: {} scheduler steps, {} decode tokens, peak batch {}",
+        "\nall {} requests served in {:.2?}: {} scheduler steps, {} decode tokens, peak batch {}, \
+         {} cancelled, {} deadline-exceeded",
         ids.len(),
         t0.elapsed(),
         stats.steps,
         stats.decoded_tokens,
         stats.peak_batch,
+        stats.cancelled,
+        stats.deadline_exceeded,
     );
-    println!("every stream bit-identical to its solo session ✓");
+    assert_eq!(weights.open_sessions(), 0, "no leaked sessions after drain");
+    println!("every surviving stream bit-identical to its solo session ✓ (zero leaked sessions)");
 }

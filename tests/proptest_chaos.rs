@@ -1,0 +1,282 @@
+//! Chaos property tests on the `m2x-serve` fault-tolerance layer: under a
+//! seeded [`FaultPlan`] of step panics, artificial delays and mid-flight
+//! cancels — mixed with per-request deadlines and arbitrary arrival
+//! interleavings — the server must degrade *per request*, never as a
+//! whole:
+//!
+//! * every submitted id resolves to exactly one typed [`RequestOutcome`]
+//!   (no hangs, no engine death);
+//! * every injected step panic fails **exactly one** request (pinned by
+//!   the engine's caught-panic accounting: one batched attempt + one
+//!   isolated replay per fired fault);
+//! * every *surviving* request's token stream is **bit-identical** to its
+//!   solo run — panic recovery replays through the same kernels, so even
+//!   requests whose sessions were rewound mid-flight must not drift;
+//! * the server quiesces with **zero leaked sessions** (all KV memory
+//!   released), which `ModelWeights::open_sessions` meters.
+
+use m2xfp_repro::nn::model::{ModelBuilder, ModelWeights};
+use m2xfp_repro::nn::profile::ModelProfile;
+use m2xfp_repro::nn::synth::activation_matrix;
+use m2xfp_repro::serve::{
+    run_solo, FaultPlan, RequestOptions, RequestOutcome, ServeConfig, Server,
+};
+use m2xfp_repro::tensor::Matrix;
+use m2xfp_repro::testkit::cases;
+use std::sync::Arc;
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape");
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}");
+    }
+}
+
+fn prompt(tokens: usize, seed: usize, hidden: usize) -> Matrix {
+    activation_matrix(&ModelProfile::llama3_8b(), seed, tokens, hidden).map(|v| (v * 0.25).tanh())
+}
+
+fn tiny_weights(layers: usize) -> Arc<ModelWeights> {
+    Arc::new(
+        ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, layers)
+            .build_weights()
+            .unwrap(),
+    )
+}
+
+/// The headline chaos property (see module docs): typed outcomes, exact
+/// fault attribution, bit-identical survivors, zero leaks, engine alive.
+#[test]
+fn chaos_plan_degrades_per_request_and_leaks_nothing() {
+    cases(5, |g| {
+        let weights = tiny_weights(1 + g.below(2));
+        let max_batch = 2 + g.below(3);
+        let n_requests = 3 + g.below(4);
+        let reqs: Vec<(Matrix, usize)> = (0..n_requests)
+            .map(|i| (prompt(1 + g.below(4), g.case * 97 + i, 64), 6 + g.below(6)))
+            .collect();
+        let solo: Vec<Matrix> = reqs
+            .iter()
+            .map(|(p, d)| run_solo(&weights, p, *d).unwrap())
+            .collect();
+        let plan = FaultPlan::seeded(
+            g.u32() as u64,
+            10,        // horizon: inside the ~n*(1+decode)/batch tick span
+            max_batch, // slots
+            1,         // step panics
+            1 + g.below(2),
+            1 + g.below(2),
+            200, // ≤200µs delays
+        );
+        let planned_faults = plan.len();
+        let server = Server::start_with_faults(
+            Arc::clone(&weights),
+            ServeConfig {
+                max_batch,
+                worker_threads: 1 + g.below(2),
+                ..ServeConfig::default()
+            },
+            plan,
+        );
+
+        // Arbitrary interleaving: one mid-burst request carries a step
+        // deadline that may or may not fire depending on queue depth.
+        let deadline_victim = g.below(n_requests);
+        let ids: Vec<u64> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, (p, d))| {
+                let opts = if i == deadline_victim {
+                    RequestOptions {
+                        deadline_steps: Some(3 + g.below(4) as u64),
+                        ..RequestOptions::default()
+                    }
+                } else {
+                    RequestOptions::default()
+                };
+                server.submit_with(p.clone(), *d, opts).unwrap()
+            })
+            .collect();
+
+        let (mut finished, mut failed, mut disrupted) = (0u64, 0u64, 0u64);
+        for (i, id) in ids.iter().enumerate() {
+            // Every id resolves to a typed outcome — wait never errors,
+            // never hangs (the engine survived whatever the plan threw).
+            match server.wait(*id).unwrap() {
+                RequestOutcome::Finished(c) => {
+                    assert_eq!(c.id, *id);
+                    assert_bits_eq(
+                        &c.decoded,
+                        &solo[i],
+                        &format!("case {}: survivor {i}", g.case),
+                    );
+                    finished += 1;
+                }
+                RequestOutcome::Failed { error } => {
+                    assert!(
+                        error.contains("injected fault"),
+                        "case {}: only injected faults can fail requests: {error}",
+                        g.case
+                    );
+                    failed += 1;
+                }
+                RequestOutcome::Cancelled { .. } | RequestOutcome::DeadlineExceeded { .. } => {
+                    disrupted += 1;
+                }
+                RequestOutcome::Rejected { .. } => {
+                    panic!("case {}: unbounded queue cannot shed", g.case)
+                }
+            }
+        }
+        assert_eq!(finished + failed + disrupted, n_requests as u64);
+
+        let stats = server.stats();
+        assert_eq!(stats.failed, failed);
+        // Exact attribution: each fired step panic is caught exactly twice
+        // (batched attempt + isolated replay of its victim) and fails
+        // exactly one request.
+        assert_eq!(
+            stats.panics_recovered,
+            2 * failed,
+            "case {}: fired panics must map 1:1 to failed requests",
+            g.case
+        );
+        assert_eq!(stats.recovery_ticks, failed);
+        assert!(
+            stats.cancelled + stats.deadline_exceeded == disrupted,
+            "case {}: disruptions must be typed",
+            g.case
+        );
+
+        // The engine keeps scheduling afterwards. Not every planned fault
+        // has necessarily fired yet (ticks only advance under load), so a
+        // probe may still absorb one — but each remaining harmful fault
+        // kills at most one probe, so within planned_faults + 1 attempts
+        // one must run clean, and every casualty stays typed.
+        let mut probe_ok = false;
+        for attempt in 0..=planned_faults {
+            let probe = prompt(2, g.case * 97 + 1000 + attempt, 64);
+            let probe_id = server.submit(probe.clone(), 3).unwrap();
+            match server.wait(probe_id).unwrap() {
+                RequestOutcome::Finished(c) => {
+                    assert_bits_eq(
+                        &c.decoded,
+                        &run_solo(&weights, &probe, 3).unwrap(),
+                        &format!("case {}: post-chaos probe", g.case),
+                    );
+                    probe_ok = true;
+                    break;
+                }
+                RequestOutcome::Failed { error } => {
+                    assert!(error.contains("injected fault"), "{error}")
+                }
+                RequestOutcome::Cancelled { .. } => {}
+                other => panic!("case {}: probe outcome {}", g.case, other.kind()),
+            }
+        }
+        assert!(
+            probe_ok,
+            "case {}: engine must keep serving once the plan is exhausted",
+            g.case
+        );
+
+        // Quiescence: dropping the server (graceful drain) leaves zero
+        // live sessions — no leaked KV pages anywhere.
+        drop(server);
+        assert_eq!(
+            weights.open_sessions(),
+            0,
+            "case {}: leaked sessions",
+            g.case
+        );
+    });
+}
+
+/// Satellite: join/leave/cancel churn over many ticks leaves the weights'
+/// session accounting at zero *while the server is still live*, and the
+/// reclaimed capacity re-admits a full `max_batch` afterwards — the
+/// KV-reclaim path never strands a slot.
+#[test]
+fn churn_returns_session_accounting_to_zero_and_readmits_full_batch() {
+    cases(4, |g| {
+        let weights = tiny_weights(1);
+        let max_batch = 2 + g.below(3);
+        let server = Server::start(
+            Arc::clone(&weights),
+            ServeConfig {
+                max_batch,
+                ..ServeConfig::default()
+            },
+        );
+        for wave in 0..3 {
+            let n = 2 + g.below(4);
+            let mut kill_list = Vec::new();
+            let mut keep_list = Vec::new();
+            for i in 0..n {
+                let p = prompt(1 + g.below(3), g.case * 131 + wave * 17 + i, 64);
+                match g.below(3) {
+                    // Long request we cancel mid-flight.
+                    0 => kill_list.push(server.submit(p, 10_000).unwrap()),
+                    // Doomed: expires before it can ever be stepped.
+                    1 => keep_list.push(
+                        server
+                            .submit_with(
+                                p,
+                                4,
+                                RequestOptions {
+                                    deadline_steps: Some(0),
+                                    ..RequestOptions::default()
+                                },
+                            )
+                            .unwrap(),
+                    ),
+                    // Normal request that runs to completion.
+                    _ => keep_list.push(server.submit(p, 1 + g.below(4)).unwrap()),
+                }
+            }
+            for id in &kill_list {
+                server.cancel(*id).unwrap();
+            }
+            for id in kill_list.into_iter().chain(keep_list) {
+                server.wait(id).unwrap(); // every outcome typed, none hang
+            }
+            // All waves' sessions are released as soon as their outcomes
+            // resolve — no shutdown needed to get the memory back.
+            assert_eq!(
+                weights.open_sessions(),
+                0,
+                "case {} wave {wave}: sessions leaked mid-life",
+                g.case
+            );
+        }
+
+        // Post-churn, a fresh burst fills the whole admission window.
+        let reqs: Vec<(Matrix, usize)> = (0..max_batch)
+            .map(|i| (prompt(2, g.case * 131 + 9000 + i, 64), 12))
+            .collect();
+        let ids: Vec<u64> = reqs
+            .iter()
+            .map(|(p, d)| server.submit(p.clone(), *d).unwrap())
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            let c = server
+                .wait(*id)
+                .unwrap()
+                .finished()
+                .expect("post-churn burst must finish");
+            assert_bits_eq(
+                &c.decoded,
+                &run_solo(&weights, &reqs[i].0, reqs[i].1).unwrap(),
+                &format!("case {}: post-churn request {i}", g.case),
+            );
+        }
+        assert_eq!(
+            server.stats().peak_batch,
+            max_batch,
+            "case {}: churn must not strand admission slots",
+            g.case
+        );
+        drop(server);
+        assert_eq!(weights.open_sessions(), 0, "case {}: leak", g.case);
+    });
+}

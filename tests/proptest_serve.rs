@@ -10,10 +10,18 @@ use m2xfp_repro::core::M2xfpConfig;
 use m2xfp_repro::nn::model::{ModelBuilder, ModelWeights, QuantizedModel};
 use m2xfp_repro::nn::profile::ModelProfile;
 use m2xfp_repro::nn::synth::activation_matrix;
-use m2xfp_repro::serve::{run_solo, ServeConfig, Server};
+use m2xfp_repro::serve::{run_solo, Completed, ServeConfig, Server};
 use m2xfp_repro::tensor::Matrix;
 use m2xfp_repro::testkit::cases;
 use std::sync::Arc;
+
+fn wait_finished(server: &Server, id: u64) -> Completed {
+    server
+        .wait(id)
+        .unwrap()
+        .finished()
+        .unwrap_or_else(|| panic!("request {id} did not finish"))
+}
 
 fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
     assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape");
@@ -54,6 +62,7 @@ fn scheduled_requests_bit_identical_to_solo() {
             ServeConfig {
                 max_batch: 1 + g.below(4),
                 worker_threads: 1 + g.below(3),
+                ..ServeConfig::default()
             },
         );
         // Interleave arrivals with completions: submit a prefix, force a
@@ -67,7 +76,7 @@ fn scheduled_requests_bit_identical_to_solo() {
             .collect();
         let early_waited = ids.first().copied();
         if let Some(first) = early_waited {
-            let out = server.wait(first);
+            let out = wait_finished(&server, first);
             assert_bits_eq(
                 &out.decoded,
                 &solo[0],
@@ -81,7 +90,7 @@ fn scheduled_requests_bit_identical_to_solo() {
         );
         let skip = usize::from(early_waited.is_some());
         for (i, id) in ids.iter().enumerate().skip(skip) {
-            let out = server.wait(*id);
+            let out = wait_finished(&server, *id);
             assert_eq!(out.id, *id);
             assert_bits_eq(
                 &out.decoded,
@@ -107,7 +116,7 @@ fn scheduled_prefill_matches_session_prefill() {
 
     let server = Server::start(Arc::clone(&weights), ServeConfig::default());
     let id = server.submit(p, 3).unwrap();
-    let out = server.wait(id);
+    let out = wait_finished(&server, id);
     assert_bits_eq(&out.prefill_out, &want, "prefill outputs");
     assert_eq!(out.decoded.rows(), 3);
     // 1 prefill step + 3 decode steps, admitted into an idle server.
