@@ -15,6 +15,7 @@
 //!   reference weight search (it is the slow one: ~12 s per rep at 4096²).
 
 use m2x_bench::e2e::{run as run_e2e, E2eConfig};
+use m2x_bench::gateway_load::{run_gateway_load, GatewayLoadConfig};
 use m2x_bench::report::results_dir;
 use m2x_bench::serving::{run as run_serve, run_chaos, ChaosBenchConfig, ServeBenchConfig};
 use m2x_tensor::{Matrix, Xoshiro};
@@ -199,6 +200,19 @@ fn main() {
     );
     let chaos = run_chaos(chaos_cfg);
 
+    // Gateway section: the HTTP front-end under mixed load — pinned long
+    // SSE streams, a churn wave of short connections, mid-stream hangups.
+    // `gateway.stream_exact` and `gateway.zero_leak` are CI hard gates:
+    // socket-reassembled tokens stay bit-identical to solo and abandoned
+    // streams are cancelled and reaped; the end-to-end p50/p99 latencies
+    // and churn throughput ride along as advisory numbers.
+    let gw_cfg = GatewayLoadConfig::ci();
+    eprintln!(
+        "gateway: short={} long={} disconnects={} clients={}",
+        gw_cfg.short_connections, gw_cfg.long_streams, gw_cfg.disconnects, gw_cfg.clients
+    );
+    let gw = run_gateway_load(gw_cfg);
+
     let macs = (m * k * n) as f64;
     let elems = (m * k) as f64;
     // Quantize+qgemm: the end-to-end hot path the acceptance criterion
@@ -275,6 +289,19 @@ fn main() {
     "shed_rate": {ch_shed:.3},
     "p99_step_us_churn": {ch_p99:.1},
     "recovery_ticks": {ch_rt}
+  }},
+  "gateway": {{
+    "hidden": {gw_hidden},
+    "layers": {gw_layers},
+    "long_streams": {gw_long},
+    "short_connections": {gw_short},
+    "disconnects": {gw_disc},
+    "stream_exact": {gw_exact},
+    "zero_leak": {gw_leak},
+    "e2e_p50_ms": {gw_p50:.3},
+    "e2e_p99_ms": {gw_p99:.3},
+    "churn_req_per_s": {gw_rps:.1},
+    "stream_tok_per_s": {gw_tps:.1}
   }}
 }}
 "#,
@@ -294,6 +321,17 @@ fn main() {
         ch_shed = chaos.shed_rate,
         ch_p99 = chaos.p99_step_us,
         ch_rt = chaos.recovery_ticks,
+        gw_hidden = gw.cfg.hidden,
+        gw_layers = gw.cfg.layers,
+        gw_long = gw.cfg.long_streams,
+        gw_short = gw.cfg.short_connections,
+        gw_disc = gw.cfg.disconnects,
+        gw_exact = gw.stream_exact,
+        gw_leak = gw.zero_leak,
+        gw_p50 = gw.e2e_p50_ms,
+        gw_p99 = gw.e2e_p99_ms,
+        gw_rps = gw.churn_req_per_s,
+        gw_tps = gw.stream_tok_per_s,
         e2e_hidden = e2e.cfg.hidden,
         e2e_layers = e2e.cfg.layers,
         e2e_tokens = e2e.cfg.tokens,

@@ -141,7 +141,7 @@ fn join(path: &[String], key: &str) -> String {
 /// and current ran on comparable hardware, so by default a regression
 /// here only warns (`M2X_GATE_ABS_TIMES=1` hardens it); the
 /// hardware-normalized speedup ratios below are the enforcing gates.
-const GATED_TIMES: [&str; 8] = [
+const GATED_TIMES: [&str; 9] = [
     "quantize_act.packed_s",
     "qgemm.packed_threaded_s",
     "quantize_plus_qgemm.packed_threaded_s",
@@ -150,18 +150,20 @@ const GATED_TIMES: [&str; 8] = [
     "e2e_model.quantize_s",
     "e2e_model.forward_batch_packed_s",
     "serve.batch_s",
+    "gateway.e2e_p99_ms",
 ];
 
 /// Throughput metrics (higher is better). Hardware-dependent like the
 /// wall-times, so they share the advisory-by-default/`M2X_GATE_ABS_TIMES`
 /// treatment; the whole-model `e2e_model.speedup_packed` and serving
 /// `serve.speedup_batch` ratios below are the enforcing end-to-end gates.
-const GATED_THROUGHPUTS: [&str; 5] = [
+const GATED_THROUGHPUTS: [&str; 6] = [
     "decode_kernel.gemv_melem_per_s",
     "e2e_model.gmacs",
     "serve.req_per_s",
     "serve.decode_tok_per_s",
     "serve.solo_decode_tok_per_s",
+    "gateway.churn_req_per_s",
 ];
 
 /// Within-run speedup ratios (higher is better). Both sides of each ratio
@@ -181,8 +183,11 @@ const GATED_SPEEDUPS: [&str; 6] = [
 /// `serve.chaos_exact` (chaos survivors bit-identical to solo) and
 /// `serve.zero_leak` (zero open sessions after the chaos shutdown) gate
 /// the fault-tolerance layer the same way `batch_exact` gates the happy
-/// path: a `false` is a correctness loss, never a perf question.
-const GATED_EXACT: [&str; 7] = [
+/// path; `gateway.stream_exact` (socket-reassembled SSE tokens
+/// bit-identical to solo) and `gateway.zero_leak` (abandoned streams
+/// cancelled and reaped) extend the same invariant through the HTTP
+/// front-end. A `false` is a correctness loss, never a perf question.
+const GATED_EXACT: [&str; 9] = [
     "exact_match",
     "weight_search_exact",
     "decode_kernel.decode_exact",
@@ -190,6 +195,8 @@ const GATED_EXACT: [&str; 7] = [
     "serve.batch_exact",
     "serve.chaos_exact",
     "serve.zero_leak",
+    "gateway.stream_exact",
+    "gateway.zero_leak",
 ];
 
 /// One gate verdict: metric name, baseline, current, allowed, pass.
@@ -310,6 +317,11 @@ fn evaluate(
         "serve.layers",
         "serve.requests",
         "serve.max_batch",
+        "gateway.hidden",
+        "gateway.layers",
+        "gateway.long_streams",
+        "gateway.short_connections",
+        "gateway.disconnects",
     ];
     for d in required.iter().chain(&optional) {
         let (pass, detail) = match (current.get(*d), baseline.get(*d)) {
@@ -398,7 +410,8 @@ mod tests {
   "quantize_plus_qgemm": {"packed_threaded_s": 0.003, "speedup_1thread": 3.2},
   "decode_kernel": {"gemv_s": 0.0001, "gemv_melem_per_s": 650.0, "speedup_gemv": 6.0, "speedup_planed_vs_inreg": 1.8, "decode_exact": true},
   "e2e_model": {"hidden": 128, "layers": 2, "tokens": 16, "gmacs": 2.1, "speedup_packed": 3.0, "backends_exact": true, "nrmse": 0.05},
-  "serve": {"hidden": 128, "layers": 2, "requests": 6, "max_batch": 6, "batch_s": 0.05, "speedup_batch": 1.3, "req_per_s": 120.0, "decode_tok_per_s": 960.0, "solo_decode_tok_per_s": 740.0, "batch_exact": true, "chaos_exact": true, "zero_leak": true, "shed_rate": 0.5, "p99_step_us_churn": 900.0, "recovery_ticks": 2}
+  "serve": {"hidden": 128, "layers": 2, "requests": 6, "max_batch": 6, "batch_s": 0.05, "speedup_batch": 1.3, "req_per_s": 120.0, "decode_tok_per_s": 960.0, "solo_decode_tok_per_s": 740.0, "batch_exact": true, "chaos_exact": true, "zero_leak": true, "shed_rate": 0.5, "p99_step_us_churn": 900.0, "recovery_ticks": 2},
+  "gateway": {"hidden": 128, "layers": 2, "long_streams": 2, "short_connections": 200, "disconnects": 3, "stream_exact": true, "zero_leak": true, "e2e_p50_ms": 1.5, "e2e_p99_ms": 4.0, "churn_req_per_s": 800.0, "stream_tok_per_s": 400.0}
 }"#;
 
     #[test]
@@ -551,10 +564,14 @@ mod tests {
         let broken = SAMPLE.replace("\"chaos_exact\": true", "\"chaos_exact\": false");
         let cur = flatten_json(&broken).unwrap();
         assert_eq!(hard_fails(&cur, &base), ["serve.chaos_exact"]);
-        // A leaked session after the chaos shutdown fails hard too.
+        // A leaked session after the chaos shutdown fails hard too (the
+        // replace flips the gateway section's like-named flag as well).
         let leaky = SAMPLE.replace("\"zero_leak\": true", "\"zero_leak\": false");
         let cur = flatten_json(&leaky).unwrap();
-        assert_eq!(hard_fails(&cur, &base), ["serve.zero_leak"]);
+        assert_eq!(
+            hard_fails(&cur, &base),
+            ["serve.zero_leak", "gateway.zero_leak"]
+        );
         // Dropping the flags from the emitter (silent disarm) fails hard;
         // the advisory chaos numbers (shed rate, p99, recovery ticks) can
         // go missing without gating.
@@ -575,19 +592,57 @@ mod tests {
     }
 
     #[test]
+    fn gateway_flags_gate_like_exactness() {
+        let base = flatten_json(SAMPLE).unwrap();
+        // A socket-reassembled token drifting from its solo bits is a
+        // hard correctness failure — the bit-identity invariant must
+        // survive HTTP framing and the decimal float round-trip.
+        let broken = SAMPLE.replace("\"stream_exact\": true", "\"stream_exact\": false");
+        let cur = flatten_json(&broken).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["gateway.stream_exact"]);
+        // Dropping both flags from the emitter (silent disarm) fails hard.
+        let dropped = SAMPLE.replace("\"stream_exact\": true, \"zero_leak\": true, ", "");
+        assert_ne!(dropped, SAMPLE, "fixture edit must take effect");
+        let cur = flatten_json(&dropped).unwrap();
+        assert_eq!(
+            hard_fails(&cur, &base),
+            ["gateway.stream_exact", "gateway.zero_leak"]
+        );
+        // The end-to-end latency and churn throughput are advisory by
+        // default: hardware-dependent absolute numbers.
+        let slower = SAMPLE.replace("\"e2e_p99_ms\": 4.0", "\"e2e_p99_ms\": 9.0");
+        let cur = flatten_json(&slower).unwrap();
+        let v = evaluate(&cur, &base, 0.25, false);
+        let t = v.iter().find(|v| v.metric == "gateway.e2e_p99_ms").unwrap();
+        assert!(!t.pass && !t.hard);
+        let slower = SAMPLE.replace("\"churn_req_per_s\": 800.0", "\"churn_req_per_s\": 300.0");
+        let cur = flatten_json(&slower).unwrap();
+        let v = evaluate(&cur, &base, 0.25, false);
+        let t = v
+            .iter()
+            .find(|v| v.metric == "gateway.churn_req_per_s")
+            .unwrap();
+        assert!(!t.pass && !t.hard);
+        // A silent traffic-shape change fails like any other dim bump.
+        let other = SAMPLE.replace("\"short_connections\": 200", "\"short_connections\": 40");
+        let cur = flatten_json(&other).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["gateway.short_connections"]);
+    }
+
+    #[test]
     fn gate_fails_on_dim_mismatch() {
         let base = flatten_json(SAMPLE).unwrap();
         let other = SAMPLE.replace("\"k\": 256", "\"k\": 512");
         let cur = flatten_json(&other).unwrap();
         assert!(!hard_fails(&cur, &base).is_empty());
-        // The e2e/serve sections' dims gate too: a silent ::ci() bump must
-        // not be compared against the stale baseline. (`replace` rewrites
-        // both sections' `hidden`.)
+        // The e2e/serve/gateway sections' dims gate too: a silent ::ci()
+        // bump must not be compared against the stale baseline. (`replace`
+        // rewrites all three sections' `hidden`.)
         let other = SAMPLE.replace("\"hidden\": 128", "\"hidden\": 256");
         let cur = flatten_json(&other).unwrap();
         assert_eq!(
             hard_fails(&cur, &base),
-            ["e2e_model.hidden", "serve.hidden"]
+            ["e2e_model.hidden", "serve.hidden", "gateway.hidden"]
         );
         // But a pre-e2e baseline (no section at all on either side) is
         // fine; only compare what exists.

@@ -21,7 +21,12 @@
 //! * `M2X_CHAOS_PANICS`   — injected step panics (default 2).
 //! * `M2X_CHAOS_DELAYS`   — injected engine stalls (default 3).
 //! * `M2X_CHAOS_CANCELS`  — injected mid-flight cancels (default 3).
+//! * `M2X_GW_SHORT`       — gateway churn-wave short connections (default 200).
+//! * `M2X_GW_LONG`        — gateway pinned long streams (default 2).
+//! * `M2X_GW_DISCONNECTS` — gateway mid-stream hangups (default 3).
+//! * `M2X_GW_CLIENTS`     — gateway churn client threads (default 4).
 
+use m2x_bench::gateway_load::{run_gateway_load, GatewayLoadConfig};
 use m2x_bench::report::results_dir;
 use m2x_bench::serving::{run, run_chaos, ChaosBenchConfig, ServeBenchConfig};
 
@@ -95,16 +100,45 @@ fn main() {
         c.zero_leak,
     );
 
-    // Nest the chaos block inside the serving report — one array-free
-    // object, so the gate flattener sees `chaos.chaos_exact` etc.
+    let gw_ci = GatewayLoadConfig::ci();
+    let gw_cfg = GatewayLoadConfig {
+        hidden: cfg.hidden,
+        layers: cfg.layers,
+        short_connections: env_usize("M2X_GW_SHORT", gw_ci.short_connections),
+        long_streams: env_usize("M2X_GW_LONG", gw_ci.long_streams),
+        disconnects: env_usize("M2X_GW_DISCONNECTS", gw_ci.disconnects),
+        clients: env_usize("M2X_GW_CLIENTS", gw_ci.clients),
+        ..gw_ci
+    };
+    let g = run_gateway_load(gw_cfg);
+    eprintln!(
+        "gateway: {} short conns ({:.0} req/s) over {} clients + {} long streams \
+         ({:.0} tok/s at the socket) + {} hangups | e2e p50 {:.2}ms / p99 {:.2}ms | \
+         stream_exact {} zero_leak {}",
+        g.cfg.short_connections,
+        g.churn_req_per_s,
+        g.cfg.clients,
+        g.cfg.long_streams,
+        g.stream_tok_per_s,
+        g.cfg.disconnects,
+        g.e2e_p50_ms,
+        g.e2e_p99_ms,
+        g.stream_exact,
+        g.zero_leak,
+    );
+
+    // Nest the chaos and gateway blocks inside the serving report — one
+    // array-free object, so the gate flattener sees `chaos.chaos_exact`,
+    // `gateway.stream_exact` etc.
     let body = r
         .to_json()
         .strip_suffix("\n}")
         .expect("ServeReport::to_json renders an object")
         .to_string();
     let json = format!(
-        "{body},\n  \"chaos\": {}\n}}",
-        c.to_json().replace('\n', "\n  ")
+        "{body},\n  \"chaos\": {},\n  \"gateway\": {}\n}}",
+        c.to_json().replace('\n', "\n  "),
+        g.to_json().replace('\n', "\n  ")
     );
     println!("{json}");
     let dir = results_dir();
@@ -123,4 +157,9 @@ fn main() {
         "a chaos survivor's token stream diverged from its solo run"
     );
     assert!(c.zero_leak, "sessions leaked after the chaos run");
+    assert!(
+        g.stream_exact,
+        "a socket-streamed token diverged from its solo run"
+    );
+    assert!(g.zero_leak, "the gateway load run leaked sessions");
 }

@@ -28,6 +28,7 @@ pub mod e2e;
 pub mod eval;
 pub mod experiments;
 pub mod extensions;
+pub mod gateway_load;
 pub mod paper;
 pub mod report;
 pub mod serving;

@@ -11,7 +11,7 @@
 //!
 //! * [`PackedBackend`] — the production hot path: branch-free packed
 //!   activation encode, cached [`WeightPlane`] decode, cache-blocked
-//!   threaded integer [`qgemm_packed_planed`].
+//!   threaded integer [`qgemm_packed_planed`](crate::gemm::qgemm_packed_planed).
 //! * [`GroupedBackend`] — the legacy `Vec<Group>` pipeline, demoted to a
 //!   readable reference implementation of the PE ([`qgemm`]).
 //! * [`ReferenceBackend`] — the float oracle: dequantize both operands and

@@ -19,10 +19,10 @@
 //!   (no float decode round-trip anywhere).
 //! * [`qgemm_packed_planed`] — the production hot path over a pre-decoded
 //!   [`WeightPlane`]: a register-blocked micro-kernel accumulating
-//!   [`NR`] output columns per activation-row pass (scale products hoisted
+//!   `NR` output columns per activation-row pass (scale products hoisted
 //!   out of the group loop, i16×i16→i32 tiles the autovectorizer turns
 //!   into wide multiply-adds), tiled over output row chunks (scoped
-//!   threads via [`m2x_tensor::matrix::par_row_chunks`]) × [`COL_TILE`]
+//!   threads via [`m2x_tensor::matrix::par_row_chunks`]) × `COL_TILE`
 //!   column tiles so a weight tile stays cache-hot across the row block.
 //! * [`qgemv_packed`] — the `m == 1` decode fast path serving hits once
 //!   per projection per layer per step: no row-chunk threading, and the
@@ -190,7 +190,7 @@ pub fn qgemm(x: &ActTensor, w: &WeightTensor) -> Matrix {
 const GEMM_MACS_PER_THREAD: usize = 8 << 20;
 
 /// Worker count [`qgemm_packed`] auto-selects for an `M×K×N` problem: one
-/// thread per [`GEMM_MACS_PER_THREAD`] MACs, capped at the available cores
+/// thread per `GEMM_MACS_PER_THREAD` MACs, capped at the available cores
 /// and at the output row count (row chunks are the parallel grain), never
 /// below one.
 pub fn gemm_threads(m: usize, k: usize, n: usize) -> usize {
@@ -220,7 +220,7 @@ pub fn qgemm_packed(x: &PackedActTensor, w: &PackedWeightTensor) -> Matrix {
 
 /// [`qgemm_packed`] with an explicit worker count.
 ///
-/// One-shot calls with at most [`INREG_MAX_ROWS`] activation rows take the
+/// One-shot calls with at most `INREG_MAX_ROWS` activation rows take the
 /// in-register nibble-decode kernel ([`qgemm_packed_inreg`]) — the weight
 /// streams are walked once, in registers, instead of paying a full
 /// [`WeightPlane`] decode pass that nothing reuses. Larger batches decode
@@ -339,7 +339,7 @@ fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
 }
 
 /// The register-blocked micro-kernel over one chunk of output rows:
-/// [`COL_TILE`] column tiles keep a small set of decoded weight rows
+/// `COL_TILE` column tiles keep a small set of decoded weight rows
 /// L1/L2-hot across the row block, and within a tile an [`MR`]×[`NR`]
 /// register block is accumulated per pass — the group loop walks each
 /// decoded weight group once while [`MR`]·[`NR`] independent

@@ -22,7 +22,7 @@
 //!   exploration.
 //! * [`quantizer`] — the [`TensorQuantizer`] trait shared with every
 //!   baseline format.
-//! * [`backend`] — the [`ExecBackend`](backend::ExecBackend) execution
+//! * [`backend`] — the [`ExecBackend`] execution
 //!   abstraction: packed / grouped / float-oracle engines with
 //!   bit-identical outputs, the layer every inference surface
 //!   (`m2x_nn::linear`, `m2x_nn::model`) routes through.

@@ -122,7 +122,7 @@ impl TensorQuantizer for M2xfpQuantizer {
 
 /// The float-codec reference twin of [`M2xfpQuantizer`]: weights run the
 /// original per-group decode/encode Sg-EM search
-/// ([`weight::quantize_group_reference`]) instead of the threaded LUT
+/// ([`quantize_group_reference`](crate::weight::quantize_group_reference)) instead of the threaded LUT
 /// path. Kept as the bit-exactness oracle — tests assert the production
 /// quantizer matches it bit for bit. Slow; not for production use.
 #[derive(Debug, Clone, Copy, Default)]

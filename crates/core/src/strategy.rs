@@ -107,7 +107,7 @@ impl MetadataStrategy {
     /// oracle the property tests compare the LUT path against. The
     /// element-level strategies have a single implementation and are
     /// shared between both entry points, as is the bias-search outer loop
-    /// ([`bias_search`]); only the quantize-at-scale scorer differs.
+    /// (`bias_search`); only the quantize-at-scale scorer differs.
     pub fn fake_quantize_group_reference(
         &self,
         x: &[f32],

@@ -12,7 +12,7 @@
 //!
 //! * the **production LUT path** ([`quantize_group_into`]) — per candidate
 //!   `(bias, multiplier)` a 16-entry dequantized-value LUT is precomputed
-//!   once ([`ScaleLuts`]), each element is encoded branch-free via
+//!   once (`ScaleLuts`), each element is encoded branch-free via
 //!   [`m2x_formats::tables::fp4_encode`] (seven compares summed with
 //!   integer adds — no `log2`, no rounding loop, no float decode
 //!   round-trip), and its squared error accumulated from the LUT value;

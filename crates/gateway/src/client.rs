@@ -1,0 +1,307 @@
+//! A minimal blocking HTTP client for the gateway — used by the crate's
+//! socket-level tests, the `examples/gateway.rs` walkthrough, and the
+//! bench load driver. Std-only like everything else: raw [`TcpStream`],
+//! hand-rolled response parsing (Content-Length and chunked bodies,
+//! trailers), and SSE frame reassembly that recovers streamed token rows
+//! bit-exactly.
+
+use crate::json::{self, Json};
+use m2x_tensor::Matrix;
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Header or trailer fields: `(lowercased name, value)` in arrival order.
+pub type Fields = Vec<(String, String)>;
+
+/// A fully read HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Reason phrase from the status line.
+    pub reason: String,
+    /// Headers, names lowercased, in arrival order.
+    pub headers: Fields,
+    /// The decoded body (chunked framing removed if present).
+    pub body: Vec<u8>,
+    /// Trailer fields of a chunked body (names lowercased).
+    pub trailers: Fields,
+}
+
+impl Response {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Case-insensitive trailer lookup (first match).
+    pub fn trailer(&self, name: &str) -> Option<&str> {
+        self.trailers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Parses a full response held in `raw` (read to EOF — the helpers here
+/// always send `connection: close`).
+pub fn parse_response(raw: &[u8]) -> io::Result<Response> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response head never terminated"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("bad status line {status_line:?}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status code"))?;
+    let reason = parts.next().unwrap_or_default().to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let rest = &raw[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let (body, trailers) = if chunked {
+        decode_chunked(rest)?
+    } else {
+        let len = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        match len {
+            Some(len) if rest.len() >= len => (rest[..len].to_vec(), Vec::new()),
+            Some(len) => return Err(bad(format!("body truncated: {} < {len}", rest.len()))),
+            None => (rest.to_vec(), Vec::new()),
+        }
+    };
+    Ok(Response {
+        status,
+        reason,
+        headers,
+        body,
+        trailers,
+    })
+}
+
+/// Decodes a chunked body, returning the payload and the trailers.
+fn decode_chunked(mut rest: &[u8]) -> io::Result<(Vec<u8>, Fields)> {
+    let mut body = Vec::new();
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| bad("chunk size line truncated"))?;
+        let size_line =
+            std::str::from_utf8(&rest[..line_end]).map_err(|_| bad("bad chunk size"))?;
+        let size = usize::from_str_radix(size_line.split(';').next().unwrap_or("").trim(), 16)
+            .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            // Trailers until the blank line.
+            let mut trailers = Vec::new();
+            loop {
+                let line_end = rest
+                    .windows(2)
+                    .position(|w| w == b"\r\n")
+                    .ok_or_else(|| bad("trailer section truncated"))?;
+                let line =
+                    std::str::from_utf8(&rest[..line_end]).map_err(|_| bad("non-UTF-8 trailer"))?;
+                rest = &rest[line_end + 2..];
+                if line.is_empty() {
+                    return Ok((body, trailers));
+                }
+                let (name, value) = line.split_once(':').ok_or_else(|| bad("bad trailer"))?;
+                trailers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        if rest.len() < size + 2 {
+            return Err(bad("chunk payload truncated"));
+        }
+        body.extend_from_slice(&rest[..size]);
+        if &rest[size..size + 2] != b"\r\n" {
+            return Err(bad("chunk not CRLF-terminated"));
+        }
+        rest = &rest[size + 2..];
+    }
+}
+
+/// Sends `raw` request bytes and reads the response to EOF. Returns
+/// `(status, headers, body)`; include `connection: close` in the request
+/// so the server actually closes.
+pub fn http_request(addr: SocketAddr, raw: &[u8]) -> io::Result<(u16, Fields, Vec<u8>)> {
+    let resp = http_request_full(addr, raw)?;
+    Ok((resp.status, resp.headers, resp.body))
+}
+
+/// Like [`http_request`] but returns the full [`Response`] including
+/// trailers.
+pub fn http_request_full(addr: SocketAddr, raw: &[u8]) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(raw)?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    parse_response(&buf)
+}
+
+/// The reassembled result of one `POST /v1/generate` call.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// HTTP status of the response.
+    pub status: u16,
+    /// Streamed token rows in decode order (`[n, hidden]`; empty when the
+    /// response carried no token frames).
+    pub tokens: Matrix,
+    /// The final outcome kind: the `x-m2x-outcome` trailer of a stream,
+    /// or the `outcome` field of a non-streaming JSON body.
+    pub outcome: Option<String>,
+    /// The final `done` frame (streaming) or the whole JSON body
+    /// (non-streaming), parsed.
+    pub done: Option<Json>,
+    /// Number of SSE token frames received.
+    pub frames: usize,
+}
+
+/// Renders the `POST /v1/generate` request body for `prompt`.
+pub fn generate_body(
+    prompt: &Matrix,
+    max_tokens: usize,
+    deadline_ms: Option<u64>,
+    deadline_steps: Option<u64>,
+) -> String {
+    let mut body = String::from("{\"prompt\":[");
+    for r in 0..prompt.rows() {
+        if r > 0 {
+            body.push(',');
+        }
+        body.push('[');
+        for (c, v) in prompt.row(r).iter().enumerate() {
+            if c > 0 {
+                body.push(',');
+            }
+            body.push_str(&json::f32_repr(*v));
+        }
+        body.push(']');
+    }
+    body.push_str(&format!("],\"max_tokens\":{max_tokens}"));
+    if let Some(ms) = deadline_ms {
+        body.push_str(&format!(",\"deadline_ms\":{ms}"));
+    }
+    if let Some(steps) = deadline_steps {
+        body.push_str(&format!(",\"deadline_steps\":{steps}"));
+    }
+    body.push('}');
+    body
+}
+
+/// Submits `prompt` to a gateway's `POST /v1/generate` and reassembles
+/// the streamed token rows — the exact bits the engine produced, by the
+/// shortest-round-trip-decimal argument (see [`json::f32_repr`]).
+pub fn generate(
+    addr: SocketAddr,
+    prompt: &Matrix,
+    max_tokens: usize,
+    deadline_ms: Option<u64>,
+    deadline_steps: Option<u64>,
+) -> io::Result<Generated> {
+    let body = generate_body(prompt, max_tokens, deadline_ms, deadline_steps);
+    let request = format!(
+        "POST /v1/generate HTTP/1.1\r\nhost: gateway\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let resp = http_request_full(addr, request.as_bytes())?;
+    decode_generated(&resp)
+}
+
+/// Reassembles a [`Generated`] from a finished `/v1/generate` response.
+pub fn decode_generated(resp: &Response) -> io::Result<Generated> {
+    let streaming = resp
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/event-stream"));
+    if !streaming {
+        let text = std::str::from_utf8(&resp.body).map_err(|_| bad("non-UTF-8 body"))?;
+        let done = json::parse(text.trim()).ok();
+        let outcome = done
+            .as_ref()
+            .and_then(|d| d.get("outcome"))
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        return Ok(Generated {
+            status: resp.status,
+            tokens: Matrix::zeros(0, 0),
+            outcome,
+            done,
+            frames: 0,
+        });
+    }
+    let text = std::str::from_utf8(&resp.body).map_err(|_| bad("non-UTF-8 SSE body"))?;
+    let mut tokens: Option<Matrix> = None;
+    let mut frames = 0usize;
+    let mut done = None;
+    for frame in text.split("\n\n").filter(|f| !f.is_empty()) {
+        let payload = frame
+            .strip_prefix("data: ")
+            .ok_or_else(|| bad(format!("frame without data prefix: {frame:?}")))?;
+        let v = json::parse(payload).map_err(|e| bad(format!("bad frame JSON: {e}")))?;
+        if let Some(d) = v.get("done") {
+            done = Some(d.clone());
+            continue;
+        }
+        let index = v
+            .get("index")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("token frame without index"))?;
+        let row = v
+            .get("token")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("token frame without token array"))?;
+        let m = tokens.get_or_insert_with(|| Matrix::zeros(0, row.len()));
+        if index != m.rows() {
+            return Err(bad(format!(
+                "out-of-order frame: index {index}, expected {}",
+                m.rows()
+            )));
+        }
+        let vals: Vec<f32> = row
+            .iter()
+            .map(|v| v.as_f64().map(|f| f as f32))
+            .collect::<Option<_>>()
+            .ok_or_else(|| bad("non-numeric token value"))?;
+        m.push_rows(&Matrix::from_vec(1, vals.len(), vals));
+        frames += 1;
+    }
+    let outcome = resp
+        .trailer(crate::http::OUTCOME_TRAILER)
+        .map(str::to_string)
+        .or_else(|| {
+            done.as_ref()
+                .and_then(|d| d.get("outcome"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        });
+    Ok(Generated {
+        status: resp.status,
+        tokens: tokens.unwrap_or_else(|| Matrix::zeros(0, 0)),
+        outcome,
+        done,
+        frames,
+    })
+}

@@ -1,0 +1,710 @@
+//! `m2x-gateway` — std-only streaming HTTP/1.1 front-end over the
+//! [`m2x_serve`] continuous-batching scheduler.
+//!
+//! The gateway puts a wire protocol on the fault-tolerant serving
+//! runtime without adding a single dependency: a [`std::net::TcpListener`]
+//! accept loop feeds a fixed worker pool, each worker speaks hand-rolled
+//! HTTP/1.1 (incremental bounded parsing, keep-alive, pipelining,
+//! `Expect: 100-continue`), and generation responses stream one SSE
+//! `data:` frame per decode step over chunked transfer encoding — flushed
+//! as the engine produces them, so the client sees tokens at decode
+//! latency, not request latency.
+//!
+//! Three endpoints (full schemas in `docs/HTTP_API.md`):
+//!
+//! | Endpoint | What it does |
+//! |---|---|
+//! | `POST /v1/generate` | Submit a prompt, stream decode tokens as SSE |
+//! | `GET /metrics` | Scheduler + gateway counters, text format |
+//! | `GET /healthz` | Liveness of the engine thread |
+//!
+//! Every typed [`RequestOutcome`] and [`ServeError`] maps onto a
+//! deliberate status code ([`outcome_status`], [`serve_error_status`]) —
+//! admission-control rejections are `429` with the observed queue depth,
+//! deadline expiries are `504`, panic-isolated failures are `500`, and a
+//! client that disconnects mid-stream gets its request [`Server::cancel`]ed
+//! so abandoned work never occupies a batch slot.
+//!
+//! The serving layer's bit-identity invariant extends through the socket:
+//! the token rows a client reassembles from the SSE frames are
+//! bit-identical to [`run_solo`](m2x_serve::run_solo) for the same prompt,
+//! because activations are serialized as shortest-round-trip decimals
+//! ([`json::f32_repr`]) and recovered exactly by an f64 parse + f32 cast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+
+use m2x_serve::{RequestOptions, RequestOutcome, ServeError, Server, StreamEvent};
+use m2x_tensor::Matrix;
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub use http::Limits;
+pub use json::Json;
+
+/// Configuration of a [`Gateway`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Address to bind; port `0` picks a free port (see
+    /// [`Gateway::local_addr`]).
+    pub addr: String,
+    /// Connection worker threads (each handles one connection at a time;
+    /// a long-lived token stream occupies its worker for its duration).
+    pub workers: usize,
+    /// HTTP parser bounds (header/body size caps).
+    pub limits: Limits,
+    /// Per-read socket timeout while waiting for request bytes; a
+    /// connection idle longer than this between requests is dropped.
+    pub read_timeout: Duration,
+    /// Upper bound accepted for `max_tokens`; larger asks are rejected
+    /// with `400` before touching the scheduler.
+    pub max_decode_steps: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(10),
+            max_decode_steps: 4096,
+        }
+    }
+}
+
+/// Monotonic gateway-level counters, snapshot via [`Gateway::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// TCP connections accepted.
+    pub connections: u64,
+    /// HTTP requests fully parsed and routed (any endpoint).
+    pub requests: u64,
+    /// Generation requests that opened an SSE token stream.
+    pub streams_opened: u64,
+    /// Streams whose client vanished mid-flight (each triggered a
+    /// [`Server::cancel`]).
+    pub client_disconnects: u64,
+    /// Requests rejected by the HTTP parser or validation (4xx).
+    pub bad_requests: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    streams_opened: AtomicU64,
+    client_disconnects: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> GatewayStats {
+        GatewayStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            streams_opened: self.streams_opened.load(Ordering::Relaxed),
+            client_disconnects: self.client_disconnects.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Maps a resolved [`RequestOutcome`] onto its documented status code.
+///
+/// | Outcome | Status |
+/// |---|---|
+/// | `Finished` | `200 OK` |
+/// | `Rejected` | `429 Too Many Requests` |
+/// | `DeadlineExceeded` | `504 Gateway Timeout` |
+/// | `Cancelled` | `499 Client Closed Request` |
+/// | `Failed` | `500 Internal Server Error` |
+pub fn outcome_status(outcome: &RequestOutcome) -> (u16, &'static str) {
+    match outcome {
+        RequestOutcome::Finished(_) => (200, "OK"),
+        RequestOutcome::Rejected { .. } => (429, "Too Many Requests"),
+        RequestOutcome::DeadlineExceeded { .. } => (504, "Gateway Timeout"),
+        RequestOutcome::Cancelled { .. } => (499, "Client Closed Request"),
+        RequestOutcome::Failed { .. } => (500, "Internal Server Error"),
+    }
+}
+
+/// Maps a [`ServeError`] onto its documented status code.
+///
+/// | Error | Status |
+/// |---|---|
+/// | `Invalid` | `400 Bad Request` |
+/// | `UnknownRequest` | `404 Not Found` |
+/// | `AlreadyConsumed` | `409 Conflict` |
+/// | `ShutDown` / `EngineDown` | `503 Service Unavailable` |
+pub fn serve_error_status(err: &ServeError) -> (u16, &'static str) {
+    match err {
+        ServeError::Invalid(_) => (400, "Bad Request"),
+        ServeError::UnknownRequest { .. } => (404, "Not Found"),
+        ServeError::AlreadyConsumed { .. } => (409, "Conflict"),
+        ServeError::ShutDown | ServeError::EngineDown { .. } => (503, "Service Unavailable"),
+    }
+}
+
+/// JSON payload describing a resolved outcome — the body of non-streaming
+/// error responses and the final `data:` frame of a token stream.
+fn outcome_json(outcome: &RequestOutcome) -> String {
+    match outcome {
+        RequestOutcome::Finished(c) => format!(
+            "{{\"outcome\":\"finished\",\"decoded_tokens\":{},\"latency_steps\":{}}}",
+            c.decoded.rows(),
+            c.finished_step - c.arrived_step
+        ),
+        RequestOutcome::Rejected { queue_depth } => format!(
+            "{{\"outcome\":\"rejected\",\"queue_depth\":{queue_depth},\"error\":\"arrival queue full\"}}"
+        ),
+        RequestOutcome::DeadlineExceeded { decoded_tokens } => format!(
+            "{{\"outcome\":\"deadline_exceeded\",\"decoded_tokens\":{decoded_tokens},\"error\":\"deadline exceeded\"}}"
+        ),
+        RequestOutcome::Cancelled { decoded_tokens } => format!(
+            "{{\"outcome\":\"cancelled\",\"decoded_tokens\":{decoded_tokens},\"error\":\"request cancelled\"}}"
+        ),
+        RequestOutcome::Failed { error } => format!(
+            "{{\"outcome\":\"failed\",\"error\":\"{}\"}}",
+            json::escape(error)
+        ),
+    }
+}
+
+/// A running gateway: accept thread + worker pool over an
+/// [`m2x_serve::Server`]. Dropping it (or calling [`Gateway::shutdown`])
+/// stops accepting, drains the workers, and joins every thread; the
+/// scheduler itself is owned by the caller's [`Arc`] and outlives the
+/// gateway.
+///
+/// ```
+/// use m2x_gateway::{client, Gateway, GatewayConfig};
+/// use m2x_nn::model::ModelBuilder;
+/// use m2x_nn::profile::ModelProfile;
+/// use m2x_serve::{ServeConfig, Server};
+/// use std::sync::Arc;
+///
+/// let weights = Arc::new(
+///     ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 1).build_weights()?,
+/// );
+/// let server = Arc::new(Server::start(weights, ServeConfig::default()));
+/// let gateway = Gateway::bind(server, GatewayConfig::default())?;
+/// let (status, _, body) = client::http_request(
+///     gateway.local_addr(),
+///     b"GET /healthz HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+/// )?;
+/// assert_eq!(status, 200);
+/// assert_eq!(body, b"ok\n");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Gateway {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<Counters>,
+}
+
+struct Ctx {
+    server: Arc<Server>,
+    cfg: GatewayConfig,
+    counters: Arc<Counters>,
+}
+
+impl Gateway {
+    /// Binds the listener, spawns the accept thread and
+    /// [`GatewayConfig::workers`] connection workers, and returns
+    /// immediately; requests are served until [`Gateway::shutdown`] (or
+    /// drop).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding [`GatewayConfig::addr`].
+    pub fn bind(server: Arc<Server>, cfg: GatewayConfig) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let ctx = Arc::new(Ctx {
+            server,
+            cfg,
+            counters: Arc::clone(&counters),
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..ctx.cfg.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let ctx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name(format!("m2x-gw-worker-{i}"))
+                    .spawn(move || loop {
+                        let next = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match next {
+                            Ok(stream) => handle_connection(&ctx, stream),
+                            Err(_) => return, // accept loop gone: shutdown
+                        }
+                    })
+                    .expect("spawn gateway worker")
+            })
+            .collect();
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("m2x-gw-accept".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break; // the wake-up connection, or a late one
+                        }
+                        if let Ok(stream) = conn {
+                            counters.connections.fetch_add(1, Ordering::Relaxed);
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    // Dropping `tx` here releases the workers.
+                })
+                .expect("spawn gateway accept loop")
+        };
+
+        Ok(Gateway {
+            local_addr,
+            shutdown,
+            accept: Some(accept),
+            workers,
+            counters,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the gateway-level counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.counters.snapshot()
+    }
+
+    /// Stops accepting, joins the accept thread and every worker (in-flight
+    /// connections run to completion first). Idempotent; [`Drop`] calls it.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection: keep-alive loop of incremental parse → route,
+/// until the client closes, times out, pipelines its last request, or a
+/// response demands `connection: close`.
+fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(ctx.cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'requests: loop {
+        let mut sent_continue = false;
+        let request = loop {
+            match http::parse_request(&buf, &ctx.cfg.limits) {
+                Ok(http::Parsed::Complete { request, consumed }) => {
+                    buf.drain(..consumed);
+                    break request;
+                }
+                Ok(http::Parsed::Partial {
+                    headers_complete,
+                    expects_continue,
+                }) => {
+                    if headers_complete && expects_continue && !sent_continue {
+                        sent_continue = true;
+                        if stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err() {
+                            return;
+                        }
+                    }
+                    match stream.read(&mut chunk) {
+                        Ok(0) => return, // clean close between requests
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        Err(_) => return, // timeout or reset
+                    }
+                }
+                Err(e) => {
+                    ctx.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    let (status, reason) = e.status();
+                    let body = format!("{{\"error\":\"{}\"}}\n", json::escape(&e.to_string()));
+                    let _ = http::write_response(
+                        &mut stream,
+                        status,
+                        reason,
+                        "application/json",
+                        &[],
+                        body.as_bytes(),
+                        false,
+                    );
+                    return; // framing is unrecoverable after a parse error
+                }
+            }
+        };
+        ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.keep_alive();
+        let streamed = route(ctx, &mut stream, &request);
+        if streamed || !keep_alive {
+            return;
+        }
+        if buf.is_empty() {
+            // Nothing pipelined; loop back to read the next request.
+            continue 'requests;
+        }
+    }
+}
+
+/// Dispatches one parsed request. Returns `true` if the response was a
+/// token stream (those always close the connection).
+fn route(ctx: &Ctx, stream: &mut TcpStream, req: &http::Request) -> bool {
+    match (req.method.as_str(), req.target.as_str()) {
+        ("POST", "/v1/generate") => return generate(ctx, stream, req),
+        ("GET", "/healthz") => {
+            let (status, reason, body) = if ctx.server.healthy() {
+                (200, "OK", "ok\n")
+            } else {
+                (503, "Service Unavailable", "engine down\n")
+            };
+            respond_text(stream, status, reason, body, req.keep_alive());
+        }
+        ("GET", "/metrics") => {
+            let body = render_metrics(ctx);
+            respond_text(stream, 200, "OK", &body, req.keep_alive());
+        }
+        ("GET" | "HEAD", "/v1/generate") | ("POST" | "PUT" | "DELETE", "/healthz" | "/metrics") => {
+            ctx.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let allow = if req.target == "/v1/generate" {
+                "POST"
+            } else {
+                "GET"
+            };
+            let _ = http::write_response(
+                stream,
+                405,
+                "Method Not Allowed",
+                "application/json",
+                &[("allow", allow.to_string())],
+                b"{\"error\":\"method not allowed\"}\n",
+                req.keep_alive(),
+            );
+        }
+        _ => {
+            ctx.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(
+                stream,
+                404,
+                "Not Found",
+                "application/json",
+                &[],
+                b"{\"error\":\"no such endpoint\"}\n",
+                req.keep_alive(),
+            );
+        }
+    }
+    false
+}
+
+fn respond_text(stream: &mut TcpStream, status: u16, reason: &str, body: &str, keep_alive: bool) {
+    let _ = http::write_response(
+        stream,
+        status,
+        reason,
+        "text/plain; charset=utf-8",
+        &[],
+        body.as_bytes(),
+        keep_alive,
+    );
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, reason: &str, body: &str, keep_alive: bool) {
+    let _ = http::write_response(
+        stream,
+        status,
+        reason,
+        "application/json",
+        &[],
+        body.as_bytes(),
+        keep_alive,
+    );
+}
+
+/// `/metrics` text format: `m2x_serve_*` scheduler counters (including
+/// p99 step latency) plus `m2x_gateway_*` connection counters.
+fn render_metrics(ctx: &Ctx) -> String {
+    let s = ctx.server.stats();
+    let g = ctx.counters.snapshot();
+    format!(
+        "m2x_serve_steps {}\n\
+         m2x_serve_decoded_tokens {}\n\
+         m2x_serve_peak_batch {}\n\
+         m2x_serve_rejected {}\n\
+         m2x_serve_cancelled {}\n\
+         m2x_serve_deadline_exceeded {}\n\
+         m2x_serve_failed {}\n\
+         m2x_serve_panics_recovered {}\n\
+         m2x_serve_recovery_ticks {}\n\
+         m2x_serve_peak_queue_depth {}\n\
+         m2x_serve_p99_step_us {}\n\
+         m2x_gateway_connections {}\n\
+         m2x_gateway_requests {}\n\
+         m2x_gateway_streams_opened {}\n\
+         m2x_gateway_client_disconnects {}\n\
+         m2x_gateway_bad_requests {}\n\
+         m2x_gateway_healthy {}\n",
+        s.steps,
+        s.decoded_tokens,
+        s.peak_batch,
+        s.rejected,
+        s.cancelled,
+        s.deadline_exceeded,
+        s.failed,
+        s.panics_recovered,
+        s.recovery_ticks,
+        s.peak_queue_depth,
+        s.p99_step_us,
+        g.connections,
+        g.requests,
+        g.streams_opened,
+        g.client_disconnects,
+        g.bad_requests,
+        u8::from(ctx.server.healthy()),
+    )
+}
+
+/// The decoded `POST /v1/generate` body.
+struct GenerateBody {
+    prompt: Matrix,
+    max_tokens: usize,
+    opts: RequestOptions,
+}
+
+fn parse_generate_body(ctx: &Ctx, body: &[u8]) -> Result<GenerateBody, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let rows = doc
+        .get("prompt")
+        .and_then(Json::as_arr)
+        .ok_or("`prompt` must be an array of token rows")?;
+    if rows.is_empty() {
+        return Err("`prompt` must contain at least one token row".to_string());
+    }
+    let width = rows[0].as_arr().map(<[Json]>::len).unwrap_or(0);
+    if width == 0 {
+        return Err("`prompt` rows must be non-empty arrays of numbers".to_string());
+    }
+    let mut data = Vec::with_capacity(rows.len() * width);
+    for (r, row) in rows.iter().enumerate() {
+        let row = row
+            .as_arr()
+            .ok_or_else(|| format!("`prompt[{r}]` is not an array"))?;
+        if row.len() != width {
+            return Err(format!(
+                "`prompt[{r}]` has {} values, expected {width} (ragged prompt)",
+                row.len()
+            ));
+        }
+        for (c, v) in row.iter().enumerate() {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| format!("`prompt[{r}][{c}]` is not a number"))?;
+            data.push(v as f32);
+        }
+    }
+    let max_tokens = doc
+        .get("max_tokens")
+        .ok_or("`max_tokens` is required")?
+        .as_usize()
+        .ok_or("`max_tokens` must be a non-negative integer")?;
+    if max_tokens > ctx.cfg.max_decode_steps {
+        return Err(format!(
+            "`max_tokens` {max_tokens} exceeds the gateway cap {}",
+            ctx.cfg.max_decode_steps
+        ));
+    }
+    let deadline_ms = match doc.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_usize()
+                .ok_or("`deadline_ms` must be a non-negative integer")? as u64,
+        ),
+    };
+    let deadline_steps = match doc.get("deadline_steps") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_usize()
+                .ok_or("`deadline_steps` must be a non-negative integer")? as u64,
+        ),
+    };
+    Ok(GenerateBody {
+        prompt: Matrix::from_vec(rows.len(), width, data),
+        max_tokens,
+        opts: RequestOptions {
+            deadline: deadline_ms.map(Duration::from_millis),
+            deadline_steps,
+            stream: true,
+        },
+    })
+}
+
+/// One SSE token frame: `data: {"index":N,"token":[...]}\n\n`.
+fn token_frame(index: usize, row: &Matrix) -> Vec<u8> {
+    let mut frame = String::with_capacity(32 + row.cols() * 12);
+    frame.push_str("data: {\"index\":");
+    frame.push_str(&index.to_string());
+    frame.push_str(",\"token\":[");
+    for (c, v) in row.as_slice().iter().enumerate() {
+        if c > 0 {
+            frame.push(',');
+        }
+        frame.push_str(&json::f32_repr(*v));
+    }
+    frame.push_str("]}\n\n");
+    frame.into_bytes()
+}
+
+/// Handles `POST /v1/generate`. Returns `true` when a chunked stream was
+/// written (connection must close).
+fn generate(ctx: &Ctx, stream: &mut TcpStream, req: &http::Request) -> bool {
+    let parsed = match parse_generate_body(ctx, &req.body) {
+        Ok(p) => p,
+        Err(msg) => {
+            ctx.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let body = format!("{{\"error\":\"{}\"}}\n", json::escape(&msg));
+            respond_json(stream, 400, "Bad Request", &body, req.keep_alive());
+            return false;
+        }
+    };
+    let id = match ctx
+        .server
+        .submit_with(parsed.prompt, parsed.max_tokens, parsed.opts)
+    {
+        Ok(id) => id,
+        Err(e) => {
+            let (status, reason) = serve_error_status(&e);
+            if status == 400 {
+                ctx.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            }
+            let body = format!("{{\"error\":\"{}\"}}\n", json::escape(&e.to_string()));
+            respond_json(stream, status, reason, &body, req.keep_alive());
+            return false;
+        }
+    };
+
+    // The first event decides the response shape: a token opens a 200
+    // SSE stream; an immediate outcome (rejected / expired while queued /
+    // failed before producing anything / zero-token finish) gets a plain
+    // JSON response with the mapped status.
+    match ctx.server.next_token(id, 0) {
+        Ok(StreamEvent::Token { index, row }) => {
+            ctx.counters.streams_opened.fetch_add(1, Ordering::Relaxed);
+            let id_hdr = [("x-m2x-request-id", id.to_string())];
+            if http::write_stream_head(stream, 200, "OK", &id_hdr).is_err() {
+                abandon(ctx, id);
+                return true;
+            }
+            if http::write_chunk(stream, &token_frame(index, &row)).is_err() {
+                abandon(ctx, id);
+                return true;
+            }
+            let mut cursor = index + 1;
+            loop {
+                match ctx.server.next_token(id, cursor) {
+                    Ok(StreamEvent::Token { index, row }) => {
+                        if http::write_chunk(stream, &token_frame(index, &row)).is_err() {
+                            abandon(ctx, id);
+                            return true;
+                        }
+                        cursor = index + 1;
+                    }
+                    Ok(StreamEvent::Done(outcome)) => {
+                        let done = format!("data: {{\"done\":{}}}\n\n", outcome_json(&outcome));
+                        let kind = outcome.kind().to_string();
+                        let _ = http::write_chunk(stream, done.as_bytes()).and_then(|()| {
+                            http::write_last_chunk(stream, &[(http::OUTCOME_TRAILER, kind)])
+                        });
+                        return true;
+                    }
+                    Err(e) => {
+                        // Engine died mid-stream: terminate with a trailer.
+                        let done = format!(
+                            "data: {{\"done\":{{\"outcome\":\"error\",\"error\":\"{}\"}}}}\n\n",
+                            json::escape(&e.to_string())
+                        );
+                        let _ = http::write_chunk(stream, done.as_bytes()).and_then(|()| {
+                            http::write_last_chunk(
+                                stream,
+                                &[(http::OUTCOME_TRAILER, "error".to_string())],
+                            )
+                        });
+                        return true;
+                    }
+                }
+            }
+        }
+        Ok(StreamEvent::Done(outcome)) => {
+            let (status, reason) = outcome_status(&outcome);
+            let mut body = outcome_json(&outcome);
+            body.push('\n');
+            let _ = http::write_response(
+                stream,
+                status,
+                reason,
+                "application/json",
+                &[("x-m2x-request-id", id.to_string())],
+                body.as_bytes(),
+                req.keep_alive(),
+            );
+            false
+        }
+        Err(e) => {
+            let (status, reason) = serve_error_status(&e);
+            let body = format!("{{\"error\":\"{}\"}}\n", json::escape(&e.to_string()));
+            respond_json(stream, status, reason, &body, req.keep_alive());
+            false
+        }
+    }
+}
+
+/// The client vanished mid-stream: cancel the request so it stops burning
+/// a batch slot, then consume its outcome so the scheduler's bookkeeping
+/// (and the zero-leak gate) sees it retired.
+fn abandon(ctx: &Ctx, id: u64) {
+    ctx.counters
+        .client_disconnects
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = ctx.server.cancel(id);
+    let _ = ctx.server.wait(id);
+}

@@ -24,12 +24,12 @@
 //! * [`linear`] — a deployable quantized linear layer (packed weights,
 //!   prepared once per execution backend, bit-exact forward pass).
 //! * [`model`] — the engine API's model-level session: a
-//!   [`QuantizedModel`](model::QuantizedModel) built by a
-//!   [`ModelBuilder`](model::ModelBuilder), with per-layer prepared
+//!   [`QuantizedModel`] built by a
+//!   [`ModelBuilder`], with per-layer prepared
 //!   weights, a quantized KV cache and batch/prefill/decode forwards — the
 //!   paper's §6 end-to-end flow. The weights split into an `Arc`-shared
-//!   [`ModelWeights`](model::ModelWeights) and per-request
-//!   [`SessionState`](model::SessionState)s, the multi-session surface the
+//!   [`ModelWeights`] and per-request
+//!   [`SessionState`]s, the multi-session surface the
 //!   `m2x-serve` continuous-batching scheduler drives.
 
 pub mod attention;

@@ -1,7 +1,7 @@
 //! A ready-to-use quantized linear layer — the API a downstream user would
 //! deploy: weights held in the packed M2XFP representation, prepared once
 //! into the execution backend's form, and every forward pass routed through
-//! the [`ExecBackend`] abstraction (`m2xfp::backend`).
+//! the [`ExecBackend`](m2xfp::backend::ExecBackend) abstraction.
 //!
 //! The default backend is [`BackendKind::Packed`] (the LUT/cache-blocked
 //! hot path); [`QuantizedLinear::with_backend`] swaps in the grouped or

@@ -8,7 +8,7 @@
 //! The runtime is std-only (threads, `Mutex`/`Condvar`, `mpsc`-style
 //! queues) and is built on the `m2x_nn::model` weight/state split:
 //!
-//! * [`ModelWeights`](m2x_nn::model::ModelWeights) behind an `Arc` is the
+//! * [`ModelWeights`] behind an `Arc` is the
 //!   **shared model** — every projection quantized and decoded once; N
 //!   concurrent requests cost N KV caches, never N weight copies.
 //! * A [`Server`] owns one engine thread running the continuous-batching
@@ -53,11 +53,13 @@
 //! # Ok::<(), ServeError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod fault;
 pub mod scheduler;
 
 pub use fault::{Fault, FaultPlan};
-pub use scheduler::{Completed, RequestOutcome, ServeError, ServeStats, Server};
+pub use scheduler::{Completed, RequestOutcome, ServeError, ServeStats, Server, StreamEvent};
 
 use m2x_nn::model::{ModelWeights, QuantizedModel};
 use m2x_tensor::Matrix;
@@ -100,8 +102,9 @@ impl Default for ServeConfig {
 }
 
 /// Per-request options for [`Server::submit_with`]: optional deadlines,
-/// counted from submission (time spent queued counts against them).
-/// `..Default::default()` is "no deadline".
+/// counted from submission (time spent queued counts against them), and
+/// incremental token streaming. `..Default::default()` is "no deadline,
+/// no streaming".
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RequestOptions {
     /// Expire the request once this many scheduler steps have elapsed
@@ -110,6 +113,13 @@ pub struct RequestOptions {
     /// Expire the request once this much wall-clock time has elapsed
     /// since submission.
     pub deadline: Option<std::time::Duration>,
+    /// Publish each decode token incrementally as the engine produces it,
+    /// for consumption through [`Server::next_token`] /
+    /// [`Server::wait_streaming`] — the hook the `m2x-gateway` HTTP
+    /// front-end streams SSE frames from. Costs one row clone per decode
+    /// step; the buffered rows are released when the request's outcome is
+    /// consumed.
+    pub stream: bool,
 }
 
 /// The deterministic greedy "sampler" of the synthetic serving loop: the
@@ -563,6 +573,144 @@ mod tests {
         assert_eq!(server.stats().cancelled, 1);
         drop(server);
         assert_eq!(w.open_sessions(), 0);
+    }
+
+    #[test]
+    fn streamed_tokens_match_solo_bitwise_and_arrive_incrementally() {
+        let w = weights();
+        let server = Server::start(Arc::clone(&w), ServeConfig::default());
+        let p = prompt(3, 0);
+        let id = server
+            .submit_with(
+                p.clone(),
+                5,
+                RequestOptions {
+                    stream: true,
+                    ..RequestOptions::default()
+                },
+            )
+            .unwrap();
+        let mut streamed = Matrix::zeros(0, 64);
+        let mut indices = Vec::new();
+        let outcome = server
+            .wait_streaming(id, |i, row| {
+                indices.push(i);
+                streamed.push_rows(row);
+            })
+            .unwrap();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+        let done = outcome.finished().expect("no faults in play");
+        assert_bits_eq(&streamed, &run_solo(&w, &p, 5).unwrap());
+        assert_bits_eq(&done.decoded, &streamed);
+        // The outcome was consumed by the streaming wait.
+        assert_eq!(server.wait(id), Err(ServeError::AlreadyConsumed { id }));
+    }
+
+    #[test]
+    fn next_token_without_stream_flag_blocks_until_done() {
+        let w = weights();
+        let server = Server::start(Arc::clone(&w), ServeConfig::default());
+        let p = prompt(2, 1);
+        let id = server.submit(p.clone(), 2).unwrap();
+        match server.next_token(id, 0).unwrap() {
+            crate::StreamEvent::Done(outcome) => {
+                let done = outcome.finished().expect("no faults in play");
+                assert_bits_eq(&done.decoded, &run_solo(&w, &p, 2).unwrap());
+            }
+            crate::StreamEvent::Token { .. } => panic!("request did not opt into streaming"),
+        }
+    }
+
+    #[test]
+    fn streaming_cancel_ends_stream_with_cancelled_outcome() {
+        let w = weights();
+        let server = Server::start(Arc::clone(&w), ServeConfig::default());
+        let p = prompt(2, 2);
+        let id = server
+            .submit_with(
+                p.clone(),
+                100_000,
+                RequestOptions {
+                    stream: true,
+                    ..RequestOptions::default()
+                },
+            )
+            .unwrap();
+        // Pull at least one token, then cancel mid-stream.
+        let first = server.next_token(id, 0).unwrap();
+        let solo = run_solo(&w, &p, 2).unwrap();
+        match first {
+            crate::StreamEvent::Token { index, ref row } => {
+                assert_eq!(index, 0);
+                assert_bits_eq(row, &Matrix::from_vec(1, 64, solo.row(0).to_vec()));
+            }
+            crate::StreamEvent::Done(_) => panic!("a 100k-step request cannot be done yet"),
+        }
+        server.cancel(id).unwrap();
+        let mut tokens = 1usize;
+        let outcome = loop {
+            match server.next_token(id, tokens).unwrap() {
+                crate::StreamEvent::Token { ref row, .. } => {
+                    // Every token streamed before the cancel lands is still
+                    // bit-identical to the solo prefix.
+                    if tokens < solo.rows() {
+                        assert_bits_eq(row, &Matrix::from_vec(1, 64, solo.row(tokens).to_vec()));
+                    }
+                    tokens += 1;
+                }
+                crate::StreamEvent::Done(outcome) => break outcome,
+            }
+        };
+        assert!(
+            matches!(outcome, RequestOutcome::Cancelled { .. }),
+            "{}",
+            outcome.kind()
+        );
+        drop(server);
+        assert_eq!(w.open_sessions(), 0);
+    }
+
+    #[test]
+    fn streaming_survives_panic_recovery_bitwise() {
+        // A step panic mid-stream: the victim fails, the streaming
+        // survivor's published prefix stays valid and the rest of its
+        // stream arrives bit-identical to solo.
+        let w = weights();
+        // Slot 0 is the victim: submitted first, so it occupies the first
+        // batch slot from tick 0 regardless of how the engine's ticks race
+        // the second submission.
+        let plan = FaultPlan::new(vec![Fault::StepPanic { tick: 3, slot: 0 }]);
+        let server = Server::start_with_faults(Arc::clone(&w), ServeConfig::default(), plan);
+        let victim = server.submit(prompt(2, 4), 5_000).unwrap();
+        let p = prompt(2, 3);
+        let streamer = server
+            .submit_with(
+                p.clone(),
+                8,
+                RequestOptions {
+                    stream: true,
+                    ..RequestOptions::default()
+                },
+            )
+            .unwrap();
+        let mut streamed = Matrix::zeros(0, 64);
+        let outcome = server
+            .wait_streaming(streamer, |_, row| streamed.push_rows(row))
+            .unwrap();
+        assert!(outcome.finished().is_some());
+        assert_bits_eq(&streamed, &run_solo(&w, &p, 8).unwrap());
+        assert!(matches!(
+            server.wait(victim).unwrap(),
+            RequestOutcome::Failed { .. }
+        ));
+    }
+
+    #[test]
+    fn healthy_tracks_shutdown() {
+        let mut server = Server::start(weights(), ServeConfig::default());
+        assert!(server.healthy());
+        server.shutdown();
+        assert!(!server.healthy());
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //!   [`RequestOutcome::Failed`] and is released; every survivor replays to
 //!   a stream still bit-identical to its solo run. The engine keeps
 //!   scheduling.
-//! * Locks poisoned by a panic are recovered ([`lock_queues`]); shared
+//! * Locks poisoned by a panic are recovered (`lock_queues`); shared
 //!   state is only ever mutated under the lock in panic-free sections, so
 //!   recovered guards still see consistent data.
 
@@ -191,7 +191,29 @@ impl From<Error> for ServeError {
     }
 }
 
-/// Aggregate scheduler counters (monotonic over the server's lifetime).
+/// Aggregate scheduler counters (monotonic over the server's lifetime),
+/// snapshotted by [`Server::stats`] — the numbers the `m2x-gateway`
+/// `/metrics` endpoint renders.
+///
+/// ```
+/// use m2x_nn::model::ModelBuilder;
+/// use m2x_nn::profile::ModelProfile;
+/// use m2x_serve::{ServeConfig, ServeError, Server};
+/// use m2x_tensor::Matrix;
+/// use std::sync::Arc;
+///
+/// let weights = Arc::new(
+///     ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 1).build_weights()?,
+/// );
+/// let server = Server::start(weights, ServeConfig::default());
+/// let prompt = Matrix::from_fn(1, 64, |_, c| (c as f32 * 0.02).cos() * 0.3);
+/// let id = server.submit(prompt, 3)?;
+/// server.wait(id)?;
+/// let stats = server.stats();
+/// assert_eq!(stats.decoded_tokens, 3);
+/// assert!(stats.steps >= 4); // prefill + 3 decode steps
+/// # Ok::<(), ServeError>(())
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServeStats {
     /// Batched scheduler steps executed.
@@ -217,8 +239,28 @@ pub struct ServeStats {
     /// Largest arrival-queue depth observed at submission.
     pub peak_queue_depth: usize,
     /// p99 engine step latency in µs over the last
-    /// [`STEP_LATENCY_WINDOW`] ticks (0 until a step has run).
+    /// `STEP_LATENCY_WINDOW` ticks (0 until a step has run).
     pub p99_step_us: f64,
+}
+
+/// One decode-step event of a streaming request, returned by
+/// [`Server::next_token`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// Decode step `index` produced `row` (`[1, hidden]`) — bit-identical
+    /// to row `index` of the solo run's decode output, even across panic
+    /// recovery (a replay regenerates the same bits, so an already
+    /// streamed prefix is never invalidated).
+    Token {
+        /// Zero-based decode-step index of this row.
+        index: usize,
+        /// The decode output row.
+        row: Matrix,
+    },
+    /// The request resolved and no further tokens will arrive. Consumes
+    /// the outcome exactly like [`Server::wait`] (a later `wait`/
+    /// `next_token` on the same id is [`ServeError::AlreadyConsumed`]).
+    Done(RequestOutcome),
 }
 
 struct Pending {
@@ -229,6 +271,8 @@ struct Pending {
     expires_step: Option<u64>,
     /// Wall-clock instant to expire at, if a wall deadline was set.
     expires_at: Option<Instant>,
+    /// Publish decode rows incrementally ([`RequestOptions::stream`]).
+    stream: bool,
 }
 
 impl Pending {
@@ -254,6 +298,7 @@ struct Active {
     arrived_step: u64,
     expires_step: Option<u64>,
     expires_at: Option<Instant>,
+    stream: bool,
 }
 
 impl Active {
@@ -272,6 +317,7 @@ impl Active {
             arrived_step,
             expires_step: p.expires_step,
             expires_at: p.expires_at,
+            stream: p.stream,
         }
     }
 
@@ -335,6 +381,14 @@ struct Queues {
     /// between steps (pending ids are cancelled inline by
     /// [`Server::cancel`]).
     cancels: BTreeSet<u64>,
+    /// Decode rows published so far for streaming requests
+    /// ([`RequestOptions::stream`]), appended by the engine between steps
+    /// and drained by [`Server::next_token`]. A buffer lives until its
+    /// request's outcome is consumed. During panic recovery a request's
+    /// internal progress may temporarily fall behind its published rows;
+    /// replay regenerates identical bits, so the published prefix stays
+    /// authoritative and is never rolled back.
+    streams: BTreeMap<u64, Vec<Matrix>>,
     stats: ServeStats,
     /// Recent per-tick engine step latencies (µs) for the p99 stat.
     step_us: VecDeque<u64>,
@@ -438,7 +492,32 @@ impl Server {
 
     /// [`Server::submit`] with per-request [`RequestOptions`]: deadlines
     /// in scheduler steps and/or wall-clock time, counted from
-    /// submission (queue wait included).
+    /// submission (queue wait included), and opt-in token streaming.
+    ///
+    /// ```
+    /// use m2x_nn::model::ModelBuilder;
+    /// use m2x_nn::profile::ModelProfile;
+    /// use m2x_serve::{RequestOptions, RequestOutcome, ServeConfig, ServeError, Server};
+    /// use m2x_tensor::Matrix;
+    /// use std::sync::Arc;
+    ///
+    /// let weights = Arc::new(
+    ///     ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 1).build_weights()?,
+    /// );
+    /// let server = Server::start(weights, ServeConfig::default());
+    /// let prompt = Matrix::from_fn(2, 64, |r, c| ((r + c) as f32 * 0.01).tanh());
+    /// // A 0-step deadline expires before the request is ever admitted.
+    /// let id = server.submit_with(
+    ///     prompt,
+    ///     100,
+    ///     RequestOptions { deadline_steps: Some(0), ..RequestOptions::default() },
+    /// )?;
+    /// assert!(matches!(
+    ///     server.wait(id)?,
+    ///     RequestOutcome::DeadlineExceeded { decoded_tokens: 0 }
+    /// ));
+    /// # Ok::<(), ServeError>(())
+    /// ```
     pub fn submit_with(
         &self,
         prompt: Matrix,
@@ -478,6 +557,7 @@ impl Server {
             decode_steps,
             expires_step,
             expires_at,
+            stream: opts.stream,
         });
         q.stats.peak_queue_depth = q.stats.peak_queue_depth.max(q.pending.len());
         self.shared.work_cv.notify_one();
@@ -492,6 +572,24 @@ impl Server {
     /// either way [`Server::wait`] reports the authoritative outcome
     /// (best-effort: a request may still finish in the step racing the
     /// flag).
+    ///
+    /// ```
+    /// use m2x_nn::model::ModelBuilder;
+    /// use m2x_nn::profile::ModelProfile;
+    /// use m2x_serve::{RequestOutcome, ServeConfig, ServeError, Server};
+    /// use m2x_tensor::Matrix;
+    /// use std::sync::Arc;
+    ///
+    /// let weights = Arc::new(
+    ///     ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 1).build_weights()?,
+    /// );
+    /// let server = Server::start(weights, ServeConfig::default());
+    /// let prompt = Matrix::from_fn(1, 64, |_, c| (c as f32 * 0.01).tanh());
+    /// let id = server.submit(prompt, 50_000)?; // far too long to finish
+    /// server.cancel(id)?;
+    /// assert!(matches!(server.wait(id)?, RequestOutcome::Cancelled { .. }));
+    /// # Ok::<(), ServeError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -521,6 +619,26 @@ impl Server {
     /// [`RequestOutcome`]. Each outcome is handed out **once**: the first
     /// `wait(id)` consumes it.
     ///
+    /// ```
+    /// use m2x_nn::model::ModelBuilder;
+    /// use m2x_nn::profile::ModelProfile;
+    /// use m2x_serve::{ServeConfig, ServeError, Server};
+    /// use m2x_tensor::Matrix;
+    /// use std::sync::Arc;
+    ///
+    /// let weights = Arc::new(
+    ///     ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 1).build_weights()?,
+    /// );
+    /// let server = Server::start(weights, ServeConfig::default());
+    /// let prompt = Matrix::from_fn(2, 64, |r, c| ((r + c) as f32 * 0.01).sin());
+    /// let id = server.submit(prompt, 4)?;
+    /// let done = server.wait(id)?.finished().expect("no faults in play");
+    /// assert_eq!(done.decoded.rows(), 4);
+    /// // Outcomes are consumed once: a second wait is a typed error.
+    /// assert_eq!(server.wait(id), Err(ServeError::AlreadyConsumed { id }));
+    /// # Ok::<(), ServeError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`ServeError::UnknownRequest`] if `id` was never issued here,
@@ -538,6 +656,7 @@ impl Server {
         loop {
             if let Some(done) = q.done.remove(&id) {
                 q.claimed.insert(id);
+                q.streams.remove(&id);
                 return Ok(done);
             }
             if let Some(reason) = &q.engine_down {
@@ -558,8 +677,128 @@ impl Server {
         }
     }
 
+    /// Blocks until decode step `cursor` of streaming request `id` is
+    /// available (returning [`StreamEvent::Token`]) or the request has
+    /// resolved with no row at `cursor` (returning [`StreamEvent::Done`],
+    /// which **consumes** the outcome like [`Server::wait`]).
+    ///
+    /// Drive it with a monotonically increasing cursor starting at 0 —
+    /// each `Token { index, .. }` is followed by a call with
+    /// `cursor == index + 1`. The request must have been submitted with
+    /// [`RequestOptions::stream`] set for tokens to arrive before
+    /// completion; without it, the first call blocks until resolution and
+    /// returns `Done` directly.
+    ///
+    /// Tokens are published **between** engine steps, after the step's
+    /// outputs are final; a row handed out here is bit-identical to the
+    /// same row of the solo run and is never retracted, even if a panic
+    /// recovery later replays the request.
+    ///
+    /// # Errors
+    ///
+    /// The same misuse/liveness errors as [`Server::wait`]:
+    /// [`ServeError::UnknownRequest`], [`ServeError::AlreadyConsumed`]
+    /// (the outcome was already handed out), [`ServeError::EngineDown`].
+    pub fn next_token(&self, id: u64, cursor: usize) -> Result<StreamEvent, ServeError> {
+        let mut q = self.lock();
+        if id >= q.next_id {
+            return Err(ServeError::UnknownRequest { id });
+        }
+        if q.claimed.contains(&id) {
+            return Err(ServeError::AlreadyConsumed { id });
+        }
+        loop {
+            if let Some(buf) = q.streams.get(&id) {
+                if cursor < buf.len() {
+                    return Ok(StreamEvent::Token {
+                        index: cursor,
+                        row: buf[cursor].clone(),
+                    });
+                }
+            }
+            if let Some(done) = q.done.remove(&id) {
+                q.claimed.insert(id);
+                q.streams.remove(&id);
+                return Ok(StreamEvent::Done(done));
+            }
+            if let Some(reason) = &q.engine_down {
+                return Err(ServeError::EngineDown {
+                    reason: reason.clone(),
+                });
+            }
+            if q.engine_exited {
+                return Err(ServeError::EngineDown {
+                    reason: "engine thread exited before the request resolved".to_string(),
+                });
+            }
+            q = self
+                .shared
+                .done_cv
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Streaming analogue of [`Server::wait`]: invokes `on_token` for
+    /// every decode row as the engine produces it, then returns the
+    /// request's [`RequestOutcome`] (consuming it). The rows passed to
+    /// `on_token`, in order, are exactly the prefix of the solo run's
+    /// decode output that the request got through before resolving —
+    /// all of it when the outcome is [`RequestOutcome::Finished`].
+    ///
+    /// ```
+    /// use m2x_nn::model::ModelBuilder;
+    /// use m2x_nn::profile::ModelProfile;
+    /// use m2x_serve::{run_solo, RequestOptions, ServeConfig, ServeError, Server};
+    /// use m2x_tensor::Matrix;
+    /// use std::sync::Arc;
+    ///
+    /// let weights = Arc::new(
+    ///     ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 1).build_weights()?,
+    /// );
+    /// let server = Server::start(Arc::clone(&weights), ServeConfig::default());
+    /// let prompt = Matrix::from_fn(2, 64, |r, c| ((r * 64 + c) as f32 * 0.1).sin() * 0.5);
+    /// let opts = RequestOptions { stream: true, ..RequestOptions::default() };
+    /// let id = server.submit_with(prompt.clone(), 3, opts)?;
+    ///
+    /// let mut streamed = Matrix::zeros(0, 64);
+    /// let outcome = server.wait_streaming(id, |_, row| streamed.push_rows(row))?;
+    /// assert_eq!(outcome.kind(), "finished");
+    /// assert_eq!(streamed, run_solo(&weights, &prompt, 3)?); // bit-identical
+    /// # Ok::<(), ServeError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`Server::next_token`].
+    pub fn wait_streaming(
+        &self,
+        id: u64,
+        mut on_token: impl FnMut(usize, &Matrix),
+    ) -> Result<RequestOutcome, ServeError> {
+        let mut cursor = 0;
+        loop {
+            match self.next_token(id, cursor)? {
+                StreamEvent::Token { index, row } => {
+                    on_token(index, &row);
+                    cursor = index + 1;
+                }
+                StreamEvent::Done(outcome) => return Ok(outcome),
+            }
+        }
+    }
+
+    /// `true` while the server can make progress on new submissions: the
+    /// engine thread is alive and [`Server::shutdown`]/[`Server::abort`]
+    /// has not been called. The `m2x-gateway` `/healthz` endpoint reports
+    /// exactly this.
+    pub fn healthy(&self) -> bool {
+        let q = self.lock();
+        q.engine_down.is_none() && !q.engine_exited && !q.shutdown
+    }
+
     /// Aggregate scheduler counters so far. Lock-poison-tolerant: the
-    /// queue mutex is recovered on poisoning (see [`lock_queues`]), so
+    /// queue mutex is recovered on poisoning (see `lock_queues`), so
     /// stats stay readable even while the engine is mid-recovery from a
     /// caught panic.
     pub fn stats(&self) -> ServeStats {
@@ -932,6 +1171,23 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
             q.step_us.pop_front();
         }
         q.step_us.push_back(step_us);
+        // Publish new decode rows of streaming requests before retiring
+        // finished ones, so a waiter always sees every token before the
+        // outcome. Appends only past the published length: a recovery
+        // replay regrowing `decoded` from zero re-derives identical bits,
+        // so the already published prefix stays valid and duplicate-free.
+        for a in &active {
+            if a.stream && a.decoded.rows() > 0 {
+                let buf = q.streams.entry(a.id).or_default();
+                for r in buf.len()..a.decoded.rows() {
+                    buf.push(Matrix::from_vec(
+                        1,
+                        a.decoded.cols(),
+                        a.decoded.row(r).to_vec(),
+                    ));
+                }
+            }
+        }
         let now = q.stats.steps;
         for (id, outcome) in failed {
             q.cancels.remove(&id);

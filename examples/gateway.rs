@@ -1,0 +1,116 @@
+//! Serving generation requests over HTTP through the `m2x-gateway`
+//! front-end — a raw-socket walkthrough of the whole wire protocol.
+//!
+//! Starts a continuous-batching [`Server`] over one shared quantized
+//! model, binds a [`Gateway`] on a loopback port, then talks to it the
+//! way any HTTP client would: a `GET /healthz` probe, a streaming
+//! `POST /v1/generate` whose SSE `data:` frames are reassembled into
+//! token rows and verified **bit-identical** to the same request run solo
+//! on a fresh session, a request with an already-expired deadline to show
+//! the `504` mapping, and a `GET /metrics` scrape at the end.
+//!
+//! Run with: `cargo run --release --example gateway`
+//!
+//! [`Server`]: m2xfp_repro::serve::Server
+//! [`Gateway`]: m2xfp_repro::gateway::Gateway
+
+use m2xfp_repro::gateway::{client, Gateway, GatewayConfig};
+use m2xfp_repro::nn::model::ModelBuilder;
+use m2xfp_repro::nn::profile::ModelProfile;
+use m2xfp_repro::nn::synth::activation_matrix;
+use m2xfp_repro::serve::{run_solo, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let profile = ModelProfile::llama3_8b();
+
+    // ── 1. Shared model + scheduler + gateway ──
+    let t0 = Instant::now();
+    let weights = Arc::new(
+        ModelBuilder::scaled(&profile, 128, 2)
+            .build_weights()
+            .expect("group-aligned dims"),
+    );
+    let server = Arc::new(Server::start(Arc::clone(&weights), ServeConfig::default()));
+    let gateway =
+        Gateway::bind(Arc::clone(&server), GatewayConfig::default()).expect("bind a loopback port");
+    let addr = gateway.local_addr();
+    println!(
+        "gateway: listening on http://{addr} in front of {} (built in {:.2?})",
+        weights.name(),
+        t0.elapsed()
+    );
+
+    // ── 2. Liveness probe ──
+    let (status, _, body) = client::http_request(
+        addr,
+        b"GET /healthz HTTP/1.1\r\nhost: example\r\nconnection: close\r\n\r\n",
+    )
+    .expect("healthz");
+    println!(
+        "GET /healthz            -> {status} {}",
+        String::from_utf8_lossy(&body).trim()
+    );
+    assert_eq!(status, 200);
+
+    // ── 3. A streamed generation, checked against the solo oracle ──
+    let prompt = activation_matrix(&profile, 7, 6, 128).map(|v| (v * 0.25).tanh());
+    let steps = 12;
+    let t1 = Instant::now();
+    let got = client::generate(addr, &prompt, steps, None, None).expect("generate");
+    println!(
+        "POST /v1/generate       -> {} | {} SSE frames in {:.2?} | outcome {:?}",
+        got.status,
+        got.frames,
+        t1.elapsed(),
+        got.outcome.as_deref().unwrap_or("?"),
+    );
+    assert_eq!(got.status, 200);
+    assert_eq!(got.frames, steps);
+
+    let solo = run_solo(&weights, &prompt, steps).expect("solo oracle");
+    let exact = got.tokens.rows() == solo.rows()
+        && got
+            .tokens
+            .as_slice()
+            .iter()
+            .zip(solo.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!(
+        "bit-identity            -> socket stream == run_solo: {exact} \
+         ({} tokens x {} dims through JSON text)",
+        got.tokens.rows(),
+        got.tokens.cols()
+    );
+    assert!(exact, "streamed tokens diverged from the solo run");
+
+    // ── 4. A request whose deadline expired before it ever ran: 504 ──
+    let late = client::generate(addr, &prompt, steps, None, Some(0)).expect("expired request");
+    println!(
+        "POST (deadline_steps=0) -> {} | outcome {:?}",
+        late.status,
+        late.outcome.as_deref().unwrap_or("?")
+    );
+    assert_eq!(late.status, 504);
+
+    // ── 5. Metrics scrape ──
+    let (status, _, body) = client::http_request(
+        addr,
+        b"GET /metrics HTTP/1.1\r\nhost: example\r\nconnection: close\r\n\r\n",
+    )
+    .expect("metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8_lossy(&body);
+    println!("GET /metrics            -> {status}");
+    for line in text.lines().filter(|l| {
+        l.starts_with("m2x_serve_decoded_tokens")
+            || l.starts_with("m2x_serve_deadline_exceeded")
+            || l.starts_with("m2x_gateway_streams_opened")
+            || l.starts_with("m2x_gateway_requests")
+    }) {
+        println!("    {line}");
+    }
+    drop(gateway);
+    println!("gateway: drained and shut down cleanly");
+}

@@ -14,11 +14,13 @@
 //! * [`baselines`] — every format/algorithm the paper compares against.
 //! * [`nn`] — synthetic LLM substrate and perplexity/accuracy proxies.
 //! * [`serve`] — multi-session continuous-batching serving runtime.
+//! * [`gateway`] — std-only streaming HTTP/1.1 front-end over [`serve`].
 //! * [`accel`] — cycle-level accelerator model (timing/energy/area).
 
 pub use m2x_accel as accel;
 pub use m2x_baselines as baselines;
 pub use m2x_formats as formats;
+pub use m2x_gateway as gateway;
 pub use m2x_nn as nn;
 pub use m2x_serve as serve;
 pub use m2x_tensor as tensor;

@@ -1,0 +1,229 @@
+//! Property-based tests on the `m2x-gateway` HTTP front-end: for any mix
+//! of concurrent clients, prompt shapes and decode lengths, the token
+//! rows a client reassembles from the SSE frames on its socket are
+//! **bit-identical** to running its request alone on a fresh session —
+//! the serving layer's core invariant extended through HTTP framing,
+//! chunked transfer encoding and the decimal float round-trip. Clients
+//! that hang up mid-stream leave a bit-exact *prefix* behind and their
+//! requests are cancelled and reaped without leaking a session.
+
+use m2xfp_repro::gateway::{client, json, Gateway, GatewayConfig, Json};
+use m2xfp_repro::nn::model::{ModelBuilder, ModelWeights};
+use m2xfp_repro::nn::profile::ModelProfile;
+use m2xfp_repro::nn::synth::activation_matrix;
+use m2xfp_repro::serve::{run_solo, ServeConfig, Server};
+use m2xfp_repro::tensor::Matrix;
+use m2xfp_repro::testkit::cases;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn weights(hidden: usize, layers: usize) -> Arc<ModelWeights> {
+    Arc::new(
+        ModelBuilder::scaled(&ModelProfile::llama3_8b(), hidden, layers)
+            .build_weights()
+            .unwrap(),
+    )
+}
+
+fn prompt(tokens: usize, seed: usize, hidden: usize) -> Matrix {
+    activation_matrix(&ModelProfile::llama3_8b(), seed, tokens, hidden).map(|v| (v * 0.25).tanh())
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape");
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}");
+    }
+}
+
+/// Any number of concurrent socket clients, any prompt/decode mix: every
+/// stream reassembles to its solo run's exact bits, every outcome is
+/// `finished`, and the scheduler quiesces with zero open sessions.
+#[test]
+fn socket_streams_bit_identical_for_any_interleaving() {
+    cases(4, |g| {
+        let hidden = 64;
+        let layers = 1 + g.below(2);
+        let w = weights(hidden, layers);
+        let server = Arc::new(Server::start(Arc::clone(&w), ServeConfig::default()));
+        let gw = Gateway::bind(Arc::clone(&server), GatewayConfig::default()).unwrap();
+        let addr = gw.local_addr();
+
+        let n_clients = 2 + g.below(4);
+        let reqs: Vec<(Matrix, usize)> = (0..n_clients)
+            .map(|i| (prompt(1 + g.below(4), g.case * 131 + i, hidden), g.below(6)))
+            .collect();
+        let solo: Vec<Matrix> = reqs
+            .iter()
+            .map(|(p, d)| run_solo(&w, p, *d).unwrap())
+            .collect();
+
+        let handles: Vec<_> = reqs
+            .iter()
+            .map(|(p, d)| {
+                let (p, d) = (p.clone(), *d);
+                std::thread::spawn(move || client::generate(addr, &p, d, None, None).unwrap())
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let got = h.join().unwrap();
+            let (_, steps) = reqs[i];
+            assert_eq!(got.status, 200, "case {} client {i}", g.case);
+            assert_eq!(
+                got.outcome.as_deref(),
+                Some("finished"),
+                "case {} client {i}",
+                g.case
+            );
+            if steps == 0 {
+                // Zero decode steps: a pure-JSON 200, no SSE frames.
+                assert_eq!(got.frames, 0, "case {} client {i}", g.case);
+                assert_eq!(got.tokens.rows(), 0, "case {} client {i}", g.case);
+            } else {
+                assert_eq!(got.frames, steps, "case {} client {i}", g.case);
+                assert_bits_eq(
+                    &got.tokens,
+                    &solo[i],
+                    &format!("case {} client {i}", g.case),
+                );
+            }
+        }
+        drop(gw);
+        let mut server = Arc::try_unwrap(server).ok().expect("sole owner");
+        server.shutdown();
+        assert_eq!(w.open_sessions(), 0, "case {}", g.case);
+    });
+}
+
+/// Decodes the complete SSE frames out of a *partial* chunked response
+/// (head + some chunks; the connection was torn down mid-stream). The
+/// gateway writes exactly one frame per chunk, so every fully received
+/// chunk is one decodable frame.
+fn partial_frames(raw: &[u8], hidden: usize) -> Matrix {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head arrived");
+    let mut rest = &raw[head_end + 4..];
+    let mut tokens = Matrix::zeros(0, hidden);
+    loop {
+        let Some(line_end) = rest.windows(2).position(|w| w == b"\r\n") else {
+            return tokens;
+        };
+        let Ok(size) = usize::from_str_radix(
+            std::str::from_utf8(&rest[..line_end]).expect("hex size line"),
+            16,
+        ) else {
+            return tokens;
+        };
+        let chunk_start = line_end + 2;
+        if size == 0 || rest.len() < chunk_start + size + 2 {
+            return tokens; // terminal chunk or incomplete payload
+        }
+        let frame = &rest[chunk_start..chunk_start + size];
+        rest = &rest[chunk_start + size + 2..];
+        let text = std::str::from_utf8(frame).expect("UTF-8 frame");
+        let payload = text
+            .strip_prefix("data: ")
+            .expect("SSE data prefix")
+            .trim_end();
+        let v = json::parse(payload).expect("frame JSON");
+        if v.get("done").is_some() {
+            continue;
+        }
+        let index = v.get("index").and_then(Json::as_usize).expect("index");
+        assert_eq!(index, tokens.rows(), "frames arrive in order");
+        let row: Vec<f32> = v
+            .get("token")
+            .and_then(Json::as_arr)
+            .expect("token array")
+            .iter()
+            .map(|x| x.as_f64().expect("number") as f32)
+            .collect();
+        tokens.push_rows(&Matrix::from_vec(1, row.len(), row));
+    }
+}
+
+/// Clients hanging up after a random number of frames: the frames they
+/// did receive are a bit-exact prefix of the solo run, every abandoned
+/// request is cancelled, and no session outlives the teardown.
+#[test]
+fn mid_stream_disconnects_leave_bit_exact_prefixes_and_leak_nothing() {
+    cases(3, |g| {
+        let hidden = 64;
+        let w = weights(hidden, 1);
+        let server = Arc::new(Server::start(Arc::clone(&w), ServeConfig::default()));
+        let gw = Gateway::bind(
+            Arc::clone(&server),
+            GatewayConfig {
+                max_decode_steps: 100_000,
+                ..GatewayConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = gw.local_addr();
+
+        let n_clients = 1 + g.below(3);
+        let handles: Vec<_> = (0..n_clients)
+            .map(|i| {
+                let p = prompt(1 + g.below(3), g.case * 977 + i, hidden);
+                let want_frames = 1 + g.below(4);
+                std::thread::spawn(move || {
+                    let body = client::generate_body(&p, 50_000, None, None);
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    stream
+                        .write_all(
+                            format!(
+                                "POST /v1/generate HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                                body.len()
+                            )
+                            .as_bytes(),
+                        )
+                        .unwrap();
+                    // Read until at least `want_frames` complete frames
+                    // arrived (the engine may have raced further ahead —
+                    // the buffer keeps whatever it sent), then vanish
+                    // without a trace.
+                    let mut raw = Vec::new();
+                    let mut chunk = [0u8; 2048];
+                    loop {
+                        let n = stream.read(&mut chunk).unwrap();
+                        assert!(n > 0, "stream ended before {want_frames} frames");
+                        raw.extend_from_slice(&chunk[..n]);
+                        if partial_frames(&raw, hidden).rows() >= want_frames {
+                            break;
+                        }
+                    }
+                    drop(stream);
+                    (p, partial_frames(&raw, hidden))
+                })
+            })
+            .collect();
+        let received: Vec<(Matrix, Matrix)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, (p, got)) in received.iter().enumerate() {
+            assert!(got.rows() > 0, "case {} client {i}: no frames", g.case);
+            let solo = run_solo(&w, p, got.rows()).unwrap();
+            assert_bits_eq(got, &solo, &format!("case {} client {i} prefix", g.case));
+        }
+
+        // Every hangup must be reaped: cancelled, outcome consumed,
+        // session released.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.stats().cancelled < n_clients as u64 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            server.stats().cancelled,
+            n_clients as u64,
+            "case {}: every disconnect cancels",
+            g.case
+        );
+        drop(gw);
+        let mut server = Arc::try_unwrap(server).ok().expect("sole owner");
+        server.shutdown();
+        assert_eq!(w.open_sessions(), 0, "case {}: leaked sessions", g.case);
+    });
+}
