@@ -53,6 +53,20 @@ fn time_keep<O>(reps: usize, mut f: impl FnMut() -> O) -> (f64, O) {
     (best, out.expect("reps >= 1"))
 }
 
+/// Runs the `m2x-lint` R1–R4 scan over the workspace this binary was
+/// built from. `Some(true)` = clean, `Some(false)` = findings (printed to
+/// stderr), `None` = source tree not found (the binary runs detached from
+/// its workspace; the gate treats `null` as "measurement skipped").
+fn lint_clean() -> Option<bool> {
+    let cwd = std::env::current_dir().ok()?;
+    let root = m2x_lint::find_workspace_root(&cwd)?;
+    let report = m2x_lint::scan_workspace(&root);
+    for f in &report.findings {
+        eprintln!("{f}");
+    }
+    Some(report.is_clean())
+}
+
 fn main() {
     let dim = env_usize("M2X_BENCH_DIM", 512);
     let reps = env_usize("M2X_BENCH_REPS", 3);
@@ -226,6 +240,7 @@ fn main() {
   "bench": "m2xfp_quantize_qgemm",
   "dims": {{"m": {m}, "k": {k}, "n": {n}}},
   "exact_match": {exact},
+  "lint_clean": {lint},
   "quantize_act": {{
     "grouped_s": {t_enc_grouped:.6},
     "packed_s": {t_enc_packed:.6},
@@ -354,6 +369,10 @@ fn main() {
         },
         wq_exact_str = match wq_exact {
             Some(e) => e.to_string(),
+            None => "null".to_string(),
+        },
+        lint = match lint_clean() {
+            Some(clean) => clean.to_string(),
             None => "null".to_string(),
         },
         enc_tput = elems / t_enc_packed / 1e6,

@@ -186,9 +186,12 @@ const GATED_SPEEDUPS: [&str; 6] = [
 /// path; `gateway.stream_exact` (socket-reassembled SSE tokens
 /// bit-identical to solo) and `gateway.zero_leak` (abandoned streams
 /// cancelled and reaped) extend the same invariant through the HTTP
-/// front-end. A `false` is a correctness loss, never a perf question.
-const GATED_EXACT: [&str; 9] = [
+/// front-end; `lint_clean` (the in-repo `m2x-lint` R1–R4 scan found no
+/// violations) gates the source-level allocation/panic/unsafe discipline
+/// the same run. A `false` is a correctness loss, never a perf question.
+const GATED_EXACT: [&str; 10] = [
     "exact_match",
+    "lint_clean",
     "weight_search_exact",
     "decode_kernel.decode_exact",
     "e2e_model.backends_exact",

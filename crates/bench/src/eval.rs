@@ -4,6 +4,7 @@
 
 use m2x_nn::profile::ModelProfile;
 use m2x_nn::propagate::{evaluate, EvalConfig, W4a4Error};
+use m2x_serve::sync::lock_poisoned;
 use m2xfp::TensorQuantizer;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -50,11 +51,11 @@ impl Evaluator {
     /// Measured W4A4 error of `(model, format)`, memoized.
     pub fn error(&self, model: &ModelProfile, q: &dyn TensorQuantizer) -> W4a4Error {
         let key = (model.name.to_string(), q.name());
-        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+        if let Some(hit) = lock_poisoned(&self.cache).get(&key) {
             return hit.clone();
         }
         let e = evaluate(model, q, &self.cfg());
-        self.cache.lock().unwrap().insert(key, e.clone());
+        lock_poisoned(&self.cache).insert(key, e.clone());
         e
     }
 

@@ -28,6 +28,7 @@ use m2x_gateway::{client, Gateway, GatewayConfig};
 use m2x_nn::model::{ModelBuilder, ModelWeights};
 use m2x_nn::profile::ModelProfile;
 use m2x_nn::synth::activation_matrix;
+use m2x_serve::sync::lock_poisoned;
 use m2x_serve::{run_solo, ServeConfig, Server};
 use m2x_tensor::Matrix;
 use std::io::{Read, Write};
@@ -240,7 +241,7 @@ pub fn run_gateway_load(cfg: GatewayLoadConfig) -> GatewayLoadReport {
                         if got.status != 200 || !bits_eq(&got.tokens, &short_solo[slot]) {
                             exact.store(false, Ordering::SeqCst);
                         }
-                        latencies.lock().expect("latency lock").push(ms);
+                        lock_poisoned(&latencies).push(ms);
                     } else {
                         let target = if kind == 1 { "/healthz" } else { "/metrics" };
                         let raw = format!(

@@ -73,7 +73,7 @@ pub fn pareto_frontier(points: &[DsePoint]) -> Vec<DsePoint> {
             frontier.push(p.clone());
         }
     }
-    frontier.sort_by(|a, b| a.ebw.partial_cmp(&b.ebw).expect("finite"));
+    frontier.sort_by(|a, b| a.ebw.total_cmp(&b.ebw));
     frontier
 }
 

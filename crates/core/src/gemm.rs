@@ -286,6 +286,7 @@ impl GemmScratch {
 /// (i16 LUT lookups, no float round-trip). Padding with zeros keeps ragged
 /// trailing groups exact: zero codes contribute nothing to any product.
 /// Returns the group-padded row width `kp`.
+// m2x-lint: hot
 fn decode_act_plane(x: &PackedActTensor, s: &mut GemmScratch) -> usize {
     let gs = x.config().group_size;
     let sgs = x.config().subgroup_size;
@@ -353,6 +354,7 @@ fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
 /// sums are exact integers, the scale products exact powers of two), so
 /// any blocking order is bit-identical.
 #[allow(clippy::too_many_arguments)]
+// m2x-lint: hot
 fn kernel_row_chunk(
     row0: usize,
     chunk: &mut [f32],
@@ -571,6 +573,7 @@ fn check_planed_geometry(x: &PackedActTensor, w: &WeightPlane) {
 /// # Panics
 ///
 /// Panics when the reduction dimensions or group geometries disagree.
+// m2x-lint: hot
 pub fn qgemm_packed_planed_scratch(
     x: &PackedActTensor,
     w: &WeightPlane,
@@ -607,11 +610,45 @@ pub fn qgemm_packed_planed_scratch(
 ///
 /// Panics when `x` has more than one row, or when the reduction dimensions
 /// or group geometries disagree.
+// m2x-lint: hot
 pub fn qgemv_packed(x: &PackedActTensor, w: &WeightPlane, scratch: &mut GemmScratch) -> Matrix {
+    // m2x-lint: allow(alloc) the 1 × n output itself; qgemv_packed_into is the zero-alloc surface
+    let mut out = Matrix::zeros(1, w.n);
+    qgemv_packed_into(x, w, scratch, out.as_mut_slice());
+    out
+}
+
+/// [`qgemv_packed`] writing into a caller-held output row: **zero heap
+/// allocations** once `scratch` is warm at this shape, which
+/// `tests/alloc_gate.rs` pins with a counting global allocator. Bit-exact
+/// against [`qgemv_packed`] (same kernel, same scratch decode, same
+/// accumulation order).
+///
+/// # Panics
+///
+/// Panics when `x` has more than one row, when `out.len() != w.n`, or when
+/// the reduction dimensions or group geometries disagree.
+// m2x-lint: hot
+pub fn qgemv_packed_into(
+    x: &PackedActTensor,
+    w: &WeightPlane,
+    scratch: &mut GemmScratch,
+    out: &mut [f32],
+) {
     assert_eq!(x.shape().0, 1, "qgemv_packed expects exactly one row");
-    // One worker: par_row_chunks at threads <= 1 runs the kernel inline
-    // with no spawn, so this is the no-threading-overhead path.
-    qgemm_packed_planed_scratch(x, w, 1, scratch)
+    assert_eq!(out.len(), w.n, "output row length mismatch");
+    check_planed_geometry(x, w);
+    if w.n == 0 {
+        return;
+    }
+    let gs = x.config().group_size;
+    let gpr = x.groups_per_row();
+    let kp = decode_act_plane(x, scratch);
+    let (x8, xscale) = (&scratch.x8[..], &scratch.xscale[..]);
+    let (w16, wscale) = (&w.w16[..], &w.wscale[..]);
+    // One row, run inline — the same single-chunk call `par_row_chunks`
+    // makes at `threads <= 1`, so the bits match the threaded kernels.
+    kernel_row_chunk(0, out, x8, xscale, w16, wscale, w.n, gs, kp, gpr);
 }
 
 /// The in-register nibble-decode kernel: consumes the
@@ -632,6 +669,7 @@ pub fn qgemv_packed(x: &PackedActTensor, w: &WeightPlane, scratch: &mut GemmScra
 /// # Panics
 ///
 /// Panics when the reduction dimensions or group geometries disagree.
+// m2x-lint: hot
 pub fn qgemm_packed_inreg(x: &PackedActTensor, w: &PackedWeightTensor, threads: usize) -> Matrix {
     let (m, k) = x.shape();
     let (n, k2) = w.shape();

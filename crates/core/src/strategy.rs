@@ -163,6 +163,7 @@ fn bias_search(
             best = Some((sse, q));
         }
     }
+    // m2x-lint: allow(panic) candidate set iterates a non-empty static table, so `best` is always Some
     best.expect("non-empty bias set").1
 }
 
@@ -182,6 +183,7 @@ fn multipliers(bits: u8) -> &'static [f32] {
     match bits {
         1 => &[1.0, 1.5],
         2 => &[1.0, 1.25, 1.5, 1.75],
+        // m2x-lint: allow(panic) bits is constrained to 1|2 by every constructor; misuse is a programmer error
         _ => panic!("Sg-EM supports 1 or 2 bits, got {bits}"),
     }
 }
@@ -192,6 +194,7 @@ fn offsets(bits: u8) -> &'static [f32] {
     match bits {
         1 => &[1.0, 0.5],
         2 => &[1.0, 0.5, 0.25, 0.125],
+        // m2x-lint: allow(panic) bits is constrained to 1|2 by every constructor; misuse is a programmer error
         _ => panic!("Sg-EE supports 1 or 2 bits, got {bits}"),
     }
 }
@@ -322,6 +325,7 @@ fn sg_scaled_reference(x: &[f32], cfg: GroupConfig, s: f32, factors: &[f32]) -> 
                 best = Some((sse, q));
             }
         }
+        // m2x-lint: allow(panic) factor set iterates a non-empty static table, so `best` is always Some
         out.extend_from_slice(&best.expect("non-empty factors").1);
     }
     out

@@ -58,7 +58,7 @@ impl Codebook {
                 msg: "magnitudes must be finite and non-negative".to_string(),
             });
         }
-        magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        magnitudes.sort_by(|a, b| a.total_cmp(b));
         magnitudes.dedup();
         Ok(Codebook {
             name: name.into(),
@@ -78,6 +78,7 @@ impl Codebook {
 
     /// Largest representable magnitude.
     pub fn max_value(&self) -> f32 {
+        // m2x-lint: allow(panic) Codebook::new rejects empty grids, so `last` is always Some
         *self.magnitudes.last().expect("non-empty")
     }
 
@@ -92,10 +93,7 @@ impl Codebook {
     /// toward zero — deterministic and matching a comparator-tree decode).
     pub fn nearest_index(&self, a: f32) -> usize {
         debug_assert!(a >= 0.0 || a.is_nan());
-        match self
-            .magnitudes
-            .binary_search_by(|v| v.partial_cmp(&a).expect("finite"))
-        {
+        match self.magnitudes.binary_search_by(|v| v.total_cmp(&a)) {
             Ok(i) => i,
             Err(i) => {
                 if i == 0 {
@@ -162,6 +160,7 @@ impl fmt::Display for Codebook {
 
 /// Builds a codebook from a [`crate::Minifloat`]'s value grid.
 pub fn from_minifloat(name: impl Into<String>, mf: &crate::Minifloat) -> Codebook {
+    // m2x-lint: allow(panic) minifloat value grids are finite and non-empty by construction
     Codebook::new(name, mf.values()).expect("minifloat grids are valid")
 }
 

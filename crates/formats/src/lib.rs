@@ -46,6 +46,7 @@ macro_rules! static_format {
         $(#[$doc])*
         pub fn $name() -> &'static Minifloat {
             static CELL: OnceLock<Minifloat> = OnceLock::new();
+            // m2x-lint: allow(panic) static format specs are compile-time constants validated by unit tests
             CELL.get_or_init(|| Minifloat::new($e, $m, $special).expect("valid spec"))
         }
     };

@@ -335,7 +335,7 @@ impl Minifloat {
                 out.push(v);
             }
         }
-        out.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        out.sort_by(|a, b| a.total_cmp(b));
         out.dedup();
         out
     }

@@ -1,0 +1,33 @@
+//! The workspace self-test: the repository must lint clean under its own
+//! rules. This is the same scan `cargo run -p m2x-lint` performs and the
+//! CI check lane gates on — running it as a test keeps `cargo test`
+//! sufficient to catch a discipline regression locally.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels under the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let report = m2x_lint::scan_workspace(&root);
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}): did the walk miss the crates?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.is_clean(),
+        "m2x-lint found {} violation(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}

@@ -237,6 +237,16 @@ pub struct StepScratch {
     /// across threads); grown to the step's worker count and reused
     /// every layer of every subsequent step.
     workers: Vec<GemmScratch>,
+    /// Per-step row counts of each session's input, refilled in place
+    /// every step so the decode loop stops allocating index vectors.
+    counts: Vec<usize>,
+    /// Row offsets of each session's block in the stacked step matrix.
+    offsets: Vec<usize>,
+    /// Stream position of each session at step entry.
+    p0s: Vec<usize>,
+    /// The step's `(session, head)` attention work items; identical for
+    /// every layer of a step, so built once per step and reused.
+    items: Vec<(usize, usize)>,
 }
 
 impl StepScratch {
@@ -682,12 +692,15 @@ impl ModelWeights {
     /// # Errors
     ///
     /// Fails on a session/input count mismatch or an input width mismatch.
+    // m2x-lint: hot
     pub fn step_sessions(
         &self,
         sessions: &mut [&mut SessionState],
         inputs: &[Matrix],
         threads: usize,
     ) -> Result<Vec<Matrix>, Error> {
+        // m2x-lint: allow(alloc) per-step default scratch: the serving engine uses the _scratch variant
+
         self.step_multi(sessions, inputs, threads, None, &mut StepScratch::default())
     }
 
@@ -701,6 +714,7 @@ impl ModelWeights {
     /// # Errors
     ///
     /// Same as [`Self::step_sessions`].
+    // m2x-lint: hot
     pub fn step_sessions_scratch(
         &self,
         sessions: &mut [&mut SessionState],
@@ -711,6 +725,7 @@ impl ModelWeights {
         self.step_multi(sessions, inputs, threads, None, scratch)
     }
 
+    // m2x-lint: hot
     fn step_multi(
         &self,
         sessions: &mut [&mut SessionState],
@@ -720,6 +735,7 @@ impl ModelWeights {
         scr: &mut StepScratch,
     ) -> Result<Vec<Matrix>, Error> {
         if sessions.len() != inputs.len() {
+            // m2x-lint: allow(alloc) cold error path, never taken by a healthy engine
             return Err(Error::config(format!(
                 "step got {} sessions but {} inputs",
                 sessions.len(),
@@ -729,23 +745,33 @@ impl ModelWeights {
         for x in inputs {
             if x.cols() != self.hidden {
                 return Err(Error::WidthMismatch {
+                    // m2x-lint: allow(alloc) cold error path, never taken by a healthy engine
                     tensor: "model input".to_string(),
                     expected: self.hidden,
                     got: x.cols(),
                 });
             }
         }
-        let counts: Vec<usize> = inputs.iter().map(Matrix::rows).collect();
-        let offsets: Vec<usize> = counts
-            .iter()
-            .scan(0usize, |acc, c| {
-                let o = *acc;
-                *acc += c;
-                Some(o)
-            })
-            .collect();
+        // Step geometry lives in the caller-held scratch: refilled in
+        // place each step, so a warm decode loop allocates nothing here.
+        scr.counts.clear();
+        scr.counts.extend(inputs.iter().map(Matrix::rows));
+        scr.offsets.clear();
+        scr.offsets.extend(scr.counts.iter().scan(0usize, |acc, c| {
+            let o = *acc;
+            *acc += c;
+            Some(o)
+        }));
+        scr.p0s.clear();
+        scr.p0s.extend(sessions.iter().map(|s| s.pos));
+        scr.items.clear();
+        scr.items
+            .extend((0..sessions.len()).flat_map(|i| (0..self.heads).map(move |hd| (i, hd))));
+        let counts: &[usize] = &scr.counts;
+        let offsets: &[usize] = &scr.offsets;
+        let p0s: &[usize] = &scr.p0s;
+        let items: &[(usize, usize)] = &scr.items;
         let total: usize = counts.iter().sum();
-        let p0s: Vec<usize> = sessions.iter().map(|s| s.pos).collect();
 
         // Worker budget for the per-layer attention phase. The scope is
         // re-entered every layer (the projections in between are sequential
@@ -759,7 +785,7 @@ impl ModelWeights {
         let attn_workers = if threads == 0 {
             let attn_macs: usize = counts
                 .iter()
-                .zip(&p0s)
+                .zip(p0s)
                 .map(|(&c, &p0)| 2 * c * (p0 + c) * self.head_dim * self.heads)
                 .sum();
             let avail = std::thread::available_parallelism().map_or(1, |t| t.get());
@@ -771,7 +797,7 @@ impl ModelWeights {
         .max(1);
 
         let mut h = Matrix::zeros(total, self.hidden);
-        for (x, &o) in inputs.iter().zip(&offsets) {
+        for (x, &o) in inputs.iter().zip(offsets) {
             write_rows(&mut h, x, o);
         }
 
@@ -783,6 +809,7 @@ impl ModelWeights {
         }
 
         for li in 0..self.blocks.len() {
+            // m2x-lint: allow(alloc) closure body is a cold error path, only run when a projection fails
             let ctx = |e: Error, what: &str| e.for_tensor(format!("layer {li} {what}"));
             let hn = rms_norm(&h);
             let block = &self.blocks[li];
@@ -807,14 +834,13 @@ impl ModelWeights {
                 s.kv[li].append(&ks, &vs).map_err(|e| ctx(e, "kv cache"))?;
             }
 
-            // Per-(session, head) attention over the grown caches, sharded
-            // across scoped worker threads. Each item reads only its own
-            // session's cache and q rows and produces its own output block,
-            // so any thread count computes identical bits.
+            // Per-(session, head) attention over the grown caches (the
+            // work items were built once per step, before the layer loop),
+            // sharded across scoped worker threads. Each item reads only
+            // its own session's cache and q rows and produces its own
+            // output block, so any thread count computes identical bits.
+            // m2x-lint: allow(alloc) per-layer cache borrows cannot persist across the mutable session appends above
             let caches: Vec<&KvCache> = sessions.iter().map(|s| &s.kv[li]).collect();
-            let items: Vec<(usize, usize)> = (0..sessions.len())
-                .flat_map(|i| (0..self.heads).map(move |hd| (i, hd)))
-                .collect();
             let compute =
                 |&(si, head): &(usize, usize), sc: &mut GemmScratch| -> Result<Matrix, Error> {
                     let qh = slice_block(
@@ -834,6 +860,7 @@ impl ModelWeights {
                 items
                     .iter()
                     .map(|it| compute(it, &mut scr.main))
+                    // m2x-lint: allow(alloc) structural: one output Matrix per (session, head) must be materialized
                     .collect::<Result<_, _>>()?
             } else {
                 let per = items.len().div_ceil(workers);
@@ -847,15 +874,25 @@ impl ModelWeights {
                                 chunk
                                     .iter()
                                     .map(|it| compute(it, local))
+                                    // m2x-lint: allow(alloc) threaded batch path (prefill), not the decode loop
                                     .collect::<Result<Vec<_>, _>>()
                             })
                         })
+                        // m2x-lint: allow(alloc) threaded batch path (prefill), not the decode loop
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("attention worker panicked"))
+                        // A worker panic is re-raised with its original
+                        // payload so the serve layer's catch_unwind fault
+                        // isolation sees the real message, not a join error.
+                        .map(|h| {
+                            h.join()
+                                .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                        })
+                        // m2x-lint: allow(alloc) threaded batch path (prefill), not the decode loop
                         .collect()
                 });
+                // m2x-lint: allow(alloc) threaded batch path (prefill), not the decode loop
                 let mut all = Vec::with_capacity(items.len());
                 for r in chunk_results {
                     all.extend(r?);
@@ -905,16 +942,18 @@ impl ModelWeights {
             };
             h = h.add(&m);
             if let Some(t) = trace.as_deref_mut() {
+                // m2x-lint: allow(alloc) trace instrumentation, never requested by the serving engine
                 t.push(h.clone());
             }
         }
-        for (s, c) in sessions.iter_mut().zip(&counts) {
+        for (s, c) in sessions.iter_mut().zip(counts) {
             s.pos += c;
         }
         Ok(offsets
             .iter()
-            .zip(&counts)
+            .zip(counts)
             .map(|(&o, &c)| slice_rows(&h, o, c))
+            // m2x-lint: allow(alloc) structural: the per-session output matrices are the step's return value
             .collect())
     }
 
@@ -1210,7 +1249,9 @@ impl QuantizedModel {
             trace,
             &mut self.scratch,
         )?;
-        Ok(outs.pop().expect("one session in, one output out"))
+        outs.pop().ok_or_else(|| Error::Config {
+            msg: "step_multi returned no output for a single-session step".to_string(),
+        })
     }
 
     /// Full-precision (f32) forward over the same synthesized weights —

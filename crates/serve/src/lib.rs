@@ -57,9 +57,11 @@
 
 pub mod fault;
 pub mod scheduler;
+pub mod sync;
 
 pub use fault::{Fault, FaultPlan};
 pub use scheduler::{Completed, RequestOutcome, ServeError, ServeStats, Server, StreamEvent};
+pub use sync::{lock_poisoned, wait_poisoned};
 
 use m2x_nn::model::{ModelWeights, QuantizedModel};
 use m2x_tensor::Matrix;

@@ -46,13 +46,14 @@
 //!   recovered guards still see consistent data.
 
 use crate::fault::{Fault, FaultPlan};
+use crate::sync::{lock_poisoned, wait_poisoned};
 use crate::{feedback_token, RequestOptions, ServeConfig};
 use m2x_nn::model::{ModelWeights, SessionState, StepScratch};
 use m2x_tensor::Matrix;
 use m2xfp::Error;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -460,6 +461,7 @@ impl Server {
         let engine = std::thread::Builder::new()
             .name("m2x-serve-engine".into())
             .spawn(move || engine_loop(&engine_shared, plan))
+            // m2x-lint: allow(panic) construction-time spawn fails only on OS thread exhaustion; surfacing it at startup is intentional
             .expect("spawning the serve engine thread");
         Server {
             shared,
@@ -669,11 +671,7 @@ impl Server {
                     reason: "engine thread exited before the request resolved".to_string(),
                 });
             }
-            q = self
-                .shared
-                .done_cv
-                .wait(q)
-                .unwrap_or_else(PoisonError::into_inner);
+            q = wait_poisoned(&self.shared.done_cv, q);
         }
     }
 
@@ -731,11 +729,7 @@ impl Server {
                     reason: "engine thread exited before the request resolved".to_string(),
                 });
             }
-            q = self
-                .shared
-                .done_cv
-                .wait(q)
-                .unwrap_or_else(PoisonError::into_inner);
+            q = wait_poisoned(&self.shared.done_cv, q);
         }
     }
 
@@ -856,7 +850,7 @@ impl Drop for Server {
 /// model calls run outside the lock, behind `catch_unwind`), so a poisoned
 /// mutex still guards consistent data.
 fn lock_queues(shared: &Shared) -> MutexGuard<'_, Queues> {
-    shared.q.lock().unwrap_or_else(PoisonError::into_inner)
+    lock_poisoned(&shared.q)
 }
 
 /// p99 (or any percentile) of the retained step-latency window, in µs.
@@ -919,7 +913,9 @@ impl Drop for EngineExitGuard<'_> {
 }
 
 /// The continuous-batching loop (runs on the engine thread).
+// m2x-lint: hot
 fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
+    // m2x-lint: allow(alloc) one-time loop state, allocated before the first tick
     let mut active: Vec<Active> = Vec::new();
     // One activation scratch for the engine's lifetime: every scheduler
     // step's projection GEMMs (and, at one worker, the attention score
@@ -945,10 +941,7 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                     if q.shutdown {
                         return;
                     }
-                    q = shared
-                        .work_cv
-                        .wait(q)
-                        .unwrap_or_else(PoisonError::into_inner);
+                    q = wait_poisoned(&shared.work_cv, q);
                     continue;
                 }
                 break;
@@ -957,7 +950,9 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
             let now = Instant::now();
             let mut resolved = false;
             for _ in 0..q.pending.len() {
-                let p = q.pending.pop_front().expect("len-bounded");
+                let Some(p) = q.pending.pop_front() else {
+                    break;
+                };
                 if p.expired(now_step, now) {
                     q.stats.deadline_exceeded += 1;
                     q.done
@@ -968,6 +963,7 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                 }
             }
             let cancels = std::mem::take(&mut q.cancels);
+            // m2x-lint: allow(alloc) lifecycle bookkeeping: sized by batch (small), not by tokens
             let mut keep = Vec::with_capacity(active.len());
             for a in active.drain(..) {
                 let decoded_tokens = a.decoded.rows() as u64;
@@ -1014,6 +1010,7 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
         // ── Phase 2: scheduled faults for this tick ─────────────────────
         let mut armed_panic: Option<u64> = None;
         let mut cancelled_now = 0u64;
+        // m2x-lint: allow(alloc) fault-injection path, empty plan in production
         for fault in plan.take_due(tick).to_vec() {
             match fault {
                 Fault::Delay { micros, .. } => {
@@ -1056,9 +1053,11 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
 
         // ── Phase 3: one batched step (isolated), recovery on failure ───
         let t0 = Instant::now();
+        // m2x-lint: allow(alloc) structural: the batched step borrows sessions mutably, so inputs are cloned out first
         let inputs: Vec<Matrix> = active.iter().map(|a| a.next_input.clone()).collect();
         let step = catch_unwind(AssertUnwindSafe(|| {
             let mut sessions: Vec<&mut SessionState> =
+                // m2x-lint: allow(alloc) batch-sized pointer Vec rebuilt per tick (membership changes between ticks)
                 active.iter_mut().map(|a| &mut a.session).collect();
             let out = shared.weights.step_sessions_scratch(
                 &mut sessions,
@@ -1070,6 +1069,7 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                 // Injected *after* the batched compute: session state has
                 // already advanced when the panic lands — the worst case
                 // the reset-and-replay recovery must handle.
+                // m2x-lint: allow(panic) deliberate fault injection, caught by the catch_unwind directly above
                 panic!("injected fault: step panic (request {victim})");
             }
             out
@@ -1077,6 +1077,7 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
 
         let mut decoded_delta: i64 = 0;
         let mut caught_panics = 0u64;
+        // m2x-lint: allow(alloc) empty Vec does not allocate; grows only on the recovery path
         let mut failed: Vec<(u64, RequestOutcome)> = Vec::new();
         let mut recovery = false;
         match step {
@@ -1096,6 +1097,7 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                 // replay to bit-identical streams and keep going batched.
                 recovery = true;
                 let batched_error = match other {
+                    // m2x-lint: allow(alloc) recovery path, not the healthy decode tick
                     Ok(Err(e)) => e.to_string(),
                     Err(payload) => {
                         caught_panics += 1;
@@ -1104,12 +1106,15 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                     Ok(Ok(_)) => unreachable!("handled above"),
                 };
                 scratch.reset();
+                // m2x-lint: allow(alloc) recovery path, not the healthy decode tick
                 let mut survivors = Vec::with_capacity(active.len());
                 for mut a in active.drain(..) {
                     decoded_delta -= a.reset_for_replay() as i64;
+                    // m2x-lint: allow(alloc) recovery path, not the healthy decode tick
                     let input = [a.next_input.clone()];
                     let rid = a.id;
                     let isolated = catch_unwind(AssertUnwindSafe(|| {
+                        // m2x-lint: allow(alloc) recovery path, not the healthy decode tick
                         let mut sessions: Vec<&mut SessionState> = vec![&mut a.session];
                         let out = shared.weights.step_sessions_scratch(
                             &mut sessions,
@@ -1119,21 +1124,38 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                         );
                         if let (Some(victim), Ok(_)) = (armed_panic, &out) {
                             if victim == rid {
+                                // m2x-lint: allow(panic) deliberate fault injection, caught by the enclosing catch_unwind
                                 panic!("injected fault: step panic (request {rid})");
                             }
                         }
                         out
                     }));
                     match isolated {
-                        Ok(Ok(mut outs)) => {
-                            let y = outs.pop().expect("one session stepped");
-                            decoded_delta += a.consume(y) as i64;
-                            survivors.push(a);
-                        }
+                        Ok(Ok(mut outs)) => match outs.pop() {
+                            Some(y) => {
+                                decoded_delta += a.consume(y) as i64;
+                                survivors.push(a);
+                            }
+                            None => {
+                                // One session in, zero outputs out: a model
+                                // contract breach. Fail the request instead
+                                // of poisoning the engine with a panic.
+                                failed.push((
+                                    rid,
+                                    RequestOutcome::Failed {
+                                        // m2x-lint: allow(alloc) recovery path, not the healthy decode tick
+                                        error: format!(
+                                            "isolated re-step returned no output (batched step: {batched_error})"
+                                        ),
+                                    },
+                                ));
+                            }
+                        },
                         Ok(Err(e)) => {
                             failed.push((
                                 rid,
                                 RequestOutcome::Failed {
+                                    // m2x-lint: allow(alloc) recovery path, not the healthy decode tick
                                     error: format!("{e} (batched step: {batched_error})"),
                                 },
                             ));
@@ -1183,6 +1205,7 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                     buf.push(Matrix::from_vec(
                         1,
                         a.decoded.cols(),
+                        // m2x-lint: allow(alloc) structural: published token rows must outlive the tick
                         a.decoded.row(r).to_vec(),
                     ));
                 }
@@ -1193,6 +1216,7 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
             q.cancels.remove(&id);
             q.done.insert(id, outcome);
         }
+        // m2x-lint: allow(alloc) retire bookkeeping: sized by batch (small), not by tokens
         let mut rest = Vec::with_capacity(active.len());
         for a in active.drain(..) {
             if a.finished() {

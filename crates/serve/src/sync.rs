@@ -1,0 +1,64 @@
+//! Poison-tolerant synchronization helpers.
+//!
+//! The engine's locking discipline (enforced by `m2x-lint` rule R2) is
+//! that no thread ever touches a `Mutex` through `.lock().unwrap()`: a
+//! panic on one thread must not cascade into lock-poisoning panics on
+//! every other thread that shares state with it. That discipline is sound
+//! here because every mutation of shared queue/stats state happens under
+//! the lock in panic-free sections — the fallible model work runs
+//! *outside* the lock behind `catch_unwind` — so a poisoned mutex still
+//! guards consistent data and recovery is simply "take the guard".
+//!
+//! These helpers are the single place that recovery idiom lives; the
+//! scheduler, the gateway worker pool and the bench drivers all route
+//! their locking through them.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock_poisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_poisoned`].
+pub fn wait_poisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_poisoned_recovers_after_holder_panic() {
+        let m = Arc::new(Mutex::new(41));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        let mut g = lock_poisoned(&m);
+        *g += 1;
+        assert_eq!(*g, 42);
+    }
+
+    #[test]
+    fn wait_poisoned_wakes_normally() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waker = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *lock_poisoned(m) = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = lock_poisoned(m);
+        while !*ready {
+            ready = wait_poisoned(cv, ready);
+        }
+        waker.join().unwrap();
+    }
+}

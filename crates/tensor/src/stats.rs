@@ -124,7 +124,7 @@ pub fn abs_quantile(xs: &[f32], q: f64) -> f32 {
     assert!(!xs.is_empty());
     assert!((0.0..=1.0).contains(&q), "quantile out of range");
     let mut v: Vec<f32> = xs.iter().map(|x| x.abs()).collect();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let idx = ((v.len() - 1) as f64 * q).round() as usize;
     v[idx]
 }
