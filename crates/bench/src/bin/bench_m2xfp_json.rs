@@ -17,7 +17,11 @@
 use m2x_bench::e2e::{run as run_e2e, E2eConfig};
 use m2x_bench::gateway_load::{run_gateway_load, GatewayLoadConfig};
 use m2x_bench::report::results_dir;
-use m2x_bench::serving::{run as run_serve, run_chaos, ChaosBenchConfig, ServeBenchConfig};
+use m2x_bench::serving::{
+    run as run_serve, run_chaos, run_telemetry, ChaosBenchConfig, ServeBenchConfig,
+    TelemetryBenchConfig,
+};
+use m2x_telemetry::alloc_probe::CountingAlloc;
 use m2x_tensor::{Matrix, Xoshiro};
 use m2xfp::format::{ActTensor, PackedActTensor, PackedWeightTensor, WeightTensor};
 use m2xfp::gemm::{
@@ -27,6 +31,13 @@ use m2xfp::gemm::{
 use m2xfp::M2xfpConfig;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Arms the `telemetry.zero_alloc` witness: with the counting allocator
+/// installed process-wide, `run_telemetry` can prove warm trace recording
+/// never touches the heap (a dead probe would report `null`, and the gate
+/// would treat the measurement as skipped).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -227,6 +238,25 @@ fn main() {
     );
     let gw = run_gateway_load(gw_cfg);
 
+    // Telemetry section: the observability layer measured against itself.
+    // `telemetry.trace_exact` (the drained trace reconstructs every
+    // request's exact lifecycle) and `telemetry.zero_alloc` (warm trace
+    // recording performs zero heap allocations, witnessed by the counting
+    // global allocator this binary installs) are CI hard gates; the
+    // traced-over-untraced `overhead_ratio` and the per-stage split of the
+    // decode tick ride along as advisory numbers. The stage split must
+    // explain the tick it decomposes: stage_cover within 10% of 1.0 is
+    // asserted below.
+    let tl_cfg = TelemetryBenchConfig {
+        reps,
+        ..TelemetryBenchConfig::ci()
+    };
+    eprintln!(
+        "telemetry: hidden={} layers={} requests={} decode={}",
+        tl_cfg.hidden, tl_cfg.layers, tl_cfg.requests, tl_cfg.decode_steps
+    );
+    let tl = run_telemetry(tl_cfg);
+
     let macs = (m * k * n) as f64;
     let elems = (m * k) as f64;
     // Quantize+qgemm: the end-to-end hot path the acceptance criterion
@@ -317,9 +347,52 @@ fn main() {
     "e2e_p99_ms": {gw_p99:.3},
     "churn_req_per_s": {gw_rps:.1},
     "stream_tok_per_s": {gw_tps:.1}
+  }},
+  "telemetry": {{
+    "hidden": {tl_hidden},
+    "layers": {tl_layers},
+    "requests": {tl_requests},
+    "decode_steps": {tl_decode},
+    "trace_exact": {tl_exact},
+    "zero_alloc": {tl_zalloc},
+    "overhead_ratio": {tl_or:.3},
+    "traced_tok_per_s": {tl_tt:.2},
+    "untraced_tok_per_s": {tl_ut:.2},
+    "trace_events": {tl_ev},
+    "assemble_us": {tl_sa:.1},
+    "encode_us": {tl_se:.1},
+    "qgemm_us": {tl_sq:.1},
+    "attention_us": {tl_sat:.1},
+    "kv_append_us": {tl_sk:.1},
+    "feedback_us": {tl_sf:.1},
+    "stage_sum_us": {tl_ss:.1},
+    "tick_sum_us": {tl_ts:.1},
+    "stage_cover": {tl_sc:.3}
   }}
 }}
 "#,
+        tl_hidden = tl.cfg.hidden,
+        tl_layers = tl.cfg.layers,
+        tl_requests = tl.cfg.requests,
+        tl_decode = tl.cfg.decode_steps,
+        tl_exact = tl.trace_exact,
+        tl_zalloc = match tl.zero_alloc {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        },
+        tl_or = tl.overhead_ratio,
+        tl_tt = tl.traced_tok_per_s,
+        tl_ut = tl.untraced_tok_per_s,
+        tl_ev = tl.trace_events,
+        tl_sa = tl.assemble_us,
+        tl_se = tl.encode_us,
+        tl_sq = tl.qgemm_us,
+        tl_sat = tl.attention_us,
+        tl_sk = tl.kv_append_us,
+        tl_sf = tl.feedback_us,
+        tl_ss = tl.stage_sum_us,
+        tl_ts = tl.tick_sum_us,
+        tl_sc = tl.stage_cover,
         sv_hidden = serve.cfg.hidden,
         sv_layers = serve.cfg.layers,
         sv_requests = serve.cfg.requests,
@@ -417,4 +490,19 @@ fn main() {
         "a chaos survivor's token stream diverged from its solo run"
     );
     assert!(chaos.zero_leak, "sessions leaked after the chaos run");
+    assert!(
+        tl.trace_exact,
+        "the drained trace failed to reconstruct every request's lifecycle"
+    );
+    assert_eq!(
+        tl.zero_alloc,
+        Some(true),
+        "warm trace recording allocated {} times (probe installed above)",
+        tl.recording_allocs
+    );
+    assert!(
+        (tl.stage_cover - 1.0).abs() <= 0.10,
+        "stage clocks cover {:.1}% of measured tick time (want within 10%)",
+        tl.stage_cover * 100.0
+    );
 }

@@ -7,9 +7,10 @@
 //! same emitter) and exits non-zero when
 //!
 //! * any exactness flag (`exact_match`, `weight_search_exact`,
-//!   `e2e_model.backends_exact`, `serve.batch_exact`, or the
-//!   fault-tolerance flags `serve.chaos_exact` / `serve.zero_leak`) is
-//!   `false` in the current run, or
+//!   `e2e_model.backends_exact`, `serve.batch_exact`, the
+//!   fault-tolerance flags `serve.chaos_exact` / `serve.zero_leak`, or
+//!   the observability flags `telemetry.trace_exact` /
+//!   `telemetry.zero_alloc`) is `false` in the current run, or
 //! * any within-run speedup ratio — per-kernel, the whole-model
 //!   `e2e_model.speedup_packed` or the serving `serve.speedup_batch`
 //!   (batched-over-solo) — dropped by more than the tolerance
@@ -157,13 +158,18 @@ const GATED_TIMES: [&str; 9] = [
 /// wall-times, so they share the advisory-by-default/`M2X_GATE_ABS_TIMES`
 /// treatment; the whole-model `e2e_model.speedup_packed` and serving
 /// `serve.speedup_batch` ratios below are the enforcing end-to-end gates.
-const GATED_THROUGHPUTS: [&str; 6] = [
+const GATED_THROUGHPUTS: [&str; 7] = [
     "decode_kernel.gemv_melem_per_s",
     "e2e_model.gmacs",
     "serve.req_per_s",
     "serve.decode_tok_per_s",
     "serve.solo_decode_tok_per_s",
     "gateway.churn_req_per_s",
+    // Traced-over-untraced single-stream decode throughput (≈ 1.0): a
+    // drop means leaving telemetry on got expensive. Advisory like the
+    // other throughputs — both sides run in the same process, but the
+    // ratio of two near-equal wall times is noisy on shared runners.
+    "telemetry.overhead_ratio",
 ];
 
 /// Within-run speedup ratios (higher is better). Both sides of each ratio
@@ -188,8 +194,13 @@ const GATED_SPEEDUPS: [&str; 6] = [
 /// cancelled and reaped) extend the same invariant through the HTTP
 /// front-end; `lint_clean` (the in-repo `m2x-lint` R1–R4 scan found no
 /// violations) gates the source-level allocation/panic/unsafe discipline
-/// the same run. A `false` is a correctness loss, never a perf question.
-const GATED_EXACT: [&str; 10] = [
+/// the same run; `telemetry.trace_exact` (the drained trace reconstructs
+/// every request's exact lifecycle) and `telemetry.zero_alloc` (warm
+/// trace recording performed zero heap allocations under the counting
+/// global allocator) gate the observability layer — a trace that lies or
+/// a tracer that allocates on the hot path is a correctness loss too.
+/// A `false` is a correctness loss, never a perf question.
+const GATED_EXACT: [&str; 12] = [
     "exact_match",
     "lint_clean",
     "weight_search_exact",
@@ -200,6 +211,8 @@ const GATED_EXACT: [&str; 10] = [
     "serve.zero_leak",
     "gateway.stream_exact",
     "gateway.zero_leak",
+    "telemetry.trace_exact",
+    "telemetry.zero_alloc",
 ];
 
 /// One gate verdict: metric name, baseline, current, allowed, pass.
@@ -325,6 +338,10 @@ fn evaluate(
         "gateway.long_streams",
         "gateway.short_connections",
         "gateway.disconnects",
+        "telemetry.hidden",
+        "telemetry.layers",
+        "telemetry.requests",
+        "telemetry.decode_steps",
     ];
     for d in required.iter().chain(&optional) {
         let (pass, detail) = match (current.get(*d), baseline.get(*d)) {
@@ -414,7 +431,8 @@ mod tests {
   "decode_kernel": {"gemv_s": 0.0001, "gemv_melem_per_s": 650.0, "speedup_gemv": 6.0, "speedup_planed_vs_inreg": 1.8, "decode_exact": true},
   "e2e_model": {"hidden": 128, "layers": 2, "tokens": 16, "gmacs": 2.1, "speedup_packed": 3.0, "backends_exact": true, "nrmse": 0.05},
   "serve": {"hidden": 128, "layers": 2, "requests": 6, "max_batch": 6, "batch_s": 0.05, "speedup_batch": 1.3, "req_per_s": 120.0, "decode_tok_per_s": 960.0, "solo_decode_tok_per_s": 740.0, "batch_exact": true, "chaos_exact": true, "zero_leak": true, "shed_rate": 0.5, "p99_step_us_churn": 900.0, "recovery_ticks": 2},
-  "gateway": {"hidden": 128, "layers": 2, "long_streams": 2, "short_connections": 200, "disconnects": 3, "stream_exact": true, "zero_leak": true, "e2e_p50_ms": 1.5, "e2e_p99_ms": 4.0, "churn_req_per_s": 800.0, "stream_tok_per_s": 400.0}
+  "gateway": {"hidden": 128, "layers": 2, "long_streams": 2, "short_connections": 200, "disconnects": 3, "stream_exact": true, "zero_leak": true, "e2e_p50_ms": 1.5, "e2e_p99_ms": 4.0, "churn_req_per_s": 800.0, "stream_tok_per_s": 400.0},
+  "telemetry": {"hidden": 256, "layers": 2, "requests": 4, "decode_steps": 12, "trace_exact": true, "zero_alloc": true, "overhead_ratio": 0.99, "traced_tok_per_s": 780.0, "untraced_tok_per_s": 790.0, "stage_cover": 0.98}
 }"#;
 
     #[test]
@@ -630,6 +648,46 @@ mod tests {
         let other = SAMPLE.replace("\"short_connections\": 200", "\"short_connections\": 40");
         let cur = flatten_json(&other).unwrap();
         assert_eq!(hard_fails(&cur, &base), ["gateway.short_connections"]);
+    }
+
+    #[test]
+    fn telemetry_flags_gate_like_exactness() {
+        let base = flatten_json(SAMPLE).unwrap();
+        // A trace that no longer reconstructs every lifecycle is a hard
+        // correctness failure, as is a tracer that allocates when warm.
+        let broken = SAMPLE.replace("\"trace_exact\": true", "\"trace_exact\": false");
+        let cur = flatten_json(&broken).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["telemetry.trace_exact"]);
+        let alloc = SAMPLE.replace("\"zero_alloc\": true", "\"zero_alloc\": false");
+        let cur = flatten_json(&alloc).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["telemetry.zero_alloc"]);
+        // A run without the counting allocator installed reports null —
+        // a skipped measurement, not a failed one.
+        let skipped = SAMPLE.replace("\"zero_alloc\": true", "\"zero_alloc\": null");
+        let cur = flatten_json(&skipped).unwrap();
+        assert!(hard_fails(&cur, &base).is_empty());
+        // Dropping both flags from the emitter (silent disarm) fails hard.
+        let dropped = SAMPLE.replace("\"trace_exact\": true, \"zero_alloc\": true, ", "");
+        assert_ne!(dropped, SAMPLE, "fixture edit must take effect");
+        let cur = flatten_json(&dropped).unwrap();
+        assert_eq!(
+            hard_fails(&cur, &base),
+            ["telemetry.trace_exact", "telemetry.zero_alloc"]
+        );
+        // The tracing-overhead ratio is advisory by default: a ratio of
+        // two near-equal wall times is noisy on shared runners.
+        let slower = SAMPLE.replace("\"overhead_ratio\": 0.99", "\"overhead_ratio\": 0.5");
+        let cur = flatten_json(&slower).unwrap();
+        let v = evaluate(&cur, &base, 0.25, false);
+        let t = v
+            .iter()
+            .find(|v| v.metric == "telemetry.overhead_ratio")
+            .unwrap();
+        assert!(!t.pass && !t.hard);
+        // A silent telemetry-config bump fails like any other dim bump.
+        let other = SAMPLE.replace("\"decode_steps\": 12", "\"decode_steps\": 24");
+        let cur = flatten_json(&other).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["telemetry.decode_steps"]);
     }
 
     #[test]

@@ -28,7 +28,14 @@
 
 use m2x_bench::gateway_load::{run_gateway_load, GatewayLoadConfig};
 use m2x_bench::report::results_dir;
-use m2x_bench::serving::{run, run_chaos, ChaosBenchConfig, ServeBenchConfig};
+use m2x_bench::serving::{
+    run, run_chaos, run_telemetry, ChaosBenchConfig, ServeBenchConfig, TelemetryBenchConfig,
+};
+use m2x_telemetry::alloc_probe::CountingAlloc;
+
+/// Arms the telemetry zero-alloc witness (see `bench_m2xfp_json`).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -127,18 +134,40 @@ fn main() {
         g.zero_leak,
     );
 
-    // Nest the chaos and gateway blocks inside the serving report — one
-    // array-free object, so the gate flattener sees `chaos.chaos_exact`,
-    // `gateway.stream_exact` etc.
+    let tl_cfg = TelemetryBenchConfig {
+        hidden: cfg.hidden,
+        layers: cfg.layers,
+        reps: cfg.reps,
+        ..TelemetryBenchConfig::ci()
+    };
+    let t = run_telemetry(tl_cfg);
+    eprintln!(
+        "telemetry: overhead {:.1}% (traced {:.1} vs untraced {:.1} tok/s) | stage cover \
+         {:.1}% of {:.0}µs tick time | {} trace events | trace_exact {} zero_alloc {:?}",
+        (1.0 - t.overhead_ratio) * 100.0,
+        t.traced_tok_per_s,
+        t.untraced_tok_per_s,
+        t.stage_cover * 100.0,
+        t.tick_sum_us / t.ticks.max(1) as f64,
+        t.trace_events,
+        t.trace_exact,
+        t.zero_alloc,
+    );
+
+    // Nest the chaos, gateway and telemetry blocks inside the serving
+    // report — one array-free object, so the gate flattener sees
+    // `chaos.chaos_exact`, `gateway.stream_exact`, `telemetry.trace_exact`
+    // etc.
     let body = r
         .to_json()
         .strip_suffix("\n}")
         .expect("ServeReport::to_json renders an object")
         .to_string();
     let json = format!(
-        "{body},\n  \"chaos\": {},\n  \"gateway\": {}\n}}",
+        "{body},\n  \"chaos\": {},\n  \"gateway\": {},\n  \"telemetry\": {}\n}}",
         c.to_json().replace('\n', "\n  "),
-        g.to_json().replace('\n', "\n  ")
+        g.to_json().replace('\n', "\n  "),
+        t.to_json().replace('\n', "\n  ")
     );
     println!("{json}");
     let dir = results_dir();
@@ -162,4 +191,14 @@ fn main() {
         "a socket-streamed token diverged from its solo run"
     );
     assert!(g.zero_leak, "the gateway load run leaked sessions");
+    assert!(
+        t.trace_exact,
+        "the drained trace failed to reconstruct every request's lifecycle"
+    );
+    assert_eq!(
+        t.zero_alloc,
+        Some(true),
+        "warm trace recording allocated {} times",
+        t.recording_allocs
+    );
 }

@@ -24,6 +24,8 @@ use m2x_nn::synth::activation_matrix;
 use m2x_serve::{
     run_solo, Completed, FaultPlan, RequestOptions, RequestOutcome, ServeConfig, Server,
 };
+use m2x_telemetry::alloc_probe::count_allocations;
+use m2x_telemetry::{stage, Histogram, StageTally, Telemetry};
 use m2x_tensor::Matrix;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -510,6 +512,367 @@ impl ChaosReport {
     }
 }
 
+/// Dimensions and knobs of one telemetry overhead + fidelity run.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryBenchConfig {
+    /// Hidden (residual stream) dimension.
+    pub hidden: usize,
+    /// Transformer layer count.
+    pub layers: usize,
+    /// Requests driven one at a time (closed loop, single stream).
+    pub requests: usize,
+    /// Prompt length per request, in tokens.
+    pub prompt_tokens: usize,
+    /// Closed-loop decode steps per request.
+    pub decode_steps: usize,
+    /// Measurement repetitions (best-of is reported).
+    pub reps: usize,
+}
+
+impl TelemetryBenchConfig {
+    /// The fixed configuration embedded in `bench_m2xfp_json` and gated by
+    /// CI: single-stream decode at the serving dims (hidden 256), the
+    /// shape the `solo_decode_tok_per_s` headline moves — so
+    /// `overhead_ratio` answers "what does leaving tracing on cost the
+    /// number we actually advertise?".
+    pub fn ci() -> Self {
+        TelemetryBenchConfig {
+            hidden: 256,
+            layers: 2,
+            requests: 4,
+            prompt_tokens: 8,
+            decode_steps: 12,
+            reps: 3,
+        }
+    }
+}
+
+/// Measured results of one telemetry run.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Configuration measured.
+    pub cfg: TelemetryBenchConfig,
+    /// The drained trace reconstructs every request's exact lifecycle
+    /// (one submitted/admitted/prefill/finished, one token instant per
+    /// decoded row in order, no spurious terminals, one TICK span per
+    /// engine tick, every sub-tick stage present, nothing dropped).
+    /// CI hard gate.
+    pub trace_exact: bool,
+    /// Warm trace/histogram/stage recording performed zero heap
+    /// allocations. `None` when the process did not install the counting
+    /// global allocator (the witness would be vacuous — rendered as JSON
+    /// `null`, which the gate treats as "measurement skipped").
+    /// CI hard gate in the bench binary, which installs the probe.
+    pub zero_alloc: Option<bool>,
+    /// Raw allocation count behind `zero_alloc` (0 when the probe is not
+    /// installed).
+    pub recording_allocs: u64,
+    /// Traced over untraced single-stream decode throughput (≈ 1.0;
+    /// advisory CI gate — a drop means tracing got expensive). Both
+    /// sides are scored by their fastest engine tick across reps (the
+    /// step-latency histogram's exact min), not wave wall clock, so
+    /// scheduler wakeup latency and runner preemption — which only ever
+    /// add time, to both modes alike — cancel out of the ratio.
+    pub overhead_ratio: f64,
+    /// Single-stream decode throughput with tracing on (tokens per
+    /// second at the floor tick cost).
+    pub traced_tok_per_s: f64,
+    /// Single-stream decode throughput with tracing off (tokens per
+    /// second at the floor tick cost).
+    pub untraced_tok_per_s: f64,
+    /// Engine ticks of the analysis wave (prefill + decode).
+    pub ticks: u64,
+    /// Trace events drained from all rings after the analysis wave.
+    pub trace_events: usize,
+    /// Events lost to full rings (0 for an exact trace).
+    pub trace_dropped: u64,
+    /// Per-stage accumulated time across the analysis wave (µs).
+    pub assemble_us: f64,
+    /// Activation quantization time (µs).
+    pub encode_us: f64,
+    /// Quantized GEMM time (µs).
+    pub qgemm_us: f64,
+    /// Attention (scores + mix over the KV cache) time (µs).
+    pub attention_us: f64,
+    /// KV-cache append time (µs).
+    pub kv_append_us: f64,
+    /// Output feedback ("sampling") time (µs).
+    pub feedback_us: f64,
+    /// Sum of the six sub-tick stages (µs).
+    pub stage_sum_us: f64,
+    /// Sum of the whole-tick latency histogram (µs).
+    pub tick_sum_us: f64,
+    /// `stage_sum_us / tick_sum_us` — how much of measured tick time the
+    /// stage clocks account for. The bench binary asserts this lands
+    /// within 10% of 1.0 at the CI dims: the split must explain the tick,
+    /// not decorate it.
+    pub stage_cover: f64,
+}
+
+/// Warm-recording allocation witness: after warm-up, a burst of trace
+/// span/instant pushes, histogram records and stage-tally bookings must
+/// not touch the heap. Returns `(probe_live, allocations)` — the caller
+/// treats a dead probe (counting allocator not installed in this
+/// process) as "measurement skipped" rather than a vacuous pass.
+fn warm_recording_allocations() -> (bool, u64) {
+    let tele = Arc::new(Telemetry::new(true));
+    let trace = tele.register("witness", 256);
+    let mut hist = Histogram::default();
+    let mut tally = StageTally::new();
+    tally.set_enabled(true);
+    trace.span(stage::TICK, 0, 0, 1, 1);
+    hist.record(1);
+    tally.add_ns(stage::QGEMM, 1);
+    let (allocs, ()) = count_allocations(|| {
+        for i in 0..1024u64 {
+            trace.span(stage::TICK, 0, i, i + 1, 1);
+            trace.instant(stage::REQ_TOKEN, 7, i);
+            hist.record(i);
+            tally.add_ns(stage::QGEMM, 100);
+            tally.time(stage::ATTENTION, || black_box(i));
+        }
+    });
+    let (canary, _) = count_allocations(|| black_box(Box::new([0u8; 8])));
+    (canary > 0, allocs)
+}
+
+/// Reconstructs every request's lifecycle from the drained rings and
+/// checks it against the typed outcomes: the trace must be a faithful,
+/// complete transcript, not a sample.
+fn lifecycle_matches(completed: &[(u64, Completed)], rings: &[m2x_telemetry::DrainedRing]) -> bool {
+    let mut ok = rings.iter().all(|r| r.dropped == 0);
+    for (id, c) in completed {
+        let req = *id as u32;
+        let evs = || {
+            rings
+                .iter()
+                .flat_map(|r| r.events.iter())
+                .filter(move |e| e.req == req)
+                .filter(|e| (stage::REQ_SUBMITTED..=stage::REQ_FAILED).contains(&e.stage))
+        };
+        let count = |s: u16| evs().filter(|e| e.stage == s).count();
+        ok &= count(stage::REQ_SUBMITTED) == 1;
+        ok &= count(stage::REQ_ADMITTED) == 1;
+        ok &= count(stage::REQ_PREFILL) == 1;
+        ok &= count(stage::REQ_FINISHED) == 1;
+        ok &= count(stage::REQ_REJECTED) == 0
+            && count(stage::REQ_CANCELLED) == 0
+            && count(stage::REQ_DEADLINE) == 0
+            && count(stage::REQ_FAILED) == 0;
+        // Every decoded row left a token instant, in decode order (ring
+        // order is push order, so this also pins emission ordering).
+        let toks: Vec<u64> = evs()
+            .filter(|e| e.stage == stage::REQ_TOKEN)
+            .map(|e| e.value)
+            .collect();
+        ok &= toks.len() == c.decoded.rows();
+        ok &= toks.iter().enumerate().all(|(i, v)| *v == i as u64);
+        ok &= evs()
+            .find(|e| e.stage == stage::REQ_FINISHED)
+            .is_some_and(|e| e.value == c.decoded.rows() as u64);
+    }
+    ok
+}
+
+/// Runs the telemetry measurement: the zero-alloc recording witness, a
+/// traced-vs-untraced single-stream overhead comparison, then one traced
+/// analysis wave whose drained trace is reconstructed request by request
+/// and whose stage clocks are compared against the tick histogram.
+pub fn run_telemetry(cfg: TelemetryBenchConfig) -> TelemetryReport {
+    // Witness first, while no engine threads are running: allocation
+    // counting is process-wide.
+    let (probe_live, recording_allocs) = warm_recording_allocations();
+    let zero_alloc = if probe_live {
+        Some(recording_allocs == 0)
+    } else {
+        None
+    };
+
+    let profile = ModelProfile::llama3_8b();
+    let weights: Arc<ModelWeights> = Arc::new(
+        ModelBuilder::scaled(&profile, cfg.hidden, cfg.layers)
+            .build_weights()
+            .expect("scaled dimensions are group-aligned"),
+    );
+    let prompts = request_prompts(&ServeBenchConfig {
+        hidden: cfg.hidden,
+        layers: cfg.layers,
+        requests: cfg.requests,
+        prompt_tokens: cfg.prompt_tokens,
+        decode_steps: cfg.decode_steps,
+        max_batch: 1,
+        reps: cfg.reps,
+    });
+
+    // Closed-loop single-stream wave: one request in flight at a time, so
+    // the ratio below is the tracing tax on the solo decode headline.
+    // Tracing cost lives *inside* the engine tick, so each wave is scored
+    // by its **fastest tick** (the latency histogram records in both
+    // modes, and its min is exact): wall clock over a short wave is
+    // dominated by engine-thread wakeup latency and runner contention,
+    // neither of which tracing can affect, while preemption and cache
+    // pollution only ever add time — so the min-tick of each mode
+    // estimates its clean per-tick cost, and the ratio isolates the
+    // tracing tax. Reps interleave the two modes so machine-load drift
+    // hits both equally.
+    let wave = |telemetry: bool| -> Histogram {
+        let server = Server::start(
+            Arc::clone(&weights),
+            ServeConfig {
+                max_batch: 1,
+                telemetry,
+                ..ServeConfig::default()
+            },
+        );
+        for p in &prompts {
+            let id = server.submit(p.clone(), cfg.decode_steps).expect("submit");
+            server
+                .wait(id)
+                .expect("typed outcome")
+                .finished()
+                .expect("no faults in the telemetry run");
+        }
+        server.telemetry_snapshot().step_us
+    };
+    let mut wave_ticks = 0u64;
+    let mut traced_min_us = u64::MAX;
+    let mut untraced_min_us = u64::MAX;
+    for _ in 0..cfg.reps.max(1) {
+        let h = wave(true);
+        wave_ticks = h.count();
+        traced_min_us = traced_min_us.min(h.min());
+        untraced_min_us = untraced_min_us.min(wave(false).min());
+    }
+    // Idealized noise-free wave time: every tick at the floor cost.
+    let traced_s = traced_min_us as f64 * wave_ticks as f64 / 1e6;
+    let untraced_s = untraced_min_us as f64 * wave_ticks as f64 / 1e6;
+    let tokens = (cfg.requests * cfg.decode_steps) as f64;
+
+    // Analysis wave (untimed): one traced run whose rings and histograms
+    // are inspected rather than raced.
+    let server = Server::start(
+        Arc::clone(&weights),
+        ServeConfig {
+            max_batch: 1,
+            telemetry: true,
+            ..ServeConfig::default()
+        },
+    );
+    let completed: Vec<(u64, Completed)> = prompts
+        .iter()
+        .map(|p| {
+            let id = server.submit(p.clone(), cfg.decode_steps).expect("submit");
+            let c = server
+                .wait(id)
+                .expect("typed outcome")
+                .finished()
+                .expect("no faults in the telemetry run");
+            (id, c)
+        })
+        .collect();
+    let snap = server.telemetry_snapshot();
+    let rings = server.telemetry().drain();
+    drop(server);
+
+    let ticks = snap.step_us.count();
+    let engine_spans = |s: u16| {
+        rings
+            .iter()
+            .flat_map(|r| r.events.iter())
+            .filter(|e| e.stage == s)
+            .count() as u64
+    };
+    let trace_exact = lifecycle_matches(&completed, &rings)
+        && engine_spans(stage::TICK) == ticks
+        && (stage::ASSEMBLE..stage::TICK_STAGES as u16).all(|s| engine_spans(s) > 0);
+
+    let us = |s: u16| snap.stages.ns(s) as f64 / 1000.0;
+    let stage_sum_us = snap.stages.stage_sum_ns() as f64 / 1000.0;
+    let tick_sum_us = snap.step_us.sum() as f64;
+
+    TelemetryReport {
+        cfg,
+        trace_exact,
+        zero_alloc,
+        recording_allocs,
+        overhead_ratio: untraced_s / traced_s,
+        traced_tok_per_s: tokens / traced_s,
+        untraced_tok_per_s: tokens / untraced_s,
+        ticks,
+        trace_events: rings.iter().map(|r| r.events.len()).sum(),
+        trace_dropped: rings.iter().map(|r| r.dropped).sum(),
+        assemble_us: us(stage::ASSEMBLE),
+        encode_us: us(stage::ENCODE),
+        qgemm_us: us(stage::QGEMM),
+        attention_us: us(stage::ATTENTION),
+        kv_append_us: us(stage::KV_APPEND),
+        feedback_us: us(stage::FEEDBACK),
+        stage_sum_us,
+        tick_sum_us,
+        stage_cover: if tick_sum_us > 0.0 {
+            stage_sum_us / tick_sum_us
+        } else {
+            0.0
+        },
+    }
+}
+
+impl TelemetryReport {
+    /// Renders the report as a flat-gateable JSON object (no arrays).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{
+  "bench": "m2x_telemetry",
+  "dims": {{"hidden": {h}, "layers": {l}, "requests": {r}, "prompt_tokens": {p}, "decode_steps": {d}}},
+  "trace_exact": {te},
+  "zero_alloc": {za},
+  "recording_allocs": {ra},
+  "overhead_ratio": {or:.3},
+  "traced_tok_per_s": {tt:.2},
+  "untraced_tok_per_s": {ut:.2},
+  "ticks": {ti},
+  "trace_events": {ev},
+  "trace_dropped": {dr},
+  "assemble_us": {sa:.1},
+  "encode_us": {se:.1},
+  "qgemm_us": {sq:.1},
+  "attention_us": {sat:.1},
+  "kv_append_us": {sk:.1},
+  "feedback_us": {sf:.1},
+  "stage_sum_us": {ss:.1},
+  "tick_sum_us": {ts:.1},
+  "stage_cover": {sc:.3}
+}}"#,
+            h = self.cfg.hidden,
+            l = self.cfg.layers,
+            r = self.cfg.requests,
+            p = self.cfg.prompt_tokens,
+            d = self.cfg.decode_steps,
+            te = self.trace_exact,
+            za = match self.zero_alloc {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            },
+            ra = self.recording_allocs,
+            or = self.overhead_ratio,
+            tt = self.traced_tok_per_s,
+            ut = self.untraced_tok_per_s,
+            ti = self.ticks,
+            ev = self.trace_events,
+            dr = self.trace_dropped,
+            sa = self.assemble_us,
+            se = self.encode_us,
+            sq = self.qgemm_us,
+            sat = self.attention_us,
+            sk = self.kv_append_us,
+            sf = self.feedback_us,
+            ss = self.stage_sum_us,
+            ts = self.tick_sum_us,
+            sc = self.stage_cover,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,6 +914,40 @@ mod tests {
         assert!(json.contains("\"chaos_exact\": true"));
         assert!(json.contains("\"zero_leak\": true"));
         assert!(json.contains("\"recovery_ticks\""));
+    }
+
+    #[test]
+    fn telemetry_run_reconstructs_lifecycles_at_small_dims() {
+        let cfg = TelemetryBenchConfig {
+            hidden: 64,
+            layers: 1,
+            requests: 2,
+            prompt_tokens: 3,
+            decode_steps: 3,
+            reps: 1,
+        };
+        let r = run_telemetry(cfg);
+        assert!(r.trace_exact, "trace reconstruction failed: {r:?}");
+        assert_eq!(r.trace_dropped, 0);
+        // Each request is one prefill tick plus `decode_steps` decode
+        // ticks at max_batch 1.
+        assert_eq!(r.ticks, 2 * (1 + 3));
+        assert!(r.overhead_ratio > 0.0 && r.traced_tok_per_s > 0.0);
+        assert!(r.stage_sum_us > 0.0 && r.tick_sum_us > 0.0);
+        // Microsecond truncation on ~100µs ticks makes the cover noisy at
+        // these dims; the bench binary asserts the tight 10% window at
+        // the CI dims, here it only has to be sane.
+        assert!(
+            r.stage_cover > 0.5 && r.stage_cover < 1.5,
+            "stage cover {}",
+            r.stage_cover
+        );
+        // The library's own test process never installs the counting
+        // allocator, so the witness reports "skipped", not a vacuous pass.
+        let json = r.to_json();
+        assert!(json.contains("\"trace_exact\": true"));
+        assert!(json.contains("\"zero_alloc\": null"));
+        assert!(json.contains("\"stage_cover\""));
     }
 
     #[test]

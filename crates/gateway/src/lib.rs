@@ -10,12 +10,13 @@
 //! as the engine produces them, so the client sees tokens at decode
 //! latency, not request latency.
 //!
-//! Three endpoints (full schemas in `docs/HTTP_API.md`):
+//! Four endpoints (full schemas in `docs/HTTP_API.md`):
 //!
 //! | Endpoint | What it does |
 //! |---|---|
 //! | `POST /v1/generate` | Submit a prompt, stream decode tokens as SSE |
-//! | `GET /metrics` | Scheduler + gateway counters, text format |
+//! | `GET /metrics` | Prometheus text: counters + latency histograms |
+//! | `GET /v1/trace` | Drain the trace rings as Chrome trace-event JSON |
 //! | `GET /healthz` | Liveness of the engine thread |
 //!
 //! Every typed [`RequestOutcome`] and [`ServeError`] maps onto a
@@ -40,8 +41,10 @@ pub mod json;
 
 use m2x_serve::sync::lock_poisoned;
 use m2x_serve::{RequestOptions, RequestOutcome, ServeError, Server, StreamEvent};
+use m2x_telemetry::{stage, Histogram, TraceHandle, TraceKind};
 use m2x_tensor::Matrix;
 
+use std::fmt::{Display, Write as _};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,6 +55,10 @@ use std::time::Duration;
 
 pub use http::Limits;
 pub use json::Json;
+
+/// Gateway trace-ring capacity (events): one connection span + one parse
+/// span per request + one stream span per generation.
+const GW_RING_EVENTS: usize = 4_096;
 
 /// Configuration of a [`Gateway`].
 #[derive(Debug, Clone)]
@@ -220,6 +227,9 @@ struct Ctx {
     server: Arc<Server>,
     cfg: GatewayConfig,
     counters: Arc<Counters>,
+    /// Gateway ring on the server's [`m2x_telemetry::Telemetry`] clock:
+    /// connection/parse/stream phase spans, shared by all workers.
+    trace: TraceHandle,
 }
 
 impl Gateway {
@@ -236,10 +246,12 @@ impl Gateway {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
+        let trace = server.telemetry().register("gateway", GW_RING_EVENTS);
         let ctx = Arc::new(Ctx {
             server,
             cfg,
             counters: Arc::clone(&counters),
+            trace,
         });
 
         let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -321,15 +333,30 @@ impl Drop for Gateway {
     }
 }
 
+/// Serves one connection and traces it: one `gw_connection` span for the
+/// connection's lifetime (value = requests served) wrapped around
+/// [`serve_connection`].
+fn handle_connection(ctx: &Ctx, stream: TcpStream) {
+    let t0 = ctx.trace.now_us();
+    let served = serve_connection(ctx, stream);
+    ctx.trace
+        .span(stage::GW_CONNECTION, 0, t0, ctx.trace.now_us(), served);
+}
+
 /// Serves one connection: keep-alive loop of incremental parse → route,
 /// until the client closes, times out, pipelines its last request, or a
-/// response demands `connection: close`.
-fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
+/// response demands `connection: close`. Returns requests served.
+fn serve_connection(ctx: &Ctx, mut stream: TcpStream) -> u64 {
     let _ = stream.set_read_timeout(Some(ctx.cfg.read_timeout));
     let _ = stream.set_nodelay(true);
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    let mut served = 0u64;
     'requests: loop {
+        // The `gw_parse` span runs from here to a complete parse, so for
+        // the second and later requests of a keep-alive connection it
+        // includes the idle wait for the client's next request bytes.
+        let t_req = ctx.trace.now_us();
         let mut sent_continue = false;
         let request = loop {
             match http::parse_request(&buf, &ctx.cfg.limits) {
@@ -344,13 +371,13 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
                     if headers_complete && expects_continue && !sent_continue {
                         sent_continue = true;
                         if stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err() {
-                            return;
+                            return served;
                         }
                     }
                     match stream.read(&mut chunk) {
-                        Ok(0) => return, // clean close between requests
+                        Ok(0) => return served, // clean close between requests
                         Ok(n) => buf.extend_from_slice(&chunk[..n]),
-                        Err(_) => return, // timeout or reset
+                        Err(_) => return served, // timeout or reset
                     }
                 }
                 Err(e) => {
@@ -366,15 +393,23 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
                         body.as_bytes(),
                         false,
                     );
-                    return; // framing is unrecoverable after a parse error
+                    return served; // framing is unrecoverable after a parse error
                 }
             }
         };
         ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
+        served += 1;
+        ctx.trace.span(
+            stage::GW_PARSE,
+            0,
+            t_req,
+            ctx.trace.now_us(),
+            request.body.len() as u64,
+        );
         let keep_alive = request.keep_alive();
         let streamed = route(ctx, &mut stream, &request);
         if streamed || !keep_alive {
-            return;
+            return served;
         }
         if buf.is_empty() {
             // Nothing pipelined; loop back to read the next request.
@@ -400,7 +435,12 @@ fn route(ctx: &Ctx, stream: &mut TcpStream, req: &http::Request) -> bool {
             let body = render_metrics(ctx);
             respond_text(stream, 200, "OK", &body, req.keep_alive());
         }
-        ("GET" | "HEAD", "/v1/generate") | ("POST" | "PUT" | "DELETE", "/healthz" | "/metrics") => {
+        ("GET", "/v1/trace") => {
+            let body = render_trace(ctx);
+            respond_json(stream, 200, "OK", &body, req.keep_alive());
+        }
+        ("GET" | "HEAD", "/v1/generate")
+        | ("POST" | "PUT" | "DELETE", "/healthz" | "/metrics" | "/v1/trace") => {
             ctx.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
             let allow = if req.target == "/v1/generate" {
                 "POST"
@@ -457,47 +497,242 @@ fn respond_json(stream: &mut TcpStream, status: u16, reason: &str, body: &str, k
     );
 }
 
-/// `/metrics` text format: `m2x_serve_*` scheduler counters (including
-/// p99 step latency) plus `m2x_gateway_*` connection counters.
+/// Appends one single-sample metric family in Prometheus text format
+/// (`# HELP` + `# TYPE` + the sample line).
+fn render_metric(out: &mut String, name: &str, kind: &str, help: &str, value: impl Display) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends one histogram family with a cumulative `le` ladder of
+/// `4^k - 1` bounds (0, 3, 15, …, 268435455, `+Inf`). Power-of-four
+/// bounds land exactly on the histogram's bucket boundaries
+/// ([`Histogram::count_below`] is exact at powers of two), so the
+/// rendered counts carry no bucketing error on top of the histogram's
+/// own.
+fn render_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let _ = writeln!(out, "{name}_bucket{{le=\"0\"}} {}", h.count_below(1));
+    let mut bound = 4u64;
+    for _ in 0..14 {
+        let below = h.count_below(bound);
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {below}", bound - 1);
+        bound *= 4;
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// `/metrics` in Prometheus text exposition format: `m2x_serve_*`
+/// scheduler counters and latency histograms (step latency, TTFT, queue
+/// wait, tokens per request) plus `m2x_gateway_*` connection counters.
+/// Every family carries `# HELP`/`# TYPE` lines; the exact fresh-server
+/// output is pinned by a unit test.
 fn render_metrics(ctx: &Ctx) -> String {
     let s = ctx.server.stats();
+    let t = ctx.server.telemetry_snapshot();
     let g = ctx.counters.snapshot();
-    format!(
-        "m2x_serve_steps {}\n\
-         m2x_serve_decoded_tokens {}\n\
-         m2x_serve_peak_batch {}\n\
-         m2x_serve_rejected {}\n\
-         m2x_serve_cancelled {}\n\
-         m2x_serve_deadline_exceeded {}\n\
-         m2x_serve_failed {}\n\
-         m2x_serve_panics_recovered {}\n\
-         m2x_serve_recovery_ticks {}\n\
-         m2x_serve_peak_queue_depth {}\n\
-         m2x_serve_p99_step_us {}\n\
-         m2x_gateway_connections {}\n\
-         m2x_gateway_requests {}\n\
-         m2x_gateway_streams_opened {}\n\
-         m2x_gateway_client_disconnects {}\n\
-         m2x_gateway_bad_requests {}\n\
-         m2x_gateway_healthy {}\n",
+    let mut out = String::with_capacity(4096);
+    let o = &mut out;
+    render_metric(
+        o,
+        "m2x_serve_steps",
+        "counter",
+        "Batched scheduler steps executed.",
         s.steps,
+    );
+    render_metric(
+        o,
+        "m2x_serve_decoded_tokens",
+        "counter",
+        "Decode tokens produced across all requests.",
         s.decoded_tokens,
+    );
+    render_metric(
+        o,
+        "m2x_serve_peak_batch",
+        "gauge",
+        "Largest number of requests in flight during one step.",
         s.peak_batch,
+    );
+    render_metric(
+        o,
+        "m2x_serve_rejected",
+        "counter",
+        "Requests shed at submission (arrival queue full).",
         s.rejected,
+    );
+    render_metric(
+        o,
+        "m2x_serve_cancelled",
+        "counter",
+        "Requests cancelled.",
         s.cancelled,
+    );
+    render_metric(
+        o,
+        "m2x_serve_deadline_exceeded",
+        "counter",
+        "Requests expired past their deadline.",
         s.deadline_exceeded,
+    );
+    render_metric(
+        o,
+        "m2x_serve_failed",
+        "counter",
+        "Requests failed by a step panic or model error.",
         s.failed,
+    );
+    render_metric(
+        o,
+        "m2x_serve_panics_recovered",
+        "counter",
+        "Panics caught by the engine's step isolation.",
         s.panics_recovered,
+    );
+    render_metric(
+        o,
+        "m2x_serve_recovery_ticks",
+        "counter",
+        "Scheduler ticks that ran the reset-and-replay recovery pass.",
         s.recovery_ticks,
+    );
+    render_metric(
+        o,
+        "m2x_serve_peak_queue_depth",
+        "gauge",
+        "Largest arrival-queue depth observed at submission.",
         s.peak_queue_depth,
+    );
+    render_metric(
+        o,
+        "m2x_serve_p99_step_us",
+        "gauge",
+        "p99 engine step latency in microseconds.",
         s.p99_step_us,
+    );
+    render_histogram(
+        o,
+        "m2x_serve_step_latency_us",
+        "Engine step (tick) wall latency in microseconds.",
+        &t.step_us,
+    );
+    render_histogram(
+        o,
+        "m2x_serve_ttft_us",
+        "Time to first decode token in microseconds, from submission.",
+        &t.ttft_us,
+    );
+    render_histogram(
+        o,
+        "m2x_serve_queue_wait_us",
+        "Queue wait in microseconds, from submission to admission.",
+        &t.queue_wait_us,
+    );
+    render_histogram(
+        o,
+        "m2x_serve_tokens_per_request",
+        "Decode tokens delivered per resolved request.",
+        &t.tokens_per_request,
+    );
+    render_metric(
+        o,
+        "m2x_gateway_connections",
+        "counter",
+        "TCP connections accepted.",
         g.connections,
+    );
+    render_metric(
+        o,
+        "m2x_gateway_requests",
+        "counter",
+        "HTTP requests fully parsed and routed.",
         g.requests,
+    );
+    render_metric(
+        o,
+        "m2x_gateway_streams_opened",
+        "counter",
+        "Generation requests that opened an SSE token stream.",
         g.streams_opened,
+    );
+    render_metric(
+        o,
+        "m2x_gateway_client_disconnects",
+        "counter",
+        "Streams whose client vanished mid-flight.",
         g.client_disconnects,
+    );
+    render_metric(
+        o,
+        "m2x_gateway_bad_requests",
+        "counter",
+        "Requests rejected by the HTTP parser or validation.",
         g.bad_requests,
+    );
+    render_metric(
+        o,
+        "m2x_gateway_healthy",
+        "gauge",
+        "1 while the engine thread is alive and accepting.",
         u8::from(ctx.server.healthy()),
-    )
+    );
+    out
+}
+
+/// `GET /v1/trace`: drains every trace ring of the server's
+/// [`m2x_telemetry::Telemetry`] (engine, api, gateway) and renders the
+/// events as Chrome trace-event JSON — load the response in
+/// `chrome://tracing` or Perfetto. Each ring becomes one track (`tid` =
+/// registration index, labelled by a `thread_name` metadata event);
+/// spans render as `"ph":"X"`, instants as `"ph":"i"`. The drain is
+/// destructive: a second immediate request returns only events recorded
+/// in between, and `dropped` reports per-ring overwrite losses since the
+/// previous drain.
+fn render_trace(ctx: &Ctx) -> String {
+    let rings = ctx.server.telemetry().drain();
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for ring in &rings {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            ring.tid,
+            json::escape(&ring.name)
+        );
+        for e in &ring.events {
+            out.push(',');
+            let _ = match e.kind {
+                TraceKind::Span => write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"req\":{},\"value\":{}}}}}",
+                    stage::name(e.stage), e.ts_us, e.dur_us, ring.tid, e.req, e.value
+                ),
+                TraceKind::Instant => write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"pid\":1,\"tid\":{},\"args\":{{\"req\":{},\"value\":{}}}}}",
+                    stage::name(e.stage), e.ts_us, ring.tid, e.req, e.value
+                ),
+            };
+        }
+    }
+    out.push_str("],\"dropped\":{");
+    for (i, ring) in rings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json::escape(&ring.name), ring.dropped);
+    }
+    out.push_str("}}\n");
+    out
 }
 
 /// The decoded `POST /v1/generate` body.
@@ -575,6 +810,24 @@ fn parse_generate_body(ctx: &Ctx, body: &[u8]) -> Result<GenerateBody, String> {
     })
 }
 
+/// RAII `gw_stream` span: created when a token stream opens, emitted on
+/// every exit path of the streaming loop (clean finish, client
+/// disconnect, engine death) with the number of token frames written.
+struct StreamSpan<'a> {
+    trace: &'a TraceHandle,
+    req: u32,
+    start_us: u64,
+    tokens: u64,
+}
+
+impl Drop for StreamSpan<'_> {
+    fn drop(&mut self) {
+        let end = self.trace.now_us();
+        self.trace
+            .span(stage::GW_STREAM, self.req, self.start_us, end, self.tokens);
+    }
+}
+
 /// One SSE token frame: `data: {"index":N,"token":[...]}\n\n`.
 // m2x-lint: hot
 fn token_frame(index: usize, row: &Matrix) -> Vec<u8> {
@@ -631,6 +884,12 @@ fn generate(ctx: &Ctx, stream: &mut TcpStream, req: &http::Request) -> bool {
     match ctx.server.next_token(id, 0) {
         Ok(StreamEvent::Token { index, row }) => {
             ctx.counters.streams_opened.fetch_add(1, Ordering::Relaxed);
+            let mut span = StreamSpan {
+                trace: &ctx.trace,
+                req: id as u32,
+                start_us: ctx.trace.now_us(),
+                tokens: 0,
+            };
             // m2x-lint: allow(alloc) once per stream: the response head, not the token loop
             let id_hdr = [("x-m2x-request-id", id.to_string())];
             if http::write_stream_head(stream, 200, "OK", &id_hdr).is_err() {
@@ -641,6 +900,7 @@ fn generate(ctx: &Ctx, stream: &mut TcpStream, req: &http::Request) -> bool {
                 abandon(ctx, id);
                 return true;
             }
+            span.tokens += 1;
             let mut cursor = index + 1;
             loop {
                 match ctx.server.next_token(id, cursor) {
@@ -649,6 +909,7 @@ fn generate(ctx: &Ctx, stream: &mut TcpStream, req: &http::Request) -> bool {
                             abandon(ctx, id);
                             return true;
                         }
+                        span.tokens += 1;
                         cursor = index + 1;
                     }
                     Ok(StreamEvent::Done(outcome)) => {
@@ -716,4 +977,248 @@ fn abandon(ctx: &Ctx, id: u64) {
         .fetch_add(1, Ordering::Relaxed);
     let _ = ctx.server.cancel(id);
     let _ = ctx.server.wait(id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2x_nn::model::ModelBuilder;
+    use m2x_nn::profile::ModelProfile;
+    use m2x_serve::ServeConfig;
+
+    fn test_ctx() -> Ctx {
+        let weights = Arc::new(
+            ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 1)
+                .build_weights()
+                .unwrap(),
+        );
+        let server = Arc::new(Server::start(weights, ServeConfig::default()));
+        Ctx {
+            trace: server.telemetry().register("gateway", 64),
+            server,
+            cfg: GatewayConfig::default(),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// The exact `/metrics` text of a fresh server. This is the pinned
+    /// exposition format: any change to metric names, `# HELP`/`# TYPE`
+    /// lines, the histogram `le` ladder, or ordering must update this
+    /// string deliberately (dashboards parse it).
+    const FRESH_METRICS: &str = "\
+# HELP m2x_serve_steps Batched scheduler steps executed.
+# TYPE m2x_serve_steps counter
+m2x_serve_steps 0
+# HELP m2x_serve_decoded_tokens Decode tokens produced across all requests.
+# TYPE m2x_serve_decoded_tokens counter
+m2x_serve_decoded_tokens 0
+# HELP m2x_serve_peak_batch Largest number of requests in flight during one step.
+# TYPE m2x_serve_peak_batch gauge
+m2x_serve_peak_batch 0
+# HELP m2x_serve_rejected Requests shed at submission (arrival queue full).
+# TYPE m2x_serve_rejected counter
+m2x_serve_rejected 0
+# HELP m2x_serve_cancelled Requests cancelled.
+# TYPE m2x_serve_cancelled counter
+m2x_serve_cancelled 0
+# HELP m2x_serve_deadline_exceeded Requests expired past their deadline.
+# TYPE m2x_serve_deadline_exceeded counter
+m2x_serve_deadline_exceeded 0
+# HELP m2x_serve_failed Requests failed by a step panic or model error.
+# TYPE m2x_serve_failed counter
+m2x_serve_failed 0
+# HELP m2x_serve_panics_recovered Panics caught by the engine's step isolation.
+# TYPE m2x_serve_panics_recovered counter
+m2x_serve_panics_recovered 0
+# HELP m2x_serve_recovery_ticks Scheduler ticks that ran the reset-and-replay recovery pass.
+# TYPE m2x_serve_recovery_ticks counter
+m2x_serve_recovery_ticks 0
+# HELP m2x_serve_peak_queue_depth Largest arrival-queue depth observed at submission.
+# TYPE m2x_serve_peak_queue_depth gauge
+m2x_serve_peak_queue_depth 0
+# HELP m2x_serve_p99_step_us p99 engine step latency in microseconds.
+# TYPE m2x_serve_p99_step_us gauge
+m2x_serve_p99_step_us 0
+# HELP m2x_serve_step_latency_us Engine step (tick) wall latency in microseconds.
+# TYPE m2x_serve_step_latency_us histogram
+m2x_serve_step_latency_us_bucket{le=\"0\"} 0
+m2x_serve_step_latency_us_bucket{le=\"3\"} 0
+m2x_serve_step_latency_us_bucket{le=\"15\"} 0
+m2x_serve_step_latency_us_bucket{le=\"63\"} 0
+m2x_serve_step_latency_us_bucket{le=\"255\"} 0
+m2x_serve_step_latency_us_bucket{le=\"1023\"} 0
+m2x_serve_step_latency_us_bucket{le=\"4095\"} 0
+m2x_serve_step_latency_us_bucket{le=\"16383\"} 0
+m2x_serve_step_latency_us_bucket{le=\"65535\"} 0
+m2x_serve_step_latency_us_bucket{le=\"262143\"} 0
+m2x_serve_step_latency_us_bucket{le=\"1048575\"} 0
+m2x_serve_step_latency_us_bucket{le=\"4194303\"} 0
+m2x_serve_step_latency_us_bucket{le=\"16777215\"} 0
+m2x_serve_step_latency_us_bucket{le=\"67108863\"} 0
+m2x_serve_step_latency_us_bucket{le=\"268435455\"} 0
+m2x_serve_step_latency_us_bucket{le=\"+Inf\"} 0
+m2x_serve_step_latency_us_sum 0
+m2x_serve_step_latency_us_count 0
+# HELP m2x_serve_ttft_us Time to first decode token in microseconds, from submission.
+# TYPE m2x_serve_ttft_us histogram
+m2x_serve_ttft_us_bucket{le=\"0\"} 0
+m2x_serve_ttft_us_bucket{le=\"3\"} 0
+m2x_serve_ttft_us_bucket{le=\"15\"} 0
+m2x_serve_ttft_us_bucket{le=\"63\"} 0
+m2x_serve_ttft_us_bucket{le=\"255\"} 0
+m2x_serve_ttft_us_bucket{le=\"1023\"} 0
+m2x_serve_ttft_us_bucket{le=\"4095\"} 0
+m2x_serve_ttft_us_bucket{le=\"16383\"} 0
+m2x_serve_ttft_us_bucket{le=\"65535\"} 0
+m2x_serve_ttft_us_bucket{le=\"262143\"} 0
+m2x_serve_ttft_us_bucket{le=\"1048575\"} 0
+m2x_serve_ttft_us_bucket{le=\"4194303\"} 0
+m2x_serve_ttft_us_bucket{le=\"16777215\"} 0
+m2x_serve_ttft_us_bucket{le=\"67108863\"} 0
+m2x_serve_ttft_us_bucket{le=\"268435455\"} 0
+m2x_serve_ttft_us_bucket{le=\"+Inf\"} 0
+m2x_serve_ttft_us_sum 0
+m2x_serve_ttft_us_count 0
+# HELP m2x_serve_queue_wait_us Queue wait in microseconds, from submission to admission.
+# TYPE m2x_serve_queue_wait_us histogram
+m2x_serve_queue_wait_us_bucket{le=\"0\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"3\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"15\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"63\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"255\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"1023\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"4095\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"16383\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"65535\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"262143\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"1048575\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"4194303\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"16777215\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"67108863\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"268435455\"} 0
+m2x_serve_queue_wait_us_bucket{le=\"+Inf\"} 0
+m2x_serve_queue_wait_us_sum 0
+m2x_serve_queue_wait_us_count 0
+# HELP m2x_serve_tokens_per_request Decode tokens delivered per resolved request.
+# TYPE m2x_serve_tokens_per_request histogram
+m2x_serve_tokens_per_request_bucket{le=\"0\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"3\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"15\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"63\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"255\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"1023\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"4095\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"16383\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"65535\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"262143\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"1048575\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"4194303\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"16777215\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"67108863\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"268435455\"} 0
+m2x_serve_tokens_per_request_bucket{le=\"+Inf\"} 0
+m2x_serve_tokens_per_request_sum 0
+m2x_serve_tokens_per_request_count 0
+# HELP m2x_gateway_connections TCP connections accepted.
+# TYPE m2x_gateway_connections counter
+m2x_gateway_connections 0
+# HELP m2x_gateway_requests HTTP requests fully parsed and routed.
+# TYPE m2x_gateway_requests counter
+m2x_gateway_requests 0
+# HELP m2x_gateway_streams_opened Generation requests that opened an SSE token stream.
+# TYPE m2x_gateway_streams_opened counter
+m2x_gateway_streams_opened 0
+# HELP m2x_gateway_client_disconnects Streams whose client vanished mid-flight.
+# TYPE m2x_gateway_client_disconnects counter
+m2x_gateway_client_disconnects 0
+# HELP m2x_gateway_bad_requests Requests rejected by the HTTP parser or validation.
+# TYPE m2x_gateway_bad_requests counter
+m2x_gateway_bad_requests 0
+# HELP m2x_gateway_healthy 1 while the engine thread is alive and accepting.
+# TYPE m2x_gateway_healthy gauge
+m2x_gateway_healthy 1
+";
+
+    #[test]
+    fn fresh_metrics_text_is_pinned() {
+        let ctx = test_ctx();
+        assert_eq!(render_metrics(&ctx), FRESH_METRICS);
+    }
+
+    #[test]
+    fn metrics_histograms_count_served_requests() {
+        let ctx = test_ctx();
+        let prompt = Matrix::from_fn(2, 64, |r, c| ((r + c) as f32 * 0.01).tanh());
+        let id = ctx.server.submit(prompt, 3).unwrap();
+        ctx.server.wait(id).unwrap();
+        let body = render_metrics(&ctx);
+        assert!(body.contains("m2x_serve_ttft_us_count 1"), "{body}");
+        assert!(body.contains("m2x_serve_queue_wait_us_count 1"));
+        assert!(body.contains("m2x_serve_tokens_per_request_sum 3"));
+        assert!(body.contains("m2x_serve_tokens_per_request_bucket{le=\"+Inf\"} 1"));
+        // The cumulative ladder is monotone for every histogram family.
+        for family in [
+            "m2x_serve_step_latency_us",
+            "m2x_serve_ttft_us",
+            "m2x_serve_queue_wait_us",
+            "m2x_serve_tokens_per_request",
+        ] {
+            let mut last = 0u64;
+            for line in body
+                .lines()
+                .filter(|l| l.starts_with(&format!("{family}_bucket")))
+            {
+                let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= last, "non-cumulative ladder: {line}");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn trace_renders_every_ring_as_chrome_json() {
+        let ctx = test_ctx();
+        let prompt = Matrix::from_fn(1, 64, |_, c| (c as f32 * 0.02).cos() * 0.3);
+        let id = ctx.server.submit(prompt, 2).unwrap();
+        ctx.server.wait(id).unwrap();
+        ctx.trace.span(stage::GW_STREAM, id as u32, 0, 5, 2);
+        let body = render_trace(&ctx);
+        let doc = json::parse(&body).expect("trace output must be valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        // One thread_name metadata event per ring: engine, api, gateway.
+        let tracks: Vec<&str> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(Json::as_str), Some("M")))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert_eq!(tracks, vec!["engine", "api", "gateway"]);
+        // Spans carry ts + dur; instants carry ts + scope.
+        assert!(events.iter().any(|e| {
+            matches!(e.get("ph").and_then(Json::as_str), Some("X"))
+                && matches!(e.get("name").and_then(Json::as_str), Some("tick"))
+        }));
+        assert!(events.iter().any(|e| {
+            matches!(e.get("ph").and_then(Json::as_str), Some("i"))
+                && matches!(e.get("name").and_then(Json::as_str), Some("req_token"))
+        }));
+        // Drains are destructive: an immediate re-render is near-empty.
+        let again = render_trace(&ctx);
+        let doc2 = json::parse(&again).unwrap();
+        let n2 = doc2
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .len();
+        assert!(
+            n2 <= 3 + 2,
+            "second drain should hold only metadata, got {n2}"
+        );
+    }
 }

@@ -18,7 +18,8 @@
 //! ## Scope policy
 //!
 //! *Engine crates* (`core`, `nn`, `serve`, `gateway`, `formats`, `tensor`,
-//! `lint` itself, and the umbrella `src/`) get all four rule families.
+//! `telemetry`, `lint` itself, and the umbrella `src/`) get all four rule
+//! families.
 //! *Research/tooling crates* (`bench`, `baselines`, `accel`, `criterion`)
 //! are exempt from R2 — experiment drivers may `expect()` on their own
 //! config — but still get R1 (hot tags), R3 and R4. Test code
@@ -36,7 +37,14 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must be panic-free (R2).
 const ENGINE_CRATES: &[&str] = &[
-    "core", "nn", "serve", "gateway", "formats", "tensor", "lint",
+    "core",
+    "nn",
+    "serve",
+    "gateway",
+    "formats",
+    "tensor",
+    "telemetry",
+    "lint",
 ];
 
 /// Summary of a workspace scan.

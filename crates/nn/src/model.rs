@@ -46,6 +46,7 @@
 use crate::linear::QuantizedLinear;
 use crate::profile::{MlpKind, ModelProfile};
 use crate::synth::{weight_matrix, LayerKind};
+use m2x_telemetry::{stage, StageTally, StageTimer};
 use m2x_tensor::Matrix;
 use m2xfp::backend::{BackendKind, PreparedWeights};
 use m2xfp::format::PackedWeightTensor;
@@ -247,6 +248,12 @@ pub struct StepScratch {
     /// The step's `(session, head)` attention work items; identical for
     /// every layer of a step, so built once per step and reused.
     items: Vec<(usize, usize)>,
+    /// Per-stage elapsed-time accumulator for this step (assemble,
+    /// encode, qgemm, attention, kv_append — see
+    /// [`m2x_telemetry::stage`]). Disabled by default so plain callers
+    /// never pay for clock reads; the serving engine enables it per tick
+    /// and merges the split into its lifetime totals.
+    pub tally: StageTally,
 }
 
 impl StepScratch {
@@ -752,21 +759,28 @@ impl ModelWeights {
                 });
             }
         }
+        // The stage tally travels as a local for the rest of the step so
+        // timed regions never fight the borrow of the scratch buffers;
+        // it is stored back right before the successful return (an error
+        // fails the whole step, so its partial split is dropped with it).
+        let mut tally = std::mem::take(&mut scr.tally);
         // Step geometry lives in the caller-held scratch: refilled in
         // place each step, so a warm decode loop allocates nothing here.
-        scr.counts.clear();
-        scr.counts.extend(inputs.iter().map(Matrix::rows));
-        scr.offsets.clear();
-        scr.offsets.extend(scr.counts.iter().scan(0usize, |acc, c| {
-            let o = *acc;
-            *acc += c;
-            Some(o)
-        }));
-        scr.p0s.clear();
-        scr.p0s.extend(sessions.iter().map(|s| s.pos));
-        scr.items.clear();
-        scr.items
-            .extend((0..sessions.len()).flat_map(|i| (0..self.heads).map(move |hd| (i, hd))));
+        tally.time(stage::ASSEMBLE, || {
+            scr.counts.clear();
+            scr.counts.extend(inputs.iter().map(Matrix::rows));
+            scr.offsets.clear();
+            scr.offsets.extend(scr.counts.iter().scan(0usize, |acc, c| {
+                let o = *acc;
+                *acc += c;
+                Some(o)
+            }));
+            scr.p0s.clear();
+            scr.p0s.extend(sessions.iter().map(|s| s.pos));
+            scr.items.clear();
+            scr.items
+                .extend((0..sessions.len()).flat_map(|i| (0..self.heads).map(move |hd| (i, hd))));
+        });
         let counts: &[usize] = &scr.counts;
         let offsets: &[usize] = &scr.offsets;
         let p0s: &[usize] = &scr.p0s;
@@ -796,10 +810,13 @@ impl ModelWeights {
         .min((sessions.len() * self.heads).max(1))
         .max(1);
 
-        let mut h = Matrix::zeros(total, self.hidden);
-        for (x, &o) in inputs.iter().zip(offsets) {
-            write_rows(&mut h, x, o);
-        }
+        let mut h = tally.time(stage::ASSEMBLE, || {
+            let mut h = Matrix::zeros(total, self.hidden);
+            for (x, &o) in inputs.iter().zip(offsets) {
+                write_rows(&mut h, x, o);
+            }
+            h
+        });
 
         // Grow the persistent per-worker attention scratch pool to this
         // step's worker count; the slots live in the caller's StepScratch,
@@ -811,27 +828,36 @@ impl ModelWeights {
         for li in 0..self.blocks.len() {
             // m2x-lint: allow(alloc) closure body is a cold error path, only run when a projection fails
             let ctx = |e: Error, what: &str| e.for_tensor(format!("layer {li} {what}"));
-            let hn = rms_norm(&h);
+            let hn = tally.time(stage::ENCODE, || rms_norm(&h));
             let block = &self.blocks[li];
-            let q = block
-                .q
-                .forward_scratch(&hn, &mut scr.main)
-                .map_err(|e| ctx(e, "q_proj"))?;
-            let k = block
-                .k
-                .forward_scratch(&hn, &mut scr.main)
-                .map_err(|e| ctx(e, "k_proj"))?;
-            let v = block
-                .v
-                .forward_scratch(&hn, &mut scr.main)
-                .map_err(|e| ctx(e, "v_proj"))?;
+            let (q, k, v) = {
+                // The guard (not the closure form) because `?` exits the
+                // region early: the drop still books the elapsed time.
+                let _t = StageTimer::start(&mut tally, stage::QGEMM);
+                let q = block
+                    .q
+                    .forward_scratch(&hn, &mut scr.main)
+                    .map_err(|e| ctx(e, "q_proj"))?;
+                let k = block
+                    .k
+                    .forward_scratch(&hn, &mut scr.main)
+                    .map_err(|e| ctx(e, "k_proj"))?;
+                let v = block
+                    .v
+                    .forward_scratch(&hn, &mut scr.main)
+                    .map_err(|e| ctx(e, "v_proj"))?;
+                (q, k, v)
+            };
 
             // Grow every session's cache with its own K/V rows (decode-on-
             // append: O(new rows) per session, independent of history).
-            for (i, s) in sessions.iter_mut().enumerate() {
-                let ks = slice_rows(&k, offsets[i], counts[i]);
-                let vs = slice_rows(&v, offsets[i], counts[i]);
-                s.kv[li].append(&ks, &vs).map_err(|e| ctx(e, "kv cache"))?;
+            {
+                let _t = StageTimer::start(&mut tally, stage::KV_APPEND);
+                for (i, s) in sessions.iter_mut().enumerate() {
+                    let ks = slice_rows(&k, offsets[i], counts[i]);
+                    let vs = slice_rows(&v, offsets[i], counts[i]);
+                    s.kv[li].append(&ks, &vs).map_err(|e| ctx(e, "kv cache"))?;
+                }
             }
 
             // Per-(session, head) attention over the grown caches (the
@@ -839,6 +865,7 @@ impl ModelWeights {
             // sharded across scoped worker threads. Each item reads only
             // its own session's cache and q rows and produces its own
             // output block, so any thread count computes identical bits.
+            let _t_attn = StageTimer::start(&mut tally, stage::ATTENTION);
             // m2x-lint: allow(alloc) per-layer cache borrows cannot persist across the mutable session appends above
             let caches: Vec<&KvCache> = sessions.iter().map(|s| &s.kv[li]).collect();
             let compute =
@@ -903,13 +930,23 @@ impl ModelWeights {
             for (&(si, head), oh) in items.iter().zip(&head_blocks) {
                 write_block(&mut attn, oh, offsets[si], head * self.head_dim);
             }
+            drop(_t_attn);
 
-            let o = block
-                .o
-                .forward_scratch(&attn, &mut scr.main)
-                .map_err(|e| ctx(e, "o_proj"))?;
-            h = h.add(&o);
-            let hn = rms_norm(&h);
+            let o = {
+                let _t = StageTimer::start(&mut tally, stage::QGEMM);
+                block
+                    .o
+                    .forward_scratch(&attn, &mut scr.main)
+                    .map_err(|e| ctx(e, "o_proj"))?
+            };
+            let hn = tally.time(stage::ENCODE, || {
+                h = h.add(&o);
+                rms_norm(&h)
+            });
+            // The MLP is booked whole against `qgemm`: its three
+            // projections dominate, and the fused elementwise glue
+            // (silu/relu, gate⊙up) is not worth a stage boundary.
+            let _t_mlp = StageTimer::start(&mut tally, stage::QGEMM);
             let m = match &block.gate {
                 Some(gate) => {
                     let g = silu(
@@ -940,7 +977,10 @@ impl ModelWeights {
                         .map_err(|e| ctx(e, "mlp_down"))?
                 }
             };
-            h = h.add(&m);
+            drop(_t_mlp);
+            tally.time(stage::ENCODE, || {
+                h = h.add(&m);
+            });
             if let Some(t) = trace.as_deref_mut() {
                 // m2x-lint: allow(alloc) trace instrumentation, never requested by the serving engine
                 t.push(h.clone());
@@ -949,12 +989,16 @@ impl ModelWeights {
         for (s, c) in sessions.iter_mut().zip(counts) {
             s.pos += c;
         }
-        Ok(offsets
-            .iter()
-            .zip(counts)
-            .map(|(&o, &c)| slice_rows(&h, o, c))
-            // m2x-lint: allow(alloc) structural: the per-session output matrices are the step's return value
-            .collect())
+        let out = tally.time(stage::ASSEMBLE, || {
+            offsets
+                .iter()
+                .zip(counts)
+                .map(|(&o, &c)| slice_rows(&h, o, c))
+                // m2x-lint: allow(alloc) structural: the per-session output matrices are the step's return value
+                .collect()
+        });
+        scr.tally = tally;
+        Ok(out)
     }
 
     /// One causal attention head over a session's grown cache, §6.4 hybrid:

@@ -60,7 +60,9 @@ pub mod scheduler;
 pub mod sync;
 
 pub use fault::{Fault, FaultPlan};
-pub use scheduler::{Completed, RequestOutcome, ServeError, ServeStats, Server, StreamEvent};
+pub use scheduler::{
+    Completed, RequestOutcome, ServeError, ServeStats, Server, StreamEvent, TelemetrySnapshot,
+};
 pub use sync::{lock_poisoned, wait_poisoned};
 
 use m2x_nn::model::{ModelWeights, QuantizedModel};
@@ -90,6 +92,14 @@ pub struct ServeConfig {
     /// degradation) but keeps serving — at least one request always runs,
     /// so the budget drains and admission resumes.
     pub kv_budget_bytes: usize,
+    /// Record telemetry (trace events, per-stage timing and latency
+    /// histograms; see [`m2x_telemetry`]). Recording is designed to be
+    /// cheap enough to leave on — the `telemetry.overhead_ratio` CI bench
+    /// measures the cost — but the switch exists so that measurement has
+    /// an untraced baseline, and it can also be flipped at runtime via
+    /// [`Server::telemetry`]'s
+    /// [`set_enabled`](m2x_telemetry::Telemetry::set_enabled).
+    pub telemetry: bool,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +109,7 @@ impl Default for ServeConfig {
             worker_threads: 0,
             queue_capacity: 0,
             kv_budget_bytes: 0,
+            telemetry: true,
         }
     }
 }
@@ -713,6 +724,53 @@ mod tests {
         assert!(server.healthy());
         server.shutdown();
         assert!(!server.healthy());
+    }
+
+    #[test]
+    fn telemetry_histograms_and_trace_cover_the_request_lifecycle() {
+        use m2x_telemetry::stage;
+        let w = weights();
+        let server = Server::start(Arc::clone(&w), ServeConfig::default());
+        let id = server.submit(prompt(2, 0), 3).unwrap();
+        wait_finished(&server, id);
+        let snap = server.telemetry_snapshot();
+        assert!(snap.step_us.count() >= 4, "prefill + 3 decode ticks");
+        assert_eq!(snap.ttft_us.count(), 1);
+        assert_eq!(snap.queue_wait_us.count(), 1);
+        assert_eq!(snap.tokens_per_request.count(), 1);
+        assert_eq!(snap.tokens_per_request.sum(), 3);
+        assert!(snap.stages.stage_sum_ns() > 0, "stage clocks booked time");
+        assert!(server.stats().p99_step_us > 0.0);
+        // The drained trace holds the full lifecycle, exactly once each.
+        let rings = server.telemetry().drain();
+        let events: Vec<_> = rings.iter().flat_map(|r| r.events.iter()).collect();
+        let count = |s: u16| events.iter().filter(|e| e.stage == s).count();
+        assert_eq!(count(stage::REQ_SUBMITTED), 1);
+        assert_eq!(count(stage::REQ_ADMITTED), 1);
+        assert_eq!(count(stage::REQ_PREFILL), 1);
+        assert_eq!(count(stage::REQ_TOKEN), 3);
+        assert_eq!(count(stage::REQ_FINISHED), 1);
+        assert!(count(stage::TICK) >= 4);
+    }
+
+    #[test]
+    fn telemetry_disabled_records_no_trace_but_keeps_stats() {
+        let w = weights();
+        let server = Server::start(
+            Arc::clone(&w),
+            ServeConfig {
+                telemetry: false,
+                ..ServeConfig::default()
+            },
+        );
+        let id = server.submit(prompt(2, 0), 2).unwrap();
+        wait_finished(&server, id);
+        assert_eq!(server.telemetry().buffered(), 0, "tracing is off");
+        let snap = server.telemetry_snapshot();
+        assert_eq!(snap.stages.stage_sum_ns(), 0, "stage clocks are off");
+        // Latency histograms stay on: they back ServeStats::p99_step_us.
+        assert!(snap.step_us.count() >= 3);
+        assert!(server.stats().p99_step_us > 0.0);
     }
 
     #[test]

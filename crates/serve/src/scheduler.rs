@@ -49,6 +49,7 @@ use crate::fault::{Fault, FaultPlan};
 use crate::sync::{lock_poisoned, wait_poisoned};
 use crate::{feedback_token, RequestOptions, ServeConfig};
 use m2x_nn::model::{ModelWeights, SessionState, StepScratch};
+use m2x_telemetry::{stage, Histogram, StageTally, Telemetry, TraceHandle};
 use m2x_tensor::Matrix;
 use m2xfp::Error;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -57,8 +58,12 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Per-tick step latencies retained for [`ServeStats::p99_step_us`].
-const STEP_LATENCY_WINDOW: usize = 4096;
+/// Engine trace-ring capacity (events): sized for thousands of ticks of
+/// TICK + stage spans + token instants between `/v1/trace` drains.
+const ENGINE_RING_EVENTS: usize = 16_384;
+
+/// API trace-ring capacity (events): submit/reject/cancel instants.
+const API_RING_EVENTS: usize = 4_096;
 
 /// A finished request: its decode outputs plus scheduling metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -239,9 +244,34 @@ pub struct ServeStats {
     pub recovery_ticks: u64,
     /// Largest arrival-queue depth observed at submission.
     pub peak_queue_depth: usize,
-    /// p99 engine step latency in µs over the last
-    /// `STEP_LATENCY_WINDOW` ticks (0 until a step has run).
+    /// p99 engine step latency in µs over the server's lifetime, derived
+    /// from the step-latency [`Histogram`] (0 until a step has run;
+    /// quantiles carry the histogram's ≤ 1/16 relative bucket error).
     pub p99_step_us: f64,
+}
+
+/// A point-in-time copy of the scheduler's latency histograms and
+/// per-stage time split, taken by [`Server::telemetry_snapshot`] — the
+/// data behind the `m2x-gateway` `/metrics` histogram families and the
+/// bench driver's per-stage breakdown. Unlike [`Telemetry::drain`] this
+/// is non-destructive: histograms and the stage tally accumulate over the
+/// server's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Engine step (tick) wall latency, µs.
+    pub step_us: Histogram,
+    /// Time to first decode token, µs from submission (queue wait
+    /// included); one sample per request that produced at least one token.
+    pub ttft_us: Histogram,
+    /// Queue wait, µs from submission to admission; one sample per
+    /// admitted request.
+    pub queue_wait_us: Histogram,
+    /// Decode tokens delivered per resolved request (0 for requests that
+    /// never produced one — rejected, expired-in-queue, failed).
+    pub tokens_per_request: Histogram,
+    /// Cumulative per-stage engine time over all ticks (see
+    /// [`stage`]): assemble/encode/qgemm/attention/kv_append/feedback.
+    pub stages: StageTally,
 }
 
 /// One decode-step event of a streaming request, returned by
@@ -274,6 +304,10 @@ struct Pending {
     expires_at: Option<Instant>,
     /// Publish decode rows incrementally ([`RequestOptions::stream`]).
     stream: bool,
+    /// When the request was submitted (queue-wait / TTFT base).
+    submitted_at: Instant,
+    /// Submission time on the telemetry clock, for lifecycle spans.
+    submitted_us: u64,
 }
 
 impl Pending {
@@ -300,6 +334,19 @@ struct Active {
     expires_step: Option<u64>,
     expires_at: Option<Instant>,
     stream: bool,
+    /// When the request was submitted (TTFT base).
+    submitted_at: Instant,
+    /// Whether the prefill-complete trace event has been emitted; set
+    /// once and kept across recovery replays so the lifecycle trace shows
+    /// each transition exactly once.
+    prefill_traced: bool,
+    /// Decode-token trace events emitted so far. Like the streaming
+    /// buffers, this only ever grows: a recovery replay regrowing
+    /// `decoded` from zero re-derives identical tokens, so traced indices
+    /// stay valid and are never re-emitted.
+    traced_tokens: u64,
+    /// Whether this request's TTFT histogram sample has been recorded.
+    ttft_recorded: bool,
 }
 
 impl Active {
@@ -319,6 +366,10 @@ impl Active {
             expires_step: p.expires_step,
             expires_at: p.expires_at,
             stream: p.stream,
+            submitted_at: p.submitted_at,
+            prefill_traced: false,
+            traced_tokens: 0,
+            ttft_recorded: false,
         }
     }
 
@@ -391,8 +442,10 @@ struct Queues {
     /// authoritative and is never rolled back.
     streams: BTreeMap<u64, Vec<Matrix>>,
     stats: ServeStats,
-    /// Recent per-tick engine step latencies (µs) for the p99 stat.
-    step_us: VecDeque<u64>,
+    /// Lifetime latency histograms + per-stage time split, snapshotted by
+    /// [`Server::telemetry_snapshot`] (see [`TelemetrySnapshot`] for the
+    /// field semantics). Recording into them is allocation-free.
+    telemetry: TelemetrySnapshot,
     shutdown: bool,
     /// Abort-mode shutdown: cancel in-flight work instead of draining it.
     abort: bool,
@@ -417,6 +470,14 @@ struct Shared {
     work_cv: Condvar,
     /// Wakes waiters: an outcome landed or the engine died.
     done_cv: Condvar,
+    /// Shared tracing registry ([`ServeConfig::telemetry`] sets its
+    /// initial on/off state); exposed via [`Server::telemetry`] so the
+    /// gateway can register its own rings on the same clock.
+    telemetry: Arc<Telemetry>,
+    /// Engine-thread ring: TICK + stage spans, lifecycle transitions.
+    engine_trace: TraceHandle,
+    /// API-thread ring: submit/reject/inline-cancel instants.
+    api_trace: TraceHandle,
 }
 
 /// A running serving instance: one engine thread, one shared weight set,
@@ -447,6 +508,9 @@ impl Server {
         cfg: ServeConfig,
         plan: FaultPlan,
     ) -> Self {
+        let telemetry = Arc::new(Telemetry::new(cfg.telemetry));
+        let engine_trace = telemetry.register("engine", ENGINE_RING_EVENTS);
+        let api_trace = telemetry.register("api", API_RING_EVENTS);
         let shared = Arc::new(Shared {
             threads: cfg.worker_threads,
             max_batch: cfg.max_batch.max(1),
@@ -456,6 +520,9 @@ impl Server {
             q: Mutex::new(Queues::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            telemetry,
+            engine_trace,
+            api_trace,
         });
         let engine_shared = Arc::clone(&shared);
         let engine = std::thread::Builder::new()
@@ -538,15 +605,23 @@ impl Server {
         }
         crate::check_finite(&prompt)?;
         let now = Instant::now();
+        let submitted_us = self.shared.telemetry.now_us();
         let mut q = self.lock();
         if q.shutdown {
             return Err(ServeError::ShutDown);
         }
         let id = q.next_id;
         q.next_id += 1;
+        self.shared
+            .api_trace
+            .instant(stage::REQ_SUBMITTED, id as u32, prompt.rows() as u64);
         if self.shared.queue_capacity > 0 && q.pending.len() >= self.shared.queue_capacity {
             let queue_depth = q.pending.len();
             q.stats.rejected += 1;
+            self.shared
+                .api_trace
+                .instant(stage::REQ_REJECTED, id as u32, queue_depth as u64);
+            q.telemetry.tokens_per_request.record(0);
             q.done.insert(id, RequestOutcome::Rejected { queue_depth });
             self.shared.done_cv.notify_all();
             return Ok(id);
@@ -560,6 +635,8 @@ impl Server {
             expires_step,
             expires_at,
             stream: opts.stream,
+            submitted_at: now,
+            submitted_us,
         });
         q.stats.peak_queue_depth = q.stats.peak_queue_depth.max(q.pending.len());
         self.shared.work_cv.notify_one();
@@ -607,6 +684,10 @@ impl Server {
         if let Some(pos) = q.pending.iter().position(|p| p.id == id) {
             q.pending.remove(pos);
             q.stats.cancelled += 1;
+            self.shared
+                .api_trace
+                .instant(stage::REQ_CANCELLED, id as u32, 0);
+            q.telemetry.tokens_per_request.record(0);
             q.done
                 .insert(id, RequestOutcome::Cancelled { decoded_tokens: 0 });
             self.shared.done_cv.notify_all();
@@ -798,8 +879,28 @@ impl Server {
     pub fn stats(&self) -> ServeStats {
         let q = self.lock();
         let mut stats = q.stats;
-        stats.p99_step_us = percentile_us(&q.step_us, 0.99);
+        stats.p99_step_us = if q.telemetry.step_us.is_empty() {
+            0.0
+        } else {
+            q.telemetry.step_us.quantile(0.99) as f64
+        };
         stats
+    }
+
+    /// The server's tracing registry: flip recording on/off at runtime
+    /// ([`Telemetry::set_enabled`]), register additional rings on the
+    /// same clock (the gateway does), or [`drain`](Telemetry::drain) the
+    /// buffered trace — the `m2x-gateway` `GET /v1/trace` endpoint is a
+    /// Chrome-trace rendering of exactly that drain.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
+    }
+
+    /// Copies the lifetime latency histograms and per-stage time split
+    /// (non-destructive, unlike [`Telemetry::drain`]). Cold path: clones
+    /// four histograms.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.lock().telemetry.clone()
     }
 
     /// Graceful shutdown: stops admission (later [`Server::submit`]s
@@ -853,17 +954,6 @@ fn lock_queues(shared: &Shared) -> MutexGuard<'_, Queues> {
     lock_poisoned(&shared.q)
 }
 
-/// p99 (or any percentile) of the retained step-latency window, in µs.
-fn percentile_us(window: &VecDeque<u64>, p: f64) -> f64 {
-    if window.is_empty() {
-        return 0.0;
-    }
-    let mut v: Vec<u64> = window.iter().copied().collect();
-    v.sort_unstable();
-    let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
-    v[idx.min(v.len() - 1)] as f64
-}
-
 /// Extracts a printable message from a caught panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -877,20 +967,25 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Resolves every queued and in-flight request as cancelled (the abort
 /// shutdown path); sessions drop here, releasing their KV memory.
-fn abort_all(q: &mut Queues, active: &mut Vec<Active>) {
+fn abort_all(shared: &Shared, q: &mut Queues, active: &mut Vec<Active>) {
     while let Some(p) = q.pending.pop_front() {
         q.stats.cancelled += 1;
+        shared
+            .engine_trace
+            .instant(stage::REQ_CANCELLED, p.id as u32, 0);
+        q.telemetry.tokens_per_request.record(0);
         q.done
             .insert(p.id, RequestOutcome::Cancelled { decoded_tokens: 0 });
     }
     for a in active.drain(..) {
         q.stats.cancelled += 1;
-        q.done.insert(
-            a.id,
-            RequestOutcome::Cancelled {
-                decoded_tokens: a.decoded.rows() as u64,
-            },
-        );
+        let decoded_tokens = a.decoded.rows() as u64;
+        shared
+            .engine_trace
+            .instant(stage::REQ_CANCELLED, a.id as u32, decoded_tokens);
+        q.telemetry.tokens_per_request.record(decoded_tokens);
+        q.done
+            .insert(a.id, RequestOutcome::Cancelled { decoded_tokens });
     }
 }
 
@@ -933,7 +1028,7 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
             let mut q = lock_queues(shared);
             loop {
                 if q.abort {
-                    abort_all(&mut q, &mut active);
+                    abort_all(shared, &mut q, &mut active);
                     shared.done_cv.notify_all();
                     return;
                 }
@@ -955,6 +1050,10 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                 };
                 if p.expired(now_step, now) {
                     q.stats.deadline_exceeded += 1;
+                    shared
+                        .engine_trace
+                        .instant(stage::REQ_DEADLINE, p.id as u32, 0);
+                    q.telemetry.tokens_per_request.record(0);
                     q.done
                         .insert(p.id, RequestOutcome::DeadlineExceeded { decoded_tokens: 0 });
                     resolved = true;
@@ -969,11 +1068,19 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                 let decoded_tokens = a.decoded.rows() as u64;
                 if cancels.contains(&a.id) {
                     q.stats.cancelled += 1;
+                    shared
+                        .engine_trace
+                        .instant(stage::REQ_CANCELLED, a.id as u32, decoded_tokens);
+                    q.telemetry.tokens_per_request.record(decoded_tokens);
                     q.done
                         .insert(a.id, RequestOutcome::Cancelled { decoded_tokens });
                     resolved = true;
                 } else if a.expired(now_step, now) {
                     q.stats.deadline_exceeded += 1;
+                    shared
+                        .engine_trace
+                        .instant(stage::REQ_DEADLINE, a.id as u32, decoded_tokens);
+                    q.telemetry.tokens_per_request.record(decoded_tokens);
                     q.done
                         .insert(a.id, RequestOutcome::DeadlineExceeded { decoded_tokens });
                     resolved = true;
@@ -993,6 +1100,21 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                 let Some(p) = q.pending.pop_front() else {
                     break;
                 };
+                // Queue wait resolves at admission: one histogram sample,
+                // and one span stretching from submission to now — the
+                // visual "waiting in queue" bar of the Chrome trace.
+                let waited_us = now
+                    .saturating_duration_since(p.submitted_at)
+                    .as_micros()
+                    .min(u64::MAX as u128) as u64;
+                q.telemetry.queue_wait_us.record(waited_us);
+                shared.engine_trace.span(
+                    stage::REQ_ADMITTED,
+                    p.id as u32,
+                    p.submitted_us,
+                    p.submitted_us.saturating_add(waited_us),
+                    q.pending.len() as u64,
+                );
                 let a = Active::admit(p, &shared.weights, now_step);
                 kv_used += a.session.kv_bytes();
                 active.push(a);
@@ -1020,13 +1142,16 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                     if slot < active.len() {
                         let a = active.remove(slot);
                         cancelled_now += 1;
-                        let mut q = lock_queues(shared);
-                        q.done.insert(
-                            a.id,
-                            RequestOutcome::Cancelled {
-                                decoded_tokens: a.decoded.rows() as u64,
-                            },
+                        let decoded_tokens = a.decoded.rows() as u64;
+                        shared.engine_trace.instant(
+                            stage::REQ_CANCELLED,
+                            a.id as u32,
+                            decoded_tokens,
                         );
+                        let mut q = lock_queues(shared);
+                        q.telemetry.tokens_per_request.record(decoded_tokens);
+                        q.done
+                            .insert(a.id, RequestOutcome::Cancelled { decoded_tokens });
                         shared.done_cv.notify_all();
                     }
                 }
@@ -1052,6 +1177,13 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
         }
 
         // ── Phase 3: one batched step (isolated), recovery on failure ───
+        // Arm the per-tick stage clocks inside the model's scratch: the
+        // step books assemble/encode/qgemm/attention/kv_append time into
+        // it, and phase 4 merges the split into the lifetime tally.
+        let rec = shared.telemetry.enabled();
+        scratch.tally.set_enabled(rec);
+        scratch.tally.clear();
+        let t0_us = if rec { shared.engine_trace.now_us() } else { 0 };
         let t0 = Instant::now();
         // m2x-lint: allow(alloc) structural: the batched step borrows sessions mutably, so inputs are cloned out first
         let inputs: Vec<Matrix> = active.iter().map(|a| a.next_input.clone()).collect();
@@ -1082,9 +1214,14 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
         let mut recovery = false;
         match step {
             Ok(Ok(outs)) => {
-                for (a, y) in active.iter_mut().zip(outs) {
-                    decoded_delta += a.consume(y) as i64;
-                }
+                // Feedback ("sampling") is the one tick stage living
+                // outside the model step: fold it into the same tally.
+                let tally = &mut scratch.tally;
+                tally.time(stage::FEEDBACK, || {
+                    for (a, y) in active.iter_mut().zip(outs) {
+                        decoded_delta += a.consume(y) as i64;
+                    }
+                });
             }
             other => {
                 // The batched step died mid-flight: a panic (caught above)
@@ -1179,6 +1316,34 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
 
         // ── Phase 4 (locked): bookkeeping + retire ──────────────────────
         let batch = active.len() + failed.len();
+        if rec {
+            // One TICK span plus one sub-span per stage with booked time.
+            // Stage durations are measured; their offsets are synthetic
+            // (laid end to end from the tick start) because the stages
+            // interleave per layer inside the batched step — the trace
+            // shows the split, not the true interleaving.
+            let tick_end = t0_us.saturating_add(step_us);
+            shared
+                .engine_trace
+                .span(stage::TICK, 0, t0_us, tick_end, batch as u64);
+            let mut cursor = t0_us;
+            for s in stage::ASSEMBLE..stage::TICK_STAGES as u16 {
+                let ns = scratch.tally.ns(s);
+                if ns == 0 {
+                    continue;
+                }
+                let dur = ns / 1_000;
+                shared.engine_trace.span(
+                    s,
+                    0,
+                    cursor,
+                    cursor.saturating_add(dur),
+                    scratch.tally.calls(s),
+                );
+                cursor = cursor.saturating_add(dur);
+            }
+        }
+        let wall = Instant::now();
         let mut q = lock_queues(shared);
         q.stats.steps += 1;
         q.stats.decoded_tokens = (q.stats.decoded_tokens as i64 + decoded_delta).max(0) as u64;
@@ -1189,10 +1354,8 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
         if recovery {
             q.stats.recovery_ticks += 1;
         }
-        if q.step_us.len() == STEP_LATENCY_WINDOW {
-            q.step_us.pop_front();
-        }
-        q.step_us.push_back(step_us);
+        q.telemetry.step_us.record(step_us);
+        q.telemetry.stages.merge(&scratch.tally);
         // Publish new decode rows of streaming requests before retiring
         // finished ones, so a waiter always sees every token before the
         // outcome. Appends only past the published length: a recovery
@@ -1211,9 +1374,40 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                 }
             }
         }
+        // Lifecycle trace + TTFT. Like the streaming buffers above, the
+        // traced counters (`prefill_traced`, `traced_tokens`,
+        // `ttft_recorded`) only ever grow, so a recovery replay regrowing
+        // `decoded` from zero never re-emits an already-traced
+        // transition or re-records a TTFT sample.
+        for a in &mut active {
+            if !a.prefilling && !a.prefill_traced {
+                a.prefill_traced = true;
+                shared.engine_trace.instant(
+                    stage::REQ_PREFILL,
+                    a.id as u32,
+                    a.prompt.rows() as u64,
+                );
+            }
+            while a.traced_tokens < a.decoded.rows() as u64 {
+                shared
+                    .engine_trace
+                    .instant(stage::REQ_TOKEN, a.id as u32, a.traced_tokens);
+                a.traced_tokens += 1;
+            }
+            if !a.ttft_recorded && a.decoded.rows() > 0 {
+                a.ttft_recorded = true;
+                let ttft_us = wall
+                    .saturating_duration_since(a.submitted_at)
+                    .as_micros()
+                    .min(u64::MAX as u128) as u64;
+                q.telemetry.ttft_us.record(ttft_us);
+            }
+        }
         let now = q.stats.steps;
         for (id, outcome) in failed {
             q.cancels.remove(&id);
+            shared.engine_trace.instant(stage::REQ_FAILED, id as u32, 0);
+            q.telemetry.tokens_per_request.record(0);
             q.done.insert(id, outcome);
         }
         // m2x-lint: allow(alloc) retire bookkeeping: sized by batch (small), not by tokens
@@ -1221,6 +1415,11 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
         for a in active.drain(..) {
             if a.finished() {
                 q.cancels.remove(&a.id);
+                let decoded_tokens = a.decoded.rows() as u64;
+                shared
+                    .engine_trace
+                    .instant(stage::REQ_FINISHED, a.id as u32, decoded_tokens);
+                q.telemetry.tokens_per_request.record(decoded_tokens);
                 q.done
                     .insert(a.id, RequestOutcome::Finished(a.into_completed(now)));
             } else {

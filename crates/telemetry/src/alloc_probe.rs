@@ -1,0 +1,63 @@
+//! A counting [`GlobalAlloc`] — the runtime witness behind the
+//! crate's allocation-free-when-warm claims and the `m2x-lint` R1
+//! hot-path allocation rule.
+//!
+//! A test or bench binary installs [`CountingAlloc`] as its
+//! `#[global_allocator]` and then asserts, via [`count_allocations`],
+//! that a warmed-up hot path performs zero (or a bounded number of) heap
+//! allocations per step. The static lint proves the *source* discipline;
+//! this proves the *runtime* behaviour the discipline exists for —
+//! `tests/alloc_gate.rs` and the `telemetry.zero_alloc` CI bench gate
+//! are both built on it.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocations observed process-wide since program start.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts every allocation (fresh
+/// `alloc`s and growing `realloc`s; frees are not counted).
+pub struct CountingAlloc;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the added atomic counter bumps never touch the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: unsafe-to-call per the trait; delegates to `System`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; caller upholds `layout`.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: unsafe-to-call per the trait; delegates to `System`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from this allocator (which is `System`
+        // underneath) with the same `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: unsafe-to-call per the trait; delegates to `System`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; caller upholds the `realloc`
+        // contract for `ptr`/`layout`/`new_size`.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Runs `f` and returns how many heap allocations it performed.
+///
+/// Counts process-wide: run witness tests single-threaded
+/// (`--test-threads=1`) so concurrent tests don't bleed in. In a binary
+/// that did **not** install [`CountingAlloc`] the counter never moves and
+/// this reports 0 — callers gating on the result should make sure the
+/// probe is actually installed (the bench binary and `alloc_gate` do).
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}

@@ -1,0 +1,336 @@
+//! Log-bucketed fixed-array histogram.
+//!
+//! An HDR-style layout over the full `u64` domain with 4 significant
+//! bits: values below 16 get exact unit buckets, and every power-of-two
+//! octave above is split into 16 geometric sub-buckets, so relative
+//! quantile error is bounded by 1/16 (6.25%) everywhere. The bucket
+//! array is a single fixed `Box<[u64; 976]>` — one allocation at
+//! construction, zero on [`Histogram::record`], no growth ever — which is
+//! what lets the scheduler keep one of these per latency metric inside
+//! its queue state and record from the hot tick path.
+//!
+//! Counts are **exact at power-of-two boundaries** ([`count_below`]
+//! returns a precise answer whenever `bound` is `< 16` or a power of
+//! two), which the `/metrics` exporter exploits: its cumulative `le`
+//! ladder is built from powers of 4, so every Prometheus bucket line is
+//! an exact count rather than an interpolation.
+//!
+//! [`count_below`]: Histogram::count_below
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave (and the width of the exact low range).
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count covering all of `u64`: the exact `0..16` range
+/// plus 60 octaves (`2^4..2^64`) of 16 sub-buckets each.
+pub const BUCKETS: usize = SUB * 61;
+
+/// Bucket index for a recorded value.
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        // `v >= 16` so `leading_zeros <= 59` and `exp >= 4`.
+        let exp = 63 - v.leading_zeros();
+        let octave = (exp + 1 - SUB_BITS) as usize;
+        let sub = ((v >> (exp - SUB_BITS)) as usize) & (SUB - 1);
+        octave * SUB + sub
+    }
+}
+
+/// Lowest value that lands in bucket `i`.
+fn bucket_low(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let (octave, sub) = (i / SUB, (i % SUB) as u64);
+        (SUB as u64 + sub) << (octave - 1)
+    }
+}
+
+/// Number of distinct values bucket `i` covers.
+fn bucket_width(i: usize) -> u64 {
+    if i < SUB {
+        1
+    } else {
+        1u64 << (i / SUB - 1)
+    }
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples (latencies in
+/// microseconds, token counts, queue depths — anything non-negative).
+///
+/// ```
+/// use m2x_telemetry::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [3, 3, 40, 1_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.sum(), 1_046);
+/// assert_eq!(h.count_below(16), 2); // exact: 16 is a bucket boundary
+/// assert_eq!(h.quantile(0.5), 3);
+/// assert!(h.quantile(1.0) >= 1_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (the one heap allocation this type makes).
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. Never allocates; the running sum saturates at
+    /// `u64::MAX` instead of wrapping.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[index_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, **exact** (not bucketed; 0 when empty).
+    /// On a latency histogram this is the noise floor — preemption and
+    /// cache pollution only ever add time, so the minimum estimates the
+    /// clean cost of the measured operation.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, exact (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Adds every sample of `other` into this histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Zeroes the histogram in place (no reallocation).
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 <= q <= 1.0`; returns 0 on an empty histogram). The answer
+    /// overestimates the true order statistic by at most the bucket
+    /// width, i.e. a relative error of 1/16.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_low(i) + (bucket_width(i) - 1);
+            }
+        }
+        bucket_low(BUCKETS - 1) + (bucket_width(BUCKETS - 1) - 1)
+    }
+
+    /// Number of samples in buckets that lie entirely below `bound` —
+    /// exact (equal to the number of samples `< bound`) whenever `bound`
+    /// is `<= 16` or a power of two, because those are bucket boundaries.
+    /// For a mid-bucket `bound` the straddling bucket is excluded, so the
+    /// result is a lower bound.
+    pub fn count_below(&self, bound: u64) -> u64 {
+        let mut total = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if bucket_low(i) >= bound {
+                break;
+            }
+            if bucket_low(i) + (bucket_width(i) - 1) < bound {
+                total += n;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_contiguous_and_monotone() {
+        // Every value maps into a bucket whose [low, low+width) range
+        // contains it, and bucket lows tile the domain with no gaps.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_low(i) + bucket_width(i),
+                bucket_low(i + 1),
+                "gap after bucket {i}"
+            );
+        }
+        for v in (0..4096u64).chain([u64::MAX, u64::MAX - 1, 1 << 40, (1 << 40) + 12345]) {
+            let i = index_of(v);
+            assert!(bucket_low(i) <= v, "{v} below bucket {i}");
+            assert!(v - bucket_low(i) < bucket_width(i), "{v} past bucket {i}");
+        }
+        assert_eq!(index_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn values_below_sixteen_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            assert_eq!(h.count_below(v + 1) - h.count_below(v), 2);
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            assert!(got >= want, "q{q}: {got} < {want}");
+            assert!(
+                got <= want * (1.0 + 1.0 / 16.0) + 1.0,
+                "q{q}: {got} ≫ {want}"
+            );
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert!(h.quantile(1.0) >= 10_000);
+    }
+
+    #[test]
+    fn count_below_is_exact_at_power_of_two_boundaries() {
+        let mut h = Histogram::new();
+        for v in 0..100_000u64 {
+            h.record(v * 7 + 3);
+        }
+        for bound in [1u64, 4, 16, 64, 256, 1024, 4096, 65_536, 1 << 20] {
+            let want = (0..100_000u64).filter(|v| v * 7 + 3 < bound).count() as u64;
+            assert_eq!(h.count_below(bound), want, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let (mut a, mut b, mut all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 0..1_000u64 {
+            let x = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn clear_and_empty_behave() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(123);
+        assert!(!h.is_empty());
+        assert_eq!(h.mean(), 123.0);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.count_below(u64::MAX), 0);
+    }
+
+    #[test]
+    fn min_and_max_are_exact() {
+        let mut h = Histogram::new();
+        assert_eq!((h.min(), h.max()), (0, 0));
+        for v in [777u64, 3, 1_000_000, 3, 41] {
+            h.record(v);
+        }
+        // Exact values, not bucket bounds (777 and 41 are mid-bucket).
+        assert_eq!((h.min(), h.max()), (3, 1_000_000));
+        let mut other = Histogram::new();
+        other.record(1);
+        h.merge(&other);
+        assert_eq!((h.min(), h.max()), (1, 1_000_000));
+        h.merge(&Histogram::new()); // empty merge leaves both intact
+        assert_eq!((h.min(), h.max()), (1, 1_000_000));
+        h.clear();
+        assert_eq!((h.min(), h.max()), (0, 0));
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

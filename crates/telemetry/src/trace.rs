@@ -1,0 +1,398 @@
+//! Fixed-capacity trace rings and the [`Telemetry`] registry.
+//!
+//! Every recording site holds a [`TraceHandle`] — a named slot inside a
+//! shared [`Telemetry`] instance. Pushing an event locks the slot's own
+//! uncontended mutex and writes one 32-byte [`TraceEvent`] into a
+//! preallocated ring: zero heap allocations when warm, and when the ring
+//! is full the **oldest** event is overwritten (a trace is a window onto
+//! recent history, and the hot path must never block on an observer).
+//! Every overwrite is counted so a drained trace says how much it lost.
+//!
+//! Timestamps are microseconds since the registry's creation
+//! [`Instant`], read with saturating arithmetic so a ring filled from a
+//! thread whose clock races the base can never panic or go negative.
+//! All handles share one base, which is what makes events from the API
+//! threads, the engine thread and the gateway workers mutually ordered
+//! in the drained trace.
+
+use crate::locked;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Whether an event is a duration or a point in time — maps onto the
+/// Chrome trace-event phases `"X"` (complete span) and `"i"` (instant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A region with a start and a duration.
+    Span,
+    /// A single point in time.
+    Instant,
+}
+
+/// One compact trace record (32 bytes, `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the owning [`Telemetry`]'s base instant.
+    pub ts_us: u64,
+    /// Span duration in microseconds (0 for instants).
+    pub dur_us: u32,
+    /// Stage id (see [`crate::stage`]).
+    pub stage: u16,
+    /// Span or instant.
+    pub kind: TraceKind,
+    /// Request id the event belongs to (0 = not request-scoped).
+    pub req: u32,
+    /// Stage-specific payload (token index, batch size, queue depth …).
+    pub value: u64,
+}
+
+/// Fixed-capacity ring of [`TraceEvent`]s. Normally used through
+/// [`TraceHandle`]; public for tests and embedded use.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Box<[TraceEvent]>,
+    /// Next write position.
+    head: usize,
+    /// Live events (≤ capacity).
+    len: usize,
+    /// Events overwritten before they were drained.
+    dropped: u64,
+}
+
+const ZERO_EVENT: TraceEvent = TraceEvent {
+    ts_us: 0,
+    dur_us: 0,
+    stage: 0,
+    kind: TraceKind::Instant,
+    req: 0,
+    value: 0,
+};
+
+impl TraceRing {
+    /// A ring holding up to `capacity` events (one allocation, here).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            buf: vec![ZERO_EVENT; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest (and counting the loss)
+    /// when full. Allocation-free.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        let cap = self.buf.len();
+        if cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        self.buf[self.head] = ev;
+        self.head = (self.head + 1) % cap;
+        if self.len < cap {
+            self.len += 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Live events, oldest first.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events lost to overwrites since the last [`TraceRing::drain`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns every buffered event, oldest first, and
+    /// resets the dropped counter. Allocates (cold path: `/v1/trace`).
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        let cap = self.buf.len();
+        let start = (self.head + cap - self.len) % cap.max(1);
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.buf[(start + i) % cap]);
+        }
+        self.head = 0;
+        self.len = 0;
+        self.dropped = 0;
+        out
+    }
+}
+
+struct RingSlot {
+    name: String,
+    ring: Mutex<TraceRing>,
+}
+
+/// The contents of one named ring, as returned by [`Telemetry::drain`].
+#[derive(Debug, Clone)]
+pub struct DrainedRing {
+    /// The name the ring was registered under (e.g. `"engine"`).
+    pub name: String,
+    /// Registration index — stable per ring, used as the Chrome trace
+    /// `tid` so each ring renders as its own track.
+    pub tid: u32,
+    /// Buffered events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to overwrites since the previous drain.
+    pub dropped: u64,
+}
+
+/// Shared tracing registry: one monotonic time base, a global on/off
+/// switch, and any number of named fixed-capacity rings. Created once
+/// per server and shared via `Arc`; see the crate docs for an example.
+pub struct Telemetry {
+    enabled: AtomicBool,
+    base: Instant,
+    rings: Mutex<Vec<Arc<RingSlot>>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .field("rings", &locked(&self.rings).len())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A fresh registry; `enabled` gates every record site at once.
+    pub fn new(enabled: bool) -> Telemetry {
+        Telemetry {
+            enabled: AtomicBool::new(enabled),
+            base: Instant::now(),
+            rings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether record sites should emit events.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flips the global switch (existing buffered events are kept).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Microseconds since this registry was created (saturating: never
+    /// panics, even against a clock observed before `base`).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        let us = Instant::now()
+            .saturating_duration_since(self.base)
+            .as_micros();
+        us.min(u64::MAX as u128) as u64
+    }
+
+    /// Registers a new named ring of `capacity` events and returns the
+    /// handle record sites push through. Cold path — called once per
+    /// recording thread/subsystem at startup.
+    pub fn register(self: &Arc<Self>, name: &str, capacity: usize) -> TraceHandle {
+        let slot = Arc::new(RingSlot {
+            name: name.to_string(),
+            ring: Mutex::new(TraceRing::new(capacity)),
+        });
+        locked(&self.rings).push(Arc::clone(&slot));
+        TraceHandle {
+            telemetry: Arc::clone(self),
+            slot,
+        }
+    }
+
+    /// Drains every registered ring (oldest events first within each),
+    /// in registration order. Destructive: a second immediate drain
+    /// returns empty rings.
+    pub fn drain(&self) -> Vec<DrainedRing> {
+        let rings = locked(&self.rings);
+        rings
+            .iter()
+            .enumerate()
+            .map(|(tid, slot)| {
+                let mut ring = locked(&slot.ring);
+                let dropped = ring.dropped();
+                DrainedRing {
+                    name: slot.name.clone(),
+                    tid: tid as u32,
+                    events: ring.drain(),
+                    dropped,
+                }
+            })
+            .collect()
+    }
+
+    /// Total events currently buffered across all rings.
+    pub fn buffered(&self) -> usize {
+        locked(&self.rings)
+            .iter()
+            .map(|s| locked(&s.ring).len())
+            .sum()
+    }
+}
+
+/// A record site's handle onto one ring of a shared [`Telemetry`].
+/// Cloning is cheap (two `Arc` bumps) and clones share the same ring.
+#[derive(Clone)]
+pub struct TraceHandle {
+    telemetry: Arc<Telemetry>,
+    slot: Arc<RingSlot>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("name", &self.slot.name)
+            .finish()
+    }
+}
+
+impl TraceHandle {
+    /// Whether the owning registry is currently recording. Record sites
+    /// with non-trivial argument setup should check this first.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.telemetry.enabled()
+    }
+
+    /// Microseconds on the shared clock (see [`Telemetry::now_us`]).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.telemetry.now_us()
+    }
+
+    /// Records a completed span from `start_us` to `end_us` (saturating
+    /// if they are out of order). No-op when disabled; allocation-free.
+    #[inline]
+    pub fn span(&self, stage: u16, req: u32, start_us: u64, end_us: u64, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let dur = end_us.saturating_sub(start_us).min(u32::MAX as u64) as u32;
+        locked(&self.slot.ring).push(TraceEvent {
+            ts_us: start_us,
+            dur_us: dur,
+            stage,
+            kind: TraceKind::Span,
+            req,
+            value,
+        });
+    }
+
+    /// Records an instant event stamped now. No-op when disabled;
+    /// allocation-free.
+    #[inline]
+    pub fn instant(&self, stage: u16, req: u32, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let ts_us = self.now_us();
+        locked(&self.slot.ring).push(TraceEvent {
+            ts_us,
+            dur_us: 0,
+            stage,
+            kind: TraceKind::Instant,
+            req,
+            value,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage;
+
+    #[test]
+    fn ring_preserves_order_and_overwrites_oldest() {
+        let mut ring = TraceRing::new(4);
+        for i in 0..6u64 {
+            ring.push(TraceEvent {
+                ts_us: i,
+                ..ZERO_EVENT
+            });
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 2);
+        let got: Vec<u64> = ring.drain().iter().map(|e| e.ts_us).collect();
+        assert_eq!(got, vec![2, 3, 4, 5]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_ring_only_counts() {
+        let mut ring = TraceRing::new(0);
+        ring.push(ZERO_EVENT);
+        assert_eq!(ring.len(), 0);
+        assert_eq!(ring.dropped(), 1);
+        assert!(ring.drain().is_empty());
+    }
+
+    #[test]
+    fn registry_orders_events_across_handles() {
+        let tl = Arc::new(Telemetry::new(true));
+        let a = tl.register("alpha", 16);
+        let b = tl.register("beta", 16);
+        let t0 = a.now_us();
+        a.instant(stage::REQ_SUBMITTED, 1, 3);
+        b.span(stage::GW_PARSE, 1, t0, b.now_us(), 0);
+        assert_eq!(tl.buffered(), 2);
+        let drained = tl.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].name, "alpha");
+        assert_eq!(drained[0].tid, 0);
+        assert_eq!(drained[1].name, "beta");
+        assert_eq!(drained[1].tid, 1);
+        assert_eq!(drained[0].events[0].kind, TraceKind::Instant);
+        assert_eq!(drained[1].events[0].kind, TraceKind::Span);
+        // Drains are destructive.
+        assert!(tl.drain().iter().all(|r| r.events.is_empty()));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let tl = Arc::new(Telemetry::new(false));
+        let h = tl.register("quiet", 16);
+        h.instant(stage::REQ_TOKEN, 7, 0);
+        h.span(stage::TICK, 0, 0, 10, 0);
+        assert_eq!(tl.buffered(), 0);
+        tl.set_enabled(true);
+        h.instant(stage::REQ_TOKEN, 7, 0);
+        assert_eq!(tl.buffered(), 1);
+    }
+
+    #[test]
+    fn spans_saturate_on_inverted_ranges() {
+        let tl = Arc::new(Telemetry::new(true));
+        let h = tl.register("x", 4);
+        h.span(stage::TICK, 0, 100, 40, 0); // end before start
+        let ev = tl.drain().remove(0).events[0];
+        assert_eq!(ev.dur_us, 0);
+        assert_eq!(ev.ts_us, 100);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_handle() {
+        let tl = Arc::new(Telemetry::new(true));
+        let h = tl.register("mono", 64);
+        for i in 0..32 {
+            h.instant(stage::REQ_TOKEN, 1, i);
+        }
+        let events = tl.drain().remove(0).events;
+        for w in events.windows(2) {
+            assert!(w[0].ts_us <= w[1].ts_us);
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! * [`nn`] — synthetic LLM substrate and perplexity/accuracy proxies.
 //! * [`serve`] — multi-session continuous-batching serving runtime.
 //! * [`gateway`] — std-only streaming HTTP/1.1 front-end over [`serve`].
+//! * [`telemetry`] — zero-alloc tracing, stage timing and histograms.
 //! * [`accel`] — cycle-level accelerator model (timing/energy/area).
 
 pub use m2x_accel as accel;
@@ -23,6 +24,7 @@ pub use m2x_formats as formats;
 pub use m2x_gateway as gateway;
 pub use m2x_nn as nn;
 pub use m2x_serve as serve;
+pub use m2x_telemetry as telemetry;
 pub use m2x_tensor as tensor;
 pub use m2xfp as core;
 
@@ -38,62 +40,12 @@ pub mod testkit {
 
     use m2x_tensor::Xoshiro;
 
-    pub mod alloc_witness {
-        //! A counting [`GlobalAlloc`] — the runtime witness behind the
-        //! `m2x-lint` R1 hot-path allocation rule. A test binary installs
-        //! [`CountingAlloc`] as its `#[global_allocator]` and then asserts,
-        //! via [`count_allocations`], that a warmed-up hot path performs
-        //! zero (or a bounded number of) heap allocations per step. The
-        //! static lint proves the *source* discipline; this proves the
-        //! *runtime* behaviour the discipline exists for.
-
-        use std::alloc::{GlobalAlloc, Layout, System};
-        use std::sync::atomic::{AtomicU64, Ordering};
-
-        /// Allocations observed process-wide since program start.
-        static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-        /// A [`System`]-backed allocator that counts every allocation
-        /// (fresh `alloc`s and growing `realloc`s; frees are not counted).
-        pub struct CountingAlloc;
-
-        // SAFETY: every method delegates directly to `System`, which
-        // upholds the `GlobalAlloc` contract; the added atomic counter
-        // bumps never touch the returned memory.
-        unsafe impl GlobalAlloc for CountingAlloc {
-            // SAFETY: unsafe-to-call per the trait; delegates to `System`.
-            unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-                ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-                // SAFETY: forwarded verbatim; caller upholds `layout`.
-                unsafe { System.alloc(layout) }
-            }
-
-            // SAFETY: unsafe-to-call per the trait; delegates to `System`.
-            unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-                // SAFETY: `ptr` came from this allocator (which is
-                // `System` underneath) with the same `layout`.
-                unsafe { System.dealloc(ptr, layout) }
-            }
-
-            // SAFETY: unsafe-to-call per the trait; delegates to `System`.
-            unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-                ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-                // SAFETY: forwarded verbatim; caller upholds the
-                // `realloc` contract for `ptr`/`layout`/`new_size`.
-                unsafe { System.realloc(ptr, layout, new_size) }
-            }
-        }
-
-        /// Runs `f` and returns how many heap allocations it performed.
-        ///
-        /// Counts process-wide: run witness tests single-threaded
-        /// (`--test-threads=1`) so concurrent tests don't bleed in.
-        pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
-            let before = ALLOCATIONS.load(Ordering::Relaxed);
-            let out = f();
-            (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
-        }
-    }
+    /// The counting-`GlobalAlloc` witness behind the `m2x-lint` R1
+    /// hot-path allocation rule, re-exported from
+    /// [`m2x_telemetry::alloc_probe`] so the allocation counter has a
+    /// single definition shared with the bench binary's
+    /// `telemetry.zero_alloc` gate.
+    pub use m2x_telemetry::alloc_probe as alloc_witness;
 
     /// Per-case random input generator.
     pub struct Gen {

@@ -11,7 +11,13 @@
 //! 2. the serving engine's decode tick stays within a fixed per-step
 //!    allocation budget that does not grow with sequence length —
 //!    the structural allocations (per-layer activation matrices, KV
-//!    growth, published token rows) are bounded per step.
+//!    growth, published token rows) are bounded per step, with telemetry
+//!    **enabled** (the config default), so the budget covers traced
+//!    ticks; and
+//! 3. warm telemetry recording itself — trace ring pushes, histogram
+//!    records, stage-tally bookings — performs **zero** heap
+//!    allocations, the claim that makes leaving tracing on in production
+//!    defensible.
 //!
 //! Allocation counting is process-wide, so everything here runs inside
 //! one `#[test]` (CI additionally passes `--test-threads=1`): parallel
@@ -24,6 +30,7 @@ use m2xfp_repro::nn::model::{ModelBuilder, ModelWeights};
 use m2xfp_repro::nn::profile::ModelProfile;
 use m2xfp_repro::nn::synth::activation_matrix;
 use m2xfp_repro::serve::{ServeConfig, Server};
+use m2xfp_repro::telemetry::{stage, Histogram, StageTally, Telemetry};
 use m2xfp_repro::testkit::alloc_witness::{count_allocations, CountingAlloc};
 use std::sync::Arc;
 
@@ -55,6 +62,42 @@ fn gemv_inputs() -> (Vec<PackedActTensor>, WeightPlane) {
 fn alloc_gate() {
     gemv_zero_allocations_after_warmup();
     engine_decode_step_within_budget();
+    telemetry_recording_zero_allocations();
+}
+
+/// Warm telemetry recording is allocation-free: after one warm-up pass,
+/// any number of trace span/instant pushes, latency-histogram records and
+/// stage-tally bookings touch the heap zero times. (Ring registration and
+/// draining allocate — those are per-server and per-scrape, not
+/// per-event.)
+fn telemetry_recording_zero_allocations() {
+    let tele = Arc::new(Telemetry::new(true));
+    let trace = tele.register("gate", 4096);
+    let mut hist = Histogram::default();
+    let mut tally = StageTally::new();
+    tally.set_enabled(true);
+
+    // Warm-up (the structures are fixed-size, but mirror a real witness:
+    // warm first, then count).
+    trace.span(stage::TICK, 0, 0, 1, 1);
+    trace.instant(stage::REQ_TOKEN, 1, 0);
+    hist.record(1);
+    tally.add_ns(stage::QGEMM, 1);
+
+    let (allocs, _) = count_allocations(|| {
+        for i in 0..4096u64 {
+            trace.span(stage::TICK, 0, i, i + 1, 2);
+            trace.instant(stage::REQ_TOKEN, 1, i);
+            hist.record(i * 37);
+            tally.add_ns(stage::QGEMM, 100);
+            tally.time(stage::ATTENTION, || std::hint::black_box(i));
+        }
+        tally.stage_sum_ns()
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm telemetry recording allocated {allocs} times across 4096 traced events"
+    );
 }
 
 /// After one warm-up call, `qgemv_packed_into` is allocation-free for any
