@@ -18,8 +18,8 @@ use m2x_bench::e2e::{run as run_e2e, E2eConfig};
 use m2x_bench::gateway_load::{run_gateway_load, GatewayLoadConfig};
 use m2x_bench::report::results_dir;
 use m2x_bench::serving::{
-    run as run_serve, run_chaos, run_telemetry, ChaosBenchConfig, ServeBenchConfig,
-    TelemetryBenchConfig,
+    run as run_serve, run_chaos, run_prefix_churn, run_telemetry, ChaosBenchConfig,
+    PrefixChurnConfig, ServeBenchConfig, TelemetryBenchConfig,
 };
 use m2x_telemetry::alloc_probe::CountingAlloc;
 use m2x_tensor::{Matrix, Xoshiro};
@@ -225,6 +225,26 @@ fn main() {
     );
     let chaos = run_chaos(chaos_cfg);
 
+    // KV-pool section: the paged KV cache under prefix sharing + churn.
+    // One request seeds a frozen prompt prefix; the rest adopt its pages
+    // copy-on-write while cancelled long-runners recycle pages through the
+    // free list. `kv_pool.reuse_exact` (every request served off
+    // shared/recycled pages is bit-identical to its solo run, every
+    // adopter actually hit the prefix cache, and at least one page was
+    // recycled) and `kv_pool.zero_leak` (zero sessions *and* zero pool
+    // pages in use after shutdown) are CI hard gates; the hit rate,
+    // fragmentation and page counters ride along as advisory numbers.
+    let kv_cfg = PrefixChurnConfig::ci();
+    eprintln!(
+        "kv_pool: requests={} prefix={} suffix={} max_batch={} cancels={}",
+        kv_cfg.requests,
+        kv_cfg.prefix_tokens,
+        kv_cfg.suffix_tokens,
+        kv_cfg.max_batch,
+        kv_cfg.cancels
+    );
+    let kv = run_prefix_churn(kv_cfg);
+
     // Gateway section: the HTTP front-end under mixed load — pinned long
     // SSE streams, a churn wave of short connections, mid-stream hangups.
     // `gateway.stream_exact` and `gateway.zero_leak` are CI hard gates:
@@ -335,6 +355,23 @@ fn main() {
     "p99_step_us_churn": {ch_p99:.1},
     "recovery_ticks": {ch_rt}
   }},
+  "kv_pool": {{
+    "hidden": {kv_hidden},
+    "layers": {kv_layers},
+    "requests": {kv_requests},
+    "prefix_tokens": {kv_pt},
+    "max_batch": {kv_mb},
+    "reuse_exact": {kv_exact},
+    "zero_leak": {kv_leak},
+    "prefix_hits": {kv_hits},
+    "prefix_misses": {kv_misses},
+    "hit_rate": {kv_hr:.3},
+    "page_allocs": {kv_pa},
+    "page_reuses": {kv_pr},
+    "cow_clones": {kv_cc},
+    "peak_pages": {kv_pk},
+    "fragmentation": {kv_fr:.3}
+  }},
   "gateway": {{
     "hidden": {gw_hidden},
     "layers": {gw_layers},
@@ -409,6 +446,21 @@ fn main() {
         ch_shed = chaos.shed_rate,
         ch_p99 = chaos.p99_step_us,
         ch_rt = chaos.recovery_ticks,
+        kv_hidden = kv.cfg.hidden,
+        kv_layers = kv.cfg.layers,
+        kv_requests = kv.cfg.requests,
+        kv_pt = kv.cfg.prefix_tokens,
+        kv_mb = kv.cfg.max_batch,
+        kv_exact = kv.reuse_exact,
+        kv_leak = kv.zero_leak,
+        kv_hits = kv.prefix_hits,
+        kv_misses = kv.prefix_misses,
+        kv_hr = kv.hit_rate,
+        kv_pa = kv.page_allocs,
+        kv_pr = kv.page_reuses,
+        kv_cc = kv.cow_clones,
+        kv_pk = kv.peak_pages,
+        kv_fr = kv.fragmentation,
         gw_hidden = gw.cfg.hidden,
         gw_layers = gw.cfg.layers,
         gw_long = gw.cfg.long_streams,
@@ -490,6 +542,14 @@ fn main() {
         "a chaos survivor's token stream diverged from its solo run"
     );
     assert!(chaos.zero_leak, "sessions leaked after the chaos run");
+    assert!(
+        kv.reuse_exact,
+        "a request served off shared/recycled KV pages diverged from its solo run"
+    );
+    assert!(
+        kv.zero_leak,
+        "KV pages or sessions leaked after the prefix churn run"
+    );
     assert!(
         tl.trace_exact,
         "the drained trace failed to reconstruct every request's lifecycle"

@@ -198,9 +198,14 @@ const GATED_SPEEDUPS: [&str; 6] = [
 /// every request's exact lifecycle) and `telemetry.zero_alloc` (warm
 /// trace recording performed zero heap allocations under the counting
 /// global allocator) gate the observability layer — a trace that lies or
-/// a tracer that allocates on the hot path is a correctness loss too.
+/// a tracer that allocates on the hot path is a correctness loss too;
+/// `kv_pool.reuse_exact` (every request served off shared/recycled KV
+/// pages bit-identical to its solo run, with real prefix hits and
+/// free-list reuse so the check cannot go vacuous) and
+/// `kv_pool.zero_leak` (zero sessions and zero pool pages in use after
+/// the churn shutdown) gate the paged-KV prefix-sharing layer.
 /// A `false` is a correctness loss, never a perf question.
-const GATED_EXACT: [&str; 12] = [
+const GATED_EXACT: [&str; 14] = [
     "exact_match",
     "lint_clean",
     "weight_search_exact",
@@ -213,6 +218,8 @@ const GATED_EXACT: [&str; 12] = [
     "gateway.zero_leak",
     "telemetry.trace_exact",
     "telemetry.zero_alloc",
+    "kv_pool.reuse_exact",
+    "kv_pool.zero_leak",
 ];
 
 /// One gate verdict: metric name, baseline, current, allowed, pass.
@@ -342,6 +349,11 @@ fn evaluate(
         "telemetry.layers",
         "telemetry.requests",
         "telemetry.decode_steps",
+        "kv_pool.hidden",
+        "kv_pool.layers",
+        "kv_pool.requests",
+        "kv_pool.prefix_tokens",
+        "kv_pool.max_batch",
     ];
     for d in required.iter().chain(&optional) {
         let (pass, detail) = match (current.get(*d), baseline.get(*d)) {
@@ -431,6 +443,7 @@ mod tests {
   "decode_kernel": {"gemv_s": 0.0001, "gemv_melem_per_s": 650.0, "speedup_gemv": 6.0, "speedup_planed_vs_inreg": 1.8, "decode_exact": true},
   "e2e_model": {"hidden": 128, "layers": 2, "tokens": 16, "gmacs": 2.1, "speedup_packed": 3.0, "backends_exact": true, "nrmse": 0.05},
   "serve": {"hidden": 128, "layers": 2, "requests": 6, "max_batch": 6, "batch_s": 0.05, "speedup_batch": 1.3, "req_per_s": 120.0, "decode_tok_per_s": 960.0, "solo_decode_tok_per_s": 740.0, "batch_exact": true, "chaos_exact": true, "zero_leak": true, "shed_rate": 0.5, "p99_step_us_churn": 900.0, "recovery_ticks": 2},
+  "kv_pool": {"hidden": 128, "layers": 2, "requests": 8, "prefix_tokens": 32, "max_batch": 4, "reuse_exact": true, "zero_leak": true, "prefix_hits": 7, "prefix_misses": 3, "hit_rate": 0.4, "page_allocs": 12, "page_reuses": 8, "cow_clones": 0, "peak_pages": 9, "fragmentation": 0.2},
   "gateway": {"hidden": 128, "layers": 2, "long_streams": 2, "short_connections": 200, "disconnects": 3, "stream_exact": true, "zero_leak": true, "e2e_p50_ms": 1.5, "e2e_p99_ms": 4.0, "churn_req_per_s": 800.0, "stream_tok_per_s": 400.0},
   "telemetry": {"hidden": 256, "layers": 2, "requests": 4, "decode_steps": 12, "trace_exact": true, "zero_alloc": true, "overhead_ratio": 0.99, "traced_tok_per_s": 780.0, "untraced_tok_per_s": 790.0, "stage_cover": 0.98}
 }"#;
@@ -586,12 +599,13 @@ mod tests {
         let cur = flatten_json(&broken).unwrap();
         assert_eq!(hard_fails(&cur, &base), ["serve.chaos_exact"]);
         // A leaked session after the chaos shutdown fails hard too (the
-        // replace flips the gateway section's like-named flag as well).
+        // replace flips the gateway and kv_pool sections' like-named
+        // flags as well).
         let leaky = SAMPLE.replace("\"zero_leak\": true", "\"zero_leak\": false");
         let cur = flatten_json(&leaky).unwrap();
         assert_eq!(
             hard_fails(&cur, &base),
-            ["serve.zero_leak", "gateway.zero_leak"]
+            ["serve.zero_leak", "gateway.zero_leak", "kv_pool.zero_leak"]
         );
         // Dropping the flags from the emitter (silent disarm) fails hard;
         // the advisory chaos numbers (shed rate, p99, recovery ticks) can
@@ -651,6 +665,37 @@ mod tests {
     }
 
     #[test]
+    fn kv_pool_flags_gate_like_exactness() {
+        let base = flatten_json(SAMPLE).unwrap();
+        // A request served off shared or recycled KV pages drifting from
+        // its solo bits is a hard correctness failure — prefix sharing
+        // must leave no trace in the token stream.
+        let broken = SAMPLE.replace("\"reuse_exact\": true", "\"reuse_exact\": false");
+        let cur = flatten_json(&broken).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["kv_pool.reuse_exact"]);
+        // Dropping both flags from the emitter (silent disarm) fails hard;
+        // the advisory pool counters can go missing without gating.
+        let dropped = SAMPLE.replace("\"reuse_exact\": true, \"zero_leak\": true, ", "");
+        assert_ne!(dropped, SAMPLE, "fixture edit must take effect");
+        let cur = flatten_json(&dropped).unwrap();
+        assert_eq!(
+            hard_fails(&cur, &base),
+            ["kv_pool.reuse_exact", "kv_pool.zero_leak"]
+        );
+        let trimmed = SAMPLE.replace(
+            ", \"hit_rate\": 0.4, \"page_allocs\": 12, \"page_reuses\": 8, \"cow_clones\": 0, \"peak_pages\": 9, \"fragmentation\": 0.2",
+            "",
+        );
+        assert_ne!(trimmed, SAMPLE, "fixture edit must take effect");
+        let cur = flatten_json(&trimmed).unwrap();
+        assert!(hard_fails(&cur, &base).is_empty());
+        // A silent churn-shape change fails like any other dim bump.
+        let other = SAMPLE.replace("\"prefix_tokens\": 32", "\"prefix_tokens\": 64");
+        let cur = flatten_json(&other).unwrap();
+        assert_eq!(hard_fails(&cur, &base), ["kv_pool.prefix_tokens"]);
+    }
+
+    #[test]
     fn telemetry_flags_gate_like_exactness() {
         let base = flatten_json(SAMPLE).unwrap();
         // A trace that no longer reconstructs every lifecycle is a hard
@@ -696,14 +741,19 @@ mod tests {
         let other = SAMPLE.replace("\"k\": 256", "\"k\": 512");
         let cur = flatten_json(&other).unwrap();
         assert!(!hard_fails(&cur, &base).is_empty());
-        // The e2e/serve/gateway sections' dims gate too: a silent ::ci()
-        // bump must not be compared against the stale baseline. (`replace`
-        // rewrites all three sections' `hidden`.)
+        // The e2e/serve/gateway/kv_pool sections' dims gate too: a silent
+        // ::ci() bump must not be compared against the stale baseline.
+        // (`replace` rewrites all four sections' `hidden`.)
         let other = SAMPLE.replace("\"hidden\": 128", "\"hidden\": 256");
         let cur = flatten_json(&other).unwrap();
         assert_eq!(
             hard_fails(&cur, &base),
-            ["e2e_model.hidden", "serve.hidden", "gateway.hidden"]
+            [
+                "e2e_model.hidden",
+                "serve.hidden",
+                "gateway.hidden",
+                "kv_pool.hidden"
+            ]
         );
         // But a pre-e2e baseline (no section at all on either side) is
         // fine; only compare what exists.

@@ -6,8 +6,11 @@
 //! req/s, aggregate decode tok/s and p50/p99 request latency in scheduler
 //! steps, then runs the chaos + churn scenario (bounded queue flooded 4×
 //! under a seeded fault plan of step panics, stalls and mid-flight
-//! cancels) and writes `results/BENCH_serve.json` (gate-compatible
-//! schema) with the chaos block nested under `"chaos"`.
+//! cancels), then the paged-KV prefix-sharing churn scenario (one request
+//! seeds a frozen prompt prefix, the rest adopt it copy-on-write while
+//! cancelled long-runners recycle pages through the free list), and
+//! writes `results/BENCH_serve.json` (gate-compatible schema) with the
+//! extra blocks nested under `"chaos"` and `"kv_pool"`.
 //!
 //! Environment:
 //! * `M2X_SERVE_HIDDEN`   — hidden dimension (default 256; group-aligned).
@@ -29,7 +32,8 @@
 use m2x_bench::gateway_load::{run_gateway_load, GatewayLoadConfig};
 use m2x_bench::report::results_dir;
 use m2x_bench::serving::{
-    run, run_chaos, run_telemetry, ChaosBenchConfig, ServeBenchConfig, TelemetryBenchConfig,
+    run, run_chaos, run_prefix_churn, run_telemetry, ChaosBenchConfig, PrefixChurnConfig,
+    ServeBenchConfig, TelemetryBenchConfig,
 };
 use m2x_telemetry::alloc_probe::CountingAlloc;
 
@@ -107,6 +111,27 @@ fn main() {
         c.zero_leak,
     );
 
+    let kv_cfg = PrefixChurnConfig {
+        hidden: cfg.hidden,
+        layers: cfg.layers,
+        ..PrefixChurnConfig::ci()
+    };
+    let k = run_prefix_churn(kv_cfg);
+    eprintln!(
+        "kv_pool: {} prefix hits / {} misses | hit rate {:.0}% ({} allocs, {} reuses, \
+         {} CoW) | peak {} pages, fragmentation {:.0}% | reuse_exact {} zero_leak {}",
+        k.prefix_hits,
+        k.prefix_misses,
+        k.hit_rate * 100.0,
+        k.page_allocs,
+        k.page_reuses,
+        k.cow_clones,
+        k.peak_pages,
+        k.fragmentation * 100.0,
+        k.reuse_exact,
+        k.zero_leak,
+    );
+
     let gw_ci = GatewayLoadConfig::ci();
     let gw_cfg = GatewayLoadConfig {
         hidden: cfg.hidden,
@@ -164,8 +189,9 @@ fn main() {
         .expect("ServeReport::to_json renders an object")
         .to_string();
     let json = format!(
-        "{body},\n  \"chaos\": {},\n  \"gateway\": {},\n  \"telemetry\": {}\n}}",
+        "{body},\n  \"chaos\": {},\n  \"kv_pool\": {},\n  \"gateway\": {},\n  \"telemetry\": {}\n}}",
         c.to_json().replace('\n', "\n  "),
+        k.to_json().replace('\n', "\n  "),
         g.to_json().replace('\n', "\n  "),
         t.to_json().replace('\n', "\n  ")
     );
@@ -186,6 +212,14 @@ fn main() {
         "a chaos survivor's token stream diverged from its solo run"
     );
     assert!(c.zero_leak, "sessions leaked after the chaos run");
+    assert!(
+        k.reuse_exact,
+        "a request served off shared/recycled KV pages diverged from its solo run"
+    );
+    assert!(
+        k.zero_leak,
+        "KV pages or sessions leaked after the prefix churn run"
+    );
     assert!(
         g.stream_exact,
         "a socket-streamed token diverged from its solo run"

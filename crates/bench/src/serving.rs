@@ -512,6 +512,279 @@ impl ChaosReport {
     }
 }
 
+/// Dimensions of one paged-KV prefix-sharing churn run.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixChurnConfig {
+    /// Hidden (residual stream) dimension.
+    pub hidden: usize,
+    /// Transformer layer count.
+    pub layers: usize,
+    /// Requests sharing the common prompt prefix. The first runs alone
+    /// and seeds the pool's prefix index; the rest adopt its frozen
+    /// pages.
+    pub requests: usize,
+    /// Shared prefix length in tokens — a multiple of the KV page size,
+    /// so it freezes whole pages.
+    pub prefix_tokens: usize,
+    /// Distinct per-request suffix length in tokens.
+    pub suffix_tokens: usize,
+    /// Closed-loop decode steps per request.
+    pub decode_steps: usize,
+    /// Admission window of the continuous-batching scheduler.
+    pub max_batch: usize,
+    /// Long-running churn victims submitted alongside the adopters and
+    /// cancelled mid-flight, so pages release to the free list and
+    /// recycle while shared pages are live.
+    pub cancels: usize,
+}
+
+impl PrefixChurnConfig {
+    /// The fixed prefix-churn scenario embedded in `bench_m2xfp_json` and
+    /// gated by CI (`kv_pool.reuse_exact`, `kv_pool.zero_leak`): one
+    /// 32-token page of shared prefix (the default page size), distinct
+    /// suffixes, admission churn from cancelled long-runners.
+    pub fn ci() -> Self {
+        PrefixChurnConfig {
+            hidden: 128,
+            layers: 2,
+            requests: 8,
+            prefix_tokens: 32,
+            suffix_tokens: 8,
+            decode_steps: 6,
+            max_batch: 4,
+            cancels: 2,
+        }
+    }
+}
+
+/// Measured results of one prefix-sharing churn run.
+#[derive(Debug, Clone)]
+pub struct PrefixChurnReport {
+    /// Configuration measured.
+    pub cfg: PrefixChurnConfig,
+    /// Every request served off pooled/adopted/recycled pages was
+    /// bit-identical to its solo run, every adopter actually hit the
+    /// prefix cache, and at least one page was recycled from the free
+    /// list (the check can never go vacuous). CI hard gate.
+    pub reuse_exact: bool,
+    /// Zero open sessions **and** zero pool pages in use after shutdown —
+    /// every page returned to the free list, no handle outlived its
+    /// request. CI hard gate.
+    pub zero_leak: bool,
+    /// Frozen prefix pages adopted across the run (deterministic:
+    /// `requests - 1` adopters × 1 prefix page).
+    pub prefix_hits: u64,
+    /// Prefix lookups that adopted nothing (the seeding request plus the
+    /// short churn victims).
+    pub prefix_misses: u64,
+    /// Free-list hit rate of page acquisition:
+    /// `page_reuses / (page_allocs + page_reuses)`.
+    pub hit_rate: f64,
+    /// Pages allocated fresh.
+    pub page_allocs: u64,
+    /// Pages recycled from the free list.
+    pub page_reuses: u64,
+    /// Copy-on-write forks (0 here: appends after a *full* shared page
+    /// never fork it — sharing survives decode).
+    pub cow_clones: u64,
+    /// High-water mark of pages in use.
+    pub peak_pages: u64,
+    /// Shared-page gauge sampled mid-wave (advisory: racy against
+    /// admission timing, but ≥ 1 whenever an adopter holds the frozen
+    /// page at the sample point).
+    pub shared_pages_mid: u64,
+    /// Unused token-row fraction of in-flight pages at the last engine
+    /// tick (partially-filled tail pages drive this).
+    pub fragmentation: f64,
+    /// Packed KV bytes of in-flight sessions at the last engine tick —
+    /// what the admission budget meters.
+    pub packed_bytes: u64,
+    /// Decoded f32 KV bytes of in-flight sessions at the last engine
+    /// tick — reported, never gated.
+    pub decoded_bytes: u64,
+    /// Wall time of the whole scenario (seconds), advisory.
+    pub wall_s: f64,
+}
+
+fn bits_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// The churn workload's prompts: one shared `prefix_tokens`-row prefix
+/// stitched to a distinct per-request suffix, so every prompt shares
+/// pages but no two requests carry the same token stream.
+pub fn prefix_churn_prompts(cfg: &PrefixChurnConfig) -> Vec<Matrix> {
+    let profile = ModelProfile::llama3_8b();
+    let prefix = activation_matrix(&profile, 9_000, cfg.prefix_tokens, cfg.hidden)
+        .map(|v| (v * 0.25).tanh());
+    (0..cfg.requests)
+        .map(|i| {
+            let suffix = activation_matrix(&profile, 9_100 + i, cfg.suffix_tokens, cfg.hidden)
+                .map(|v| (v * 0.25).tanh());
+            let mut p = prefix.clone();
+            p.push_rows(&suffix);
+            p
+        })
+        .collect()
+}
+
+/// Runs the prefix-sharing churn scenario: solo oracles first (fresh
+/// sessions, never the prefix index), then one request seeds the frozen
+/// prefix, the rest adopt it concurrently while long-running victims are
+/// cancelled mid-flight to force free-list recycling under sharing.
+pub fn run_prefix_churn(cfg: PrefixChurnConfig) -> PrefixChurnReport {
+    let profile = ModelProfile::llama3_8b();
+    let weights: Arc<ModelWeights> = Arc::new(
+        ModelBuilder::scaled(&profile, cfg.hidden, cfg.layers)
+            .build_weights()
+            .expect("scaled dimensions are group-aligned"),
+    );
+    let prompts = prefix_churn_prompts(&cfg);
+    let solo: Vec<Matrix> = prompts
+        .iter()
+        .map(|p| run_solo(&weights, p, cfg.decode_steps).expect("solo run"))
+        .collect();
+
+    let mut server = Server::start(
+        Arc::clone(&weights),
+        ServeConfig {
+            max_batch: cfg.max_batch,
+            ..ServeConfig::default()
+        },
+    );
+    let t0 = Instant::now();
+    // Seed: the first request runs alone and registers the frozen prefix
+    // (registration lands on its prefill tick, well before its outcome).
+    let first = server
+        .submit(prompts[0].clone(), cfg.decode_steps)
+        .expect("submit");
+    let mut reuse_exact = bits_eq(
+        &server
+            .wait(first)
+            .expect("typed outcome")
+            .finished()
+            .expect("no faults in this scenario")
+            .decoded,
+        &solo[0],
+    );
+    // Churn victims: short prompts (below one page of prefix — always a
+    // lookup miss), effectively unbounded decode, cancelled mid-wave so
+    // their pages recycle under the adopters.
+    let victims: Vec<u64> = (0..cfg.cancels)
+        .map(|i| {
+            let p = activation_matrix(&profile, 9_500 + i, cfg.suffix_tokens.max(2), cfg.hidden)
+                .map(|v| (v * 0.25).tanh());
+            server.submit(p, 1_000_000).expect("submit")
+        })
+        .collect();
+    // Adopters: the rest of the wave, open-loop.
+    let ids: Vec<u64> = prompts[1..]
+        .iter()
+        .map(|p| server.submit(p.clone(), cfg.decode_steps).expect("submit"))
+        .collect();
+    let shared_pages_mid = server.stats().kv_shared_pages;
+    for v in &victims {
+        let _ = server.cancel(*v);
+    }
+    for (id, s) in ids.iter().zip(&solo[1..]) {
+        let out = server
+            .wait(*id)
+            .expect("typed outcome")
+            .finished()
+            .expect("no faults in this scenario");
+        reuse_exact &= bits_eq(&out.decoded, s);
+    }
+    for v in victims {
+        let _ = server.wait(v);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let stats = server.shutdown();
+    let pool = weights.kv_pool().stats();
+    let zero_leak = weights.open_sessions() == 0 && pool.pages_in_use == 0;
+    // Non-vacuity: every adopter must actually have hit the prefix cache
+    // (requests − 1 adopters × exactly 1 frozen prefix page each), and
+    // churn must have recycled at least one page through the free list.
+    reuse_exact &= stats.kv_prefix_hits == (cfg.requests - 1) as u64;
+    reuse_exact &= stats.kv_page_reuses >= 1;
+    let grabs = pool.page_allocs + pool.page_reuses;
+    PrefixChurnReport {
+        cfg,
+        reuse_exact,
+        zero_leak,
+        prefix_hits: stats.kv_prefix_hits,
+        prefix_misses: stats.kv_prefix_misses,
+        hit_rate: if grabs == 0 {
+            0.0
+        } else {
+            pool.page_reuses as f64 / grabs as f64
+        },
+        page_allocs: pool.page_allocs,
+        page_reuses: pool.page_reuses,
+        cow_clones: pool.cow_clones,
+        peak_pages: pool.peak_pages,
+        shared_pages_mid,
+        fragmentation: stats.kv_fragmentation,
+        packed_bytes: stats.kv_packed_bytes,
+        decoded_bytes: stats.kv_decoded_bytes,
+        wall_s,
+    }
+}
+
+impl PrefixChurnReport {
+    /// Renders the report as a flat-gateable JSON object (no arrays).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{
+  "bench": "m2x_kv_pool",
+  "model": "LLaMA3-8B-scaled",
+  "dims": {{"hidden": {h}, "layers": {l}, "requests": {r}, "prefix_tokens": {pt}, "suffix_tokens": {st}, "decode_steps": {d}, "max_batch": {mb}, "cancels": {ca}}},
+  "reuse_exact": {ex},
+  "zero_leak": {zl},
+  "prefix_hits": {ph},
+  "prefix_misses": {pm},
+  "hit_rate": {hr:.3},
+  "page_allocs": {pa},
+  "page_reuses": {pr},
+  "cow_clones": {cc},
+  "peak_pages": {pk},
+  "shared_pages_mid": {sm},
+  "fragmentation": {fr:.3},
+  "packed_bytes": {pb},
+  "decoded_bytes": {db},
+  "wall_s": {ws:.6}
+}}"#,
+            h = self.cfg.hidden,
+            l = self.cfg.layers,
+            r = self.cfg.requests,
+            pt = self.cfg.prefix_tokens,
+            st = self.cfg.suffix_tokens,
+            d = self.cfg.decode_steps,
+            mb = self.cfg.max_batch,
+            ca = self.cfg.cancels,
+            ex = self.reuse_exact,
+            zl = self.zero_leak,
+            ph = self.prefix_hits,
+            pm = self.prefix_misses,
+            hr = self.hit_rate,
+            pa = self.page_allocs,
+            pr = self.page_reuses,
+            cc = self.cow_clones,
+            pk = self.peak_pages,
+            sm = self.shared_pages_mid,
+            fr = self.fragmentation,
+            pb = self.packed_bytes,
+            db = self.decoded_bytes,
+            ws = self.wall_s,
+        )
+    }
+}
+
 /// Dimensions and knobs of one telemetry overhead + fidelity run.
 #[derive(Debug, Clone, Copy)]
 pub struct TelemetryBenchConfig {
@@ -914,6 +1187,51 @@ mod tests {
         assert!(json.contains("\"chaos_exact\": true"));
         assert!(json.contains("\"zero_leak\": true"));
         assert!(json.contains("\"recovery_ticks\""));
+    }
+
+    #[test]
+    fn prefix_churn_holds_both_gates_at_small_dims() {
+        let cfg = PrefixChurnConfig {
+            hidden: 64,
+            layers: 1,
+            requests: 4,
+            prefix_tokens: 32,
+            suffix_tokens: 4,
+            decode_steps: 4,
+            max_batch: 3,
+            cancels: 1,
+        };
+        let r = run_prefix_churn(cfg);
+        assert!(r.reuse_exact, "prefix churn lost bit-exactness: {r:?}");
+        assert!(r.zero_leak, "prefix churn leaked pages or sessions: {r:?}");
+        assert_eq!(r.prefix_hits, 3, "every adopter hits one frozen page");
+        assert!(r.page_reuses >= 1, "churn must recycle the free list");
+        assert!(r.hit_rate > 0.0);
+        assert!(r.fragmentation > 0.0, "tail pages are partially filled");
+        let json = r.to_json();
+        assert!(json.contains("\"reuse_exact\": true"));
+        assert!(json.contains("\"zero_leak\": true"));
+        assert!(json.contains("\"hit_rate\""));
+        assert!(json.contains("\"fragmentation\""));
+    }
+
+    #[test]
+    fn prefix_churn_prompts_share_exactly_the_prefix() {
+        let cfg = PrefixChurnConfig::ci();
+        let prompts = prefix_churn_prompts(&cfg);
+        assert_eq!(prompts.len(), cfg.requests);
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(p.rows(), cfg.prefix_tokens + cfg.suffix_tokens);
+            for j in i + 1..prompts.len() {
+                let q = &prompts[j];
+                for r in 0..cfg.prefix_tokens {
+                    for c in 0..cfg.hidden {
+                        assert_eq!(p[(r, c)].to_bits(), q[(r, c)].to_bits());
+                    }
+                }
+                assert_ne!(p, q, "suffixes must differ or reuse_exact is vacuous");
+            }
+        }
     }
 
     #[test]

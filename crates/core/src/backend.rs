@@ -172,6 +172,49 @@ impl PreparedWeights {
         inner.packed.append_packed(delta)
     }
 
+    /// Drops all rows while keeping the allocations when the handle is
+    /// unshared — the KV page-frame recycling path: a recycled frame
+    /// compares equal to a freshly prepared empty tensor of the same
+    /// width, so page reuse leaves no trace of the previous occupant. A
+    /// shared handle (outstanding clones or weak refs) cannot be truncated
+    /// in place and is replaced by a fresh empty preparation instead.
+    pub fn clear_rows(&mut self) {
+        if let Some(inner) = Arc::get_mut(&mut self.inner) {
+            inner.packed.clear_rows();
+            match &mut inner.exec {
+                ExecForm::Plane(plane) => plane.clear_rows(),
+                ExecForm::Grouped(grouped) => grouped.clear_rows(),
+            }
+        } else {
+            let packed = PackedWeightTensor::empty(self.shape().1, *self.config());
+            let exec = match self.inner.exec {
+                ExecForm::Plane(_) => ExecForm::Plane(WeightPlane::decode(&packed)),
+                ExecForm::Grouped(_) => ExecForm::Grouped(packed.to_grouped()),
+            };
+            *self = PreparedWeights::new(packed, exec);
+        }
+    }
+
+    /// Heap bytes of the decoded execution form — the working state that
+    /// rides alongside the canonical packed streams (fixed-point plane for
+    /// the packed backend, reconstructed groups for grouped/reference).
+    /// Packed-stream accounting alone understates a prepared tensor's real
+    /// footprint by roughly this much.
+    pub fn decoded_bytes(&self) -> usize {
+        match &self.inner.exec {
+            ExecForm::Plane(plane) => plane.decoded_bytes(),
+            ExecForm::Grouped(grouped) => grouped
+                .groups()
+                .iter()
+                .map(|g| {
+                    g.codes.len()
+                        + g.sg_em.len()
+                        + std::mem::size_of::<crate::weight::WeightGroup>()
+                })
+                .sum(),
+        }
+    }
+
     fn form_name(&self) -> &'static str {
         match self.inner.exec {
             ExecForm::Plane(_) => "packed",

@@ -280,6 +280,14 @@ impl WeightTensor {
         self.rows += other.rows;
     }
 
+    /// Drops all rows while keeping the group allocation — the grouped-form
+    /// counterpart of [`PackedWeightTensor::clear_rows`] for recycled KV
+    /// page frames.
+    pub(crate) fn clear_rows(&mut self) {
+        self.groups.clear();
+        self.rows = 0;
+    }
+
     /// Parses a packed buffer produced by [`Self::pack`].
     ///
     /// # Errors
@@ -539,6 +547,17 @@ impl PackedStreams {
         }
         self.rows += more.rows;
     }
+
+    /// Drops all rows while keeping the three stream allocations — the
+    /// page-frame reuse pattern. A cleared stream set compares equal to a
+    /// freshly quantized empty matrix (equality ignores capacity), so a
+    /// recycled buffer is indistinguishable from a new one.
+    fn clear_rows(&mut self) {
+        self.codes.clear();
+        self.scales.clear();
+        self.meta.clear();
+        self.rows = 0;
+    }
 }
 
 macro_rules! packed_accessors {
@@ -791,6 +810,14 @@ impl PackedWeightTensor {
         }
         self.s.append(other.s);
         Ok(())
+    }
+
+    /// Drops all rows while keeping the stream allocations — the KV
+    /// page-frame recycling path. The cleared tensor equals
+    /// [`Self::empty`] of the same width, so a reused frame can leave no
+    /// trace of its previous occupant.
+    pub fn clear_rows(&mut self) {
+        self.s.clear_rows();
     }
 
     packed_accessors!();

@@ -539,6 +539,22 @@ impl WeightPlane {
         decode_weight_rows_into(delta, &mut self.w16, &mut self.wscale);
         self.n += delta.shape().0;
     }
+
+    /// Drops all rows while keeping the decoded-plane allocations — the KV
+    /// page-frame recycling path. The cleared plane equals
+    /// [`Self::decode`] of an empty tensor with the same geometry
+    /// (equality ignores capacity).
+    pub fn clear_rows(&mut self) {
+        self.w16.clear();
+        self.wscale.clear();
+        self.n = 0;
+    }
+
+    /// Heap bytes of the decoded execution planes (`w16` + `wscale`) —
+    /// the working state a packed-bytes KV accounting misses.
+    pub fn decoded_bytes(&self) -> usize {
+        self.w16.len() * std::mem::size_of::<i16>() + self.wscale.len() * std::mem::size_of::<f64>()
+    }
 }
 
 /// The packed qGEMM kernel over a pre-decoded [`WeightPlane`] — the form

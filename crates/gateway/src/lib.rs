@@ -614,6 +614,90 @@ fn render_metrics(ctx: &Ctx) -> String {
         "p99 engine step latency in microseconds.",
         s.p99_step_us,
     );
+    render_metric(
+        o,
+        "m2x_serve_kv_pages_in_use",
+        "gauge",
+        "KV pool pages held by live sessions (shared pages count once per holder).",
+        s.kv_pages_in_use,
+    );
+    render_metric(
+        o,
+        "m2x_serve_kv_peak_pages",
+        "gauge",
+        "High-water mark of KV pool pages in use.",
+        s.kv_peak_pages,
+    );
+    render_metric(
+        o,
+        "m2x_serve_kv_page_allocs",
+        "counter",
+        "KV pool pages allocated fresh (free list empty).",
+        s.kv_page_allocs,
+    );
+    render_metric(
+        o,
+        "m2x_serve_kv_page_reuses",
+        "counter",
+        "KV pool pages recycled from the free list.",
+        s.kv_page_reuses,
+    );
+    render_metric(
+        o,
+        "m2x_serve_kv_cow_clones",
+        "counter",
+        "Copy-on-write forks of shared or frozen KV pages.",
+        s.kv_cow_clones,
+    );
+    render_metric(
+        o,
+        "m2x_serve_kv_prefix_hits",
+        "counter",
+        "Frozen prefix pages adopted by admitted requests.",
+        s.kv_prefix_hits,
+    );
+    render_metric(
+        o,
+        "m2x_serve_kv_prefix_misses",
+        "counter",
+        "Prefix-cache lookups that adopted nothing.",
+        s.kv_prefix_misses,
+    );
+    render_metric(
+        o,
+        "m2x_serve_kv_shared_pages",
+        "gauge",
+        "KV pages currently referenced by more than one holder.",
+        s.kv_shared_pages,
+    );
+    render_metric(
+        o,
+        "m2x_serve_kv_free_pages",
+        "gauge",
+        "KV pages parked on the pool free list.",
+        s.kv_free_pages,
+    );
+    render_metric(
+        o,
+        "m2x_serve_kv_packed_bytes",
+        "gauge",
+        "Packed KV bytes held by in-flight sessions (the budgeted payload).",
+        s.kv_packed_bytes,
+    );
+    render_metric(
+        o,
+        "m2x_serve_kv_decoded_bytes",
+        "gauge",
+        "Decoded f32 KV bytes held by in-flight sessions (not budgeted).",
+        s.kv_decoded_bytes,
+    );
+    render_metric(
+        o,
+        "m2x_serve_kv_fragmentation",
+        "gauge",
+        "Unused token-row fraction of the KV pages in flight.",
+        s.kv_fragmentation,
+    );
     render_histogram(
         o,
         "m2x_serve_step_latency_us",
@@ -1039,6 +1123,42 @@ m2x_serve_peak_queue_depth 0
 # HELP m2x_serve_p99_step_us p99 engine step latency in microseconds.
 # TYPE m2x_serve_p99_step_us gauge
 m2x_serve_p99_step_us 0
+# HELP m2x_serve_kv_pages_in_use KV pool pages held by live sessions (shared pages count once per holder).
+# TYPE m2x_serve_kv_pages_in_use gauge
+m2x_serve_kv_pages_in_use 0
+# HELP m2x_serve_kv_peak_pages High-water mark of KV pool pages in use.
+# TYPE m2x_serve_kv_peak_pages gauge
+m2x_serve_kv_peak_pages 0
+# HELP m2x_serve_kv_page_allocs KV pool pages allocated fresh (free list empty).
+# TYPE m2x_serve_kv_page_allocs counter
+m2x_serve_kv_page_allocs 0
+# HELP m2x_serve_kv_page_reuses KV pool pages recycled from the free list.
+# TYPE m2x_serve_kv_page_reuses counter
+m2x_serve_kv_page_reuses 0
+# HELP m2x_serve_kv_cow_clones Copy-on-write forks of shared or frozen KV pages.
+# TYPE m2x_serve_kv_cow_clones counter
+m2x_serve_kv_cow_clones 0
+# HELP m2x_serve_kv_prefix_hits Frozen prefix pages adopted by admitted requests.
+# TYPE m2x_serve_kv_prefix_hits counter
+m2x_serve_kv_prefix_hits 0
+# HELP m2x_serve_kv_prefix_misses Prefix-cache lookups that adopted nothing.
+# TYPE m2x_serve_kv_prefix_misses counter
+m2x_serve_kv_prefix_misses 0
+# HELP m2x_serve_kv_shared_pages KV pages currently referenced by more than one holder.
+# TYPE m2x_serve_kv_shared_pages gauge
+m2x_serve_kv_shared_pages 0
+# HELP m2x_serve_kv_free_pages KV pages parked on the pool free list.
+# TYPE m2x_serve_kv_free_pages gauge
+m2x_serve_kv_free_pages 0
+# HELP m2x_serve_kv_packed_bytes Packed KV bytes held by in-flight sessions (the budgeted payload).
+# TYPE m2x_serve_kv_packed_bytes gauge
+m2x_serve_kv_packed_bytes 0
+# HELP m2x_serve_kv_decoded_bytes Decoded f32 KV bytes held by in-flight sessions (not budgeted).
+# TYPE m2x_serve_kv_decoded_bytes gauge
+m2x_serve_kv_decoded_bytes 0
+# HELP m2x_serve_kv_fragmentation Unused token-row fraction of the KV pages in flight.
+# TYPE m2x_serve_kv_fragmentation gauge
+m2x_serve_kv_fragmentation 0
 # HELP m2x_serve_step_latency_us Engine step (tick) wall latency in microseconds.
 # TYPE m2x_serve_step_latency_us histogram
 m2x_serve_step_latency_us_bucket{le=\"0\"} 0

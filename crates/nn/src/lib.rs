@@ -33,6 +33,7 @@
 //!   `m2x-serve` continuous-batching scheduler drives.
 
 pub mod attention;
+pub mod kv_pool;
 pub mod layers;
 pub mod linear;
 pub mod metrics;
@@ -41,6 +42,7 @@ pub mod profile;
 pub mod propagate;
 pub mod synth;
 
+pub use kv_pool::{KvPagePool, PageHandle, PagedKv, PoolGeometry, PoolStats, PrefixMatch};
 pub use linear::QuantizedLinear;
 pub use model::{ModelBuilder, ModelWeights, QuantizedModel, SessionState};
 pub use profile::ModelProfile;

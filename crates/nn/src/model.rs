@@ -11,16 +11,19 @@
 //!   prepared once for one backend, held behind an `Arc` so any number of
 //!   concurrent sessions (threads, serving requests) run against the same
 //!   prepared planes. N sessions cost N KV caches, never N weight copies.
-//! * [`SessionState`] — the **per-request mutable** half: the per-layer
-//!   packed [`KvCache`] plus the stream position.
+//! * [`SessionState`] — the **per-request mutable** half: a [`PagedKv`]
+//!   view into the weights' shared [`KvPagePool`] plus the stream
+//!   position. KV rows live in fixed-size pool pages (recycled on
+//!   release, copy-on-write when shared, prefix-reusable across
+//!   requests — see [`crate::kv_pool`]).
 //!
 //! [`QuantizedModel`] pairs the two into the single-session API:
 //!
 //! * [`QuantizedModel::forward_batch`] — reset the KV cache and run a full
 //!   causal batch (the throughput surface the `e2e_model` driver times);
 //! * [`QuantizedModel::prefill`] / [`QuantizedModel::decode`] — the
-//!   serving loop: append tokens to the per-layer [`KvCache`] and return
-//!   their outputs. Prefill-then-decode is **bit-identical** to the
+//!   serving loop: append tokens to the session's paged KV state and
+//!   return their outputs. Prefill-then-decode is **bit-identical** to the
 //!   one-shot batch (rows quantize independently and every kernel computes
 //!   each output element in the same order), which the workspace property
 //!   tests pin.
@@ -43,13 +46,13 @@
 //! [`ExecBackend`](m2xfp::backend::ExecBackend), so the whole model is
 //! bit-identical across the packed, grouped and reference engines.
 
+use crate::kv_pool::{KvPagePool, PagedKv, PoolGeometry, PrefixMatch};
 use crate::linear::QuantizedLinear;
 use crate::profile::{MlpKind, ModelProfile};
 use crate::synth::{weight_matrix, LayerKind};
 use m2x_telemetry::{stage, StageTally, StageTimer};
 use m2x_tensor::Matrix;
-use m2xfp::backend::{BackendKind, PreparedWeights};
-use m2xfp::format::PackedWeightTensor;
+use m2xfp::backend::BackendKind;
 use m2xfp::gemm::GemmScratch;
 use m2xfp::{Error, M2xfpConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -147,78 +150,27 @@ struct RefBlock {
     down: Matrix,
 }
 
-/// One layer's quantized KV cache: per KV head, K rows held **prepared**
-/// for the execution backend ([`PreparedWeights`]: the canonical packed
-/// Sg-EM streams plus the decoded score-GEMM operand, grown
-/// decode-on-append) and V rows likewise quantized per token along the
-/// head dimension, with their dequantized form cached incrementally. Each
-/// appended token quantizes and decodes independently, so incremental
-/// growth is bit-identical to quantizing and preparing the full sequence
-/// at once — and a decode step costs O(1) per head, not O(seq).
-#[derive(Debug, Clone)]
-pub struct KvCache {
-    k: Vec<PreparedWeights>,
-    v: Vec<PackedWeightTensor>,
-    /// Dequantized V rows (`[seq, head_dim]` per KV head), grown alongside
-    /// `v` so the value mix never re-walks the packed streams.
-    v_rows: Vec<Matrix>,
-    backend: BackendKind,
-    head_dim: usize,
-    cfg: M2xfpConfig,
-}
-
-impl KvCache {
-    fn new(kv_heads: usize, head_dim: usize, cfg: M2xfpConfig, backend: BackendKind) -> Self {
-        let be = backend.backend();
-        KvCache {
-            k: (0..kv_heads)
-                .map(|_| be.prepare(PackedWeightTensor::empty(head_dim, cfg)))
-                .collect(),
-            v: (0..kv_heads)
-                .map(|_| PackedWeightTensor::empty(head_dim, cfg))
-                .collect(),
-            v_rows: (0..kv_heads).map(|_| Matrix::zeros(0, head_dim)).collect(),
-            backend,
-            head_dim,
-            cfg,
+/// Accumulates `out += P[:, col0..col0+len] · rhs` with the exact
+/// per-element loop of [`Matrix::matmul`] (kk ascending, plain `+=`,
+/// zero-skip): each output element accumulates its products in the same
+/// order a single matmul over the row-concatenated pages would, so the
+/// page-sliced value mix is bit-identical to the monolithic one.
+fn matmul_acc(out: &mut Matrix, p: &Matrix, col0: usize, len: usize, rhs: &Matrix) {
+    debug_assert_eq!(rhs.rows(), len);
+    debug_assert_eq!(out.cols(), rhs.cols());
+    debug_assert_eq!(out.rows(), p.rows());
+    for i in 0..p.rows() {
+        for kk in 0..len {
+            let a = p[(i, col0 + kk)];
+            if a == 0.0 {
+                continue;
+            }
+            let rrow = rhs.row(kk);
+            let orow = out.row_mut(i);
+            for (o, &b) in orow.iter_mut().zip(rrow) {
+                *o += a * b;
+            }
         }
-    }
-
-    /// Quantizes and appends new K/V projection rows (`[tokens, kv_dim]`),
-    /// sliced per KV head. K rows go straight into the prepared execution
-    /// form (decode-on-append); V rows are quantized once, appended to the
-    /// packed store and their dequantized values cached.
-    fn append(&mut self, k_new: &Matrix, v_new: &Matrix) -> Result<(), Error> {
-        let be = self.backend.backend();
-        for h in 0..self.k.len() {
-            let ks = slice_cols(k_new, h * self.head_dim, self.head_dim);
-            be.append_rows(&mut self.k[h], &ks)?;
-            let vs = slice_cols(v_new, h * self.head_dim, self.head_dim);
-            let vq = PackedWeightTensor::quantize_parallel(&vs, self.cfg);
-            self.v_rows[h].push_rows(&vq.dequantize());
-            self.v[h].append_packed(vq)?;
-        }
-        Ok(())
-    }
-
-    /// Cached sequence length in tokens.
-    pub fn seq_len(&self) -> usize {
-        self.k.first().map_or(0, |t| t.shape().0)
-    }
-
-    /// Total packed footprint of the cached K and V streams in bytes
-    /// (the canonical 4.5-bit representation; decoded execution planes are
-    /// working state on top).
-    pub fn bytes(&self) -> usize {
-        self.k
-            .iter()
-            .map(|t| t.packed().packed_bytes())
-            .sum::<usize>()
-            + self.v.iter().map(|t| t.packed_bytes()).sum::<usize>()
-    }
-
-    fn clear(&mut self) {
-        *self = KvCache::new(self.k.len(), self.head_dim, self.cfg, self.backend);
     }
 }
 
@@ -298,12 +250,15 @@ impl Drop for SessionTicket {
     }
 }
 
-/// The per-request mutable half of a model session: the per-layer
-/// [`KvCache`] plus the stream position. Create one per concurrent request
-/// with [`ModelWeights::new_session`]; the weights stay shared.
+/// The per-request mutable half of a model session: a [`PagedKv`] view
+/// into the weights' shared [`KvPagePool`] plus the stream position.
+/// Create one per concurrent request with [`ModelWeights::new_session`];
+/// the weights stay shared. Dropping (or [`reset`](Self::reset)ting) the
+/// session returns its pages to the pool's free list; cloning shares the
+/// pages copy-on-write.
 #[derive(Debug, Clone)]
 pub struct SessionState {
-    kv: Vec<KvCache>,
+    kv: PagedKv,
     pos: usize,
     /// Keeps the weights' open-session count honest (see [`SessionTicket`]).
     /// Held only for its `Clone`/`Drop` side effects.
@@ -316,24 +271,44 @@ impl SessionState {
         self.pos
     }
 
-    /// Per-layer KV caches (index = layer).
-    pub fn kv_caches(&self) -> &[KvCache] {
+    /// The session's paged KV view (all layers).
+    pub fn kv(&self) -> &PagedKv {
         &self.kv
     }
 
-    /// Total packed KV footprint of this session across all layers, in
-    /// bytes (the canonical representation; decoded execution planes are
-    /// working state on top). The serving scheduler's KV-memory budget
-    /// meters admission against this.
+    /// Total **packed** KV footprint of this session across all layers,
+    /// in bytes — the canonical 4.5-bit three-stream representation. The
+    /// serving scheduler's KV-memory budget (`kv_budget_bytes`) meters
+    /// admission against this; pages shared with other sessions are
+    /// counted once per holder. The decoded working state on top is
+    /// reported separately by [`Self::kv_decoded_bytes`].
     pub fn kv_bytes(&self) -> usize {
-        self.kv.iter().map(KvCache::bytes).sum()
+        self.kv.packed_bytes()
     }
 
-    /// Drops the KV cache and resets the stream position to zero.
+    /// Decoded KV working state in bytes: the K execution planes plus the
+    /// dequantized V row cache. Not metered by the admission budget —
+    /// reported alongside [`Self::kv_bytes`] so accounting stays honest.
+    pub fn kv_decoded_bytes(&self) -> usize {
+        self.kv.decoded_bytes()
+    }
+
+    /// Adopts a frozen prompt-prefix match (from
+    /// [`KvPagePool::lookup_prefix`]) into a fresh session: the shared
+    /// pages are held read-only (copy-on-write), the position jumps to
+    /// the adopted token count, and the recorded prefill output rows for
+    /// those tokens are returned — bit-identical to recomputing them.
+    /// Must only be called on a fresh session (position zero).
+    pub fn adopt_prefix(&mut self, m: PrefixMatch) -> Matrix {
+        debug_assert_eq!(self.pos, 0, "prefix adoption requires a fresh session");
+        self.kv.adopt_prefix(m.pages, m.tokens);
+        self.pos = m.tokens;
+        m.out_rows
+    }
+
+    /// Returns every page to the pool and resets the stream position.
     pub fn reset(&mut self) {
-        for c in &mut self.kv {
-            c.clear();
-        }
+        self.kv.clear();
         self.pos = 0;
     }
 }
@@ -354,6 +329,7 @@ pub struct ModelBuilder {
     kv_heads: usize,
     layers: usize,
     keep_reference: bool,
+    kv_page_tokens: Option<usize>,
 }
 
 impl ModelBuilder {
@@ -368,6 +344,7 @@ impl ModelBuilder {
             kv_heads: profile.kv_heads,
             layers: profile.layers,
             keep_reference: false,
+            kv_page_tokens: None,
             profile: profile.clone(),
         }
     }
@@ -440,6 +417,14 @@ impl ModelBuilder {
         self
     }
 
+    /// Overrides the KV pool's page size in tokens (default: one
+    /// quantization group, `cfg.group_size`). Must be a positive multiple
+    /// of the group size so a page never splits a group.
+    pub fn kv_page_tokens(mut self, tokens: usize) -> Self {
+        self.kv_page_tokens = Some(tokens);
+        self
+    }
+
     fn validate(&self) -> Result<(), Error> {
         let gs = self.cfg.group_size;
         let bad = |msg: String| Err(Error::config(msg));
@@ -467,6 +452,13 @@ impl ModelBuilder {
             if dim == 0 || dim % gs != 0 {
                 return bad(format!(
                     "{name} {dim} must be a positive multiple of the group size {gs}"
+                ));
+            }
+        }
+        if let Some(pt) = self.kv_page_tokens {
+            if pt == 0 || pt % gs != 0 {
+                return bad(format!(
+                    "kv_page_tokens {pt} must be a positive multiple of the group size {gs}"
                 ));
             }
         }
@@ -539,6 +531,15 @@ impl ModelBuilder {
             }
         }
 
+        let pool = KvPagePool::new(PoolGeometry {
+            layers: self.layers,
+            kv_heads: self.kv_heads,
+            head_dim,
+            page_tokens: self.kv_page_tokens.unwrap_or(self.cfg.group_size),
+            cfg: self.cfg,
+            backend: self.backend,
+        })?;
+
         Ok(ModelWeights {
             name: self.profile.name.to_string(),
             cfg: self.cfg,
@@ -552,6 +553,7 @@ impl ModelBuilder {
             blocks,
             reference,
             sessions: Arc::new(AtomicUsize::new(0)),
+            pool,
         })
     }
 }
@@ -579,6 +581,10 @@ pub struct ModelWeights {
     /// Clones of the weights share the counter (they share the prepared
     /// planes too), so it meters the family, not one `Arc` handle.
     sessions: Arc<AtomicUsize>,
+    /// Shared paged KV pool every session allocates from. Clones of the
+    /// weights share the pool, so prefix pages registered by one handle
+    /// are adoptable through any other.
+    pool: Arc<KvPagePool>,
 }
 
 impl ModelWeights {
@@ -660,13 +666,17 @@ impl ModelWeights {
         (linear + attn) * self.blocks.len() as u64
     }
 
-    /// Opens a fresh session (empty KV cache, position zero) against these
+    /// The shared [`KvPagePool`] sessions of this weight family allocate
+    /// their KV pages from (and the prefix index lives in).
+    pub fn kv_pool(&self) -> &Arc<KvPagePool> {
+        &self.pool
+    }
+
+    /// Opens a fresh session (empty KV view, position zero) against these
     /// weights.
     pub fn new_session(&self) -> SessionState {
         SessionState {
-            kv: (0..self.blocks.len())
-                .map(|_| KvCache::new(self.kv_heads, self.head_dim, self.cfg, self.backend))
-                .collect(),
+            kv: PagedKv::new(Arc::clone(&self.pool)),
             pos: 0,
             _ticket: SessionTicket::issue(&self.sessions),
         }
@@ -849,14 +859,16 @@ impl ModelWeights {
                 (q, k, v)
             };
 
-            // Grow every session's cache with its own K/V rows (decode-on-
-            // append: O(new rows) per session, independent of history).
+            // Grow every session's paged cache with its own K/V rows
+            // (decode-on-append per page: O(new rows) per session,
+            // independent of history; shared pages fork copy-on-write).
             {
                 let _t = StageTimer::start(&mut tally, stage::KV_APPEND);
                 for (i, s) in sessions.iter_mut().enumerate() {
                     let ks = slice_rows(&k, offsets[i], counts[i]);
                     let vs = slice_rows(&v, offsets[i], counts[i]);
-                    s.kv[li].append(&ks, &vs).map_err(|e| ctx(e, "kv cache"))?;
+                    s.kv.append_layer(li, &ks, &vs)
+                        .map_err(|e| ctx(e, "kv cache"))?;
                 }
             }
 
@@ -867,7 +879,7 @@ impl ModelWeights {
             // output block, so any thread count computes identical bits.
             let _t_attn = StageTimer::start(&mut tally, stage::ATTENTION);
             // m2x-lint: allow(alloc) per-layer cache borrows cannot persist across the mutable session appends above
-            let caches: Vec<&KvCache> = sessions.iter().map(|s| &s.kv[li]).collect();
+            let kvs: Vec<&PagedKv> = sessions.iter().map(|s| &s.kv).collect();
             let compute =
                 |&(si, head): &(usize, usize), sc: &mut GemmScratch| -> Result<Matrix, Error> {
                     let qh = slice_block(
@@ -877,7 +889,7 @@ impl ModelWeights {
                         head * self.head_dim,
                         self.head_dim,
                     );
-                    self.attention_head(caches[si], &qh, head, p0s[si], sc)
+                    self.attention_head(kvs[si], li, &qh, head, p0s[si], sc)
                         .map_err(|e| ctx(e, "attention"))
                 };
             let workers = attn_workers;
@@ -1001,13 +1013,24 @@ impl ModelWeights {
         Ok(out)
     }
 
-    /// One causal attention head over a session's grown cache, §6.4 hybrid:
-    /// quantized score GEMM (Q online, K from the prepared Sg-EM cache —
-    /// **no per-step decode**, the plane grew on append), online Elem-EM
-    /// quantization of P, cached dequantized Sg-EM V rows.
+    /// One causal attention head over a session's paged cache, §6.4
+    /// hybrid: quantized score GEMM (Q online, K from the prepared Sg-EM
+    /// pages — **no per-step decode**, each page's plane grew on append),
+    /// online Elem-EM quantization of P, cached dequantized Sg-EM V rows.
+    ///
+    /// Paging preserves bit-identity with the old monolithic cache:
+    /// * every score element is an independent dot product over
+    ///   `head_dim`, so per-page score GEMMs produce the exact columns of
+    ///   the one-plane GEMM;
+    /// * P is masked, softmaxed and fake-quantized over **full**
+    ///   `[t, seq]` rows *before* any per-page column slicing (its
+    ///   quantization groups run along `seq`, which pages would split);
+    /// * the value mix accumulates per output element in page order with
+    ///   [`matmul_acc`], the exact loop of [`Matrix::matmul`].
     fn attention_head(
         &self,
-        cache: &KvCache,
+        kv: &PagedKv,
+        li: usize,
         qh: &Matrix,
         head: usize,
         p0: usize,
@@ -1018,11 +1041,19 @@ impl ModelWeights {
         let kvh = head / heads_per_kv;
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let t = qh.rows();
-        // Scores = Q·Kᵀ through the backend's quantized GEMM: the K cache
-        // rows are exactly the weight layout ([seq, head_dim], grouped
-        // along the reduction dimension). Decode steps (t == 1) ride the
-        // GEMV fast path with the reused scratch.
-        let mut scores = be.forward_scratch(qh, &cache.k[kvh], scratch)?;
+        let seq = kv.layer_len(li);
+        let pt = kv.pool().page_tokens();
+        let pages = seq.div_ceil(pt);
+        // Scores = Q·Kᵀ through the backend's quantized GEMM, one GEMM
+        // per page: each page's K rows are exactly the weight layout
+        // ([rows, head_dim], grouped along the reduction dimension).
+        // Decode steps (t == 1) ride the GEMV fast path with the reused
+        // scratch.
+        let mut scores = Matrix::zeros(t, seq);
+        for pi in 0..pages {
+            let s = be.forward_scratch(qh, kv.page_k(pi, li, kvh), scratch)?;
+            write_cols(&mut scores, &s, pi * pt);
+        }
         for i in 0..t {
             let row = scores.row_mut(i);
             for (j, sc) in row.iter_mut().enumerate() {
@@ -1038,10 +1069,13 @@ impl ModelWeights {
         let p = crate::attention::softmax_rows(&scores);
         // P is produced on the fly → online Elem-EM path; V rows were
         // quantized on arrival (per token, so decode == batch) and their
-        // dequantized form is cached for the value mix.
+        // dequantized form is cached per page for the value mix.
         let pq = be.fake_quantize_activations(&p, self.cfg);
-        let oh = pq.matmul(&cache.v_rows[kvh]);
-        debug_assert_eq!((oh.rows(), oh.cols()), (t, self.head_dim));
+        let mut oh = Matrix::zeros(t, self.head_dim);
+        for pi in 0..pages {
+            let rows = kv.page_rows(li, pi);
+            matmul_acc(&mut oh, &pq, pi * pt, rows, kv.page_v_rows(pi, li, kvh));
+        }
         Ok(oh)
     }
 
@@ -1211,8 +1245,8 @@ impl QuantizedModel {
         self.state.pos
     }
 
-    /// Per-layer KV caches (index = layer).
-    pub fn kv_caches(&self) -> &[KvCache] {
+    /// The session's paged KV view (all layers).
+    pub fn kv(&self) -> &PagedKv {
         &self.state.kv
     }
 
@@ -1370,13 +1404,10 @@ mod tests {
             .unwrap();
         let after_prefill = refs[0].kv_bytes();
         assert!(after_prefill > 0);
-        assert_eq!(
-            after_prefill,
-            refs[0]
-                .kv_caches()
-                .iter()
-                .map(KvCache::bytes)
-                .sum::<usize>()
+        assert_eq!(after_prefill, refs[0].kv().packed_bytes());
+        assert!(
+            refs[0].kv_decoded_bytes() > 0,
+            "decoded working state must be reported alongside the packed bytes"
         );
         weights
             .step_sessions(&mut refs, &[tokens(1, 64)], 1)
@@ -1409,8 +1440,8 @@ mod tests {
         assert_eq!(m.seq_len(), 6);
         assert!(m.forward_macs(6, 0) > 0);
         assert!(m.weight_bytes() > 0);
-        assert!(m.kv_caches()[0].bytes() > 0);
-        assert_eq!(m.kv_caches()[0].seq_len(), 6);
+        assert!(m.kv().packed_bytes() > 0);
+        assert_eq!(m.kv().tokens(), 6);
     }
 
     #[test]
@@ -1501,6 +1532,50 @@ mod tests {
                 assert_eq!(p.to_bits(), q.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn prefix_adoption_matches_full_prefill_bitwise() {
+        // Session A prefills a 40-token prompt and registers its prefix;
+        // session B adopts the frozen 32-token page, prefills only the
+        // suffix, and must reproduce A's outputs and decode stream bit
+        // for bit — the serving-layer prefix-reuse contract.
+        let weights = Arc::new(tiny_builder().build_weights().unwrap());
+        let x = tokens(40, 64);
+        let mut solo = weights.new_session();
+        let full = weights
+            .step_sessions(&mut [&mut solo], std::slice::from_ref(&x), 1)
+            .unwrap();
+        weights.kv_pool().register_prefix(&x, &full[0], solo.kv());
+
+        let m = weights.kv_pool().lookup_prefix(&x).expect("prefix hit");
+        assert_eq!(m.tokens, 32);
+        let mut adopted = weights.new_session();
+        let head = adopted.adopt_prefix(m);
+        assert_eq!(adopted.pos(), 32);
+        let suffix = slice_rows(&x, 32, 8);
+        let tail = weights
+            .step_sessions(&mut [&mut adopted], &[suffix], 1)
+            .unwrap();
+        let mut stitched = head;
+        stitched.push_rows(&tail[0]);
+        for (a, b) in full[0].as_slice().iter().zip(stitched.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "adopted prefill diverged");
+        }
+
+        // The adopted KV state must continue decoding identically too.
+        let tok = tokens(1, 64);
+        let d_solo = weights
+            .step_sessions(&mut [&mut solo], std::slice::from_ref(&tok), 1)
+            .unwrap();
+        let d_adopt = weights
+            .step_sessions(&mut [&mut adopted], std::slice::from_ref(&tok), 1)
+            .unwrap();
+        for (a, b) in d_solo[0].as_slice().iter().zip(d_adopt[0].as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "adopted decode diverged");
+        }
+        assert!(weights.kv_pool().stats().prefix_hits >= 1);
+        assert!(weights.kv_pool().verify_frozen());
     }
 
     #[test]

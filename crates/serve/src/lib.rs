@@ -35,6 +35,17 @@
 //! drives the chaos property tests (`tests/proptest_chaos.rs`) and the CI
 //! hard gates `serve.chaos_exact` / `serve.zero_leak`.
 //!
+//! **Paged KV with prefix sharing:** session KV state lives on fixed-size
+//! pages from a shared [`KvPagePool`](m2x_nn::KvPagePool) — admission
+//! releases return pages to a free list for O(1) reuse, and a request
+//! whose prompt starts with an already-served prefix **adopts** the
+//! frozen prefix pages copy-on-write instead of recomputing them
+//! (`ServeStats::kv_prefix_hits`). Sharing never bends bit-identity: the
+//! adopted pages are verified byte-equal to what prefilling would
+//! produce, a shared page is never mutated in place, and recovery
+//! replays run the full prompt from scratch. `tests/proptest_kv_pool.rs`
+//! pins this; CI hard-gates `kv_pool.reuse_exact` / `kv_pool.zero_leak`.
+//!
 //! ```
 //! use m2x_nn::model::ModelBuilder;
 //! use m2x_nn::profile::ModelProfile;
@@ -91,6 +102,16 @@ pub struct ServeConfig {
     /// sum is at or past the budget, the engine stops admitting (graceful
     /// degradation) but keeps serving — at least one request always runs,
     /// so the budget drains and admission resumes.
+    ///
+    /// The budget meters the **packed** pool pages (FP4 codes | E8M0
+    /// scales | 2-bit meta), with a page shared between sessions counted
+    /// once per holder — the same sum
+    /// [`ServeStats::kv_packed_bytes`] reports. The decoded
+    /// f32 planes the engine also keeps (prepared-K exec planes + the
+    /// dequantized V row cache) are reported honestly as
+    /// [`ServeStats::kv_decoded_bytes`] but are **not** gated:
+    /// they are a deterministic multiple of the packed payload, so one
+    /// knob suffices.
     pub kv_budget_bytes: usize,
     /// Record telemetry (trace events, per-stage timing and latency
     /// histograms; see [`m2x_telemetry`]). Recording is designed to be
@@ -771,6 +792,41 @@ mod tests {
         // Latency histograms stay on: they back ServeStats::p99_step_us.
         assert!(snap.step_us.count() >= 3);
         assert!(server.stats().p99_step_us > 0.0);
+    }
+
+    #[test]
+    fn shared_prefix_adoption_is_bit_identical_and_counted() {
+        let w = weights();
+        let server = Server::start(Arc::clone(&w), ServeConfig::default());
+        // 40 tokens with the default 32-token pages: one full (freezable)
+        // page + an 8-row tail.
+        let base = prompt(40, 11);
+        let a = server.submit(base.clone(), 3).unwrap();
+        let out_a = wait_finished(&server, a);
+        assert_bits_eq(&out_a.decoded, &run_solo(&w, &base, 3).unwrap());
+        // Same prompt again: adopts the frozen prefix page, must still be
+        // bit-identical — including the stitched full-prompt prefill_out.
+        let b = server.submit(base.clone(), 3).unwrap();
+        let out_b = wait_finished(&server, b);
+        assert_bits_eq(&out_b.decoded, &out_a.decoded);
+        assert_bits_eq(&out_b.prefill_out, &out_a.prefill_out);
+        // A prompt diverging only in the suffix shares the prefix page
+        // but must produce its own (solo-exact) stream.
+        let mut fork = base.clone();
+        for c in 0..64 {
+            fork[(36, c)] = (fork[(36, c)] * 0.5) + 0.01;
+        }
+        let c_id = server.submit(fork.clone(), 2).unwrap();
+        let out_c = wait_finished(&server, c_id);
+        assert_bits_eq(&out_c.decoded, &run_solo(&w, &fork, 2).unwrap());
+        let stats = server.stats();
+        assert!(stats.kv_prefix_hits >= 2, "hits {}", stats.kv_prefix_hits);
+        assert!(stats.kv_page_allocs > 0);
+        drop(server);
+        assert_eq!(w.open_sessions(), 0);
+        // Shutdown cleared the prefix index: every page is back on the
+        // free list, none in use.
+        assert_eq!(w.kv_pool().stats().pages_in_use, 0);
     }
 
     #[test]

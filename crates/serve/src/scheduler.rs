@@ -248,6 +248,47 @@ pub struct ServeStats {
     /// from the step-latency [`Histogram`] (0 until a step has run;
     /// quantiles carry the histogram's ≤ 1/16 relative bucket error).
     pub p99_step_us: f64,
+    /// KV pool pages currently held by live sessions (gauge; shared
+    /// prefix pages count once per holder).
+    pub kv_pages_in_use: u64,
+    /// High-water mark of [`kv_pages_in_use`](Self::kv_pages_in_use).
+    pub kv_peak_pages: u64,
+    /// KV pool pages allocated fresh (free list empty at acquire).
+    pub kv_page_allocs: u64,
+    /// KV pool pages recycled from the free list — the pool's hit
+    /// counter; `reuses / (allocs + reuses)` is the hit rate.
+    pub kv_page_reuses: u64,
+    /// Copy-on-write forks: a session wrote into a page shared with
+    /// another holder (or frozen in the prefix index) and got a private
+    /// copy instead of mutating the shared bits.
+    pub kv_cow_clones: u64,
+    /// Prefix-cache hits: frozen pages adopted by an admitted request
+    /// whose prompt starts with an already-served prefix.
+    pub kv_prefix_hits: u64,
+    /// Prefix-cache lookups that adopted nothing (no indexed prefix, or
+    /// the first page already diverged).
+    pub kv_prefix_misses: u64,
+    /// Pages currently referenced by more than one holder (gauge) —
+    /// nonzero exactly while prefix sharing is live.
+    pub kv_shared_pages: u64,
+    /// Pages parked on the pool's free list, ready for O(1) reuse
+    /// (gauge).
+    pub kv_free_pages: u64,
+    /// **Packed** KV bytes held by in-flight sessions (gauge): the
+    /// three-stream payload (FP4 codes | E8M0 scales | 2-bit meta) —
+    /// exactly what [`ServeConfig::kv_budget_bytes`](crate::ServeConfig)
+    /// meters at admission. Shared pages count once per holder, matching
+    /// the admission sum.
+    pub kv_packed_bytes: u64,
+    /// **Decoded** KV bytes held by in-flight sessions (gauge): the f32
+    /// exec planes the prepared K streams cache plus the dequantized V
+    /// row cache. Reported for honest accounting — this memory exists —
+    /// but *not* gated: the budget meters the packed payload above.
+    pub kv_decoded_bytes: u64,
+    /// Unused token-row fraction of the pages in flight (gauge):
+    /// `1 - tokens / (pages × page_tokens)`, 0.0 when no pages are held.
+    /// High values mean many partially-filled tail pages.
+    pub kv_fragmentation: f64,
 }
 
 /// A point-in-time copy of the scheduler's latency histograms and
@@ -347,15 +388,39 @@ struct Active {
     traced_tokens: u64,
     /// Whether this request's TTFT histogram sample has been recorded.
     ttft_recorded: bool,
+    /// Prefill output rows of an adopted shared prefix (frozen alongside
+    /// the pages, so they are bit-identical to recomputing them).
+    /// `consume` stitches them in front of the suffix prefill output so
+    /// [`Completed::prefill_out`] always covers the whole prompt.
+    adopted_out: Option<Matrix>,
+    /// Whether this request's prefix has been registered with the pool's
+    /// prefix index. Set once after prefill completes and kept across
+    /// recovery replays, so a replayed request never re-freezes pages.
+    registered: bool,
 }
 
 impl Active {
     fn admit(p: Pending, weights: &ModelWeights, arrived_step: u64) -> Self {
         let hidden = weights.hidden();
+        let mut session = weights.new_session();
+        // Prefix adoption: if a frozen prefix of this prompt is in the
+        // pool's index, the session starts on those shared pages and only
+        // the suffix rows go through prefill. Bit-identity holds because
+        // the frozen pages and output rows are verified byte-equal to
+        // what prefilling the prefix would produce.
+        let mut next_input = p.prompt.clone();
+        let mut adopted_out = None;
+        if let Some(m) = weights.kv_pool().lookup_prefix(&p.prompt) {
+            let t0 = m.tokens;
+            adopted_out = Some(session.adopt_prefix(m));
+            next_input = Matrix::from_fn(p.prompt.rows() - t0, p.prompt.cols(), |r, c| {
+                p.prompt[(t0 + r, c)]
+            });
+        }
         Active {
             id: p.id,
-            session: weights.new_session(),
-            next_input: p.prompt.clone(),
+            session,
+            next_input,
             prompt: p.prompt,
             prefilling: true,
             remaining: p.decode_steps,
@@ -370,6 +435,8 @@ impl Active {
             prefill_traced: false,
             traced_tokens: 0,
             ttft_recorded: false,
+            adopted_out,
+            registered: false,
         }
     }
 
@@ -378,7 +445,15 @@ impl Active {
     fn consume(&mut self, y: Matrix) -> u64 {
         self.next_input = feedback_token(&y);
         if self.prefilling {
-            self.prefill_out = y;
+            // A suffix-only prefill (adopted prefix) still reports the
+            // full prompt's output: the adopted rows go in front.
+            self.prefill_out = match self.adopted_out.take() {
+                Some(mut pre) => {
+                    pre.push_rows(&y);
+                    pre
+                }
+                None => y,
+            };
             self.prefilling = false;
             0
         } else {
@@ -400,9 +475,13 @@ impl Active {
     /// Rewinds the request to its prompt for a recovery replay: fresh KV
     /// state, original inputs, progress discarded. Returns the number of
     /// decode tokens thrown away (so aggregate counters stay honest).
+    /// Adoption is discarded too — the replay prefills the full prompt
+    /// from scratch, so a fault can never hide behind a shared page —
+    /// while `registered` survives, so replays never re-freeze pages.
     fn reset_for_replay(&mut self) -> u64 {
         let discarded = self.decoded.rows() as u64;
         self.session.reset();
+        self.adopted_out = None;
         self.next_input = self.prompt.clone();
         self.prefilling = true;
         self.remaining = self.decode_steps;
@@ -877,13 +956,28 @@ impl Server {
     /// stats stay readable even while the engine is mid-recovery from a
     /// caught panic.
     pub fn stats(&self) -> ServeStats {
-        let q = self.lock();
-        let mut stats = q.stats;
-        stats.p99_step_us = if q.telemetry.step_us.is_empty() {
-            0.0
-        } else {
-            q.telemetry.step_us.quantile(0.99) as f64
+        let mut stats = {
+            let q = self.lock();
+            let mut stats = q.stats;
+            stats.p99_step_us = if q.telemetry.step_us.is_empty() {
+                0.0
+            } else {
+                q.telemetry.step_us.quantile(0.99) as f64
+            };
+            stats
         };
+        // Pool counters are overlaid live (the pool keeps its own
+        // totals), so they are current even between engine ticks.
+        let pool = self.shared.weights.kv_pool().stats();
+        stats.kv_pages_in_use = pool.pages_in_use;
+        stats.kv_peak_pages = pool.peak_pages;
+        stats.kv_page_allocs = pool.page_allocs;
+        stats.kv_page_reuses = pool.page_reuses;
+        stats.kv_cow_clones = pool.cow_clones;
+        stats.kv_prefix_hits = pool.prefix_hits;
+        stats.kv_prefix_misses = pool.prefix_misses;
+        stats.kv_shared_pages = pool.shared_pages;
+        stats.kv_free_pages = pool.free_pages;
         stats
     }
 
@@ -932,6 +1026,11 @@ impl Server {
         if let Some(engine) = self.engine.take() {
             let _ = engine.join();
         }
+        // The prefix index and its retained frozen pages serve future
+        // admissions; with the engine gone there are none, so drop them —
+        // every pool page returns to the free list (the zero-leak
+        // invariant `kv_pool.zero_leak` gates in CI).
+        self.shared.weights.kv_pool().clear_retained();
         self.stats()
     }
 
@@ -1018,6 +1117,9 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
     // planes per call. Reset after any caught panic (stale contents are
     // harmless — see `GemmScratch` — but recovery discards them anyway).
     let mut scratch = StepScratch::new();
+    // Previous tick's KV pool counter totals; phase 4 diffs against them
+    // to emit page alloc/release trace instants.
+    let mut last_pool = shared.weights.kv_pool().stats();
     let _exit_guard = EngineExitGuard { shared };
     loop {
         // ── Phase 1 (locked): lifecycle + admission ─────────────────────
@@ -1343,6 +1445,52 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
                 cursor = cursor.saturating_add(dur);
             }
         }
+        // Register completed prefills with the pool's prefix index so a
+        // later request sharing the prompt prefix can adopt the frozen
+        // pages. Once per request — `registered` survives recovery
+        // replays, so a replay never re-freezes. Pool lock only, taken
+        // before the queue lock below (the lock order everywhere is
+        // queue → pool, never the reverse).
+        for a in &mut active {
+            if !a.prefilling && !a.registered {
+                a.registered = true;
+                shared
+                    .weights
+                    .kv_pool()
+                    .register_prefix(&a.prompt, &a.prefill_out, a.session.kv());
+            }
+        }
+        // KV pool bookkeeping: page traffic since the last tick becomes
+        // trace instants; the live sessions' byte and fragmentation
+        // gauges are summed here (engine-owned data, no lock needed).
+        let pool_now = shared.weights.kv_pool().stats();
+        if rec {
+            let grabbed = (pool_now.page_allocs + pool_now.page_reuses + pool_now.cow_clones)
+                .saturating_sub(
+                    last_pool.page_allocs + last_pool.page_reuses + last_pool.cow_clones,
+                );
+            if grabbed > 0 {
+                shared
+                    .engine_trace
+                    .instant(stage::KV_PAGE_ALLOC, 0, grabbed);
+            }
+            let released = pool_now.releases.saturating_sub(last_pool.releases);
+            if released > 0 {
+                shared
+                    .engine_trace
+                    .instant(stage::KV_PAGE_RELEASE, 0, released);
+            }
+        }
+        last_pool = pool_now;
+        let page_tokens = shared.weights.kv_pool().page_tokens() as u64;
+        let (mut kv_packed, mut kv_decoded, mut kv_tokens, mut kv_capacity) =
+            (0u64, 0u64, 0u64, 0u64);
+        for a in &active {
+            kv_packed += a.session.kv_bytes() as u64;
+            kv_decoded += a.session.kv_decoded_bytes() as u64;
+            kv_tokens += a.session.kv().tokens() as u64;
+            kv_capacity += a.session.kv().page_count() as u64 * page_tokens;
+        }
         let wall = Instant::now();
         let mut q = lock_queues(shared);
         q.stats.steps += 1;
@@ -1356,6 +1504,13 @@ fn engine_loop(shared: &Shared, mut plan: FaultPlan) {
         }
         q.telemetry.step_us.record(step_us);
         q.telemetry.stages.merge(&scratch.tally);
+        q.stats.kv_packed_bytes = kv_packed;
+        q.stats.kv_decoded_bytes = kv_decoded;
+        q.stats.kv_fragmentation = if kv_capacity == 0 {
+            0.0
+        } else {
+            1.0 - kv_tokens as f64 / kv_capacity as f64
+        };
         // Publish new decode rows of streaming requests before retiring
         // finished ones, so a waiter always sees every token before the
         // outcome. Appends only past the published length: a recovery

@@ -55,6 +55,12 @@ pub const REQ_CANCELLED: u16 = 22;
 pub const REQ_DEADLINE: u16 = 23;
 /// Request retired by panic isolation (instant; value = tokens).
 pub const REQ_FAILED: u16 = 24;
+/// KV pool pages entered use this tick — fresh allocations, free-list
+/// reuses and copy-on-write forks combined (instant; value = page count).
+pub const KV_PAGE_ALLOC: u16 = 25;
+/// KV pool pages returned to the free list this tick (instant; value =
+/// page count).
+pub const KV_PAGE_RELEASE: u16 = 26;
 
 /// One gateway TCP connection, accept to close (span; value = requests).
 pub const GW_CONNECTION: u16 = 32;
@@ -83,6 +89,8 @@ pub fn name(stage: u16) -> &'static str {
         REQ_CANCELLED => "req_cancelled",
         REQ_DEADLINE => "req_deadline",
         REQ_FAILED => "req_failed",
+        KV_PAGE_ALLOC => "kv_page_alloc",
+        KV_PAGE_RELEASE => "kv_page_release",
         GW_CONNECTION => "gw_connection",
         GW_PARSE => "gw_parse",
         GW_STREAM => "gw_stream",
@@ -324,6 +332,8 @@ mod tests {
             (REQ_CANCELLED, "req_cancelled"),
             (REQ_DEADLINE, "req_deadline"),
             (REQ_FAILED, "req_failed"),
+            (KV_PAGE_ALLOC, "kv_page_alloc"),
+            (KV_PAGE_RELEASE, "kv_page_release"),
             (GW_CONNECTION, "gw_connection"),
             (GW_PARSE, "gw_parse"),
             (GW_STREAM, "gw_stream"),

@@ -137,6 +137,14 @@ impl Matrix {
         self.rows += rows.rows;
     }
 
+    /// Drops all rows while keeping the allocation — the page-frame reuse
+    /// pattern: a cleared matrix compares equal to `Matrix::zeros(0, cols)`
+    /// (equality ignores capacity) but retains its buffer for the next fill.
+    pub fn clear_rows(&mut self) {
+        self.data.clear();
+        self.rows = 0;
+    }
+
     /// Iterates over contiguous row-wise groups of `k` elements.
     ///
     /// Each row is partitioned independently (groups never straddle a row
@@ -358,6 +366,15 @@ mod tests {
     #[should_panic(expected = "different width")]
     fn push_rows_rejects_width_mismatch() {
         Matrix::zeros(0, 3).push_rows(&Matrix::zeros(1, 4));
+    }
+
+    #[test]
+    fn clear_rows_equals_fresh_empty() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        m.clear_rows();
+        assert_eq!(m, Matrix::zeros(0, 3));
+        m.push_rows(&Matrix::from_vec(1, 3, vec![7.0, 8.0, 9.0]));
+        assert_eq!(m.row(0), &[7.0, 8.0, 9.0]);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! measures attention-output error for that hybrid vs plain MXFP4, runs the
 //! same head through the engine's execution backends (bit-identical by
 //! construction), and drives a `QuantizedModel` prefill→decode session
-//! whose per-layer KV cache grows in the packed Sg-EM representation —
+//! whose KV state grows in fixed-size pages drawn from the process-wide
+//! `KvPagePool`, packed in the Sg-EM representation —
 //! decode-on-append: each new token's K rows are quantized and decoded
 //! straight into the prepared score-GEMM plane, so a decode step costs
 //! O(1) per head instead of re-decoding the whole cache.
@@ -84,9 +85,10 @@ fn main() {
     let prompt = activation_matrix(&model, 0, 12, 128).map(|x| (x * 0.25).tanh());
     qm.prefill(&prompt).expect("aligned");
     println!(
-        "\nQuantizedModel session: prefilled {} tokens, KV cache {} B/layer",
+        "\nQuantizedModel session: prefilled {} tokens, {} packed KV B across {} pool pages",
         qm.seq_len(),
-        qm.kv_caches()[0].bytes()
+        qm.kv().packed_bytes(),
+        qm.kv().page_count()
     );
     let decode_steps = 16;
     let t0 = std::time::Instant::now();
@@ -96,9 +98,11 @@ fn main() {
     }
     let dt = t0.elapsed().as_secs_f64();
     println!(
-        "after {decode_steps} decode steps: seq {}, KV cache {} B/layer (4.5 bits/element)",
+        "after {decode_steps} decode steps: seq {}, {} packed KV B across {} pool pages \
+         (4.5 bits/element)",
         qm.seq_len(),
-        qm.kv_caches()[0].bytes()
+        qm.kv().packed_bytes(),
+        qm.kv().page_count()
     );
     println!(
         "decode {:.0} tok/s — each step appends K rows straight into the prepared \

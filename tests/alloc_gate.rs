@@ -63,6 +63,7 @@ fn alloc_gate() {
     gemv_zero_allocations_after_warmup();
     engine_decode_step_within_budget();
     telemetry_recording_zero_allocations();
+    decode_ticks_within_pages_grab_zero_pool_pages();
 }
 
 /// Warm telemetry recording is allocation-free: after one warm-up pass,
@@ -131,6 +132,52 @@ fn gemv_zero_allocations_after_warmup() {
             assert_eq!(got.to_bits(), want.to_bits());
         }
     }
+}
+
+/// The paged-KV analogue of the allocation gates: a warm steady-state
+/// decode tick whose appends stay inside already-held pages acquires
+/// **zero** pages from the pool. Two identical requests differing only in
+/// decode length (both staying inside the first 32-token page) must show
+/// identical pool page-grab counts — the marginal page cost of the extra
+/// decode ticks is exactly zero.
+fn decode_ticks_within_pages_grab_zero_pool_pages() {
+    let weights: Arc<ModelWeights> = Arc::new(
+        ModelBuilder::scaled(&ModelProfile::llama3_8b(), 64, 1)
+            .build_weights()
+            .expect("tiny model builds"),
+    );
+    let cfg = ServeConfig {
+        max_batch: 1,
+        worker_threads: 1,
+        ..ServeConfig::default()
+    };
+    let prompt =
+        activation_matrix(&ModelProfile::llama3_8b(), 13, 3, 64).map(|v| (v * 0.25).tanh());
+
+    // Pool page acquisitions (fresh allocs + free-list reuses + CoW
+    // forks) attributable to one request of `decode_steps` ticks.
+    let grabs = |decode_steps: usize| -> u64 {
+        let server = Server::start(Arc::clone(&weights), cfg);
+        let s0 = weights.kv_pool().stats();
+        let id = server.submit(prompt.clone(), decode_steps).expect("submit");
+        server.wait(id).expect("request completes");
+        let s1 = weights.kv_pool().stats();
+        drop(server);
+        (s1.page_allocs + s1.page_reuses + s1.cow_clones)
+            - (s0.page_allocs + s0.page_reuses + s0.cow_clones)
+    };
+
+    // 3 prompt tokens + 24 decode steps = 27 rows, inside one 32-token
+    // page: the 16 extra decode ticks must not touch the pool at all.
+    let short = grabs(8);
+    let long = grabs(24);
+    assert!(short >= 1, "prefill must actually acquire a page");
+    assert_eq!(
+        long,
+        short,
+        "decode ticks within already-held pages acquired {} extra pool pages",
+        long - short
+    );
 }
 
 /// The engine's decode tick allocates a bounded, non-growing number of
